@@ -1,0 +1,57 @@
+// Shared plumbing for the table/figure benchmark binaries.
+//
+// Every bench binary accepts:
+//   --scale N   scale divisor for the Table 3 stand-ins (default 16;
+//               1 = full paper size, slower and memory-hungry)
+//   --csv       also emit the table as CSV (for plotting)
+//   --count N   collection size where applicable (Figure 3)
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "analysis/table.h"
+
+namespace serpens::bench {
+
+struct BenchArgs {
+    unsigned scale = 16;
+    bool csv = false;
+    std::size_t count = 160;
+
+    static BenchArgs parse(int argc, char** argv)
+    {
+        BenchArgs args;
+        for (int i = 1; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc)
+                args.scale = static_cast<unsigned>(std::atoi(argv[++i]));
+            else if (std::strcmp(argv[i], "--csv") == 0)
+                args.csv = true;
+            else if (std::strcmp(argv[i], "--count") == 0 && i + 1 < argc)
+                args.count = static_cast<std::size_t>(std::atoll(argv[++i]));
+        }
+        return args;
+    }
+};
+
+inline void print_table(const analysis::TextTable& t, bool csv)
+{
+    std::ostringstream os;
+    t.print(os);
+    if (csv) {
+        os << "\nCSV:\n";
+        t.print_csv(os);
+    }
+    std::fputs(os.str().c_str(), stdout);
+}
+
+inline void banner(const std::string& title)
+{
+    std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+} // namespace serpens::bench

@@ -1,0 +1,127 @@
+// Figure 2 — "coloring" and non-zero reordering in Sextans vs Serpens.
+//
+// Part 1 replays the paper's 4x4 / 9-non-zero example with DSP latency T=2:
+//   Sextans colors by *row* (each row its own conflict group);
+//   Serpens colors by *row pair* (index coalescing makes two consecutive
+//   rows share a URAM address), then both reorder so no group repeats
+//   within T slots.
+// Part 2 quantifies what the coarser coloring costs across matrix families
+// and T values (padding ratio of pair- vs row-granularity scheduling).
+#include "bench_common.h"
+
+#include "encode/image.h"
+#include "encode/schedule.h"
+#include "sparse/convert.h"
+#include "sparse/generators.h"
+
+namespace {
+
+using serpens::encode::SchedulePolicy;
+using serpens::encode::ScheduleResult;
+using serpens::sparse::CooMatrix;
+using serpens::sparse::Triplet;
+
+// The nine non-zeros of the paper's Figure 2 (row, col):
+// (0,0) (0,2) (0,3) (1,0) (1,2) (2,1) (2,3) (3,0) (3,2)
+std::vector<Triplet> figure2_elements()
+{
+    return {{0, 0, 1}, {0, 2, 1}, {0, 3, 1}, {1, 0, 1}, {1, 2, 1},
+            {2, 1, 1}, {2, 3, 1}, {3, 0, 1}, {3, 2, 1}};
+}
+
+void print_schedule(const char* label, const ScheduleResult& sched,
+                    const std::vector<Triplet>& elems)
+{
+    std::printf("%-28s", label);
+    for (std::int64_t s : sched.slots) {
+        if (s == ScheduleResult::kPaddingSlot)
+            std::printf("  *  ");
+        else
+            std::printf(" %u,%u ", elems[static_cast<std::size_t>(s)].row,
+                        elems[static_cast<std::size_t>(s)].col);
+    }
+    std::printf("  (%zu slots, %zu padding)\n", sched.slots.size(),
+                sched.padding_count);
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    using namespace serpens;
+    const auto args = bench::BenchArgs::parse(argc, argv);
+
+    bench::banner("Figure 2: non-zero coloring & reordering, T = 2");
+
+    const auto elems = figure2_elements();
+    std::vector<std::uint32_t> row_colors, pair_colors;
+    for (const Triplet& e : elems) {
+        row_colors.push_back(e.row);       // Sextans: color = row
+        pair_colors.push_back(e.row >> 1); // Serpens: color = row pair
+    }
+
+    const auto sextans_sched =
+        encode::schedule_hazard_aware(row_colors, 2, SchedulePolicy::largest_bucket_first);
+    const auto serpens_sched =
+        encode::schedule_hazard_aware(pair_colors, 2, SchedulePolicy::largest_bucket_first);
+
+    std::printf("slot:                        ");
+    for (std::size_t i = 0; i < 9; ++i)
+        std::printf("  %zu  ", i);
+    std::printf("\n");
+    print_schedule("Sextans (row coloring):", sextans_sched, elems);
+    print_schedule("Serpens (pair coloring):", serpens_sched, elems);
+    std::printf("\nboth fit the paper's 9 slots (Figure 2c/2d): the coalesced "
+                "constraint is stricter but free here.\n");
+
+    // --- Part 2: padding cost of pair-granularity across families / T ---
+    // Real per-PE streams: encode each matrix with the production encoder
+    // (128 PEs, segmented windows) with index coalescing on (pair coloring)
+    // and off (row coloring), and compare the inserted padding and the
+    // compute-cycle stretch over the Eq. 4 ideal.
+    std::printf("\npadding: full encoder, coalescing on (pair) vs off (row), "
+                "HA=16, W=1024\n\n");
+    analysis::TextTable t({"matrix family", "T", "row-color padding",
+                           "pair-color padding", "pair/row cycle stretch"});
+
+    struct Family {
+        const char* name;
+        CooMatrix m;
+    };
+    const std::vector<Family> families = {
+        {"banded (FEM)", sparse::make_banded(16384, 16, 1)},
+        {"uniform random", sparse::make_uniform_random(16384, 16384, 262'144, 2)},
+        {"community cliques", sparse::make_clustered(16384, 262'144, 8, 64, 0.3, 3)},
+        {"diagonal", sparse::make_diagonal(16384)},
+    };
+
+    for (const auto& fam : families) {
+        for (unsigned latency : {2u, 8u}) {
+            encode::EncodeParams params;
+            params.window = 1024;
+            params.dsp_latency = latency;
+
+            params.coalescing = false;
+            const auto by_row = encode::encode_matrix(fam.m, params);
+            params.coalescing = true;
+            const auto by_pair = encode::encode_matrix(fam.m, params);
+
+            std::uint64_t row_cycles = 0, pair_cycles = 0;
+            for (unsigned seg = 0; seg < by_row.num_segments(); ++seg)
+                row_cycles += by_row.segment_depth(seg);
+            for (unsigned seg = 0; seg < by_pair.num_segments(); ++seg)
+                pair_cycles += by_pair.segment_depth(seg);
+
+            t.add_row({fam.name, std::to_string(latency),
+                       analysis::fmt(100.0 * by_row.stats().padding_ratio(), 2) + "%",
+                       analysis::fmt(100.0 * by_pair.stats().padding_ratio(), 2) + "%",
+                       analysis::fmt_ratio(static_cast<double>(pair_cycles) /
+                                           static_cast<double>(row_cycles))});
+        }
+    }
+    bench::print_table(t, args.csv);
+
+    std::printf("\ntakeaway: pair coloring costs little extra padding on real "
+                "sparsity but doubles URAM row capacity (paper §3.4).\n");
+    return 0;
+}

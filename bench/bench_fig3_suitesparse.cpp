@@ -1,0 +1,148 @@
+// Figure 3 — SpMV throughput of the K80 GPU and Serpens-A16 across the
+// SuiteSparse-like collection, plotted against NNZ.
+//
+// Every matrix is realized, encoded, and run through the cycle-level
+// simulator (Serpens) and the csrmv roofline model (K80). The bench prints
+// the scatter as an ASCII plot plus CSV series, and reports the geomean
+// ratios the paper headlines (§4.3: 2.10x throughput, 4.06x bandwidth
+// efficiency, 6.25x energy efficiency).
+#include <cmath>
+
+#include "bench_common.h"
+
+#include "analysis/stats.h"
+#include "baselines/k80.h"
+#include "core/accelerator.h"
+#include "datasets/suite.h"
+#include "sparse/convert.h"
+
+namespace {
+
+struct Point {
+    double nnz;
+    double serpens_gflops;
+    double k80_gflops;
+};
+
+void ascii_scatter(const std::vector<Point>& pts)
+{
+    // log-x: NNZ in [1e3, 1e7]; log-y: GFLOP/s in [1e-2, 60].
+    constexpr int kW = 72, kH = 22;
+    const double x_lo = std::log10(1e3), x_hi = std::log10(1e7);
+    const double y_lo = std::log10(1e-2), y_hi = std::log10(60.0);
+    std::vector<std::string> grid(kH, std::string(kW, ' '));
+
+    const auto plot = [&](double nnz, double gflops, char mark) {
+        const double fx = (std::log10(nnz) - x_lo) / (x_hi - x_lo);
+        const double fy = (std::log10(std::max(gflops, 1e-2)) - y_lo) / (y_hi - y_lo);
+        const int cx = std::clamp(static_cast<int>(fx * (kW - 1)), 0, kW - 1);
+        const int cy = std::clamp(static_cast<int>((1.0 - fy) * (kH - 1)), 0, kH - 1);
+        char& cell = grid[static_cast<std::size_t>(cy)][static_cast<std::size_t>(cx)];
+        cell = (cell == ' ' || cell == mark) ? mark : '#';
+    };
+    for (const Point& p : pts) {
+        plot(p.nnz, p.serpens_gflops, 'S');
+        plot(p.nnz, p.k80_gflops, 'K');
+    }
+
+    std::printf("  GFLOP/s (log)   S = Serpens-A16, K = K80, # = overlap\n");
+    std::printf("  60 +%s+\n", std::string(kW, '-').c_str());
+    for (int r = 0; r < kH; ++r)
+        std::printf("     |%s|\n", grid[static_cast<std::size_t>(r)].c_str());
+    std::printf("0.01 +%s+\n", std::string(kW, '-').c_str());
+    std::printf("     1e3 %*s 1e7   NNZ (log)\n", kW - 6, "");
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    using namespace serpens;
+    const auto args = bench::BenchArgs::parse(argc, argv);
+
+    bench::banner("Figure 3: K80 vs Serpens-A16 across the collection");
+
+    datasets::SuiteSpec spec;
+    spec.count = args.count;
+    const auto recipes = datasets::sample_suite(spec);
+    std::printf("collection: %zu matrices (--count to change), NNZ %llu..%llu\n\n",
+                recipes.size(),
+                static_cast<unsigned long long>(spec.min_nnz),
+                static_cast<unsigned long long>(spec.max_nnz));
+
+    const core::Accelerator acc(core::SerpensConfig::a16());
+    const baselines::K80Model k80;
+    const double serpens_bw = acc.config().utilized_bandwidth_gbps();
+    const double serpens_w = acc.config().power_w;
+    const double k80_bw = k80.config().bandwidth_gbps;
+    const double k80_w = k80.config().power_w;
+
+    std::vector<Point> pts;
+    std::vector<double> ratio_tput, serpens_bw_eff, k80_bw_eff, serpens_ee, k80_ee;
+    double serpens_max = 0.0, k80_max = 0.0;
+
+    for (const auto& r : recipes) {
+        const auto m = datasets::realize(r);
+        if (m.nnz() == 0)
+            continue;
+        const auto csr = sparse::to_csr(m);
+
+        const auto prepared = acc.prepare(m);
+        std::vector<float> x(m.cols(), 1.0f), y(m.rows(), 0.0f);
+        const auto run = acc.run(prepared, x, y);
+        const double s_ms = run.time_ms;
+        const double k_ms = k80.estimate_spmv_ms(m.rows(), m.cols(), m.nnz(),
+                                                 csr.row_imbalance());
+
+        const double nnz = static_cast<double>(m.nnz());
+        const double s_gflops = 2.0 * nnz / s_ms / 1e6;
+        const double k_gflops = 2.0 * nnz / k_ms / 1e6;
+        const double s_mteps = nnz / s_ms / 1e3;
+        const double k_mteps = nnz / k_ms / 1e3;
+
+        pts.push_back({nnz, s_gflops, k_gflops});
+        ratio_tput.push_back(s_gflops / k_gflops);
+        serpens_bw_eff.push_back(s_mteps / serpens_bw);
+        k80_bw_eff.push_back(k_mteps / k80_bw);
+        serpens_ee.push_back(s_mteps / serpens_w);
+        k80_ee.push_back(k_mteps / k80_w);
+        serpens_max = std::max(serpens_max, s_gflops);
+        k80_max = std::max(k80_max, k_gflops);
+    }
+
+    ascii_scatter(pts);
+
+    std::printf("\n");
+    analysis::TextTable t({"metric", "Serpens-A16", "K80", "ratio", "paper"});
+    t.add_row({"geomean throughput ratio", "-", "-",
+               analysis::fmt_ratio(analysis::geomean(ratio_tput)),
+               "2.10x - 2.31x"});
+    t.add_row({"max throughput GFLOP/s", analysis::fmt(serpens_max, 2),
+               analysis::fmt(k80_max, 2), "-", "46.43 / 29.12"});
+    t.add_row({"geomean BW eff MTEPS/(GB/s)",
+               analysis::fmt(analysis::geomean(serpens_bw_eff), 2),
+               analysis::fmt(analysis::geomean(k80_bw_eff), 2),
+               analysis::fmt_ratio(analysis::geomean(serpens_bw_eff) /
+                                   analysis::geomean(k80_bw_eff)),
+               "8.52 / 2.10 = 4.06x"});
+    t.add_row({"geomean energy eff MTEPS/W",
+               analysis::fmt(analysis::geomean(serpens_ee), 2),
+               analysis::fmt(analysis::geomean(k80_ee), 2),
+               analysis::fmt_ratio(analysis::geomean(serpens_ee) /
+                                   analysis::geomean(k80_ee)),
+               "48.4 / 7.75 = 6.25x"});
+    bench::print_table(t, args.csv);
+
+    if (args.csv) {
+        std::printf("\nCSV: nnz,serpens_gflops,k80_gflops\n");
+        for (const Point& p : pts)
+            std::printf("%.0f,%.4f,%.4f\n", p.nnz, p.serpens_gflops,
+                        p.k80_gflops);
+    }
+
+    const double geo = analysis::geomean(ratio_tput);
+    std::printf("\nshape check: Serpens wins the geomean (%s) and nearly every "
+                "matrix; K80 closes the gap only at the largest NNZ.\n",
+                analysis::fmt_ratio(geo).c_str());
+    return geo > 1.0 ? 0 : 1;
+}

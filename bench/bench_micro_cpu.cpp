@@ -1,0 +1,65 @@
+// Micro-benchmark — CPU reference SpMV throughput (the golden-model cost,
+// and an informal "what would a naive CPU do" yardstick next to the
+// accelerator's modeled GFLOP/s).
+#include <benchmark/benchmark.h>
+
+#include "baselines/cpu_spmv.h"
+#include "baselines/semiring.h"
+#include "sparse/convert.h"
+#include "sparse/generators.h"
+
+namespace {
+
+using namespace serpens;
+
+void bm_cpu_spmv(benchmark::State& state)
+{
+    const auto nnz = static_cast<sparse::nnz_t>(state.range(0));
+    const auto a =
+        sparse::to_csr(sparse::make_uniform_random(65'536, 65'536, nnz, 1));
+    const std::vector<float> x(a.cols(), 1.0f);
+    std::vector<float> y(a.rows(), 0.0f);
+    for (auto _ : state) {
+        baselines::spmv_csr(a, x, y, 1.0f, 0.5f);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(a.nnz()));
+}
+
+void bm_cpu_spmv_banded(benchmark::State& state)
+{
+    const auto a = sparse::to_csr(sparse::make_banded(262'144, 16, 2));
+    const std::vector<float> x(a.cols(), 1.0f);
+    std::vector<float> y(a.rows(), 0.0f);
+    for (auto _ : state) {
+        baselines::spmv_csr(a, x, y, 1.0f, 0.0f);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(a.nnz()));
+}
+
+void bm_cpu_semiring(benchmark::State& state)
+{
+    const auto a =
+        sparse::to_csr(sparse::make_uniform_random(65'536, 65'536, 1'000'000, 3));
+    const std::vector<float> x(a.cols(), 1.0f);
+    std::vector<float> y(a.rows(), 0.0f);
+    const auto kind = static_cast<baselines::SemiringKind>(state.range(0));
+    for (auto _ : state) {
+        baselines::spmv_semiring(a, x, y, kind);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(a.nnz()));
+}
+
+BENCHMARK(bm_cpu_spmv)->Arg(100'000)->Arg(1'000'000)->Arg(4'000'000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_cpu_spmv_banded)->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_cpu_semiring)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// Micro-benchmark — encoder (preprocessing) throughput.
+//
+// The paper's preprocessing is an offline step ("similar to prior works we
+// preprocess the sparse elements into accelerator-efficient storage");
+// these numbers establish how expensive that step is per non-zero.
+#include <benchmark/benchmark.h>
+
+#include "encode/image.h"
+#include "sparse/generators.h"
+
+namespace {
+
+using namespace serpens;
+
+void bm_encode_uniform(benchmark::State& state)
+{
+    const auto nnz = static_cast<sparse::nnz_t>(state.range(0));
+    const auto m = sparse::make_uniform_random(65'536, 65'536, nnz, 1);
+    encode::EncodeParams params;
+    for (auto _ : state) {
+        auto img = encode::encode_matrix(m, params);
+        benchmark::DoNotOptimize(img.stats().total_slots);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(m.nnz()));
+}
+
+void bm_encode_banded(benchmark::State& state)
+{
+    const auto m = sparse::make_banded(65'536, 16, 2);
+    encode::EncodeParams params;
+    for (auto _ : state) {
+        auto img = encode::encode_matrix(m, params);
+        benchmark::DoNotOptimize(img.stats().total_slots);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(m.nnz()));
+}
+
+void bm_encode_clustered(benchmark::State& state)
+{
+    const auto m = sparse::make_clustered(65'536, 1'048'576, 8, 64, 0.3, 3);
+    encode::EncodeParams params;
+    for (auto _ : state) {
+        auto img = encode::encode_matrix(m, params);
+        benchmark::DoNotOptimize(img.stats().total_slots);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(m.nnz()));
+}
+
+BENCHMARK(bm_encode_uniform)->Arg(100'000)->Arg(1'000'000)->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_encode_banded)->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_encode_clustered)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+// Micro-benchmark — cycle-level simulator throughput (simulated non-zeros
+// per second of host time). Determines how large a matrix the bench suite
+// can afford to simulate.
+#include <benchmark/benchmark.h>
+
+#include "encode/image.h"
+#include "sim/simulator.h"
+#include "sparse/generators.h"
+
+namespace {
+
+using namespace serpens;
+
+void bm_simulate(benchmark::State& state)
+{
+    const auto nnz = static_cast<sparse::nnz_t>(state.range(0));
+    const auto m = sparse::make_uniform_random(65'536, 65'536, nnz, 1);
+    encode::EncodeParams params;
+    const auto img = encode::encode_matrix(m, params);
+    const std::vector<float> x(m.cols(), 1.0f), y(m.rows(), 0.0f);
+    sim::SimOptions options;
+    options.verify_hazards = false;  // measured separately below
+    for (auto _ : state) {
+        auto result = sim::simulate_spmv(img, x, y, 1.0f, 0.0f, options);
+        benchmark::DoNotOptimize(result.y.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(m.nnz()));
+}
+
+void bm_simulate_with_verification(benchmark::State& state)
+{
+    const auto m = sparse::make_uniform_random(65'536, 65'536, 1'000'000, 1);
+    encode::EncodeParams params;
+    const auto img = encode::encode_matrix(m, params);
+    const std::vector<float> x(m.cols(), 1.0f), y(m.rows(), 0.0f);
+    for (auto _ : state) {
+        auto result = sim::simulate_spmv(img, x, y, 1.0f, 0.0f, {});
+        benchmark::DoNotOptimize(result.y.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(m.nnz()));
+}
+
+BENCHMARK(bm_simulate)->Arg(100'000)->Arg(1'000'000)->Arg(4'000'000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_simulate_with_verification)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

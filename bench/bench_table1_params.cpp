@@ -1,0 +1,45 @@
+// Table 1 — the design parameters of the Serpens accelerator.
+// Regenerates the paper's parameter table from the live configuration
+// structs, so any drift between code and paper is visible here.
+#include "bench_common.h"
+#include "core/config.h"
+#include "hbm/line.h"
+
+int main(int argc, char** argv)
+{
+    using namespace serpens;
+    const auto args = bench::BenchArgs::parse(argc, argv);
+
+    bench::banner("Table 1: design parameters of the Serpens accelerator");
+
+    const core::SerpensConfig a16 = core::SerpensConfig::a16();
+    const core::SerpensConfig a24 = core::SerpensConfig::a24();
+
+    analysis::TextTable arch({"parameter", "paper", "this repo (A16)",
+                              "this repo (A24)"});
+    arch.add_row({"HBM channels (HA)", "16/24",
+                  std::to_string(a16.arch.ha_channels),
+                  std::to_string(a24.arch.ha_channels)});
+    arch.add_row({"PEs / channel", "8", std::to_string(a16.arch.pes_per_channel),
+                  std::to_string(a24.arch.pes_per_channel)});
+    arch.add_row({"BRAM18Ks / PE", "128", "128 (Eq. 1: 64 BRAM36/ch)",
+                  "128"});
+    arch.add_row({"URAMs / PE (U)", "3", std::to_string(a16.arch.urams_per_pe),
+                  std::to_string(a24.arch.urams_per_pe)});
+    bench::print_table(arch, args.csv);
+
+    std::printf("\n");
+    analysis::TextTable bits({"bit-width", "paper", "this repo"});
+    bits.add_row({"memory bus", "512", std::to_string(hbm::kLineBits)});
+    bits.add_row({"data (float)", "32", "32"});
+    bits.add_row({"index (row+col)", "32",
+                  "32 (1 valid + 15 addr + 1 half + 1 rsvd + 14 col)"});
+    bits.add_row({"instruction", "32", "32 (modeled in stream headers)"});
+    bench::print_table(bits, args.csv);
+
+    std::printf("\nderived: total PEs A16 = %u, A24 = %u; "
+                "x-segment W = %u; row capacity A16 = %llu rows\n",
+                a16.arch.total_pes(), a24.arch.total_pes(), a16.arch.window,
+                static_cast<unsigned long long>(a16.arch.row_capacity()));
+    return 0;
+}

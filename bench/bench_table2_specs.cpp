@@ -1,0 +1,41 @@
+// Table 2 — specification of the evaluated accelerators.
+// All four operating points come from the baseline model configs; this is
+// the single source the other benches draw frequencies/powers from.
+#include "bench_common.h"
+
+#include "baselines/graphlily.h"
+#include "baselines/k80.h"
+#include "baselines/sextans.h"
+#include "core/config.h"
+
+int main(int argc, char** argv)
+{
+    using namespace serpens;
+    const auto args = bench::BenchArgs::parse(argc, argv);
+
+    bench::banner("Table 2: specification of the evaluated accelerators");
+
+    const baselines::SextansConfig sextans;
+    const baselines::GraphLilyConfig graphlily;
+    const core::SerpensConfig serpens = core::SerpensConfig::a16();
+    const baselines::K80Config k80;
+
+    analysis::TextTable t({"", "Sextans", "GraphLily", "Serpens", "Tesla K80"});
+    t.add_row({"frequency (MHz)", analysis::fmt(sextans.frequency_mhz, 0),
+               analysis::fmt(graphlily.frequency_mhz, 0),
+               analysis::fmt(serpens.frequency_mhz, 0),
+               analysis::fmt(k80.frequency_mhz, 0)});
+    t.add_row({"bandwidth (GB/s)", analysis::fmt(sextans.bandwidth_gbps, 0) + " &",
+               analysis::fmt(graphlily.bandwidth_gbps, 0) + " &",
+               analysis::fmt(serpens.utilized_bandwidth_gbps(), 0) + " &",
+               analysis::fmt(k80.bandwidth_gbps, 0) + " #"});
+    t.add_row({"power (W)", analysis::fmt(sextans.power_w, 0),
+               analysis::fmt(graphlily.power_w, 0),
+               analysis::fmt(serpens.power_w, 0),
+               analysis::fmt(k80.power_w, 0)});
+    bench::print_table(t, args.csv);
+    std::printf("\n& utilized bandwidth, # maximum bandwidth (paper notation)\n");
+    std::printf("paper values:      197 / 166 / 223 / 562 MHz,"
+                " 417 / 285 / 273 / 480 GB/s, 52 / 43 / 48 / 130 W\n");
+    return 0;
+}

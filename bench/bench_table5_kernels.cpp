@@ -1,0 +1,93 @@
+// Table 5 — design comparison and the SpMV/SpMM specialization cross-over.
+//
+// Reproduces the paper's two points:
+//   1. The configuration/feature comparison (channel allocation, reordering,
+//      sharing, coalescing).
+//   2. The TSOPF_RS_b2383_c1 experiment: an SpMV accelerator loses at SpMM
+//      and vice versa (Serpens SpMV 0.535 ms vs Sextans 1.44 ms; Sextans
+//      SpMM(16) 2.87 ms vs Serpens-as-16-SpMVs 8.56 ms).
+#include <cmath>
+
+#include "bench_common.h"
+
+#include "baselines/sextans.h"
+#include "core/accelerator.h"
+#include "datasets/table3.h"
+#include "sparse/generators.h"
+
+int main(int argc, char** argv)
+{
+    using namespace serpens;
+    const auto args = bench::BenchArgs::parse(argc, argv);
+
+    bench::banner("Table 5: Serpens vs Sextans vs GraphLily design comparison");
+
+    analysis::TextTable cfg_table({"accelerator", "kernel", "#ch sparse A",
+                                   "#ch dense B/C (x/y)", "#ch instr."});
+    cfg_table.add_row({"Serpens", "SpMV", "16/24", "1/1", "1"});
+    cfg_table.add_row({"Sextans", "SpMM", "8", "4/8", "1"});
+    cfg_table.add_row({"GraphLily", "Graph", "16", "1/1", "-"});
+    bench::print_table(cfg_table, args.csv);
+
+    std::printf("\n");
+    analysis::TextTable feat_table({"accelerator", "OoO NZ scheduling",
+                                    "sparse sharing", "index coalescing",
+                                    "perf SpMV/SpMM"});
+    feat_table.add_row({"Serpens", "yes", "no", "yes", "high/low"});
+    feat_table.add_row({"Sextans", "yes", "yes", "no", "low/high"});
+    feat_table.add_row({"GraphLily", "no", "no", "no", "-/-"});
+    bench::print_table(feat_table, args.csv);
+
+    // --- Kernel cross-over on a TSOPF_RS_b2383_c1-like matrix ---
+    // (block power-system matrix, ~38.1K rows, ~12.1M nnz)
+    const sparse::index_t rows_full = 38'120;
+    const sparse::nnz_t nnz_full = 12'100'000;
+
+    const auto m = sparse::make_block_random(
+        std::max<sparse::index_t>(rows_full / args.scale, 256), 16,
+        std::max<sparse::nnz_t>(nnz_full / args.scale, 4096), 21);
+
+    const core::Accelerator acc(core::SerpensConfig::a16());
+    const auto prepared = acc.prepare(m);
+    std::vector<float> x(m.cols(), 1.0f), y(m.rows(), 0.0f);
+    const auto run = acc.run(prepared, x, y);
+    const double ideal_compute =
+        std::ceil(static_cast<double>(m.nnz()) /
+                  (8.0 * acc.config().arch.ha_channels));
+    const double padding =
+        1.0 - 1.0 / std::max(1.0, static_cast<double>(run.cycles.compute_cycles) /
+                                      ideal_compute);
+
+    const double serpens_spmv_ms =
+        acc.estimate_time_ms(rows_full, rows_full, nnz_full, padding);
+    const double serpens_spmm16_ms = 16.0 * serpens_spmv_ms;  // 16 SpMV runs
+
+    const baselines::SextansModel sextans;
+    const double sextans_spmv_ms =
+        *sextans.estimate_spmv_ms(rows_full, rows_full, nnz_full);
+    const double sextans_spmm16_ms =
+        *sextans.estimate_spmm_ms(rows_full, rows_full, nnz_full, 16);
+
+    std::printf("\nkernel cross-over on TSOPF_RS_b2383_c1-like (%u rows, "
+                "%.1fM nnz; measured at 1/%u scale, padding %.3f):\n\n",
+                rows_full, nnz_full / 1e6, args.scale, padding);
+    analysis::TextTable kernels({"kernel", "Serpens ms", "Sextans ms",
+                                 "paper Serpens", "paper Sextans", "winner"});
+    kernels.add_row({"SpMV", analysis::fmt(serpens_spmv_ms, 3),
+                     analysis::fmt(sextans_spmv_ms, 3), "0.535", "1.44",
+                     serpens_spmv_ms < sextans_spmv_ms ? "Serpens" : "Sextans"});
+    kernels.add_row({"SpMM (N=16)", analysis::fmt(serpens_spmm16_ms, 2),
+                     analysis::fmt(sextans_spmm16_ms, 2), "8.56", "2.87",
+                     serpens_spmm16_ms < sextans_spmm16_ms ? "Serpens"
+                                                           : "Sextans"});
+    bench::print_table(kernels, args.csv);
+
+    const bool shape_ok = serpens_spmv_ms < sextans_spmv_ms &&
+                          sextans_spmm16_ms < serpens_spmm16_ms;
+    std::printf("\ncross-over %s: each accelerator wins its own kernel — "
+                "customization, not raw bandwidth, decides.\n",
+                shape_ok ? "reproduced" : "NOT reproduced");
+    std::printf("(scaled Serpens sim: %.4f ms, %.2f GFLOP/s at 1/%u size)\n",
+                run.time_ms, run.metrics.gflops, args.scale);
+    return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,47 @@
+// Table 6 — FPGA resource utilization on the U280.
+// Serpens rows come from the analytic resource model (Eq. 1/2 + calibrated
+// per-PE coefficients); Sextans/GraphLily rows are the published counts.
+#include "bench_common.h"
+
+#include "core/resource_model.h"
+
+int main(int argc, char** argv)
+{
+    using namespace serpens;
+    const auto args = bench::BenchArgs::parse(argc, argv);
+
+    bench::banner("Table 6: resource utilization on a Xilinx U280");
+
+    const auto fmt_cell = [](std::uint64_t v, double pct) {
+        std::string num = v >= 10'000 ? analysis::fmt(v / 1000.0, 0) + "K"
+                                      : std::to_string(v);
+        return num + " (" + analysis::fmt(pct, 0) + "%)";
+    };
+
+    analysis::TextTable t({"", "LUT", "FF", "DSP", "BRAM", "URAM"});
+    // Published baselines (paper Table 6).
+    t.add_row({"Sextans (paper)", "331K (29%)", "594K (25%)", "3233 (36%)",
+               "1238 (68%)", "768 (80%)"});
+    t.add_row({"GraphLily (paper)", "390K (35%)", "493K (21%)", "723 (8%)",
+               "417 (24%)", "512 (53%)"});
+    t.add_row({"Serpens (paper)", "173K (15%)", "327K (14%)", "720 (8%)",
+               "655 (36%)", "384 (40%)"});
+
+    const auto a16 = core::estimate_resources(core::SerpensConfig::a16());
+    t.add_row({"Serpens-A16 (model)", fmt_cell(a16.luts, a16.lut_pct),
+               fmt_cell(a16.ffs, a16.ff_pct), fmt_cell(a16.dsps, a16.dsp_pct),
+               fmt_cell(a16.brams, a16.bram_pct),
+               fmt_cell(a16.urams, a16.uram_pct)});
+    const auto a24 = core::estimate_resources(core::SerpensConfig::a24());
+    t.add_row({"Serpens-A24 (model)", fmt_cell(a24.luts, a24.lut_pct),
+               fmt_cell(a24.ffs, a24.ff_pct), fmt_cell(a24.dsps, a24.dsp_pct),
+               fmt_cell(a24.brams, a24.bram_pct),
+               fmt_cell(a24.urams, a24.uram_pct)});
+    bench::print_table(t, args.csv);
+
+    std::printf("\nEq. 1 check: #BRAM36 = 32*HA = %llu (A16) + %llu infra\n",
+                32ull * 16, a16.brams - 32ull * 16);
+    std::printf("Eq. 2 check: #URAM  = 8*HA*U = %llu (A16), %llu (A24)\n",
+                8ull * 16 * 3, 8ull * 24 * 3);
+    return 0;
+}

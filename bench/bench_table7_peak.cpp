@@ -1,0 +1,69 @@
+// Table 7 — peak-performance comparison with other real-execution SpMV
+// accelerators. As in the paper, the Serpens peaks are the best throughput
+// observed across the twelve evaluation matrices (A16 peaks on the dense-ish
+// G4/G6 class; A24 peaks at 60.55 GFLOP/s in the paper); peers are published
+// constants.
+#include <cmath>
+
+#include "bench_common.h"
+
+#include "baselines/peers.h"
+#include "core/accelerator.h"
+#include "datasets/table3.h"
+
+namespace {
+
+// Best full-size-projected throughput across the twelve stand-ins.
+double peak_gflops(const serpens::core::SerpensConfig& cfg, unsigned scale)
+{
+    using namespace serpens;
+    const core::Accelerator acc(cfg);
+    double best = 0.0;
+    for (const auto& spec : datasets::twelve_large()) {
+        const auto m = datasets::realize(spec, scale);
+        const auto prepared = acc.prepare(m);
+        std::vector<float> x(m.cols(), 1.0f), y(m.rows(), 0.0f);
+        const auto run = acc.run(prepared, x, y);
+        const double ideal_compute = std::ceil(
+            static_cast<double>(m.nnz()) / (8.0 * cfg.arch.ha_channels));
+        const double stretch = std::max(
+            1.0, static_cast<double>(run.cycles.compute_cycles) / ideal_compute);
+        const double ms = acc.estimate_time_ms(spec.rows, spec.rows, spec.nnz,
+                                               1.0 - 1.0 / stretch);
+        best = std::max(best, 2.0 * static_cast<double>(spec.nnz) / ms / 1e6);
+    }
+    return best;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    using namespace serpens;
+    const auto args = bench::BenchArgs::parse(argc, argv);
+
+    bench::banner("Table 7: comparison with other SpMV accelerators");
+
+    const double a16 = peak_gflops(core::SerpensConfig::a16(), args.scale);
+    const double a24 = peak_gflops(core::SerpensConfig::a24(), args.scale);
+
+    analysis::TextTable t(
+        {"accelerator", "bandwidth GB/s", "peak GFLOP/s", "paper GFLOP/s"});
+    t.add_row({"Serpens-A16 (measured)",
+               analysis::fmt(core::SerpensConfig::a16().utilized_bandwidth_gbps(), 0),
+               analysis::fmt(a16, 1), "44.2"});
+    t.add_row({"Serpens-A24 (measured)",
+               analysis::fmt(core::SerpensConfig::a24().utilized_bandwidth_gbps(), 0),
+               analysis::fmt(a24, 1), "60.4"});
+    for (const auto& peer : baselines::kPeerAccelerators)
+        t.add_row({std::string(peer.name), analysis::fmt(peer.bandwidth_gbps, 0),
+                   analysis::fmt(peer.peak_gflops, 2),
+                   analysis::fmt(peer.peak_gflops, 2)});
+    bench::print_table(t, args.csv);
+
+    const bool shape_ok = a16 > 25.0 && a24 > a16;
+    std::printf("\nshape %s: Serpens-A16 beats both FPGA peers at lower "
+                "bandwidth; SparseP's 1.77 TB/s PIM system peaks 10x lower.\n",
+                shape_ok ? "reproduced" : "NOT reproduced");
+    return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,23 @@
+#include "analysis/metrics.h"
+
+#include "util/check.h"
+
+namespace serpens::analysis {
+
+Metrics Metrics::from_run(std::uint64_t nnz, double exec_ms,
+                          double bandwidth_gbps, double power_w)
+{
+    SERPENS_CHECK(exec_ms > 0.0, "execution time must be positive");
+    SERPENS_CHECK(bandwidth_gbps > 0.0, "bandwidth must be positive");
+    SERPENS_CHECK(power_w > 0.0, "power must be positive");
+    Metrics m;
+    m.exec_ms = exec_ms;
+    const double seconds = exec_ms / 1e3;
+    m.gflops = 2.0 * static_cast<double>(nnz) / seconds / 1e9;
+    m.mteps = static_cast<double>(nnz) / seconds / 1e6;
+    m.bw_eff = m.mteps / bandwidth_gbps;
+    m.energy_eff = m.mteps / power_w;
+    return m;
+}
+
+} // namespace serpens::analysis

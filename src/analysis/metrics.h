@@ -1,0 +1,24 @@
+// The paper's evaluation metrics (§4.1.2).
+//
+//   throughput (GFLOP/s)  = 2 * NNZ / time          (one mul + one add per nnz)
+//   throughput (MTEPS)    = NNZ / time              (traversed edges per second)
+//   bandwidth efficiency  = MTEPS / (GB/s utilized bandwidth)
+//   energy efficiency     = MTEPS / W
+#pragma once
+
+#include <cstdint>
+
+namespace serpens::analysis {
+
+struct Metrics {
+    double exec_ms = 0.0;
+    double gflops = 0.0;
+    double mteps = 0.0;
+    double bw_eff = 0.0;      // MTEPS / (GB/s)
+    double energy_eff = 0.0;  // MTEPS / W
+
+    static Metrics from_run(std::uint64_t nnz, double exec_ms,
+                            double bandwidth_gbps, double power_w);
+};
+
+} // namespace serpens::analysis

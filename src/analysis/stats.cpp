@@ -1,0 +1,53 @@
+#include "analysis/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace serpens::analysis {
+
+double geomean(std::span<const double> values)
+{
+    SERPENS_CHECK(!values.empty(), "geomean of an empty set");
+    double log_sum = 0.0;
+    for (double v : values) {
+        SERPENS_CHECK(v > 0.0, "geomean requires positive values");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+std::vector<double> ratios(std::span<const double> a, std::span<const double> b)
+{
+    SERPENS_CHECK(a.size() == b.size(), "ratio inputs must align");
+    std::vector<double> out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        SERPENS_CHECK(b[i] != 0.0, "division by zero in ratios");
+        out[i] = a[i] / b[i];
+    }
+    return out;
+}
+
+double mean(std::span<const double> values)
+{
+    SERPENS_CHECK(!values.empty(), "mean of an empty set");
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double min_of(std::span<const double> values)
+{
+    SERPENS_CHECK(!values.empty(), "min of an empty set");
+    return *std::min_element(values.begin(), values.end());
+}
+
+double max_of(std::span<const double> values)
+{
+    SERPENS_CHECK(!values.empty(), "max of an empty set");
+    return *std::max_element(values.begin(), values.end());
+}
+
+} // namespace serpens::analysis

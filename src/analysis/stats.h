@@ -1,0 +1,20 @@
+// Small statistics helpers used across benches and the evaluation tables.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace serpens::analysis {
+
+// Geometric mean; ignores nothing, requires all entries > 0.
+double geomean(std::span<const double> values);
+
+// Element-wise ratio a[i] / b[i].
+std::vector<double> ratios(std::span<const double> a, std::span<const double> b);
+
+// Arithmetic mean / min / max.
+double mean(std::span<const double> values);
+double min_of(std::span<const double> values);
+double max_of(std::span<const double> values);
+
+} // namespace serpens::analysis

@@ -1,0 +1,79 @@
+#include "analysis/table.h"
+
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace serpens::analysis {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    SERPENS_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells)
+{
+    SERPENS_CHECK(cells.size() == headers_.size(),
+                  "row width must match the header");
+    rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& os) const
+{
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    const auto print_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << (c == 0 ? "| " : " | ") << std::setw(static_cast<int>(width[c]))
+               << row[c];
+        }
+        os << " |\n";
+    };
+
+    print_row(headers_);
+    os << '|';
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        os << std::string(width[c] + 2, '-') << '|';
+    os << '\n';
+    for (const auto& row : rows_)
+        print_row(row);
+}
+
+void TextTable::print_csv(std::ostream& os) const
+{
+    const auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            os << (c ? "," : "") << row[c];
+        os << '\n';
+    };
+    emit(headers_);
+    for (const auto& row : rows_)
+        emit(row);
+}
+
+std::string fmt(double v, int precision, bool dash_if_nan)
+{
+    if (std::isnan(v))
+        return dash_if_nan ? "-" : "nan";
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string fmt_ratio(double v, int precision)
+{
+    if (std::isnan(v))
+        return "-";
+    return fmt(v, precision, false) + "x";
+}
+
+} // namespace serpens::analysis

@@ -1,0 +1,34 @@
+// Column-aligned text table and CSV writer for the benchmark harnesses.
+// Every bench binary prints its paper table through this.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace serpens::analysis {
+
+class TextTable {
+public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    void add_row(std::vector<std::string> cells);
+    void print(std::ostream& os) const;
+    void print_csv(std::ostream& os) const;
+
+    std::size_t rows() const { return rows_.size(); }
+    std::size_t columns() const { return headers_.size(); }
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+// Fixed-precision double formatting ("12.34"); `dash_if_nan` renders NaN as
+// "-" the way the paper marks unsupported runs.
+std::string fmt(double v, int precision = 2, bool dash_if_nan = true);
+
+// Format a ratio as "1.91x"; NaN renders as "-".
+std::string fmt_ratio(double v, int precision = 2);
+
+} // namespace serpens::analysis

@@ -1,0 +1,65 @@
+#include "apps/pagerank.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace serpens::apps {
+
+using sparse::CooMatrix;
+using sparse::index_t;
+using sparse::Triplet;
+
+CooMatrix transition_matrix(const CooMatrix& graph)
+{
+    SERPENS_CHECK(graph.rows() == graph.cols(),
+                  "transition matrix requires a square adjacency");
+    std::vector<std::uint32_t> outdeg(graph.rows(), 0);
+    for (const Triplet& e : graph.elements())
+        ++outdeg[e.row];
+
+    CooMatrix p(graph.rows(), graph.cols());
+    p.reserve(graph.nnz() + graph.rows());
+    for (const Triplet& e : graph.elements())
+        p.add(e.col, e.row, 1.0f / static_cast<float>(outdeg[e.row]));
+    for (index_t v = 0; v < graph.rows(); ++v)
+        if (outdeg[v] == 0)
+            p.add(v, v, 1.0f);
+    return p;
+}
+
+PageRankResult pagerank(const core::Accelerator& acc, const CooMatrix& graph,
+                        const PageRankOptions& options)
+{
+    SERPENS_CHECK(options.damping > 0.0 && options.damping < 1.0,
+                  "damping must lie in (0, 1)");
+    SERPENS_CHECK(options.max_iterations >= 1,
+                  "need at least one iteration");
+
+    const CooMatrix p = transition_matrix(graph);
+    const core::PreparedMatrix prepared = acc.prepare(p);
+    const auto n = static_cast<std::size_t>(p.rows());
+
+    PageRankResult result;
+    result.rank.assign(n, 1.0f / static_cast<float>(n));
+    const std::vector<float> teleport(
+        n, static_cast<float>((1.0 - options.damping) / static_cast<double>(n)));
+
+    for (int it = 0; it < options.max_iterations; ++it) {
+        const core::RunResult run =
+            acc.run(prepared, result.rank, teleport,
+                    static_cast<float>(options.damping), 1.0f);
+        result.modeled_ms += run.time_ms;
+        result.delta = 0.0;
+        for (std::size_t v = 0; v < n; ++v)
+            result.delta +=
+                std::abs(static_cast<double>(run.y[v]) - result.rank[v]);
+        result.rank = run.y;
+        result.iterations = it + 1;
+        if (result.delta < options.tolerance)
+            break;
+    }
+    return result;
+}
+
+} // namespace serpens::apps

@@ -1,0 +1,37 @@
+// PageRank on the Serpens accelerator.
+//
+// The damped iteration r' = d * P * r + (1-d)/N maps exactly onto the
+// accelerator's general SpMV form (alpha = d, beta = 1, y_in = teleport
+// vector), which is the paper's "graph analytics processing model" use case.
+#pragma once
+
+#include <vector>
+
+#include "core/accelerator.h"
+#include "sparse/coo.h"
+
+namespace serpens::apps {
+
+struct PageRankOptions {
+    double damping = 0.85;
+    int max_iterations = 100;
+    double tolerance = 1e-9;  // L1 delta between iterations
+};
+
+struct PageRankResult {
+    std::vector<float> rank;
+    int iterations = 0;
+    double delta = 0.0;        // final L1 change
+    double modeled_ms = 0.0;   // accelerator time across all iterations
+};
+
+// Column-stochastic transition matrix of a directed graph: entry (v, u) =
+// 1/outdeg(u) for each edge u -> v; dangling vertices get a self-loop.
+sparse::CooMatrix transition_matrix(const sparse::CooMatrix& graph);
+
+// Run PageRank with every SpMV on the accelerator.
+PageRankResult pagerank(const core::Accelerator& acc,
+                        const sparse::CooMatrix& graph,
+                        const PageRankOptions& options = {});
+
+} // namespace serpens::apps

@@ -1,0 +1,73 @@
+#include "apps/traversal.h"
+
+#include <algorithm>
+
+#include "baselines/semiring.h"
+#include "util/check.h"
+
+namespace serpens::apps {
+
+using baselines::SemiringKind;
+using sparse::CsrMatrix;
+using sparse::index_t;
+
+std::vector<int> bfs_levels(const CsrMatrix& a, index_t source)
+{
+    SERPENS_CHECK(a.rows() == a.cols(), "adjacency must be square");
+    SERPENS_CHECK(source < a.rows(), "source vertex out of range");
+
+    std::vector<int> level(a.rows(), kUnreached);
+    level[source] = 0;
+    std::vector<float> frontier(a.rows(), 0.0f);
+    frontier[source] = 1.0f;
+    // Complement mask of settled vertices: masked rows stay out of the
+    // frontier (GraphBLAS-style BFS).
+    std::vector<float> settled(a.rows(), 0.0f);
+    settled[source] = 1.0f;
+
+    for (index_t depth = 1; depth < a.rows(); ++depth) {
+        std::vector<float> next(a.rows(), 0.0f);
+        baselines::spmv_semiring_masked(a, frontier, settled, next,
+                                        SemiringKind::or_and);
+        bool advanced = false;
+        for (index_t v = 0; v < a.rows(); ++v) {
+            if (next[v] != 0.0f) {
+                level[v] = static_cast<int>(depth);
+                settled[v] = 1.0f;
+                advanced = true;
+            }
+        }
+        if (!advanced)
+            break;
+        frontier = std::move(next);
+    }
+    return level;
+}
+
+std::vector<float> sssp_distances(const CsrMatrix& a, index_t source)
+{
+    SERPENS_CHECK(a.rows() == a.cols(), "adjacency must be square");
+    SERPENS_CHECK(source < a.rows(), "source vertex out of range");
+    for (float w : a.values())
+        SERPENS_CHECK(w >= 0.0f, "sssp requires non-negative edge weights");
+
+    std::vector<float> dist(a.rows(), baselines::kMinPlusInf);
+    dist[source] = 0.0f;
+
+    for (index_t round = 0; round < a.rows(); ++round) {
+        std::vector<float> relaxed(a.rows());
+        baselines::spmv_semiring(a, dist, relaxed, SemiringKind::min_plus);
+        bool changed = false;
+        for (index_t v = 0; v < a.rows(); ++v) {
+            if (relaxed[v] < dist[v]) {
+                dist[v] = relaxed[v];
+                changed = true;
+            }
+        }
+        if (!changed)
+            break;
+    }
+    return dist;
+}
+
+} // namespace serpens::apps

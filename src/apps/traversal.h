@@ -1,0 +1,26 @@
+// Graph traversal via generalized-semiring SpMV — the workloads GraphLily's
+// overlay supports (paper §2.2), expressed on the GraphBLAS-lite substrate.
+//
+// Both algorithms take the *reversed* adjacency in CSR (row v holds v's
+// in-neighbours) so one SpMV propagates the frontier/distances along edge
+// direction.
+#pragma once
+
+#include <vector>
+
+#include "sparse/csr.h"
+
+namespace serpens::apps {
+
+inline constexpr int kUnreached = -1;
+
+// BFS levels from `source`; unreachable vertices get kUnreached.
+std::vector<int> bfs_levels(const sparse::CsrMatrix& reversed_adjacency,
+                            sparse::index_t source);
+
+// Single-source shortest paths (non-negative weights) by Bellman-Ford-style
+// min-plus relaxation; unreachable vertices get +infinity.
+std::vector<float> sssp_distances(const sparse::CsrMatrix& reversed_adjacency,
+                                  sparse::index_t source);
+
+} // namespace serpens::apps

@@ -1,0 +1,42 @@
+#include "baselines/cpu_spmv.h"
+
+#include "util/check.h"
+
+namespace serpens::baselines {
+
+using sparse::index_t;
+using sparse::nnz_t;
+
+void spmv_csr(const sparse::CsrMatrix& a, std::span<const float> x,
+              std::span<float> y, float alpha, float beta)
+{
+    SERPENS_CHECK(x.size() == a.cols(), "x length must equal matrix cols");
+    SERPENS_CHECK(y.size() == a.rows(), "y length must equal matrix rows");
+    for (index_t r = 0; r < a.rows(); ++r) {
+        float sum = 0.0f;
+        for (nnz_t i = a.row_begin(r); i < a.row_end(r); ++i)
+            sum += a.values()[i] * x[a.col_idx()[i]];
+        y[r] = alpha * sum + beta * y[r];
+    }
+}
+
+std::vector<double> spmv_csr_ref64(const sparse::CsrMatrix& a,
+                                   std::span<const float> x,
+                                   std::span<const float> y, float alpha,
+                                   float beta)
+{
+    SERPENS_CHECK(x.size() == a.cols(), "x length must equal matrix cols");
+    SERPENS_CHECK(y.size() == a.rows(), "y length must equal matrix rows");
+    std::vector<double> out(a.rows());
+    for (index_t r = 0; r < a.rows(); ++r) {
+        double sum = 0.0;
+        for (nnz_t i = a.row_begin(r); i < a.row_end(r); ++i)
+            sum += static_cast<double>(a.values()[i]) *
+                   static_cast<double>(x[a.col_idx()[i]]);
+        out[r] = static_cast<double>(alpha) * sum +
+                 static_cast<double>(beta) * static_cast<double>(y[r]);
+    }
+    return out;
+}
+
+} // namespace serpens::baselines

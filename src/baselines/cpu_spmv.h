@@ -1,0 +1,26 @@
+// CPU reference SpMV kernels.
+//
+// `spmv_csr` is the FP32 golden model for functional comparison;
+// `spmv_csr_ref64` accumulates in double and is the tolerance anchor for
+// tests (the accelerators accumulate FP32 in schedule order, so they are
+// compared against the double reference with scaled tolerances).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sparse/csr.h"
+
+namespace serpens::baselines {
+
+// y = alpha * A * x + beta * y   (FP32 accumulation, row-major order)
+void spmv_csr(const sparse::CsrMatrix& a, std::span<const float> x,
+              std::span<float> y, float alpha = 1.0f, float beta = 0.0f);
+
+// Same computation with double-precision accumulation.
+std::vector<double> spmv_csr_ref64(const sparse::CsrMatrix& a,
+                                   std::span<const float> x,
+                                   std::span<const float> y,
+                                   float alpha = 1.0f, float beta = 0.0f);
+
+} // namespace serpens::baselines

@@ -1,0 +1,45 @@
+#include "baselines/dense_ops.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace serpens::baselines {
+
+double dot(std::span<const float> a, std::span<const float> b)
+{
+    SERPENS_CHECK(a.size() == b.size(), "dot inputs must align");
+    double sum = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        sum += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+    return sum;
+}
+
+double norm2(std::span<const float> a)
+{
+    return std::sqrt(dot(a, a));
+}
+
+void axpy(float alpha, std::span<const float> x, std::span<float> y)
+{
+    SERPENS_CHECK(x.size() == y.size(), "axpy inputs must align");
+    for (std::size_t i = 0; i < x.size(); ++i)
+        y[i] += alpha * x[i];
+}
+
+void scale(std::span<float> x, float alpha)
+{
+    for (float& v : x)
+        v *= alpha;
+}
+
+std::vector<float> subtract(std::span<const float> a, std::span<const float> b)
+{
+    SERPENS_CHECK(a.size() == b.size(), "subtract inputs must align");
+    std::vector<float> out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        out[i] = a[i] - b[i];
+    return out;
+}
+
+} // namespace serpens::baselines

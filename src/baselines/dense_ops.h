@@ -1,0 +1,21 @@
+// Dense vector helpers for the iterative-solver examples (CG, PageRank).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace serpens::baselines {
+
+double dot(std::span<const float> a, std::span<const float> b);
+double norm2(std::span<const float> a);
+
+// y += alpha * x
+void axpy(float alpha, std::span<const float> x, std::span<float> y);
+
+// x *= alpha
+void scale(std::span<float> x, float alpha);
+
+// out = a - b
+std::vector<float> subtract(std::span<const float> a, std::span<const float> b);
+
+} // namespace serpens::baselines

@@ -1,0 +1,55 @@
+#include "baselines/graphlily.h"
+
+#include "util/bitpack.h"
+#include "util/check.h"
+
+namespace serpens::baselines {
+
+GraphLilyModel::GraphLilyModel(GraphLilyConfig config) : config_(config)
+{
+    SERPENS_CHECK(config_.frequency_mhz > 0.0, "frequency must be positive");
+    SERPENS_CHECK(config_.pe_utilization > 0.0 && config_.pe_utilization <= 1.0,
+                  "utilization must lie in (0, 1]");
+    SERPENS_CHECK(config_.cluster_window >= 16, "cluster window too small");
+}
+
+std::vector<float> GraphLilyModel::run(const sparse::CsrMatrix& a,
+                                       std::span<const float> x,
+                                       SemiringKind kind) const
+{
+    std::vector<float> y(a.rows(), semiring_identity(kind));
+    spmv_semiring(a, x, y, kind);
+    return y;
+}
+
+std::vector<float> GraphLilyModel::spmv(const sparse::CsrMatrix& a,
+                                        std::span<const float> x,
+                                        std::span<const float> y, float alpha,
+                                        float beta) const
+{
+    SERPENS_CHECK(y.size() == a.rows(), "y length must equal matrix rows");
+    std::vector<float> out = run(a, x, SemiringKind::plus_times);
+    for (std::size_t r = 0; r < out.size(); ++r)
+        out[r] = alpha * out[r] + beta * y[r];
+    return out;
+}
+
+double GraphLilyModel::estimate_spmv_ms(std::uint64_t rows, std::uint64_t cols,
+                                        std::uint64_t nnz) const
+{
+    const double lanes =
+        static_cast<double>(config_.a_channels) * config_.elems_per_channel;
+    const double sparse_cycles =
+        static_cast<double>(nnz) / (lanes * config_.pe_utilization);
+    const double clusters = static_cast<double>(
+        ceil_div<std::uint64_t>(cols, config_.cluster_window));
+    const double overhead_cycles = clusters * config_.cluster_overhead_cycles;
+    const double vector_cycles =
+        static_cast<double>(ceil_div<std::uint64_t>(rows, 16) +
+                            ceil_div<std::uint64_t>(cols, 16));
+    const double cycles = sparse_cycles + overhead_cycles + vector_cycles;
+    return cycles / (config_.frequency_mhz * 1e3) +
+           config_.invocation_overhead_us / 1e3;
+}
+
+} // namespace serpens::baselines

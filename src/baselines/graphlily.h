@@ -1,0 +1,62 @@
+// GraphLily baseline (paper §2.2) — an HBM FPGA graph-processing overlay
+// (ICCAD'21) that executes SpMV through a generalized BLAS model.
+//
+// Architecture, per its publication and the Serpens paper:
+//   - 16 HBM channels stream the sparse matrix; the vectors live on
+//     1 HBM + 1 DDR channel -> 285 GB/s utilized, 166 MHz, 43 W.
+//   - Overlay generality costs utilization: generalized multiply/reduce
+//     units (only one instance active in SpMV) and an arbiter vector unit
+//     that serializes vector access. We model this as a PE-utilization
+//     factor (0.5) plus a per-vector-cluster overhead.
+//
+// The functional path runs the configured semiring through the
+// GraphBLAS-lite substrate — the same mechanism the real overlay uses.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "baselines/semiring.h"
+#include "sparse/csr.h"
+
+namespace serpens::baselines {
+
+struct GraphLilyConfig {
+    double frequency_mhz = 166.0;
+    double power_w = 43.0;
+    double bandwidth_gbps = 285.0;  // 19 HBM channels + 1 DDR4
+    unsigned a_channels = 16;
+    unsigned elems_per_channel = 8;
+    double pe_utilization = 0.5;    // overlay efficiency in SpMV mode
+    std::uint64_t cluster_window = 8192;  // vector buffer cluster size
+    double cluster_overhead_cycles = 2000.0;
+    double invocation_overhead_us = 3.0;
+};
+
+class GraphLilyModel {
+public:
+    explicit GraphLilyModel(GraphLilyConfig config = {});
+
+    const GraphLilyConfig& config() const { return config_; }
+
+    // Functional generalized SpMV with the overlay's configured semiring.
+    std::vector<float> run(const sparse::CsrMatrix& a,
+                           std::span<const float> x,
+                           SemiringKind kind = SemiringKind::plus_times) const;
+
+    // Functional arithmetic SpMV with alpha/beta (SpMV mode).
+    std::vector<float> spmv(const sparse::CsrMatrix& a,
+                            std::span<const float> x,
+                            std::span<const float> y, float alpha = 1.0f,
+                            float beta = 0.0f) const;
+
+    // Modeled SpMV execution time.
+    double estimate_spmv_ms(std::uint64_t rows, std::uint64_t cols,
+                            std::uint64_t nnz) const;
+
+private:
+    GraphLilyConfig config_;
+};
+
+} // namespace serpens::baselines

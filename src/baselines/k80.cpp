@@ -1,0 +1,57 @@
+#include "baselines/k80.h"
+
+#include <algorithm>
+
+#include "baselines/cpu_spmv.h"
+#include "util/check.h"
+
+namespace serpens::baselines {
+
+K80Model::K80Model(K80Config config) : config_(config)
+{
+    SERPENS_CHECK(config_.eff_max > 0.0 && config_.eff_max <= 1.0,
+                  "eff_max must lie in (0, 1]");
+    SERPENS_CHECK(config_.half_saturation_nnz > 0.0,
+                  "half-saturation NNZ must be positive");
+}
+
+std::vector<float> K80Model::spmv(const sparse::CsrMatrix& a,
+                                  std::span<const float> x,
+                                  std::span<const float> y, float alpha,
+                                  float beta) const
+{
+    std::vector<float> out(y.begin(), y.end());
+    spmv_csr(a, x, out, alpha, beta);
+    return out;
+}
+
+std::uint64_t K80Model::traffic_bytes(std::uint64_t rows, std::uint64_t cols,
+                                      std::uint64_t nnz)
+{
+    // CSR value (4B) + column index (4B) per nnz; row pointers (4B);
+    // x once; y read + write.
+    return nnz * 8 + (rows + 1) * 4 + cols * 4 + rows * 8;
+}
+
+double K80Model::effective_bandwidth_gbps(std::uint64_t nnz,
+                                          double row_imbalance_cv) const
+{
+    const double n = static_cast<double>(nnz);
+    const double saturation = n / (n + config_.half_saturation_nnz);
+    const double penalty =
+        1.0 + config_.imbalance_penalty * std::min(row_imbalance_cv, 3.0);
+    return config_.bandwidth_gbps * config_.eff_max * saturation / penalty;
+}
+
+double K80Model::estimate_spmv_ms(std::uint64_t rows, std::uint64_t cols,
+                                  std::uint64_t nnz,
+                                  double row_imbalance_cv) const
+{
+    const double bytes =
+        static_cast<double>(traffic_bytes(rows, cols, nnz));
+    const double bw = effective_bandwidth_gbps(nnz, row_imbalance_cv);
+    const double transfer_ms = bytes / (bw * 1e9) * 1e3;
+    return transfer_ms + config_.launch_overhead_us / 1e3;
+}
+
+} // namespace serpens::baselines

@@ -1,0 +1,64 @@
+// Nvidia Tesla K80 / cuSPARSE csrmv baseline (paper §4.1.1, §4.3, Fig. 3).
+//
+// An analytic roofline model of csrmv on the K80 board (562 MHz boost,
+// 480 GB/s aggregate board bandwidth, 130 W), with the three effects that
+// shape the paper's Figure 3 curve:
+//   1. kernel-launch / driver overhead dominating small matrices
+//      (throughput rises linearly with NNZ at the bottom-left);
+//   2. NNZ-dependent effective bandwidth saturating toward ~27% of the
+//      board peak (csrmv is single-die and irregular; the paper's K80
+//      tops out at 29.1 GFLOP/s, i.e. ~120 GB/s effective);
+//   3. a row-imbalance penalty (scalar/vector csrmv rows map to warps).
+//
+// Functional results come from the CPU reference kernel; only the timing is
+// modeled.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sparse/csr.h"
+
+namespace serpens::baselines {
+
+struct K80Config {
+    double frequency_mhz = 562.0;
+    double power_w = 130.0;
+    double bandwidth_gbps = 480.0;  // board peak (Table 2)
+    double eff_max = 0.27;          // asymptotic fraction of board peak
+    double half_saturation_nnz = 2e5;
+    double launch_overhead_us = 15.0;
+    double imbalance_penalty = 0.4; // per unit of row-length CV
+};
+
+class K80Model {
+public:
+    explicit K80Model(K80Config config = {});
+
+    const K80Config& config() const { return config_; }
+
+    // Functional SpMV (CPU reference semantics).
+    std::vector<float> spmv(const sparse::CsrMatrix& a,
+                            std::span<const float> x,
+                            std::span<const float> y, float alpha = 1.0f,
+                            float beta = 0.0f) const;
+
+    // Bytes csrmv moves: CSR values+indices, row pointers, x, y in/out.
+    static std::uint64_t traffic_bytes(std::uint64_t rows, std::uint64_t cols,
+                                       std::uint64_t nnz);
+
+    // Effective bandwidth at a given NNZ (GB/s).
+    double effective_bandwidth_gbps(std::uint64_t nnz,
+                                    double row_imbalance_cv) const;
+
+    // Modeled csrmv execution time.
+    double estimate_spmv_ms(std::uint64_t rows, std::uint64_t cols,
+                            std::uint64_t nnz,
+                            double row_imbalance_cv = 0.0) const;
+
+private:
+    K80Config config_;
+};
+
+} // namespace serpens::baselines

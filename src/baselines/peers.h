@@ -1,0 +1,25 @@
+// Published peer accelerators for the paper's Table 7 comparison.
+// These are real-execution SpMV systems; the paper cites their bandwidth
+// and peak performance directly, so we carry them as constants.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+namespace serpens::baselines {
+
+struct PeerAccelerator {
+    std::string_view name;
+    double bandwidth_gbps;
+    double peak_gflops;
+};
+
+// [11] Du et al., FPGA'22 (HiSparse); [25] Sadi et al., MICRO'19;
+// [13] SparseP, SIGMETRICS'22 (real PIM system).
+inline constexpr std::array<PeerAccelerator, 3> kPeerAccelerators{{
+    {"Du et al. [11]", 258.0, 25.0},
+    {"Sadi et al. [25]", 357.0, 34.0},
+    {"SparseP [13]", 1770.0, 4.66},
+}};
+
+} // namespace serpens::baselines

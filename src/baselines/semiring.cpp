@@ -1,0 +1,63 @@
+#include "baselines/semiring.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace serpens::baselines {
+
+using sparse::index_t;
+using sparse::nnz_t;
+
+float semiring_identity(SemiringKind kind)
+{
+    switch (kind) {
+    case SemiringKind::plus_times:
+        return 0.0f;
+    case SemiringKind::or_and:
+        return 0.0f;
+    case SemiringKind::min_plus:
+        return kMinPlusInf;
+    }
+    SERPENS_ASSERT(false, "unknown semiring");
+    return 0.0f;
+}
+
+void spmv_semiring(const sparse::CsrMatrix& a, std::span<const float> x,
+                   std::span<float> y, SemiringKind kind)
+{
+    SERPENS_CHECK(x.size() == a.cols(), "x length must equal matrix cols");
+    SERPENS_CHECK(y.size() == a.rows(), "y length must equal matrix rows");
+    for (index_t r = 0; r < a.rows(); ++r) {
+        float accum = semiring_identity(kind);
+        for (nnz_t i = a.row_begin(r); i < a.row_end(r); ++i) {
+            const float av = a.values()[i];
+            const float xv = x[a.col_idx()[i]];
+            switch (kind) {
+            case SemiringKind::plus_times:
+                accum += av * xv;
+                break;
+            case SemiringKind::or_and:
+                accum = (accum != 0.0f) || (av != 0.0f && xv != 0.0f) ? 1.0f : 0.0f;
+                break;
+            case SemiringKind::min_plus:
+                accum = std::min(accum, av + xv);
+                break;
+            }
+        }
+        y[r] = accum;
+    }
+}
+
+void spmv_semiring_masked(const sparse::CsrMatrix& a, std::span<const float> x,
+                          std::span<const float> mask, std::span<float> y,
+                          SemiringKind kind)
+{
+    SERPENS_CHECK(mask.size() == a.rows(), "mask length must equal matrix rows");
+    spmv_semiring(a, x, y, kind);
+    for (index_t r = 0; r < a.rows(); ++r)
+        if (mask[r] != 0.0f)
+            y[r] = semiring_identity(kind);
+}
+
+} // namespace serpens::baselines

@@ -1,0 +1,44 @@
+// Generalized (semiring) SpMV — the GraphBLAS-style substrate GraphLily's
+// overlay implements (paper §2.2).
+//
+// A semiring is (multiply, reduce, identity). GraphLily hardwires several
+// generalized-multiply/reduce instances and activates one per kernel; we
+// provide the three the paper names:
+//
+//   plus_times : classic SpMV          (reduce = +,   mult = *,   id = 0)
+//   or_and     : BFS frontier expansion (reduce = or, mult = and, id = false)
+//   min_plus   : SSSP relaxation        (reduce = min, mult = +,  id = +inf)
+#pragma once
+
+#include <limits>
+#include <span>
+
+#include "sparse/csr.h"
+
+namespace serpens::baselines {
+
+enum class SemiringKind {
+    plus_times,
+    or_and,
+    min_plus,
+};
+
+inline constexpr float kMinPlusInf = std::numeric_limits<float>::infinity();
+
+// Identity element of the semiring's reduction.
+float semiring_identity(SemiringKind kind);
+
+// y[r] = reduce over nnz(r) of mult(a[r][c], x[c]).
+// For or_and, values are interpreted as booleans (non-zero = true).
+void spmv_semiring(const sparse::CsrMatrix& a, std::span<const float> x,
+                   std::span<float> y, SemiringKind kind);
+
+// Masked variant (GraphBLAS-style complement mask): rows whose mask entry is
+// non-zero are *skipped* — y[r] keeps the semiring identity — which is how
+// frontier algorithms exclude already-settled vertices without a host-side
+// pass. mask.size() == rows.
+void spmv_semiring_masked(const sparse::CsrMatrix& a, std::span<const float> x,
+                          std::span<const float> mask, std::span<float> y,
+                          SemiringKind kind);
+
+} // namespace serpens::baselines

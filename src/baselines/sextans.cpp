@@ -1,0 +1,100 @@
+#include "baselines/sextans.h"
+
+#include <algorithm>
+
+#include "util/bitpack.h"
+#include "util/check.h"
+
+namespace serpens::baselines {
+
+using sparse::index_t;
+using sparse::nnz_t;
+
+SextansModel::SextansModel(SextansConfig config) : config_(config)
+{
+    SERPENS_CHECK(config_.frequency_mhz > 0.0, "frequency must be positive");
+    SERPENS_CHECK(config_.min_n >= 1, "min_n must be positive");
+    SERPENS_CHECK(config_.schedule_stretch >= 1.0,
+                  "schedule stretch cannot be below 1");
+}
+
+void SextansModel::spmm(const sparse::CsrMatrix& a, std::span<const float> b,
+                        std::span<float> c, unsigned n, float alpha,
+                        float beta) const
+{
+    SERPENS_CHECK(n >= 1, "SpMM width must be positive");
+    SERPENS_CHECK(b.size() == static_cast<std::size_t>(a.cols()) * n,
+                  "B must be cols x n");
+    SERPENS_CHECK(c.size() == static_cast<std::size_t>(a.rows()) * n,
+                  "C must be rows x n");
+    for (index_t r = 0; r < a.rows(); ++r) {
+        for (unsigned j = 0; j < n; ++j) {
+            float sum = 0.0f;
+            for (nnz_t i = a.row_begin(r); i < a.row_end(r); ++i)
+                sum += a.values()[i] * b[static_cast<std::size_t>(a.col_idx()[i]) * n + j];
+            float& out = c[static_cast<std::size_t>(r) * n + j];
+            out = alpha * sum + beta * out;
+        }
+    }
+}
+
+std::vector<float> SextansModel::spmv(const sparse::CsrMatrix& a,
+                                      std::span<const float> x,
+                                      std::span<const float> y, float alpha,
+                                      float beta) const
+{
+    SERPENS_CHECK(x.size() == a.cols(), "x length must equal matrix cols");
+    SERPENS_CHECK(y.size() == a.rows(), "y length must equal matrix rows");
+    const unsigned n = config_.min_n;
+
+    // B = [x | 0 | ... | 0]: the SpMV vector occupies column 0; the other
+    // columns are wasted work, exactly as in the paper's N=8 configuration.
+    std::vector<float> b(static_cast<std::size_t>(a.cols()) * n, 0.0f);
+    for (index_t k = 0; k < a.cols(); ++k)
+        b[static_cast<std::size_t>(k) * n] = x[k];
+
+    std::vector<float> c(static_cast<std::size_t>(a.rows()) * n, 0.0f);
+    for (index_t r = 0; r < a.rows(); ++r)
+        c[static_cast<std::size_t>(r) * n] = y[r];
+
+    spmm(a, b, c, n, alpha, beta);
+
+    std::vector<float> out(a.rows());
+    for (index_t r = 0; r < a.rows(); ++r)
+        out[r] = c[static_cast<std::size_t>(r) * n];
+    return out;
+}
+
+std::optional<double> SextansModel::estimate_spmm_ms(std::uint64_t rows,
+                                                     std::uint64_t cols,
+                                                     std::uint64_t nnz,
+                                                     unsigned n) const
+{
+    if (rows > config_.row_capacity)
+        return std::nullopt;
+    SERPENS_CHECK(n >= 1, "SpMM width must be positive");
+
+    const double lanes =
+        static_cast<double>(config_.a_channels) * config_.elems_per_channel;
+    // ceil(N/8) passes over the sparse stream; each element feeds 8 columns.
+    const double passes = static_cast<double>(ceil_div<std::uint64_t>(n, 8));
+    const double sparse_cycles =
+        static_cast<double>(nnz) / lanes * passes * config_.schedule_stretch;
+    // Dense B on 4 channels (16 floats/line each), C read+write on 8.
+    const double b_cycles =
+        static_cast<double>(cols) * n / (4.0 * 16.0);
+    const double c_cycles =
+        2.0 * static_cast<double>(rows) * n / (8.0 * 16.0);
+    const double cycles = std::max(sparse_cycles, b_cycles) + c_cycles;
+    return cycles / (config_.frequency_mhz * 1e3) +
+           config_.invocation_overhead_us / 1e3;
+}
+
+std::optional<double> SextansModel::estimate_spmv_ms(std::uint64_t rows,
+                                                     std::uint64_t cols,
+                                                     std::uint64_t nnz) const
+{
+    return estimate_spmm_ms(rows, cols, nnz, config_.min_n);
+}
+
+} // namespace serpens::baselines

@@ -1,0 +1,79 @@
+// Sextans baseline (paper §2.2, Table 5) — an HBM FPGA SpMM accelerator
+// (FPGA'22) that runs SpMV as a degenerate SpMM.
+//
+// Architecture, per its publication and the Serpens paper:
+//   - 8 HBM channels stream the sparse matrix (64 elements/cycle),
+//     4 channels dense B, 8 channels dense C, 1 instruction channel
+//     -> 29 channels, 417 GB/s utilized at 197 MHz, 52 W.
+//   - Each sparse element is shared with 8 dense columns, so SpMM(N) takes
+//     ceil(N/8) passes over the sparse stream.
+//   - Non-zero reordering at *row* granularity (no index coalescing).
+//   - The on-chip C buffer bounds the row count (~512K rows); matrices
+//     beyond it cannot run (the "-" entries of Table 4: G7, G9-G12).
+//   - SpMV = SpMM with N = 8 (the minimum), keeping column 0 only.
+//
+// The functional model computes real SpMM results; the performance model
+// reproduces the published architecture's cycle structure.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "sparse/csr.h"
+
+namespace serpens::baselines {
+
+struct SextansConfig {
+    double frequency_mhz = 197.0;
+    double power_w = 52.0;
+    double bandwidth_gbps = 417.0;     // 29 channels x 14.375 GB/s
+    unsigned a_channels = 8;           // sparse-matrix channels
+    unsigned elems_per_channel = 8;    // 512-bit bus
+    unsigned min_n = 8;                // minimum SpMM width; SpMV uses this
+    std::uint64_t row_capacity = 512 * 1024;  // on-chip C buffer rows
+    double schedule_stretch = 1.12;    // row-granularity reordering padding
+    double invocation_overhead_us = 3.0;
+};
+
+class SextansModel {
+public:
+    explicit SextansModel(SextansConfig config = {});
+
+    const SextansConfig& config() const { return config_; }
+
+    bool supports(const sparse::CsrMatrix& a) const
+    {
+        return a.rows() <= config_.row_capacity;
+    }
+
+    // Functional SpMM: C = alpha * A * B + beta * C, where B and C are
+    // dense row-major (K x n) and (M x n).
+    void spmm(const sparse::CsrMatrix& a, std::span<const float> b,
+              std::span<float> c, unsigned n, float alpha = 1.0f,
+              float beta = 0.0f) const;
+
+    // Functional SpMV via SpMM(N = min_n), retiring column 0 (paper §2.2).
+    std::vector<float> spmv(const sparse::CsrMatrix& a,
+                            std::span<const float> x,
+                            std::span<const float> y, float alpha = 1.0f,
+                            float beta = 0.0f) const;
+
+    // Modeled SpMM(N) execution time; nullopt if the matrix exceeds the
+    // on-chip row capacity.
+    std::optional<double> estimate_spmm_ms(std::uint64_t rows,
+                                           std::uint64_t cols,
+                                           std::uint64_t nnz,
+                                           unsigned n) const;
+
+    // Modeled SpMV time = SpMM(min_n) time.
+    std::optional<double> estimate_spmv_ms(std::uint64_t rows,
+                                           std::uint64_t cols,
+                                           std::uint64_t nnz) const;
+
+private:
+    SextansConfig config_;
+};
+
+} // namespace serpens::baselines

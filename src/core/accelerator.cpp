@@ -1,0 +1,83 @@
+#include "core/accelerator.h"
+
+#include "core/analytic.h"
+#include "encode/instructions.h"
+
+namespace serpens::core {
+
+Accelerator::Accelerator(SerpensConfig config) : config_(config)
+{
+    config_.arch.validate();
+    SERPENS_CHECK(config_.frequency_mhz > 0.0, "frequency must be positive");
+    SERPENS_CHECK(config_.power_w > 0.0, "power must be positive");
+    SERPENS_CHECK(config_.hbm.stream_efficiency > 0.0 &&
+                      config_.hbm.stream_efficiency <= 1.0,
+                  "stream efficiency must lie in (0, 1]");
+}
+
+PreparedMatrix Accelerator::prepare(const sparse::CooMatrix& m) const
+{
+    return PreparedMatrix(encode::encode_matrix(m, config_.arch));
+}
+
+double Accelerator::cycles_to_ms(const sim::CycleStats& s) const
+{
+    // The A-stream is the only multi-channel burst consumer; streaming
+    // efficiency stretches its cycles. Vector streams are single sequential
+    // channels and run at full rate.
+    const double compute =
+        static_cast<double>(s.compute_cycles) / config_.hbm.stream_efficiency;
+    const double cycles = compute + static_cast<double>(s.x_load_cycles) +
+                          static_cast<double>(s.y_phase_cycles) +
+                          static_cast<double>(s.fill_cycles);
+    return cycles / (config_.frequency_mhz * 1e3) +
+           config_.invocation_overhead_us / 1e3;
+}
+
+RunResult Accelerator::run(const PreparedMatrix& prepared,
+                           std::span<const float> x, std::span<const float> y,
+                           float alpha, float beta) const
+{
+    sim::SimOptions options;
+    options.fill_per_segment = config_.fill_per_segment;
+    options.fill_y_phase = config_.fill_y_phase;
+    options.double_buffer_x = config_.double_buffer_x;
+
+    sim::SimResult sim = sim::simulate_spmv(prepared.image(), x, y, alpha,
+                                            beta, options);
+
+    RunResult result;
+    result.time_ms = cycles_to_ms(sim.cycles);
+    result.metrics = analysis::Metrics::from_run(
+        prepared.nnz(), result.time_ms, config_.utilized_bandwidth_gbps(),
+        config_.power_w);
+    result.cycles = sim.cycles;
+    result.y = std::move(sim.y);
+    return result;
+}
+
+std::vector<std::uint32_t> Accelerator::compile_program(
+    const PreparedMatrix& prepared, float alpha, float beta) const
+{
+    return encode::build_instructions(prepared.image(), alpha, beta);
+}
+
+RunResult Accelerator::run_program(const PreparedMatrix& prepared,
+                                   std::span<const std::uint32_t> program,
+                                   std::span<const float> x,
+                                   std::span<const float> y) const
+{
+    const encode::ControlProgram decoded = encode::decode_instructions(
+        program, prepared.image().params().ha_channels);
+    encode::validate_program(decoded, prepared.image());
+    return run(prepared, x, y, decoded.alpha, decoded.beta);
+}
+
+double Accelerator::estimate_time_ms(std::uint64_t rows, std::uint64_t cols,
+                                     std::uint64_t nnz,
+                                     double padding_ratio) const
+{
+    return core::estimate_time_ms(config_, rows, cols, nnz, padding_ratio);
+}
+
+} // namespace serpens::core

@@ -1,0 +1,103 @@
+// The Serpens accelerator facade — the library's primary public API.
+//
+//   serpens::core::Accelerator acc(SerpensConfig::a16());
+//   auto prepared = acc.prepare(matrix);          // offline format conversion
+//   auto result   = acc.run(prepared, x, y, alpha, beta);
+//   result.y, result.time_ms, result.metrics ...
+//
+// `prepare` performs the paper's preprocessing (segmentation, PE
+// distribution, index coalescing, non-zero reordering) once; `run` executes
+// the cycle-level simulation and derives wall-clock time and the paper's
+// metrics from the configured operating point. A prepared matrix can be run
+// many times with different vectors, exactly like a real device buffer.
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "analysis/metrics.h"
+#include "core/config.h"
+#include "encode/image.h"
+#include "sim/simulator.h"
+
+namespace serpens::core {
+
+class PreparedMatrix {
+public:
+    const encode::SerpensImage& image() const { return *image_; }
+    sparse::index_t rows() const { return image_->rows(); }
+    sparse::index_t cols() const { return image_->cols(); }
+    sparse::nnz_t nnz() const { return image_->stats().nnz; }
+    const encode::EncodeStats& encode_stats() const { return image_->stats(); }
+
+    // Wrap an image obtained elsewhere (e.g. encode::load_image_file).
+    static PreparedMatrix from_image(encode::SerpensImage image)
+    {
+        return PreparedMatrix(std::move(image));
+    }
+
+private:
+    friend class Accelerator;
+    explicit PreparedMatrix(encode::SerpensImage image)
+        : image_(std::make_unique<encode::SerpensImage>(std::move(image)))
+    {
+    }
+
+    std::unique_ptr<encode::SerpensImage> image_;
+};
+
+struct RunResult {
+    std::vector<float> y;
+    sim::CycleStats cycles;
+    double time_ms = 0.0;            // modeled wall-clock time
+    analysis::Metrics metrics;       // the paper's Table 4 metrics
+};
+
+class Accelerator {
+public:
+    explicit Accelerator(SerpensConfig config);
+
+    const SerpensConfig& config() const { return config_; }
+
+    // Offline preprocessing. Throws CapacityError when the matrix exceeds
+    // the on-chip row capacity (paper Eq. 3).
+    PreparedMatrix prepare(const sparse::CooMatrix& m) const;
+
+    // Execute y = alpha * A * x + beta * y. x.size() == cols,
+    // y.size() == rows.
+    RunResult run(const PreparedMatrix& prepared, std::span<const float> x,
+                  std::span<const float> y, float alpha = 1.0f,
+                  float beta = 0.0f) const;
+
+    // Compile the 32-bit control program for a prepared matrix (the paper's
+    // instruction channel; Table 1/5).
+    std::vector<std::uint32_t> compile_program(const PreparedMatrix& prepared,
+                                               float alpha, float beta) const;
+
+    // Execute through the instruction path: decode the program with the
+    // device FSM, cross-validate it against the image, then run with the
+    // program's alpha/beta. Throws encode::InstructionError on any
+    // malformed or mismatched stream.
+    RunResult run_program(const PreparedMatrix& prepared,
+                          std::span<const std::uint32_t> program,
+                          std::span<const float> x,
+                          std::span<const float> y) const;
+
+    // Closed-form full-size estimate (no encode/simulate), for matrices too
+    // large to simulate; `padding_ratio` can carry a measured value from a
+    // scaled run.
+    double estimate_time_ms(std::uint64_t rows, std::uint64_t cols,
+                            std::uint64_t nnz, double padding_ratio = 0.0) const;
+
+    // Row capacity of this configuration.
+    std::uint64_t row_capacity() const { return config_.arch.row_capacity(); }
+
+private:
+    // Convert a simulated cycle count into modeled wall-clock milliseconds
+    // (HBM streaming efficiency + invocation overhead).
+    double cycles_to_ms(const sim::CycleStats& s) const;
+
+    SerpensConfig config_;
+};
+
+} // namespace serpens::core

@@ -1,0 +1,61 @@
+#include "core/analytic.h"
+
+#include "util/bitpack.h"
+
+namespace serpens::core {
+
+std::uint64_t brams_required(const encode::EncodeParams& p)
+{
+    return 32ULL * p.ha_channels;
+}
+
+std::uint64_t urams_required(const encode::EncodeParams& p)
+{
+    return 8ULL * p.ha_channels * p.urams_per_pe;
+}
+
+std::uint64_t row_capacity(const encode::EncodeParams& p)
+{
+    return p.row_capacity();
+}
+
+std::uint64_t ideal_cycles(const encode::EncodeParams& p, std::uint64_t rows,
+                           std::uint64_t cols, std::uint64_t nnz)
+{
+    const std::uint64_t vector_cycles =
+        ceil_div<std::uint64_t>(rows, 16) + ceil_div<std::uint64_t>(cols, 16);
+    const std::uint64_t compute_cycles =
+        ceil_div<std::uint64_t>(nnz, 8ULL * p.ha_channels);
+    return vector_cycles + compute_cycles;
+}
+
+double ideal_time_ms(const SerpensConfig& c, std::uint64_t rows,
+                     std::uint64_t cols, std::uint64_t nnz)
+{
+    const double cycles =
+        static_cast<double>(ideal_cycles(c.arch, rows, cols, nnz));
+    return cycles / (c.frequency_mhz * 1e3);
+}
+
+double estimate_time_ms(const SerpensConfig& c, std::uint64_t rows,
+                        std::uint64_t cols, std::uint64_t nnz,
+                        double padding_ratio)
+{
+    SERPENS_CHECK(padding_ratio >= 0.0 && padding_ratio < 1.0,
+                  "padding ratio must lie in [0, 1)");
+    const double vector_cycles =
+        static_cast<double>(ceil_div<std::uint64_t>(rows, 16) +
+                            ceil_div<std::uint64_t>(cols, 16));
+    // Padding inflates the slot count: slots = nnz / (1 - padding_ratio).
+    const double slots = static_cast<double>(nnz) / (1.0 - padding_ratio);
+    const double compute_cycles =
+        slots / (8.0 * c.arch.ha_channels) / c.hbm.stream_efficiency;
+    const double segments =
+        static_cast<double>(ceil_div<std::uint64_t>(cols, c.arch.window));
+    const double fill_cycles =
+        segments * c.fill_per_segment + c.fill_y_phase;
+    const double cycles = vector_cycles + compute_cycles + fill_cycles;
+    return cycles / (c.frequency_mhz * 1e3) + c.invocation_overhead_us / 1e3;
+}
+
+} // namespace serpens::core

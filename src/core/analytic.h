@@ -1,0 +1,43 @@
+// The paper's closed-form resource and performance models (§3.5).
+//
+//   Eq. 1: #BRAMs     = 32 * HA
+//   Eq. 2: #URAMs     = 8 * HA * U
+//   Eq. 3: row depth  = 16 * HA * U * D        (with index coalescing)
+//   Eq. 4: #cycles    = (M + K) / 16 + NNZ / (8 * HA)
+//
+// `estimate_time_ms` extends Eq. 4 with the explicitly modeled deviations
+// (HBM streaming efficiency, per-segment pipeline fills, invocation
+// overhead, measured padding ratio) so benches can report a full-size
+// estimate next to the scaled simulation.
+#pragma once
+
+#include <cstdint>
+
+#include "core/config.h"
+
+namespace serpens::core {
+
+// Eq. 1 — BRAM36s consumed by the PE array's x-segment copies.
+std::uint64_t brams_required(const encode::EncodeParams& p);
+
+// Eq. 2 — URAMs across all PEs.
+std::uint64_t urams_required(const encode::EncodeParams& p);
+
+// Eq. 3 — on-chip accumulation row capacity (halves without coalescing).
+std::uint64_t row_capacity(const encode::EncodeParams& p);
+
+// Eq. 4 — ideal cycle count (no padding, no overheads), with exact ceils.
+std::uint64_t ideal_cycles(const encode::EncodeParams& p, std::uint64_t rows,
+                           std::uint64_t cols, std::uint64_t nnz);
+
+// Ideal time from Eq. 4 at the configured frequency (no overheads).
+double ideal_time_ms(const SerpensConfig& c, std::uint64_t rows,
+                     std::uint64_t cols, std::uint64_t nnz);
+
+// Full performance-model time: Eq. 4 + padding stretch + HBM streaming
+// efficiency on the A-stream + pipeline fills + invocation overhead.
+double estimate_time_ms(const SerpensConfig& c, std::uint64_t rows,
+                        std::uint64_t cols, std::uint64_t nnz,
+                        double padding_ratio = 0.0);
+
+} // namespace serpens::core

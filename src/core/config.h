@@ -1,0 +1,70 @@
+// Top-level Serpens accelerator configuration.
+//
+// Bundles the architecture parameters (encode::EncodeParams — Table 1 of the
+// paper), the physical operating point (frequency/power — Table 2), and the
+// calibration constants of the performance model. The two published design
+// points are available as presets:
+//
+//   SerpensConfig::a16(): 16 A-channels + 3 vector channels = 19 HBM
+//       channels, 273 GB/s, 223 MHz, 48 W       (paper §3.1.1, Table 2)
+//   SerpensConfig::a24(): 24 + 3 = 27 channels, 388 GB/s, 270 MHz
+//       (paper §4.4; power interpolated at 52 W — the paper gives none)
+#pragma once
+
+#include "encode/mapping.h"
+#include "hbm/spec.h"
+
+namespace serpens::core {
+
+struct SerpensConfig {
+    encode::EncodeParams arch;   // HA, PEs/channel, U, D, W, T, coalescing
+    hbm::HbmSpec hbm;            // per-channel bandwidth & stream efficiency
+
+    double frequency_mhz = 223.0;
+    double power_w = 48.0;
+    unsigned vector_channels = 3;     // x, y_in, y_out (paper §3.1.1)
+    // Extension experiment: double-buffer the x-segment BRAMs to overlap
+    // RdX with compute (bench_ablation_overlap). Off = published design.
+    bool double_buffer_x = false;
+    unsigned fill_per_segment = 48;   // pipeline fill cycles per segment
+    unsigned fill_y_phase = 48;
+    double invocation_overhead_us = 3.0;  // host->device kickoff latency
+
+    static SerpensConfig a16()
+    {
+        SerpensConfig c;
+        c.arch.ha_channels = 16;
+        c.frequency_mhz = 223.0;
+        c.power_w = 48.0;
+        return c;
+    }
+
+    static SerpensConfig a24()
+    {
+        SerpensConfig c;
+        c.arch.ha_channels = 24;
+        c.frequency_mhz = 270.0;  // paper §4.4 (TAPA + AutoBridge closure)
+        c.power_w = 52.0;
+        // Lateral-channel congestion: with 27 of 32 HBM channels active, the
+        // switch network sustains a lower per-channel rate (the same effect
+        // that made vanilla Vitis fail P&R, §4.4). Calibrated so the model
+        // reproduces the paper's A24/A16 speedup of ~1.36x rather than the
+        // ideal 1.81x.
+        c.hbm.stream_efficiency = 0.62;
+        return c;
+    }
+
+    unsigned total_hbm_channels() const
+    {
+        return arch.ha_channels + vector_channels;
+    }
+
+    // Paper-style "utilized bandwidth": channels x per-channel GB/s
+    // (A16: 19 x 14.375 = 273 GB/s; A24: 27 x 14.375 = 388 GB/s).
+    double utilized_bandwidth_gbps() const
+    {
+        return hbm.utilized_gbps(static_cast<int>(total_hbm_channels()));
+    }
+};
+
+} // namespace serpens::core

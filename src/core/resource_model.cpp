@@ -1,0 +1,44 @@
+#include "core/resource_model.h"
+
+#include "core/analytic.h"
+
+namespace serpens::core {
+
+namespace {
+
+// Calibrated so HA=16, U=3 lands on the paper's Table 6 row for Serpens.
+constexpr std::uint64_t kLutPerPe = 700;
+constexpr std::uint64_t kLutBase = 83'400;
+constexpr std::uint64_t kFfPerPe = 1'800;
+constexpr std::uint64_t kFfBase = 96'600;
+constexpr std::uint64_t kDspPerPe = 5;   // 3 (FP32 mul) + 2 (FP32 acc)
+constexpr std::uint64_t kDspCompY = 80;  // 16 lanes x 5
+constexpr std::uint64_t kBramBase = 143; // vector buffers + AXI FIFOs + shell
+
+} // namespace
+
+ResourceEstimate estimate_resources(const SerpensConfig& c,
+                                    const U280Resources& device)
+{
+    const std::uint64_t pes = c.arch.total_pes();
+
+    ResourceEstimate r;
+    r.luts = kLutPerPe * pes + kLutBase;
+    r.ffs = kFfPerPe * pes + kFfBase;
+    r.dsps = kDspPerPe * pes + kDspCompY;
+    // Double-buffered x segments need a second set of x-buffer BRAMs.
+    r.brams = brams_required(c.arch) * (c.double_buffer_x ? 2 : 1) + kBramBase;
+    r.urams = urams_required(c.arch);
+
+    const auto pct = [](std::uint64_t used, std::uint64_t avail) {
+        return 100.0 * static_cast<double>(used) / static_cast<double>(avail);
+    };
+    r.lut_pct = pct(r.luts, device.luts);
+    r.ff_pct = pct(r.ffs, device.ffs);
+    r.dsp_pct = pct(r.dsps, device.dsps);
+    r.bram_pct = pct(r.brams, device.brams);
+    r.uram_pct = pct(r.urams, device.urams);
+    return r;
+}
+
+} // namespace serpens::core

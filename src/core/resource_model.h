@@ -1,0 +1,47 @@
+// FPGA resource model (paper Table 6 and §3.5).
+//
+// BRAM/URAM counts come from the paper's Eq. 1/2 plus an infrastructure
+// constant (vector buffers, AXI FIFOs, the Vitis shell interface); LUT/FF/
+// DSP scale linearly in the PE count with coefficients calibrated so the
+// model reproduces the paper's published Serpens-A16 utilization exactly:
+//
+//   LUT 173K (15%)  FF 327K (14%)  DSP 720 (8%)  BRAM 655 (36%)  URAM 384 (40%)
+//
+// Per-PE structure: 5 DSPs (3 for the FP32 multiplier, 2 for the
+// accumulator), ~700 LUTs, ~1800 FFs; CompY adds 16 lanes x 5 DSPs = 80.
+// "Available" totals are the paper-implied post-shell counts on the U280.
+#pragma once
+
+#include <cstdint>
+
+#include "core/config.h"
+
+namespace serpens::core {
+
+struct ResourceEstimate {
+    std::uint64_t luts = 0;
+    std::uint64_t ffs = 0;
+    std::uint64_t dsps = 0;
+    std::uint64_t brams = 0;  // BRAM36 units
+    std::uint64_t urams = 0;
+
+    double lut_pct = 0.0;
+    double ff_pct = 0.0;
+    double dsp_pct = 0.0;
+    double bram_pct = 0.0;
+    double uram_pct = 0.0;
+};
+
+// U280 available resources as implied by the paper's Table 6 percentages.
+struct U280Resources {
+    std::uint64_t luts = 1'153'000;
+    std::uint64_t ffs = 2'336'000;
+    std::uint64_t dsps = 9'024;
+    std::uint64_t brams = 1'819;
+    std::uint64_t urams = 960;
+};
+
+ResourceEstimate estimate_resources(const SerpensConfig& c,
+                                    const U280Resources& device = {});
+
+} // namespace serpens::core

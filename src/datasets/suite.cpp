@@ -1,0 +1,83 @@
+#include "datasets/suite.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "sparse/generators.h"
+#include "datasets/table3.h"
+#include "util/bitpack.h"
+#include "util/rng.h"
+
+namespace serpens::datasets {
+
+using sparse::index_t;
+using sparse::nnz_t;
+
+std::vector<SuiteRecipe> sample_suite(const SuiteSpec& spec)
+{
+    SERPENS_CHECK(spec.count > 0, "collection must be non-empty");
+    SERPENS_CHECK(spec.min_nnz >= 16 && spec.min_nnz < spec.max_nnz,
+                  "invalid nnz range");
+    Rng rng(spec.seed);
+    std::vector<SuiteRecipe> recipes;
+    recipes.reserve(spec.count);
+
+    const double log_lo = std::log(static_cast<double>(spec.min_nnz));
+    const double log_hi = std::log(static_cast<double>(spec.max_nnz));
+
+    for (std::size_t i = 0; i < spec.count; ++i) {
+        const double nnz_d = std::exp(log_lo + rng.next_double() * (log_hi - log_lo));
+        const auto nnz = static_cast<nnz_t>(nnz_d);
+
+        // Density log-uniform in [1e-5, 0.3], then n = sqrt(nnz / density),
+        // clamped so the matrix is neither over-dense nor over-large.
+        const double density =
+            std::exp(std::log(1e-5) + rng.next_double() * (std::log(0.3) - std::log(1e-5)));
+        double n_d = std::sqrt(nnz_d / density);
+        n_d = std::clamp(n_d, std::ceil(std::sqrt(nnz_d / 0.5)),
+                         static_cast<double>(spec.max_dim));
+        const auto n = std::max<index_t>(24, static_cast<index_t>(n_d));
+
+        const double kind_draw = rng.next_double();
+        SuiteKind kind = SuiteKind::uniform;
+        if (kind_draw > 0.5 && kind_draw <= 0.8)
+            kind = SuiteKind::rmat;
+        else if (kind_draw > 0.8)
+            kind = SuiteKind::banded;
+
+        const char* kind_name = kind == SuiteKind::uniform  ? "uni"
+                                : kind == SuiteKind::rmat   ? "rmat"
+                                                            : "band";
+        recipes.push_back({"S" + std::to_string(i) + "-" + kind_name, n, nnz,
+                           kind, rng.next_u64()});
+    }
+    return recipes;
+}
+
+sparse::CooMatrix realize(const SuiteRecipe& r)
+{
+    switch (r.kind) {
+    case SuiteKind::uniform:
+        return sparse::make_uniform_random(r.n, r.n, std::min<nnz_t>(r.nnz,
+                                           static_cast<nnz_t>(r.n) * r.n),
+                                           r.seed);
+    case SuiteKind::rmat: {
+        const unsigned scale =
+            std::max(1u, static_cast<unsigned>(
+                             std::bit_width(static_cast<std::uint64_t>(r.n) - 1)));
+        const nnz_t per_vertex =
+            std::max<nnz_t>(1, ceil_div<nnz_t>(r.nnz, nnz_t{1} << scale));
+        return fold_square(sparse::make_rmat(scale, per_vertex, r.seed), r.n);
+    }
+    case SuiteKind::banded: {
+        const index_t band = std::clamp<index_t>(
+            static_cast<index_t>(r.nnz / r.n), 1, r.n);
+        return sparse::make_banded(r.n, band, r.seed);
+    }
+    }
+    SERPENS_ASSERT(false, "unknown suite kind");
+    return sparse::CooMatrix(1, 1);
+}
+
+} // namespace serpens::datasets

@@ -1,0 +1,42 @@
+// SuiteSparse-like synthetic collection (paper Table 3, bottom; Figure 3).
+//
+// The paper evaluates 2,519 SuiteSparse matrices with NNZ in [1000, 89.3M],
+// rows/cols in [24, 3M], and density in [8.75e-7, 1]. This sampler draws a
+// deterministic collection spanning the same ranges (log-uniform in NNZ and
+// density, mixed structure kinds) so Figure 3's throughput-vs-NNZ scatter
+// can be regenerated at any collection size.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sparse/coo.h"
+
+namespace serpens::datasets {
+
+enum class SuiteKind { uniform, rmat, banded };
+
+struct SuiteRecipe {
+    std::string tag;   // "S0042-rmat" style label
+    sparse::index_t n; // square dimension
+    sparse::nnz_t nnz; // target non-zeros
+    SuiteKind kind;
+    std::uint64_t seed;
+};
+
+struct SuiteSpec {
+    std::size_t count = 160;
+    sparse::nnz_t min_nnz = 1'000;
+    sparse::nnz_t max_nnz = 10'000'000;
+    sparse::index_t max_dim = 2'500'000;
+    std::uint64_t seed = 20220710;  // DAC'22 opened July 10
+};
+
+// Draw the collection recipes (cheap; no matrices are built yet).
+std::vector<SuiteRecipe> sample_suite(const SuiteSpec& spec);
+
+// Materialize one recipe.
+sparse::CooMatrix realize(const SuiteRecipe& recipe);
+
+} // namespace serpens::datasets

@@ -1,0 +1,87 @@
+// The paper's evaluation matrices (Table 3) as synthetic stand-ins.
+//
+// The twelve large matrices/graphs come from SNAP, OGB, and SuiteSparse,
+// which are not available offline; each is replaced by a deterministic
+// generator of the same structural family with matched row count and NNZ
+// (see DESIGN.md §2). `realize` accepts a scale divisor so the bench suite
+// can run the whole table at 1/16 scale in minutes while benches also print
+// analytic full-size estimates.
+//
+// Paper-published Table 4 execution times (and Table 8 A24 throughputs) are
+// carried alongside so every bench can print paper-vs-measured columns.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sparse/coo.h"
+
+namespace serpens::datasets {
+
+using sparse::CooMatrix;
+using sparse::index_t;
+using sparse::nnz_t;
+
+enum class MatrixKind {
+    social_rmat,    // power-law social graph (soc_pokec)
+    citation_rmat,  // flatter power-law (ogbl_ppa, ogbn_products)
+    community,      // overlapping consecutive-id cliques + power-law hubs
+                    // (googleplus ego networks, coPapersCiteseer clique
+                    // expansion, hollywood movie cliques)
+    fem_banded,     // FEM/stencil band structure (crankseg_2, ML_Laplace, ...)
+    gene_dense,     // dense-ish uniform random (mouse_gene)
+    power_block,    // dense blocks on a sparse skeleton (TSOPF_RS_b2383)
+};
+
+struct PaperTimes {
+    double sextans_ms;    // NaN where the paper reports "-" (unsupported)
+    double graphlily_ms;
+    double serpens_a16_ms;
+    double serpens_a24_gflops;  // Table 8
+};
+
+struct MatrixSpec {
+    std::string id;    // "G1" ... "G12"
+    std::string name;  // original matrix name
+    index_t rows;      // vertices (square matrices)
+    nnz_t nnz;         // edges / non-zeros
+    MatrixKind kind;
+    // Maximum row degree as a fraction of NNZ, measured on the real dataset
+    // (0 = uncapped). R-MAT at reduced scale produces relatively far heavier
+    // hubs than the graphs it stands in for; realize() redistributes the
+    // excess so the stand-in's degree skew matches the original.
+    double max_row_frac;
+    // community kind only: mean clique size and background fraction.
+    sparse::index_t clique;
+    double background;
+    PaperTimes paper;
+};
+
+// The twelve large matrices of Table 3 with the paper's published results.
+const std::vector<MatrixSpec>& twelve_large();
+
+// Build the synthetic stand-in at 1/scale_div size (scale_div = 1 for full).
+// Deterministic in (spec.id, seed).
+CooMatrix realize(const MatrixSpec& spec, unsigned scale_div,
+                  std::uint64_t seed = 2022);
+
+// Fold a matrix onto an n x n grid (index modulo), coalescing duplicates.
+// Used to give R-MAT stand-ins exact non-power-of-two dimensions.
+CooMatrix fold_square(const CooMatrix& m, index_t n);
+
+// Redistribute the excess non-zeros of rows heavier than `cap` onto
+// deterministic pseudo-random rows (columns unchanged). Keeps NNZ (up to
+// coalescing) while bounding the degree skew.
+CooMatrix cap_row_degree(const CooMatrix& m, nnz_t cap, std::uint64_t seed);
+
+// Relocate random non-zeros into a few giant "hub" rows (columns unchanged),
+// one hub per entry of `fracs` with degree ~ frac * nnz. Models the massive
+// in-degree celebrities of ego-network crawls: a hub row's per-segment
+// URAM-address bucket bounds the schedule at T * bucket slots, which is the
+// mechanism that makes the real googleplus hard for Serpens (the one matrix
+// where GraphLily wins in Table 4).
+CooMatrix inject_hub_rows(const CooMatrix& m, std::span<const double> fracs,
+                          std::uint64_t seed);
+
+} // namespace serpens::datasets

@@ -1,0 +1,130 @@
+#include "encode/image.h"
+
+#include <algorithm>
+
+#include "encode/schedule.h"
+#include "util/bitpack.h"
+
+namespace serpens::encode {
+
+SerpensImage::SerpensImage(EncodeParams params, index_t rows, index_t cols)
+    : params_(params), rows_(rows), cols_(cols)
+{
+    num_segments_ = static_cast<unsigned>(ceil_div<index_t>(cols, params_.window));
+    streams_.reserve(params_.ha_channels);
+    for (unsigned c = 0; c < params_.ha_channels; ++c)
+        streams_.emplace_back("A" + std::to_string(c));
+    seg_lines_.assign(params_.ha_channels,
+                      std::vector<std::uint32_t>(num_segments_, 0));
+}
+
+std::uint32_t SerpensImage::segment_depth(unsigned s) const
+{
+    std::uint32_t depth = 0;
+    for (unsigned c = 0; c < channels(); ++c)
+        depth = std::max(depth, seg_lines_[c][s]);
+    return depth;
+}
+
+SerpensImage encode_matrix(const sparse::CooMatrix& m, const EncodeParams& params)
+{
+    params.validate();
+    SERPENS_CHECK(m.rows() > 0 && m.cols() > 0, "matrix must be non-empty");
+    if (m.rows() > params.row_capacity())
+        throw CapacityError(
+            "matrix rows (" + std::to_string(m.rows()) +
+            ") exceed on-chip accumulator capacity (" +
+            std::to_string(params.row_capacity()) +
+            "); increase HA/U or enable index coalescing");
+
+    SerpensImage img(params, m.rows(), m.cols());
+    const RowMapping mapping(params);
+    const unsigned lanes = params.pes_per_channel;
+    const unsigned channels = params.ha_channels;
+    const unsigned segments = img.num_segments();
+
+    // Bucket elements by (segment, channel, lane). Stable order within a
+    // bucket keeps encoding deterministic.
+    struct LaneElem {
+        std::uint32_t addr;
+        bool half;
+        std::uint32_t col_off;
+        float val;
+    };
+    std::vector<std::vector<LaneElem>> buckets(
+        static_cast<std::size_t>(segments) * channels * lanes);
+
+    const auto bucket_index = [&](unsigned seg, unsigned ch, unsigned lane) {
+        return (static_cast<std::size_t>(seg) * channels + ch) * lanes + lane;
+    };
+
+    for (const sparse::Triplet& t : m.elements()) {
+        const PeLocation loc = mapping.locate(t.row);
+        SERPENS_ASSERT(loc.addr < params.addrs_per_pe(),
+                       "row maps beyond the PE URAM space");
+        const unsigned seg = t.col / params.window;
+        const std::uint32_t col_off = t.col % params.window;
+        const unsigned ch = loc.pe / lanes;
+        const unsigned lane = loc.pe % lanes;
+        buckets[bucket_index(seg, ch, lane)].push_back(
+            {loc.addr, loc.half, col_off, t.val});
+    }
+
+    EncodeStats stats;
+    stats.nnz = m.nnz();
+    stats.num_segments = segments;
+
+    std::vector<std::vector<EncodedElement>> lane_slots(lanes);
+    std::vector<std::uint32_t> addrs;
+
+    for (unsigned seg = 0; seg < segments; ++seg) {
+        for (unsigned ch = 0; ch < channels; ++ch) {
+            std::size_t depth = 0;
+            for (unsigned lane = 0; lane < lanes; ++lane) {
+                const auto& bucket = buckets[bucket_index(seg, ch, lane)];
+                addrs.clear();
+                addrs.reserve(bucket.size());
+                for (const LaneElem& e : bucket)
+                    addrs.push_back(e.addr);
+                const ScheduleResult sched = schedule_hazard_aware(
+                    addrs, params.dsp_latency, params.policy);
+
+                auto& slots = lane_slots[lane];
+                slots.clear();
+                slots.reserve(sched.slots.size());
+                for (std::int64_t s : sched.slots) {
+                    if (s == ScheduleResult::kPaddingSlot) {
+                        slots.push_back(EncodedElement::padding());
+                    } else {
+                        const LaneElem& e = bucket[static_cast<std::size_t>(s)];
+                        slots.push_back(
+                            EncodedElement::make(e.addr, e.half, e.col_off, e.val));
+                    }
+                }
+                depth = std::max(depth, slots.size());
+            }
+
+            // Pad every lane to the channel's depth and pack into lines.
+            hbm::ChannelStream& stream = img.streams_[ch];
+            for (std::size_t i = 0; i < depth; ++i) {
+                hbm::Line512 line;
+                for (unsigned lane = 0; lane < lanes; ++lane) {
+                    const EncodedElement e = i < lane_slots[lane].size()
+                                                 ? lane_slots[lane][i]
+                                                 : EncodedElement::padding();
+                    line.set_lane64(lane, e.bits());
+                }
+                stream.push(line);
+            }
+            img.seg_lines_[ch][seg] = static_cast<std::uint32_t>(depth);
+            stats.total_slots += depth * lanes;
+            stats.total_lines += depth;
+        }
+    }
+
+    stats.padding_slots = stats.total_slots - stats.nnz;
+    img.stats_ = stats;
+    return img;
+}
+
+} // namespace serpens::encode

@@ -1,0 +1,86 @@
+// The accelerator-efficient storage image (paper §3.1.2, §3.2, §3.4).
+//
+// `encode_matrix` turns a COO matrix into exactly what a real Serpens
+// consumes: one 512-bit line stream per sparse-matrix HBM channel, ordered
+// by x-segment, with eight 64-bit encoded elements per line (one per PE
+// lane), already reordered so no PE sees a URAM-address hazard within the
+// DSP latency window, and padded with null elements where reordering could
+// not fill a slot.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "encode/element.h"
+#include "encode/mapping.h"
+#include "hbm/channel.h"
+#include "sparse/coo.h"
+
+namespace serpens::encode {
+
+struct EncodeStats {
+    nnz_t nnz = 0;
+    std::uint64_t total_slots = 0;    // element slots incl. padding
+    std::uint64_t padding_slots = 0;  // null elements inserted
+    std::uint64_t total_lines = 0;    // 512-bit lines across all A channels
+    unsigned num_segments = 0;
+
+    double padding_ratio() const
+    {
+        return total_slots == 0
+                   ? 0.0
+                   : static_cast<double>(padding_slots) / static_cast<double>(total_slots);
+    }
+};
+
+class SerpensImage {
+public:
+    SerpensImage(EncodeParams params, index_t rows, index_t cols);
+
+    const EncodeParams& params() const { return params_; }
+    index_t rows() const { return rows_; }
+    index_t cols() const { return cols_; }
+    unsigned num_segments() const { return num_segments_; }
+
+    const hbm::ChannelStream& channel(unsigned c) const { return streams_[c]; }
+    unsigned channels() const { return static_cast<unsigned>(streams_.size()); }
+
+    // Lines channel `c` contributes to segment `s` (channels advance in
+    // lockstep per segment; the slowest channel bounds the segment).
+    std::uint32_t segment_lines(unsigned c, unsigned s) const
+    {
+        return seg_lines_[c][s];
+    }
+
+    // Max over channels: the compute-cycle count of segment `s`.
+    std::uint32_t segment_depth(unsigned s) const;
+
+    const EncodeStats& stats() const { return stats_; }
+
+    // Mutators for deserialization (encode/serialize.cpp); application code
+    // obtains images through encode_matrix or load_image only.
+    void set_segment_lines(unsigned c, unsigned s, std::uint32_t lines)
+    {
+        seg_lines_[c][s] = lines;
+    }
+    hbm::ChannelStream& mutable_channel(unsigned c) { return streams_[c]; }
+    void set_stats(const EncodeStats& stats) { stats_ = stats; }
+
+private:
+    friend SerpensImage encode_matrix(const sparse::CooMatrix&, const EncodeParams&);
+
+    EncodeParams params_;
+    index_t rows_ = 0;
+    index_t cols_ = 0;
+    unsigned num_segments_ = 0;
+    std::vector<hbm::ChannelStream> streams_;          // [ha_channels]
+    std::vector<std::vector<std::uint32_t>> seg_lines_; // [channel][segment]
+    EncodeStats stats_;
+};
+
+// Encode a matrix for the given architecture parameters.
+// Throws CapacityError if the row count exceeds the on-chip accumulator
+// capacity (paper Eq. 3), std::invalid_argument on invalid params.
+SerpensImage encode_matrix(const sparse::CooMatrix& m, const EncodeParams& params);
+
+} // namespace serpens::encode

@@ -1,0 +1,117 @@
+#include "encode/instructions.h"
+
+#include "util/bitpack.h"
+
+namespace serpens::encode {
+
+std::vector<std::uint32_t> build_instructions(const SerpensImage& img,
+                                              float alpha, float beta)
+{
+    std::vector<std::uint32_t> words;
+    words.reserve(6 + img.num_segments() * (2 + img.channels()));
+
+    SERPENS_CHECK(fits_bits(img.rows(), kOpcodeShift),
+                  "row count overflows the instruction payload");
+    SERPENS_CHECK(fits_bits(img.cols(), kOpcodeShift),
+                  "column count overflows the instruction payload");
+
+    words.push_back(make_instruction(Opcode::set_rows, img.rows()));
+    words.push_back(make_instruction(Opcode::set_cols, img.cols()));
+    words.push_back(make_instruction(Opcode::set_alpha));
+    words.push_back(float_bits(alpha));
+    words.push_back(make_instruction(Opcode::set_beta));
+    words.push_back(float_bits(beta));
+
+    for (unsigned s = 0; s < img.num_segments(); ++s) {
+        words.push_back(make_instruction(Opcode::segment, img.segment_depth(s)));
+        for (unsigned c = 0; c < img.channels(); ++c)
+            words.push_back(
+                make_instruction(Opcode::lines, img.segment_lines(c, s)));
+    }
+    words.push_back(make_instruction(Opcode::run));
+    words.push_back(make_instruction(Opcode::halt));
+    return words;
+}
+
+ControlProgram decode_instructions(std::span<const std::uint32_t> words,
+                                   unsigned ha_channels)
+{
+    ControlProgram program;
+    bool saw_run = false;
+    bool saw_halt = false;
+
+    for (std::size_t i = 0; i < words.size(); ++i) {
+        if (saw_halt)
+            throw InstructionError("instruction after HALT");
+        const std::uint32_t word = words[i];
+        switch (opcode_of(word)) {
+        case Opcode::set_rows:
+            program.rows = payload_of(word);
+            break;
+        case Opcode::set_cols:
+            program.cols = payload_of(word);
+            break;
+        case Opcode::set_alpha:
+            if (++i >= words.size())
+                throw InstructionError("SET_ALPHA missing its value word");
+            program.alpha = bits_float(words[i]);
+            break;
+        case Opcode::set_beta:
+            if (++i >= words.size())
+                throw InstructionError("SET_BETA missing its value word");
+            program.beta = bits_float(words[i]);
+            break;
+        case Opcode::segment: {
+            ControlProgram::Segment segment;
+            segment.depth = payload_of(word);
+            segment.channel_lines.reserve(ha_channels);
+            for (unsigned c = 0; c < ha_channels; ++c) {
+                if (++i >= words.size() ||
+                    opcode_of(words[i]) != Opcode::lines)
+                    throw InstructionError(
+                        "SEGMENT must be followed by one LINES per channel");
+                segment.channel_lines.push_back(payload_of(words[i]));
+            }
+            program.segments.push_back(std::move(segment));
+            break;
+        }
+        case Opcode::lines:
+            throw InstructionError("stray LINES outside a SEGMENT block");
+        case Opcode::run:
+            saw_run = true;
+            break;
+        case Opcode::halt:
+            saw_halt = true;
+            break;
+        default:
+            throw InstructionError("unknown opcode in instruction stream");
+        }
+    }
+    if (!saw_run)
+        throw InstructionError("instruction stream never issues RUN");
+    if (!saw_halt)
+        throw InstructionError("instruction stream never issues HALT");
+    if (program.rows == 0 || program.cols == 0)
+        throw InstructionError("matrix dimensions were not programmed");
+    return program;
+}
+
+void validate_program(const ControlProgram& program, const SerpensImage& img)
+{
+    if (program.rows != img.rows() || program.cols != img.cols())
+        throw InstructionError("program dimensions disagree with the image");
+    if (program.segments.size() != img.num_segments())
+        throw InstructionError("program segment count disagrees with the image");
+    for (unsigned s = 0; s < img.num_segments(); ++s) {
+        const auto& segment = program.segments[s];
+        if (segment.depth != img.segment_depth(s))
+            throw InstructionError("segment depth disagrees with the image");
+        if (segment.channel_lines.size() != img.channels())
+            throw InstructionError("per-channel line list has wrong length");
+        for (unsigned c = 0; c < img.channels(); ++c)
+            if (segment.channel_lines[c] != img.segment_lines(c, s))
+                throw InstructionError("channel line count disagrees");
+    }
+}
+
+} // namespace serpens::encode

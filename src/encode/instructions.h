@@ -1,0 +1,91 @@
+// The instruction channel (paper Table 1: 32-bit instructions; Table 5:
+// Serpens uses one HBM channel for instructions).
+//
+// The host compiles a small control program that tells the accelerator the
+// problem geometry and the per-segment stream lengths; the device control
+// FSM walks it. Word layout: [31:28] opcode, [27:0] payload.
+//
+//   SET_ROWS n      SET_COLS n        matrix dimensions
+//   SET_ALPHA/BETA  next word is the raw FP32 bit pattern
+//   SEGMENT depth   one per x segment: the max channel line count
+//   LINES count     HA words after each SEGMENT: per-channel line counts
+//   RUN             start executing the loaded program
+//   HALT            end of stream
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "encode/image.h"
+
+namespace serpens::encode {
+
+enum class Opcode : std::uint32_t {
+    set_rows = 0x1,
+    set_cols = 0x2,
+    set_alpha = 0x3,  // payload ignored; next word = FP32 bits
+    set_beta = 0x4,   // payload ignored; next word = FP32 bits
+    segment = 0x5,    // payload = segment depth (max channel lines)
+    lines = 0x6,      // payload = one channel's line count for the segment
+    run = 0x7,
+    halt = 0x8,
+};
+
+inline constexpr unsigned kOpcodeShift = 28;
+inline constexpr std::uint32_t kPayloadMask = (1u << kOpcodeShift) - 1;
+
+constexpr std::uint32_t make_instruction(Opcode op, std::uint32_t payload = 0)
+{
+    return (static_cast<std::uint32_t>(op) << kOpcodeShift) |
+           (payload & kPayloadMask);
+}
+
+constexpr Opcode opcode_of(std::uint32_t word)
+{
+    return static_cast<Opcode>(word >> kOpcodeShift);
+}
+
+constexpr std::uint32_t payload_of(std::uint32_t word)
+{
+    return word & kPayloadMask;
+}
+
+// The decoded control program.
+struct ControlProgram {
+    std::uint32_t rows = 0;
+    std::uint32_t cols = 0;
+    float alpha = 1.0f;
+    float beta = 0.0f;
+    // [segment] -> (depth, per-channel line counts)
+    struct Segment {
+        std::uint32_t depth = 0;
+        std::vector<std::uint32_t> channel_lines;
+    };
+    std::vector<Segment> segments;
+};
+
+// Thrown on malformed instruction streams.
+class InstructionError : public std::runtime_error {
+public:
+    explicit InstructionError(const std::string& what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+// Compile the control program for an encoded image.
+std::vector<std::uint32_t> build_instructions(const SerpensImage& img,
+                                              float alpha, float beta);
+
+// Decode and validate an instruction stream (the device FSM's job).
+ControlProgram decode_instructions(std::span<const std::uint32_t> words,
+                                   unsigned ha_channels);
+
+// Cross-check a decoded program against the image it will drive.
+// Throws InstructionError on any disagreement.
+void validate_program(const ControlProgram& program, const SerpensImage& img);
+
+} // namespace serpens::encode

@@ -1,0 +1,118 @@
+// Architecture parameters and the row -> (PE, URAM address, half) mapping.
+//
+// Serpens distributes rows across PEs so that each PE's accumulator
+// addresses are disjoint (paper §3.3) and, with index coalescing (§3.4),
+// two consecutive rows share one 72-bit URAM word:
+//
+//   pair       = row / 2
+//   pe         = pair mod P          (P = 8 * HA processing engines)
+//   pair_addr  = pair / P            (PE-local URAM address)
+//   half       = row mod 2           (which FP32 half of the word)
+//
+// Without coalescing (the ablation configuration) each row owns a whole
+// URAM word: pe = row mod P, addr = row / P, half = 0 — and the on-chip
+// row capacity halves, exactly the effect the paper's optimization buys.
+#pragma once
+
+#include <cstdint>
+
+#include "encode/element.h"
+#include "sparse/coo.h"
+#include "util/check.h"
+
+namespace serpens::encode {
+
+using sparse::index_t;
+using sparse::nnz_t;
+
+enum class SchedulePolicy {
+    fifo,                 // serve conflict groups in arrival order
+    largest_bucket_first, // serve the group with the most remaining elements
+};
+
+struct EncodeParams {
+    unsigned ha_channels = 16;    // HBM channels for the sparse matrix (HA)
+    unsigned pes_per_channel = 8; // fixed by the 512-bit bus: 8 elements/line
+    unsigned urams_per_pe = 3;    // U in the paper (Table 1)
+    unsigned uram_depth = 4096;   // D: depth of a 72-bit-wide URAM
+    index_t window = 8192;        // W: x-segment length (paper §3.2)
+    unsigned dsp_latency = 8;     // T: FP32 accumulation latency in cycles
+    bool coalescing = true;       // index coalescing on/off (§3.4)
+    SchedulePolicy policy = SchedulePolicy::largest_bucket_first;
+
+    unsigned total_pes() const { return ha_channels * pes_per_channel; }
+
+    // URAM words available to one PE.
+    std::uint32_t addrs_per_pe() const { return urams_per_pe * uram_depth; }
+
+    // Paper Eq. 3: row capacity = 16 * HA * U * D with coalescing
+    // (= 2 * P * U * D); halves without it.
+    std::uint64_t row_capacity() const
+    {
+        const std::uint64_t words =
+            static_cast<std::uint64_t>(total_pes()) * addrs_per_pe();
+        return coalescing ? 2 * words : words;
+    }
+
+    void validate() const
+    {
+        SERPENS_CHECK(ha_channels >= 1 && ha_channels <= 28,
+                      "ha_channels must be in [1, 28]");
+        SERPENS_CHECK(pes_per_channel == 8,
+                      "the 512-bit bus fixes 8 PEs per channel");
+        SERPENS_CHECK(urams_per_pe >= 1, "urams_per_pe must be positive");
+        SERPENS_CHECK(uram_depth >= 1, "uram_depth must be positive");
+        SERPENS_CHECK(window >= 16 && window <= kMaxWindow,
+                      "window must be in [16, 16384]");
+        SERPENS_CHECK(window % 16 == 0,
+                      "window must be a multiple of the 16-float line");
+        SERPENS_CHECK(dsp_latency >= 1 && dsp_latency <= 64,
+                      "dsp_latency must be in [1, 64]");
+        SERPENS_CHECK(addrs_per_pe() <= kMaxPairAddr,
+                      "URAM address space overflows the 15-bit address field");
+    }
+};
+
+struct PeLocation {
+    unsigned pe = 0;           // global PE index in [0, 8*HA)
+    std::uint32_t addr = 0;    // PE-local URAM address
+    bool half = false;         // FP32 half within the 72-bit word
+};
+
+class RowMapping {
+public:
+    explicit RowMapping(const EncodeParams& p)
+        : pes_(p.total_pes()), coalescing_(p.coalescing)
+    {
+        SERPENS_CHECK(pes_ > 0, "mapping requires at least one PE");
+    }
+
+    PeLocation locate(index_t row) const
+    {
+        if (coalescing_) {
+            const index_t pair = row >> 1;
+            return {static_cast<unsigned>(pair % pes_), pair / pes_,
+                    (row & 1u) != 0};
+        }
+        return {static_cast<unsigned>(row % pes_), row / pes_, false};
+    }
+
+    index_t row_of(const PeLocation& loc) const
+    {
+        if (coalescing_) {
+            const index_t pair = loc.addr * pes_ + loc.pe;
+            return 2 * pair + (loc.half ? 1u : 0u);
+        }
+        SERPENS_ASSERT(!loc.half, "half-select unused without coalescing");
+        return loc.addr * pes_ + loc.pe;
+    }
+
+    unsigned pes() const { return pes_; }
+    bool coalescing() const { return coalescing_; }
+
+private:
+    unsigned pes_;
+    bool coalescing_;
+};
+
+} // namespace serpens::encode

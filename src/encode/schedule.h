@@ -1,0 +1,49 @@
+// Hazard-aware non-zero reordering (paper §3.4, Figure 2).
+//
+// A PE accumulates one element per cycle in an II=1 pipeline, but the FP32
+// accumulation takes T cycles, so two elements that touch the same URAM
+// address must be at least T slots apart (read-after-write hazard). With
+// index coalescing the conflict unit is the *coalesced address* — i.e. two
+// consecutive rows — which is exactly the paper's "color two consecutive
+// rows with the same color" rule.
+//
+// The scheduler is an off-line greedy list scheduler: at each slot it emits
+// an element whose conflict group has been quiet for >= T slots, or a
+// padding (null) element when none is eligible. Two service policies:
+//   - fifo: groups are served in the order they become eligible (stable);
+//   - largest_bucket_first: the group with the most remaining elements is
+//     served first. This provably minimizes makespan for this
+//     single-machine problem with sequence-independent separation, and is
+//     what keeps padding negligible on real matrices.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "encode/mapping.h"
+
+namespace serpens::encode {
+
+struct ScheduleResult {
+    // One entry per emitted slot: the index of the scheduled input element,
+    // or kPaddingSlot for an inserted null element.
+    std::vector<std::int64_t> slots;
+    std::size_t real_count = 0;
+    std::size_t padding_count = 0;
+
+    static constexpr std::int64_t kPaddingSlot = -1;
+};
+
+// Schedule elements whose conflict-group keys are `addrs[i]`. Returns a slot
+// sequence containing every input index exactly once, padded so that equal
+// addresses are >= window slots apart.
+ScheduleResult schedule_hazard_aware(std::span<const std::uint32_t> addrs,
+                                     unsigned window, SchedulePolicy policy);
+
+// Lower bound on the schedule length: max(n, (max_bucket - 1) * window + 1).
+// Exposed so tests and benches can measure scheduler quality.
+std::size_t schedule_lower_bound(std::span<const std::uint32_t> addrs,
+                                 unsigned window);
+
+} // namespace serpens::encode

@@ -1,0 +1,159 @@
+#include "encode/serialize.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace serpens::encode {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'R', 'P', 'N'};
+constexpr std::uint32_t kVersion = 1;
+
+void put_u32(std::ostream& out, std::uint32_t v)
+{
+    out.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+void put_u64(std::ostream& out, std::uint64_t v)
+{
+    out.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+std::uint32_t get_u32(std::istream& in)
+{
+    std::uint32_t v = 0;
+    in.read(reinterpret_cast<char*>(&v), sizeof v);
+    if (!in)
+        throw ImageFormatError("truncated image file");
+    return v;
+}
+
+std::uint64_t get_u64(std::istream& in)
+{
+    std::uint64_t v = 0;
+    in.read(reinterpret_cast<char*>(&v), sizeof v);
+    if (!in)
+        throw ImageFormatError("truncated image file");
+    return v;
+}
+
+} // namespace
+
+void save_image(std::ostream& out, const SerpensImage& img)
+{
+    out.write(kMagic, sizeof kMagic);
+    put_u32(out, kVersion);
+
+    const EncodeParams& p = img.params();
+    put_u32(out, p.ha_channels);
+    put_u32(out, p.pes_per_channel);
+    put_u32(out, p.urams_per_pe);
+    put_u32(out, p.uram_depth);
+    put_u32(out, p.window);
+    put_u32(out, p.dsp_latency);
+    put_u32(out, p.coalescing ? 1 : 0);
+    put_u32(out, static_cast<std::uint32_t>(p.policy));
+
+    put_u32(out, img.rows());
+    put_u32(out, img.cols());
+    put_u32(out, img.num_segments());
+    put_u32(out, img.channels());
+
+    for (unsigned c = 0; c < img.channels(); ++c)
+        for (unsigned s = 0; s < img.num_segments(); ++s)
+            put_u32(out, img.segment_lines(c, s));
+
+    for (unsigned c = 0; c < img.channels(); ++c) {
+        const auto& lines = img.channel(c).lines();
+        put_u64(out, lines.size());
+        for (const hbm::Line512& line : lines)
+            out.write(reinterpret_cast<const char*>(line.words.data()),
+                      hbm::kLineBytes);
+    }
+}
+
+void save_image_file(const std::string& path, const SerpensImage& img)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        throw ImageFormatError("cannot open file for writing: " + path);
+    save_image(out, img);
+}
+
+SerpensImage load_image(std::istream& in)
+{
+    char magic[4] = {};
+    in.read(magic, sizeof magic);
+    if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0)
+        throw ImageFormatError("not a Serpens image (bad magic)");
+    const std::uint32_t version = get_u32(in);
+    if (version != kVersion)
+        throw ImageFormatError("unsupported image version " +
+                               std::to_string(version));
+
+    EncodeParams p;
+    p.ha_channels = get_u32(in);
+    p.pes_per_channel = get_u32(in);
+    p.urams_per_pe = get_u32(in);
+    p.uram_depth = get_u32(in);
+    p.window = get_u32(in);
+    p.dsp_latency = get_u32(in);
+    p.coalescing = get_u32(in) != 0;
+    p.policy = static_cast<SchedulePolicy>(get_u32(in));
+    p.validate();
+
+    const std::uint32_t rows = get_u32(in);
+    const std::uint32_t cols = get_u32(in);
+    const std::uint32_t segments = get_u32(in);
+    const std::uint32_t channels = get_u32(in);
+    if (channels != p.ha_channels)
+        throw ImageFormatError("channel count disagrees with parameters");
+
+    SerpensImage img(p, rows, cols);
+    if (img.num_segments() != segments)
+        throw ImageFormatError("segment count disagrees with cols/window");
+
+    EncodeStats stats;
+    stats.num_segments = segments;
+    for (unsigned c = 0; c < channels; ++c)
+        for (unsigned s = 0; s < segments; ++s)
+            img.set_segment_lines(c, s, get_u32(in));
+
+    for (unsigned c = 0; c < channels; ++c) {
+        const std::uint64_t count = get_u64(in);
+        std::uint64_t expected = 0;
+        for (unsigned s = 0; s < segments; ++s)
+            expected += img.segment_lines(c, s);
+        if (count != expected)
+            throw ImageFormatError("stream length disagrees with segments");
+        hbm::ChannelStream& stream = img.mutable_channel(c);
+        for (std::uint64_t i = 0; i < count; ++i) {
+            hbm::Line512 line;
+            in.read(reinterpret_cast<char*>(line.words.data()), hbm::kLineBytes);
+            if (!in)
+                throw ImageFormatError("truncated line data");
+            stream.push(line);
+            stats.total_lines += 1;
+            stats.total_slots += hbm::kElemsPerLine;
+            for (unsigned lane = 0; lane < hbm::kElemsPerLine; ++lane) {
+                const auto e = EncodedElement::from_bits(line.lane64(lane));
+                if (e.valid())
+                    ++stats.nnz;
+            }
+        }
+    }
+    stats.padding_slots = stats.total_slots - stats.nnz;
+    img.set_stats(stats);
+    return img;
+}
+
+SerpensImage load_image_file(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw ImageFormatError("cannot open file: " + path);
+    return load_image(in);
+}
+
+} // namespace serpens::encode

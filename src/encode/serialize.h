@@ -1,0 +1,37 @@
+// Binary serialization of the encoded accelerator image.
+//
+// A SerpensImage is exactly the byte layout a real deployment would DMA
+// into the HBM channels, so being able to write it once and reload it is
+// the production workflow: preprocess offline, ship the image, run many
+// SpMVs. Format (little-endian):
+//
+//   magic "SRPN", u32 version
+//   EncodeParams fields (u32 each; policy/coalescing as u32)
+//   u32 rows, u32 cols, u32 num_segments, u32 channels
+//   per channel: u32 seg_lines[num_segments]
+//   per channel: u64 line_count, then line_count * 64 bytes of lines
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "encode/image.h"
+
+namespace serpens::encode {
+
+// Thrown on malformed or incompatible image files.
+class ImageFormatError : public std::runtime_error {
+public:
+    explicit ImageFormatError(const std::string& what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+void save_image(std::ostream& out, const SerpensImage& img);
+void save_image_file(const std::string& path, const SerpensImage& img);
+
+SerpensImage load_image(std::istream& in);
+SerpensImage load_image_file(const std::string& path);
+
+} // namespace serpens::encode

@@ -1,0 +1,33 @@
+#include "hbm/channel.h"
+
+#include <sstream>
+
+namespace serpens::hbm {
+
+namespace {
+
+std::string format_bytes(std::uint64_t b)
+{
+    std::ostringstream os;
+    os.precision(2);
+    os << std::fixed;
+    if (b >= (1ULL << 30))
+        os << static_cast<double>(b) / (1ULL << 30) << " GiB";
+    else if (b >= (1ULL << 20))
+        os << static_cast<double>(b) / (1ULL << 20) << " MiB";
+    else if (b >= (1ULL << 10))
+        os << static_cast<double>(b) / (1ULL << 10) << " KiB";
+    else
+        os << b << " B";
+    return os.str();
+}
+
+} // namespace
+
+std::string format_traffic(const TrafficCounter& t)
+{
+    return format_bytes(t.bytes_read) + " read / " + format_bytes(t.bytes_written) +
+           " written";
+}
+
+} // namespace serpens::hbm

@@ -1,0 +1,38 @@
+// 512-bit HBM bus line.
+//
+// Every Serpens Rd/Wr module moves one 512-bit line per cycle (paper §3.1.2):
+// 16 packed FP32 values for the dense vectors, or 8 encoded 64-bit sparse
+// elements for the matrix channels.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace serpens::hbm {
+
+inline constexpr unsigned kLineBits = 512;
+inline constexpr unsigned kLineBytes = kLineBits / 8;
+inline constexpr unsigned kWordsPerLine = kLineBits / 32;   // 16 FP32 slots
+inline constexpr unsigned kElemsPerLine = kLineBits / 64;   // 8 sparse elements
+
+struct Line512 {
+    std::array<std::uint32_t, kWordsPerLine> words{};
+
+    // 64-bit lane accessors for sparse elements: lane l occupies words
+    // [2l] (low = value bits) and [2l+1] (high = index word).
+    std::uint64_t lane64(unsigned lane) const
+    {
+        return static_cast<std::uint64_t>(words[2 * lane]) |
+               (static_cast<std::uint64_t>(words[2 * lane + 1]) << 32);
+    }
+
+    void set_lane64(unsigned lane, std::uint64_t v)
+    {
+        words[2 * lane] = static_cast<std::uint32_t>(v);
+        words[2 * lane + 1] = static_cast<std::uint32_t>(v >> 32);
+    }
+
+    friend bool operator==(const Line512&, const Line512&) = default;
+};
+
+} // namespace serpens::hbm

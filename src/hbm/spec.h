@@ -1,0 +1,23 @@
+// HBM device specification and utilized-bandwidth math.
+//
+// Models the Alveo U280's HBM2 stacks as seen by the paper: 32 pseudo-
+// channels, 460 GB/s aggregate peak; the paper's "utilized bandwidth"
+// figures divide evenly per channel (273 GB/s over 19 channels and
+// 388 GB/s over 27 channels, both = 14.37 GB/s per channel).
+#pragma once
+
+namespace serpens::hbm {
+
+struct HbmSpec {
+    int total_channels = 32;
+    double per_channel_gbps = 14.375;  // 273/19 == 388/27 == 460/32
+    // Sequential-burst streaming efficiency of the AXI/HBM path; HBM
+    // benchmarking studies ([7], [8] in the paper) measure 0.8-0.95 for
+    // long bursts.
+    double stream_efficiency = 0.85;
+
+    double peak_gbps() const { return total_channels * per_channel_gbps; }
+    double utilized_gbps(int channels) const { return channels * per_channel_gbps; }
+};
+
+} // namespace serpens::hbm

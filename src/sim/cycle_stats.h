@@ -1,0 +1,38 @@
+// Cycle breakdown of one simulated Serpens run.
+//
+// The components mirror the phase structure of the accelerator (paper §3.2 /
+// Eq. 4): sequential x-segment loads, per-segment sparse compute, the final
+// y read/modify/write pass, and pipeline fill overheads between phases.
+// Everything is exposed separately so tests can predict each term exactly.
+#pragma once
+
+#include <cstdint>
+
+#include "hbm/channel.h"
+
+namespace serpens::sim {
+
+struct CycleStats {
+    std::uint64_t x_load_cycles = 0;   // sum over segments of ceil(Wseg/16)
+    std::uint64_t compute_cycles = 0;  // sum over segments of max-channel depth
+    std::uint64_t y_phase_cycles = 0;  // ceil(M/16): y_in read || y_out write
+    std::uint64_t fill_cycles = 0;     // pipeline fill/drain overhead
+    std::uint64_t total_slots = 0;     // PE element slots walked (incl. padding)
+    std::uint64_t padding_slots = 0;   // null elements seen
+    hbm::TrafficCounter traffic;       // off-chip bytes moved
+
+    std::uint64_t total_cycles() const
+    {
+        return x_load_cycles + compute_cycles + y_phase_cycles + fill_cycles;
+    }
+
+    double padding_ratio() const
+    {
+        return total_slots == 0
+                   ? 0.0
+                   : static_cast<double>(padding_slots) /
+                         static_cast<double>(total_slots);
+    }
+};
+
+} // namespace serpens::sim

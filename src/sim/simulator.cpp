@@ -1,0 +1,120 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+#include "encode/decode.h"
+#include "util/bitpack.h"
+
+namespace serpens::sim {
+
+using encode::EncodedElement;
+using sparse::index_t;
+
+SimResult simulate_spmv(const encode::SerpensImage& img,
+                        std::span<const float> x,
+                        std::span<const float> y_in, float alpha, float beta,
+                        const SimOptions& options)
+{
+    const encode::EncodeParams& p = img.params();
+    SERPENS_CHECK(x.size() == img.cols(), "x length must equal matrix cols");
+    SERPENS_CHECK(y_in.size() == img.rows(), "y length must equal matrix rows");
+
+    if (options.verify_hazards)
+        encode::verify_image(img);
+
+    const unsigned lanes = p.pes_per_channel;
+    const unsigned pes = p.total_pes();
+    const encode::RowMapping mapping(p);
+
+    // Private URAM accumulator banks: acc[pe][addr][half]. Addresses are
+    // disjoint across PEs by construction (paper §3.3), so this layout is
+    // exactly the hardware's.
+    struct Word {
+        float half[2] = {0.0f, 0.0f};
+    };
+    std::vector<std::vector<Word>> acc(
+        pes, std::vector<Word>(p.addrs_per_pe()));
+
+    CycleStats stats;
+
+    // Per-channel cursor into its line stream.
+    std::vector<std::size_t> cursor(img.channels(), 0);
+
+    std::vector<float> xseg(p.window, 0.0f);
+
+    // With double buffering, segment s+1's x-load overlaps segment s's
+    // compute; only the load that is longer than the concurrent compute
+    // contributes stall cycles. Track the previous segment's compute depth.
+    std::uint64_t prev_compute_depth = 0;
+
+    for (unsigned seg = 0; seg < img.num_segments(); ++seg) {
+        // --- RdX: stream this x segment into the BRAM copies. ---
+        const index_t seg_base = static_cast<index_t>(seg) * p.window;
+        const index_t seg_width =
+            std::min<index_t>(p.window, img.cols() - seg_base);
+        for (index_t i = 0; i < seg_width; ++i)
+            xseg[i] = x[seg_base + i];
+        const std::uint64_t load_cycles = ceil_div<std::uint64_t>(seg_width, 16);
+        if (options.double_buffer_x && seg > 0) {
+            // This load ran during the previous segment's compute.
+            stats.x_load_cycles +=
+                load_cycles > prev_compute_depth
+                    ? load_cycles - prev_compute_depth
+                    : 0;
+        } else {
+            stats.x_load_cycles += load_cycles;
+        }
+        stats.traffic.add_read(load_cycles * hbm::kLineBytes);
+
+        // --- RdA / PEs: all channels advance in lockstep; the segment
+        // completes when the deepest channel drains. ---
+        std::uint32_t depth = 0;
+        for (unsigned ch = 0; ch < img.channels(); ++ch)
+            depth = std::max(depth, img.segment_lines(ch, seg));
+        stats.compute_cycles += depth;
+        prev_compute_depth = depth;
+
+        for (unsigned ch = 0; ch < img.channels(); ++ch) {
+            const std::uint32_t ch_depth = img.segment_lines(ch, seg);
+            const hbm::ChannelStream& stream = img.channel(ch);
+            for (std::uint32_t i = 0; i < ch_depth; ++i) {
+                const hbm::Line512& line = stream.line(cursor[ch] + i);
+                for (unsigned lane = 0; lane < lanes; ++lane) {
+                    const auto e = EncodedElement::from_bits(line.lane64(lane));
+                    ++stats.total_slots;
+                    if (!e.valid()) {
+                        ++stats.padding_slots;
+                        continue;
+                    }
+                    const unsigned pe = ch * lanes + lane;
+                    Word& w = acc[pe][e.pair_addr()];
+                    w.half[e.half() ? 1 : 0] += e.value() * xseg[e.col_off()];
+                }
+            }
+            cursor[ch] += ch_depth;
+            stats.traffic.add_read(static_cast<std::uint64_t>(ch_depth) *
+                                   hbm::kLineBytes);
+        }
+
+        stats.fill_cycles += options.fill_per_segment;
+    }
+
+    // --- RdY / CompY / WrY: read y_in and write y_out in parallel. ---
+    SimResult result;
+    result.y.resize(img.rows());
+    for (index_t r = 0; r < img.rows(); ++r) {
+        const encode::PeLocation loc = mapping.locate(r);
+        const float a = acc[loc.pe][loc.addr].half[loc.half ? 1 : 0];
+        result.y[r] = alpha * a + beta * y_in[r];
+    }
+    const std::uint64_t y_lines = ceil_div<std::uint64_t>(img.rows(), 16);
+    stats.y_phase_cycles = y_lines;
+    stats.fill_cycles += options.fill_y_phase;
+    stats.traffic.add_read(y_lines * hbm::kLineBytes);
+    stats.traffic.add_write(y_lines * hbm::kLineBytes);
+
+    result.cycles = stats;
+    return result;
+}
+
+} // namespace serpens::sim

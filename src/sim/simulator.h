@@ -1,0 +1,53 @@
+// Cycle-level functional simulator of the Serpens dataflow.
+//
+// Consumes the same encoded channel streams a real Serpens reads from HBM
+// and reproduces, cycle for cycle, the statically scheduled pipeline:
+//
+//   for each x segment:                      (paper Fig. 1b)
+//     RdX   : stream the segment into BRAM   -> ceil(Wseg/16) cycles
+//     RdA*  : each A channel feeds its 8 PEs one 512-bit line per cycle;
+//             PEs multiply-accumulate into their private URAM banks;
+//             segment latency = the deepest channel's line count
+//   RdY/CompY/WrY: stream y_in, apply alpha/beta against the on-chip
+//             accumulators, stream y_out     -> ceil(M/16) cycles
+//
+// Because the hardware is II=1 and statically scheduled, walking the streams
+// in order *is* the cycle-accurate execution; hazards were discharged by the
+// encoder and are re-verified here when `verify_hazards` is set.
+//
+// Floating-point results follow hardware semantics: FP32 accumulation in
+// exactly the schedule order each PE sees.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "encode/image.h"
+#include "sim/cycle_stats.h"
+
+namespace serpens::sim {
+
+struct SimOptions {
+    bool verify_hazards = true;       // re-check the encoder's invariant
+    unsigned fill_per_segment = 48;   // pipeline fill cycles per segment phase
+    unsigned fill_y_phase = 48;       // fill cycles for the final y pass
+    // Extension (not in the published design): double-buffer the x-segment
+    // BRAMs so segment s+1 streams in while segment s computes. Costs 2x the
+    // x-buffer BRAMs (see core::resource_model); hides the K/16 term of
+    // Eq. 4 behind compute.
+    bool double_buffer_x = false;
+};
+
+struct SimResult {
+    std::vector<float> y;
+    CycleStats cycles;
+};
+
+// Run y = alpha * A * x + beta * y_in on the encoded image.
+// x must have img.cols() entries and y_in img.rows().
+SimResult simulate_spmv(const encode::SerpensImage& img,
+                        std::span<const float> x,
+                        std::span<const float> y_in, float alpha, float beta,
+                        const SimOptions& options = {});
+
+} // namespace serpens::sim

@@ -1,0 +1,55 @@
+#include "sparse/convert.h"
+
+#include <algorithm>
+
+namespace serpens::sparse {
+
+CsrMatrix to_csr(const CooMatrix& coo)
+{
+    const index_t rows = coo.rows();
+    std::vector<nnz_t> row_ptr(static_cast<std::size_t>(rows) + 1, 0);
+    for (const Triplet& t : coo.elements())
+        ++row_ptr[t.row + 1];
+    for (index_t r = 0; r < rows; ++r)
+        row_ptr[r + 1] += row_ptr[r];
+
+    std::vector<index_t> col_idx(coo.nnz());
+    std::vector<float> values(coo.nnz());
+    std::vector<nnz_t> cursor(row_ptr.begin(), row_ptr.end() - 1);
+    for (const Triplet& t : coo.elements()) {
+        const nnz_t at = cursor[t.row]++;
+        col_idx[at] = t.col;
+        values[at] = t.val;
+    }
+
+    // Sort each row segment by column for deterministic downstream behaviour.
+    for (index_t r = 0; r < rows; ++r) {
+        const nnz_t lo = row_ptr[r];
+        const nnz_t hi = row_ptr[r + 1];
+        std::vector<std::pair<index_t, float>> row;
+        row.reserve(hi - lo);
+        for (nnz_t i = lo; i < hi; ++i)
+            row.emplace_back(col_idx[i], values[i]);
+        std::stable_sort(row.begin(), row.end(),
+                         [](const auto& a, const auto& b) { return a.first < b.first; });
+        for (nnz_t i = lo; i < hi; ++i) {
+            col_idx[i] = row[i - lo].first;
+            values[i] = row[i - lo].second;
+        }
+    }
+
+    return CsrMatrix(rows, coo.cols(), std::move(row_ptr), std::move(col_idx),
+                     std::move(values));
+}
+
+CooMatrix to_coo(const CsrMatrix& csr)
+{
+    CooMatrix coo(csr.rows(), csr.cols());
+    coo.reserve(csr.nnz());
+    for (index_t r = 0; r < csr.rows(); ++r)
+        for (nnz_t i = csr.row_begin(r); i < csr.row_end(r); ++i)
+            coo.add(r, csr.col_idx()[i], csr.values()[i]);
+    return coo;
+}
+
+} // namespace serpens::sparse

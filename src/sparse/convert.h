@@ -1,0 +1,16 @@
+// Conversions between sparse formats.
+#pragma once
+
+#include "sparse/coo.h"
+#include "sparse/csr.h"
+
+namespace serpens::sparse {
+
+// COO -> CSR. Duplicates are preserved (summed only if the caller coalesced
+// beforehand); elements within a row end up sorted by column.
+CsrMatrix to_csr(const CooMatrix& coo);
+
+// CSR -> COO, row-major order.
+CooMatrix to_coo(const CsrMatrix& csr);
+
+} // namespace serpens::sparse

@@ -1,0 +1,123 @@
+// Coordinate-format (COO) sparse matrix container.
+//
+// COO is the interchange format of the library: generators, Matrix Market
+// I/O, and the Serpens encoder all speak COO. It deliberately allows
+// arbitrary element order and duplicates until the caller normalizes it
+// (sort_row_major / coalesce_duplicates), mirroring how assembly pipelines
+// produce matrices in practice.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace serpens::sparse {
+
+using index_t = std::uint32_t;
+using nnz_t = std::uint64_t;
+
+struct Triplet {
+    index_t row = 0;
+    index_t col = 0;
+    float val = 0.0f;
+
+    friend bool operator==(const Triplet&, const Triplet&) = default;
+};
+
+class CooMatrix {
+public:
+    CooMatrix() = default;
+
+    CooMatrix(index_t rows, index_t cols) : rows_(rows), cols_(cols)
+    {
+        SERPENS_CHECK(rows > 0 && cols > 0, "matrix dimensions must be positive");
+    }
+
+    static CooMatrix from_triplets(index_t rows, index_t cols,
+                                   std::vector<Triplet> triplets)
+    {
+        CooMatrix m(rows, cols);
+        for (const Triplet& t : triplets)
+            SERPENS_CHECK(t.row < rows && t.col < cols,
+                          "triplet index out of bounds");
+        m.elems_ = std::move(triplets);
+        return m;
+    }
+
+    void add(index_t row, index_t col, float val)
+    {
+        SERPENS_CHECK(row < rows_ && col < cols_, "element index out of bounds");
+        elems_.push_back({row, col, val});
+    }
+
+    void reserve(nnz_t n) { elems_.reserve(n); }
+
+    index_t rows() const { return rows_; }
+    index_t cols() const { return cols_; }
+    nnz_t nnz() const { return elems_.size(); }
+    bool empty() const { return elems_.empty(); }
+
+    const std::vector<Triplet>& elements() const { return elems_; }
+    std::vector<Triplet>& elements() { return elems_; }
+
+    // Sort elements by (row, col). Stable so duplicate handling is
+    // deterministic.
+    void sort_row_major()
+    {
+        std::stable_sort(elems_.begin(), elems_.end(),
+                         [](const Triplet& a, const Triplet& b) {
+                             return a.row != b.row ? a.row < b.row : a.col < b.col;
+                         });
+    }
+
+    // Sort elements by (col, row) — the order the Serpens segment walk
+    // naturally consumes.
+    void sort_col_major()
+    {
+        std::stable_sort(elems_.begin(), elems_.end(),
+                         [](const Triplet& a, const Triplet& b) {
+                             return a.col != b.col ? a.col < b.col : a.row < b.row;
+                         });
+    }
+
+    // Merge duplicate (row, col) entries by summing their values.
+    // Leaves the matrix sorted row-major.
+    void coalesce_duplicates()
+    {
+        sort_row_major();
+        std::size_t out = 0;
+        for (std::size_t i = 0; i < elems_.size(); ++i) {
+            if (out > 0 && elems_[out - 1].row == elems_[i].row &&
+                elems_[out - 1].col == elems_[i].col) {
+                elems_[out - 1].val += elems_[i].val;
+            } else {
+                elems_[out++] = elems_[i];
+            }
+        }
+        elems_.resize(out);
+    }
+
+    // Remove explicit zeros (values that compare equal to 0.0f).
+    void drop_zeros()
+    {
+        std::erase_if(elems_, [](const Triplet& t) { return t.val == 0.0f; });
+    }
+
+    CooMatrix transposed() const
+    {
+        CooMatrix t(cols_, rows_);
+        t.reserve(nnz());
+        for (const Triplet& e : elems_)
+            t.elems_.push_back({e.col, e.row, e.val});
+        return t;
+    }
+
+private:
+    index_t rows_ = 0;
+    index_t cols_ = 0;
+    std::vector<Triplet> elems_;
+};
+
+} // namespace serpens::sparse

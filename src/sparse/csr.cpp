@@ -1,0 +1,52 @@
+#include "sparse/csr.h"
+
+#include <cmath>
+
+namespace serpens::sparse {
+
+CsrMatrix::CsrMatrix(index_t rows, index_t cols, std::vector<nnz_t> row_ptr,
+                     std::vector<index_t> col_idx, std::vector<float> values)
+    : rows_(rows),
+      cols_(cols),
+      row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)),
+      values_(std::move(values))
+{
+    SERPENS_CHECK(rows > 0 && cols > 0, "matrix dimensions must be positive");
+    SERPENS_CHECK(row_ptr_.size() == static_cast<std::size_t>(rows) + 1,
+                  "row_ptr must have rows+1 entries");
+    SERPENS_CHECK(row_ptr_.front() == 0, "row_ptr must start at zero");
+    SERPENS_CHECK(row_ptr_.back() == col_idx_.size(),
+                  "row_ptr must end at nnz");
+    SERPENS_CHECK(col_idx_.size() == values_.size(),
+                  "col_idx and values must have equal length");
+    for (std::size_t r = 0; r < static_cast<std::size_t>(rows); ++r)
+        SERPENS_CHECK(row_ptr_[r] <= row_ptr_[r + 1], "row_ptr must be monotone");
+    for (index_t c : col_idx_)
+        SERPENS_CHECK(c < cols, "column index out of bounds");
+}
+
+nnz_t CsrMatrix::max_row_nnz() const
+{
+    nnz_t best = 0;
+    for (index_t r = 0; r < rows_; ++r)
+        best = std::max(best, row_nnz(r));
+    return best;
+}
+
+double CsrMatrix::row_imbalance() const
+{
+    if (rows_ == 0)
+        return 0.0;
+    const double mean = static_cast<double>(nnz()) / rows_;
+    if (mean == 0.0)
+        return 0.0;
+    double ss = 0.0;
+    for (index_t r = 0; r < rows_; ++r) {
+        const double d = static_cast<double>(row_nnz(r)) - mean;
+        ss += d * d;
+    }
+    return std::sqrt(ss / rows_) / mean;
+}
+
+} // namespace serpens::sparse

@@ -1,0 +1,51 @@
+// Compressed Sparse Row (CSR) matrix.
+//
+// CSR is the compute format for the CPU reference SpMV, the semiring SpMV
+// (GraphLily substrate), and the Sextans SpMM baseline. Row pointers are
+// 64-bit so matrices with >4G non-zeros are representable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/coo.h"
+#include "util/check.h"
+
+namespace serpens::sparse {
+
+class CsrMatrix {
+public:
+    CsrMatrix() = default;
+
+    // Construct from raw arrays; validates monotone row_ptr and column bounds.
+    CsrMatrix(index_t rows, index_t cols, std::vector<nnz_t> row_ptr,
+              std::vector<index_t> col_idx, std::vector<float> values);
+
+    index_t rows() const { return rows_; }
+    index_t cols() const { return cols_; }
+    nnz_t nnz() const { return col_idx_.size(); }
+
+    const std::vector<nnz_t>& row_ptr() const { return row_ptr_; }
+    const std::vector<index_t>& col_idx() const { return col_idx_; }
+    const std::vector<float>& values() const { return values_; }
+
+    nnz_t row_begin(index_t r) const { return row_ptr_[r]; }
+    nnz_t row_end(index_t r) const { return row_ptr_[r + 1]; }
+    nnz_t row_nnz(index_t r) const { return row_ptr_[r + 1] - row_ptr_[r]; }
+
+    // Longest row length; drives the GPU-model row-imbalance penalty.
+    nnz_t max_row_nnz() const;
+
+    // Coefficient of variation of row lengths (stddev / mean); 0 for a
+    // perfectly balanced matrix. Used by the K80 performance model.
+    double row_imbalance() const;
+
+private:
+    index_t rows_ = 0;
+    index_t cols_ = 0;
+    std::vector<nnz_t> row_ptr_;   // size rows_ + 1
+    std::vector<index_t> col_idx_; // size nnz
+    std::vector<float> values_;    // size nnz
+};
+
+} // namespace serpens::sparse

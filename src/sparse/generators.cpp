@@ -1,0 +1,202 @@
+#include "sparse/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bitpack.h"
+#include "util/rng.h"
+
+namespace serpens::sparse {
+
+namespace {
+
+float draw_value(Rng& rng, const ValueOptions& opt)
+{
+    return opt.exact_values ? rng.next_exact_float(8) : rng.next_float(-1.0f, 1.0f);
+}
+
+} // namespace
+
+CooMatrix make_uniform_random(index_t rows, index_t cols, nnz_t nnz,
+                              std::uint64_t seed, ValueOptions opt)
+{
+    SERPENS_CHECK(nnz <= static_cast<nnz_t>(rows) * cols,
+                  "requested nnz exceeds matrix area");
+    Rng rng(seed);
+    CooMatrix m(rows, cols);
+    m.reserve(nnz);
+    for (nnz_t i = 0; i < nnz; ++i) {
+        const auto r = static_cast<index_t>(rng.next_below(rows));
+        const auto c = static_cast<index_t>(rng.next_below(cols));
+        m.add(r, c, draw_value(rng, opt));
+    }
+    m.coalesce_duplicates();
+    return m;
+}
+
+CooMatrix make_rmat(unsigned scale, nnz_t edge_factor, std::uint64_t seed,
+                    ValueOptions opt, double a, double b, double c)
+{
+    SERPENS_CHECK(scale >= 1 && scale <= 30, "rmat scale must be in [1, 30]");
+    SERPENS_CHECK(a + b + c < 1.0, "rmat probabilities must sum below 1");
+    const index_t n = index_t{1} << scale;
+    const nnz_t edges = edge_factor * n;
+    Rng rng(seed);
+    CooMatrix m(n, n);
+    m.reserve(edges);
+    for (nnz_t e = 0; e < edges; ++e) {
+        index_t row = 0;
+        index_t col = 0;
+        for (unsigned bit = 0; bit < scale; ++bit) {
+            const double p = rng.next_double();
+            // Quadrant choice: a = top-left, b = top-right, c = bottom-left.
+            if (p < a) {
+                // top-left: neither bit set
+            } else if (p < a + b) {
+                col |= index_t{1} << bit;
+            } else if (p < a + b + c) {
+                row |= index_t{1} << bit;
+            } else {
+                row |= index_t{1} << bit;
+                col |= index_t{1} << bit;
+            }
+        }
+        m.add(row, col, draw_value(rng, opt));
+    }
+    m.coalesce_duplicates();
+    return m;
+}
+
+CooMatrix make_banded(index_t n, index_t band, std::uint64_t seed, ValueOptions opt)
+{
+    SERPENS_CHECK(band >= 1 && band <= n, "band must be in [1, n]");
+    Rng rng(seed);
+    CooMatrix m(n, n);
+    m.reserve(static_cast<nnz_t>(n) * band);
+    for (index_t r = 0; r < n; ++r) {
+        // Window of width 2*band centered on the diagonal, clamped to [0, n).
+        const index_t lo = r > band ? r - band : 0;
+        const index_t hi = std::min<index_t>(n, r + band + 1);
+        const index_t width = hi - lo;
+        // `band` distinct columns inside the window via partial shuffle.
+        std::vector<index_t> cand(width);
+        for (index_t i = 0; i < width; ++i)
+            cand[i] = lo + i;
+        const index_t take = std::min<index_t>(band, width);
+        for (index_t i = 0; i < take; ++i) {
+            const auto j = i + static_cast<index_t>(rng.next_below(width - i));
+            std::swap(cand[i], cand[j]);
+            m.add(r, cand[i], draw_value(rng, opt));
+        }
+    }
+    m.sort_row_major();
+    return m;
+}
+
+CooMatrix make_diagonal(index_t n, float value)
+{
+    CooMatrix m(n, n);
+    m.reserve(n);
+    for (index_t i = 0; i < n; ++i)
+        m.add(i, i, value);
+    return m;
+}
+
+CooMatrix make_tridiagonal_spd(index_t n, float shift)
+{
+    CooMatrix m(n, n);
+    m.reserve(3 * static_cast<nnz_t>(n));
+    for (index_t i = 0; i < n; ++i) {
+        if (i > 0)
+            m.add(i, i - 1, -1.0f);
+        m.add(i, i, 2.0f + shift);
+        if (i + 1 < n)
+            m.add(i, i + 1, -1.0f);
+    }
+    return m;
+}
+
+CooMatrix make_dense_rows(index_t rows, index_t cols, index_t heavy_rows,
+                          index_t row_nnz, std::uint64_t seed, ValueOptions opt)
+{
+    SERPENS_CHECK(heavy_rows <= rows, "heavy_rows exceeds rows");
+    SERPENS_CHECK(row_nnz <= cols, "row_nnz exceeds cols");
+    Rng rng(seed);
+    CooMatrix m(rows, cols);
+    m.reserve(static_cast<nnz_t>(heavy_rows) * row_nnz + rows);
+    for (index_t r = 0; r < rows; ++r) {
+        if (r < heavy_rows) {
+            for (index_t k = 0; k < row_nnz; ++k)
+                m.add(r, static_cast<index_t>(rng.next_below(cols)),
+                      draw_value(rng, opt));
+        } else {
+            m.add(r, static_cast<index_t>(rng.next_below(cols)),
+                  draw_value(rng, opt));
+        }
+    }
+    m.coalesce_duplicates();
+    return m;
+}
+
+CooMatrix make_block_random(index_t n, index_t block, nnz_t target_nnz,
+                            std::uint64_t seed, ValueOptions opt)
+{
+    SERPENS_CHECK(block >= 1 && block <= n, "block must be in [1, n]");
+    Rng rng(seed);
+    CooMatrix m(n, n);
+    m.reserve(target_nnz);
+    const nnz_t per_block = static_cast<nnz_t>(block) * block;
+    const nnz_t blocks = ceil_div<nnz_t>(target_nnz, per_block);
+    const index_t grid = ceil_div<index_t>(n, block);
+    for (nnz_t bidx = 0; bidx < blocks; ++bidx) {
+        const auto br = static_cast<index_t>(rng.next_below(grid));
+        const auto bc = static_cast<index_t>(rng.next_below(grid));
+        for (index_t i = 0; i < block; ++i) {
+            for (index_t j = 0; j < block; ++j) {
+                const index_t r = br * block + i;
+                const index_t c = bc * block + j;
+                if (r < n && c < n)
+                    m.add(r, c, draw_value(rng, opt));
+            }
+        }
+    }
+    m.coalesce_duplicates();
+    return m;
+}
+
+CooMatrix make_clustered(index_t n, nnz_t target_nnz, index_t clique_min,
+                         index_t clique_max, double background_frac,
+                         std::uint64_t seed, ValueOptions opt)
+{
+    SERPENS_CHECK(clique_min >= 2 && clique_min <= clique_max,
+                  "clique sizes must satisfy 2 <= min <= max");
+    SERPENS_CHECK(clique_max <= n, "clique_max exceeds matrix dimension");
+    SERPENS_CHECK(background_frac >= 0.0 && background_frac <= 1.0,
+                  "background_frac must lie in [0, 1]");
+    Rng rng(seed);
+    CooMatrix m(n, n);
+    m.reserve(target_nnz);
+
+    const auto background =
+        static_cast<nnz_t>(background_frac * static_cast<double>(target_nnz));
+    const nnz_t clique_budget = target_nnz - background;
+
+    nnz_t emitted = 0;
+    while (emitted < clique_budget) {
+        const auto k = static_cast<index_t>(
+            clique_min + rng.next_below(clique_max - clique_min + 1));
+        const auto start = static_cast<index_t>(rng.next_below(n - k + 1));
+        for (index_t i = 0; i < k; ++i)
+            for (index_t j = 0; j < k; ++j)
+                m.add(start + i, start + j, draw_value(rng, opt));
+        emitted += static_cast<nnz_t>(k) * k;
+    }
+    for (nnz_t i = 0; i < background; ++i)
+        m.add(static_cast<index_t>(rng.next_below(n)),
+              static_cast<index_t>(rng.next_below(n)), draw_value(rng, opt));
+
+    m.coalesce_duplicates();
+    return m;
+}
+
+} // namespace serpens::sparse

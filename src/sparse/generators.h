@@ -1,0 +1,76 @@
+// Synthetic sparse-matrix generators.
+//
+// These stand in for the paper's SNAP/OGB/SuiteSparse inputs (which are not
+// available offline). Each generator is deterministic in its seed and
+// produces a structure class whose SpMV-relevant properties (row/column
+// distribution, locality, density) match the real matrix family it models:
+//
+//   uniform_random  — homogeneous sparsity (many SuiteSparse matrices)
+//   rmat            — power-law graphs (googleplus, soc_pokec, hollywood, OGB)
+//   banded          — FEM/stencil matrices (crankseg_2, ML_Laplace, PFlow_742)
+//   diagonal        — best-case conflict-free structure (used by tests)
+//   tridiagonal     — classic 1-D Poisson stencil (SPD; CG example)
+//   dense_rows      — a few very heavy rows (worst case for row hazards)
+//   block_random    — dense blocks on a sparse skeleton (TSOPF power-system)
+//
+// Values are uniform in [-1, 1) unless `exact_values` is set, in which case
+// they are small positive integers (sums are then exact in FP32, which lets
+// tests compare accelerators bit-for-bit against a double reference).
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/coo.h"
+
+namespace serpens::sparse {
+
+struct ValueOptions {
+    bool exact_values = false; // integer-valued floats in [1, 8]
+};
+
+// ~nnz elements spread uniformly; duplicates are coalesced, so the resulting
+// nnz may be slightly below the request (never above).
+CooMatrix make_uniform_random(index_t rows, index_t cols, nnz_t nnz,
+                              std::uint64_t seed, ValueOptions opt = {});
+
+// Recursive-matrix (R-MAT) power-law graph with 2^scale vertices and
+// ~edge_factor * 2^scale edges. Partition probabilities default to the
+// Graph500 parameters (0.57, 0.19, 0.19, 0.05).
+CooMatrix make_rmat(unsigned scale, nnz_t edge_factor, std::uint64_t seed,
+                    ValueOptions opt = {}, double a = 0.57, double b = 0.19,
+                    double c = 0.19);
+
+// Square matrix with `band` non-zeros per row clustered around the diagonal.
+CooMatrix make_banded(index_t n, index_t band, std::uint64_t seed,
+                      ValueOptions opt = {});
+
+// Identity-patterned diagonal matrix with the given value.
+CooMatrix make_diagonal(index_t n, float value = 1.0f);
+
+// Symmetric positive-definite 1-D Poisson stencil: 2 on the diagonal,
+// -1 on the off-diagonals (plus `shift` added to the diagonal).
+CooMatrix make_tridiagonal_spd(index_t n, float shift = 0.0f);
+
+// `heavy_rows` rows each carrying `row_nnz` elements at random columns;
+// all other rows carry exactly one element.
+CooMatrix make_dense_rows(index_t rows, index_t cols, index_t heavy_rows,
+                          index_t row_nnz, std::uint64_t seed,
+                          ValueOptions opt = {});
+
+// Dense blocks of size `block` scattered on a sparse block skeleton, as in
+// power-system matrices (TSOPF_*).
+CooMatrix make_block_random(index_t n, index_t block, nnz_t target_nnz,
+                            std::uint64_t seed, ValueOptions opt = {});
+
+// Community-structured graph: dense cliques over *consecutive* vertex ids
+// (as in ego-network crawls, collaboration graphs, and clique-expanded
+// citation graphs, where ids are assigned per community) plus a uniform
+// random background. `background_frac` of the non-zeros are background;
+// clique sizes are drawn uniformly from [clique_min, clique_max].
+// Consecutive-row cliques are the worst case for index coalescing: the two
+// rows of a URAM word carry correlated non-zeros in the same column window.
+CooMatrix make_clustered(index_t n, nnz_t target_nnz, index_t clique_min,
+                         index_t clique_max, double background_frac,
+                         std::uint64_t seed, ValueOptions opt = {});
+
+} // namespace serpens::sparse

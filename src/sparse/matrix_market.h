@@ -1,0 +1,29 @@
+// Matrix Market (.mtx) reader/writer.
+//
+// Supports the `matrix coordinate` class: real / integer / pattern fields,
+// general / symmetric symmetry. Symmetric inputs are expanded to full
+// storage on read (off-diagonal entries mirrored), matching how SpMV
+// consumers use the SuiteSparse collection.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/coo.h"
+
+namespace serpens::sparse {
+
+// Thrown on malformed Matrix Market input.
+class MatrixMarketError : public std::runtime_error {
+public:
+    explicit MatrixMarketError(const std::string& what) : std::runtime_error(what) {}
+};
+
+CooMatrix read_matrix_market(std::istream& in);
+CooMatrix read_matrix_market_file(const std::string& path);
+
+// Writes `coordinate real general` with 1-based indices.
+void write_matrix_market(std::ostream& out, const CooMatrix& m);
+void write_matrix_market_file(const std::string& path, const CooMatrix& m);
+
+} // namespace serpens::sparse

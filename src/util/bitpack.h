@@ -1,0 +1,43 @@
+// Bit-field packing helpers used by the 64-bit sparse-element encoding.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace serpens {
+
+// Extract `width` bits starting at bit `lo` from `word`.
+constexpr std::uint32_t extract_bits(std::uint32_t word, unsigned lo, unsigned width)
+{
+    return (word >> lo) & ((width == 32) ? 0xffffffffu : ((1u << width) - 1u));
+}
+
+// Insert `value` (must fit in `width` bits) into `word` at bit `lo`.
+constexpr std::uint32_t insert_bits(std::uint32_t word, unsigned lo, unsigned width,
+                                    std::uint32_t value)
+{
+    const std::uint32_t mask = (width == 32) ? 0xffffffffu : ((1u << width) - 1u);
+    return (word & ~(mask << lo)) | ((value & mask) << lo);
+}
+
+// Value fits in `width` bits?
+constexpr bool fits_bits(std::uint64_t value, unsigned width)
+{
+    return width >= 64 || value < (1ULL << width);
+}
+
+// Bit-exact float <-> u32 conversions (the hardware stores raw IEEE-754 bits).
+inline std::uint32_t float_bits(float f) { return std::bit_cast<std::uint32_t>(f); }
+inline float bits_float(std::uint32_t u) { return std::bit_cast<float>(u); }
+
+// Ceiling division for unsigned quantities.
+template <typename T>
+constexpr T ceil_div(T a, T b)
+{
+    SERPENS_ASSERT(b > 0, "ceil_div by zero");
+    return (a + b - 1) / b;
+}
+
+} // namespace serpens

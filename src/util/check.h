@@ -1,0 +1,60 @@
+// Checked invariants and argument validation for the Serpens library.
+//
+// Two failure categories, per the library's error-handling policy:
+//  - SERPENS_CHECK / check_arg: caller-visible contract violations -> throw.
+//  - SERPENS_ASSERT: internal invariants -> throw CheckError (logic_error);
+//    these indicate a library bug, never bad user input.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace serpens {
+
+// Thrown when an internal invariant of the library is violated (a bug).
+class CheckError : public std::logic_error {
+public:
+    explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+// Thrown when a matrix/vector exceeds the configured accelerator capacity.
+class CapacityError : public std::invalid_argument {
+public:
+    explicit CapacityError(const std::string& what) : std::invalid_argument(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failed(const char* kind, const char* expr,
+                                            const char* file, int line,
+                                            const std::string& msg)
+{
+    std::ostringstream os;
+    os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+    if (!msg.empty())
+        os << " — " << msg;
+    if (std::string(kind) == "argument check")
+        throw std::invalid_argument(os.str());
+    throw CheckError(os.str());
+}
+
+} // namespace detail
+
+// Validate a user-supplied argument; throws std::invalid_argument.
+#define SERPENS_CHECK(cond, msg)                                                      \
+    do {                                                                              \
+        if (!(cond))                                                                  \
+            ::serpens::detail::throw_check_failed("argument check", #cond, __FILE__,  \
+                                                  __LINE__, (msg));                   \
+    } while (false)
+
+// Assert an internal invariant; throws serpens::CheckError.
+#define SERPENS_ASSERT(cond, msg)                                                     \
+    do {                                                                              \
+        if (!(cond))                                                                  \
+            ::serpens::detail::throw_check_failed("internal invariant", #cond,        \
+                                                  __FILE__, __LINE__, (msg));         \
+    } while (false)
+
+} // namespace serpens

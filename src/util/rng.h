@@ -1,0 +1,93 @@
+// Deterministic random number generation for generators, tests, and benches.
+//
+// SplitMix64 seeds xoshiro256**; both are tiny, fast, and fully reproducible
+// across platforms — every matrix in the evaluation is a pure function of its
+// seed, so benches and tests are repeatable bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "util/check.h"
+
+namespace serpens {
+
+// SplitMix64: used to expand a single user seed into generator state.
+class SplitMix64 {
+public:
+    explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+    std::uint64_t next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+private:
+    std::uint64_t state_;
+};
+
+// xoshiro256**: the workhorse generator.
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed)
+    {
+        SplitMix64 sm(seed);
+        for (auto& s : state_)
+            s = sm.next();
+    }
+
+    std::uint64_t next_u64()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    // Uniform integer in [0, bound) via Lemire's multiply-shift reduction.
+    std::uint64_t next_below(std::uint64_t bound)
+    {
+        SERPENS_CHECK(bound > 0, "next_below requires a positive bound");
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next_u64()) * bound) >> 64);
+    }
+
+    // Uniform double in [0, 1).
+    double next_double()
+    {
+        return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+    }
+
+    // Uniform float in [lo, hi).
+    float next_float(float lo, float hi)
+    {
+        return lo + static_cast<float>(next_double()) * (hi - lo);
+    }
+
+    // Small integer-valued float in [1, n]; sums of these are exact in FP32
+    // (below 2^24), which lets tests assert bitwise equality independent of
+    // accumulation order.
+    float next_exact_float(int n)
+    {
+        SERPENS_CHECK(n >= 1, "next_exact_float requires n >= 1");
+        return static_cast<float>(1 + next_below(static_cast<std::uint64_t>(n)));
+    }
+
+private:
+    static std::uint64_t rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace serpens

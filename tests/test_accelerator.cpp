@@ -1,0 +1,166 @@
+// End-to-end tests of the Accelerator facade.
+#include <gtest/gtest.h>
+
+#include "baselines/cpu_spmv.h"
+#include "core/accelerator.h"
+#include "sparse/convert.h"
+#include "sparse/generators.h"
+#include "util/rng.h"
+
+namespace serpens::core {
+namespace {
+
+using sparse::CooMatrix;
+
+SerpensConfig test_config()
+{
+    SerpensConfig c = SerpensConfig::a16();
+    c.arch.ha_channels = 2;
+    c.arch.window = 128;
+    return c;
+}
+
+std::vector<float> random_vector(std::size_t n, std::uint64_t seed)
+{
+    serpens::Rng rng(seed);
+    std::vector<float> v(n);
+    for (float& x : v)
+        x = rng.next_float(-1.0f, 1.0f);
+    return v;
+}
+
+TEST(Accelerator, PrepareThenRunMatchesReference)
+{
+    const Accelerator acc(test_config());
+    const CooMatrix m = sparse::make_uniform_random(400, 600, 8000, 1);
+    const PreparedMatrix prepared = acc.prepare(m);
+    EXPECT_EQ(prepared.rows(), 400u);
+    EXPECT_EQ(prepared.cols(), 600u);
+    EXPECT_EQ(prepared.nnz(), m.nnz());
+
+    const auto x = random_vector(600, 2);
+    const auto y = random_vector(400, 3);
+    const RunResult r = acc.run(prepared, x, y, 1.5f, -0.5f);
+
+    const auto ref =
+        baselines::spmv_csr_ref64(sparse::to_csr(m), x, y, 1.5f, -0.5f);
+    for (std::size_t i = 0; i < ref.size(); ++i)
+        ASSERT_NEAR(r.y[i], ref[i], 1e-4 * std::max(1.0, std::abs(ref[i])));
+}
+
+TEST(Accelerator, PreparedMatrixIsReusable)
+{
+    const Accelerator acc(test_config());
+    const CooMatrix m = sparse::make_banded(256, 6, 4);
+    const PreparedMatrix prepared = acc.prepare(m);
+    const auto x1 = random_vector(256, 5);
+    const auto x2 = random_vector(256, 6);
+    const std::vector<float> y(256, 0.0f);
+
+    const RunResult r1 = acc.run(prepared, x1, y);
+    const RunResult r2 = acc.run(prepared, x2, y);
+    const RunResult r1_again = acc.run(prepared, x1, y);
+    EXPECT_EQ(r1.y, r1_again.y);  // no state leaks between runs
+    EXPECT_NE(r1.y, r2.y);
+}
+
+TEST(Accelerator, TimeAndMetricsArePopulated)
+{
+    const Accelerator acc(test_config());
+    const CooMatrix m = sparse::make_uniform_random(512, 512, 20'000, 7);
+    const PreparedMatrix prepared = acc.prepare(m);
+    const std::vector<float> x(512, 1.0f), y(512, 0.0f);
+    const RunResult r = acc.run(prepared, x, y);
+
+    EXPECT_GT(r.time_ms, 0.0);
+    EXPECT_GT(r.metrics.gflops, 0.0);
+    EXPECT_NEAR(r.metrics.gflops, 2e-3 * r.metrics.mteps, 1e-9);
+    EXPECT_GT(r.cycles.total_cycles(), 0u);
+    EXPECT_DOUBLE_EQ(r.metrics.exec_ms, r.time_ms);
+}
+
+TEST(Accelerator, TimeIncludesInvocationOverhead)
+{
+    SerpensConfig c = test_config();
+    c.invocation_overhead_us = 1000.0;  // 1 ms
+    const Accelerator acc(c);
+    const CooMatrix m = sparse::make_diagonal(64);
+    const PreparedMatrix prepared = acc.prepare(m);
+    const std::vector<float> x(64), y(64);
+    const RunResult r = acc.run(prepared, x, y);
+    EXPECT_GT(r.time_ms, 1.0);
+}
+
+TEST(Accelerator, StreamEfficiencyStretchesTime)
+{
+    SerpensConfig fast = test_config();
+    fast.hbm.stream_efficiency = 1.0;
+    SerpensConfig slow = test_config();
+    slow.hbm.stream_efficiency = 0.5;
+
+    const CooMatrix m = sparse::make_uniform_random(256, 256, 20'000, 8);
+    const std::vector<float> x(256), y(256);
+
+    const RunResult rf = Accelerator(fast).run(Accelerator(fast).prepare(m), x, y);
+    const RunResult rs = Accelerator(slow).run(Accelerator(slow).prepare(m), x, y);
+    EXPECT_GT(rs.time_ms, rf.time_ms);
+    EXPECT_EQ(rf.y, rs.y);  // efficiency is a timing knob, not functional
+}
+
+TEST(Accelerator, CapacityErrorSurfaceses)
+{
+    SerpensConfig c = test_config();
+    c.arch.urams_per_pe = 1;
+    c.arch.uram_depth = 4;  // capacity = 2 * 16 * 4 = 128 rows
+    const Accelerator acc(c);
+    EXPECT_EQ(acc.row_capacity(), 128u);
+    EXPECT_THROW(acc.prepare(sparse::make_diagonal(200)),
+                 serpens::CapacityError);
+}
+
+TEST(Accelerator, RejectsInvalidConfig)
+{
+    SerpensConfig c = test_config();
+    c.frequency_mhz = 0.0;
+    EXPECT_THROW(Accelerator{c}, std::invalid_argument);
+    c = test_config();
+    c.hbm.stream_efficiency = 0.0;
+    EXPECT_THROW(Accelerator{c}, std::invalid_argument);
+    c = test_config();
+    c.arch.window = 24;  // not multiple of 16
+    EXPECT_THROW(Accelerator{c}, std::invalid_argument);
+}
+
+TEST(Accelerator, EstimateTracksSimulationWithin2x)
+{
+    // The closed-form estimate (fed with the measured padding ratio) must
+    // stay within 2x of the simulated time — it is used for full-size
+    // projections in the benches.
+    const Accelerator acc(test_config());
+    const CooMatrix m = sparse::make_uniform_random(1024, 2048, 60'000, 9);
+    const PreparedMatrix prepared = acc.prepare(m);
+    const std::vector<float> x(2048), y(1024);
+    const RunResult r = acc.run(prepared, x, y);
+    const double est = acc.estimate_time_ms(
+        1024, 2048, m.nnz(), prepared.encode_stats().padding_ratio());
+    EXPECT_GT(est, 0.5 * r.time_ms);
+    EXPECT_LT(est, 2.0 * r.time_ms);
+}
+
+TEST(Accelerator, A16PresetRunsWideMatrix)
+{
+    // Full A16 geometry (128 PEs) on a matrix wider than one window.
+    const Accelerator acc(SerpensConfig::a16());
+    const CooMatrix m = sparse::make_uniform_random(5000, 20'000, 100'000, 10);
+    const PreparedMatrix prepared = acc.prepare(m);
+    const auto x = random_vector(20'000, 11);
+    const auto y = random_vector(5000, 12);
+    const RunResult r = acc.run(prepared, x, y, 1.0f, 1.0f);
+    const auto ref = baselines::spmv_csr_ref64(sparse::to_csr(m), x, y, 1.0f, 1.0f);
+    for (std::size_t i = 0; i < ref.size(); ++i)
+        ASSERT_NEAR(r.y[i], ref[i], 1e-4 * std::max(1.0, std::abs(ref[i])));
+    EXPECT_EQ(prepared.image().num_segments(), 3u);  // ceil(20000/8192)
+}
+
+} // namespace
+} // namespace serpens::core

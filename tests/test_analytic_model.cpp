@@ -1,0 +1,156 @@
+// Tests for the paper's closed-form models (Eq. 1-4) and the resource model
+// (Table 6).
+#include <gtest/gtest.h>
+
+#include "core/analytic.h"
+#include "core/resource_model.h"
+
+namespace serpens::core {
+namespace {
+
+TEST(Analytic, Equation1Brams)
+{
+    encode::EncodeParams p;
+    p.ha_channels = 16;
+    EXPECT_EQ(brams_required(p), 512u);
+    p.ha_channels = 24;
+    EXPECT_EQ(brams_required(p), 768u);
+    p.ha_channels = 1;
+    EXPECT_EQ(brams_required(p), 32u);
+}
+
+TEST(Analytic, Equation2Urams)
+{
+    encode::EncodeParams p;
+    p.ha_channels = 16;
+    p.urams_per_pe = 3;
+    EXPECT_EQ(urams_required(p), 384u);  // paper Table 6
+    p.ha_channels = 24;
+    EXPECT_EQ(urams_required(p), 576u);
+    p.urams_per_pe = 1;
+    EXPECT_EQ(urams_required(p), 192u);
+}
+
+TEST(Analytic, Equation3RowCapacity)
+{
+    encode::EncodeParams p;  // HA=16, U=3, D=4096
+    EXPECT_EQ(row_capacity(p), 16ull * 16 * 3 * 4096);  // 3,145,728
+    // The biggest Table 3 matrix (ogbn_products, 2.45M rows) must fit.
+    EXPECT_GE(row_capacity(p), 2'450'000u);
+}
+
+TEST(Analytic, Equation4IdealCycles)
+{
+    encode::EncodeParams p;  // HA = 16 -> 128 elements/cycle
+    // (M + K)/16 + NNZ/128 with exact ceils.
+    EXPECT_EQ(ideal_cycles(p, 1600, 1600, 128'000), 100u + 100u + 1000u);
+    EXPECT_EQ(ideal_cycles(p, 17, 17, 129), 2u + 2u + 2u);  // all ceils round up
+    p.ha_channels = 24;
+    EXPECT_EQ(ideal_cycles(p, 1600, 1600, 192'000), 200u + 1000u);
+}
+
+TEST(Analytic, IdealTimeUsesFrequency)
+{
+    SerpensConfig c = SerpensConfig::a16();
+    // 223 MHz: 223,000 cycles per ms.
+    const double ms = ideal_time_ms(c, 0, 0, 128 * 223'000);
+    EXPECT_NEAR(ms, 1.0, 1e-9);
+}
+
+TEST(Analytic, PaperScaleSanityG12)
+{
+    // G12 ogbn_products: M = K = 2.45M, NNZ = 124M. Eq. 4 at 223 MHz gives
+    // ~5.7 ms; the paper measures 6.32 ms. The ideal model must come out
+    // below the measurement but within 2x.
+    SerpensConfig c = SerpensConfig::a16();
+    const double ms = ideal_time_ms(c, 2'450'000, 2'450'000, 124'000'000);
+    EXPECT_GT(ms, 3.0);
+    EXPECT_LT(ms, 6.32);
+}
+
+TEST(Analytic, EstimateAddsOverheads)
+{
+    SerpensConfig c = SerpensConfig::a16();
+    const double ideal = ideal_time_ms(c, 100'000, 100'000, 10'000'000);
+    const double modeled = estimate_time_ms(c, 100'000, 100'000, 10'000'000);
+    EXPECT_GT(modeled, ideal);
+}
+
+TEST(Analytic, EstimateMonotoneInPadding)
+{
+    SerpensConfig c = SerpensConfig::a16();
+    const double p0 = estimate_time_ms(c, 1000, 1000, 100'000, 0.0);
+    const double p1 = estimate_time_ms(c, 1000, 1000, 100'000, 0.2);
+    EXPECT_GT(p1, p0);
+    EXPECT_THROW(estimate_time_ms(c, 1000, 1000, 100'000, 1.0),
+                 std::invalid_argument);
+}
+
+TEST(Analytic, MoreChannelsNeverSlower)
+{
+    SerpensConfig a16 = SerpensConfig::a16();
+    SerpensConfig a24 = SerpensConfig::a24();
+    const double t16 = estimate_time_ms(a16, 100'000, 100'000, 50'000'000);
+    const double t24 = estimate_time_ms(a24, 100'000, 100'000, 50'000'000);
+    EXPECT_LT(t24, t16);
+}
+
+// --- Config presets ---
+
+TEST(Config, A16MatchesPaperTable2)
+{
+    const SerpensConfig c = SerpensConfig::a16();
+    EXPECT_EQ(c.arch.ha_channels, 16u);
+    EXPECT_DOUBLE_EQ(c.frequency_mhz, 223.0);
+    EXPECT_DOUBLE_EQ(c.power_w, 48.0);
+    EXPECT_EQ(c.total_hbm_channels(), 19u);
+    EXPECT_NEAR(c.utilized_bandwidth_gbps(), 273.0, 0.5);  // paper: 273 GB/s
+}
+
+TEST(Config, A24MatchesPaperSection44)
+{
+    const SerpensConfig c = SerpensConfig::a24();
+    EXPECT_EQ(c.arch.ha_channels, 24u);
+    EXPECT_DOUBLE_EQ(c.frequency_mhz, 270.0);
+    EXPECT_EQ(c.total_hbm_channels(), 27u);
+    EXPECT_NEAR(c.utilized_bandwidth_gbps(), 388.0, 0.5);  // paper: 388 GB/s
+}
+
+// --- Resource model ---
+
+TEST(Resources, A16MatchesPaperTable6)
+{
+    const ResourceEstimate r = estimate_resources(SerpensConfig::a16());
+    EXPECT_EQ(r.luts, 173'000u);
+    EXPECT_EQ(r.ffs, 327'000u);
+    EXPECT_EQ(r.dsps, 720u);
+    EXPECT_EQ(r.brams, 655u);
+    EXPECT_EQ(r.urams, 384u);
+    EXPECT_NEAR(r.lut_pct, 15.0, 0.5);
+    EXPECT_NEAR(r.ff_pct, 14.0, 0.5);
+    EXPECT_NEAR(r.dsp_pct, 8.0, 0.5);
+    EXPECT_NEAR(r.bram_pct, 36.0, 0.5);
+    EXPECT_NEAR(r.uram_pct, 40.0, 0.5);
+}
+
+TEST(Resources, ScalesWithChannels)
+{
+    const ResourceEstimate a16 = estimate_resources(SerpensConfig::a16());
+    const ResourceEstimate a24 = estimate_resources(SerpensConfig::a24());
+    EXPECT_GT(a24.luts, a16.luts);
+    EXPECT_GT(a24.dsps, a16.dsps);
+    EXPECT_EQ(a24.urams, 576u);   // 8 * 24 * 3
+    EXPECT_EQ(a24.brams, 768u + (a16.brams - 512u));  // Eq.1 + same base
+}
+
+TEST(Resources, A24FitsTheDevice)
+{
+    const ResourceEstimate r = estimate_resources(SerpensConfig::a24());
+    EXPECT_LT(r.lut_pct, 100.0);
+    EXPECT_LT(r.uram_pct, 100.0);
+    EXPECT_LT(r.bram_pct, 100.0);
+    EXPECT_LT(r.dsp_pct, 100.0);
+}
+
+} // namespace
+} // namespace serpens::core

@@ -1,0 +1,198 @@
+// Tests for the application-layer library (PageRank, BFS, SSSP).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "apps/pagerank.h"
+#include "baselines/semiring.h"
+#include "apps/traversal.h"
+#include "sparse/convert.h"
+#include "sparse/generators.h"
+
+namespace serpens::apps {
+namespace {
+
+using sparse::CooMatrix;
+using sparse::CsrMatrix;
+using sparse::index_t;
+
+core::Accelerator small_accelerator()
+{
+    core::SerpensConfig c = core::SerpensConfig::a16();
+    c.arch.ha_channels = 2;
+    c.arch.window = 128;
+    return core::Accelerator(c);
+}
+
+// --- transition_matrix ---
+
+TEST(TransitionMatrix, ColumnStochastic)
+{
+    CooMatrix g(3, 3);
+    g.add(0, 1, 1.0f);  // 0 -> 1
+    g.add(0, 2, 1.0f);  // 0 -> 2
+    g.add(1, 2, 1.0f);  // 1 -> 2
+    const CooMatrix p = transition_matrix(g);
+
+    // Column u sums to 1 for every vertex with out-edges.
+    std::vector<double> col_sum(3, 0.0);
+    for (const auto& t : p.elements())
+        col_sum[t.col] += t.val;
+    EXPECT_DOUBLE_EQ(col_sum[0], 1.0);
+    EXPECT_DOUBLE_EQ(col_sum[1], 1.0);
+    EXPECT_DOUBLE_EQ(col_sum[2], 1.0);  // dangling vertex 2: self-loop
+}
+
+TEST(TransitionMatrix, EdgeWeightsAreInverseOutdegree)
+{
+    CooMatrix g(2, 2);
+    g.add(0, 0, 1.0f);
+    g.add(0, 1, 1.0f);
+    CooMatrix p = transition_matrix(g);
+    p.sort_row_major();
+    for (const auto& t : p.elements()) {
+        if (t.col == 0) {
+            EXPECT_FLOAT_EQ(t.val, 0.5f);
+        }
+    }
+}
+
+TEST(TransitionMatrix, RejectsNonSquare)
+{
+    EXPECT_THROW(transition_matrix(CooMatrix(2, 3)), std::invalid_argument);
+}
+
+// --- pagerank ---
+
+TEST(PageRank, MassConservedAndConverges)
+{
+    const CooMatrix g = sparse::make_rmat(9, 8, 11);
+    const auto acc = small_accelerator();
+    PageRankOptions opt;
+    opt.max_iterations = 60;
+    opt.tolerance = 1e-7;
+    const PageRankResult r = pagerank(acc, g, opt);
+
+    const double mass = std::accumulate(r.rank.begin(), r.rank.end(), 0.0);
+    EXPECT_NEAR(mass, 1.0, 1e-3);
+    EXPECT_LT(r.delta, 1e-6);
+    EXPECT_GT(r.iterations, 3);
+    EXPECT_GT(r.modeled_ms, 0.0);
+}
+
+TEST(PageRank, UniformOnSymmetricRing)
+{
+    // A directed ring: every vertex has in/out degree 1 -> uniform rank.
+    const index_t n = 64;
+    CooMatrix ring(n, n);
+    for (index_t v = 0; v < n; ++v)
+        ring.add(v, (v + 1) % n, 1.0f);
+    const PageRankResult r = pagerank(small_accelerator(), ring);
+    for (float v : r.rank)
+        EXPECT_NEAR(v, 1.0f / n, 1e-4f);
+}
+
+TEST(PageRank, SinkAttractsRank)
+{
+    // Star into vertex 0: vertex 0 must outrank the leaves.
+    const index_t n = 32;
+    CooMatrix star(n, n);
+    for (index_t v = 1; v < n; ++v)
+        star.add(v, 0, 1.0f);
+    const PageRankResult r = pagerank(small_accelerator(), star);
+    for (index_t v = 1; v < n; ++v)
+        EXPECT_GT(r.rank[0], r.rank[v]);
+}
+
+TEST(PageRank, RejectsBadOptions)
+{
+    const CooMatrix g = sparse::make_diagonal(8);
+    PageRankOptions opt;
+    opt.damping = 1.5;
+    EXPECT_THROW(pagerank(small_accelerator(), g, opt), std::invalid_argument);
+    opt = {};
+    opt.max_iterations = 0;
+    EXPECT_THROW(pagerank(small_accelerator(), g, opt), std::invalid_argument);
+}
+
+// --- bfs / sssp ---
+
+CsrMatrix reversed(const CooMatrix& g)
+{
+    return sparse::to_csr(g.transposed());
+}
+
+TEST(Bfs, PathGraphLevels)
+{
+    CooMatrix g(5, 5);
+    for (index_t v = 0; v + 1 < 5; ++v)
+        g.add(v, v + 1, 1.0f);
+    const auto levels = bfs_levels(reversed(g), 0);
+    EXPECT_EQ(levels, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Bfs, DisconnectedComponent)
+{
+    CooMatrix g(4, 4);
+    g.add(0, 1, 1.0f);
+    g.add(2, 3, 1.0f);
+    const auto levels = bfs_levels(reversed(g), 0);
+    EXPECT_EQ(levels[1], 1);
+    EXPECT_EQ(levels[2], kUnreached);
+    EXPECT_EQ(levels[3], kUnreached);
+}
+
+TEST(Bfs, RejectsBadSource)
+{
+    const CooMatrix g = sparse::make_diagonal(4);
+    EXPECT_THROW(bfs_levels(reversed(g), 9), std::invalid_argument);
+}
+
+TEST(Sssp, ShortcutBeatsDirectEdge)
+{
+    CooMatrix g(3, 3);
+    g.add(0, 2, 10.0f);
+    g.add(0, 1, 1.0f);
+    g.add(1, 2, 2.0f);
+    const auto dist = sssp_distances(reversed(g), 0);
+    EXPECT_FLOAT_EQ(dist[2], 3.0f);  // via vertex 1, not the 10.0 edge
+}
+
+TEST(Sssp, UnreachableIsInfinite)
+{
+    CooMatrix g(3, 3);
+    g.add(0, 1, 1.0f);
+    const auto dist = sssp_distances(reversed(g), 0);
+    EXPECT_EQ(dist[2], serpens::baselines::kMinPlusInf);
+}
+
+TEST(Sssp, RejectsNegativeWeights)
+{
+    CooMatrix g(2, 2);
+    g.add(0, 1, -1.0f);
+    EXPECT_THROW(sssp_distances(reversed(g), 0), std::invalid_argument);
+}
+
+TEST(Sssp, AgreesWithBfsOnUnitWeights)
+{
+    const CooMatrix g = sparse::make_rmat(7, 4, 3,
+                                          sparse::ValueOptions{.exact_values = true});
+    // Unit weights: SSSP distance == BFS level wherever reachable.
+    CooMatrix unit = g;
+    for (auto& e : unit.elements())
+        e.val = 1.0f;
+    const auto rev = reversed(unit);
+    const auto levels = bfs_levels(rev, 0);
+    const auto dist = sssp_distances(rev, 0);
+    for (index_t v = 0; v < unit.rows(); ++v) {
+        if (levels[v] == kUnreached) {
+            EXPECT_EQ(dist[v], serpens::baselines::kMinPlusInf) << "vertex " << v;
+        } else {
+            EXPECT_FLOAT_EQ(dist[v], static_cast<float>(levels[v]))
+                << "vertex " << v;
+        }
+    }
+}
+
+} // namespace
+} // namespace serpens::apps

@@ -1,0 +1,117 @@
+// Capacity and error-path tests across the stack: every user-visible limit
+// must fail loudly with a typed exception, never corrupt state.
+#include <gtest/gtest.h>
+
+#include "core/accelerator.h"
+#include "encode/image.h"
+#include "sparse/generators.h"
+
+namespace serpens {
+namespace {
+
+using core::Accelerator;
+using core::SerpensConfig;
+using encode::EncodeParams;
+using sparse::CooMatrix;
+
+TEST(Capacity, PaperConfigsHoldTable3Matrices)
+{
+    // A16 capacity (3.1M rows) must hold every Table 3 matrix; the largest
+    // is ogbn_products at 2.45M rows.
+    const SerpensConfig a16 = SerpensConfig::a16();
+    EXPECT_GE(a16.arch.row_capacity(), 2'450'000u);
+    const SerpensConfig a24 = SerpensConfig::a24();
+    EXPECT_GE(a24.arch.row_capacity(), a16.arch.row_capacity());
+}
+
+TEST(Capacity, ExactBoundary)
+{
+    EncodeParams p;
+    p.ha_channels = 1;
+    p.urams_per_pe = 1;
+    p.uram_depth = 8;  // capacity = 2 * 8 * 1 * 8 = 128
+    ASSERT_EQ(p.row_capacity(), 128u);
+    EXPECT_NO_THROW(encode::encode_matrix(sparse::make_diagonal(128), p));
+    EXPECT_THROW(encode::encode_matrix(sparse::make_diagonal(129), p),
+                 CapacityError);
+}
+
+TEST(Capacity, ErrorMessageIsActionable)
+{
+    EncodeParams p;
+    p.ha_channels = 1;
+    p.urams_per_pe = 1;
+    p.uram_depth = 8;
+    try {
+        encode::encode_matrix(sparse::make_diagonal(500), p);
+        FAIL() << "expected CapacityError";
+    } catch (const CapacityError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("500"), std::string::npos);  // actual rows
+        EXPECT_NE(what.find("128"), std::string::npos);  // capacity
+    }
+}
+
+TEST(Capacity, ColumnsAreUnlimitedBySegmentation)
+{
+    // Columns stream through W-sized segments, so arbitrarily wide matrices
+    // encode fine (only rows are capacity-bound).
+    EncodeParams p;
+    p.ha_channels = 1;
+    p.window = 64;
+    CooMatrix wide(16, 1'000'000);
+    wide.add(3, 999'999, 1.0f);
+    wide.add(0, 0, 2.0f);
+    const auto img = encode::encode_matrix(wide, p);
+    EXPECT_EQ(img.num_segments(), serpens::ceil_div<sparse::index_t>(1'000'000, 64));
+}
+
+TEST(Capacity, PreparedMatrixSurvivesAcceleratorScope)
+{
+    // PreparedMatrix owns its image; using it after the source CooMatrix is
+    // gone must be safe.
+    const Accelerator acc([] {
+        SerpensConfig c = SerpensConfig::a16();
+        c.arch.ha_channels = 1;
+        c.arch.window = 64;
+        return c;
+    }());
+    std::unique_ptr<core::PreparedMatrix> prepared;
+    {
+        const CooMatrix m = sparse::make_diagonal(64, 2.0f);
+        prepared = std::make_unique<core::PreparedMatrix>(acc.prepare(m));
+    }
+    const std::vector<float> x(64, 1.0f), y(64, 0.0f);
+    const auto r = acc.run(*prepared, x, y);
+    for (float v : r.y)
+        EXPECT_FLOAT_EQ(v, 2.0f);
+}
+
+TEST(Capacity, ChannelBoundsValidated)
+{
+    EncodeParams p;
+    p.ha_channels = 29;  // 29 + 3 vector channels > 32 HBM channels
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Capacity, WindowBoundsValidated)
+{
+    EncodeParams p;
+    p.window = 16384 + 16;  // beyond the 14-bit col_off field
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+    p.window = 16384;
+    EXPECT_NO_THROW(p.validate());
+}
+
+TEST(Capacity, AddressFieldBoundsValidated)
+{
+    EncodeParams p;
+    p.urams_per_pe = 8;
+    p.uram_depth = 4096;  // 32768 = exactly the 15-bit field: OK
+    EXPECT_NO_THROW(p.validate());
+    p.urams_per_pe = 9;   // 36864 > 32768: must reject
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+} // namespace
+} // namespace serpens

@@ -1,0 +1,122 @@
+// Tests for the index-coalescing optimization (paper §3.4): capacity
+// doubling, conflict-granularity change, and its performance trade-off.
+#include <gtest/gtest.h>
+
+#include "core/accelerator.h"
+#include "encode/image.h"
+#include "sparse/convert.h"
+#include "sparse/generators.h"
+#include "baselines/cpu_spmv.h"
+
+namespace serpens {
+namespace {
+
+using encode::EncodeParams;
+using sparse::CooMatrix;
+
+TEST(Coalescing, DoublesRowCapacityEverywhere)
+{
+    for (unsigned ha : {1u, 2u, 8u, 16u, 24u}) {
+        EncodeParams on;
+        on.ha_channels = ha;
+        EncodeParams off = on;
+        off.coalescing = false;
+        EXPECT_EQ(on.row_capacity(), 2 * off.row_capacity()) << "HA " << ha;
+    }
+}
+
+TEST(Coalescing, EnablesMatricesRowDirectCannotHold)
+{
+    EncodeParams p;
+    p.ha_channels = 1;
+    p.urams_per_pe = 1;
+    p.uram_depth = 16;  // row-direct capacity 128; coalesced 256
+    const CooMatrix m = sparse::make_diagonal(200);
+
+    EXPECT_NO_THROW(encode::encode_matrix(m, p));
+    p.coalescing = false;
+    EXPECT_THROW(encode::encode_matrix(m, p), CapacityError);
+}
+
+TEST(Coalescing, PairConflictsAreStricterThanRowConflicts)
+{
+    // A two-row dense matrix: with coalescing, rows 0 and 1 share one URAM
+    // address, so *all* elements conflict; without, the two rows interleave
+    // freely. The coalesced schedule must be strictly longer.
+    CooMatrix m(2, 256);
+    for (sparse::index_t c = 0; c < 256; ++c) {
+        m.add(0, c, 1.0f);
+        m.add(1, c, 1.0f);
+    }
+    EncodeParams p;
+    p.ha_channels = 1;
+    p.window = 256;
+    p.dsp_latency = 8;
+
+    const auto coalesced = encode::encode_matrix(m, p);
+    p.coalescing = false;
+    const auto direct = encode::encode_matrix(m, p);
+
+    EXPECT_GT(coalesced.stats().padding_slots, direct.stats().padding_slots);
+    // Coalesced: 512 elements through one address = (512-1)*8+1 slots on
+    // one PE.
+    EXPECT_GE(coalesced.segment_depth(0), 511u * 8 + 1);
+}
+
+TEST(Coalescing, FunctionalResultsIdentical)
+{
+    // Coalescing is a storage optimization; results must agree bit-for-bit
+    // on exact-valued data.
+    const CooMatrix m = sparse::make_uniform_random(
+        300, 300, 5000, 5, sparse::ValueOptions{.exact_values = true});
+    core::SerpensConfig cfg = core::SerpensConfig::a16();
+    cfg.arch.ha_channels = 2;
+    cfg.arch.window = 128;
+
+    std::vector<float> x(300, 1.0f), y(300, 0.0f);
+
+    const core::Accelerator on(cfg);
+    cfg.arch.coalescing = false;
+    const core::Accelerator off(cfg);
+
+    const auto ry_on = on.run(on.prepare(m), x, y).y;
+    const auto ry_off = off.run(off.prepare(m), x, y).y;
+    EXPECT_EQ(ry_on, ry_off);
+}
+
+TEST(Coalescing, UramWordsHalvedOnFriendlyMatrix)
+{
+    // The point of coalescing: the same rows occupy half the URAM words.
+    // Count distinct addresses touched per PE via the decoded image.
+    EncodeParams p;
+    p.ha_channels = 1;
+    p.window = 1024;
+    const CooMatrix m = sparse::make_banded(1024, 4, 3);
+
+    const auto img_on = encode::encode_matrix(m, p);
+    p.coalescing = false;
+    const auto img_off = encode::encode_matrix(m, p);
+
+    const auto count_addrs = [](const encode::SerpensImage& img) {
+        std::set<std::pair<unsigned, std::uint32_t>> addrs;
+        for (unsigned ch = 0; ch < img.channels(); ++ch) {
+            for (const auto& line : img.channel(ch).lines()) {
+                for (unsigned lane = 0; lane < 8; ++lane) {
+                    const auto e =
+                        encode::EncodedElement::from_bits(line.lane64(lane));
+                    if (e.valid())
+                        addrs.insert({ch * 8 + lane, e.pair_addr()});
+                }
+            }
+        }
+        return addrs.size();
+    };
+
+    const std::size_t on_words = count_addrs(img_on);
+    const std::size_t off_words = count_addrs(img_off);
+    EXPECT_EQ(on_words, 512u);    // 1024 rows as 512 pairs
+    EXPECT_EQ(off_words, 1024u);  // one word per row
+}
+
+} // namespace
+} // namespace serpens

@@ -1,0 +1,215 @@
+// Unit tests for the COO/CSR containers and conversions.
+#include <gtest/gtest.h>
+
+#include "sparse/convert.h"
+#include "sparse/coo.h"
+#include "sparse/csr.h"
+
+namespace serpens::sparse {
+namespace {
+
+CooMatrix small_example()
+{
+    // 3x4:
+    //   [ 1 0 2 0 ]
+    //   [ 0 0 0 3 ]
+    //   [ 4 5 0 0 ]
+    CooMatrix m(3, 4);
+    m.add(0, 0, 1.0f);
+    m.add(0, 2, 2.0f);
+    m.add(1, 3, 3.0f);
+    m.add(2, 0, 4.0f);
+    m.add(2, 1, 5.0f);
+    return m;
+}
+
+TEST(Coo, DimensionsAndNnz)
+{
+    const CooMatrix m = small_example();
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.cols(), 4u);
+    EXPECT_EQ(m.nnz(), 5u);
+    EXPECT_FALSE(m.empty());
+}
+
+TEST(Coo, RejectsZeroDimensions)
+{
+    EXPECT_THROW(CooMatrix(0, 4), std::invalid_argument);
+    EXPECT_THROW(CooMatrix(4, 0), std::invalid_argument);
+}
+
+TEST(Coo, RejectsOutOfBoundsAdd)
+{
+    CooMatrix m(2, 2);
+    EXPECT_THROW(m.add(2, 0, 1.0f), std::invalid_argument);
+    EXPECT_THROW(m.add(0, 2, 1.0f), std::invalid_argument);
+}
+
+TEST(Coo, FromTripletsValidates)
+{
+    std::vector<Triplet> ts = {{0, 0, 1.0f}, {5, 0, 2.0f}};
+    EXPECT_THROW(CooMatrix::from_triplets(2, 2, ts), std::invalid_argument);
+}
+
+TEST(Coo, FromTripletsKeepsData)
+{
+    std::vector<Triplet> ts = {{1, 1, 2.0f}, {0, 0, 1.0f}};
+    const CooMatrix m = CooMatrix::from_triplets(2, 2, ts);
+    EXPECT_EQ(m.nnz(), 2u);
+    EXPECT_EQ(m.elements()[0], (Triplet{1, 1, 2.0f}));
+}
+
+TEST(Coo, SortRowMajor)
+{
+    CooMatrix m(3, 3);
+    m.add(2, 1, 1.0f);
+    m.add(0, 2, 2.0f);
+    m.add(0, 1, 3.0f);
+    m.sort_row_major();
+    EXPECT_EQ(m.elements()[0], (Triplet{0, 1, 3.0f}));
+    EXPECT_EQ(m.elements()[1], (Triplet{0, 2, 2.0f}));
+    EXPECT_EQ(m.elements()[2], (Triplet{2, 1, 1.0f}));
+}
+
+TEST(Coo, SortColMajor)
+{
+    CooMatrix m(3, 3);
+    m.add(2, 1, 1.0f);
+    m.add(0, 2, 2.0f);
+    m.add(1, 0, 3.0f);
+    m.sort_col_major();
+    EXPECT_EQ(m.elements()[0].col, 0u);
+    EXPECT_EQ(m.elements()[1].col, 1u);
+    EXPECT_EQ(m.elements()[2].col, 2u);
+}
+
+TEST(Coo, CoalesceSumsDuplicates)
+{
+    CooMatrix m(2, 2);
+    m.add(0, 0, 1.0f);
+    m.add(0, 0, 2.5f);
+    m.add(1, 1, 1.0f);
+    m.add(0, 0, 0.5f);
+    m.coalesce_duplicates();
+    EXPECT_EQ(m.nnz(), 2u);
+    EXPECT_FLOAT_EQ(m.elements()[0].val, 4.0f);
+}
+
+TEST(Coo, DropZeros)
+{
+    CooMatrix m(2, 2);
+    m.add(0, 0, 0.0f);
+    m.add(1, 1, 2.0f);
+    m.drop_zeros();
+    EXPECT_EQ(m.nnz(), 1u);
+    EXPECT_EQ(m.elements()[0].row, 1u);
+}
+
+TEST(Coo, TransposeSwapsIndices)
+{
+    const CooMatrix t = small_example().transposed();
+    EXPECT_EQ(t.rows(), 4u);
+    EXPECT_EQ(t.cols(), 3u);
+    EXPECT_EQ(t.nnz(), 5u);
+    bool found = false;
+    for (const Triplet& e : t.elements())
+        found |= e == Triplet{3, 1, 3.0f};
+    EXPECT_TRUE(found);
+}
+
+TEST(Coo, DoubleTransposeIsIdentity)
+{
+    CooMatrix m = small_example();
+    m.sort_row_major();
+    CooMatrix tt = m.transposed().transposed();
+    tt.sort_row_major();
+    EXPECT_EQ(m.elements(), tt.elements());
+}
+
+// --- CSR ---
+
+TEST(Csr, FromCooStructure)
+{
+    const CsrMatrix csr = to_csr(small_example());
+    EXPECT_EQ(csr.rows(), 3u);
+    EXPECT_EQ(csr.cols(), 4u);
+    EXPECT_EQ(csr.nnz(), 5u);
+    EXPECT_EQ(csr.row_ptr(), (std::vector<nnz_t>{0, 2, 3, 5}));
+    EXPECT_EQ(csr.col_idx(), (std::vector<index_t>{0, 2, 3, 0, 1}));
+    EXPECT_EQ(csr.values(), (std::vector<float>{1, 2, 3, 4, 5}));
+}
+
+TEST(Csr, RowAccessors)
+{
+    const CsrMatrix csr = to_csr(small_example());
+    EXPECT_EQ(csr.row_nnz(0), 2u);
+    EXPECT_EQ(csr.row_nnz(1), 1u);
+    EXPECT_EQ(csr.row_nnz(2), 2u);
+    EXPECT_EQ(csr.max_row_nnz(), 2u);
+}
+
+TEST(Csr, UnsortedCooRowsGetSortedColumns)
+{
+    CooMatrix m(1, 5);
+    m.add(0, 4, 4.0f);
+    m.add(0, 1, 1.0f);
+    m.add(0, 3, 3.0f);
+    const CsrMatrix csr = to_csr(m);
+    EXPECT_EQ(csr.col_idx(), (std::vector<index_t>{1, 3, 4}));
+    EXPECT_EQ(csr.values(), (std::vector<float>{1, 3, 4}));
+}
+
+TEST(Csr, ValidatesRowPtr)
+{
+    EXPECT_THROW(CsrMatrix(2, 2, {0, 1}, {0}, {1.0f}), std::invalid_argument);
+    EXPECT_THROW(CsrMatrix(2, 2, {1, 1, 1}, {}, {}), std::invalid_argument);
+    EXPECT_THROW(CsrMatrix(2, 2, {0, 2, 1}, {0}, {1.0f}), std::invalid_argument);
+}
+
+TEST(Csr, ValidatesColumnBounds)
+{
+    EXPECT_THROW(CsrMatrix(1, 2, {0, 1}, {2}, {1.0f}), std::invalid_argument);
+}
+
+TEST(Csr, RoundTripThroughCoo)
+{
+    CooMatrix m = small_example();
+    m.sort_row_major();
+    CooMatrix back = to_coo(to_csr(m));
+    back.sort_row_major();
+    EXPECT_EQ(m.elements(), back.elements());
+}
+
+TEST(Csr, EmptyRowsHandled)
+{
+    CooMatrix m(4, 4);
+    m.add(3, 0, 7.0f);
+    const CsrMatrix csr = to_csr(m);
+    EXPECT_EQ(csr.row_nnz(0), 0u);
+    EXPECT_EQ(csr.row_nnz(1), 0u);
+    EXPECT_EQ(csr.row_nnz(2), 0u);
+    EXPECT_EQ(csr.row_nnz(3), 1u);
+}
+
+TEST(Csr, RowImbalanceZeroForUniform)
+{
+    CooMatrix m(3, 3);
+    for (index_t r = 0; r < 3; ++r)
+        for (index_t c = 0; c < 3; ++c)
+            m.add(r, c, 1.0f);
+    EXPECT_DOUBLE_EQ(to_csr(m).row_imbalance(), 0.0);
+}
+
+TEST(Csr, RowImbalancePositiveForSkewed)
+{
+    CooMatrix m(4, 8);
+    for (index_t c = 0; c < 8; ++c)
+        m.add(0, c, 1.0f);
+    m.add(1, 0, 1.0f);
+    m.add(2, 0, 1.0f);
+    m.add(3, 0, 1.0f);
+    EXPECT_GT(to_csr(m).row_imbalance(), 1.0);
+}
+
+} // namespace
+} // namespace serpens::sparse

@@ -1,0 +1,180 @@
+// Tests for the Table 3 stand-ins and the SuiteSparse-like collection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "datasets/suite.h"
+#include "datasets/table3.h"
+#include "sparse/convert.h"
+
+namespace serpens::datasets {
+namespace {
+
+TEST(Table3, TwelveSpecsMatchPaper)
+{
+    const auto& specs = twelve_large();
+    ASSERT_EQ(specs.size(), 12u);
+    EXPECT_EQ(specs[0].id, "G1");
+    EXPECT_EQ(specs[0].name, "googleplus");
+    EXPECT_EQ(specs[11].id, "G12");
+    EXPECT_EQ(specs[11].rows, 2'450'000u);
+    EXPECT_EQ(specs[11].nnz, 124'000'000u);
+    // Sextans support pattern from Table 4: G7, G9-G12 are "-".
+    EXPECT_TRUE(std::isnan(specs[6].paper.sextans_ms));
+    EXPECT_TRUE(std::isnan(specs[8].paper.sextans_ms));
+    EXPECT_FALSE(std::isnan(specs[7].paper.sextans_ms));  // G8 runs
+    // Every matrix has GraphLily and Serpens measurements.
+    for (const auto& s : specs) {
+        EXPECT_FALSE(std::isnan(s.paper.graphlily_ms)) << s.id;
+        EXPECT_FALSE(std::isnan(s.paper.serpens_a16_ms)) << s.id;
+        EXPECT_GT(s.paper.serpens_a24_gflops, 0.0) << s.id;
+    }
+}
+
+TEST(Table3, SerpensAlwaysFasterExceptG1)
+{
+    // Paper: Serpens loses to GraphLily only on G1.
+    for (const auto& s : twelve_large()) {
+        if (s.id == "G1") {
+            EXPECT_GT(s.paper.serpens_a16_ms, s.paper.graphlily_ms);
+        } else {
+            EXPECT_LT(s.paper.serpens_a16_ms, s.paper.graphlily_ms);
+        }
+    }
+}
+
+TEST(Table3, RealizeScalesDimensions)
+{
+    const auto& spec = twelve_large()[1];  // crankseg_2
+    const auto m = realize(spec, 16);
+    EXPECT_NEAR(static_cast<double>(m.rows()),
+                static_cast<double>(spec.rows) / 16.0,
+                static_cast<double>(spec.rows) / 16.0 * 0.05);
+    // NNZ within 40% of target (generators coalesce duplicates).
+    EXPECT_GT(m.nnz(), spec.nnz / 16 * 6 / 10);
+    EXPECT_LT(m.nnz(), spec.nnz / 16 * 14 / 10);
+}
+
+TEST(Table3, RealizeIsDeterministic)
+{
+    const auto& spec = twelve_large()[0];
+    const auto a = realize(spec, 64);
+    const auto b = realize(spec, 64);
+    EXPECT_EQ(a.elements(), b.elements());
+}
+
+TEST(Table3, KindsProduceDistinctStructure)
+{
+    // Social graphs must be noticeably more skewed than FEM bands.
+    const auto social = sparse::to_csr(realize(twelve_large()[0], 64));  // G1
+    const auto fem = sparse::to_csr(realize(twelve_large()[1], 64));     // G2
+    EXPECT_GT(social.row_imbalance(), 2.0 * fem.row_imbalance());
+}
+
+TEST(Table3, FoldSquarePreservesNnzUpToCoalescing)
+{
+    sparse::CooMatrix m(8, 8);
+    m.add(7, 7, 1.0f);
+    m.add(3, 2, 2.0f);
+    const auto folded = fold_square(m, 5);
+    EXPECT_EQ(folded.rows(), 5u);
+    EXPECT_EQ(folded.nnz(), 2u);  // (2,2) and (3,2)
+}
+
+TEST(Table3, AllTwelveRealizableAtSmallScale)
+{
+    for (const auto& spec : twelve_large()) {
+        const auto m = realize(spec, 256);
+        EXPECT_GT(m.nnz(), 0u) << spec.id;
+        EXPECT_GT(m.rows(), 0u) << spec.id;
+    }
+}
+
+// --- Suite ---
+
+TEST(Suite, SampleCountAndDeterminism)
+{
+    SuiteSpec spec;
+    spec.count = 40;
+    const auto a = sample_suite(spec);
+    const auto b = sample_suite(spec);
+    ASSERT_EQ(a.size(), 40u);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].nnz, b[i].nnz);
+        EXPECT_EQ(a[i].n, b[i].n);
+        EXPECT_EQ(a[i].seed, b[i].seed);
+    }
+}
+
+TEST(Suite, SpansNnzRange)
+{
+    SuiteSpec spec;
+    spec.count = 100;
+    spec.min_nnz = 1'000;
+    spec.max_nnz = 1'000'000;
+    const auto recipes = sample_suite(spec);
+    sparse::nnz_t lo = spec.max_nnz, hi = 0;
+    for (const auto& r : recipes) {
+        lo = std::min(lo, r.nnz);
+        hi = std::max(hi, r.nnz);
+        EXPECT_GE(r.nnz, spec.min_nnz);
+        EXPECT_LE(r.nnz, spec.max_nnz);
+    }
+    // Log-uniform draw over 3 decades: both ends must be populated.
+    EXPECT_LT(lo, 10'000u);
+    EXPECT_GT(hi, 100'000u);
+}
+
+TEST(Suite, MixesKinds)
+{
+    SuiteSpec spec;
+    spec.count = 60;
+    std::set<SuiteKind> kinds;
+    for (const auto& r : sample_suite(spec))
+        kinds.insert(r.kind);
+    EXPECT_EQ(kinds.size(), 3u);
+}
+
+TEST(Suite, RecipesRealizeWithinBounds)
+{
+    SuiteSpec spec;
+    spec.count = 12;
+    spec.max_nnz = 50'000;
+    for (const auto& r : sample_suite(spec)) {
+        const auto m = realize(r);
+        EXPECT_EQ(m.rows(), r.n) << r.tag;
+        EXPECT_EQ(m.cols(), r.n) << r.tag;
+        EXPECT_GT(m.nnz(), 0u) << r.tag;
+        // Target NNZ is approximate (coalescing), never exceeded by 2x.
+        EXPECT_LT(m.nnz(), 2 * r.nnz + 16) << r.tag;
+    }
+}
+
+TEST(Suite, DimensionRespectsDensityCap)
+{
+    SuiteSpec spec;
+    spec.count = 200;
+    for (const auto& r : sample_suite(spec)) {
+        // nnz <= 0.5 * n^2 by the clamp, so banded/uniform can realize.
+        EXPECT_LE(static_cast<double>(r.nnz),
+                  0.55 * static_cast<double>(r.n) * static_cast<double>(r.n))
+            << r.tag;
+        EXPECT_LE(r.n, spec.max_dim);
+        EXPECT_GE(r.n, 24u);
+    }
+}
+
+TEST(Suite, RejectsBadSpec)
+{
+    SuiteSpec spec;
+    spec.count = 0;
+    EXPECT_THROW(sample_suite(spec), std::invalid_argument);
+    spec = {};
+    spec.min_nnz = 10'000;
+    spec.max_nnz = 100;
+    EXPECT_THROW(sample_suite(spec), std::invalid_argument);
+}
+
+} // namespace
+} // namespace serpens::datasets

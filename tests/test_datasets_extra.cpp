@@ -1,0 +1,194 @@
+// Tests for the dataset-shaping utilities added for stand-in fidelity:
+// the clustered generator, hub-degree capping, hub injection, and the
+// bit-mixing fold.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datasets/table3.h"
+#include "sparse/convert.h"
+#include "sparse/generators.h"
+
+namespace serpens::datasets {
+namespace {
+
+using sparse::CooMatrix;
+using sparse::CsrMatrix;
+using sparse::index_t;
+using sparse::nnz_t;
+
+// --- make_clustered ---
+
+TEST(Clustered, DimensionsAndTarget)
+{
+    const CooMatrix m = sparse::make_clustered(4096, 100'000, 8, 64, 0.3, 1);
+    EXPECT_EQ(m.rows(), 4096u);
+    EXPECT_EQ(m.cols(), 4096u);
+    EXPECT_GT(m.nnz(), 60'000u);   // coalescing losses allowed
+    EXPECT_LT(m.nnz(), 130'000u);  // overshoots at most one clique
+}
+
+TEST(Clustered, Deterministic)
+{
+    const CooMatrix a = sparse::make_clustered(1024, 10'000, 4, 32, 0.2, 7);
+    const CooMatrix b = sparse::make_clustered(1024, 10'000, 4, 32, 0.2, 7);
+    EXPECT_EQ(a.elements(), b.elements());
+}
+
+TEST(Clustered, PureCliquesAreBlockDiagonalish)
+{
+    // background = 0: every non-zero lies within clique_max of the diagonal.
+    const index_t cmax = 16;
+    const CooMatrix m = sparse::make_clustered(2048, 20'000, 4, cmax, 0.0, 3);
+    for (const auto& t : m.elements()) {
+        const auto r = static_cast<std::int64_t>(t.row);
+        const auto c = static_cast<std::int64_t>(t.col);
+        EXPECT_LT(std::abs(r - c), static_cast<std::int64_t>(cmax));
+    }
+}
+
+TEST(Clustered, BackgroundSpreadsBeyondCliques)
+{
+    const CooMatrix m = sparse::make_clustered(4096, 40'000, 4, 16, 0.5, 5);
+    std::size_t far = 0;
+    for (const auto& t : m.elements()) {
+        const auto r = static_cast<std::int64_t>(t.row);
+        const auto c = static_cast<std::int64_t>(t.col);
+        far += std::abs(r - c) >= 16;
+    }
+    EXPECT_GT(far, m.nnz() / 10);
+}
+
+TEST(Clustered, RejectsBadArguments)
+{
+    EXPECT_THROW(sparse::make_clustered(100, 100, 1, 8, 0.0, 1),
+                 std::invalid_argument);
+    EXPECT_THROW(sparse::make_clustered(100, 100, 16, 8, 0.0, 1),
+                 std::invalid_argument);
+    EXPECT_THROW(sparse::make_clustered(100, 100, 4, 200, 0.0, 1),
+                 std::invalid_argument);
+    EXPECT_THROW(sparse::make_clustered(100, 100, 4, 8, 1.5, 1),
+                 std::invalid_argument);
+}
+
+// --- cap_row_degree ---
+
+TEST(CapRowDegree, EnforcesCap)
+{
+    const CooMatrix m = sparse::make_dense_rows(64, 4096, 2, 2000, 3);
+    const nnz_t before = m.nnz();
+    const CooMatrix capped = cap_row_degree(m, 100, 9);
+    const CsrMatrix csr = sparse::to_csr(capped);
+    // Each heavy row keeps `cap` entries plus its ~1/64 share of the
+    // redistributed excess (~3700/64 ≈ 58) — far below the original ~2000.
+    EXPECT_LE(csr.row_nnz(0), 220u);
+    EXPECT_LE(csr.row_nnz(1), 220u);
+    EXPECT_LT(csr.max_row_nnz(), 250u);
+    // NNZ preserved up to coalescing collisions.
+    EXPECT_GT(capped.nnz(), before * 9 / 10);
+}
+
+TEST(CapRowDegree, NoOpWhenUnderCap)
+{
+    CooMatrix m = sparse::make_banded(128, 4, 5);
+    m.sort_row_major();
+    CooMatrix capped = cap_row_degree(m, 100, 1);
+    capped.sort_row_major();
+    EXPECT_EQ(capped.elements(), m.elements());
+}
+
+TEST(CapRowDegree, ColumnsPreserved)
+{
+    const CooMatrix m = sparse::make_dense_rows(32, 512, 1, 400, 7);
+    const CooMatrix capped = cap_row_degree(m, 50, 11);
+    // Multiset of columns is unchanged by relocation (up to coalescing).
+    std::multiset<index_t> before, after;
+    for (const auto& t : m.elements())
+        before.insert(t.col);
+    for (const auto& t : capped.elements())
+        after.insert(t.col);
+    // Coalescing can only remove entries.
+    EXPECT_LE(after.size(), before.size());
+    for (index_t c : after)
+        EXPECT_TRUE(before.count(c) > 0);
+}
+
+TEST(CapRowDegree, RejectsZeroCap)
+{
+    const CooMatrix m = sparse::make_diagonal(8);
+    EXPECT_THROW(cap_row_degree(m, 0, 1), std::invalid_argument);
+}
+
+// --- inject_hub_rows ---
+
+TEST(InjectHubs, CreatesHubOfRequestedWeight)
+{
+    const CooMatrix m = sparse::make_uniform_random(2048, 2048, 100'000, 3);
+    const double fracs[] = {0.01};
+    const CooMatrix with = inject_hub_rows(m, fracs, 5);
+    const CsrMatrix csr = sparse::to_csr(with);
+    // Max row should now hold ~1% of nnz (coalescing loses a little).
+    EXPECT_GT(csr.max_row_nnz(), static_cast<nnz_t>(0.006 * 100'000));
+    EXPECT_LT(csr.max_row_nnz(), static_cast<nnz_t>(0.015 * 100'000));
+}
+
+TEST(InjectHubs, PreservesNnzUpToCoalescing)
+{
+    const CooMatrix m = sparse::make_uniform_random(1024, 1024, 50'000, 4);
+    const double fracs[] = {0.005, 0.002};
+    const CooMatrix with = inject_hub_rows(m, fracs, 6);
+    EXPECT_GT(with.nnz(), m.nnz() * 95 / 100);
+    EXPECT_LE(with.nnz(), m.nnz());
+    EXPECT_EQ(with.rows(), m.rows());
+}
+
+TEST(InjectHubs, RejectsOutOfRangeFraction)
+{
+    const CooMatrix m = sparse::make_diagonal(64);
+    const double bad[] = {0.9};
+    EXPECT_THROW(inject_hub_rows(m, bad, 1), std::invalid_argument);
+}
+
+// --- fold_square ---
+
+TEST(FoldSquare, BitMixingBalancesPeResidues)
+{
+    // The regression this fold fixes: R-MAT hubs piling onto one `pair % P`
+    // residue. After folding, the heaviest 1% of rows must not concentrate
+    // on few residues.
+    const CooMatrix g = sparse::make_rmat(14, 8, 11);
+    const CooMatrix folded = fold_square(g, 12'000);
+    const CsrMatrix csr = sparse::to_csr(folded);
+
+    // Collect the 64 heaviest rows' PE residues (P = 128, pair = row/2).
+    std::vector<std::pair<nnz_t, index_t>> rows;
+    for (index_t r = 0; r < csr.rows(); ++r)
+        rows.emplace_back(csr.row_nnz(r), r);
+    std::sort(rows.rbegin(), rows.rend());
+    std::set<index_t> residues;
+    for (int i = 0; i < 64; ++i)
+        residues.insert((rows[static_cast<std::size_t>(i)].second / 2) % 128);
+    // With mixing, 64 heavy rows spread over >= 24 distinct PEs out of 128.
+    EXPECT_GE(residues.size(), 24u);
+}
+
+TEST(FoldSquare, NonPow2DomainLeftUnscrambled)
+{
+    CooMatrix m(10, 10);
+    m.add(7, 3, 1.0f);
+    const CooMatrix folded = fold_square(m, 5);
+    EXPECT_EQ(folded.elements()[0].row, 2u);  // 7 % 5, identity scramble
+    EXPECT_EQ(folded.elements()[0].col, 3u);
+}
+
+TEST(FoldSquare, PreservesValues)
+{
+    CooMatrix m(8, 8);
+    m.add(1, 2, 42.0f);
+    const CooMatrix folded = fold_square(m, 8);
+    ASSERT_EQ(folded.nnz(), 1u);
+    EXPECT_FLOAT_EQ(folded.elements()[0].val, 42.0f);
+}
+
+} // namespace
+} // namespace serpens::datasets

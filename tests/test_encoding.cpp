@@ -1,0 +1,198 @@
+// Unit tests for the 64-bit element encoding and the row -> PE mapping.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "encode/element.h"
+#include "encode/mapping.h"
+
+namespace serpens::encode {
+namespace {
+
+TEST(EncodedElement, DefaultIsPadding)
+{
+    const EncodedElement e;
+    EXPECT_FALSE(e.valid());
+    EXPECT_EQ(e.bits(), 0u);
+}
+
+TEST(EncodedElement, PackUnpackRoundTrip)
+{
+    const EncodedElement e = EncodedElement::make(1234, true, 567, -3.25f);
+    EXPECT_TRUE(e.valid());
+    EXPECT_EQ(e.pair_addr(), 1234u);
+    EXPECT_TRUE(e.half());
+    EXPECT_EQ(e.col_off(), 567u);
+    EXPECT_FLOAT_EQ(e.value(), -3.25f);
+}
+
+TEST(EncodedElement, ExtremeFieldValues)
+{
+    const EncodedElement e =
+        EncodedElement::make(kMaxPairAddr - 1, false, kMaxWindow - 1, 1e30f);
+    EXPECT_EQ(e.pair_addr(), kMaxPairAddr - 1);
+    EXPECT_FALSE(e.half());
+    EXPECT_EQ(e.col_off(), kMaxWindow - 1);
+    EXPECT_FLOAT_EQ(e.value(), 1e30f);
+}
+
+TEST(EncodedElement, OverflowingAddrIsBug)
+{
+    EXPECT_THROW(EncodedElement::make(kMaxPairAddr, false, 0, 1.0f),
+                 serpens::CheckError);
+}
+
+TEST(EncodedElement, OverflowingColOffIsBug)
+{
+    EXPECT_THROW(EncodedElement::make(0, false, kMaxWindow, 1.0f),
+                 serpens::CheckError);
+}
+
+TEST(EncodedElement, BitsRoundTrip)
+{
+    const EncodedElement e = EncodedElement::make(77, true, 99, 0.5f);
+    const EncodedElement back = EncodedElement::from_bits(e.bits());
+    EXPECT_EQ(e, back);
+}
+
+TEST(EncodedElement, ValueBitsExactForNegativeZero)
+{
+    const EncodedElement e = EncodedElement::make(0, false, 0, -0.0f);
+    EXPECT_EQ(serpens::float_bits(e.value()), 0x80000000u);
+}
+
+TEST(EncodedElement, FieldsDoNotAlias)
+{
+    // Setting every field to all-ones patterns must not bleed across.
+    const EncodedElement e =
+        EncodedElement::make((1u << kAddrBits) - 1, true, (1u << kColOffBits) - 1,
+                             serpens::bits_float(0xFFFFFFFFu));
+    EXPECT_EQ(e.pair_addr(), (1u << kAddrBits) - 1);
+    EXPECT_EQ(e.col_off(), (1u << kColOffBits) - 1);
+    EXPECT_TRUE(e.half());
+    EXPECT_TRUE(e.valid());
+}
+
+// --- EncodeParams ---
+
+TEST(EncodeParams, DefaultsMatchPaperTable1)
+{
+    const EncodeParams p;
+    EXPECT_EQ(p.ha_channels, 16u);
+    EXPECT_EQ(p.pes_per_channel, 8u);
+    EXPECT_EQ(p.urams_per_pe, 3u);
+    EXPECT_EQ(p.window, 8192u);
+    EXPECT_EQ(p.total_pes(), 128u);
+    EXPECT_NO_THROW(p.validate());
+}
+
+TEST(EncodeParams, RowCapacityEquation3)
+{
+    EncodeParams p;
+    // 16 * HA * U * D = 16 * 16 * 3 * 4096
+    EXPECT_EQ(p.row_capacity(), 16ull * 16 * 3 * 4096);
+    p.ha_channels = 24;
+    EXPECT_EQ(p.row_capacity(), 16ull * 24 * 3 * 4096);
+}
+
+TEST(EncodeParams, CoalescingDoublesCapacity)
+{
+    EncodeParams with;
+    EncodeParams without;
+    without.coalescing = false;
+    EXPECT_EQ(with.row_capacity(), 2 * without.row_capacity());
+}
+
+TEST(EncodeParams, ValidationRejectsBadValues)
+{
+    EncodeParams p;
+    p.ha_channels = 0;
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+    p = {};
+    p.pes_per_channel = 4;
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+    p = {};
+    p.window = 20000;
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+    p = {};
+    p.window = 100;  // not a multiple of 16
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+    p = {};
+    p.dsp_latency = 0;
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+    p = {};
+    p.urams_per_pe = 16;  // 16 * 4096 > 32768 address field
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+// --- RowMapping ---
+
+TEST(RowMapping, CoalescedPairsShareAddress)
+{
+    EncodeParams p;
+    const RowMapping m(p);
+    const PeLocation even = m.locate(100);
+    const PeLocation odd = m.locate(101);
+    EXPECT_EQ(even.pe, odd.pe);
+    EXPECT_EQ(even.addr, odd.addr);
+    EXPECT_FALSE(even.half);
+    EXPECT_TRUE(odd.half);
+}
+
+TEST(RowMapping, RowDirectDoesNotPair)
+{
+    EncodeParams p;
+    p.coalescing = false;
+    const RowMapping m(p);
+    const PeLocation a = m.locate(100);
+    const PeLocation b = m.locate(101);
+    EXPECT_NE(a.pe, b.pe);
+    EXPECT_FALSE(a.half);
+    EXPECT_FALSE(b.half);
+}
+
+TEST(RowMapping, RoundTripCoalesced)
+{
+    EncodeParams p;
+    const RowMapping m(p);
+    for (sparse::index_t row = 0; row < 10'000; row += 37)
+        EXPECT_EQ(m.row_of(m.locate(row)), row);
+}
+
+TEST(RowMapping, RoundTripRowDirect)
+{
+    EncodeParams p;
+    p.coalescing = false;
+    const RowMapping m(p);
+    for (sparse::index_t row = 0; row < 10'000; row += 41)
+        EXPECT_EQ(m.row_of(m.locate(row)), row);
+}
+
+TEST(RowMapping, LocationsAreDisjointAcrossRows)
+{
+    // No two distinct rows may share (pe, addr, half) — the hardware's
+    // disjoint-URAM guarantee (paper §3.3).
+    EncodeParams p;
+    p.ha_channels = 2;  // 16 PEs, small space
+    const RowMapping m(p);
+    std::set<std::tuple<unsigned, std::uint32_t, bool>> seen;
+    for (sparse::index_t row = 0; row < 50'000; ++row) {
+        const PeLocation loc = m.locate(row);
+        const bool fresh = seen.insert({loc.pe, loc.addr, loc.half}).second;
+        ASSERT_TRUE(fresh) << "row " << row << " collides";
+    }
+}
+
+TEST(RowMapping, ConsecutivePairsSpreadOverPes)
+{
+    // Pair k goes to PE k mod P: 2*P consecutive rows touch all P PEs.
+    EncodeParams p;
+    const RowMapping m(p);
+    std::set<unsigned> pes;
+    for (sparse::index_t row = 0; row < 2 * 128; ++row)
+        pes.insert(m.locate(row).pe);
+    EXPECT_EQ(pes.size(), 128u);
+}
+
+} // namespace
+} // namespace serpens::encode

@@ -1,0 +1,232 @@
+// Unit and property tests for the synthetic matrix generators.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sparse/convert.h"
+#include "sparse/generators.h"
+
+namespace serpens::sparse {
+namespace {
+
+void expect_in_bounds(const CooMatrix& m)
+{
+    for (const Triplet& t : m.elements()) {
+        ASSERT_LT(t.row, m.rows());
+        ASSERT_LT(t.col, m.cols());
+    }
+}
+
+void expect_no_duplicates(const CooMatrix& m)
+{
+    std::map<std::pair<index_t, index_t>, int> seen;
+    for (const Triplet& t : m.elements()) {
+        const int count = ++seen[std::make_pair(t.row, t.col)];
+        ASSERT_EQ(count, 1) << "duplicate at (" << t.row << ", " << t.col << ")";
+    }
+}
+
+TEST(UniformRandom, DimensionsAndApproxNnz)
+{
+    const CooMatrix m = make_uniform_random(100, 200, 1000, 1);
+    EXPECT_EQ(m.rows(), 100u);
+    EXPECT_EQ(m.cols(), 200u);
+    EXPECT_LE(m.nnz(), 1000u);
+    EXPECT_GE(m.nnz(), 950u);  // few collisions at 5% fill
+    expect_in_bounds(m);
+    expect_no_duplicates(m);
+}
+
+TEST(UniformRandom, Deterministic)
+{
+    const CooMatrix a = make_uniform_random(50, 50, 500, 7);
+    const CooMatrix b = make_uniform_random(50, 50, 500, 7);
+    EXPECT_EQ(a.elements(), b.elements());
+}
+
+TEST(UniformRandom, SeedChangesResult)
+{
+    const CooMatrix a = make_uniform_random(50, 50, 500, 7);
+    const CooMatrix b = make_uniform_random(50, 50, 500, 8);
+    EXPECT_NE(a.elements(), b.elements());
+}
+
+TEST(UniformRandom, RejectsOverfull)
+{
+    EXPECT_THROW(make_uniform_random(4, 4, 17, 1), std::invalid_argument);
+}
+
+TEST(UniformRandom, ExactValuesAreIntegers)
+{
+    // Duplicates are summed during coalescing, so values can exceed the
+    // per-draw bound of 8 — but they must stay integer-valued (the property
+    // exactness tests depend on).
+    const CooMatrix m =
+        make_uniform_random(32, 32, 200, 3, ValueOptions{.exact_values = true});
+    for (const Triplet& t : m.elements()) {
+        EXPECT_GE(t.val, 1.0f);
+        EXPECT_EQ(t.val, static_cast<float>(static_cast<int>(t.val)));
+    }
+}
+
+TEST(Rmat, DimensionsArePowerOfTwo)
+{
+    const CooMatrix m = make_rmat(8, 4, 1);
+    EXPECT_EQ(m.rows(), 256u);
+    EXPECT_EQ(m.cols(), 256u);
+    EXPECT_LE(m.nnz(), 4u * 256u);
+    expect_in_bounds(m);
+    expect_no_duplicates(m);
+}
+
+TEST(Rmat, Deterministic)
+{
+    const CooMatrix a = make_rmat(7, 8, 99);
+    const CooMatrix b = make_rmat(7, 8, 99);
+    EXPECT_EQ(a.elements(), b.elements());
+}
+
+TEST(Rmat, PowerLawSkew)
+{
+    // With Graph500 parameters the max out-degree should far exceed the mean.
+    const CooMatrix m = make_rmat(10, 8, 5);
+    const CsrMatrix csr = to_csr(m);
+    const double mean =
+        static_cast<double>(csr.nnz()) / static_cast<double>(csr.rows());
+    EXPECT_GT(static_cast<double>(csr.max_row_nnz()), 4.0 * mean);
+}
+
+TEST(Rmat, UniformParametersGiveLowSkew)
+{
+    // a=b=c=0.25 degenerates to uniform; skew should be mild.
+    const CooMatrix m = make_rmat(10, 8, 5, {}, 0.25, 0.25, 0.25);
+    const CsrMatrix csr = to_csr(m);
+    const double mean =
+        static_cast<double>(csr.nnz()) / static_cast<double>(csr.rows());
+    EXPECT_LT(static_cast<double>(csr.max_row_nnz()), 4.0 * mean);
+}
+
+TEST(Rmat, RejectsBadParameters)
+{
+    EXPECT_THROW(make_rmat(0, 4, 1), std::invalid_argument);
+    EXPECT_THROW(make_rmat(31, 4, 1), std::invalid_argument);
+    EXPECT_THROW(make_rmat(8, 4, 1, {}, 0.5, 0.3, 0.3), std::invalid_argument);
+}
+
+TEST(Banded, StructureWithinBand)
+{
+    const index_t n = 128;
+    const index_t band = 8;
+    const CooMatrix m = make_banded(n, band, 3);
+    expect_in_bounds(m);
+    for (const Triplet& t : m.elements()) {
+        const auto r = static_cast<std::int64_t>(t.row);
+        const auto c = static_cast<std::int64_t>(t.col);
+        EXPECT_LE(std::abs(r - c), static_cast<std::int64_t>(band) + 1);
+    }
+}
+
+TEST(Banded, ExactRowCounts)
+{
+    const CooMatrix m = make_banded(64, 4, 9);
+    const CsrMatrix csr = to_csr(m);
+    for (index_t r = 0; r < csr.rows(); ++r)
+        EXPECT_EQ(csr.row_nnz(r), 4u);
+}
+
+TEST(Banded, NoDuplicateColumns)
+{
+    expect_no_duplicates(make_banded(64, 8, 11));
+}
+
+TEST(Banded, RejectsBadBand)
+{
+    EXPECT_THROW(make_banded(8, 0, 1), std::invalid_argument);
+    EXPECT_THROW(make_banded(8, 9, 1), std::invalid_argument);
+}
+
+TEST(Diagonal, IdentityStructure)
+{
+    const CooMatrix m = make_diagonal(10, 2.5f);
+    EXPECT_EQ(m.nnz(), 10u);
+    for (const Triplet& t : m.elements()) {
+        EXPECT_EQ(t.row, t.col);
+        EXPECT_FLOAT_EQ(t.val, 2.5f);
+    }
+}
+
+TEST(Tridiagonal, PoissonStencil)
+{
+    const CooMatrix m = make_tridiagonal_spd(5);
+    EXPECT_EQ(m.nnz(), 13u);  // 3n - 2
+    const CsrMatrix csr = to_csr(m);
+    // Row 2: [-1, 2, -1] at columns 1, 2, 3.
+    EXPECT_EQ(csr.row_nnz(2), 3u);
+    EXPECT_FLOAT_EQ(csr.values()[csr.row_begin(2) + 1], 2.0f);
+}
+
+TEST(Tridiagonal, ShiftAddsToDiagonal)
+{
+    const CooMatrix m = make_tridiagonal_spd(3, 1.5f);
+    for (const Triplet& t : m.elements()) {
+        if (t.row == t.col) {
+            EXPECT_FLOAT_EQ(t.val, 3.5f);
+        }
+    }
+}
+
+TEST(DenseRows, HeavyRowsPresent)
+{
+    // 500 draws over 1000 columns keep ~ 1000 * (1 - (1 - 1/1000)^500) ≈ 393
+    // distinct entries after coalescing.
+    const CooMatrix m = make_dense_rows(100, 1000, 2, 500, 13);
+    const CsrMatrix csr = to_csr(m);
+    EXPECT_GT(csr.row_nnz(0), 330u);
+    EXPECT_GT(csr.row_nnz(1), 330u);
+    for (index_t r = 2; r < 100; ++r)
+        EXPECT_LE(csr.row_nnz(r), 1u);
+}
+
+TEST(DenseRows, RejectsBadArgs)
+{
+    EXPECT_THROW(make_dense_rows(4, 4, 5, 1, 1), std::invalid_argument);
+    EXPECT_THROW(make_dense_rows(4, 4, 1, 5, 1), std::invalid_argument);
+}
+
+TEST(BlockRandom, ReachesTargetNnz)
+{
+    const CooMatrix m = make_block_random(256, 16, 5000, 17);
+    EXPECT_GE(m.nnz(), 3500u);  // block overlap tolerated
+    EXPECT_LE(m.nnz(), 6000u);
+    expect_in_bounds(m);
+    expect_no_duplicates(m);
+}
+
+TEST(BlockRandom, RejectsBadBlock)
+{
+    EXPECT_THROW(make_block_random(8, 0, 10, 1), std::invalid_argument);
+    EXPECT_THROW(make_block_random(8, 9, 10, 1), std::invalid_argument);
+}
+
+// Determinism sweep across all generators (property-style).
+class GeneratorDeterminism : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorDeterminism, AllGeneratorsAreSeedDeterministic)
+{
+    const std::uint64_t seed = GetParam();
+    EXPECT_EQ(make_uniform_random(64, 64, 300, seed).elements(),
+              make_uniform_random(64, 64, 300, seed).elements());
+    EXPECT_EQ(make_rmat(6, 4, seed).elements(), make_rmat(6, 4, seed).elements());
+    EXPECT_EQ(make_banded(64, 4, seed).elements(),
+              make_banded(64, 4, seed).elements());
+    EXPECT_EQ(make_block_random(64, 8, 500, seed).elements(),
+              make_block_random(64, 8, 500, seed).elements());
+    EXPECT_EQ(make_dense_rows(64, 64, 2, 32, seed).elements(),
+              make_dense_rows(64, 64, 2, 32, seed).elements());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorDeterminism,
+                         ::testing::Values(1, 2, 3, 42, 1000, 99999));
+
+} // namespace
+} // namespace serpens::sparse

@@ -1,0 +1,86 @@
+// Tests for the HBM line/channel/spec substrate.
+#include <gtest/gtest.h>
+
+#include "hbm/channel.h"
+#include "hbm/line.h"
+#include "hbm/spec.h"
+
+namespace serpens::hbm {
+namespace {
+
+TEST(Line, Constants)
+{
+    EXPECT_EQ(kLineBytes, 64u);
+    EXPECT_EQ(kWordsPerLine, 16u);
+    EXPECT_EQ(kElemsPerLine, 8u);
+}
+
+TEST(Line, DefaultZeroed)
+{
+    const Line512 line;
+    for (unsigned lane = 0; lane < kElemsPerLine; ++lane)
+        EXPECT_EQ(line.lane64(lane), 0u);
+}
+
+TEST(Line, Lane64RoundTrip)
+{
+    Line512 line;
+    for (unsigned lane = 0; lane < kElemsPerLine; ++lane)
+        line.set_lane64(lane, 0x0123456789ABCDEFull + lane);
+    for (unsigned lane = 0; lane < kElemsPerLine; ++lane)
+        EXPECT_EQ(line.lane64(lane), 0x0123456789ABCDEFull + lane);
+}
+
+TEST(Line, LanesMapToWordPairs)
+{
+    Line512 line;
+    line.set_lane64(2, 0xAAAAAAAA'BBBBBBBBull);
+    EXPECT_EQ(line.words[4], 0xBBBBBBBBu);  // low word
+    EXPECT_EQ(line.words[5], 0xAAAAAAAAu);  // high word
+    EXPECT_EQ(line.words[3], 0u);           // neighbours untouched
+    EXPECT_EQ(line.words[6], 0u);
+}
+
+TEST(Channel, PushAndAccounting)
+{
+    ChannelStream s("A0");
+    EXPECT_TRUE(s.empty());
+    s.push(Line512{});
+    s.push(Line512{});
+    EXPECT_EQ(s.size(), 2u);
+    EXPECT_EQ(s.bytes(), 128u);
+    EXPECT_EQ(s.name(), "A0");
+}
+
+TEST(Traffic, Accumulates)
+{
+    TrafficCounter t;
+    t.add_read(100);
+    t.add_read(28);
+    t.add_write(64);
+    EXPECT_EQ(t.bytes_read, 128u);
+    EXPECT_EQ(t.bytes_written, 64u);
+    EXPECT_EQ(t.total(), 192u);
+}
+
+TEST(Traffic, FormatsHumanReadable)
+{
+    TrafficCounter t;
+    t.add_read(3ull << 30);
+    t.add_write(5ull << 20);
+    const std::string s = format_traffic(t);
+    EXPECT_NE(s.find("3.00 GiB read"), std::string::npos);
+    EXPECT_NE(s.find("5.00 MiB written"), std::string::npos);
+}
+
+TEST(Spec, PaperBandwidthNumbers)
+{
+    const HbmSpec spec;
+    // Table 2 / §4.4: 19 channels = 273 GB/s, 27 = 388 GB/s, 32 = 460 GB/s.
+    EXPECT_NEAR(spec.utilized_gbps(19), 273.0, 0.5);
+    EXPECT_NEAR(spec.utilized_gbps(27), 388.0, 0.5);
+    EXPECT_NEAR(spec.peak_gbps(), 460.0, 0.5);
+}
+
+} // namespace
+} // namespace serpens::hbm

@@ -1,0 +1,175 @@
+// Tests for the 32-bit instruction channel: encoding, the device FSM's
+// decoder, and cross-validation against the image.
+#include <gtest/gtest.h>
+
+#include "encode/instructions.h"
+#include "sparse/generators.h"
+#include "util/bitpack.h"
+
+namespace serpens::encode {
+namespace {
+
+EncodeParams small_params()
+{
+    EncodeParams p;
+    p.ha_channels = 2;
+    p.window = 64;
+    return p;
+}
+
+SerpensImage make_image()
+{
+    const auto m = sparse::make_uniform_random(128, 200, 1500, 4);
+    return encode_matrix(m, small_params());
+}
+
+TEST(Instructions, WordPackingRoundTrip)
+{
+    const std::uint32_t w = make_instruction(Opcode::segment, 12345);
+    EXPECT_EQ(opcode_of(w), Opcode::segment);
+    EXPECT_EQ(payload_of(w), 12345u);
+}
+
+TEST(Instructions, PayloadMasked)
+{
+    const std::uint32_t w = make_instruction(Opcode::set_rows, 0xFFFFFFFF);
+    EXPECT_EQ(payload_of(w), kPayloadMask);
+    EXPECT_EQ(opcode_of(w), Opcode::set_rows);
+}
+
+TEST(Instructions, BuildDecodeValidate)
+{
+    const SerpensImage img = make_image();
+    const auto words = build_instructions(img, 1.5f, -0.25f);
+    const ControlProgram program =
+        decode_instructions(words, img.params().ha_channels);
+
+    EXPECT_EQ(program.rows, img.rows());
+    EXPECT_EQ(program.cols, img.cols());
+    EXPECT_FLOAT_EQ(program.alpha, 1.5f);
+    EXPECT_FLOAT_EQ(program.beta, -0.25f);
+    EXPECT_EQ(program.segments.size(), img.num_segments());
+    EXPECT_NO_THROW(validate_program(program, img));
+}
+
+TEST(Instructions, StreamSizeIsCompact)
+{
+    // 6 setup words + per segment (1 + HA channels) + RUN + HALT.
+    const SerpensImage img = make_image();
+    const auto words = build_instructions(img, 1.0f, 0.0f);
+    EXPECT_EQ(words.size(),
+              6 + img.num_segments() * (1 + img.channels()) + 2);
+}
+
+TEST(Instructions, AlphaBetaAreBitExact)
+{
+    const SerpensImage img = make_image();
+    const float alpha = serpens::bits_float(0x3F9E0651u);  // arbitrary bits
+    const auto words = build_instructions(img, alpha, -0.0f);
+    const auto program = decode_instructions(words, img.channels());
+    EXPECT_EQ(serpens::float_bits(program.alpha), 0x3F9E0651u);
+    EXPECT_EQ(serpens::float_bits(program.beta), 0x80000000u);
+}
+
+TEST(Instructions, RejectsMissingRun)
+{
+    std::vector<std::uint32_t> words = {
+        make_instruction(Opcode::set_rows, 4),
+        make_instruction(Opcode::set_cols, 4),
+        make_instruction(Opcode::halt),
+    };
+    EXPECT_THROW(decode_instructions(words, 2), InstructionError);
+}
+
+TEST(Instructions, RejectsMissingHalt)
+{
+    std::vector<std::uint32_t> words = {
+        make_instruction(Opcode::set_rows, 4),
+        make_instruction(Opcode::set_cols, 4),
+        make_instruction(Opcode::run),
+    };
+    EXPECT_THROW(decode_instructions(words, 2), InstructionError);
+}
+
+TEST(Instructions, RejectsWordsAfterHalt)
+{
+    std::vector<std::uint32_t> words = {
+        make_instruction(Opcode::set_rows, 4),
+        make_instruction(Opcode::set_cols, 4),
+        make_instruction(Opcode::run),
+        make_instruction(Opcode::halt),
+        make_instruction(Opcode::run),
+    };
+    EXPECT_THROW(decode_instructions(words, 2), InstructionError);
+}
+
+TEST(Instructions, RejectsStrayLines)
+{
+    std::vector<std::uint32_t> words = {
+        make_instruction(Opcode::lines, 7),
+        make_instruction(Opcode::run),
+        make_instruction(Opcode::halt),
+    };
+    EXPECT_THROW(decode_instructions(words, 2), InstructionError);
+}
+
+TEST(Instructions, RejectsTruncatedSegmentBlock)
+{
+    // SEGMENT must be followed by HA LINES words; give only one of two.
+    std::vector<std::uint32_t> words = {
+        make_instruction(Opcode::set_rows, 4),
+        make_instruction(Opcode::set_cols, 4),
+        make_instruction(Opcode::segment, 10),
+        make_instruction(Opcode::lines, 10),
+        make_instruction(Opcode::run),
+        make_instruction(Opcode::halt),
+    };
+    EXPECT_THROW(decode_instructions(words, 2), InstructionError);
+}
+
+TEST(Instructions, RejectsTruncatedScalar)
+{
+    std::vector<std::uint32_t> words = {
+        make_instruction(Opcode::set_alpha),
+    };
+    EXPECT_THROW(decode_instructions(words, 2), InstructionError);
+}
+
+TEST(Instructions, RejectsMissingDimensions)
+{
+    std::vector<std::uint32_t> words = {
+        make_instruction(Opcode::run),
+        make_instruction(Opcode::halt),
+    };
+    EXPECT_THROW(decode_instructions(words, 2), InstructionError);
+}
+
+TEST(Instructions, ValidateCatchesWrongImage)
+{
+    const SerpensImage img = make_image();
+    const auto words = build_instructions(img, 1.0f, 0.0f);
+    const auto program = decode_instructions(words, img.channels());
+
+    // A different matrix's image must fail validation.
+    const auto other_m = sparse::make_uniform_random(128, 200, 1500, 99);
+    const SerpensImage other = encode_matrix(other_m, small_params());
+    EXPECT_THROW(validate_program(program, other), InstructionError);
+}
+
+TEST(Instructions, ValidateCatchesTamperedDepth)
+{
+    const SerpensImage img = make_image();
+    auto words = build_instructions(img, 1.0f, 0.0f);
+    // Tamper with the first SEGMENT word's payload.
+    for (auto& w : words) {
+        if (opcode_of(w) == Opcode::segment) {
+            w = make_instruction(Opcode::segment, payload_of(w) + 1);
+            break;
+        }
+    }
+    const auto program = decode_instructions(words, img.channels());
+    EXPECT_THROW(validate_program(program, img), InstructionError);
+}
+
+} // namespace
+} // namespace serpens::encode

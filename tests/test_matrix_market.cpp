@@ -1,0 +1,164 @@
+// Unit tests for Matrix Market I/O.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sparse/generators.h"
+#include "sparse/matrix_market.h"
+
+namespace serpens::sparse {
+namespace {
+
+TEST(MatrixMarket, ReadGeneralReal)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "% a comment\n"
+        "3 4 2\n"
+        "1 1 1.5\n"
+        "3 4 -2.0\n");
+    const CooMatrix m = read_matrix_market(in);
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.cols(), 4u);
+    EXPECT_EQ(m.nnz(), 2u);
+    EXPECT_EQ(m.elements()[0], (Triplet{0, 0, 1.5f}));
+    EXPECT_EQ(m.elements()[1], (Triplet{2, 3, -2.0f}));
+}
+
+TEST(MatrixMarket, ReadPattern)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate pattern general\n"
+        "2 2 2\n"
+        "1 2\n"
+        "2 1\n");
+    const CooMatrix m = read_matrix_market(in);
+    EXPECT_EQ(m.nnz(), 2u);
+    EXPECT_FLOAT_EQ(m.elements()[0].val, 1.0f);
+}
+
+TEST(MatrixMarket, ReadInteger)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate integer general\n"
+        "2 2 1\n"
+        "2 2 7\n");
+    const CooMatrix m = read_matrix_market(in);
+    EXPECT_FLOAT_EQ(m.elements()[0].val, 7.0f);
+}
+
+TEST(MatrixMarket, SymmetricExpansion)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "3 3 3\n"
+        "1 1 1.0\n"
+        "2 1 2.0\n"
+        "3 2 3.0\n");
+    CooMatrix m = read_matrix_market(in);
+    // Diagonal entry stays single; off-diagonals mirror.
+    EXPECT_EQ(m.nnz(), 5u);
+    m.sort_row_major();
+    EXPECT_EQ(m.elements()[1], (Triplet{0, 1, 2.0f}));  // mirrored (2,1)
+}
+
+TEST(MatrixMarket, CaseInsensitiveBanner)
+{
+    std::istringstream in(
+        "%%MatrixMarket MATRIX Coordinate REAL General\n"
+        "1 1 1\n"
+        "1 1 4.0\n");
+    EXPECT_EQ(read_matrix_market(in).nnz(), 1u);
+}
+
+TEST(MatrixMarket, RejectsMissingBanner)
+{
+    std::istringstream in("3 3 0\n");
+    EXPECT_THROW(read_matrix_market(in), MatrixMarketError);
+}
+
+TEST(MatrixMarket, RejectsArrayFormat)
+{
+    std::istringstream in("%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n");
+    EXPECT_THROW(read_matrix_market(in), MatrixMarketError);
+}
+
+TEST(MatrixMarket, RejectsComplexField)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n");
+    EXPECT_THROW(read_matrix_market(in), MatrixMarketError);
+}
+
+TEST(MatrixMarket, RejectsOutOfBoundsEntry)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n");
+    EXPECT_THROW(read_matrix_market(in), MatrixMarketError);
+}
+
+TEST(MatrixMarket, RejectsTruncatedEntries)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n");
+    EXPECT_THROW(read_matrix_market(in), MatrixMarketError);
+}
+
+TEST(MatrixMarket, RejectsMissingValue)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n");
+    EXPECT_THROW(read_matrix_market(in), MatrixMarketError);
+}
+
+TEST(MatrixMarket, RejectsEmptyInput)
+{
+    std::istringstream in("");
+    EXPECT_THROW(read_matrix_market(in), MatrixMarketError);
+}
+
+TEST(MatrixMarket, RejectsZeroDimensions)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n0 2 0\n");
+    EXPECT_THROW(read_matrix_market(in), MatrixMarketError);
+}
+
+TEST(MatrixMarket, WriteReadRoundTrip)
+{
+    CooMatrix m = make_uniform_random(40, 60, 300, 21);
+    m.sort_row_major();
+    std::stringstream buf;
+    write_matrix_market(buf, m);
+    CooMatrix back = read_matrix_market(buf);
+    back.sort_row_major();
+    ASSERT_EQ(back.nnz(), m.nnz());
+    EXPECT_EQ(back.rows(), m.rows());
+    EXPECT_EQ(back.cols(), m.cols());
+    for (std::size_t i = 0; i < m.nnz(); ++i) {
+        EXPECT_EQ(back.elements()[i].row, m.elements()[i].row);
+        EXPECT_EQ(back.elements()[i].col, m.elements()[i].col);
+        EXPECT_NEAR(back.elements()[i].val, m.elements()[i].val, 1e-5f);
+    }
+}
+
+TEST(MatrixMarket, FileRoundTrip)
+{
+    const std::string path = ::testing::TempDir() + "/serpens_mm_test.mtx";
+    CooMatrix m = make_banded(32, 3, 5);
+    m.sort_row_major();
+    write_matrix_market_file(path, m);
+    CooMatrix back = read_matrix_market_file(path);
+    back.sort_row_major();
+    EXPECT_EQ(back.nnz(), m.nnz());
+    EXPECT_EQ(back.rows(), m.rows());
+}
+
+TEST(MatrixMarket, MissingFileThrows)
+{
+    EXPECT_THROW(read_matrix_market_file("/nonexistent/dir/x.mtx"),
+                 MatrixMarketError);
+}
+
+} // namespace
+} // namespace serpens::sparse

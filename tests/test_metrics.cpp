@@ -1,0 +1,123 @@
+// Tests for metrics, statistics helpers, and the table printer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/metrics.h"
+#include "analysis/stats.h"
+#include "analysis/table.h"
+
+namespace serpens::analysis {
+namespace {
+
+TEST(Metrics, FromRunBasics)
+{
+    // 1M nnz in 1 ms: 1 GTEPS = 1000 MTEPS, 2 GFLOP/s.
+    const Metrics m = Metrics::from_run(1'000'000, 1.0, 273.0, 48.0);
+    EXPECT_DOUBLE_EQ(m.exec_ms, 1.0);
+    EXPECT_DOUBLE_EQ(m.mteps, 1000.0);
+    EXPECT_DOUBLE_EQ(m.gflops, 2.0);
+    EXPECT_DOUBLE_EQ(m.bw_eff, 1000.0 / 273.0);
+    EXPECT_DOUBLE_EQ(m.energy_eff, 1000.0 / 48.0);
+}
+
+TEST(Metrics, MatchesPaperTable4RowG4)
+{
+    // G4: 16.2M edges in 0.730 ms -> 22,191 MTEPS (paper rounds to 22,144
+    // from the exact edge count), 44.4 GFLOP/s, 81.3 MTEPS/(GB/s).
+    const Metrics m = Metrics::from_run(16'200'000, 0.730, 273.0, 48.0);
+    EXPECT_NEAR(m.mteps, 22'191.0, 10.0);
+    EXPECT_NEAR(m.gflops, 44.4, 0.1);
+    EXPECT_NEAR(m.bw_eff, 81.3, 0.2);
+    EXPECT_NEAR(m.energy_eff, 462.0, 1.0);
+}
+
+TEST(Metrics, RejectsNonPositiveInputs)
+{
+    EXPECT_THROW(Metrics::from_run(1, 0.0, 1.0, 1.0), std::invalid_argument);
+    EXPECT_THROW(Metrics::from_run(1, 1.0, 0.0, 1.0), std::invalid_argument);
+    EXPECT_THROW(Metrics::from_run(1, 1.0, 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Stats, GeomeanBasics)
+{
+    const std::vector<double> v = {1.0, 4.0};
+    EXPECT_DOUBLE_EQ(geomean(v), 2.0);
+    const std::vector<double> single = {7.5};
+    EXPECT_DOUBLE_EQ(geomean(single), 7.5);
+}
+
+TEST(Stats, GeomeanMatchesPaperImprovement)
+{
+    // The paper's headline 1.91x is the geomean of the per-matrix MTEPS
+    // ratios in Table 4. Feed those ratios; expect 1.91 (±0.01 rounding).
+    const std::vector<double> improvements = {0.922, 1.58, 2.17, 2.15, 2.16,
+                                              2.04, 1.56, 1.74, 2.21, 2.26,
+                                              2.00, 2.93};
+    EXPECT_NEAR(geomean(improvements), 1.91, 0.015);
+}
+
+TEST(Stats, GeomeanRejectsBadInput)
+{
+    EXPECT_THROW(geomean({}), std::invalid_argument);
+    const std::vector<double> with_zero = {1.0, 0.0};
+    EXPECT_THROW(geomean(with_zero), std::invalid_argument);
+}
+
+TEST(Stats, Ratios)
+{
+    const std::vector<double> a = {4.0, 9.0};
+    const std::vector<double> b = {2.0, 3.0};
+    EXPECT_EQ(ratios(a, b), (std::vector<double>{2.0, 3.0}));
+    const std::vector<double> misaligned = {1.0};
+    EXPECT_THROW(ratios(a, misaligned), std::invalid_argument);
+}
+
+TEST(Stats, MeanMinMax)
+{
+    const std::vector<double> v = {3.0, 1.0, 2.0};
+    EXPECT_DOUBLE_EQ(mean(v), 2.0);
+    EXPECT_DOUBLE_EQ(min_of(v), 1.0);
+    EXPECT_DOUBLE_EQ(max_of(v), 3.0);
+}
+
+TEST(Table, AlignedOutput)
+{
+    TextTable t({"name", "value"});
+    t.add_row({"alpha", "1"});
+    t.add_row({"beta-longer", "22"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("| beta-longer |"), std::string::npos);
+    EXPECT_NE(out.find("|------"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+    EXPECT_EQ(t.columns(), 2u);
+}
+
+TEST(Table, CsvOutput)
+{
+    TextTable t({"a", "b"});
+    t.add_row({"1", "2"});
+    std::ostringstream os;
+    t.print_csv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, RejectsMismatchedRow)
+{
+    TextTable t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, FmtFormatsNumbers)
+{
+    EXPECT_EQ(fmt(1.2345, 2), "1.23");
+    EXPECT_EQ(fmt(1.0, 0), "1");
+    EXPECT_EQ(fmt(std::numeric_limits<double>::quiet_NaN()), "-");
+    EXPECT_EQ(fmt_ratio(1.909, 2), "1.91x");
+    EXPECT_EQ(fmt_ratio(std::numeric_limits<double>::quiet_NaN()), "-");
+}
+
+} // namespace
+} // namespace serpens::analysis

@@ -1,0 +1,129 @@
+// Tests for the double-buffered x-load extension.
+#include <gtest/gtest.h>
+
+#include "core/accelerator.h"
+#include "core/resource_model.h"
+#include "encode/image.h"
+#include "sim/simulator.h"
+#include "sparse/generators.h"
+#include "util/bitpack.h"
+
+namespace serpens {
+namespace {
+
+using core::Accelerator;
+using core::SerpensConfig;
+
+SerpensConfig base_config()
+{
+    SerpensConfig c = SerpensConfig::a16();
+    c.arch.ha_channels = 2;
+    c.arch.window = 128;
+    return c;
+}
+
+TEST(Overlap, FunctionalResultUnchanged)
+{
+    const auto m = sparse::make_uniform_random(500, 2000, 20'000, 1);
+    SerpensConfig off = base_config();
+    SerpensConfig on = base_config();
+    on.double_buffer_x = true;
+
+    std::vector<float> x(2000, 0.5f), y(500, 1.0f);
+    const auto r_off = Accelerator(off).run(Accelerator(off).prepare(m), x, y,
+                                            2.0f, -1.0f);
+    const auto r_on = Accelerator(on).run(Accelerator(on).prepare(m), x, y,
+                                          2.0f, -1.0f);
+    EXPECT_EQ(r_off.y, r_on.y);
+}
+
+TEST(Overlap, NeverSlower)
+{
+    for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+        const auto m = sparse::make_uniform_random(400, 3000, 15'000, seed);
+        SerpensConfig off = base_config();
+        SerpensConfig on = base_config();
+        on.double_buffer_x = true;
+        const auto r_off =
+            Accelerator(off).run(Accelerator(off).prepare(m),
+                                 std::vector<float>(3000, 1.0f),
+                                 std::vector<float>(400, 0.0f));
+        const auto r_on =
+            Accelerator(on).run(Accelerator(on).prepare(m),
+                                std::vector<float>(3000, 1.0f),
+                                std::vector<float>(400, 0.0f));
+        EXPECT_LE(r_on.cycles.total_cycles(), r_off.cycles.total_cycles());
+        EXPECT_EQ(r_on.cycles.compute_cycles, r_off.cycles.compute_cycles);
+    }
+}
+
+TEST(Overlap, FirstSegmentAlwaysPaysItsLoad)
+{
+    // Single-segment matrix: there is nothing to overlap with, so the two
+    // modes must count identical x-load cycles.
+    const auto m = sparse::make_uniform_random(100, 100, 1000, 4);
+    SerpensConfig on = base_config();
+    on.double_buffer_x = true;
+    const auto r = Accelerator(on).run(Accelerator(on).prepare(m),
+                                       std::vector<float>(100, 1.0f),
+                                       std::vector<float>(100, 0.0f));
+    EXPECT_EQ(r.cycles.x_load_cycles, ceil_div<std::uint64_t>(100, 16));
+}
+
+TEST(Overlap, FullyHiddenWhenComputeDominates)
+{
+    // Deep compute per segment: every load after the first hides entirely.
+    const auto m = sparse::make_uniform_random(2000, 512, 60'000, 5);
+    SerpensConfig on = base_config();  // window 128 -> 4 segments
+    on.double_buffer_x = true;
+    const Accelerator acc(on);
+    const auto prepared = acc.prepare(m);
+    const auto r = acc.run(prepared, std::vector<float>(512, 1.0f),
+                           std::vector<float>(2000, 0.0f));
+    // Only segment 0's load (128/16 = 8 lines) remains visible.
+    EXPECT_EQ(r.cycles.x_load_cycles, 8u);
+}
+
+TEST(Overlap, PartialHidingCountsResidual)
+{
+    // Craft: segment 0 has deep compute, segment 1 has zero compute, so
+    // segment 1's load hides fully behind segment 0; a third segment with
+    // empty predecessor pays in full.
+    sparse::CooMatrix m(256, 384);  // 3 segments at window 128
+    // Segment 0: plenty of work.
+    for (sparse::index_t i = 0; i < 256; ++i)
+        m.add(i, i % 128, 1.0f);
+    // Segment 1: empty. Segment 2: one element.
+    m.add(0, 300, 1.0f);
+
+    SerpensConfig on = base_config();
+    on.double_buffer_x = true;
+    const Accelerator acc(on);
+    const auto prepared = acc.prepare(m);
+    const auto r = acc.run(prepared, std::vector<float>(384, 1.0f),
+                           std::vector<float>(256, 0.0f));
+
+    // Segment 0 load: 8 cycles (visible). Segment 1 load: hidden behind
+    // segment 0 compute (2 lines... at least partially) — compute depth of
+    // segment 0 is prepared.image().segment_depth(0).
+    const std::uint64_t d0 = prepared.image().segment_depth(0);
+    const std::uint64_t hidden1 = std::min<std::uint64_t>(8, d0);
+    const std::uint64_t d1 = prepared.image().segment_depth(1);
+    const std::uint64_t hidden2 = std::min<std::uint64_t>(8, d1);
+    EXPECT_EQ(r.cycles.x_load_cycles, 8 + (8 - hidden1) + (8 - hidden2));
+}
+
+TEST(Overlap, ResourceModelChargesBrams)
+{
+    SerpensConfig off = SerpensConfig::a16();
+    SerpensConfig on = off;
+    on.double_buffer_x = true;
+    const auto r_off = core::estimate_resources(off);
+    const auto r_on = core::estimate_resources(on);
+    EXPECT_EQ(r_on.brams - r_off.brams, 32ull * 16);  // one extra Eq.1 set
+    EXPECT_EQ(r_on.urams, r_off.urams);
+    EXPECT_EQ(r_on.dsps, r_off.dsps);
+}
+
+} // namespace
+} // namespace serpens

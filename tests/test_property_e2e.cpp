@@ -1,0 +1,119 @@
+// Randomized end-to-end property tests: generate -> encode -> simulate ->
+// compare, across random shapes, densities, and accelerator geometries.
+#include <gtest/gtest.h>
+
+#include "baselines/cpu_spmv.h"
+#include "core/accelerator.h"
+#include "core/analytic.h"
+#include "encode/decode.h"
+#include "sparse/convert.h"
+#include "sparse/generators.h"
+#include "util/rng.h"
+
+namespace serpens {
+namespace {
+
+using core::Accelerator;
+using core::SerpensConfig;
+using sparse::CooMatrix;
+
+struct E2ECase {
+    std::uint64_t seed;
+};
+
+class EndToEndProperty : public ::testing::TestWithParam<E2ECase> {};
+
+TEST_P(EndToEndProperty, PipelineMatchesReferenceOnRandomShape)
+{
+    Rng rng(GetParam().seed);
+
+    // Random shape / density / geometry.
+    const auto rows = static_cast<sparse::index_t>(64 + rng.next_below(2000));
+    const auto cols = static_cast<sparse::index_t>(64 + rng.next_below(2000));
+    const double density = 0.001 + rng.next_double() * 0.05;
+    const auto nnz = static_cast<sparse::nnz_t>(
+        std::max(1.0, density * rows * cols));
+
+    SerpensConfig cfg = SerpensConfig::a16();
+    cfg.arch.ha_channels = 1u + static_cast<unsigned>(rng.next_below(4));
+    cfg.arch.window = 16u * static_cast<unsigned>(1 + rng.next_below(32));
+    cfg.arch.dsp_latency = 1u + static_cast<unsigned>(rng.next_below(12));
+    cfg.arch.coalescing = rng.next_below(2) == 0;
+
+    const CooMatrix m = sparse::make_uniform_random(rows, cols, nnz, rng.next_u64());
+    const Accelerator acc(cfg);
+    const auto prepared = acc.prepare(m);
+
+    // Round-trip check: the encoded image holds exactly the input matrix.
+    CooMatrix norm = m;
+    norm.sort_row_major();
+    const auto decoded = encode::decode_image(prepared.image());
+    ASSERT_EQ(decoded.size(), norm.nnz());
+
+    std::vector<float> x(cols), y(rows);
+    for (float& v : x)
+        v = rng.next_float(-2.0f, 2.0f);
+    for (float& v : y)
+        v = rng.next_float(-2.0f, 2.0f);
+    const float alpha = rng.next_float(-2.0f, 2.0f);
+    const float beta = rng.next_float(-2.0f, 2.0f);
+
+    const auto result = acc.run(prepared, x, y, alpha, beta);
+    const auto ref = baselines::spmv_csr_ref64(sparse::to_csr(m), x, y, alpha, beta);
+    for (std::size_t r = 0; r < ref.size(); ++r) {
+        const double tol = 2e-4 * std::max(1.0, std::abs(ref[r]));
+        ASSERT_NEAR(result.y[r], ref[r], tol)
+            << "seed " << GetParam().seed << " row " << r;
+    }
+
+    // Cycle-model invariants hold for every random geometry.
+    const auto ideal = core::ideal_cycles(cfg.arch, rows, cols, m.nnz());
+    EXPECT_GE(result.cycles.compute_cycles + result.cycles.x_load_cycles +
+                  result.cycles.y_phase_cycles,
+              ideal);
+    EXPECT_EQ(result.cycles.total_slots - result.cycles.padding_slots, m.nnz());
+}
+
+std::vector<E2ECase> e2e_seeds()
+{
+    std::vector<E2ECase> cases;
+    for (std::uint64_t s = 1; s <= 24; ++s)
+        cases.push_back({s * 7919});
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomShapes, EndToEndProperty,
+                         ::testing::ValuesIn(e2e_seeds()));
+
+// Exactness property: integer-valued data must be bit-exact regardless of
+// accumulation order, across random geometries.
+class ExactnessProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExactnessProperty, IntegerMatricesAreBitExact)
+{
+    Rng rng(GetParam());
+    SerpensConfig cfg = SerpensConfig::a16();
+    cfg.arch.ha_channels = 1u + static_cast<unsigned>(rng.next_below(3));
+    cfg.arch.window = 64u + 16u * static_cast<unsigned>(rng.next_below(8));
+
+    const auto rows = static_cast<sparse::index_t>(100 + rng.next_below(400));
+    const CooMatrix m = sparse::make_uniform_random(
+        rows, rows, 20 * rows, rng.next_u64(),
+        sparse::ValueOptions{.exact_values = true});
+
+    std::vector<float> x(rows), y(rows, 0.0f);
+    for (float& v : x)
+        v = rng.next_exact_float(4);
+
+    const Accelerator acc(cfg);
+    const auto result = acc.run(acc.prepare(m), x, y, 1.0f, 0.0f);
+    const auto ref = baselines::spmv_csr_ref64(sparse::to_csr(m), x, y, 1.0f, 0.0f);
+    for (std::size_t r = 0; r < ref.size(); ++r)
+        ASSERT_EQ(result.y[r], static_cast<float>(ref[r])) << "row " << r;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactnessProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+} // namespace
+} // namespace serpens

@@ -1,0 +1,235 @@
+// Unit and property tests for the hazard-aware non-zero reordering.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+
+#include "encode/schedule.h"
+#include "util/rng.h"
+
+namespace serpens::encode {
+namespace {
+
+// Check the fundamental invariant: every input index appears exactly once
+// and equal addresses are >= window slots apart.
+void expect_valid_schedule(const ScheduleResult& r,
+                           std::span<const std::uint32_t> addrs, unsigned window)
+{
+    std::vector<bool> seen(addrs.size(), false);
+    std::map<std::uint32_t, std::size_t> last_slot;
+    for (std::size_t slot = 0; slot < r.slots.size(); ++slot) {
+        const std::int64_t idx = r.slots[slot];
+        if (idx == ScheduleResult::kPaddingSlot)
+            continue;
+        ASSERT_GE(idx, 0);
+        ASSERT_LT(static_cast<std::size_t>(idx), addrs.size());
+        ASSERT_FALSE(seen[static_cast<std::size_t>(idx)]) << "duplicate emission";
+        seen[static_cast<std::size_t>(idx)] = true;
+        const std::uint32_t addr = addrs[static_cast<std::size_t>(idx)];
+        const auto it = last_slot.find(addr);
+        if (it != last_slot.end()) {
+            ASSERT_GE(slot - it->second, window)
+                << "hazard at slot " << slot << " addr " << addr;
+        }
+        last_slot[addr] = slot;
+    }
+    for (std::size_t i = 0; i < addrs.size(); ++i)
+        ASSERT_TRUE(seen[i]) << "element " << i << " missing from schedule";
+    EXPECT_EQ(r.real_count, addrs.size());
+    EXPECT_EQ(r.padding_count, r.slots.size() - addrs.size());
+}
+
+TEST(Scheduler, EmptyInput)
+{
+    const ScheduleResult r = schedule_hazard_aware({}, 4,
+                                                   SchedulePolicy::fifo);
+    EXPECT_TRUE(r.slots.empty());
+    EXPECT_EQ(r.real_count, 0u);
+    EXPECT_EQ(r.padding_count, 0u);
+}
+
+TEST(Scheduler, SingleElement)
+{
+    const std::vector<std::uint32_t> addrs = {7};
+    const ScheduleResult r =
+        schedule_hazard_aware(addrs, 8, SchedulePolicy::largest_bucket_first);
+    EXPECT_EQ(r.slots.size(), 1u);
+    EXPECT_EQ(r.slots[0], 0);
+}
+
+TEST(Scheduler, DistinctAddressesNeedNoPadding)
+{
+    std::vector<std::uint32_t> addrs(100);
+    std::iota(addrs.begin(), addrs.end(), 0);
+    const ScheduleResult r =
+        schedule_hazard_aware(addrs, 8, SchedulePolicy::largest_bucket_first);
+    EXPECT_EQ(r.slots.size(), 100u);
+    EXPECT_EQ(r.padding_count, 0u);
+    expect_valid_schedule(r, addrs, 8);
+}
+
+TEST(Scheduler, SingleAddressWorstCase)
+{
+    // n copies of one address: schedule must be (n-1)*T + 1 slots.
+    const std::vector<std::uint32_t> addrs(10, 3);
+    const unsigned window = 4;
+    const ScheduleResult r =
+        schedule_hazard_aware(addrs, window, SchedulePolicy::largest_bucket_first);
+    EXPECT_EQ(r.slots.size(), 9u * window + 1);
+    expect_valid_schedule(r, addrs, window);
+}
+
+TEST(Scheduler, WindowOneMeansNoConstraint)
+{
+    const std::vector<std::uint32_t> addrs(50, 1);
+    const ScheduleResult r =
+        schedule_hazard_aware(addrs, 1, SchedulePolicy::largest_bucket_first);
+    EXPECT_EQ(r.slots.size(), 50u);
+    EXPECT_EQ(r.padding_count, 0u);
+}
+
+TEST(Scheduler, TwoInterleavableGroups)
+{
+    // Two addresses, window 2: perfect interleave, zero padding.
+    std::vector<std::uint32_t> addrs;
+    for (int i = 0; i < 20; ++i)
+        addrs.push_back(i % 2 == 0 ? 10 : 20);
+    const ScheduleResult r =
+        schedule_hazard_aware(addrs, 2, SchedulePolicy::largest_bucket_first);
+    EXPECT_EQ(r.padding_count, 0u);
+    expect_valid_schedule(r, addrs, 2);
+}
+
+TEST(Scheduler, PaperFigure2Example)
+{
+    // The paper's 4x4 example with T = 2 and Serpens pair-coloring:
+    // rows {0,1} -> pair 0, rows {2,3} -> pair 1. The nine non-zeros
+    // (Figure 2b) have pair addresses:
+    //   (0,0) (0,2) (0,3) (1,0) (1,2) -> pair 0
+    //   (2,1) (2,3) (3,0) (3,2)       -> pair 1
+    const std::vector<std::uint32_t> addrs = {0, 0, 0, 0, 0, 1, 1, 1, 1};
+    const ScheduleResult r =
+        schedule_hazard_aware(addrs, 2, SchedulePolicy::largest_bucket_first);
+    // 5 elements of pair 0 under T=2 need 4*2+1 = 9 slots; pair 1 fills the
+    // gaps: total 9 slots, zero padding — matching Figure 2(d).
+    EXPECT_EQ(r.slots.size(), 9u);
+    EXPECT_EQ(r.padding_count, 0u);
+    expect_valid_schedule(r, addrs, 2);
+}
+
+TEST(Scheduler, LowerBoundMatchesSpacingCase)
+{
+    const std::vector<std::uint32_t> addrs = {5, 5, 5, 9};
+    EXPECT_EQ(schedule_lower_bound(addrs, 8), 2u * 8 + 1);
+    EXPECT_EQ(schedule_lower_bound(addrs, 1), 4u);
+    EXPECT_EQ(schedule_lower_bound({}, 4), 0u);
+}
+
+TEST(Scheduler, LargestBucketFirstIsOptimalOnTwoGroups)
+{
+    // 8 of address A, 2 of address B, window 3. LBF achieves the lower
+    // bound (7*3+1 = 22).
+    std::vector<std::uint32_t> addrs(8, 1);
+    addrs.push_back(2);
+    addrs.push_back(2);
+    const ScheduleResult r =
+        schedule_hazard_aware(addrs, 3, SchedulePolicy::largest_bucket_first);
+    EXPECT_EQ(r.slots.size(), schedule_lower_bound(addrs, 3));
+    expect_valid_schedule(r, addrs, 3);
+}
+
+TEST(Scheduler, FifoIsValidButCanBeLonger)
+{
+    std::vector<std::uint32_t> addrs(8, 1);
+    addrs.push_back(2);
+    addrs.push_back(2);
+    const ScheduleResult fifo =
+        schedule_hazard_aware(addrs, 3, SchedulePolicy::fifo);
+    expect_valid_schedule(fifo, addrs, 3);
+    EXPECT_GE(fifo.slots.size(), schedule_lower_bound(addrs, 3));
+}
+
+TEST(Scheduler, Deterministic)
+{
+    Rng rng(4242);
+    std::vector<std::uint32_t> addrs;
+    for (int i = 0; i < 500; ++i)
+        addrs.push_back(static_cast<std::uint32_t>(rng.next_below(40)));
+    const ScheduleResult a =
+        schedule_hazard_aware(addrs, 6, SchedulePolicy::largest_bucket_first);
+    const ScheduleResult b =
+        schedule_hazard_aware(addrs, 6, SchedulePolicy::largest_bucket_first);
+    EXPECT_EQ(a.slots, b.slots);
+}
+
+TEST(Scheduler, RejectsZeroWindow)
+{
+    EXPECT_THROW(schedule_hazard_aware({}, 0, SchedulePolicy::fifo),
+                 std::invalid_argument);
+}
+
+// Property sweep: random workloads, all policies, several windows.
+struct SchedulerCase {
+    unsigned window;
+    unsigned distinct_addrs;
+    unsigned count;
+    SchedulePolicy policy;
+    std::uint64_t seed;
+};
+
+class SchedulerProperty : public ::testing::TestWithParam<SchedulerCase> {};
+
+TEST_P(SchedulerProperty, ScheduleIsAlwaysValid)
+{
+    const SchedulerCase c = GetParam();
+    Rng rng(c.seed);
+    std::vector<std::uint32_t> addrs;
+    addrs.reserve(c.count);
+    for (unsigned i = 0; i < c.count; ++i)
+        addrs.push_back(static_cast<std::uint32_t>(rng.next_below(c.distinct_addrs)));
+    const ScheduleResult r = schedule_hazard_aware(addrs, c.window, c.policy);
+    expect_valid_schedule(r, addrs, c.window);
+    EXPECT_GE(r.slots.size(), schedule_lower_bound(addrs, c.window));
+}
+
+std::vector<SchedulerCase> scheduler_cases()
+{
+    std::vector<SchedulerCase> cases;
+    std::uint64_t seed = 1;
+    for (unsigned window : {1u, 2u, 4u, 8u, 16u}) {
+        for (unsigned distinct : {1u, 2u, 7u, 64u, 1024u}) {
+            for (SchedulePolicy policy :
+                 {SchedulePolicy::fifo, SchedulePolicy::largest_bucket_first}) {
+                cases.push_back({window, distinct, 400, policy, seed++});
+            }
+        }
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SchedulerProperty,
+                         ::testing::ValuesIn(scheduler_cases()));
+
+// LBF should never be *worse* than the lower bound by more than the window
+// on these workloads — a regression guard on scheduler quality.
+class SchedulerQuality : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SchedulerQuality, LbfNearLowerBoundOnBalancedLoads)
+{
+    const unsigned window = GetParam();
+    Rng rng(window * 31 + 7);
+    std::vector<std::uint32_t> addrs;
+    for (int i = 0; i < 2000; ++i)
+        addrs.push_back(static_cast<std::uint32_t>(rng.next_below(256)));
+    const ScheduleResult r =
+        schedule_hazard_aware(addrs, window, SchedulePolicy::largest_bucket_first);
+    const std::size_t bound = schedule_lower_bound(addrs, window);
+    EXPECT_LE(r.slots.size(), bound + window)
+        << "LBF schedule drifted from the lower bound";
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, SchedulerQuality,
+                         ::testing::Values(1, 2, 4, 8, 12));
+
+} // namespace
+} // namespace serpens::encode

@@ -1,0 +1,201 @@
+// Tests for the GraphBLAS-lite semiring substrate and graph algorithms
+// built on it (BFS / SSSP patterns used by the examples).
+#include <gtest/gtest.h>
+
+#include "baselines/semiring.h"
+#include "sparse/convert.h"
+#include "sparse/generators.h"
+
+namespace serpens::baselines {
+namespace {
+
+using sparse::CooMatrix;
+using sparse::CsrMatrix;
+using sparse::index_t;
+
+TEST(Semiring, Identities)
+{
+    EXPECT_FLOAT_EQ(semiring_identity(SemiringKind::plus_times), 0.0f);
+    EXPECT_FLOAT_EQ(semiring_identity(SemiringKind::or_and), 0.0f);
+    EXPECT_EQ(semiring_identity(SemiringKind::min_plus), kMinPlusInf);
+}
+
+TEST(Semiring, PlusTimesIsPlainSpmv)
+{
+    CooMatrix m(2, 3);
+    m.add(0, 0, 2.0f);
+    m.add(0, 2, 3.0f);
+    m.add(1, 1, -1.0f);
+    const CsrMatrix a = sparse::to_csr(m);
+    const std::vector<float> x = {1.0f, 2.0f, 3.0f};
+    std::vector<float> y(2);
+    spmv_semiring(a, x, y, SemiringKind::plus_times);
+    EXPECT_FLOAT_EQ(y[0], 11.0f);
+    EXPECT_FLOAT_EQ(y[1], -2.0f);
+}
+
+TEST(Semiring, OrAndTreatsNonzeroAsTrue)
+{
+    CooMatrix m(2, 2);
+    m.add(0, 0, 5.0f);   // true
+    m.add(1, 1, 1.0f);
+    const CsrMatrix a = sparse::to_csr(m);
+    std::vector<float> y(2);
+    const std::vector<float> x = {0.0f, 7.0f};
+    spmv_semiring(a, x, y, SemiringKind::or_and);
+    EXPECT_FLOAT_EQ(y[0], 0.0f);  // 5 && 0
+    EXPECT_FLOAT_EQ(y[1], 1.0f);  // 1 && 7
+}
+
+TEST(Semiring, MinPlusPropagatesDistances)
+{
+    // Row r holds incoming edge weights: dist'[r] = min_c (w(c, r) + dist[c]).
+    CooMatrix m(3, 3);
+    m.add(1, 0, 2.0f);
+    m.add(2, 0, 10.0f);
+    m.add(2, 1, 3.0f);
+    const CsrMatrix a = sparse::to_csr(m);
+    std::vector<float> next(3);
+    const std::vector<float> dist = {0.0f, 2.0f, kMinPlusInf};
+    spmv_semiring(a, dist, next, SemiringKind::min_plus);
+    EXPECT_FLOAT_EQ(next[1], 2.0f);
+    EXPECT_FLOAT_EQ(next[2], 5.0f);  // min(10 + 0, 3 + 2)
+}
+
+TEST(Semiring, MinPlusEmptyRowStaysInfinite)
+{
+    CooMatrix m(2, 2);
+    m.add(1, 0, 1.0f);
+    const CsrMatrix a = sparse::to_csr(m);
+    std::vector<float> y(2);
+    const std::vector<float> x = {0.0f, 0.0f};
+    spmv_semiring(a, x, y, SemiringKind::min_plus);
+    EXPECT_EQ(y[0], kMinPlusInf);
+}
+
+TEST(Semiring, ValidatesLengths)
+{
+    const CsrMatrix a = sparse::to_csr(sparse::make_diagonal(4));
+    std::vector<float> x(3), y(4);
+    EXPECT_THROW(spmv_semiring(a, x, y, SemiringKind::plus_times),
+                 std::invalid_argument);
+}
+
+// BFS by repeated or_and SpMV over the reversed adjacency (CSR rows = heads).
+std::vector<int> bfs_levels(const CsrMatrix& a_rev, index_t source)
+{
+    std::vector<int> level(a_rev.rows(), -1);
+    level[source] = 0;
+    std::vector<float> frontier(a_rev.rows(), 0.0f);
+    frontier[source] = 1.0f;
+    for (int depth = 1; depth < static_cast<int>(a_rev.rows()); ++depth) {
+        std::vector<float> next(a_rev.rows(), 0.0f);
+        spmv_semiring(a_rev, frontier, next, SemiringKind::or_and);
+        bool advanced = false;
+        for (index_t v = 0; v < a_rev.rows(); ++v) {
+            if (next[v] != 0.0f && level[v] < 0) {
+                level[v] = depth;
+                advanced = true;
+            } else if (level[v] >= 0) {
+                next[v] = 0.0f;  // mask out settled vertices
+            }
+        }
+        if (!advanced)
+            break;
+        frontier = std::move(next);
+    }
+    return level;
+}
+
+TEST(Semiring, BfsOnPathGraph)
+{
+    // 0 -> 1 -> 2 -> 3; reversed CSR: row v lists predecessors of v.
+    CooMatrix g(4, 4);
+    g.add(1, 0, 1.0f);
+    g.add(2, 1, 1.0f);
+    g.add(3, 2, 1.0f);
+    const auto levels = bfs_levels(sparse::to_csr(g), 0);
+    EXPECT_EQ(levels, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Semiring, BfsUnreachableStaysMinusOne)
+{
+    CooMatrix g(3, 3);
+    g.add(1, 0, 1.0f);  // 0 -> 1; vertex 2 isolated
+    const auto levels = bfs_levels(sparse::to_csr(g), 0);
+    EXPECT_EQ(levels[2], -1);
+}
+
+TEST(Semiring, SsspBellmanFordStyle)
+{
+    // Graph: 0 -> 1 (1.0), 0 -> 2 (4.0), 1 -> 2 (2.0), 2 -> 3 (1.0)
+    CooMatrix g(4, 4);
+    g.add(1, 0, 1.0f);
+    g.add(2, 0, 4.0f);
+    g.add(2, 1, 2.0f);
+    g.add(3, 2, 1.0f);
+    const CsrMatrix a = sparse::to_csr(g);
+
+    std::vector<float> dist(4, kMinPlusInf);
+    dist[0] = 0.0f;
+    for (int iter = 0; iter < 4; ++iter) {
+        std::vector<float> relaxed(4);
+        spmv_semiring(a, dist, relaxed, SemiringKind::min_plus);
+        for (index_t v = 0; v < 4; ++v)
+            dist[v] = std::min(dist[v], relaxed[v]);
+    }
+    EXPECT_FLOAT_EQ(dist[1], 1.0f);
+    EXPECT_FLOAT_EQ(dist[2], 3.0f);  // via vertex 1
+    EXPECT_FLOAT_EQ(dist[3], 4.0f);
+}
+
+TEST(SemiringMasked, MaskedRowsKeepIdentity)
+{
+    const CsrMatrix a = sparse::to_csr(sparse::make_diagonal(4, 2.0f));
+    const std::vector<float> x = {1.0f, 1.0f, 1.0f, 1.0f};
+    const std::vector<float> mask = {0.0f, 1.0f, 0.0f, 1.0f};
+    std::vector<float> y(4);
+    spmv_semiring_masked(a, x, mask, y, SemiringKind::plus_times);
+    EXPECT_FLOAT_EQ(y[0], 2.0f);
+    EXPECT_FLOAT_EQ(y[1], 0.0f);  // masked -> identity
+    EXPECT_FLOAT_EQ(y[2], 2.0f);
+    EXPECT_FLOAT_EQ(y[3], 0.0f);
+}
+
+TEST(SemiringMasked, MinPlusMaskGivesInfinity)
+{
+    CooMatrix m(2, 2);
+    m.add(0, 1, 1.0f);
+    m.add(1, 0, 1.0f);
+    const CsrMatrix a = sparse::to_csr(m);
+    const std::vector<float> x = {0.0f, 0.0f};
+    const std::vector<float> mask = {1.0f, 0.0f};
+    std::vector<float> y(2);
+    spmv_semiring_masked(a, x, mask, y, SemiringKind::min_plus);
+    EXPECT_EQ(y[0], kMinPlusInf);  // masked
+    EXPECT_FLOAT_EQ(y[1], 1.0f);
+}
+
+TEST(SemiringMasked, EmptyMaskEqualsUnmasked)
+{
+    const CsrMatrix a =
+        sparse::to_csr(sparse::make_uniform_random(32, 32, 200, 5));
+    std::vector<float> x(32, 0.5f);
+    const std::vector<float> no_mask(32, 0.0f);
+    std::vector<float> masked(32), plain(32);
+    spmv_semiring_masked(a, x, no_mask, masked, SemiringKind::plus_times);
+    spmv_semiring(a, x, plain, SemiringKind::plus_times);
+    EXPECT_EQ(masked, plain);
+}
+
+TEST(SemiringMasked, ValidatesMaskLength)
+{
+    const CsrMatrix a = sparse::to_csr(sparse::make_diagonal(4));
+    std::vector<float> x(4), y(4), bad_mask(3);
+    EXPECT_THROW(spmv_semiring_masked(a, x, bad_mask, y,
+                                      SemiringKind::plus_times),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace serpens::baselines

@@ -1,0 +1,149 @@
+// Tests for image serialization: round-trips, error paths, and the
+// end-to-end "preprocess offline, load, run" workflow.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/accelerator.h"
+#include "encode/decode.h"
+#include "encode/serialize.h"
+#include "sparse/generators.h"
+
+namespace serpens::encode {
+namespace {
+
+EncodeParams small_params()
+{
+    EncodeParams p;
+    p.ha_channels = 2;
+    p.window = 128;
+    return p;
+}
+
+SerpensImage make_image(std::uint64_t seed = 3)
+{
+    const auto m = sparse::make_uniform_random(300, 400, 3000, seed);
+    return encode_matrix(m, small_params());
+}
+
+TEST(Serialize, RoundTripPreservesEverything)
+{
+    const SerpensImage img = make_image();
+    std::stringstream buf;
+    save_image(buf, img);
+    const SerpensImage back = load_image(buf);
+
+    EXPECT_EQ(back.rows(), img.rows());
+    EXPECT_EQ(back.cols(), img.cols());
+    EXPECT_EQ(back.num_segments(), img.num_segments());
+    EXPECT_EQ(back.channels(), img.channels());
+    EXPECT_EQ(back.params().window, img.params().window);
+    EXPECT_EQ(back.params().coalescing, img.params().coalescing);
+    for (unsigned c = 0; c < img.channels(); ++c) {
+        ASSERT_EQ(back.channel(c).size(), img.channel(c).size());
+        for (std::size_t i = 0; i < img.channel(c).size(); ++i)
+            ASSERT_EQ(back.channel(c).line(i), img.channel(c).line(i));
+        for (unsigned s = 0; s < img.num_segments(); ++s)
+            ASSERT_EQ(back.segment_lines(c, s), img.segment_lines(c, s));
+    }
+}
+
+TEST(Serialize, StatsRecomputedOnLoad)
+{
+    const SerpensImage img = make_image();
+    std::stringstream buf;
+    save_image(buf, img);
+    const SerpensImage back = load_image(buf);
+    EXPECT_EQ(back.stats().nnz, img.stats().nnz);
+    EXPECT_EQ(back.stats().total_slots, img.stats().total_slots);
+    EXPECT_EQ(back.stats().padding_slots, img.stats().padding_slots);
+}
+
+TEST(Serialize, DecodedMatrixSurvivesRoundTrip)
+{
+    const auto m = sparse::make_banded(256, 8, 9);
+    const SerpensImage img = encode_matrix(m, small_params());
+    std::stringstream buf;
+    save_image(buf, img);
+    const SerpensImage back = load_image(buf);
+    EXPECT_EQ(decode_image(back), decode_image(img));
+    EXPECT_NO_THROW(verify_image(back));
+}
+
+TEST(Serialize, FileRoundTripAndRun)
+{
+    // The production workflow: encode, save, load, wrap, run.
+    const std::string path = ::testing::TempDir() + "/serpens_image_test.img";
+    const auto m = sparse::make_uniform_random(200, 200, 2000, 5);
+
+    core::SerpensConfig cfg = core::SerpensConfig::a16();
+    cfg.arch = small_params();
+    const core::Accelerator acc(cfg);
+
+    save_image_file(path, encode_matrix(m, cfg.arch));
+    auto prepared = core::PreparedMatrix::from_image(load_image_file(path));
+
+    std::vector<float> x(200, 1.0f), y(200, 0.0f);
+    const auto from_file = acc.run(prepared, x, y);
+    const auto direct = acc.run(acc.prepare(m), x, y);
+    EXPECT_EQ(from_file.y, direct.y);
+    EXPECT_EQ(from_file.cycles.total_cycles(), direct.cycles.total_cycles());
+}
+
+TEST(Serialize, RejectsBadMagic)
+{
+    std::stringstream buf;
+    buf << "NOPE this is not an image";
+    EXPECT_THROW(load_image(buf), ImageFormatError);
+}
+
+TEST(Serialize, RejectsTruncatedHeader)
+{
+    const SerpensImage img = make_image();
+    std::stringstream buf;
+    save_image(buf, img);
+    const std::string full = buf.str();
+    std::stringstream cut(full.substr(0, 16));
+    EXPECT_THROW(load_image(cut), ImageFormatError);
+}
+
+TEST(Serialize, RejectsTruncatedLineData)
+{
+    const SerpensImage img = make_image();
+    std::stringstream buf;
+    save_image(buf, img);
+    const std::string full = buf.str();
+    std::stringstream cut(full.substr(0, full.size() - 32));
+    EXPECT_THROW(load_image(cut), ImageFormatError);
+}
+
+TEST(Serialize, RejectsUnknownVersion)
+{
+    const SerpensImage img = make_image();
+    std::stringstream buf;
+    save_image(buf, img);
+    std::string bytes = buf.str();
+    bytes[4] = 99;  // version byte
+    std::stringstream bad(bytes);
+    EXPECT_THROW(load_image(bad), ImageFormatError);
+}
+
+TEST(Serialize, MissingFileThrows)
+{
+    EXPECT_THROW(load_image_file("/nonexistent/path.img"), ImageFormatError);
+}
+
+TEST(Serialize, EmptyMatrixImageRoundTrips)
+{
+    const sparse::CooMatrix m(64, 64);
+    const SerpensImage img = encode_matrix(m, small_params());
+    std::stringstream buf;
+    save_image(buf, img);
+    const SerpensImage back = load_image(buf);
+    EXPECT_EQ(back.stats().nnz, 0u);
+    for (unsigned c = 0; c < back.channels(); ++c)
+        EXPECT_TRUE(back.channel(c).empty());
+}
+
+} // namespace
+} // namespace serpens::encode

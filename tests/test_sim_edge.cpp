@@ -1,0 +1,206 @@
+// Simulator and accelerator edge cases: degenerate shapes, IEEE special
+// values, minimum geometries, and the instruction-driven run path.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/cpu_spmv.h"
+#include "core/accelerator.h"
+#include "encode/instructions.h"
+#include "sparse/convert.h"
+#include "sparse/generators.h"
+
+namespace serpens {
+namespace {
+
+using core::Accelerator;
+using core::SerpensConfig;
+using sparse::CooMatrix;
+using sparse::index_t;
+
+SerpensConfig tiny_config()
+{
+    SerpensConfig c = SerpensConfig::a16();
+    c.arch.ha_channels = 1;
+    c.arch.window = 64;
+    return c;
+}
+
+TEST(SimEdge, SingleElementMatrix)
+{
+    CooMatrix m(1, 1);
+    m.add(0, 0, 3.0f);
+    const Accelerator acc(tiny_config());
+    const auto r = acc.run(acc.prepare(m), std::vector<float>{2.0f},
+                           std::vector<float>{10.0f}, 1.0f, 1.0f);
+    EXPECT_FLOAT_EQ(r.y[0], 16.0f);  // 3*2 + 10
+}
+
+TEST(SimEdge, SingleRowManyColumns)
+{
+    const index_t cols = 1000;
+    CooMatrix m(1, cols);
+    for (index_t c = 0; c < cols; ++c)
+        m.add(0, c, 1.0f);
+    const Accelerator acc(tiny_config());
+    const auto r = acc.run(acc.prepare(m), std::vector<float>(cols, 1.0f),
+                           std::vector<float>(1, 0.0f));
+    EXPECT_FLOAT_EQ(r.y[0], static_cast<float>(cols));
+}
+
+TEST(SimEdge, SingleColumnManyRows)
+{
+    const index_t rows = 1000;
+    CooMatrix m(rows, 1);
+    for (index_t r = 0; r < rows; ++r)
+        m.add(r, 0, static_cast<float>(r));
+    const Accelerator acc(tiny_config());
+    const auto result = acc.run(acc.prepare(m), std::vector<float>{2.0f},
+                                std::vector<float>(rows, 0.0f));
+    for (index_t r = 0; r < rows; ++r)
+        EXPECT_FLOAT_EQ(result.y[r], 2.0f * static_cast<float>(r));
+}
+
+TEST(SimEdge, MinimumWindow)
+{
+    SerpensConfig c = tiny_config();
+    c.arch.window = 16;  // the smallest legal window (one 512-bit line)
+    const auto m = sparse::make_uniform_random(64, 200, 800, 3);
+    const Accelerator acc(c);
+    const auto prepared = acc.prepare(m);
+    EXPECT_EQ(prepared.image().num_segments(), 13u);  // ceil(200/16)
+    std::vector<float> x(200, 1.0f), y(64, 0.0f);
+    const auto r = acc.run(prepared, x, y);
+    std::vector<float> expect(y);
+    baselines::spmv_csr(sparse::to_csr(m), x, expect, 1.0f, 0.0f);
+    for (std::size_t i = 0; i < expect.size(); ++i)
+        ASSERT_NEAR(r.y[i], expect[i], 1e-3f);
+}
+
+TEST(SimEdge, InfinityPropagates)
+{
+    CooMatrix m(2, 2);
+    m.add(0, 0, 1.0f);
+    m.add(1, 1, 1.0f);
+    const Accelerator acc(tiny_config());
+    const float inf = std::numeric_limits<float>::infinity();
+    const auto r = acc.run(acc.prepare(m), std::vector<float>{inf, 1.0f},
+                           std::vector<float>(2, 0.0f));
+    EXPECT_TRUE(std::isinf(r.y[0]));
+    EXPECT_FLOAT_EQ(r.y[1], 1.0f);
+}
+
+TEST(SimEdge, NanPropagates)
+{
+    CooMatrix m(1, 1);
+    m.add(0, 0, std::numeric_limits<float>::quiet_NaN());
+    const Accelerator acc(tiny_config());
+    const auto r = acc.run(acc.prepare(m), std::vector<float>{1.0f},
+                           std::vector<float>{0.0f});
+    EXPECT_TRUE(std::isnan(r.y[0]));
+}
+
+TEST(SimEdge, NegativeZeroValueSurvivesEncoding)
+{
+    CooMatrix m(1, 1);
+    m.add(0, 0, -0.0f);
+    const Accelerator acc(tiny_config());
+    // -0.0 * 1.0 + 0.0 = 0.0; the interesting part is that encoding did not
+    // corrupt the sign bit (checked via the element round-trip elsewhere);
+    // here we check the arithmetic result stays well-formed.
+    const auto r = acc.run(acc.prepare(m), std::vector<float>{1.0f},
+                           std::vector<float>{0.0f});
+    EXPECT_EQ(r.y[0], 0.0f);
+}
+
+TEST(SimEdge, EmptyMatrixScalesY)
+{
+    const CooMatrix m(32, 32);  // no non-zeros
+    const Accelerator acc(tiny_config());
+    std::vector<float> y(32, 3.0f);
+    const auto r = acc.run(acc.prepare(m), std::vector<float>(32, 1.0f), y,
+                           1.0f, 0.5f);
+    for (float v : r.y)
+        EXPECT_FLOAT_EQ(v, 1.5f);
+}
+
+TEST(SimEdge, HugeAlphaBeta)
+{
+    const auto m = sparse::make_diagonal(64, 1.0f);
+    const Accelerator acc(tiny_config());
+    const auto r = acc.run(acc.prepare(m), std::vector<float>(64, 1.0f),
+                           std::vector<float>(64, 1.0f), 1e30f, -1e30f);
+    for (float v : r.y)
+        EXPECT_FLOAT_EQ(v, 0.0f);  // 1e30 - 1e30
+}
+
+// --- instruction-driven runs ---
+
+TEST(SimEdge, RunProgramMatchesDirectRun)
+{
+    const auto m = sparse::make_uniform_random(300, 400, 4000, 7);
+    const Accelerator acc(tiny_config());
+    const auto prepared = acc.prepare(m);
+    std::vector<float> x(400, 0.5f), y(300, 2.0f);
+
+    const auto program = acc.compile_program(prepared, 1.5f, -0.5f);
+    const auto via_program = acc.run_program(prepared, program, x, y);
+    const auto direct = acc.run(prepared, x, y, 1.5f, -0.5f);
+    EXPECT_EQ(via_program.y, direct.y);
+    EXPECT_EQ(via_program.cycles.total_cycles(), direct.cycles.total_cycles());
+}
+
+TEST(SimEdge, RunProgramRejectsForeignProgram)
+{
+    const Accelerator acc(tiny_config());
+    const auto m1 = acc.prepare(sparse::make_diagonal(64));
+    const auto m2 = acc.prepare(sparse::make_diagonal(128));
+    const auto program = acc.compile_program(m2, 1.0f, 0.0f);
+    std::vector<float> x(64, 1.0f), y(64, 0.0f);
+    EXPECT_THROW(acc.run_program(m1, program, x, y),
+                 encode::InstructionError);
+}
+
+TEST(SimEdge, RunProgramRejectsTamperedStream)
+{
+    const Accelerator acc(tiny_config());
+    const auto prepared = acc.prepare(sparse::make_diagonal(64));
+    auto program = acc.compile_program(prepared, 1.0f, 0.0f);
+    program.pop_back();  // drop HALT
+    std::vector<float> x(64, 1.0f), y(64, 0.0f);
+    EXPECT_THROW(acc.run_program(prepared, program, x, y),
+                 encode::InstructionError);
+}
+
+// Geometry sweep: every legal HA with minimum/maximum window.
+struct GeoCase {
+    unsigned ha;
+    unsigned window;
+};
+
+class GeometryEdge : public ::testing::TestWithParam<GeoCase> {};
+
+TEST_P(GeometryEdge, CorrectAcrossGeometries)
+{
+    const GeoCase g = GetParam();
+    SerpensConfig c = SerpensConfig::a16();
+    c.arch.ha_channels = g.ha;
+    c.arch.window = g.window;
+    const auto m = sparse::make_uniform_random(500, 500, 5000, g.ha * 31 + g.window);
+    const Accelerator acc(c);
+    std::vector<float> x(500, 1.0f), y(500, 0.0f);
+    const auto r = acc.run(acc.prepare(m), x, y);
+    std::vector<float> expect(y);
+    baselines::spmv_csr(sparse::to_csr(m), x, expect, 1.0f, 0.0f);
+    for (std::size_t i = 0; i < expect.size(); ++i)
+        ASSERT_NEAR(r.y[i], expect[i], 1e-3f) << "row " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GeometryEdge,
+    ::testing::Values(GeoCase{1, 16}, GeoCase{1, 16384}, GeoCase{28, 16},
+                      GeoCase{28, 16384}, GeoCase{5, 208}, GeoCase{16, 8192},
+                      GeoCase{24, 8192}));
+
+} // namespace
+} // namespace serpens

@@ -1,0 +1,282 @@
+// Tests for the cycle-level simulator: functional equivalence against the
+// CPU reference and exact cycle accounting.
+#include <gtest/gtest.h>
+
+#include "baselines/cpu_spmv.h"
+#include "encode/image.h"
+#include "sim/simulator.h"
+#include "sparse/convert.h"
+#include "sparse/generators.h"
+#include "util/bitpack.h"
+#include "util/rng.h"
+
+namespace serpens::sim {
+namespace {
+
+using encode::EncodeParams;
+using sparse::CooMatrix;
+using sparse::index_t;
+
+EncodeParams small_params()
+{
+    EncodeParams p;
+    p.ha_channels = 2;
+    p.window = 64;
+    p.dsp_latency = 4;
+    return p;
+}
+
+std::vector<float> random_vector(std::size_t n, std::uint64_t seed)
+{
+    serpens::Rng rng(seed);
+    std::vector<float> v(n);
+    for (float& x : v)
+        x = rng.next_float(-1.0f, 1.0f);
+    return v;
+}
+
+// Compare simulated FP32 output against the double-precision reference.
+void expect_matches_reference(const CooMatrix& m, float alpha, float beta,
+                              const EncodeParams& params,
+                              std::uint64_t seed = 555)
+{
+    const auto img = encode::encode_matrix(m, params);
+    const std::vector<float> x = random_vector(m.cols(), seed);
+    const std::vector<float> y = random_vector(m.rows(), seed + 1);
+
+    const SimResult sim = simulate_spmv(img, x, y, alpha, beta);
+    const auto ref =
+        baselines::spmv_csr_ref64(sparse::to_csr(m), x, y, alpha, beta);
+
+    ASSERT_EQ(sim.y.size(), ref.size());
+    for (std::size_t r = 0; r < ref.size(); ++r) {
+        const double tol = 1e-4 * std::max(1.0, std::abs(ref[r]));
+        EXPECT_NEAR(sim.y[r], ref[r], tol) << "row " << r;
+    }
+}
+
+TEST(Simulator, MatchesReferenceOnDiagonal)
+{
+    expect_matches_reference(sparse::make_diagonal(100, 2.0f), 1.0f, 0.0f,
+                             small_params());
+}
+
+TEST(Simulator, MatchesReferenceOnRandom)
+{
+    expect_matches_reference(sparse::make_uniform_random(300, 400, 5000, 3),
+                             1.0f, 0.0f, small_params());
+}
+
+TEST(Simulator, MatchesReferenceWithAlphaBeta)
+{
+    expect_matches_reference(sparse::make_uniform_random(200, 200, 3000, 4),
+                             2.5f, -0.75f, small_params());
+}
+
+TEST(Simulator, MatchesReferenceOnBanded)
+{
+    expect_matches_reference(sparse::make_banded(256, 8, 5), 1.0f, 1.0f,
+                             small_params());
+}
+
+TEST(Simulator, MatchesReferenceOnHeavyRows)
+{
+    expect_matches_reference(sparse::make_dense_rows(8, 512, 4, 200, 6), 1.0f,
+                             0.0f, small_params());
+}
+
+TEST(Simulator, MatchesReferenceWithoutCoalescing)
+{
+    EncodeParams p = small_params();
+    p.coalescing = false;
+    expect_matches_reference(sparse::make_uniform_random(150, 150, 2000, 7),
+                             1.0f, 0.5f, p);
+}
+
+TEST(Simulator, ExactWithIntegerValues)
+{
+    // Integer-valued floats with row sums far below 2^24: every accumulation
+    // order yields the same result, so the simulator must match the double
+    // reference bit-for-bit after rounding.
+    const CooMatrix m = sparse::make_uniform_random(
+        128, 128, 2000, 8, sparse::ValueOptions{.exact_values = true});
+    const auto img = encode::encode_matrix(m, small_params());
+    std::vector<float> x(m.cols());
+    serpens::Rng rng(11);
+    for (float& v : x)
+        v = rng.next_exact_float(4);
+    const std::vector<float> y(m.rows(), 0.0f);
+
+    const SimResult sim = simulate_spmv(img, x, y, 1.0f, 0.0f);
+    const auto ref = baselines::spmv_csr_ref64(sparse::to_csr(m), x, y, 1.0f, 0.0f);
+    for (std::size_t r = 0; r < ref.size(); ++r)
+        ASSERT_EQ(sim.y[r], static_cast<float>(ref[r])) << "row " << r;
+}
+
+TEST(Simulator, BetaZeroIgnoresYInput)
+{
+    const CooMatrix m = sparse::make_diagonal(64);
+    const auto img = encode::encode_matrix(m, small_params());
+    const std::vector<float> x(64, 1.0f);
+    const std::vector<float> garbage(64, 12345.0f);
+    const SimResult sim = simulate_spmv(img, x, garbage, 1.0f, 0.0f);
+    for (float v : sim.y)
+        EXPECT_FLOAT_EQ(v, 1.0f);
+}
+
+TEST(Simulator, AlphaZeroGivesScaledY)
+{
+    const CooMatrix m = sparse::make_uniform_random(64, 64, 500, 12);
+    const auto img = encode::encode_matrix(m, small_params());
+    const std::vector<float> x = random_vector(64, 1);
+    const std::vector<float> y = random_vector(64, 2);
+    const SimResult sim = simulate_spmv(img, x, y, 0.0f, 2.0f);
+    for (std::size_t r = 0; r < y.size(); ++r)
+        EXPECT_FLOAT_EQ(sim.y[r], 2.0f * y[r]);
+}
+
+TEST(Simulator, ValidatesVectorLengths)
+{
+    const CooMatrix m = sparse::make_diagonal(64);
+    const auto img = encode::encode_matrix(m, small_params());
+    const std::vector<float> good(64), bad(63);
+    EXPECT_THROW(simulate_spmv(img, bad, good, 1.0f, 0.0f),
+                 std::invalid_argument);
+    EXPECT_THROW(simulate_spmv(img, good, bad, 1.0f, 0.0f),
+                 std::invalid_argument);
+}
+
+// --- Cycle accounting ---
+
+TEST(Simulator, XLoadCyclesAreCeilSegWidthOver16)
+{
+    EncodeParams p = small_params();  // window 64
+    const CooMatrix m = sparse::make_uniform_random(64, 200, 500, 13);
+    const auto img = encode::encode_matrix(m, p);
+    const std::vector<float> x(200), y(64);
+    const SimResult sim = simulate_spmv(img, x, y, 1.0f, 0.0f);
+    // Segments: 64 + 64 + 64 + 8 -> 4 + 4 + 4 + 1 lines.
+    EXPECT_EQ(sim.cycles.x_load_cycles, 13u);
+}
+
+TEST(Simulator, YPhaseCyclesAreCeilRowsOver16)
+{
+    const CooMatrix m = sparse::make_diagonal(100);
+    const auto img = encode::encode_matrix(m, small_params());
+    const std::vector<float> x(100), y(100);
+    const SimResult sim = simulate_spmv(img, x, y, 1.0f, 0.0f);
+    EXPECT_EQ(sim.cycles.y_phase_cycles, serpens::ceil_div<std::uint64_t>(100, 16));
+}
+
+TEST(Simulator, ComputeCyclesEqualSumOfSegmentDepths)
+{
+    const CooMatrix m = sparse::make_uniform_random(128, 300, 4000, 14);
+    const auto img = encode::encode_matrix(m, small_params());
+    const std::vector<float> x(300), y(128);
+    const SimResult sim = simulate_spmv(img, x, y, 1.0f, 0.0f);
+    std::uint64_t expect = 0;
+    for (unsigned s = 0; s < img.num_segments(); ++s)
+        expect += img.segment_depth(s);
+    EXPECT_EQ(sim.cycles.compute_cycles, expect);
+}
+
+TEST(Simulator, FillCyclesFollowOptions)
+{
+    const CooMatrix m = sparse::make_uniform_random(64, 200, 500, 15);
+    const auto img = encode::encode_matrix(m, small_params());
+    const std::vector<float> x(200), y(64);
+    SimOptions opt;
+    opt.fill_per_segment = 10;
+    opt.fill_y_phase = 7;
+    const SimResult sim = simulate_spmv(img, x, y, 1.0f, 0.0f, opt);
+    EXPECT_EQ(sim.cycles.fill_cycles, 10u * img.num_segments() + 7u);
+}
+
+TEST(Simulator, SlotAccountingMatchesEncodeStats)
+{
+    const CooMatrix m = sparse::make_uniform_random(96, 256, 3000, 16);
+    const auto img = encode::encode_matrix(m, small_params());
+    const std::vector<float> x(256), y(96);
+    const SimResult sim = simulate_spmv(img, x, y, 1.0f, 0.0f);
+    EXPECT_EQ(sim.cycles.total_slots, img.stats().total_slots);
+    EXPECT_EQ(sim.cycles.padding_slots, img.stats().padding_slots);
+}
+
+TEST(Simulator, TrafficIsSinglePass)
+{
+    // Paper §3.2: the matrix and each vector are moved exactly once.
+    const CooMatrix m = sparse::make_uniform_random(160, 320, 2000, 17);
+    const auto img = encode::encode_matrix(m, small_params());
+    const std::vector<float> x(320), y(160);
+    const SimResult sim = simulate_spmv(img, x, y, 1.0f, 0.0f);
+
+    std::uint64_t a_bytes = 0;
+    for (unsigned c = 0; c < img.channels(); ++c)
+        a_bytes += img.channel(c).bytes();
+    const std::uint64_t x_bytes =
+        sim.cycles.x_load_cycles * hbm::kLineBytes;  // 1 line per load cycle
+    const std::uint64_t y_bytes =
+        serpens::ceil_div<std::uint64_t>(160, 16) * hbm::kLineBytes;
+    EXPECT_EQ(sim.cycles.traffic.bytes_read, a_bytes + x_bytes + y_bytes);
+    EXPECT_EQ(sim.cycles.traffic.bytes_written, y_bytes);
+}
+
+TEST(Simulator, IdealCyclesLowerBoundsCompute)
+{
+    // compute_cycles >= NNZ / (8 * HA) always (padding only adds).
+    const CooMatrix m = sparse::make_uniform_random(128, 512, 6000, 18);
+    const EncodeParams p = small_params();
+    const auto img = encode::encode_matrix(m, p);
+    const std::vector<float> x(512), y(128);
+    const SimResult sim = simulate_spmv(img, x, y, 1.0f, 0.0f);
+    const std::uint64_t ideal =
+        serpens::ceil_div<std::uint64_t>(m.nnz(), 8ULL * p.ha_channels);
+    EXPECT_GE(sim.cycles.compute_cycles, ideal);
+}
+
+// Equivalence property sweep over matrix families and alpha/beta.
+struct SimCase {
+    int family;  // 0 uniform, 1 banded, 2 rmat, 3 dense-rows, 4 diagonal
+    float alpha;
+    float beta;
+    std::uint64_t seed;
+};
+
+class SimulatorEquivalence : public ::testing::TestWithParam<SimCase> {};
+
+TEST_P(SimulatorEquivalence, MatchesDoubleReference)
+{
+    const SimCase c = GetParam();
+    CooMatrix m = [&] {
+        switch (c.family) {
+        case 0:
+            return sparse::make_uniform_random(257, 389, 4000, c.seed);
+        case 1:
+            return sparse::make_banded(300, 10, c.seed);
+        case 2:
+            return sparse::make_rmat(8, 12, c.seed);
+        case 3:
+            return sparse::make_dense_rows(16, 400, 6, 150, c.seed);
+        default:
+            return sparse::make_diagonal(311);
+        }
+    }();
+    expect_matches_reference(m, c.alpha, c.beta, small_params(), c.seed + 99);
+}
+
+std::vector<SimCase> sim_cases()
+{
+    std::vector<SimCase> cases;
+    std::uint64_t seed = 10;
+    for (int family = 0; family < 5; ++family)
+        for (auto [a, b] : {std::pair{1.0f, 0.0f}, {1.0f, 1.0f},
+                            {-2.0f, 0.5f}, {0.25f, -1.5f}})
+            cases.push_back({family, a, b, seed++});
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, SimulatorEquivalence,
+                         ::testing::ValuesIn(sim_cases()));
+
+} // namespace
+} // namespace serpens::sim

@@ -1,0 +1,189 @@
+// Unit tests for the util substrate: checks, RNG, bit packing.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/bitpack.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace serpens {
+namespace {
+
+// --- check.h ---
+
+TEST(Check, ArgumentCheckThrowsInvalidArgument)
+{
+    EXPECT_THROW(SERPENS_CHECK(false, "boom"), std::invalid_argument);
+}
+
+TEST(Check, ArgumentCheckPassesSilently)
+{
+    EXPECT_NO_THROW(SERPENS_CHECK(true, "fine"));
+}
+
+TEST(Check, AssertThrowsCheckError)
+{
+    EXPECT_THROW(SERPENS_ASSERT(false, "bug"), CheckError);
+}
+
+TEST(Check, MessageContainsExpressionAndText)
+{
+    try {
+        SERPENS_CHECK(1 == 2, "custom context");
+        FAIL() << "expected throw";
+    } catch (const std::invalid_argument& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("1 == 2"), std::string::npos);
+        EXPECT_NE(what.find("custom context"), std::string::npos);
+    }
+}
+
+TEST(Check, CapacityErrorIsInvalidArgument)
+{
+    // CapacityError must be catchable as invalid_argument so callers can
+    // treat all contract violations uniformly.
+    EXPECT_THROW(throw CapacityError("full"), std::invalid_argument);
+}
+
+// --- rng.h ---
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next_u64() == b.next_u64();
+    EXPECT_LE(same, 1);
+}
+
+TEST(Rng, NextBelowInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.next_below(17), 17u);
+}
+
+TEST(Rng, NextBelowCoversRange)
+{
+    Rng rng(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 500; ++i)
+        seen.insert(rng.next_below(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextBelowRejectsZeroBound)
+{
+    Rng rng(1);
+    EXPECT_THROW(rng.next_below(0), std::invalid_argument);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(11);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = rng.next_double();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, FloatRespectsBounds)
+{
+    Rng rng(13);
+    for (int i = 0; i < 1000; ++i) {
+        const float f = rng.next_float(-2.5f, 3.5f);
+        EXPECT_GE(f, -2.5f);
+        EXPECT_LT(f, 3.5f);
+    }
+}
+
+TEST(Rng, ExactFloatIsSmallInteger)
+{
+    Rng rng(17);
+    for (int i = 0; i < 1000; ++i) {
+        const float f = rng.next_exact_float(8);
+        EXPECT_GE(f, 1.0f);
+        EXPECT_LE(f, 8.0f);
+        EXPECT_EQ(f, static_cast<float>(static_cast<int>(f)));
+    }
+}
+
+TEST(Rng, ApproximatelyUniformMean)
+{
+    Rng rng(23);
+    double sum = 0.0;
+    const int n = 100'000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.next_double();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+// --- bitpack.h ---
+
+TEST(Bitpack, ExtractInsertRoundTrip)
+{
+    std::uint32_t word = 0;
+    word = insert_bits(word, 4, 8, 0xAB);
+    EXPECT_EQ(extract_bits(word, 4, 8), 0xABu);
+    word = insert_bits(word, 20, 12, 0xFFF);
+    EXPECT_EQ(extract_bits(word, 20, 12), 0xFFFu);
+    EXPECT_EQ(extract_bits(word, 4, 8), 0xABu);  // unchanged
+}
+
+TEST(Bitpack, InsertMasksOverflowingValue)
+{
+    const std::uint32_t word = insert_bits(0, 0, 4, 0x1F);
+    EXPECT_EQ(word, 0xFu);
+}
+
+TEST(Bitpack, FullWidthFields)
+{
+    EXPECT_EQ(extract_bits(0xDEADBEEF, 0, 32), 0xDEADBEEFu);
+    EXPECT_EQ(insert_bits(0, 0, 32, 0xDEADBEEF), 0xDEADBEEFu);
+}
+
+TEST(Bitpack, FitsBits)
+{
+    EXPECT_TRUE(fits_bits(0, 1));
+    EXPECT_TRUE(fits_bits(1, 1));
+    EXPECT_FALSE(fits_bits(2, 1));
+    EXPECT_TRUE(fits_bits(16383, 14));
+    EXPECT_FALSE(fits_bits(16384, 14));
+    EXPECT_TRUE(fits_bits(~0ULL, 64));
+}
+
+TEST(Bitpack, FloatBitsRoundTrip)
+{
+    for (float f : {0.0f, -0.0f, 1.0f, -1.5f, 3.14159f, 1e-30f, 1e30f}) {
+        EXPECT_EQ(bits_float(float_bits(f)), f);
+    }
+}
+
+TEST(Bitpack, FloatBitsPreservesNanPayload)
+{
+    const std::uint32_t nan_bits = 0x7FC00001u;
+    EXPECT_EQ(float_bits(bits_float(nan_bits)), nan_bits);
+}
+
+TEST(Bitpack, CeilDiv)
+{
+    EXPECT_EQ(ceil_div(0u, 16u), 0u);
+    EXPECT_EQ(ceil_div(1u, 16u), 1u);
+    EXPECT_EQ(ceil_div(16u, 16u), 1u);
+    EXPECT_EQ(ceil_div(17u, 16u), 2u);
+    EXPECT_EQ(ceil_div<std::uint64_t>(1'000'000'007ULL, 128ULL), 7'812'501ULL);
+}
+
+} // namespace
+} // namespace serpens

@@ -1,0 +1,238 @@
+// serpens_cli — command-line driver for the Serpens toolchain.
+//
+//   serpens_cli info [--a24]
+//       print the configuration, bandwidth, capacity, and resource model
+//   serpens_cli encode --mtx FILE --out IMG [--a24]
+//       preprocess a Matrix Market file into an accelerator image
+//   serpens_cli run (--mtx FILE | --img IMG | --gen KIND,N,NNZ) [--a24]
+//                   [--alpha A] [--beta B] [--iters N]
+//       run SpMV on the simulated accelerator and report cycles + metrics
+//
+// Generator kinds for --gen: uniform, rmat, banded, clustered.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "baselines/cpu_spmv.h"
+#include "core/accelerator.h"
+#include "core/analytic.h"
+#include "core/resource_model.h"
+#include "encode/serialize.h"
+#include "sparse/convert.h"
+#include "sparse/generators.h"
+#include "sparse/matrix_market.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace serpens;
+
+struct CliArgs {
+    std::string command;
+    std::string mtx_path;
+    std::string img_path;
+    std::string out_path;
+    std::string gen_spec;
+    bool a24 = false;
+    float alpha = 1.0f;
+    float beta = 0.0f;
+    int iters = 1;
+};
+
+CliArgs parse(int argc, char** argv)
+{
+    CliArgs args;
+    if (argc >= 2)
+        args.command = argv[1];
+    for (int i = 2; i < argc; ++i) {
+        const std::string flag = argv[i];
+        const auto next = [&]() -> std::string {
+            return i + 1 < argc ? argv[++i] : "";
+        };
+        if (flag == "--mtx")
+            args.mtx_path = next();
+        else if (flag == "--img")
+            args.img_path = next();
+        else if (flag == "--out")
+            args.out_path = next();
+        else if (flag == "--gen")
+            args.gen_spec = next();
+        else if (flag == "--a24")
+            args.a24 = true;
+        else if (flag == "--alpha")
+            args.alpha = std::stof(next());
+        else if (flag == "--beta")
+            args.beta = std::stof(next());
+        else if (flag == "--iters")
+            args.iters = std::stoi(next());
+    }
+    return args;
+}
+
+sparse::CooMatrix generate(const std::string& spec)
+{
+    // KIND,N,NNZ
+    const auto c1 = spec.find(',');
+    const auto c2 = spec.find(',', c1 + 1);
+    if (c1 == std::string::npos || c2 == std::string::npos)
+        throw std::invalid_argument("--gen expects KIND,N,NNZ");
+    const std::string kind = spec.substr(0, c1);
+    const auto n = static_cast<sparse::index_t>(std::stoul(spec.substr(c1 + 1)));
+    const auto nnz = static_cast<sparse::nnz_t>(std::stoull(spec.substr(c2 + 1)));
+    if (kind == "uniform")
+        return sparse::make_uniform_random(n, n, nnz, 1);
+    if (kind == "rmat") {
+        unsigned scale = 1;
+        while ((sparse::index_t{1} << scale) < n)
+            ++scale;
+        return sparse::make_rmat(scale, std::max<sparse::nnz_t>(1, nnz >> scale), 1);
+    }
+    if (kind == "banded")
+        return sparse::make_banded(n, std::max<sparse::index_t>(1, nnz / n), 1);
+    if (kind == "clustered")
+        return sparse::make_clustered(n, nnz, 8, 64, 0.3, 1);
+    throw std::invalid_argument("unknown generator kind: " + kind);
+}
+
+int cmd_info(const CliArgs& args)
+{
+    const auto cfg = args.a24 ? core::SerpensConfig::a24()
+                              : core::SerpensConfig::a16();
+    std::printf("Serpens-%s\n", args.a24 ? "A24" : "A16");
+    std::printf("  HBM channels: %u sparse + %u vector = %u total\n",
+                cfg.arch.ha_channels, cfg.vector_channels,
+                cfg.total_hbm_channels());
+    std::printf("  bandwidth:    %.0f GB/s utilized\n",
+                cfg.utilized_bandwidth_gbps());
+    std::printf("  frequency:    %.0f MHz, power %.0f W\n", cfg.frequency_mhz,
+                cfg.power_w);
+    std::printf("  PEs:          %u (8 per channel)\n", cfg.arch.total_pes());
+    std::printf("  row capacity: %llu (coalescing %s)\n",
+                static_cast<unsigned long long>(cfg.arch.row_capacity()),
+                cfg.arch.coalescing ? "on" : "off");
+    const auto r = core::estimate_resources(cfg);
+    std::printf("  resources:    LUT %lluK (%.0f%%), FF %lluK (%.0f%%), "
+                "DSP %llu (%.0f%%), BRAM %llu (%.0f%%), URAM %llu (%.0f%%)\n",
+                static_cast<unsigned long long>(r.luts / 1000), r.lut_pct,
+                static_cast<unsigned long long>(r.ffs / 1000), r.ff_pct,
+                static_cast<unsigned long long>(r.dsps), r.dsp_pct,
+                static_cast<unsigned long long>(r.brams), r.bram_pct,
+                static_cast<unsigned long long>(r.urams), r.uram_pct);
+    return 0;
+}
+
+int cmd_encode(const CliArgs& args)
+{
+    if (args.mtx_path.empty() || args.out_path.empty()) {
+        std::fprintf(stderr, "encode requires --mtx FILE and --out IMG\n");
+        return 2;
+    }
+    const auto cfg = args.a24 ? core::SerpensConfig::a24()
+                              : core::SerpensConfig::a16();
+    const auto m = sparse::read_matrix_market_file(args.mtx_path);
+    const auto img = encode::encode_matrix(m, cfg.arch);
+    encode::save_image_file(args.out_path, img);
+    std::printf("encoded %u x %u, %llu nnz -> %s (%llu lines, padding %.4f)\n",
+                m.rows(), m.cols(), static_cast<unsigned long long>(m.nnz()),
+                args.out_path.c_str(),
+                static_cast<unsigned long long>(img.stats().total_lines),
+                img.stats().padding_ratio());
+    return 0;
+}
+
+int cmd_run(const CliArgs& args)
+{
+    const auto cfg = args.a24 ? core::SerpensConfig::a24()
+                              : core::SerpensConfig::a16();
+    const core::Accelerator acc(cfg);
+
+    std::unique_ptr<core::PreparedMatrix> prepared;
+    sparse::CooMatrix matrix_for_check(1, 1);
+    bool have_matrix = false;
+
+    if (!args.img_path.empty()) {
+        auto img = encode::load_image_file(args.img_path);
+        SERPENS_CHECK(img.params().ha_channels == cfg.arch.ha_channels,
+                      "image was encoded for a different channel count");
+        prepared = std::make_unique<core::PreparedMatrix>(
+            core::PreparedMatrix::from_image(std::move(img)));
+    } else {
+        sparse::CooMatrix m =
+            !args.mtx_path.empty()
+                ? sparse::read_matrix_market_file(args.mtx_path)
+                : generate(args.gen_spec.empty() ? "uniform,10000,200000"
+                                                 : args.gen_spec);
+        matrix_for_check = m;
+        have_matrix = true;
+        prepared = std::make_unique<core::PreparedMatrix>(acc.prepare(m));
+    }
+
+    const auto rows = prepared->rows();
+    const auto cols = prepared->cols();
+    Rng rng(7);
+    std::vector<float> x(cols), y(rows, 0.0f);
+    for (float& v : x)
+        v = rng.next_float(-1.0f, 1.0f);
+
+    core::RunResult result;
+    double total_ms = 0.0;
+    for (int it = 0; it < std::max(1, args.iters); ++it) {
+        result = acc.run(*prepared, x, y, args.alpha, args.beta);
+        total_ms += result.time_ms;
+    }
+
+    std::printf("matrix:  %u x %u, %llu nnz (padding %.4f)\n", rows, cols,
+                static_cast<unsigned long long>(prepared->nnz()),
+                prepared->encode_stats().padding_ratio());
+    std::printf("cycles:  %llu total = %llu compute + %llu x-load + "
+                "%llu y-phase + %llu fill\n",
+                static_cast<unsigned long long>(result.cycles.total_cycles()),
+                static_cast<unsigned long long>(result.cycles.compute_cycles),
+                static_cast<unsigned long long>(result.cycles.x_load_cycles),
+                static_cast<unsigned long long>(result.cycles.y_phase_cycles),
+                static_cast<unsigned long long>(result.cycles.fill_cycles));
+    std::printf("time:    %.4f ms/run (%d run%s)\n", total_ms / args.iters,
+                args.iters, args.iters == 1 ? "" : "s");
+    std::printf("metrics: %.2f GFLOP/s, %.0f MTEPS, %.1f MTEPS/(GB/s), "
+                "%.0f MTEPS/W\n",
+                result.metrics.gflops, result.metrics.mteps,
+                result.metrics.bw_eff, result.metrics.energy_eff);
+
+    if (have_matrix) {
+        std::vector<float> expect(y);
+        baselines::spmv_csr(sparse::to_csr(matrix_for_check), x, expect,
+                            args.alpha, args.beta);
+        double max_err = 0.0;
+        for (std::size_t i = 0; i < expect.size(); ++i)
+            max_err = std::max(
+                max_err, static_cast<double>(std::abs(result.y[i] - expect[i])));
+        std::printf("check:   max |serpens - cpu| = %.3g %s\n", max_err,
+                    max_err < 1e-2 ? "(OK)" : "(MISMATCH)");
+        return max_err < 1e-2 ? 0 : 1;
+    }
+    return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    const CliArgs args = parse(argc, argv);
+    try {
+        if (args.command == "info")
+            return cmd_info(args);
+        if (args.command == "encode")
+            return cmd_encode(args);
+        if (args.command == "run")
+            return cmd_run(args);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    std::fprintf(stderr,
+                 "usage: serpens_cli info [--a24]\n"
+                 "       serpens_cli encode --mtx FILE --out IMG [--a24]\n"
+                 "       serpens_cli run (--mtx FILE | --img IMG | --gen "
+                 "KIND,N,NNZ) [--a24] [--alpha A] [--beta B] [--iters N]\n");
+    return 2;
+}
