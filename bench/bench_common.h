@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <sstream>
@@ -33,6 +34,19 @@ struct BenchArgs {
                 args.csv = true;
             else if (std::strcmp(argv[i], "--count") == 0 && i + 1 < argc)
                 args.count = static_cast<std::size_t>(std::atoll(argv[++i]));
+            else if (std::strcmp(argv[i], "--help") == 0 ||
+                     std::strcmp(argv[i], "-h") == 0) {
+                std::printf(
+                    "usage: %s [--scale N] [--csv] [--count N]\n"
+                    "  --scale N  scale divisor for the Table 3 stand-ins\n"
+                    "             (default 16; 1 = full paper size)\n"
+                    "  --csv      also emit each table as CSV\n"
+                    "  --count N  collection size where applicable "
+                    "(default 160)\n"
+                    "see docs/BENCHMARKS.md for what this binary reproduces\n",
+                    argv[0]);
+                std::exit(0);
+            }
         }
         return args;
     }

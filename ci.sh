@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, run every test suite.
+# SERPENS_WERROR=ON (the default, forced here) turns any warning in
+# first-party code (src/, tools/) into a build failure.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+BUILD_DIR="${BUILD_DIR:-build}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+cmake -B "${BUILD_DIR}" -S . -DSERPENS_WERROR=ON
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"

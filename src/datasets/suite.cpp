@@ -49,8 +49,11 @@ std::vector<SuiteRecipe> sample_suite(const SuiteSpec& spec)
         const char* kind_name = kind == SuiteKind::uniform  ? "uni"
                                 : kind == SuiteKind::rmat   ? "rmat"
                                                             : "band";
-        recipes.push_back({"S" + std::to_string(i) + "-" + kind_name, n, nnz,
-                           kind, rng.next_u64()});
+        std::string name = "S";
+        name += std::to_string(i);
+        name += '-';
+        name += kind_name;
+        recipes.push_back({std::move(name), n, nnz, kind, rng.next_u64()});
     }
     return recipes;
 }

@@ -56,8 +56,7 @@ public:
     std::uint64_t next_below(std::uint64_t bound)
     {
         SERPENS_CHECK(bound > 0, "next_below requires a positive bound");
-        return static_cast<std::uint64_t>(
-            (static_cast<unsigned __int128>(next_u64()) * bound) >> 64);
+        return mulhi64(next_u64(), bound);
     }
 
     // Uniform double in [0, 1).
@@ -85,6 +84,23 @@ private:
     static std::uint64_t rotl(std::uint64_t x, int k)
     {
         return (x << k) | (x >> (64 - k));
+    }
+
+    // High 64 bits of a 64x64 product. The portable 32-bit-halves path keeps
+    // the value stream identical on compilers without __int128 (MSVC), so
+    // matrices stay a pure function of their seed on every platform.
+    static std::uint64_t mulhi64(std::uint64_t a, std::uint64_t b)
+    {
+#if defined(__SIZEOF_INT128__)
+        __extension__ typedef unsigned __int128 uint128;
+        return static_cast<std::uint64_t>((static_cast<uint128>(a) * b) >> 64);
+#else
+        const std::uint64_t a_lo = a & 0xffffffffULL, a_hi = a >> 32;
+        const std::uint64_t b_lo = b & 0xffffffffULL, b_hi = b >> 32;
+        const std::uint64_t mid = a_hi * b_lo + ((a_lo * b_lo) >> 32) +
+                                  ((a_lo * b_hi) & 0xffffffffULL);
+        return a_hi * b_hi + ((a_lo * b_hi) >> 32) + (mid >> 32);
+#endif
     }
 
     std::uint64_t state_[4];

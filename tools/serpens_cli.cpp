@@ -10,6 +10,7 @@
 //
 // Generator kinds for --gen: uniform, rmat, banded, clustered.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -47,7 +48,12 @@ CliArgs parse(int argc, char** argv)
     for (int i = 2; i < argc; ++i) {
         const std::string flag = argv[i];
         const auto next = [&]() -> std::string {
-            return i + 1 < argc ? argv[++i] : "";
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "error: %s requires a value\n",
+                             flag.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
         };
         if (flag == "--mtx")
             args.mtx_path = next();
@@ -65,6 +71,12 @@ CliArgs parse(int argc, char** argv)
             args.beta = std::stof(next());
         else if (flag == "--iters")
             args.iters = std::stoi(next());
+        else if (flag == "--help" || flag == "-h")
+            args.command = "help";
+        else {
+            std::fprintf(stderr, "error: unknown flag: %s\n", flag.c_str());
+            std::exit(2);
+        }
     }
     return args;
 }
@@ -213,6 +225,48 @@ int cmd_run(const CliArgs& args)
     return 0;
 }
 
+int cmd_help(std::FILE* out)
+{
+    std::fprintf(
+        out,
+        "serpens_cli — drive the Serpens (DAC'22) SpMV accelerator model\n"
+        "\n"
+        "usage: serpens_cli <command> [flags]\n"
+        "\n"
+        "commands:\n"
+        "  info    print the configuration: HBM channel split, utilized\n"
+        "          bandwidth, frequency/power, PE count, on-chip row capacity\n"
+        "          (paper Eq. 3), and the analytic FPGA resource estimate\n"
+        "  encode  preprocess a Matrix Market file into an accelerator image\n"
+        "          (segmentation, PE distribution, index coalescing,\n"
+        "          hazard-aware reordering) and save it to disk\n"
+        "  run     execute y = alpha*A*x + beta*y on the cycle-level\n"
+        "          simulator and report cycles, modeled time, and the\n"
+        "          paper's Table 4 metrics; results are checked against the\n"
+        "          CPU reference when the matrix is available\n"
+        "  help    print this message\n"
+        "\n"
+        "flags:\n"
+        "  --a24            use the Serpens-A24 preset (24 sparse channels,\n"
+        "                   270 MHz) instead of the default A16\n"
+        "  --mtx FILE       input matrix in Matrix Market (.mtx) format\n"
+        "  --img IMG        input: a previously encoded image (run only)\n"
+        "  --out IMG        output path for the encoded image (encode only)\n"
+        "  --gen KIND,N,NNZ generate an N x N synthetic matrix with ~NNZ\n"
+        "                   non-zeros; KIND is uniform, rmat, banded, or\n"
+        "                   clustered (run only; default uniform,10000,200000)\n"
+        "  --alpha A        scalar alpha (default 1.0)\n"
+        "  --beta B         scalar beta  (default 0.0)\n"
+        "  --iters N        repeat the run N times, report mean time\n"
+        "\n"
+        "examples:\n"
+        "  serpens_cli info --a24\n"
+        "  serpens_cli run --gen rmat,16384,500000 --iters 3\n"
+        "  serpens_cli encode --mtx m.mtx --out m.img\n"
+        "  serpens_cli run --img m.img --alpha 2 --beta 0.5\n");
+    return out == stdout ? 0 : 2;
+}
+
 } // namespace
 
 int main(int argc, char** argv)
@@ -225,14 +279,12 @@ int main(int argc, char** argv)
             return cmd_encode(args);
         if (args.command == "run")
             return cmd_run(args);
+        if (args.command == "help" || args.command == "--help" ||
+            args.command == "-h")
+            return cmd_help(stdout);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
     }
-    std::fprintf(stderr,
-                 "usage: serpens_cli info [--a24]\n"
-                 "       serpens_cli encode --mtx FILE --out IMG [--a24]\n"
-                 "       serpens_cli run (--mtx FILE | --img IMG | --gen "
-                 "KIND,N,NNZ) [--a24] [--alpha A] [--beta B] [--iters N]\n");
-    return 2;
+    return cmd_help(stderr);
 }
