@@ -2,15 +2,73 @@
 //
 // The paper's preprocessing is an offline step ("similar to prior works we
 // preprocess the sparse elements into accelerator-efficient storage");
-// these numbers establish how expensive that step is per non-zero.
+// these numbers establish how expensive that step is per non-zero. The
+// bm_schedule_* pairs isolate the scheduler hot path: the calendar-queue
+// production scheduler vs. the heap-based reference on the same streams.
 #include <benchmark/benchmark.h>
 
 #include "encode/image.h"
+#include "encode/schedule.h"
+#include "encode/schedule_reference.h"
 #include "sparse/generators.h"
+#include "util/rng.h"
 
 namespace {
 
 using namespace serpens;
+
+// A skewed conflict-address stream: group sizes follow a heavy-tailed
+// power law over a 15-bit URAM-like address space, the regime where the
+// reference's eligible heap is deepest.
+std::vector<std::uint32_t> skewed_stream(std::size_t count, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::uint32_t> addrs;
+    addrs.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const double u = rng.next_double();
+        addrs.push_back(static_cast<std::uint32_t>(32'768.0 * u * u * u));
+    }
+    return addrs;
+}
+
+template <encode::ScheduleResult (*Schedule)(std::span<const std::uint32_t>,
+                                             unsigned, encode::SchedulePolicy)>
+void bm_schedule(benchmark::State& state, encode::SchedulePolicy policy)
+{
+    const auto addrs =
+        skewed_stream(static_cast<std::size_t>(state.range(0)), 42);
+    for (auto _ : state) {
+        const auto r = Schedule(addrs, 8, policy);
+        benchmark::DoNotOptimize(r.padding_count);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            state.range(0));
+}
+
+void bm_schedule_calendar_lbf(benchmark::State& state)
+{
+    bm_schedule<encode::schedule_hazard_aware>(
+        state, encode::SchedulePolicy::largest_bucket_first);
+}
+
+void bm_schedule_reference_lbf(benchmark::State& state)
+{
+    bm_schedule<encode::schedule_hazard_aware_reference>(
+        state, encode::SchedulePolicy::largest_bucket_first);
+}
+
+void bm_schedule_calendar_fifo(benchmark::State& state)
+{
+    bm_schedule<encode::schedule_hazard_aware>(state,
+                                               encode::SchedulePolicy::fifo);
+}
+
+void bm_schedule_reference_fifo(benchmark::State& state)
+{
+    bm_schedule<encode::schedule_hazard_aware_reference>(
+        state, encode::SchedulePolicy::fifo);
+}
 
 void bm_encode_uniform(benchmark::State& state)
 {
@@ -49,9 +107,30 @@ void bm_encode_clustered(benchmark::State& state)
                             static_cast<std::int64_t>(m.nnz()));
 }
 
+void bm_encode_clustered_threads(benchmark::State& state)
+{
+    const auto m = sparse::make_clustered(65'536, 1'048'576, 8, 64, 0.3, 3);
+    encode::EncodeParams params;
+    encode::EncodeOptions options;
+    options.threads = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        auto img = encode::encode_matrix(m, params, options);
+        benchmark::DoNotOptimize(img.stats().total_slots);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(m.nnz()));
+}
+
 BENCHMARK(bm_encode_uniform)->Arg(100'000)->Arg(1'000'000)->Unit(benchmark::kMillisecond);
 BENCHMARK(bm_encode_banded)->Unit(benchmark::kMillisecond);
 BENCHMARK(bm_encode_clustered)->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_encode_clustered_threads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_schedule_calendar_lbf)->Arg(1'000'000)->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_schedule_reference_lbf)->Arg(1'000'000)->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_schedule_calendar_fifo)->Arg(1'000'000)->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_schedule_reference_fifo)->Arg(1'000'000)->Unit(benchmark::kMillisecond);
 
 } // namespace
 

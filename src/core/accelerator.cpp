@@ -17,7 +17,9 @@ Accelerator::Accelerator(SerpensConfig config) : config_(config)
 
 PreparedMatrix Accelerator::prepare(const sparse::CooMatrix& m) const
 {
-    return PreparedMatrix(encode::encode_matrix(m, config_.arch));
+    encode::EncodeOptions options;
+    options.threads = config_.encode_threads;
+    return PreparedMatrix(encode::encode_matrix(m, config_.arch, options));
 }
 
 double Accelerator::cycles_to_ms(const sim::CycleStats& s) const

@@ -29,6 +29,9 @@ struct SerpensConfig {
     unsigned fill_per_segment = 48;   // pipeline fill cycles per segment
     unsigned fill_y_phase = 48;
     double invocation_overhead_us = 3.0;  // host->device kickoff latency
+    // Host-side worker threads for prepare()'s per-channel encode
+    // (1 = serial, 0 = one per hardware thread); never changes the image.
+    unsigned encode_threads = 1;
 
     static SerpensConfig a16()
     {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "encode/schedule.h"
+#include "encode/thread_pool.h"
 #include "util/bitpack.h"
 
 namespace serpens::encode {
@@ -26,7 +27,9 @@ std::uint32_t SerpensImage::segment_depth(unsigned s) const
     return depth;
 }
 
-SerpensImage encode_matrix(const sparse::CooMatrix& m, const EncodeParams& params)
+SerpensImage encode_matrix(const sparse::CooMatrix& m,
+                           const EncodeParams& params,
+                           const EncodeOptions& options)
 {
     params.validate();
     SERPENS_CHECK(m.rows() > 0 && m.cols() > 0, "matrix must be non-empty");
@@ -59,29 +62,37 @@ SerpensImage encode_matrix(const sparse::CooMatrix& m, const EncodeParams& param
     };
 
     for (const sparse::Triplet& t : m.elements()) {
-        const PeLocation loc = mapping.locate(t.row);
-        SERPENS_ASSERT(loc.addr < params.addrs_per_pe(),
+        const ElementPlacement p = place_element(mapping, params, t.row, t.col);
+        SERPENS_ASSERT(p.addr < params.addrs_per_pe(),
                        "row maps beyond the PE URAM space");
-        const unsigned seg = t.col / params.window;
-        const std::uint32_t col_off = t.col % params.window;
-        const unsigned ch = loc.pe / lanes;
-        const unsigned lane = loc.pe % lanes;
-        buckets[bucket_index(seg, ch, lane)].push_back(
-            {loc.addr, loc.half, col_off, t.val});
+        buckets[bucket_index(p.segment, p.channel, p.lane)].push_back(
+            {p.addr, p.half, p.col_off, t.val});
     }
 
     EncodeStats stats;
     stats.nnz = m.nnz();
     stats.num_segments = segments;
 
-    std::vector<std::vector<EncodedElement>> lane_slots(lanes);
-    std::vector<std::uint32_t> addrs;
+    // Each channel owns its stream, its seg_lines row, and its slice of the
+    // buckets, so channels encode independently — the parallel workers
+    // below share no mutable state and the image is byte-identical for
+    // every thread count.
+    struct ChannelTotals {
+        std::uint64_t slots = 0;
+        std::uint64_t lines = 0;
+    };
+    std::vector<ChannelTotals> totals(channels);
 
-    for (unsigned seg = 0; seg < segments; ++seg) {
-        for (unsigned ch = 0; ch < channels; ++ch) {
+    const auto encode_channel = [&](std::size_t ch) {
+        std::vector<std::vector<EncodedElement>> lane_slots(lanes);
+        std::vector<std::uint32_t> addrs;
+        hbm::ChannelStream& stream = img.streams_[ch];
+
+        for (unsigned seg = 0; seg < segments; ++seg) {
             std::size_t depth = 0;
             for (unsigned lane = 0; lane < lanes; ++lane) {
-                const auto& bucket = buckets[bucket_index(seg, ch, lane)];
+                const auto& bucket =
+                    buckets[bucket_index(seg, static_cast<unsigned>(ch), lane)];
                 addrs.clear();
                 addrs.reserve(bucket.size());
                 for (const LaneElem& e : bucket)
@@ -105,7 +116,6 @@ SerpensImage encode_matrix(const sparse::CooMatrix& m, const EncodeParams& param
             }
 
             // Pad every lane to the channel's depth and pack into lines.
-            hbm::ChannelStream& stream = img.streams_[ch];
             for (std::size_t i = 0; i < depth; ++i) {
                 hbm::Line512 line;
                 for (unsigned lane = 0; lane < lanes; ++lane) {
@@ -117,11 +127,19 @@ SerpensImage encode_matrix(const sparse::CooMatrix& m, const EncodeParams& param
                 stream.push(line);
             }
             img.seg_lines_[ch][seg] = static_cast<std::uint32_t>(depth);
-            stats.total_slots += depth * lanes;
-            stats.total_lines += depth;
+            totals[ch].slots += depth * lanes;
+            totals[ch].lines += depth;
         }
-    }
+    };
 
+    ThreadPool pool(std::min(resolve_threads(options.threads), channels));
+    pool.parallel_for(channels, encode_channel);
+
+    // Deterministic reduction in channel order.
+    for (const ChannelTotals& t : totals) {
+        stats.total_slots += t.slots;
+        stats.total_lines += t.lines;
+    }
     stats.padding_slots = stats.total_slots - stats.nnz;
     img.stats_ = stats;
     return img;

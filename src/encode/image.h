@@ -33,6 +33,16 @@ struct EncodeStats {
     }
 };
 
+// Host-side knobs of the encode stage (not part of the architecture; they
+// never change the produced image, only how fast it is built).
+struct EncodeOptions {
+    // Worker threads for the per-channel encode: every HBM channel's
+    // schedule is independent, so channels encode in parallel. 1 = serial
+    // (the default), 0 = one worker per hardware thread. The image bytes
+    // are identical for every thread count.
+    unsigned threads = 1;
+};
+
 class SerpensImage {
 public:
     SerpensImage(EncodeParams params, index_t rows, index_t cols);
@@ -67,7 +77,9 @@ public:
     void set_stats(const EncodeStats& stats) { stats_ = stats; }
 
 private:
-    friend SerpensImage encode_matrix(const sparse::CooMatrix&, const EncodeParams&);
+    friend SerpensImage encode_matrix(const sparse::CooMatrix&,
+                                      const EncodeParams&,
+                                      const EncodeOptions&);
 
     EncodeParams params_;
     index_t rows_ = 0;
@@ -81,6 +93,8 @@ private:
 // Encode a matrix for the given architecture parameters.
 // Throws CapacityError if the row count exceeds the on-chip accumulator
 // capacity (paper Eq. 3), std::invalid_argument on invalid params.
-SerpensImage encode_matrix(const sparse::CooMatrix& m, const EncodeParams& params);
+SerpensImage encode_matrix(const sparse::CooMatrix& m,
+                           const EncodeParams& params,
+                           const EncodeOptions& options = {});
 
 } // namespace serpens::encode

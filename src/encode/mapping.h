@@ -115,4 +115,30 @@ private:
     bool coalescing_;
 };
 
+// Where one non-zero lands in the encoded image: its (segment, channel,
+// lane) bucket plus the in-lane encoding fields. encode_matrix and the
+// schedule tests both derive bucketing from this one function, so the
+// streams the tests validate are the streams the encoder builds.
+struct ElementPlacement {
+    unsigned segment = 0;
+    unsigned channel = 0;
+    unsigned lane = 0;
+    std::uint32_t addr = 0;
+    bool half = false;
+    std::uint32_t col_off = 0;
+};
+
+inline ElementPlacement place_element(const RowMapping& mapping,
+                                      const EncodeParams& params,
+                                      index_t row, index_t col)
+{
+    const PeLocation loc = mapping.locate(row);
+    return {static_cast<unsigned>(col / params.window),
+            loc.pe / params.pes_per_channel,
+            loc.pe % params.pes_per_channel,
+            loc.addr,
+            loc.half,
+            static_cast<std::uint32_t>(col % params.window)};
+}
+
 } // namespace serpens::encode

@@ -1,67 +1,365 @@
+// Calendar-queue list scheduler.
+//
+// The scheduler emits one slot per iteration, so every data structure here
+// is keyed by slot or by remaining-count and paid for in O(1) amortized
+// time (the only super-constant step is a bounded walk past count levels
+// whose groups are all inside the hazard window — at most `window` of them
+// can exist). The pieces:
+//
+//   - groups are a flat CSR table (offsets + member array), built with a
+//     dense addr -> group map when the address space is small (URAM
+//     addresses are 15-bit in practice) and a hash map otherwise;
+//   - the *pending* set is a calendar: a ring of `window + 1` buckets keyed
+//     by ready slot. One element is emitted per slot, so every ready slot
+//     is distinct and each bucket holds at most one group — promotion is a
+//     single array read per slot;
+//   - the *ready* set for largest_bucket_first is a vertical doubly-linked
+//     list of count levels (one node per distinct remaining-count, each
+//     holding an intrusive FIFO of eligible groups). Serving a group moves
+//     it exactly one level down, so levels are created/removed adjacently
+//     in O(1); ties within a level are served in insertion order;
+//   - the *ready* set for fifo is a single intrusive FIFO, seeded in
+//     ascending address order and appended to in promotion order — which
+//     reproduces the reference heap's (ready_slot, addr) order exactly, so
+//     fifo schedules are byte-identical to schedule_hazard_aware_reference.
 #include "encode/schedule.h"
 
 #include <algorithm>
-#include <queue>
 #include <unordered_map>
 
 namespace serpens::encode {
 
 namespace {
 
-struct Group {
-    std::uint32_t addr = 0;
-    std::vector<std::int64_t> members; // input indices, original order
-    std::size_t next = 0;              // cursor into members
+constexpr std::int32_t kNone = -1;
 
-    std::size_t remaining() const { return members.size() - next; }
+// Flat group table: member input-indices of group g, in arrival order, are
+// members[offset[g] .. offset[g+1]); head[g] is the emission cursor.
+struct GroupTable {
+    std::vector<std::uint32_t> addr;
+    std::vector<std::size_t> offset;     // size() + 1 entries
+    std::vector<std::int64_t> members;
+    std::vector<std::size_t> head;
+
+    std::size_t size() const { return addr.size(); }
+    std::size_t remaining(std::size_t g) const { return offset[g + 1] - head[g]; }
 };
 
-// Pending heap entry: group becomes eligible at `ready_slot`.
-struct Pending {
-    std::size_t ready_slot;
-    std::size_t group;
-};
+GroupTable build_groups(std::span<const std::uint32_t> addrs)
+{
+    const std::size_t n = addrs.size();
+    GroupTable t;
+    std::vector<std::uint32_t> group_of_elem(n);
 
-struct PendingLater {
-    bool operator()(const Pending& a, const Pending& b) const
-    {
-        return a.ready_slot > b.ready_slot;
+    // Dense direct-mapped assignment when the address range is comparable to
+    // the input size (always true for URAM addresses); hash map fallback for
+    // arbitrary 32-bit keys.
+    std::uint32_t max_addr = 0;
+    for (std::uint32_t a : addrs)
+        max_addr = std::max(max_addr, a);
+    const std::uint64_t dense_limit =
+        std::max<std::uint64_t>(1u << 16, 4 * static_cast<std::uint64_t>(n));
+    if (max_addr < dense_limit) {
+        std::vector<std::int32_t> id_of(static_cast<std::size_t>(max_addr) + 1,
+                                        kNone);
+        for (std::size_t i = 0; i < n; ++i) {
+            std::int32_t& id = id_of[addrs[i]];
+            if (id == kNone) {
+                id = static_cast<std::int32_t>(t.addr.size());
+                t.addr.push_back(addrs[i]);
+            }
+            group_of_elem[i] = static_cast<std::uint32_t>(id);
+        }
+    } else {
+        std::unordered_map<std::uint32_t, std::uint32_t> id_of;
+        id_of.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            const auto [it, inserted] =
+                id_of.try_emplace(addrs[i],
+                                  static_cast<std::uint32_t>(t.addr.size()));
+            if (inserted)
+                t.addr.push_back(addrs[i]);
+            group_of_elem[i] = it->second;
+        }
     }
-};
 
-// Eligible heap entry for largest_bucket_first: more remaining elements wins;
-// ties break toward the smaller address for determinism.
-struct EligibleLbf {
-    std::size_t remaining;
-    std::uint32_t addr;
-    std::size_t group;
-};
+    // Counting pass -> CSR offsets -> member fill, preserving arrival order.
+    const std::size_t g_count = t.addr.size();
+    t.offset.assign(g_count + 1, 0);
+    for (std::size_t i = 0; i < n; ++i)
+        ++t.offset[group_of_elem[i] + 1];
+    for (std::size_t g = 0; g < g_count; ++g)
+        t.offset[g + 1] += t.offset[g];
+    t.members.resize(n);
+    t.head = t.offset; // per-group fill cursor, reused as emission cursor
+    t.head.pop_back();
+    for (std::size_t i = 0; i < n; ++i)
+        t.members[t.head[group_of_elem[i]]++] = static_cast<std::int64_t>(i);
+    // Reset cursors to the start of each group.
+    std::copy(t.offset.begin(), t.offset.end() - 1, t.head.begin());
+    return t;
+}
 
-struct LbfWorse {
-    bool operator()(const EligibleLbf& a, const EligibleLbf& b) const
+// The pending calendar: ring[s % size] holds the group (if any) that
+// becomes eligible at slot s. At most one group per bucket (one emission
+// per slot => distinct ready slots), at most `window` groups pending.
+class Calendar {
+public:
+    // The +1 is computed in size_t space: window == UINT_MAX must not wrap
+    // to a zero-size ring (modulo by zero below).
+    Calendar(unsigned window, bool needed)
+        : ring_(needed ? static_cast<std::size_t>(window) + 1 : 1, kNone)
     {
-        if (a.remaining != b.remaining)
-            return a.remaining < b.remaining;
-        return a.addr > b.addr;
     }
-};
 
-// Eligible heap entry for fifo: earlier eligibility wins; ties toward the
-// smaller address.
-struct EligibleFifo {
-    std::size_t ready_slot;
-    std::uint32_t addr;
-    std::size_t group;
-};
-
-struct FifoWorse {
-    bool operator()(const EligibleFifo& a, const EligibleFifo& b) const
+    // Group becoming ready at `slot + window` while processing `slot`.
+    void push(std::size_t ready_slot, std::size_t group)
     {
-        if (a.ready_slot != b.ready_slot)
-            return a.ready_slot > b.ready_slot;
-        return a.addr > b.addr;
+        std::int32_t& cell = ring_[ready_slot % ring_.size()];
+        SERPENS_ASSERT(cell == kNone, "calendar bucket collision");
+        cell = static_cast<std::int32_t>(group);
     }
+
+    // The group (or kNone) whose hazard window elapses at `slot`.
+    std::int32_t pop(std::size_t slot)
+    {
+        std::int32_t& cell = ring_[slot % ring_.size()];
+        const std::int32_t g = cell;
+        cell = kNone;
+        return g;
+    }
+
+private:
+    std::vector<std::int32_t> ring_;
 };
+
+// Count-indexed ready lists for largest_bucket_first: a doubly-linked stack
+// of *levels*, one per distinct remaining-count present, highest count on
+// top. Each level holds an intrusive FIFO of eligible groups plus the
+// number of its groups currently inside the hazard window. A served group
+// moves to the level directly below (count - 1), so level creation and
+// removal only ever touch adjacent links.
+class LbfReady {
+public:
+    LbfReady(const GroupTable& groups)
+        : next_group_(groups.size(), kNone), level_of_(groups.size(), kNone)
+    {
+        // Bucket groups by initial count (counting sort: counts are bounded
+        // by the input size), then materialize levels top-down.
+        std::size_t max_count = 0;
+        for (std::size_t g = 0; g < groups.size(); ++g)
+            max_count = std::max(max_count, groups.remaining(g));
+        std::vector<std::int32_t> bucket_head(max_count + 1, kNone);
+        std::vector<std::int32_t> bucket_tail(max_count + 1, kNone);
+        for (std::size_t g = 0; g < groups.size(); ++g) {
+            const std::size_t c = groups.remaining(g);
+            const auto gi = static_cast<std::int32_t>(g);
+            if (bucket_head[c] == kNone)
+                bucket_head[c] = gi;
+            else
+                next_group_[bucket_tail[c]] = gi;
+            bucket_tail[c] = gi;
+        }
+        for (std::size_t c = max_count; c >= 1; --c) {
+            if (bucket_head[c] == kNone)
+                continue;
+            const std::int32_t lv = new_level(c);
+            levels_[lv].up = bottom_;
+            levels_[lv].elig_head = bucket_head[c];
+            levels_[lv].elig_tail = bucket_tail[c];
+            for (std::int32_t g = bucket_head[c]; g != kNone;
+                 g = next_group_[g])
+                level_of_[g] = lv;
+            if (bottom_ != kNone)
+                levels_[bottom_].down = lv;
+            else
+                top_ = lv;
+            bottom_ = lv;
+        }
+    }
+
+    // Highest-count eligible group, or kNone when everything is pending.
+    // Walks past levels whose groups are all pending — at most `window` of
+    // them exist, and empty levels are unlinked eagerly.
+    std::int32_t pop_max()
+    {
+        std::int32_t lv = top_;
+        while (lv != kNone && levels_[lv].elig_head == kNone)
+            lv = levels_[lv].down;
+        if (lv == kNone)
+            return kNone;
+        Level& level = levels_[lv];
+        const std::int32_t g = level.elig_head;
+        level.elig_head = next_group_[g];
+        if (level.elig_head == kNone)
+            level.elig_tail = kNone;
+        next_group_[g] = kNone;
+        return g;
+    }
+
+    // The group just served from level `level_of(g)` now has one fewer
+    // element and sits inside the hazard window: park it one level down.
+    void park_below(std::int32_t g, std::size_t new_count)
+    {
+        const std::int32_t lv = level_of_[g];
+        SERPENS_ASSERT(levels_[lv].count == new_count + 1,
+                       "a served group moves exactly one level down");
+        std::int32_t target = levels_[lv].down;
+        if (target == kNone || levels_[target].count != new_count) {
+            // new_level may reallocate levels_, so no Level& survives it.
+            target = new_level(new_count);
+            link_below(lv, target);
+        }
+        ++levels_[target].pending;
+        level_of_[g] = target;
+        maybe_unlink(lv);
+    }
+
+    // The group's count reached zero: it leaves its level for good.
+    void retire(std::int32_t g) { maybe_unlink(level_of_[g]); }
+
+    // Hazard window elapsed: the group rejoins its level's eligible FIFO.
+    void promote(std::int32_t g)
+    {
+        Level& level = levels_[level_of_[g]];
+        --level.pending;
+        if (level.elig_head == kNone)
+            level.elig_head = g;
+        else
+            next_group_[level.elig_tail] = g;
+        level.elig_tail = g;
+    }
+
+private:
+    struct Level {
+        std::size_t count = 0;           // remaining-count of member groups
+        std::int32_t elig_head = kNone;  // intrusive FIFO of eligible groups
+        std::int32_t elig_tail = kNone;
+        std::uint32_t pending = 0;       // member groups inside the window
+        std::int32_t up = kNone;
+        std::int32_t down = kNone;
+    };
+
+    std::int32_t new_level(std::size_t count)
+    {
+        levels_.push_back(Level{count, kNone, kNone, 0, kNone, kNone});
+        return static_cast<std::int32_t>(levels_.size() - 1);
+    }
+
+    void link_below(std::int32_t above, std::int32_t lv)
+    {
+        Level& a = levels_[above];
+        levels_[lv].up = above;
+        levels_[lv].down = a.down;
+        if (a.down != kNone)
+            levels_[a.down].up = lv;
+        else
+            bottom_ = lv;
+        a.down = lv;
+    }
+
+    void maybe_unlink(std::int32_t lv)
+    {
+        Level& level = levels_[lv];
+        if (level.elig_head != kNone || level.pending != 0)
+            return;
+        if (level.up != kNone)
+            levels_[level.up].down = level.down;
+        else
+            top_ = level.down;
+        if (level.down != kNone)
+            levels_[level.down].up = level.up;
+        else
+            bottom_ = level.up;
+    }
+
+    std::vector<Level> levels_;
+    std::vector<std::int32_t> next_group_; // group -> next in its level FIFO
+    std::vector<std::int32_t> level_of_;   // group -> level index
+    std::int32_t top_ = kNone;
+    std::int32_t bottom_ = kNone;
+};
+
+ScheduleResult schedule_lbf(GroupTable groups, unsigned window,
+                            ScheduleResult result)
+{
+    const std::size_t n = result.real_count;
+    bool any_repeat = false;
+    for (std::size_t g = 0; g < groups.size(); ++g)
+        any_repeat |= groups.remaining(g) > 1;
+
+    LbfReady ready(groups);
+    Calendar calendar(window, any_repeat);
+
+    std::size_t emitted = 0;
+    for (std::size_t slot = 0; emitted < n; ++slot) {
+        const std::int32_t due = calendar.pop(slot);
+        if (due != kNone)
+            ready.promote(due);
+
+        const std::int32_t g = ready.pop_max();
+        if (g == kNone) {
+            result.slots.push_back(ScheduleResult::kPaddingSlot);
+            ++result.padding_count;
+            continue;
+        }
+        result.slots.push_back(groups.members[groups.head[g]++]);
+        ++emitted;
+        const std::size_t rem = groups.remaining(static_cast<std::size_t>(g));
+        if (rem > 0) {
+            ready.park_below(g, rem);
+            calendar.push(slot + window, static_cast<std::size_t>(g));
+        } else {
+            ready.retire(g);
+        }
+    }
+    return result;
+}
+
+ScheduleResult schedule_fifo(GroupTable groups, unsigned window,
+                             ScheduleResult result)
+{
+    const std::size_t n = result.real_count;
+    const std::size_t g_count = groups.size();
+    bool any_repeat = false;
+    for (std::size_t g = 0; g < g_count; ++g)
+        any_repeat |= groups.remaining(g) > 1;
+
+    // Ready FIFO. Seeded in ascending address order (the reference heap's
+    // tie-break for the shared ready-slot 0); every later ready slot is
+    // unique, so appending in promotion order keeps the exact reference
+    // service order. Total enqueues are bounded by n + g_count.
+    std::vector<std::uint32_t> queue;
+    queue.reserve(n + g_count);
+    for (std::uint32_t g = 0; g < g_count; ++g)
+        queue.push_back(g);
+    std::sort(queue.begin(), queue.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                  return groups.addr[a] < groups.addr[b];
+              });
+    std::size_t q_head = 0;
+
+    Calendar calendar(window, any_repeat);
+
+    std::size_t emitted = 0;
+    for (std::size_t slot = 0; emitted < n; ++slot) {
+        const std::int32_t due = calendar.pop(slot);
+        if (due != kNone)
+            queue.push_back(static_cast<std::uint32_t>(due));
+
+        if (q_head == queue.size()) {
+            result.slots.push_back(ScheduleResult::kPaddingSlot);
+            ++result.padding_count;
+            continue;
+        }
+        const std::uint32_t g = queue[q_head++];
+        result.slots.push_back(groups.members[groups.head[g]++]);
+        ++emitted;
+        if (groups.remaining(g) > 0)
+            calendar.push(slot + window, g);
+    }
+    return result;
+}
 
 } // namespace
 
@@ -74,70 +372,12 @@ ScheduleResult schedule_hazard_aware(std::span<const std::uint32_t> addrs,
     result.real_count = addrs.size();
     if (addrs.empty())
         return result;
-
-    // Bucket inputs by conflict address, preserving arrival order.
-    std::unordered_map<std::uint32_t, std::size_t> group_of;
-    std::vector<Group> groups;
-    group_of.reserve(addrs.size());
-    for (std::size_t i = 0; i < addrs.size(); ++i) {
-        auto [it, inserted] = group_of.try_emplace(addrs[i], groups.size());
-        if (inserted)
-            groups.push_back({addrs[i], {}, 0});
-        groups[it->second].members.push_back(static_cast<std::int64_t>(i));
-    }
-
-    std::priority_queue<Pending, std::vector<Pending>, PendingLater> pending;
-    std::priority_queue<EligibleLbf, std::vector<EligibleLbf>, LbfWorse> ready_lbf;
-    std::priority_queue<EligibleFifo, std::vector<EligibleFifo>, FifoWorse> ready_fifo;
-
-    const bool lbf = policy == SchedulePolicy::largest_bucket_first;
-    for (std::size_t g = 0; g < groups.size(); ++g) {
-        if (lbf)
-            ready_lbf.push({groups[g].remaining(), groups[g].addr, g});
-        else
-            ready_fifo.push({0, groups[g].addr, g});
-    }
-
-    std::size_t emitted = 0;
     result.slots.reserve(addrs.size());
-    while (emitted < addrs.size()) {
-        const std::size_t slot = result.slots.size();
 
-        // Promote pending groups whose hazard window has elapsed.
-        while (!pending.empty() && pending.top().ready_slot <= slot) {
-            const Pending p = pending.top();
-            pending.pop();
-            Group& g = groups[p.group];
-            if (lbf)
-                ready_lbf.push({g.remaining(), g.addr, p.group});
-            else
-                ready_fifo.push({p.ready_slot, g.addr, p.group});
-        }
-
-        std::size_t chosen = groups.size();
-        if (lbf && !ready_lbf.empty()) {
-            chosen = ready_lbf.top().group;
-            ready_lbf.pop();
-        } else if (!lbf && !ready_fifo.empty()) {
-            chosen = ready_fifo.top().group;
-            ready_fifo.pop();
-        }
-
-        if (chosen == groups.size()) {
-            // Nothing eligible: emit a padding bubble.
-            result.slots.push_back(ScheduleResult::kPaddingSlot);
-            ++result.padding_count;
-            continue;
-        }
-
-        Group& g = groups[chosen];
-        result.slots.push_back(g.members[g.next++]);
-        ++emitted;
-        if (g.remaining() > 0)
-            pending.push({slot + window, chosen});
-    }
-
-    return result;
+    GroupTable groups = build_groups(addrs);
+    if (policy == SchedulePolicy::largest_bucket_first)
+        return schedule_lbf(std::move(groups), window, std::move(result));
+    return schedule_fifo(std::move(groups), window, std::move(result));
 }
 
 std::size_t schedule_lower_bound(std::span<const std::uint32_t> addrs,

@@ -15,6 +15,15 @@
 //     served first. This provably minimizes makespan for this
 //     single-machine problem with sequence-independent separation, and is
 //     what keeps padding negligible on real matrices.
+//
+// The implementation (schedule.cpp) is a calendar queue: pending groups
+// sit in a ring of T + 1 slot-keyed buckets and ready groups in
+// count-indexed lists (largest_bucket_first) or one intrusive FIFO (fifo),
+// so each slot costs amortized O(1) instead of the O(log g) of a heap.
+// The original heap-based scheduler survives as
+// schedule_hazard_aware_reference (schedule_reference.h); the two are
+// differentially tested against each other, and fifo schedules are
+// byte-identical across both.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,144 @@
+#include "encode/schedule_reference.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+namespace serpens::encode {
+
+namespace {
+
+struct Group {
+    std::uint32_t addr = 0;
+    std::vector<std::int64_t> members; // input indices, original order
+    std::size_t next = 0;              // cursor into members
+
+    std::size_t remaining() const { return members.size() - next; }
+};
+
+// Pending heap entry: group becomes eligible at `ready_slot`.
+struct Pending {
+    std::size_t ready_slot;
+    std::size_t group;
+};
+
+struct PendingLater {
+    bool operator()(const Pending& a, const Pending& b) const
+    {
+        return a.ready_slot > b.ready_slot;
+    }
+};
+
+// Eligible heap entry for largest_bucket_first: more remaining elements wins;
+// ties break toward the smaller address for determinism.
+struct EligibleLbf {
+    std::size_t remaining;
+    std::uint32_t addr;
+    std::size_t group;
+};
+
+struct LbfWorse {
+    bool operator()(const EligibleLbf& a, const EligibleLbf& b) const
+    {
+        if (a.remaining != b.remaining)
+            return a.remaining < b.remaining;
+        return a.addr > b.addr;
+    }
+};
+
+// Eligible heap entry for fifo: earlier eligibility wins; ties toward the
+// smaller address.
+struct EligibleFifo {
+    std::size_t ready_slot;
+    std::uint32_t addr;
+    std::size_t group;
+};
+
+struct FifoWorse {
+    bool operator()(const EligibleFifo& a, const EligibleFifo& b) const
+    {
+        if (a.ready_slot != b.ready_slot)
+            return a.ready_slot > b.ready_slot;
+        return a.addr > b.addr;
+    }
+};
+
+} // namespace
+
+ScheduleResult schedule_hazard_aware_reference(std::span<const std::uint32_t> addrs,
+                                               unsigned window,
+                                               SchedulePolicy policy)
+{
+    SERPENS_CHECK(window >= 1, "hazard window must be at least one slot");
+
+    ScheduleResult result;
+    result.real_count = addrs.size();
+    if (addrs.empty())
+        return result;
+
+    // Bucket inputs by conflict address, preserving arrival order.
+    std::unordered_map<std::uint32_t, std::size_t> group_of;
+    std::vector<Group> groups;
+    group_of.reserve(addrs.size());
+    for (std::size_t i = 0; i < addrs.size(); ++i) {
+        auto [it, inserted] = group_of.try_emplace(addrs[i], groups.size());
+        if (inserted)
+            groups.push_back({addrs[i], {}, 0});
+        groups[it->second].members.push_back(static_cast<std::int64_t>(i));
+    }
+
+    std::priority_queue<Pending, std::vector<Pending>, PendingLater> pending;
+    std::priority_queue<EligibleLbf, std::vector<EligibleLbf>, LbfWorse> ready_lbf;
+    std::priority_queue<EligibleFifo, std::vector<EligibleFifo>, FifoWorse> ready_fifo;
+
+    const bool lbf = policy == SchedulePolicy::largest_bucket_first;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        if (lbf)
+            ready_lbf.push({groups[g].remaining(), groups[g].addr, g});
+        else
+            ready_fifo.push({0, groups[g].addr, g});
+    }
+
+    std::size_t emitted = 0;
+    result.slots.reserve(addrs.size());
+    while (emitted < addrs.size()) {
+        const std::size_t slot = result.slots.size();
+
+        // Promote pending groups whose hazard window has elapsed.
+        while (!pending.empty() && pending.top().ready_slot <= slot) {
+            const Pending p = pending.top();
+            pending.pop();
+            Group& g = groups[p.group];
+            if (lbf)
+                ready_lbf.push({g.remaining(), g.addr, p.group});
+            else
+                ready_fifo.push({p.ready_slot, g.addr, p.group});
+        }
+
+        std::size_t chosen = groups.size();
+        if (lbf && !ready_lbf.empty()) {
+            chosen = ready_lbf.top().group;
+            ready_lbf.pop();
+        } else if (!lbf && !ready_fifo.empty()) {
+            chosen = ready_fifo.top().group;
+            ready_fifo.pop();
+        }
+
+        if (chosen == groups.size()) {
+            // Nothing eligible: emit a padding bubble.
+            result.slots.push_back(ScheduleResult::kPaddingSlot);
+            ++result.padding_count;
+            continue;
+        }
+
+        Group& g = groups[chosen];
+        result.slots.push_back(g.members[g.next++]);
+        ++emitted;
+        if (g.remaining() > 0)
+            pending.push({slot + window, chosen});
+    }
+
+    return result;
+}
+
+} // namespace serpens::encode

@@ -1,0 +1,29 @@
+// Reference implementation of the hazard-aware scheduler.
+//
+// This is the original three-priority-queue list scheduler (O(log g) per
+// slot), kept verbatim so the production calendar-queue scheduler in
+// schedule.cpp can be differentially tested and benchmarked against it:
+//
+//   - tests/test_schedule_differential.cpp asserts the fast path emits a
+//     valid schedule with padding equal to this implementation's on every
+//     tested input, and byte-identical slots for the fifo policy;
+//   - bench_micro_encode times both on the same streams.
+//
+// Do not call this from production code paths — it exists for verification.
+#pragma once
+
+#include "encode/schedule.h"
+
+namespace serpens::encode {
+
+// Semantics are identical to schedule_hazard_aware (see schedule.h), except
+// largest_bucket_first breaks remaining-count ties toward the smaller
+// address, whereas the calendar-queue scheduler serves count ties in
+// insertion order. Both tie-breaks are deterministic and both achieve the
+// same schedule length (greedy largest-remaining-first is makespan-optimal
+// for this separation-constrained problem regardless of tie-break).
+ScheduleResult schedule_hazard_aware_reference(std::span<const std::uint32_t> addrs,
+                                               unsigned window,
+                                               SchedulePolicy policy);
+
+} // namespace serpens::encode

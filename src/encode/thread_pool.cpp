@@ -1,0 +1,97 @@
+#include "encode/thread_pool.h"
+
+#include <algorithm>
+
+namespace serpens::encode {
+
+unsigned resolve_threads(unsigned requested)
+{
+    if (requested != 0)
+        return requested;
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    const unsigned spawned = threads > 1 ? threads - 1 : 0;
+    workers_.reserve(spawned);
+    for (unsigned t = 0; t < spawned; ++t)
+        workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    cv_start_.notify_all();
+    for (std::thread& w : workers_)
+        w.join();
+}
+
+void ThreadPool::worker_loop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_start_.wait(lock,
+                           [&] { return stop_ || generation_ != seen; });
+            if (stop_)
+                return;
+            seen = generation_;
+        }
+        run_items();
+        {
+            const std::lock_guard<std::mutex> lock(mu_);
+            if (--active_ == 0)
+                cv_done_.notify_one();
+        }
+    }
+}
+
+void ThreadPool::run_items()
+{
+    for (;;) {
+        const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= job_count_)
+            return;
+        try {
+            (*job_)(i);
+        } catch (...) {
+            const std::lock_guard<std::mutex> lock(mu_);
+            if (!error_)
+                error_ = std::current_exception();
+            // Abandon the remaining items; in-flight ones still finish.
+            next_.store(job_count_, std::memory_order_relaxed);
+        }
+    }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn)
+{
+    if (workers_.empty() || count <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        job_ = &fn;
+        job_count_ = count;
+        next_.store(0, std::memory_order_relaxed);
+        error_ = nullptr;
+        active_ = workers_.size();
+        ++generation_;
+    }
+    cv_start_.notify_all();
+    run_items();
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [&] { return active_ == 0; });
+    if (error_)
+        std::rethrow_exception(error_);
+}
+
+} // namespace serpens::encode

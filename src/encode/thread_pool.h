@@ -1,0 +1,64 @@
+// A small fixed-size thread pool for the encoder.
+//
+// encode_matrix schedules every HBM channel independently, so the encode
+// stage parallelizes across channels with no shared mutable state; this
+// pool provides the one primitive that needs: a blocking parallel_for over
+// an index range. Work items are claimed from an atomic counter, so the
+// assignment of items to workers is nondeterministic — callers must ensure
+// (as the encoder does) that each item writes only its own outputs, which
+// keeps results byte-identical for every thread count.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace serpens::encode {
+
+// Resolve a user-facing thread-count option: 0 means one worker per
+// hardware thread, anything else is taken literally.
+unsigned resolve_threads(unsigned requested);
+
+class ThreadPool {
+public:
+    // A pool of `threads` total workers, including the thread that calls
+    // parallel_for; `threads <= 1` spawns nothing and runs serially.
+    explicit ThreadPool(unsigned threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    unsigned threads() const { return static_cast<unsigned>(workers_.size()) + 1; }
+
+    // Run fn(i) for every i in [0, count), distributing items over the pool
+    // plus the calling thread; blocks until all items complete. If any item
+    // throws, the first exception is rethrown here (remaining items are
+    // abandoned). Not reentrant: one parallel_for at a time.
+    void parallel_for(std::size_t count,
+                      const std::function<void(std::size_t)>& fn);
+
+private:
+    void worker_loop();
+    void run_items();
+
+    std::vector<std::thread> workers_;
+    std::mutex mu_;
+    std::condition_variable cv_start_;
+    std::condition_variable cv_done_;
+    bool stop_ = false;
+    std::uint64_t generation_ = 0;       // bumped per parallel_for call
+    std::size_t active_ = 0;             // workers still on the current job
+    const std::function<void(std::size_t)>* job_ = nullptr;
+    std::size_t job_count_ = 0;
+    std::atomic<std::size_t> next_{0};
+    std::exception_ptr error_;
+};
+
+} // namespace serpens::encode

@@ -1,0 +1,54 @@
+// Shared validator for hazard-aware schedules.
+//
+// Any ScheduleResult, from any scheduler implementation, must satisfy the
+// same fundamental invariant: the real slots are a permutation of the input
+// indices, and two slots carrying equal conflict addresses are at least
+// `window` slots apart. expect_valid_schedule asserts exactly that (plus
+// the bookkeeping counters), so every suite that touches a scheduler —
+// unit, differential, end-to-end — checks the one shared definition of
+// "valid" instead of re-deriving it.
+//
+// The helper uses ASSERT_*, so call it from a void context and guard with
+// testing::Test::HasFatalFailure() if the caller must stop on failure.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "encode/schedule.h"
+
+namespace serpens::encode {
+
+inline void expect_valid_schedule(const ScheduleResult& r,
+                                  std::span<const std::uint32_t> addrs,
+                                  unsigned window)
+{
+    std::vector<bool> seen(addrs.size(), false);
+    std::unordered_map<std::uint32_t, std::size_t> last_slot;
+    last_slot.reserve(addrs.size());
+    for (std::size_t slot = 0; slot < r.slots.size(); ++slot) {
+        const std::int64_t idx = r.slots[slot];
+        if (idx == ScheduleResult::kPaddingSlot)
+            continue;
+        ASSERT_GE(idx, 0);
+        ASSERT_LT(static_cast<std::size_t>(idx), addrs.size());
+        ASSERT_FALSE(seen[static_cast<std::size_t>(idx)]) << "duplicate emission";
+        seen[static_cast<std::size_t>(idx)] = true;
+        const std::uint32_t addr = addrs[static_cast<std::size_t>(idx)];
+        const auto it = last_slot.find(addr);
+        if (it != last_slot.end()) {
+            ASSERT_GE(slot - it->second, window)
+                << "hazard at slot " << slot << " addr " << addr;
+        }
+        last_slot[addr] = slot;
+    }
+    for (std::size_t i = 0; i < addrs.size(); ++i)
+        ASSERT_TRUE(seen[i]) << "element " << i << " missing from schedule";
+    EXPECT_EQ(r.real_count, addrs.size());
+    EXPECT_EQ(r.padding_count, r.slots.size() - addrs.size());
+}
+
+} // namespace serpens::encode

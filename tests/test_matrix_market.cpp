@@ -160,5 +160,90 @@ TEST(MatrixMarket, MissingFileThrows)
                  MatrixMarketError);
 }
 
+// Golden-file tests: small .mtx fixtures under tests/data/ covering the
+// format corners real SuiteSparse downloads hit — comment runs, symmetric
+// and pattern headers, 1-based indexing, CRLF line endings, truncation.
+std::string golden(const std::string& name)
+{
+    return std::string(SERPENS_TEST_DATA_DIR) + "/" + name;
+}
+
+TEST(MatrixMarketGolden, CommentRuns)
+{
+    const CooMatrix m = read_matrix_market_file(golden("comments_run.mtx"));
+    EXPECT_EQ(m.rows(), 4u);
+    EXPECT_EQ(m.cols(), 5u);
+    ASSERT_EQ(m.nnz(), 3u);
+    EXPECT_EQ(m.elements()[0], (Triplet{0, 0, 1.25f}));
+    EXPECT_EQ(m.elements()[1], (Triplet{1, 2, -4.5f}));
+    EXPECT_EQ(m.elements()[2], (Triplet{3, 4, 200.0f}));
+}
+
+TEST(MatrixMarketGolden, SymmetricExpands)
+{
+    CooMatrix m = read_matrix_market_file(golden("symmetric.mtx"));
+    // 2 diagonal entries stay single, 2 off-diagonal entries mirror.
+    ASSERT_EQ(m.nnz(), 6u);
+    m.sort_row_major();
+    EXPECT_EQ(m.elements()[0], (Triplet{0, 0, 1.0f}));
+    EXPECT_EQ(m.elements()[1], (Triplet{0, 1, 2.0f})); // mirror of (2,1)
+    EXPECT_EQ(m.elements()[2], (Triplet{0, 2, 3.0f})); // mirror of (3,1)
+    EXPECT_EQ(m.elements()[3], (Triplet{1, 0, 2.0f}));
+    EXPECT_EQ(m.elements()[4], (Triplet{2, 0, 3.0f}));
+    EXPECT_EQ(m.elements()[5], (Triplet{2, 2, 4.0f}));
+}
+
+TEST(MatrixMarketGolden, PatternSymmetric)
+{
+    CooMatrix m = read_matrix_market_file(golden("pattern_symmetric.mtx"));
+    // (2,1) and (3,2) mirror; (4,4) is diagonal: 5 total, all value 1.
+    ASSERT_EQ(m.nnz(), 5u);
+    m.sort_row_major();
+    for (const Triplet& t : m.elements())
+        EXPECT_FLOAT_EQ(t.val, 1.0f);
+    EXPECT_EQ(m.elements()[0], (Triplet{0, 1, 1.0f}));
+    EXPECT_EQ(m.elements()[4], (Triplet{3, 3, 1.0f}));
+}
+
+TEST(MatrixMarketGolden, OneBasedIndexCorners)
+{
+    CooMatrix m = read_matrix_market_file(golden("one_based.mtx"));
+    ASSERT_EQ(m.nnz(), 4u);
+    m.sort_row_major();
+    // 1-based (1,1)..(3,7) corners land on 0-based (0,0)..(2,6).
+    EXPECT_EQ(m.elements()[0], (Triplet{0, 0, 11.0f}));
+    EXPECT_EQ(m.elements()[1], (Triplet{0, 6, 17.0f}));
+    EXPECT_EQ(m.elements()[2], (Triplet{2, 0, 31.0f}));
+    EXPECT_EQ(m.elements()[3], (Triplet{2, 6, 37.0f}));
+}
+
+TEST(MatrixMarketGolden, CrlfLineEndings)
+{
+    const CooMatrix m = read_matrix_market_file(golden("crlf.mtx"));
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.cols(), 3u);
+    ASSERT_EQ(m.nnz(), 2u);
+    EXPECT_EQ(m.elements()[0], (Triplet{0, 1, 1.5f}));
+    EXPECT_EQ(m.elements()[1], (Triplet{2, 2, -2.25f}));
+}
+
+TEST(MatrixMarketGolden, TruncatedEntryListThrows)
+{
+    EXPECT_THROW(read_matrix_market_file(golden("truncated_entries.mtx")),
+                 MatrixMarketError);
+}
+
+TEST(MatrixMarketGolden, MissingSizeLineThrows)
+{
+    EXPECT_THROW(read_matrix_market_file(golden("truncated_size.mtx")),
+                 MatrixMarketError);
+}
+
+TEST(MatrixMarketGolden, TruncatedValueThrows)
+{
+    EXPECT_THROW(read_matrix_market_file(golden("truncated_value.mtx")),
+                 MatrixMarketError);
+}
+
 } // namespace
 } // namespace serpens::sparse

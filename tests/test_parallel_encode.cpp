@@ -1,0 +1,163 @@
+// Determinism and correctness of the parallel per-channel encoder.
+//
+// The encode stage parallelizes across HBM channels; the contract is that
+// the produced image is *byte-identical* for every thread count, so a
+// multi-core preprocessing box and a laptop produce the same artifact.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+
+#include "core/accelerator.h"
+#include "encode/image.h"
+#include "encode/serialize.h"
+#include "encode/thread_pool.h"
+#include "sparse/generators.h"
+#include "util/rng.h"
+
+namespace serpens {
+namespace {
+
+using encode::EncodeOptions;
+using encode::EncodeParams;
+using encode::SerpensImage;
+
+std::string image_bytes(const SerpensImage& img)
+{
+    std::ostringstream out;
+    encode::save_image(out, img);
+    return std::move(out).str();
+}
+
+TEST(ParallelEncode, IdenticalBytesAcrossThreadCounts)
+{
+    const auto m = sparse::make_uniform_random(4096, 8192, 120'000, 17);
+    EncodeParams params;
+    params.window = 1024; // several segments so every channel does real work
+
+    EncodeOptions serial;
+    serial.threads = 1;
+    const std::string golden = image_bytes(encode::encode_matrix(m, params, serial));
+
+    for (const unsigned threads : {2u, 8u}) {
+        EncodeOptions opt;
+        opt.threads = threads;
+        const SerpensImage img = encode::encode_matrix(m, params, opt);
+        EXPECT_EQ(image_bytes(img), golden)
+            << "thread count " << threads << " changed the encoded image";
+    }
+}
+
+TEST(ParallelEncode, AutoThreadCountMatchesSerial)
+{
+    const auto m = sparse::make_clustered(2048, 60'000, 8, 64, 0.3, 23);
+    EncodeParams params;
+    params.window = 512;
+
+    EncodeOptions serial;
+    serial.threads = 1;
+    EncodeOptions auto_threads;
+    auto_threads.threads = 0; // one worker per hardware thread
+    EXPECT_EQ(image_bytes(encode::encode_matrix(m, params, auto_threads)),
+              image_bytes(encode::encode_matrix(m, params, serial)));
+}
+
+TEST(ParallelEncode, StatsIndependentOfThreadCount)
+{
+    const auto m = sparse::make_banded(4096, 12, 29);
+    EncodeParams params;
+    params.window = 256;
+    EncodeOptions serial, parallel;
+    serial.threads = 1;
+    parallel.threads = 8;
+    const auto a = encode::encode_matrix(m, params, serial).stats();
+    const auto b = encode::encode_matrix(m, params, parallel).stats();
+    EXPECT_EQ(a.total_slots, b.total_slots);
+    EXPECT_EQ(a.padding_slots, b.padding_slots);
+    EXPECT_EQ(a.total_lines, b.total_lines);
+    EXPECT_EQ(a.nnz, b.nnz);
+}
+
+TEST(ParallelEncode, AcceleratorThreadsOptionKeepsResultsBitIdentical)
+{
+    // Same matrix, same vectors: a parallel-encode accelerator must produce
+    // bit-identical SpMV results, because the image (and so the
+    // accumulation order) is unchanged.
+    const auto m = sparse::make_uniform_random(1500, 1500, 30'000, 5);
+    Rng rng(77);
+    std::vector<float> x(1500), y(1500);
+    for (float& v : x)
+        v = rng.next_float(-1.0f, 1.0f);
+    for (float& v : y)
+        v = rng.next_float(-1.0f, 1.0f);
+
+    core::SerpensConfig serial_cfg = core::SerpensConfig::a16();
+    serial_cfg.encode_threads = 1;
+    core::SerpensConfig parallel_cfg = core::SerpensConfig::a16();
+    parallel_cfg.encode_threads = 8;
+
+    const core::Accelerator serial_acc(serial_cfg);
+    const core::Accelerator parallel_acc(parallel_cfg);
+    const auto ra = serial_acc.run(serial_acc.prepare(m), x, y, 1.5f, -0.5f);
+    const auto rb = parallel_acc.run(parallel_acc.prepare(m), x, y, 1.5f, -0.5f);
+    ASSERT_EQ(ra.y.size(), rb.y.size());
+    for (std::size_t i = 0; i < ra.y.size(); ++i)
+        EXPECT_EQ(float_bits(ra.y[i]), float_bits(rb.y[i])) << "row " << i;
+    EXPECT_EQ(ra.cycles.total_cycles(), rb.cycles.total_cycles());
+}
+
+// The pool itself: full coverage of the index range, caller participation,
+// and exception propagation.
+TEST(ThreadPool, RunsEveryItemExactlyOnce)
+{
+    encode::ThreadPool pool(4);
+    EXPECT_EQ(pool.threads(), 4u);
+    std::vector<std::atomic<int>> hits(257);
+    pool.parallel_for(hits.size(),
+                      [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "item " << i;
+}
+
+TEST(ThreadPool, ReusableAcrossCalls)
+{
+    encode::ThreadPool pool(3);
+    for (int round = 0; round < 10; ++round) {
+        std::atomic<std::size_t> sum{0};
+        pool.parallel_for(100, [&](std::size_t i) { sum.fetch_add(i); });
+        EXPECT_EQ(sum.load(), 4950u);
+    }
+}
+
+TEST(ThreadPool, PropagatesFirstException)
+{
+    encode::ThreadPool pool(4);
+    EXPECT_THROW(pool.parallel_for(64,
+                                   [&](std::size_t i) {
+                                       if (i == 13)
+                                           throw std::runtime_error("boom");
+                                   }),
+                 std::runtime_error);
+    // The pool survives a throwing job.
+    std::atomic<int> ran{0};
+    pool.parallel_for(8, [&](std::size_t) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPool, SerialPoolStillRuns)
+{
+    encode::ThreadPool pool(1);
+    EXPECT_EQ(pool.threads(), 1u);
+    int count = 0;
+    pool.parallel_for(5, [&](std::size_t) { ++count; });
+    EXPECT_EQ(count, 5);
+}
+
+TEST(ThreadPool, ResolveThreads)
+{
+    EXPECT_EQ(encode::resolve_threads(3), 3u);
+    EXPECT_GE(encode::resolve_threads(0), 1u);
+}
+
+} // namespace
+} // namespace serpens

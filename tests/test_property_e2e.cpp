@@ -6,6 +6,8 @@
 #include "core/accelerator.h"
 #include "core/analytic.h"
 #include "encode/decode.h"
+#include "encode/schedule_reference.h"
+#include "schedule_checker.h"
 #include "sparse/convert.h"
 #include "sparse/generators.h"
 #include "util/rng.h"
@@ -16,6 +18,31 @@ namespace {
 using core::Accelerator;
 using core::SerpensConfig;
 using sparse::CooMatrix;
+
+// Re-derive the per-(segment, channel, lane) conflict-address streams the
+// encoder feeds the scheduler for this matrix/geometry, through the same
+// encode::place_element mapping encode_matrix buckets with (same arrival
+// order too).
+std::vector<std::vector<std::uint32_t>> lane_addr_streams(
+    const CooMatrix& m, const encode::EncodeParams& params)
+{
+    const encode::RowMapping mapping(params);
+    const unsigned lanes = params.pes_per_channel;
+    const unsigned channels = params.ha_channels;
+    const auto segments = static_cast<unsigned>(
+        (m.cols() + params.window - 1) / params.window);
+    std::vector<std::vector<std::uint32_t>> streams(
+        static_cast<std::size_t>(segments) * channels * lanes);
+    for (const sparse::Triplet& t : m.elements()) {
+        const encode::ElementPlacement p =
+            encode::place_element(mapping, params, t.row, t.col);
+        streams[(static_cast<std::size_t>(p.segment) * channels + p.channel) *
+                    lanes +
+                p.lane]
+            .push_back(p.addr);
+    }
+    return streams;
+}
 
 struct E2ECase {
     std::uint64_t seed;
@@ -72,6 +99,26 @@ TEST_P(EndToEndProperty, PipelineMatchesReferenceOnRandomShape)
                   result.cycles.y_phase_cycles,
               ideal);
     EXPECT_EQ(result.cycles.total_slots - result.cycles.padding_slots, m.nnz());
+
+    // The schedules underneath this image are valid and match the reference
+    // scheduler's quality, on the exact address streams the encoder saw.
+    std::size_t checked = 0;
+    for (const auto& addrs : lane_addr_streams(m, cfg.arch)) {
+        if (checked >= 12)
+            break;
+        if (addrs.size() < 2)
+            continue;
+        ++checked;
+        const auto fast = encode::schedule_hazard_aware(
+            addrs, cfg.arch.dsp_latency, cfg.arch.policy);
+        expect_valid_schedule(fast, addrs, cfg.arch.dsp_latency);
+        if (::testing::Test::HasFatalFailure())
+            return;
+        const auto ref = encode::schedule_hazard_aware_reference(
+            addrs, cfg.arch.dsp_latency, cfg.arch.policy);
+        EXPECT_EQ(fast.padding_count, ref.padding_count)
+            << "seed " << GetParam().seed;
+    }
 }
 
 std::vector<E2ECase> e2e_seeds()

@@ -1,43 +1,16 @@
 // Unit and property tests for the hazard-aware non-zero reordering.
+// The validity invariant itself lives in schedule_checker.h, shared with
+// the differential and end-to-end suites.
 #include <gtest/gtest.h>
 
-#include <map>
 #include <numeric>
 
 #include "encode/schedule.h"
+#include "schedule_checker.h"
 #include "util/rng.h"
 
 namespace serpens::encode {
 namespace {
-
-// Check the fundamental invariant: every input index appears exactly once
-// and equal addresses are >= window slots apart.
-void expect_valid_schedule(const ScheduleResult& r,
-                           std::span<const std::uint32_t> addrs, unsigned window)
-{
-    std::vector<bool> seen(addrs.size(), false);
-    std::map<std::uint32_t, std::size_t> last_slot;
-    for (std::size_t slot = 0; slot < r.slots.size(); ++slot) {
-        const std::int64_t idx = r.slots[slot];
-        if (idx == ScheduleResult::kPaddingSlot)
-            continue;
-        ASSERT_GE(idx, 0);
-        ASSERT_LT(static_cast<std::size_t>(idx), addrs.size());
-        ASSERT_FALSE(seen[static_cast<std::size_t>(idx)]) << "duplicate emission";
-        seen[static_cast<std::size_t>(idx)] = true;
-        const std::uint32_t addr = addrs[static_cast<std::size_t>(idx)];
-        const auto it = last_slot.find(addr);
-        if (it != last_slot.end()) {
-            ASSERT_GE(slot - it->second, window)
-                << "hazard at slot " << slot << " addr " << addr;
-        }
-        last_slot[addr] = slot;
-    }
-    for (std::size_t i = 0; i < addrs.size(); ++i)
-        ASSERT_TRUE(seen[i]) << "element " << i << " missing from schedule";
-    EXPECT_EQ(r.real_count, addrs.size());
-    EXPECT_EQ(r.padding_count, r.slots.size() - addrs.size());
-}
 
 TEST(Scheduler, EmptyInput)
 {

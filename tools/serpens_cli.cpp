@@ -38,7 +38,16 @@ struct CliArgs {
     float alpha = 1.0f;
     float beta = 0.0f;
     int iters = 1;
+    unsigned threads = 1;
 };
+
+core::SerpensConfig make_config(const CliArgs& args)
+{
+    auto cfg = args.a24 ? core::SerpensConfig::a24()
+                        : core::SerpensConfig::a16();
+    cfg.encode_threads = args.threads;
+    return cfg;
+}
 
 CliArgs parse(int argc, char** argv)
 {
@@ -71,6 +80,8 @@ CliArgs parse(int argc, char** argv)
             args.beta = std::stof(next());
         else if (flag == "--iters")
             args.iters = std::stoi(next());
+        else if (flag == "--threads")
+            args.threads = static_cast<unsigned>(std::stoul(next()));
         else if (flag == "--help" || flag == "-h")
             args.command = "help";
         else {
@@ -108,8 +119,7 @@ sparse::CooMatrix generate(const std::string& spec)
 
 int cmd_info(const CliArgs& args)
 {
-    const auto cfg = args.a24 ? core::SerpensConfig::a24()
-                              : core::SerpensConfig::a16();
+    const auto cfg = make_config(args);
     std::printf("Serpens-%s\n", args.a24 ? "A24" : "A16");
     std::printf("  HBM channels: %u sparse + %u vector = %u total\n",
                 cfg.arch.ha_channels, cfg.vector_channels,
@@ -139,10 +149,11 @@ int cmd_encode(const CliArgs& args)
         std::fprintf(stderr, "encode requires --mtx FILE and --out IMG\n");
         return 2;
     }
-    const auto cfg = args.a24 ? core::SerpensConfig::a24()
-                              : core::SerpensConfig::a16();
+    const auto cfg = make_config(args);
     const auto m = sparse::read_matrix_market_file(args.mtx_path);
-    const auto img = encode::encode_matrix(m, cfg.arch);
+    encode::EncodeOptions encode_options;
+    encode_options.threads = cfg.encode_threads;
+    const auto img = encode::encode_matrix(m, cfg.arch, encode_options);
     encode::save_image_file(args.out_path, img);
     std::printf("encoded %u x %u, %llu nnz -> %s (%llu lines, padding %.4f)\n",
                 m.rows(), m.cols(), static_cast<unsigned long long>(m.nnz()),
@@ -154,8 +165,7 @@ int cmd_encode(const CliArgs& args)
 
 int cmd_run(const CliArgs& args)
 {
-    const auto cfg = args.a24 ? core::SerpensConfig::a24()
-                              : core::SerpensConfig::a16();
+    const auto cfg = make_config(args);
     const core::Accelerator acc(cfg);
 
     std::unique_ptr<core::PreparedMatrix> prepared;
@@ -258,6 +268,9 @@ int cmd_help(std::FILE* out)
         "  --alpha A        scalar alpha (default 1.0)\n"
         "  --beta B         scalar beta  (default 0.0)\n"
         "  --iters N        repeat the run N times, report mean time\n"
+        "  --threads N      worker threads for the encode stage (encode/run;\n"
+        "                   default 1, 0 = one per hardware thread; the\n"
+        "                   produced image is identical for every N)\n"
         "\n"
         "examples:\n"
         "  serpens_cli info --a24\n"
@@ -271,8 +284,10 @@ int cmd_help(std::FILE* out)
 
 int main(int argc, char** argv)
 {
-    const CliArgs args = parse(argc, argv);
     try {
+        // Inside the try block: flag-value parsing (std::stof/stoul) throws
+        // on malformed input and must hit the error path, not std::terminate.
+        const CliArgs args = parse(argc, argv);
         if (args.command == "info")
             return cmd_info(args);
         if (args.command == "encode")
