@@ -1,0 +1,110 @@
+// Micro-benchmark — Matrix Market ingestion throughput (MB/s and entries/s).
+//
+// The paper evaluates on 2,757 SuiteSparse matrices up to hundreds of MB;
+// the bm_parse_* pairs measure how fast the host can turn those files into
+// COO. `reference` is the istream line-at-a-time parser
+// (read_matrix_market_reference), `fast` the mmap/chunk + std::from_chars
+// path (read_matrix_market_fast) at 1 thread and at one-per-core. Inputs
+// are generated in memory (write_matrix_market), so the numbers isolate
+// parsing from disk.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <sstream>
+
+#include "sparse/generators.h"
+#include "sparse/matrix_market.h"
+
+namespace {
+
+using namespace serpens;
+
+// One shared text image per entry count: generating 50M entries is far more
+// expensive than parsing them, so benchmarks reuse the realized string.
+const std::string& mtx_text(std::int64_t entries)
+{
+    static std::map<std::int64_t, std::string> cache;
+    auto it = cache.find(entries);
+    if (it == cache.end()) {
+        const auto n = static_cast<sparse::index_t>(
+            std::max<std::int64_t>(65'536, entries / 16));
+        const auto m = sparse::make_uniform_random(
+            n, n, static_cast<sparse::nnz_t>(entries), 1);
+        std::ostringstream out;
+        write_matrix_market(out, m);
+        it = cache.emplace(entries, std::move(out).str()).first;
+    }
+    return it->second;
+}
+
+void set_counters(benchmark::State& state, const std::string& text,
+                  sparse::nnz_t nnz)
+{
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(text.size()));
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(nnz));
+}
+
+void bm_parse_reference(benchmark::State& state)
+{
+    const std::string& text = mtx_text(state.range(0));
+    sparse::nnz_t nnz = 0;
+    for (auto _ : state) {
+        std::istringstream in(text);
+        const auto m = sparse::read_matrix_market_reference(in);
+        nnz = m.nnz();
+        benchmark::DoNotOptimize(m.elements().data());
+    }
+    set_counters(state, text, nnz);
+}
+
+void bm_parse_fast_1t(benchmark::State& state)
+{
+    const std::string& text = mtx_text(state.range(0));
+    sparse::ParseOptions opt;
+    opt.threads = 1;
+    sparse::nnz_t nnz = 0;
+    for (auto _ : state) {
+        const auto m = sparse::read_matrix_market_fast(text, opt);
+        nnz = m.nnz();
+        benchmark::DoNotOptimize(m.elements().data());
+    }
+    set_counters(state, text, nnz);
+}
+
+void bm_parse_fast_auto(benchmark::State& state)
+{
+    const std::string& text = mtx_text(state.range(0));
+    sparse::ParseOptions opt;
+    opt.threads = 0; // one worker per hardware thread
+    sparse::nnz_t nnz = 0;
+    for (auto _ : state) {
+        const auto m = sparse::read_matrix_market_fast(text, opt);
+        nnz = m.nnz();
+        benchmark::DoNotOptimize(m.elements().data());
+    }
+    set_counters(state, text, nnz);
+}
+
+// The three paper-scale points: 1M entries (~25 MB), 10M (~250 MB), 50M
+// (~1.3 GB). The reference is capped at 10M to keep a full sweep tolerable;
+// the fast pair runs all three.
+BENCHMARK(bm_parse_reference)
+    ->Arg(1'000'000)
+    ->Arg(10'000'000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_parse_fast_1t)
+    ->Arg(1'000'000)
+    ->Arg(10'000'000)
+    ->Arg(50'000'000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_parse_fast_auto)
+    ->Arg(1'000'000)
+    ->Arg(10'000'000)
+    ->Arg(50'000'000)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -42,9 +42,39 @@ void bm_simulate_with_verification(benchmark::State& state)
                             static_cast<std::int64_t>(m.nnz()));
 }
 
+// Sequential-vs-parallel pair for the per-channel lane-decode loop
+// (SimOptions::threads). Results are bit-identical across thread counts
+// (tests/test_parallel_sim.cpp); these isolate the wall-clock gap.
+void bm_sim_run(benchmark::State& state, unsigned threads)
+{
+    const auto m = sparse::make_uniform_random(65'536, 65'536, 4'000'000, 1);
+    encode::EncodeParams params;
+    const auto img = encode::encode_matrix(m, params, {.threads = 0});
+    const std::vector<float> x(m.cols(), 1.0f), y(m.rows(), 0.0f);
+    sim::SimOptions options;
+    options.verify_hazards = false;
+    options.threads = threads;
+    for (auto _ : state) {
+        auto result = sim::simulate_spmv(img, x, y, 1.0f, 0.0f, options);
+        benchmark::DoNotOptimize(result.y.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(m.nnz()));
+}
+
+void bm_sim_sequential(benchmark::State& state) { bm_sim_run(state, 1); }
+
+void bm_sim_parallel(benchmark::State& state)
+{
+    bm_sim_run(state, static_cast<unsigned>(state.range(0)));
+}
+
 BENCHMARK(bm_simulate)->Arg(100'000)->Arg(1'000'000)->Arg(4'000'000)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(bm_simulate_with_verification)->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_sim_sequential)->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_sim_parallel)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

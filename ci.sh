@@ -11,3 +11,10 @@ JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 cmake -B "${BUILD_DIR}" -S . -DSERPENS_WERROR=ON
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+
+# Release-mode ingestion smoke: generate a ~1M-entry .mtx, parse it with
+# both the istream reference and the mmap+parallel fast parser, and require
+# bit-identical triplets. The default configure above is already Release
+# (see CMakeLists.txt), so the same build tree serves.
+cmake --build "${BUILD_DIR}" -j "${JOBS}" --target ingest_smoke
+"${BUILD_DIR}/tools/ingest_smoke" --entries 1000000

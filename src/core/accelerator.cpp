@@ -44,6 +44,7 @@ RunResult Accelerator::run(const PreparedMatrix& prepared,
     options.fill_per_segment = config_.fill_per_segment;
     options.fill_y_phase = config_.fill_y_phase;
     options.double_buffer_x = config_.double_buffer_x;
+    options.threads = config_.sim_threads;
 
     sim::SimResult sim = sim::simulate_spmv(prepared.image(), x, y, alpha,
                                             beta, options);

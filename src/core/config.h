@@ -32,6 +32,9 @@ struct SerpensConfig {
     // Host-side worker threads for prepare()'s per-channel encode
     // (1 = serial, 0 = one per hardware thread); never changes the image.
     unsigned encode_threads = 1;
+    // Host-side worker threads for run()'s per-channel simulator loop
+    // (same convention); never changes the simulated y or CycleStats.
+    unsigned sim_threads = 1;
 
     static SerpensConfig a16()
     {

@@ -3,8 +3,8 @@
 #include <algorithm>
 
 #include "encode/schedule.h"
-#include "encode/thread_pool.h"
 #include "util/bitpack.h"
+#include "util/thread_pool.h"
 
 namespace serpens::encode {
 
@@ -132,7 +132,8 @@ SerpensImage encode_matrix(const sparse::CooMatrix& m,
         }
     };
 
-    ThreadPool pool(std::min(resolve_threads(options.threads), channels));
+    util::ThreadPool pool(
+        std::min(util::resolve_threads(options.threads), channels));
     pool.parallel_for(channels, encode_channel);
 
     // Deterministic reduction in channel order.

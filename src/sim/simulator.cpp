@@ -4,6 +4,7 @@
 
 #include "encode/decode.h"
 #include "util/bitpack.h"
+#include "util/thread_pool.h"
 
 namespace serpens::sim {
 
@@ -26,19 +27,30 @@ SimResult simulate_spmv(const encode::SerpensImage& img,
     const unsigned pes = p.total_pes();
     const encode::RowMapping mapping(p);
 
-    // Private URAM accumulator banks: acc[pe][addr][half]. Addresses are
-    // disjoint across PEs by construction (paper §3.3), so this layout is
-    // exactly the hardware's.
+    // Private URAM accumulator banks, flattened into one contiguous bank:
+    // acc[pe * addrs_per_pe + addr].half[]. Addresses are disjoint across
+    // PEs by construction (paper §3.3), so this layout is exactly the
+    // hardware's — and the per-PE slices are what make the per-channel loop
+    // below race-free: channel ch touches only PEs [ch*lanes, (ch+1)*lanes).
     struct Word {
         float half[2] = {0.0f, 0.0f};
     };
-    std::vector<std::vector<Word>> acc(
-        pes, std::vector<Word>(p.addrs_per_pe()));
+    const std::uint32_t addrs = p.addrs_per_pe();
+    std::vector<Word> acc(static_cast<std::size_t>(pes) * addrs);
 
     CycleStats stats;
 
-    // Per-channel cursor into its line stream.
+    // Per-channel cursor into its line stream, and per-channel slot/padding
+    // partials. Each channel is owned by exactly one worker per segment, so
+    // these stay data-race-free; the partials are reduced once at the end
+    // (integer sums, so the totals match the serial order exactly).
     std::vector<std::size_t> cursor(img.channels(), 0);
+    std::vector<std::uint64_t> ch_slots(img.channels(), 0);
+    std::vector<std::uint64_t> ch_padding(img.channels(), 0);
+    std::vector<std::uint64_t> ch_lines(img.channels(), 0);
+
+    util::ThreadPool pool(std::min(util::resolve_threads(options.threads),
+                                   std::max(1u, img.channels())));
 
     std::vector<float> xseg(p.window, 0.0f);
 
@@ -74,29 +86,44 @@ SimResult simulate_spmv(const encode::SerpensImage& img,
         stats.compute_cycles += depth;
         prev_compute_depth = depth;
 
-        for (unsigned ch = 0; ch < img.channels(); ++ch) {
-            const std::uint32_t ch_depth = img.segment_lines(ch, seg);
-            const hbm::ChannelStream& stream = img.channel(ch);
+        pool.parallel_for(img.channels(), [&](std::size_t ch) {
+            const std::uint32_t ch_depth =
+                img.segment_lines(static_cast<unsigned>(ch), seg);
+            const hbm::ChannelStream& stream =
+                img.channel(static_cast<unsigned>(ch));
+            Word* const bank =
+                acc.data() + static_cast<std::size_t>(ch) * lanes * addrs;
+            // Slot/padding tallies stay in registers inside the hot loop;
+            // writing ch_slots[ch] per slot would false-share the counter
+            // cache lines across workers.
+            std::uint64_t slots = 0, padding = 0;
             for (std::uint32_t i = 0; i < ch_depth; ++i) {
                 const hbm::Line512& line = stream.line(cursor[ch] + i);
                 for (unsigned lane = 0; lane < lanes; ++lane) {
                     const auto e = EncodedElement::from_bits(line.lane64(lane));
-                    ++stats.total_slots;
+                    ++slots;
                     if (!e.valid()) {
-                        ++stats.padding_slots;
+                        ++padding;
                         continue;
                     }
-                    const unsigned pe = ch * lanes + lane;
-                    Word& w = acc[pe][e.pair_addr()];
+                    Word& w = bank[static_cast<std::size_t>(lane) * addrs +
+                                   e.pair_addr()];
                     w.half[e.half() ? 1 : 0] += e.value() * xseg[e.col_off()];
                 }
             }
+            ch_slots[ch] += slots;
+            ch_padding[ch] += padding;
             cursor[ch] += ch_depth;
-            stats.traffic.add_read(static_cast<std::uint64_t>(ch_depth) *
-                                   hbm::kLineBytes);
-        }
+            ch_lines[ch] += ch_depth;
+        });
 
         stats.fill_cycles += options.fill_per_segment;
+    }
+
+    for (unsigned ch = 0; ch < img.channels(); ++ch) {
+        stats.total_slots += ch_slots[ch];
+        stats.padding_slots += ch_padding[ch];
+        stats.traffic.add_read(ch_lines[ch] * hbm::kLineBytes);
     }
 
     // --- RdY / CompY / WrY: read y_in and write y_out in parallel. ---
@@ -104,7 +131,8 @@ SimResult simulate_spmv(const encode::SerpensImage& img,
     result.y.resize(img.rows());
     for (index_t r = 0; r < img.rows(); ++r) {
         const encode::PeLocation loc = mapping.locate(r);
-        const float a = acc[loc.pe][loc.addr].half[loc.half ? 1 : 0];
+        const float a = acc[static_cast<std::size_t>(loc.pe) * addrs + loc.addr]
+                            .half[loc.half ? 1 : 0];
         result.y[r] = alpha * a + beta * y_in[r];
     }
     const std::uint64_t y_lines = ceil_div<std::uint64_t>(img.rows(), 16);

@@ -36,6 +36,11 @@ struct SimOptions {
     // x-buffer BRAMs (see core::resource_model); hides the K/16 term of
     // Eq. 4 behind compute.
     bool double_buffer_x = false;
+    // Host-side worker threads for the per-channel lane-decode loop
+    // (1 = serial, 0 = one per hardware thread). Channels write disjoint PE
+    // accumulators (paper §3.3 address disjointness), so the simulated y and
+    // CycleStats are bit-identical for every thread count.
+    unsigned threads = 1;
 };
 
 struct SimResult {

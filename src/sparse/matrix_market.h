@@ -4,10 +4,21 @@
 // general / symmetric symmetry. Symmetric inputs are expanded to full
 // storage on read (off-diagonal entries mirrored), matching how SpMV
 // consumers use the SuiteSparse collection.
+//
+// Two readers produce identical triplets (pinned by tests/test_parse_fast):
+//
+//   read_matrix_market       — line-at-a-time istream parser; the simple
+//                              implementation and the differential reference
+//   read_matrix_market_fast  — SuiteSparse-scale ingestion: mmap the file
+//                              (buffered read for streams/pipes), split the
+//                              entry region into newline-aligned chunks, and
+//                              parse chunks in parallel with std::from_chars
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "sparse/coo.h"
 
@@ -22,7 +33,41 @@ public:
 CooMatrix read_matrix_market(std::istream& in);
 CooMatrix read_matrix_market_file(const std::string& path);
 
-// Writes `coordinate real general` with 1-based indices.
+// Aliases naming the istream implementation as what it now is: the
+// differential reference for the fast path (the same pattern as
+// encode/schedule_reference.h).
+CooMatrix read_matrix_market_reference(std::istream& in);
+CooMatrix read_matrix_market_reference_file(const std::string& path);
+
+// Host-side knobs of the fast parser. They never change the parsed result:
+// the triplets are identical to read_matrix_market for every setting.
+struct ParseOptions {
+    // Worker threads for chunk parsing: 1 = serial, 0 = one per hardware
+    // thread.
+    unsigned threads = 0;
+    // Target bytes per parallel chunk before newline alignment; 0 derives a
+    // size from the entry-region length and thread count. Exposed so tests
+    // can force chunk boundaries to land inside entry lines.
+    std::size_t chunk_bytes = 0;
+};
+
+// Parse an in-memory .mtx image. The fast path commits only when every
+// entry line parses cleanly and the entry count matches the size line; any
+// irregularity (blank line inside the list, malformed token, out-of-range
+// number) re-runs the reference parser on the buffer, so error behavior is
+// the reference's by construction.
+CooMatrix read_matrix_market_fast(std::string_view text,
+                                  const ParseOptions& options = {});
+// Buffered-read fallback for streams/pipes: slurp, then parse.
+CooMatrix read_matrix_market_fast(std::istream& in,
+                                  const ParseOptions& options = {});
+// mmap the file when possible (regular files on POSIX), else buffered read.
+CooMatrix read_matrix_market_fast_file(const std::string& path,
+                                       const ParseOptions& options = {});
+
+// Writes `coordinate real general` with 1-based indices. Values are emitted
+// with max_digits10 significant digits, so write -> read round-trips
+// bit-exactly.
 void write_matrix_market(std::ostream& out, const CooMatrix& m);
 void write_matrix_market_file(const std::string& path, const CooMatrix& m);
 

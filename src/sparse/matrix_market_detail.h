@@ -1,0 +1,35 @@
+// Shared header interpretation for the two Matrix Market parsers.
+//
+// read_matrix_market (istream reference) and read_matrix_market_fast
+// (mmap/chunk path) iterate lines differently, but the *meaning* of the
+// banner and size lines — accepted field/symmetry classes and the exact
+// exception messages — must never drift between them, so it lives here
+// once. Internal to src/sparse/; not part of the public API.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace serpens::sparse::detail {
+
+struct BannerInfo {
+    bool pattern = false;
+    bool symmetric = false;
+};
+
+// Interpret the "%%MatrixMarket object format field symmetry" line.
+// Throws MatrixMarketError on anything but `matrix coordinate` with a
+// real/integer/pattern field and general/symmetric symmetry.
+BannerInfo parse_banner_line(const std::string& line);
+
+struct SizeInfo {
+    std::uint64_t rows = 0;
+    std::uint64_t cols = 0;
+    std::uint64_t entries = 0;
+};
+
+// Interpret the "rows cols entries" size line. Throws MatrixMarketError
+// when malformed or when a dimension is zero.
+SizeInfo parse_size_line(const std::string& line);
+
+} // namespace serpens::sparse::detail

@@ -1,0 +1,311 @@
+// SuiteSparse-scale Matrix Market ingestion.
+//
+// The reference parser (matrix_market.cpp) builds one std::istringstream
+// per entry line — tens of MB/s. Real SuiteSparse downloads run to hundreds
+// of MB, so this file provides the production path:
+//
+//   1. mmap the file (buffered read for streams/pipes/non-POSIX),
+//   2. parse the tiny header sequentially with the reference's exact logic,
+//   3. split the entry region into newline-aligned chunks,
+//   4. parse chunks in parallel with std::from_chars on the shared
+//      util::ThreadPool, each chunk into its own triplet vector,
+//   5. concatenate chunk outputs in order.
+//
+// Chunk concatenation preserves line order, and within a line the symmetric
+// mirror is appended immediately after its entry — exactly the reference's
+// emission order — so the output is triplet-identical for every thread
+// count and chunk size (pinned by tests/test_parse_fast.cpp).
+//
+// Equivalence with the reference on *irregular* input is by construction,
+// not by reimplementation: a chunk flags any line it cannot parse cleanly
+// (blank line, malformed token, out-of-range number, index out of bounds),
+// and if any chunk flagged — or the clean entry count disagrees with the
+// size line — the whole buffer is re-run through read_matrix_market, whose
+// result (or exception) is returned verbatim. The fast path therefore only
+// ever commits on files where both parsers provably agree.
+#include "sparse/matrix_market.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "sparse/matrix_market_detail.h"
+#include "util/thread_pool.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SERPENS_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace serpens::sparse {
+
+namespace {
+
+bool is_line_space(char c)
+{
+    // What istream's skipws skips, minus '\n' (a line terminator here).
+    return c == ' ' || c == '\t' || c == '\v' || c == '\f' || c == '\r';
+}
+
+const char* skip_spaces(const char* p, const char* end)
+{
+    while (p < end && is_line_space(*p))
+        ++p;
+    return p;
+}
+
+// Pull the next line out of [p, end): line = [p, '\n') with a trailing '\r'
+// stripped, p advanced past the terminator. False once the region is empty.
+bool next_line(const char*& p, const char* end, std::string_view& line)
+{
+    if (p >= end)
+        return false;
+    const char* nl =
+        static_cast<const char*>(std::memchr(p, '\n', static_cast<std::size_t>(end - p)));
+    const char* line_end = nl ? nl : end;
+    if (line_end > p && line_end[-1] == '\r')
+        --line_end;
+    line = std::string_view(p, static_cast<std::size_t>(line_end - p));
+    p = nl ? nl + 1 : end;
+    return true;
+}
+
+struct Header {
+    std::uint64_t rows = 0, cols = 0, entries = 0;
+    bool pattern = false;
+    bool symmetric = false;
+};
+
+// Line iteration is this file's; the banner/size-line *interpretation* is
+// shared with the reference (matrix_market_detail.h), so accepted classes
+// and exception messages cannot drift between the parsers.
+Header parse_header(const char*& p, const char* end)
+{
+    std::string_view line;
+    if (!next_line(p, end, line))
+        throw MatrixMarketError("empty input");
+    const detail::BannerInfo banner = detail::parse_banner_line(std::string(line));
+
+    // Skip comments (and blank lines between them).
+    std::string_view size_line;
+    while (next_line(p, end, size_line)) {
+        if (!size_line.empty() && size_line[0] != '%')
+            break;
+        size_line = {};
+    }
+    const detail::SizeInfo size = detail::parse_size_line(std::string(size_line));
+
+    Header h;
+    h.rows = size.rows;
+    h.cols = size.cols;
+    h.entries = size.entries;
+    h.pattern = banner.pattern;
+    h.symmetric = banner.symmetric;
+    return h;
+}
+
+struct ChunkResult {
+    std::vector<Triplet> triplets;
+    std::uint64_t entry_lines = 0;
+    // False the moment any line fails to parse cleanly; the caller then
+    // discards every chunk and defers to the reference parser.
+    bool clean = true;
+};
+
+void parse_chunk(const char* p, const char* end, const Header& h,
+                 ChunkResult& out)
+{
+    out.triplets.reserve(
+        (static_cast<std::size_t>(end - p) / 8 + 4) * (h.symmetric ? 2 : 1));
+    const char* cursor = p;
+    std::string_view line;
+    while (next_line(cursor, end, line)) {
+        const char* q = line.data();
+        const char* le = q + line.size();
+        q = skip_spaces(q, le);
+        if (q == le) { // blank line: the reference decides what it means
+            out.clean = false;
+            return;
+        }
+        std::uint64_t r = 0, c = 0;
+        auto [qr, ecr] = std::from_chars(q, le, r);
+        if (ecr != std::errc{}) {
+            out.clean = false;
+            return;
+        }
+        q = skip_spaces(qr, le);
+        auto [qc, ecc] = std::from_chars(q, le, c);
+        if (ecc != std::errc{}) {
+            out.clean = false;
+            return;
+        }
+        double v = 1.0;
+        if (!h.pattern) {
+            q = skip_spaces(qc, le);
+            auto [qv, ecv] = std::from_chars(q, le, v);
+            // from_chars accepts "inf"/"nan", which istream extraction does
+            // not; route those through the reference too.
+            if (ecv != std::errc{} || !std::isfinite(v)) {
+                out.clean = false;
+                return;
+            }
+            // from_chars backtracks where istream's greedy num_get fails
+            // ("1.5e" -> 1.5 here, failbit there) or diverges in value
+            // ("0x10" -> 0 here, 16 there), so a value must end at
+            // whitespace or end-of-line to stay on the fast path.
+            if (qv != le && !is_line_space(*qv)) {
+                out.clean = false;
+                return;
+            }
+        }
+        // Anything after the parsed fields is ignored, as in the reference.
+        if (r < 1 || r > h.rows || c < 1 || c > h.cols) {
+            out.clean = false;
+            return;
+        }
+        const auto ri = static_cast<index_t>(r - 1);
+        const auto ci = static_cast<index_t>(c - 1);
+        out.triplets.push_back({ri, ci, static_cast<float>(v)});
+        if (h.symmetric && ri != ci)
+            out.triplets.push_back({ci, ri, static_cast<float>(v)});
+        ++out.entry_lines;
+    }
+}
+
+CooMatrix reference_on_buffer(std::string_view text)
+{
+    std::istringstream in{std::string(text)};
+    return read_matrix_market(in);
+}
+
+#if SERPENS_HAVE_MMAP
+struct FileMapping {
+    void* data = nullptr;
+    std::size_t size = 0;
+    ~FileMapping()
+    {
+        if (data)
+            ::munmap(data, size);
+    }
+};
+#endif
+
+} // namespace
+
+CooMatrix read_matrix_market_fast(std::string_view text,
+                                  const ParseOptions& options)
+{
+    const char* p = text.data();
+    const char* const end = p + text.size();
+    const Header h = parse_header(p, end);
+
+    // Trailing whitespace (including blank last lines) can hold no entries
+    // and the reference ignores everything past the declared count, so trim
+    // it rather than letting a final "\n\n" force the slow path.
+    const char* region_end = end;
+    while (region_end > p &&
+           (is_line_space(region_end[-1]) || region_end[-1] == '\n'))
+        --region_end;
+
+    // Newline-aligned chunks: each ends just past a '\n' (or at the end),
+    // so no entry straddles two chunks.
+    const auto region = static_cast<std::size_t>(region_end - p);
+    const unsigned threads = std::max(1u, util::resolve_threads(options.threads));
+    std::size_t chunk_bytes = options.chunk_bytes;
+    if (chunk_bytes == 0)
+        chunk_bytes = std::max<std::size_t>(region / (threads * 4u), 1u << 20);
+    std::vector<std::pair<const char*, const char*>> chunks;
+    for (const char* q = p; q < region_end;) {
+        const char* split = q + std::min<std::size_t>(
+                                    chunk_bytes,
+                                    static_cast<std::size_t>(region_end - q));
+        if (split < region_end) {
+            const char* nl = static_cast<const char*>(std::memchr(
+                split, '\n', static_cast<std::size_t>(region_end - split)));
+            split = nl ? nl + 1 : region_end;
+        }
+        chunks.emplace_back(q, split);
+        q = split;
+    }
+
+    std::vector<ChunkResult> results(chunks.size());
+    {
+        util::ThreadPool pool(std::min<unsigned>(
+            threads, static_cast<unsigned>(std::max<std::size_t>(chunks.size(), 1))));
+        pool.parallel_for(chunks.size(), [&](std::size_t i) {
+            parse_chunk(chunks[i].first, chunks[i].second, h, results[i]);
+        });
+    }
+
+    std::uint64_t total_entries = 0;
+    std::size_t total_triplets = 0;
+    bool clean = true;
+    for (const ChunkResult& r : results) {
+        total_entries += r.entry_lines;
+        total_triplets += r.triplets.size();
+        clean = clean && r.clean;
+    }
+    if (!clean || total_entries != h.entries)
+        return reference_on_buffer(text);
+
+    CooMatrix m(static_cast<index_t>(h.rows), static_cast<index_t>(h.cols));
+    m.reserve(total_triplets);
+    std::vector<Triplet>& elems = m.elements();
+    for (ChunkResult& r : results) {
+        elems.insert(elems.end(), r.triplets.begin(), r.triplets.end());
+        r.triplets.clear();
+        r.triplets.shrink_to_fit();
+    }
+    return m;
+}
+
+CooMatrix read_matrix_market_fast(std::istream& in, const ParseOptions& options)
+{
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = std::move(buf).str();
+    return read_matrix_market_fast(std::string_view(text), options);
+}
+
+CooMatrix read_matrix_market_fast_file(const std::string& path,
+                                       const ParseOptions& options)
+{
+#if SERPENS_HAVE_MMAP
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        throw MatrixMarketError("cannot open file: " + path);
+    struct stat st = {};
+    const bool mappable =
+        ::fstat(fd, &st) == 0 && S_ISREG(st.st_mode) && st.st_size > 0;
+    if (mappable) {
+        FileMapping map;
+        map.size = static_cast<std::size_t>(st.st_size);
+        void* addr = ::mmap(nullptr, map.size, PROT_READ, MAP_PRIVATE, fd, 0);
+        ::close(fd); // the mapping holds its own reference
+        if (addr != MAP_FAILED) {
+            map.data = addr;
+#ifdef MADV_SEQUENTIAL
+            ::madvise(addr, map.size, MADV_SEQUENTIAL); // best-effort
+#endif
+            return read_matrix_market_fast(
+                std::string_view(static_cast<const char*>(map.data), map.size),
+                options);
+        }
+    } else {
+        ::close(fd);
+    }
+#endif
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw MatrixMarketError("cannot open file: " + path);
+    return read_matrix_market_fast(in, options);
+}
+
+} // namespace serpens::sparse

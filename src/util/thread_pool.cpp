@@ -1,8 +1,8 @@
-#include "encode/thread_pool.h"
+#include "util/thread_pool.h"
 
 #include <algorithm>
 
-namespace serpens::encode {
+namespace serpens::util {
 
 unsigned resolve_threads(unsigned requested)
 {
@@ -94,4 +94,4 @@ void ThreadPool::parallel_for(std::size_t count,
         std::rethrow_exception(error_);
 }
 
-} // namespace serpens::encode
+} // namespace serpens::util

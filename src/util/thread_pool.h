@@ -1,12 +1,14 @@
-// A small fixed-size thread pool for the encoder.
+// A small fixed-size thread pool shared by the host-side stages.
 //
-// encode_matrix schedules every HBM channel independently, so the encode
-// stage parallelizes across channels with no shared mutable state; this
-// pool provides the one primitive that needs: a blocking parallel_for over
-// an index range. Work items are claimed from an atomic counter, so the
-// assignment of items to workers is nondeterministic — callers must ensure
-// (as the encoder does) that each item writes only its own outputs, which
-// keeps results byte-identical for every thread count.
+// Three stages parallelize over naturally disjoint work: the parser over
+// newline-aligned file chunks (sparse/matrix_market_fast.cpp), the encoder
+// over HBM channels (encode/image.cpp), and the simulator over channel
+// streams (sim/simulator.cpp). This pool provides the one primitive they
+// all need: a blocking parallel_for over an index range. Work items are
+// claimed from an atomic counter, so the assignment of items to workers is
+// nondeterministic — callers must ensure (as all three stages do) that each
+// item writes only its own outputs, which keeps results byte-identical for
+// every thread count.
 #pragma once
 
 #include <atomic>
@@ -19,7 +21,7 @@
 #include <thread>
 #include <vector>
 
-namespace serpens::encode {
+namespace serpens::util {
 
 // Resolve a user-facing thread-count option: 0 means one worker per
 // hardware thread, anything else is taken literally.
@@ -61,4 +63,4 @@ private:
     std::exception_ptr error_;
 };
 
-} // namespace serpens::encode
+} // namespace serpens::util

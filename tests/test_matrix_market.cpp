@@ -5,6 +5,8 @@
 
 #include "sparse/generators.h"
 #include "sparse/matrix_market.h"
+#include "util/bitpack.h"
+#include "util/rng.h"
 
 namespace serpens::sparse {
 namespace {
@@ -139,6 +141,34 @@ TEST(MatrixMarket, WriteReadRoundTrip)
         EXPECT_EQ(back.elements()[i].row, m.elements()[i].row);
         EXPECT_EQ(back.elements()[i].col, m.elements()[i].col);
         EXPECT_NEAR(back.elements()[i].val, m.elements()[i].val, 1e-5f);
+    }
+}
+
+TEST(MatrixMarket, WriteReadRoundTripIsBitExact)
+{
+    // Values are written with max_digits10 significant digits, so the
+    // write -> read cycle must reproduce every FP32 value bit-for-bit —
+    // including awkward ones that default ostream precision (6 digits)
+    // used to truncate.
+    CooMatrix m(64, 64);
+    m.add(0, 0, 0.1f);                       // not representable, 9 digits
+    m.add(1, 1, 1.0f / 3.0f);                // 0.333333343...
+    m.add(2, 2, 1.1754944e-38f);             // FLT_MIN neighborhood
+    m.add(3, 3, 3.4028235e38f);              // FLT_MAX
+    const CooMatrix r = make_uniform_random(64, 64, 500, 55);
+    for (const Triplet& t : r.elements())
+        m.elements().push_back(t);
+
+    std::stringstream buf;
+    write_matrix_market(buf, m);
+    const CooMatrix back = read_matrix_market(buf);
+    ASSERT_EQ(back.nnz(), m.nnz());
+    for (std::size_t i = 0; i < m.nnz(); ++i) {
+        EXPECT_EQ(back.elements()[i].row, m.elements()[i].row);
+        EXPECT_EQ(back.elements()[i].col, m.elements()[i].col);
+        EXPECT_EQ(float_bits(back.elements()[i].val),
+                  float_bits(m.elements()[i].val))
+            << "value " << m.elements()[i].val << " did not round-trip";
     }
 }
 

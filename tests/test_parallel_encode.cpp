@@ -11,9 +11,9 @@
 #include "core/accelerator.h"
 #include "encode/image.h"
 #include "encode/serialize.h"
-#include "encode/thread_pool.h"
 #include "sparse/generators.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace serpens {
 namespace {
@@ -110,7 +110,7 @@ TEST(ParallelEncode, AcceleratorThreadsOptionKeepsResultsBitIdentical)
 // and exception propagation.
 TEST(ThreadPool, RunsEveryItemExactlyOnce)
 {
-    encode::ThreadPool pool(4);
+    util::ThreadPool pool(4);
     EXPECT_EQ(pool.threads(), 4u);
     std::vector<std::atomic<int>> hits(257);
     pool.parallel_for(hits.size(),
@@ -121,7 +121,7 @@ TEST(ThreadPool, RunsEveryItemExactlyOnce)
 
 TEST(ThreadPool, ReusableAcrossCalls)
 {
-    encode::ThreadPool pool(3);
+    util::ThreadPool pool(3);
     for (int round = 0; round < 10; ++round) {
         std::atomic<std::size_t> sum{0};
         pool.parallel_for(100, [&](std::size_t i) { sum.fetch_add(i); });
@@ -131,7 +131,7 @@ TEST(ThreadPool, ReusableAcrossCalls)
 
 TEST(ThreadPool, PropagatesFirstException)
 {
-    encode::ThreadPool pool(4);
+    util::ThreadPool pool(4);
     EXPECT_THROW(pool.parallel_for(64,
                                    [&](std::size_t i) {
                                        if (i == 13)
@@ -146,7 +146,7 @@ TEST(ThreadPool, PropagatesFirstException)
 
 TEST(ThreadPool, SerialPoolStillRuns)
 {
-    encode::ThreadPool pool(1);
+    util::ThreadPool pool(1);
     EXPECT_EQ(pool.threads(), 1u);
     int count = 0;
     pool.parallel_for(5, [&](std::size_t) { ++count; });
@@ -155,8 +155,8 @@ TEST(ThreadPool, SerialPoolStillRuns)
 
 TEST(ThreadPool, ResolveThreads)
 {
-    EXPECT_EQ(encode::resolve_threads(3), 3u);
-    EXPECT_GE(encode::resolve_threads(0), 1u);
+    EXPECT_EQ(util::resolve_threads(3), 3u);
+    EXPECT_GE(util::resolve_threads(0), 1u);
 }
 
 } // namespace

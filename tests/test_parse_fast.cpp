@@ -1,0 +1,352 @@
+// Differential lockdown of the fast Matrix Market parser.
+//
+// The contract is the same as the scheduler's (PR 2): the fast path
+// (read_matrix_market_fast — mmap/buffer + newline-aligned chunks +
+// std::from_chars) must produce *triplet-identical* output to the istream
+// reference (read_matrix_market_reference) on every input, for every thread
+// count and chunk size. Bit-identical means: same dimensions, same nnz,
+// same (row, col) sequence, and bit-equal FP32 values.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sparse/generators.h"
+#include "sparse/matrix_market.h"
+#include "util/bitpack.h"
+#include "util/rng.h"
+
+namespace serpens::sparse {
+namespace {
+
+std::string to_mtx(const CooMatrix& m)
+{
+    std::ostringstream out;
+    write_matrix_market(out, m);
+    return std::move(out).str();
+}
+
+void expect_identical(const CooMatrix& fast, const CooMatrix& ref,
+                      const std::string& label)
+{
+    ASSERT_EQ(fast.rows(), ref.rows()) << label;
+    ASSERT_EQ(fast.cols(), ref.cols()) << label;
+    ASSERT_EQ(fast.nnz(), ref.nnz()) << label;
+    for (std::size_t i = 0; i < ref.nnz(); ++i) {
+        const Triplet& a = fast.elements()[i];
+        const Triplet& b = ref.elements()[i];
+        ASSERT_EQ(a.row, b.row) << label << " triplet " << i;
+        ASSERT_EQ(a.col, b.col) << label << " triplet " << i;
+        ASSERT_EQ(float_bits(a.val), float_bits(b.val))
+            << label << " triplet " << i;
+    }
+}
+
+CooMatrix parse_reference(const std::string& text)
+{
+    std::istringstream in(text);
+    return read_matrix_market_reference(in);
+}
+
+// Every thread count against the reference, on one text image.
+void check_differential(const std::string& text, const std::string& label)
+{
+    const CooMatrix ref = parse_reference(text);
+    for (const unsigned threads : {1u, 2u, 8u, 0u}) {
+        ParseOptions opt;
+        opt.threads = threads;
+        expect_identical(read_matrix_market_fast(text, opt), ref,
+                         label + " threads=" + std::to_string(threads));
+    }
+}
+
+TEST(FastParseDifferential, GeneratedMatrixProperty)
+{
+    // Random matrices across the generator families and a size range that
+    // exercises multi-chunk parses (chunk_bytes is forced small separately
+    // in FastParseCorners).
+    struct Case {
+        CooMatrix m;
+        std::string label;
+    };
+    std::vector<Case> cases;
+    cases.push_back({make_uniform_random(500, 700, 6'000, 11), "uniform"});
+    cases.push_back({make_banded(1024, 5, 13), "banded"});
+    cases.push_back({make_clustered(512, 9'000, 4, 32, 0.25, 17), "clustered"});
+    cases.push_back({make_rmat(9, 16, 19), "rmat"});
+    cases.push_back({make_dense_rows(300, 300, 4, 128, 23), "dense_rows"});
+    for (Case& c : cases)
+        check_differential(to_mtx(c.m), c.label);
+}
+
+TEST(FastParseDifferential, ManySmallRandomMatrices)
+{
+    // Narrow matrices shake out header/first-entry/last-entry boundary
+    // conditions that one big matrix would never hit.
+    Rng rng(99);
+    for (int round = 0; round < 25; ++round) {
+        const auto rows = static_cast<index_t>(1 + rng.next_u64() % 40);
+        const auto cols = static_cast<index_t>(1 + rng.next_u64() % 40);
+        const auto nnz = std::clamp<nnz_t>(rng.next_u64() % 80, 1,
+                                           static_cast<nnz_t>(rows) * cols);
+        const auto m = make_uniform_random(rows, cols, nnz, 100 + round);
+        check_differential(to_mtx(m), "round " + std::to_string(round));
+    }
+}
+
+TEST(FastParseDifferential, SymmetricAndPatternMirrorOrder)
+{
+    // Symmetric expansion appends the mirror right after its entry; the
+    // fast parser must reproduce that interleaved order, not sort.
+    const std::string symmetric =
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "4 4 5\n"
+        "1 1 1.5\n"
+        "3 1 -2.25\n"
+        "3 2 0.125\n"
+        "4 3 7.0\n"
+        "4 4 -0.5\n";
+    check_differential(symmetric, "symmetric");
+
+    const std::string pattern =
+        "%%MatrixMarket matrix coordinate pattern symmetric\n"
+        "5 5 4\n"
+        "2 1\n"
+        "3 3\n"
+        "5 2\n"
+        "5 4\n";
+    check_differential(pattern, "pattern symmetric");
+
+    const std::string integer =
+        "%%MatrixMarket matrix coordinate integer general\n"
+        "3 3 3\n"
+        "1 1 7\n"
+        "2 3 -4\n"
+        "3 2 1000000\n";
+    check_differential(integer, "integer");
+}
+
+TEST(FastParseDifferential, StreamOverloadMatchesBuffer)
+{
+    const auto m = make_uniform_random(128, 96, 1'500, 31);
+    const std::string text = to_mtx(m);
+    std::istringstream in(text);
+    expect_identical(read_matrix_market_fast(in, {}), parse_reference(text),
+                     "istream overload");
+}
+
+// All golden fixtures under tests/data/ routed through both parsers: the
+// well-formed ones must agree triplet-for-triplet, the truncated ones must
+// throw from both.
+std::string golden(const std::string& name)
+{
+    return std::string(SERPENS_TEST_DATA_DIR) + "/" + name;
+}
+
+TEST(FastParseGolden, WellFormedFilesAgree)
+{
+    for (const char* name : {"comments_run.mtx", "symmetric.mtx",
+                             "pattern_symmetric.mtx", "one_based.mtx",
+                             "crlf.mtx"}) {
+        const CooMatrix ref = read_matrix_market_reference_file(golden(name));
+        for (const unsigned threads : {1u, 8u}) {
+            ParseOptions opt;
+            opt.threads = threads;
+            expect_identical(read_matrix_market_fast_file(golden(name), opt),
+                             ref, name);
+        }
+    }
+}
+
+TEST(FastParseGolden, TruncatedFilesThrowFromBothParsers)
+{
+    for (const char* name : {"truncated_entries.mtx", "truncated_size.mtx",
+                             "truncated_value.mtx"}) {
+        EXPECT_THROW(read_matrix_market_reference_file(golden(name)),
+                     MatrixMarketError)
+            << name;
+        EXPECT_THROW(read_matrix_market_fast_file(golden(name), {}),
+                     MatrixMarketError)
+            << name;
+    }
+}
+
+TEST(FastParseGolden, ErrorMessagesMatchReference)
+{
+    // The fast parser defers irregular input to the reference, so even the
+    // exception text must be the reference's.
+    for (const char* name : {"truncated_entries.mtx", "truncated_value.mtx"}) {
+        std::string ref_what, fast_what;
+        try {
+            read_matrix_market_reference_file(golden(name));
+        } catch (const MatrixMarketError& e) {
+            ref_what = e.what();
+        }
+        try {
+            read_matrix_market_fast_file(golden(name), {});
+        } catch (const MatrixMarketError& e) {
+            fast_what = e.what();
+        }
+        ASSERT_FALSE(ref_what.empty()) << name;
+        EXPECT_EQ(fast_what, ref_what) << name;
+    }
+}
+
+// Chunk-boundary corner cases: tiny chunk_bytes forces splits to land
+// inside entry lines, so the newline alignment is what keeps entries whole.
+TEST(FastParseCorners, EntryStraddlingEveryPossibleChunkSplit)
+{
+    const auto m = make_uniform_random(60, 60, 400, 43);
+    const std::string text = to_mtx(m);
+    const CooMatrix ref = parse_reference(text);
+    for (const std::size_t chunk_bytes : {1u, 2u, 3u, 7u, 16u, 64u, 4096u}) {
+        ParseOptions opt;
+        opt.threads = 4;
+        opt.chunk_bytes = chunk_bytes;
+        expect_identical(read_matrix_market_fast(text, opt), ref,
+                         "chunk_bytes=" + std::to_string(chunk_bytes));
+    }
+}
+
+TEST(FastParseCorners, FileNotEndingInNewline)
+{
+    std::string text =
+        "%%MatrixMarket matrix coordinate real general\n"
+        "3 3 2\n"
+        "1 1 2.5\n"
+        "3 3 -1.75"; // no trailing newline
+    check_differential(text, "no trailing newline");
+
+    ParseOptions tiny;
+    tiny.threads = 3;
+    tiny.chunk_bytes = 4;
+    expect_identical(read_matrix_market_fast(text, tiny),
+                     parse_reference(text), "no trailing newline, tiny chunks");
+}
+
+TEST(FastParseCorners, CrlfAndTrailingBlankLines)
+{
+    const std::string crlf =
+        "%%MatrixMarket matrix coordinate real general\r\n"
+        "% comment\r\n"
+        "2 3 2\r\n"
+        "1 2 4.5\r\n"
+        "2 3 -8.125\r\n";
+    check_differential(crlf, "crlf");
+
+    const std::string trailing_blanks =
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 2\n"
+        "1 1 1.0\n"
+        "2 2 2.0\n"
+        "\n"
+        "   \n";
+    check_differential(trailing_blanks, "trailing blank lines");
+}
+
+TEST(FastParseCorners, WhitespaceVariantsInsideEntries)
+{
+    const std::string text =
+        "%%MatrixMarket matrix coordinate real general\n"
+        "4 4 4\n"
+        "  1 1 1.0\n"
+        "2\t2\t2e0\n"
+        "3  3   +3.0\n"
+        "4 4 4.0   \n";
+    // "+3.0": from_chars rejects the sign, so the fast path must fall back
+    // to the reference — both still agree.
+    check_differential(text, "whitespace variants");
+}
+
+TEST(FastParseCorners, MalformedInputsThrowFromBothParsers)
+{
+    const char* cases[] = {
+        // out-of-bounds index
+        "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n",
+        // missing value
+        "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n",
+        // non-numeric garbage
+        "%%MatrixMarket matrix coordinate real general\n2 2 1\nx y z\n",
+        // blank line inside the entry list
+        "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n\n2 2 2.0\n",
+        // declared more entries than present
+        "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n2 2 2.0\n",
+        // bad banner
+        "3 3 0\n",
+        // empty input
+        "",
+    };
+    for (const char* text : cases) {
+        EXPECT_THROW(parse_reference(text), MatrixMarketError) << text;
+        EXPECT_THROW(read_matrix_market_fast(std::string_view(text), {}),
+                     MatrixMarketError)
+            << text;
+    }
+}
+
+TEST(FastParseCorners, ParserAgreementOnNumericOddities)
+{
+    // Token shapes where std::from_chars and istream num_get disagree on
+    // how much to consume (dangling exponent, hexfloat prefix, trailing
+    // letters): whatever the reference does — accept with some value or
+    // throw — the fast parser must do the same.
+    const char* values[] = {"1.5e", "1.5e+", "0x10", "1.5x", "2.5.5",
+                            "inf",  "nan",   "1e999"};
+    for (const char* value : values) {
+        const std::string text =
+            "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 " +
+            std::string(value) + "\n";
+        CooMatrix ref(1, 1);
+        bool ref_threw = false;
+        try {
+            ref = parse_reference(text);
+        } catch (const MatrixMarketError&) {
+            ref_threw = true;
+        }
+        if (ref_threw) {
+            EXPECT_THROW(read_matrix_market_fast(text, {}), MatrixMarketError)
+                << value;
+        } else {
+            expect_identical(read_matrix_market_fast(text, {}), ref, value);
+        }
+    }
+}
+
+TEST(FastParseCorners, ExtraEntriesBeyondCountIgnoredLikeReference)
+{
+    // The reference reads exactly `entries` lines and ignores the rest; the
+    // fast path detects the surplus and defers to the reference.
+    const std::string text =
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 1\n"
+        "1 1 1.0\n"
+        "2 2 2.0\n";
+    check_differential(text, "surplus entries");
+    EXPECT_EQ(read_matrix_market_fast(text, {}).nnz(), 1u);
+}
+
+TEST(FastParseCorners, LargeFileRoundTripThroughDisk)
+{
+    // End to end through the mmap path: write a six-figure-entry file to
+    // disk, read it back with both parsers.
+    const auto m = make_uniform_random(20'000, 20'000, 120'000, 7);
+    const std::string path = ::testing::TempDir() + "/serpens_fastparse.mtx";
+    write_matrix_market_file(path, m);
+    const CooMatrix ref = read_matrix_market_reference_file(path);
+    ParseOptions opt;
+    opt.threads = 0;
+    expect_identical(read_matrix_market_fast_file(path, opt), ref,
+                     "mmap large file");
+    std::remove(path.c_str());
+}
+
+TEST(FastParseCorners, MissingFileThrows)
+{
+    EXPECT_THROW(read_matrix_market_fast_file("/nonexistent/dir/x.mtx", {}),
+                 MatrixMarketError);
+}
+
+} // namespace
+} // namespace serpens::sparse

@@ -1,0 +1,109 @@
+// ingest_smoke — Release-mode ingestion smoke test for CI.
+//
+// Generates a ~1M-entry matrix, writes it as a real .mtx file, reads it
+// back through both parsers (istream reference and mmap+parallel fast
+// path), and verifies the triplets are bit-identical. Prints the measured
+// throughput of each parser so CI logs double as a coarse perf trend.
+//
+//   ingest_smoke [--entries N] [--dir PATH]
+//
+// Exit code 0 on success, 1 on any mismatch or error.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "sparse/generators.h"
+#include "sparse/matrix_market.h"
+#include "util/bitpack.h"
+
+namespace {
+
+using namespace serpens;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+bool identical(const sparse::CooMatrix& a, const sparse::CooMatrix& b)
+{
+    if (a.rows() != b.rows() || a.cols() != b.cols() || a.nnz() != b.nnz())
+        return false;
+    for (std::size_t i = 0; i < a.nnz(); ++i) {
+        const sparse::Triplet& ta = a.elements()[i];
+        const sparse::Triplet& tb = b.elements()[i];
+        if (ta.row != tb.row || ta.col != tb.col ||
+            float_bits(ta.val) != float_bits(tb.val))
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    std::uint64_t entries = 1'000'000;
+    std::string dir = std::filesystem::temp_directory_path().string();
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--entries") == 0 && i + 1 < argc)
+            entries = std::strtoull(argv[++i], nullptr, 10);
+        else if (std::strcmp(argv[i], "--dir") == 0 && i + 1 < argc)
+            dir = argv[++i];
+        else {
+            std::fprintf(stderr,
+                         "usage: ingest_smoke [--entries N] [--dir PATH]\n");
+            return 1;
+        }
+    }
+
+    try {
+        const auto n = static_cast<sparse::index_t>(
+            std::max<std::uint64_t>(65'536, entries / 16));
+        std::printf("generating %llu-entry uniform matrix (%u x %u)...\n",
+                    static_cast<unsigned long long>(entries), n, n);
+        const auto m = sparse::make_uniform_random(
+            n, n, static_cast<sparse::nnz_t>(entries), 1);
+
+        const std::string path = dir + "/serpens_ingest_smoke.mtx";
+        write_matrix_market_file(path, m);
+        const auto file_bytes = std::filesystem::file_size(path);
+        std::printf("wrote %s (%.1f MB, %llu nnz)\n", path.c_str(),
+                    static_cast<double>(file_bytes) / 1e6,
+                    static_cast<unsigned long long>(m.nnz()));
+
+        auto t0 = Clock::now();
+        const auto ref = sparse::read_matrix_market_reference_file(path);
+        const double ref_s = seconds_since(t0);
+
+        t0 = Clock::now();
+        const auto fast = sparse::read_matrix_market_fast_file(path, {});
+        const double fast_s = seconds_since(t0);
+
+        std::printf("reference: %.3f s (%.1f MB/s)\n", ref_s,
+                    static_cast<double>(file_bytes) / 1e6 / ref_s);
+        std::printf("fast:      %.3f s (%.1f MB/s, %.1fx)\n", fast_s,
+                    static_cast<double>(file_bytes) / 1e6 / fast_s,
+                    ref_s / fast_s);
+
+        std::filesystem::remove(path);
+        if (!identical(fast, ref)) {
+            std::fprintf(stderr, "FAIL: parsers disagree\n");
+            return 1;
+        }
+        if (!identical(ref, m)) {
+            std::fprintf(stderr, "FAIL: write -> read round trip drifted\n");
+            return 1;
+        }
+        std::printf("OK: %llu triplets bit-identical across both parsers\n",
+                    static_cast<unsigned long long>(ref.nnz()));
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "FAIL: %s\n", e.what());
+        return 1;
+    }
+}

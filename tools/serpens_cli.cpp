@@ -33,12 +33,15 @@ struct CliArgs {
     std::string mtx_path;
     std::string img_path;
     std::string out_path;
+    std::string save_image_path;
     std::string gen_spec;
     bool a24 = false;
     float alpha = 1.0f;
     float beta = 0.0f;
     int iters = 1;
     unsigned threads = 1;
+    unsigned parse_threads = 0;  // fast parser: one worker per core
+    unsigned sim_threads = 1;
 };
 
 core::SerpensConfig make_config(const CliArgs& args)
@@ -46,7 +49,15 @@ core::SerpensConfig make_config(const CliArgs& args)
     auto cfg = args.a24 ? core::SerpensConfig::a24()
                         : core::SerpensConfig::a16();
     cfg.encode_threads = args.threads;
+    cfg.sim_threads = args.sim_threads;
     return cfg;
+}
+
+sparse::CooMatrix load_mtx(const CliArgs& args)
+{
+    sparse::ParseOptions opt;
+    opt.threads = args.parse_threads;
+    return sparse::read_matrix_market_fast_file(args.mtx_path, opt);
 }
 
 CliArgs parse(int argc, char** argv)
@@ -66,10 +77,12 @@ CliArgs parse(int argc, char** argv)
         };
         if (flag == "--mtx")
             args.mtx_path = next();
-        else if (flag == "--img")
+        else if (flag == "--img" || flag == "--load-image")
             args.img_path = next();
         else if (flag == "--out")
             args.out_path = next();
+        else if (flag == "--save-image")
+            args.save_image_path = next();
         else if (flag == "--gen")
             args.gen_spec = next();
         else if (flag == "--a24")
@@ -82,6 +95,10 @@ CliArgs parse(int argc, char** argv)
             args.iters = std::stoi(next());
         else if (flag == "--threads")
             args.threads = static_cast<unsigned>(std::stoul(next()));
+        else if (flag == "--parse-threads")
+            args.parse_threads = static_cast<unsigned>(std::stoul(next()));
+        else if (flag == "--sim-threads")
+            args.sim_threads = static_cast<unsigned>(std::stoul(next()));
         else if (flag == "--help" || flag == "-h")
             args.command = "help";
         else {
@@ -150,7 +167,7 @@ int cmd_encode(const CliArgs& args)
         return 2;
     }
     const auto cfg = make_config(args);
-    const auto m = sparse::read_matrix_market_file(args.mtx_path);
+    const auto m = load_mtx(args);
     encode::EncodeOptions encode_options;
     encode_options.threads = cfg.encode_threads;
     const auto img = encode::encode_matrix(m, cfg.arch, encode_options);
@@ -181,12 +198,18 @@ int cmd_run(const CliArgs& args)
     } else {
         sparse::CooMatrix m =
             !args.mtx_path.empty()
-                ? sparse::read_matrix_market_file(args.mtx_path)
+                ? load_mtx(args)
                 : generate(args.gen_spec.empty() ? "uniform,10000,200000"
                                                  : args.gen_spec);
         matrix_for_check = m;
         have_matrix = true;
         prepared = std::make_unique<core::PreparedMatrix>(acc.prepare(m));
+    }
+
+    if (!args.save_image_path.empty()) {
+        encode::save_image_file(args.save_image_path, prepared->image());
+        std::printf("image:   saved to %s (reuse with --load-image)\n",
+                    args.save_image_path.c_str());
     }
 
     const auto rows = prepared->rows();
@@ -259,8 +282,12 @@ int cmd_help(std::FILE* out)
         "flags:\n"
         "  --a24            use the Serpens-A24 preset (24 sparse channels,\n"
         "                   270 MHz) instead of the default A16\n"
-        "  --mtx FILE       input matrix in Matrix Market (.mtx) format\n"
+        "  --mtx FILE       input matrix in Matrix Market (.mtx) format,\n"
+        "                   read through the fast mmap + parallel parser\n"
         "  --img IMG        input: a previously encoded image (run only)\n"
+        "  --load-image IMG alias for --img\n"
+        "  --save-image IMG also save the encoded image (run only); repeat\n"
+        "                   runs with --load-image skip parse+encode entirely\n"
         "  --out IMG        output path for the encoded image (encode only)\n"
         "  --gen KIND,N,NNZ generate an N x N synthetic matrix with ~NNZ\n"
         "                   non-zeros; KIND is uniform, rmat, banded, or\n"
@@ -271,12 +298,19 @@ int cmd_help(std::FILE* out)
         "  --threads N      worker threads for the encode stage (encode/run;\n"
         "                   default 1, 0 = one per hardware thread; the\n"
         "                   produced image is identical for every N)\n"
+        "  --parse-threads N worker threads for .mtx parsing (default 0 =\n"
+        "                   one per hardware thread; identical triplets for\n"
+        "                   every N)\n"
+        "  --sim-threads N  worker threads for the simulator's per-channel\n"
+        "                   loop (run; default 1, 0 = one per hardware\n"
+        "                   thread; bit-identical results for every N)\n"
         "\n"
         "examples:\n"
         "  serpens_cli info --a24\n"
         "  serpens_cli run --gen rmat,16384,500000 --iters 3\n"
         "  serpens_cli encode --mtx m.mtx --out m.img\n"
-        "  serpens_cli run --img m.img --alpha 2 --beta 0.5\n");
+        "  serpens_cli run --mtx m.mtx --save-image m.img\n"
+        "  serpens_cli run --load-image m.img --alpha 2 --beta 0.5\n");
     return out == stdout ? 0 : 2;
 }
 
