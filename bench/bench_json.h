@@ -1,0 +1,56 @@
+// Machine-readable benchmark output for the perf trajectory.
+//
+// Replaces BENCHMARK_MAIN() in the bench_micro_* binaries with a main that
+// understands one extra flag:
+//
+//   --json=FILE    shorthand for --benchmark_out=FILE
+//                  --benchmark_out_format=json
+//
+// ci.sh uses it to emit BENCH_sim.json / BENCH_parse.json per run and
+// archives them, so a perf regression shows up as a diff in the archived
+// numbers instead of a vague "feels slower". Everything else is passed to
+// Google Benchmark untouched (filters, repetitions, min_time...).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace serpens::bench {
+
+inline int json_main(int argc, char** argv)
+{
+    std::vector<std::string> storage;
+    storage.reserve(static_cast<std::size_t>(argc) + 1);
+    for (int i = 0; i < argc; ++i) {
+        const char* arg = argv[i];
+        if (std::strncmp(arg, "--json=", 7) == 0) {
+            storage.emplace_back(std::string("--benchmark_out=") + (arg + 7));
+            storage.emplace_back("--benchmark_out_format=json");
+        } else {
+            storage.emplace_back(arg);
+        }
+    }
+    std::vector<char*> args;
+    args.reserve(storage.size());
+    for (std::string& s : storage)
+        args.push_back(s.data());
+    int args_count = static_cast<int>(args.size());
+
+    benchmark::Initialize(&args_count, args.data());
+    if (benchmark::ReportUnrecognizedArguments(args_count, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}
+
+} // namespace serpens::bench
+
+#define SERPENS_BENCHMARK_JSON_MAIN()                                          \
+    int main(int argc, char** argv)                                            \
+    {                                                                          \
+        return ::serpens::bench::json_main(argc, argv);                        \
+    }

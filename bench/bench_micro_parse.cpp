@@ -12,6 +12,7 @@
 #include <map>
 #include <sstream>
 
+#include "bench_json.h"
 #include "sparse/generators.h"
 #include "sparse/matrix_market.h"
 
@@ -107,4 +108,4 @@ BENCHMARK(bm_parse_fast_auto)
 
 } // namespace
 
-BENCHMARK_MAIN();
+SERPENS_BENCHMARK_JSON_MAIN();

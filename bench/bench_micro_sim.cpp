@@ -1,8 +1,12 @@
 // Micro-benchmark — cycle-level simulator throughput (simulated non-zeros
 // per second of host time). Determines how large a matrix the bench suite
-// can afford to simulate.
+// can afford to simulate, and tracks the decode-once / batched engines
+// against the kept bit-packed reference walk.
 #include <benchmark/benchmark.h>
 
+#include <map>
+
+#include "bench_json.h"
 #include "encode/image.h"
 #include "sim/simulator.h"
 #include "sparse/generators.h"
@@ -10,6 +14,22 @@
 namespace {
 
 using namespace serpens;
+
+// One shared encoded image per nnz count: encoding dominates simulation at
+// these sizes, so benchmarks reuse the realized image.
+const encode::SerpensImage& shared_image(std::int64_t nnz)
+{
+    static std::map<std::int64_t, encode::SerpensImage> cache;
+    auto it = cache.find(nnz);
+    if (it == cache.end()) {
+        const auto m = sparse::make_uniform_random(
+            65'536, 65'536, static_cast<sparse::nnz_t>(nnz), 1);
+        encode::EncodeParams params;
+        it = cache.emplace(nnz, encode::encode_matrix(m, params, {.threads = 0}))
+                 .first;
+    }
+    return it->second;
+}
 
 void bm_simulate(benchmark::State& state)
 {
@@ -69,13 +89,101 @@ void bm_sim_parallel(benchmark::State& state)
     bm_sim_run(state, static_cast<unsigned>(state.range(0)));
 }
 
+// --- Decode-once pairs: the packed reference walk vs the DecodedImage
+// engines, same image, verification off in both (measured separately
+// above), serial in both so the gap is the decode amortization alone.
+// Results are bit-identical across all three (tests/test_decoded_sim.cpp).
+
+void bm_sim_packed_ref(benchmark::State& state)
+{
+    const encode::SerpensImage& img = shared_image(state.range(0));
+    const std::vector<float> x(img.cols(), 1.0f), y(img.rows(), 0.0f);
+    sim::SimOptions options;
+    options.verify_hazards = false;
+    for (auto _ : state) {
+        auto result = sim::simulate_spmv(img, x, y, 1.0f, 0.0f, options);
+        benchmark::DoNotOptimize(result.y.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(img.stats().nnz));
+}
+
+// The one-time cost the decoded path pays up front.
+void bm_sim_decode(benchmark::State& state)
+{
+    const encode::SerpensImage& img = shared_image(state.range(0));
+    for (auto _ : state) {
+        auto decoded =
+            sim::DecodedImage::decode(img, {.verify_hazards = false});
+        benchmark::DoNotOptimize(decoded.nnz());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(img.stats().nnz));
+}
+
+// Repeated SpMV on the cached decode — the iterative-workload shape
+// (PageRank, BFS rounds, batched serving).
+void bm_sim_decoded(benchmark::State& state)
+{
+    const encode::SerpensImage& img = shared_image(state.range(0));
+    const auto decoded =
+        sim::DecodedImage::decode(img, {.verify_hazards = false});
+    const std::vector<float> x(img.cols(), 1.0f), y(img.rows(), 0.0f);
+    sim::SimOptions options;
+    options.verify_hazards = false;
+    for (auto _ : state) {
+        auto result =
+            sim::simulate_spmv_decoded(decoded, x, y, 1.0f, 0.0f, options);
+        benchmark::DoNotOptimize(result.y.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(img.stats().nnz));
+}
+
+// One decoded pass over B right-hand sides; items = nnz * B, so
+// items_per_second directly shows the per-vector amortization vs
+// bm_sim_decoded.
+void bm_sim_batch(benchmark::State& state)
+{
+    const encode::SerpensImage& img = shared_image(1'000'000);
+    const auto decoded =
+        sim::DecodedImage::decode(img, {.verify_hazards = false});
+    const auto batch = static_cast<std::size_t>(state.range(0));
+    const std::vector<std::vector<float>> xs(
+        batch, std::vector<float>(img.cols(), 1.0f));
+    const std::vector<std::vector<float>> ys(
+        batch, std::vector<float>(img.rows(), 0.0f));
+    sim::SimOptions options;
+    options.verify_hazards = false;
+    for (auto _ : state) {
+        auto result =
+            sim::simulate_spmv_batch(decoded, xs, ys, 1.0f, 0.0f, options);
+        benchmark::DoNotOptimize(result.y.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(img.stats().nnz) *
+        static_cast<std::int64_t>(batch));
+}
+
 BENCHMARK(bm_simulate)->Arg(100'000)->Arg(1'000'000)->Arg(4'000'000)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(bm_simulate_with_verification)->Unit(benchmark::kMillisecond);
 BENCHMARK(bm_sim_sequential)->Unit(benchmark::kMillisecond);
 BENCHMARK(bm_sim_parallel)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_sim_packed_ref)->Arg(1'000'000)->Arg(4'000'000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_sim_decode)->Arg(1'000'000)->Arg(4'000'000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_sim_decoded)->Arg(1'000'000)->Arg(4'000'000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_sim_batch)->Arg(1)->Arg(3)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-BENCHMARK_MAIN();
+SERPENS_BENCHMARK_JSON_MAIN();

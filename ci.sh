@@ -18,3 +18,25 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 # (see CMakeLists.txt), so the same build tree serves.
 cmake --build "${BUILD_DIR}" -j "${JOBS}" --target ingest_smoke
 "${BUILD_DIR}/tools/ingest_smoke" --entries 1000000
+
+# Release-mode simulator smoke: a ~1M-entry image through the packed,
+# decode-once, and batched engines; y and CycleStats must be bit-identical
+# (the same lockdown the DecodedSim/BatchApps test suites pin at unit scale).
+cmake --build "${BUILD_DIR}" -j "${JOBS}" --target sim_smoke
+"${BUILD_DIR}/tools/sim_smoke" --entries 1000000 --batch 3 --iters 8
+
+# Perf trajectory: machine-readable micro-bench snapshots, archived under
+# bench-results/ so regressions show up as diffs in the numbers. Skipped
+# when Google Benchmark is not installed (the binaries are not built).
+if [[ -x "${BUILD_DIR}/bench/bench_micro_sim" ]]; then
+  mkdir -p "${BUILD_DIR}/bench-results"
+  "${BUILD_DIR}/bench/bench_micro_sim" \
+      --benchmark_filter='bm_sim_(packed_ref|decode|decoded)/1000000|bm_sim_batch' \
+      --benchmark_min_time=0.2 \
+      --json="${BUILD_DIR}/bench-results/BENCH_sim.json"
+  "${BUILD_DIR}/bench/bench_micro_parse" \
+      --benchmark_filter='bm_parse_(reference|fast_1t)/1000000$' \
+      --benchmark_min_time=0.2 \
+      --json="${BUILD_DIR}/bench-results/BENCH_parse.json"
+  echo "benchmark snapshots archived in ${BUILD_DIR}/bench-results/"
+fi

@@ -5,6 +5,7 @@
 // vector), which is the paper's "graph analytics processing model" use case.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "core/accelerator.h"
@@ -29,9 +30,30 @@ struct PageRankResult {
 // 1/outdeg(u) for each edge u -> v; dangling vertices get a self-loop.
 sparse::CooMatrix transition_matrix(const sparse::CooMatrix& graph);
 
-// Run PageRank with every SpMV on the accelerator.
+// Run PageRank with every SpMV on the accelerator. The transition matrix is
+// prepared once and its decoded image is cached, so each iteration streams
+// the decode-once expansion instead of re-unpacking the HBM image.
 PageRankResult pagerank(const core::Accelerator& acc,
                         const sparse::CooMatrix& graph,
                         const PageRankOptions& options = {});
+
+struct PersonalizedPageRankResult {
+    std::vector<std::vector<float>> rank;  // [source][vertex]
+    int iterations = 0;
+    std::vector<double> delta;     // final L1 change per source
+    double modeled_ms = 0.0;       // accelerator time per source (the device
+                                   // runs each column as its own SpMV pass)
+};
+
+// Personalized PageRank for many personalization vertices at once:
+// r_s' = d * P * r_s + (1-d) * e_s, all sources advanced in lockstep with
+// one batched SpMV per iteration over the cached decode. Iterates until
+// every source's L1 delta is below tolerance (or max_iterations); each
+// column's trajectory is bit-identical to iterating that source alone for
+// the same number of iterations.
+PersonalizedPageRankResult personalized_pagerank(
+    const core::Accelerator& acc, const sparse::CooMatrix& graph,
+    std::span<const sparse::index_t> sources,
+    const PageRankOptions& options = {});
 
 } // namespace serpens::apps

@@ -4,10 +4,19 @@
 // Both algorithms take the *reversed* adjacency in CSR (row v holds v's
 // in-neighbours) so one SpMV propagates the frontier/distances along edge
 // direction.
+//
+// multi_source_bfs additionally runs on the Serpens accelerator model: the
+// adjacency is prepared (encoded) once, its decoded image is cached, and
+// every BFS round pushes all sources' frontiers through one batched SpMV
+// (core::Accelerator::run_batch) — the repeated-SpMV-on-a-fixed-matrix
+// shape the decode-once engine exists for.
 #pragma once
 
+#include <span>
 #include <vector>
 
+#include "core/accelerator.h"
+#include "sparse/coo.h"
 #include "sparse/csr.h"
 
 namespace serpens::apps {
@@ -22,5 +31,14 @@ std::vector<int> bfs_levels(const sparse::CsrMatrix& reversed_adjacency,
 // min-plus relaxation; unreachable vertices get +infinity.
 std::vector<float> sssp_distances(const sparse::CsrMatrix& reversed_adjacency,
                                   sparse::index_t source);
+
+// BFS levels from every source at once, on the accelerator. Edge values are
+// forced to 1, so a plus-times SpMV scores each vertex with its number of
+// frontier in-neighbours — nonzero iff reached this round (a sum of
+// positive FP32 terms cannot round to zero). One batched SpMV per round
+// serves all sources; result[b] equals bfs_levels(reversed CSR, sources[b]).
+std::vector<std::vector<int>> multi_source_bfs(
+    const core::Accelerator& acc, const sparse::CooMatrix& reversed_adjacency,
+    std::span<const sparse::index_t> sources);
 
 } // namespace serpens::apps

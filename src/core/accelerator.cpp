@@ -1,9 +1,40 @@
 #include "core/accelerator.h"
 
+#include <mutex>
+
 #include "core/analytic.h"
 #include "encode/instructions.h"
 
 namespace serpens::core {
+
+struct PreparedMatrix::DecodeCache {
+    std::once_flag once;
+    std::unique_ptr<const sim::DecodedImage> decoded;
+};
+
+std::shared_ptr<PreparedMatrix::DecodeCache> PreparedMatrix::make_cache()
+{
+    return std::make_shared<DecodeCache>();
+}
+
+const sim::DecodedImage& PreparedMatrix::decoded(unsigned threads) const
+{
+    std::call_once(cache_->once, [&] {
+        sim::DecodeOptions options;
+        options.threads = threads;
+        // The packed image is hazard-verified here, once, instead of on
+        // every simulate call.
+        options.verify_hazards = true;
+        cache_->decoded = std::make_unique<const sim::DecodedImage>(
+            sim::DecodedImage::decode(*image_, options));
+    });
+    return *cache_->decoded;
+}
+
+bool PreparedMatrix::decode_cached() const
+{
+    return cache_->decoded != nullptr;
+}
 
 Accelerator::Accelerator(SerpensConfig config) : config_(config)
 {
@@ -36,27 +67,73 @@ double Accelerator::cycles_to_ms(const sim::CycleStats& s) const
            config_.invocation_overhead_us / 1e3;
 }
 
-RunResult Accelerator::run(const PreparedMatrix& prepared,
-                           std::span<const float> x, std::span<const float> y,
-                           float alpha, float beta) const
+sim::SimOptions Accelerator::sim_options() const
 {
     sim::SimOptions options;
     options.fill_per_segment = config_.fill_per_segment;
     options.fill_y_phase = config_.fill_y_phase;
     options.double_buffer_x = config_.double_buffer_x;
     options.threads = config_.sim_threads;
+    return options;
+}
 
-    sim::SimResult sim = sim::simulate_spmv(prepared.image(), x, y, alpha,
-                                            beta, options);
-
+RunResult Accelerator::finish_run(sparse::nnz_t nnz, std::vector<float> y,
+                                  const sim::CycleStats& cycles) const
+{
     RunResult result;
-    result.time_ms = cycles_to_ms(sim.cycles);
+    result.time_ms = cycles_to_ms(cycles);
     result.metrics = analysis::Metrics::from_run(
-        prepared.nnz(), result.time_ms, config_.utilized_bandwidth_gbps(),
+        nnz, result.time_ms, config_.utilized_bandwidth_gbps(),
         config_.power_w);
-    result.cycles = sim.cycles;
-    result.y = std::move(sim.y);
+    result.cycles = cycles;
+    result.y = std::move(y);
     return result;
+}
+
+RunResult Accelerator::run(const PreparedMatrix& prepared,
+                           std::span<const float> x, std::span<const float> y,
+                           float alpha, float beta) const
+{
+    const sim::SimOptions options = sim_options();
+
+    sim::SimResult sim =
+        config_.decode_cache
+            ? sim::simulate_spmv_decoded(prepared.decoded(config_.sim_threads),
+                                         x, y, alpha, beta, options)
+            : sim::simulate_spmv(prepared.image(), x, y, alpha, beta, options);
+
+    return finish_run(prepared.nnz(), std::move(sim.y), sim.cycles);
+}
+
+std::vector<RunResult> Accelerator::run_batch(
+    const PreparedMatrix& prepared, std::span<const std::vector<float>> xs,
+    std::span<const std::vector<float>> ys, float alpha, float beta) const
+{
+    SERPENS_CHECK(!xs.empty(), "batch must contain at least one vector");
+    SERPENS_CHECK(xs.size() == ys.size(),
+                  "batch x and y vector counts must match");
+
+    if (!config_.decode_cache) {
+        // Honor the knob's contract even for batches: every column runs
+        // the packed reference walk, one pass each — the differential
+        // cross-check mode stays meaningful under --batch.
+        std::vector<RunResult> results;
+        results.reserve(xs.size());
+        for (std::size_t b = 0; b < xs.size(); ++b)
+            results.push_back(run(prepared, xs[b], ys[b], alpha, beta));
+        return results;
+    }
+
+    sim::SimBatchResult batch =
+        sim::simulate_spmv_batch(prepared.decoded(config_.sim_threads), xs, ys,
+                                 alpha, beta, sim_options());
+
+    std::vector<RunResult> results;
+    results.reserve(batch.y.size());
+    for (std::vector<float>& y : batch.y)
+        results.push_back(
+            finish_run(prepared.nnz(), std::move(y), batch.cycles));
+    return results;
 }
 
 std::vector<std::uint32_t> Accelerator::compile_program(

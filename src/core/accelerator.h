@@ -9,7 +9,12 @@
 // distribution, index coalescing, non-zero reordering) once; `run` executes
 // the cycle-level simulation and derives wall-clock time and the paper's
 // metrics from the configured operating point. A prepared matrix can be run
-// many times with different vectors, exactly like a real device buffer.
+// many times with different vectors, exactly like a real device buffer —
+// and, like a device buffer, its decoded form is cached: the first run
+// expands the packed lane streams once (sim::DecodedImage) and every later
+// run or batch streams the cache-friendly expansion instead of re-unpacking
+// bits. `run_batch` pushes B right-hand sides through one decoded pass
+// (Sextans-style SpMM amortization on the host).
 #pragma once
 
 #include <memory>
@@ -36,6 +41,14 @@ public:
         return PreparedMatrix(std::move(image));
     }
 
+    // The decode-once expansion of the packed image, built on first use
+    // (thread-safe) and shared by every subsequent run/batch on this
+    // matrix. `threads` parallelizes only the first, building call.
+    const sim::DecodedImage& decoded(unsigned threads = 1) const;
+
+    // True once decoded() has materialized the cache (for tests/telemetry).
+    bool decode_cached() const;
+
 private:
     friend class Accelerator;
     explicit PreparedMatrix(encode::SerpensImage image)
@@ -43,7 +56,12 @@ private:
     {
     }
 
+    struct DecodeCache;  // once_flag + image; boxed so moves stay cheap
+
     std::unique_ptr<encode::SerpensImage> image_;
+    std::shared_ptr<DecodeCache> cache_ = make_cache();
+
+    static std::shared_ptr<DecodeCache> make_cache();
 };
 
 struct RunResult {
@@ -64,10 +82,27 @@ public:
     PreparedMatrix prepare(const sparse::CooMatrix& m) const;
 
     // Execute y = alpha * A * x + beta * y. x.size() == cols,
-    // y.size() == rows.
+    // y.size() == rows. Runs off the cached decode when
+    // config().decode_cache is set (the default); results are bit-identical
+    // either way.
     RunResult run(const PreparedMatrix& prepared, std::span<const float> x,
                   std::span<const float> y, float alpha = 1.0f,
                   float beta = 0.0f) const;
+
+    // Execute y[b] = alpha * A * xs[b] + beta * ys[b] for every b in one
+    // decoded pass with a column-blocked accumulator. Each entry of the
+    // returned vector is exactly what run() would report for that column
+    // (same y bits, same CycleStats, same modeled time — the published
+    // Serpens has no SpMM mode, so modeled device time is per-vector; the
+    // amortization is host wall-clock). With config().decode_cache off the
+    // columns run the packed reference walk one by one instead, so the
+    // differential knob keeps its meaning under batching. xs and ys must
+    // be the same non-zero length.
+    std::vector<RunResult> run_batch(const PreparedMatrix& prepared,
+                                     std::span<const std::vector<float>> xs,
+                                     std::span<const std::vector<float>> ys,
+                                     float alpha = 1.0f,
+                                     float beta = 0.0f) const;
 
     // Compile the 32-bit control program for a prepared matrix (the paper's
     // instruction channel; Table 1/5).
@@ -96,6 +131,11 @@ private:
     // Convert a simulated cycle count into modeled wall-clock milliseconds
     // (HBM streaming efficiency + invocation overhead).
     double cycles_to_ms(const sim::CycleStats& s) const;
+
+    // Shared run()/run_batch() plumbing.
+    sim::SimOptions sim_options() const;
+    RunResult finish_run(sparse::nnz_t nnz, std::vector<float> y,
+                         const sim::CycleStats& cycles) const;
 
     SerpensConfig config_;
 };

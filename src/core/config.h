@@ -35,6 +35,11 @@ struct SerpensConfig {
     // Host-side worker threads for run()'s per-channel simulator loop
     // (same convention); never changes the simulated y or CycleStats.
     unsigned sim_threads = 1;
+    // Decode each prepared matrix's packed image once and run repeated
+    // SpMV off the cached SoA expansion (sim::DecodedImage). Off = every
+    // run re-unpacks the packed lanes (the differential reference engine).
+    // Either way y and CycleStats are bit-identical.
+    bool decode_cache = true;
 
     static SerpensConfig a16()
     {

@@ -132,9 +132,7 @@ SerpensImage encode_matrix(const sparse::CooMatrix& m,
         }
     };
 
-    util::ThreadPool pool(
-        std::min(util::resolve_threads(options.threads), channels));
-    pool.parallel_for(channels, encode_channel);
+    util::shared_parallel_for(options.threads, channels, encode_channel);
 
     // Deterministic reduction in channel order.
     for (const ChannelTotals& t : totals) {

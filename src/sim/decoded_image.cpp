@@ -1,0 +1,92 @@
+#include "sim/decoded_image.h"
+
+#include <algorithm>
+
+#include "encode/decode.h"
+#include "util/thread_pool.h"
+
+namespace serpens::sim {
+
+using encode::EncodedElement;
+
+DecodedImage DecodedImage::decode(const encode::SerpensImage& img,
+                                  const DecodeOptions& options)
+{
+    if (options.verify_hazards)
+        encode::verify_image(img);
+
+    DecodedImage d;
+    d.params_ = img.params();
+    d.rows_ = img.rows();
+    d.cols_ = img.cols();
+    d.num_segments_ = img.num_segments();
+
+    // Highest PE-local URAM address any row of this matrix maps to (the
+    // address is monotone in the row index for both mapping modes).
+    const encode::RowMapping mapping(d.params_);
+    d.used_addrs_ = img.rows() > 0
+                        ? mapping.locate(img.rows() - 1).addr + 1
+                        : 1;
+
+    const unsigned lanes = d.params_.pes_per_channel;
+    const sparse::index_t window = d.params_.window;
+    const std::uint32_t ua = d.used_addrs_;
+    d.channels_.resize(img.channels());
+
+    util::shared_parallel_for(options.threads, img.channels(), [&](std::size_t ch) {
+        const hbm::ChannelStream& stream =
+            img.channel(static_cast<unsigned>(ch));
+        Channel& c = d.channels_[ch];
+        c.seg_begin.reserve(d.num_segments_ + 1);
+        c.seg_lines.resize(d.num_segments_);
+        const std::size_t slot_bound = stream.size() * lanes;
+        c.acc_off.reserve(slot_bound);
+        c.col.reserve(slot_bound);
+        c.value.reserve(slot_bound);
+
+        std::size_t cursor = 0;
+        for (unsigned seg = 0; seg < d.num_segments_; ++seg) {
+            const std::uint32_t lines =
+                img.segment_lines(static_cast<unsigned>(ch), seg);
+            c.seg_lines[seg] = lines;
+            c.seg_begin.push_back(c.value.size());
+            const std::uint32_t seg_base =
+                static_cast<std::uint32_t>(seg) * window;
+            for (std::uint32_t i = 0; i < lines; ++i) {
+                const hbm::Line512& line = stream.line(cursor + i);
+                for (unsigned lane = 0; lane < lanes; ++lane) {
+                    const auto e = EncodedElement::from_bits(line.lane64(lane));
+                    if (!e.valid())
+                        continue;
+                    SERPENS_ASSERT(e.pair_addr() < ua,
+                                   "element addresses a URAM word beyond the "
+                                   "image's row range");
+                    c.acc_off.push_back(
+                        ((lane * ua + e.pair_addr()) << 1) |
+                        (e.half() ? 1u : 0u));
+                    c.col.push_back(seg_base + e.col_off());
+                    c.value.push_back(e.value());
+                }
+            }
+            cursor += lines;
+        }
+        c.seg_begin.push_back(c.value.size());
+        c.total_lines = cursor;
+        c.acc_off.shrink_to_fit();
+        c.col.shrink_to_fit();
+        c.value.shrink_to_fit();
+    });
+
+    d.seg_depth_.assign(d.num_segments_, 0);
+    for (const Channel& c : d.channels_) {
+        for (unsigned s = 0; s < d.num_segments_; ++s)
+            d.seg_depth_[s] = std::max(d.seg_depth_[s], c.seg_lines[s]);
+        d.total_lines_ += c.total_lines;
+        d.total_slots_ += c.total_lines * lanes;
+        d.padding_slots_ +=
+            c.total_lines * lanes - static_cast<std::uint64_t>(c.value.size());
+    }
+    return d;
+}
+
+} // namespace serpens::sim

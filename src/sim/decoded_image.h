@@ -1,0 +1,101 @@
+// Decode-once execution image (host-side; Sextans-style SpMM amortization).
+//
+// The packed SerpensImage is exactly what the hardware streams from HBM:
+// 64-bit lane elements whose fields must be unpacked on every walk. The
+// simulator's iterative workloads (PageRank, BFS rounds, batched serving)
+// walk the *same* image hundreds of times, so DecodedImage expands each
+// channel's lane stream exactly once into a cache-friendly SoA layout:
+//
+//   acc_off[i]  channel-local accumulator offset, half-select folded in:
+//               ((lane * used_addrs + pair_addr) << 1) | half
+//   col[i]      absolute column index (segment base + col_off folded in)
+//   value[i]    the FP32 value
+//
+// Padding slots are elided entirely — they contribute no FP op, so skipping
+// them preserves the exact per-accumulator addition order of the packed
+// walk (elements stay in segment-major, line, lane order within a channel).
+// Per-segment extents (seg_begin) and line counts are preserved so every
+// CycleStats term of the packed walk stays derivable; simulate results are
+// bit-identical between the packed and decoded engines.
+//
+// `used_addrs` shrinks the accumulator bank from the architectural
+// U*D address space to the addresses the matrix's rows can actually reach,
+// which is what makes the decoded hot loop cache-resident for typical
+// matrices (65K rows -> 256 addresses/PE instead of 12288).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "encode/image.h"
+
+namespace serpens::sim {
+
+struct DecodeOptions {
+    // Worker threads for the per-channel decode (1 = serial, 0 = one per
+    // hardware thread); the decoded arrays are identical for every count.
+    unsigned threads = 1;
+    // Verify the packed image's hazard invariant once, here, instead of on
+    // every simulate call.
+    bool verify_hazards = true;
+};
+
+class DecodedImage {
+public:
+    struct Channel {
+        // SoA views of the valid (non-padding) elements in packed walk
+        // order: segment-major, then line, then lane.
+        std::vector<std::uint32_t> acc_off;
+        std::vector<std::uint32_t> col;
+        std::vector<float> value;
+        // Element extent of segment s is [seg_begin[s], seg_begin[s + 1]).
+        std::vector<std::size_t> seg_begin;
+        // Lines this channel contributes per segment (the packed
+        // segment_lines row), and their total.
+        std::vector<std::uint32_t> seg_lines;
+        std::uint64_t total_lines = 0;
+    };
+
+    // Expand a packed image. Throws CheckError if an element addresses a
+    // URAM word beyond the image's row range (a malformed image; the packed
+    // engine would silently accumulate into a dead slot).
+    static DecodedImage decode(const encode::SerpensImage& img,
+                               const DecodeOptions& options = {});
+
+    const encode::EncodeParams& params() const { return params_; }
+    sparse::index_t rows() const { return rows_; }
+    sparse::index_t cols() const { return cols_; }
+    unsigned num_segments() const { return num_segments_; }
+    unsigned channels() const { return static_cast<unsigned>(channels_.size()); }
+    const Channel& channel(unsigned c) const { return channels_[c]; }
+
+    // URAM addresses per PE actually reachable from this image's rows; the
+    // decoded accumulator bank is channels * lanes * used_addrs * 2 floats.
+    std::uint32_t used_addrs() const { return used_addrs_; }
+
+    // Max over channels of segment s's line count (the packed walk's
+    // compute-cycle depth for the segment).
+    std::uint32_t segment_depth(unsigned s) const { return seg_depth_[s]; }
+
+    // Slot tallies of one full walk (identical to the packed engine's).
+    std::uint64_t total_slots() const { return total_slots_; }
+    std::uint64_t padding_slots() const { return padding_slots_; }
+    std::uint64_t total_lines() const { return total_lines_; }
+
+    // Valid (non-padding) elements across all channels.
+    std::uint64_t nnz() const { return total_slots_ - padding_slots_; }
+
+private:
+    encode::EncodeParams params_;
+    sparse::index_t rows_ = 0;
+    sparse::index_t cols_ = 0;
+    unsigned num_segments_ = 0;
+    std::uint32_t used_addrs_ = 0;
+    std::vector<Channel> channels_;
+    std::vector<std::uint32_t> seg_depth_;
+    std::uint64_t total_slots_ = 0;
+    std::uint64_t padding_slots_ = 0;
+    std::uint64_t total_lines_ = 0;
+};
+
+} // namespace serpens::sim

@@ -49,9 +49,6 @@ SimResult simulate_spmv(const encode::SerpensImage& img,
     std::vector<std::uint64_t> ch_padding(img.channels(), 0);
     std::vector<std::uint64_t> ch_lines(img.channels(), 0);
 
-    util::ThreadPool pool(std::min(util::resolve_threads(options.threads),
-                                   std::max(1u, img.channels())));
-
     std::vector<float> xseg(p.window, 0.0f);
 
     // With double buffering, segment s+1's x-load overlaps segment s's
@@ -86,7 +83,7 @@ SimResult simulate_spmv(const encode::SerpensImage& img,
         stats.compute_cycles += depth;
         prev_compute_depth = depth;
 
-        pool.parallel_for(img.channels(), [&](std::size_t ch) {
+        util::shared_parallel_for(options.threads, img.channels(), [&](std::size_t ch) {
             const std::uint32_t ch_depth =
                 img.segment_lines(static_cast<unsigned>(ch), seg);
             const hbm::ChannelStream& stream =
@@ -140,6 +137,214 @@ SimResult simulate_spmv(const encode::SerpensImage& img,
     stats.fill_cycles += options.fill_y_phase;
     stats.traffic.add_read(y_lines * hbm::kLineBytes);
     stats.traffic.add_write(y_lines * hbm::kLineBytes);
+
+    result.cycles = stats;
+    return result;
+}
+
+namespace {
+
+// Segment-phase cycle accounting for the decoded engines: the same
+// arithmetic, in the same order, as the packed walk above — the depths were
+// preserved per segment when the image was decoded, so no stream traversal
+// is needed to reproduce every CycleStats term bit-identically.
+CycleStats decoded_phase_stats(const DecodedImage& img,
+                               const SimOptions& options)
+{
+    CycleStats stats;
+    std::uint64_t prev_compute_depth = 0;
+    for (unsigned seg = 0; seg < img.num_segments(); ++seg) {
+        const index_t seg_base =
+            static_cast<index_t>(seg) * img.params().window;
+        const index_t seg_width =
+            std::min<index_t>(img.params().window, img.cols() - seg_base);
+        const std::uint64_t load_cycles = ceil_div<std::uint64_t>(seg_width, 16);
+        if (options.double_buffer_x && seg > 0) {
+            stats.x_load_cycles +=
+                load_cycles > prev_compute_depth
+                    ? load_cycles - prev_compute_depth
+                    : 0;
+        } else {
+            stats.x_load_cycles += load_cycles;
+        }
+        stats.traffic.add_read(load_cycles * hbm::kLineBytes);
+
+        const std::uint32_t depth = img.segment_depth(seg);
+        stats.compute_cycles += depth;
+        prev_compute_depth = depth;
+        stats.fill_cycles += options.fill_per_segment;
+    }
+    stats.total_slots = img.total_slots();
+    stats.padding_slots = img.padding_slots();
+    stats.traffic.add_read(img.total_lines() * hbm::kLineBytes);
+    return stats;
+}
+
+void apply_y_phase(CycleStats& stats, index_t rows, const SimOptions& options)
+{
+    const std::uint64_t y_lines = ceil_div<std::uint64_t>(rows, 16);
+    stats.y_phase_cycles = y_lines;
+    stats.fill_cycles += options.fill_y_phase;
+    stats.traffic.add_read(y_lines * hbm::kLineBytes);
+    stats.traffic.add_write(y_lines * hbm::kLineBytes);
+}
+
+// Blocked-accumulator walk of one channel with the batch width as a
+// compile-time constant: the b-loop fully unrolls (and vectorizes at 4/8),
+// which is where the per-element amortization over the single-vector walk
+// comes from. Unrolling never reorders ops within a column, so per-column
+// results stay bit-identical to the runtime-width fallback.
+template <std::size_t B>
+void walk_channel_batch(const DecodedImage::Channel& c, float* bank,
+                        const float* xi)
+{
+    const std::uint32_t* const off = c.acc_off.data();
+    const std::uint32_t* const col = c.col.data();
+    const float* const val = c.value.data();
+    const std::size_t n = c.value.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        float* const a = bank + static_cast<std::size_t>(off[i]) * B;
+        const float* const xv = xi + static_cast<std::size_t>(col[i]) * B;
+        const float v = val[i];
+        for (std::size_t b = 0; b < B; ++b)
+            a[b] += v * xv[b];
+    }
+}
+
+void walk_channel_batch_n(const DecodedImage::Channel& c, float* bank,
+                          const float* xi, std::size_t batch)
+{
+    switch (batch) {
+    case 1: return walk_channel_batch<1>(c, bank, xi);
+    case 2: return walk_channel_batch<2>(c, bank, xi);
+    case 3: return walk_channel_batch<3>(c, bank, xi);
+    case 4: return walk_channel_batch<4>(c, bank, xi);
+    case 5: return walk_channel_batch<5>(c, bank, xi);
+    case 6: return walk_channel_batch<6>(c, bank, xi);
+    case 7: return walk_channel_batch<7>(c, bank, xi);
+    case 8: return walk_channel_batch<8>(c, bank, xi);
+    default:
+        break;
+    }
+    const std::uint32_t* const off = c.acc_off.data();
+    const std::uint32_t* const col = c.col.data();
+    const float* const val = c.value.data();
+    const std::size_t n = c.value.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        float* const a = bank + static_cast<std::size_t>(off[i]) * batch;
+        const float* const xv = xi + static_cast<std::size_t>(col[i]) * batch;
+        const float v = val[i];
+        for (std::size_t b = 0; b < batch; ++b)
+            a[b] += v * xv[b];
+    }
+}
+
+} // namespace
+
+SimResult simulate_spmv_decoded(const DecodedImage& img,
+                                std::span<const float> x,
+                                std::span<const float> y_in, float alpha,
+                                float beta, const SimOptions& options)
+{
+    SERPENS_CHECK(x.size() == img.cols(), "x length must equal matrix cols");
+    SERPENS_CHECK(y_in.size() == img.rows(), "y length must equal matrix rows");
+
+    const unsigned lanes = img.params().pes_per_channel;
+    const std::uint32_t ua = img.used_addrs();
+    std::vector<float> acc(
+        static_cast<std::size_t>(img.channels()) * lanes * ua * 2, 0.0f);
+
+    CycleStats stats = decoded_phase_stats(img, options);
+
+    // The hot loop: one fused multiply-add per decoded element. Elements
+    // are stored in the packed walk order and channels own disjoint
+    // accumulator banks, so the FP32 accumulation order per URAM slot is
+    // exactly the packed engine's, for every thread count.
+    const float* const xp = x.data();
+    util::shared_parallel_for(options.threads, img.channels(), [&](std::size_t ch) {
+        const DecodedImage::Channel& c =
+            img.channel(static_cast<unsigned>(ch));
+        float* const bank = acc.data() + ch * lanes * ua * 2;
+        const std::uint32_t* const off = c.acc_off.data();
+        const std::uint32_t* const col = c.col.data();
+        const float* const val = c.value.data();
+        const std::size_t n = c.value.size();
+        for (std::size_t i = 0; i < n; ++i)
+            bank[off[i]] += val[i] * xp[col[i]];
+    });
+
+    SimResult result;
+    result.y.resize(img.rows());
+    const encode::RowMapping mapping(img.params());
+    for (index_t r = 0; r < img.rows(); ++r) {
+        const encode::PeLocation loc = mapping.locate(r);
+        const float a = acc[(static_cast<std::size_t>(loc.pe) * ua + loc.addr) *
+                                2 +
+                            (loc.half ? 1 : 0)];
+        result.y[r] = alpha * a + beta * y_in[r];
+    }
+    apply_y_phase(stats, img.rows(), options);
+
+    result.cycles = stats;
+    return result;
+}
+
+SimBatchResult simulate_spmv_batch(const DecodedImage& img,
+                                   std::span<const std::vector<float>> xs,
+                                   std::span<const std::vector<float>> ys_in,
+                                   float alpha, float beta,
+                                   const SimOptions& options)
+{
+    SERPENS_CHECK(!xs.empty(), "batch must contain at least one vector");
+    SERPENS_CHECK(xs.size() == ys_in.size(),
+                  "batch x and y_in counts must match");
+    for (const std::vector<float>& x : xs)
+        SERPENS_CHECK(x.size() == img.cols(), "x length must equal matrix cols");
+    for (const std::vector<float>& y : ys_in)
+        SERPENS_CHECK(y.size() == img.rows(), "y length must equal matrix rows");
+
+    const std::size_t batch = xs.size();
+    const unsigned lanes = img.params().pes_per_channel;
+    const std::uint32_t ua = img.used_addrs();
+
+    // Column-interleaved right-hand sides: xi[col * B + b], so the B
+    // multiplies of one decoded element read consecutive floats. Repacking
+    // costs O(B * cols) once; the walk it feeds is O(nnz * B).
+    std::vector<float> xi(static_cast<std::size_t>(img.cols()) * batch);
+    for (index_t c = 0; c < img.cols(); ++c)
+        for (std::size_t b = 0; b < batch; ++b)
+            xi[static_cast<std::size_t>(c) * batch + b] = xs[b][c];
+
+    // Blocked accumulator: B consecutive floats per URAM half-word. Each
+    // column's accumulator sequence is independent, so per-column results
+    // are bit-identical to a single-vector run for every batch width.
+    std::vector<float> acc(static_cast<std::size_t>(img.channels()) * lanes *
+                               ua * 2 * batch,
+                           0.0f);
+
+    CycleStats stats = decoded_phase_stats(img, options);
+
+    util::shared_parallel_for(options.threads, img.channels(), [&](std::size_t ch) {
+        walk_channel_batch_n(img.channel(static_cast<unsigned>(ch)),
+                             acc.data() + ch * lanes * ua * 2 * batch,
+                             xi.data(), batch);
+    });
+
+    SimBatchResult result;
+    result.y.resize(batch);
+    for (std::vector<float>& y : result.y)
+        y.resize(img.rows());
+    const encode::RowMapping mapping(img.params());
+    for (index_t r = 0; r < img.rows(); ++r) {
+        const encode::PeLocation loc = mapping.locate(r);
+        const std::size_t base =
+            ((static_cast<std::size_t>(loc.pe) * ua + loc.addr) * 2 +
+             (loc.half ? 1 : 0)) *
+            batch;
+        for (std::size_t b = 0; b < batch; ++b)
+            result.y[b][r] = alpha * acc[base + b] + beta * ys_in[b][r];
+    }
+    apply_y_phase(stats, img.rows(), options);
 
     result.cycles = stats;
     return result;

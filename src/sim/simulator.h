@@ -15,8 +15,21 @@
 // in order *is* the cycle-accurate execution; hazards were discharged by the
 // encoder and are re-verified here when `verify_hazards` is set.
 //
-// Floating-point results follow hardware semantics: FP32 accumulation in
-// exactly the schedule order each PE sees.
+// Two host-side engines walk the same machine:
+//
+//   simulate_spmv          the packed engine and differential reference:
+//                          unpacks every 64-bit lane element from the HBM
+//                          image on every call, exactly as first written.
+//   simulate_spmv_decoded  decode-once engine: runs off a DecodedImage that
+//                          expanded the lane streams once, so repeated SpMV
+//                          on a fixed matrix skips per-element unpacking.
+//   simulate_spmv_batch    one decoded pass over B right-hand-side vectors
+//                          with a blocked accumulator (Sextans-style SpMM):
+//                          stream traversal is amortized across columns.
+//
+// All engines produce bit-identical y and CycleStats for every thread count
+// and batch width (pinned by tests/test_decoded_sim.cpp): same FP32
+// accumulation order per URAM slot, same integer cycle arithmetic.
 #pragma once
 
 #include <span>
@@ -24,11 +37,14 @@
 
 #include "encode/image.h"
 #include "sim/cycle_stats.h"
+#include "sim/decoded_image.h"
 
 namespace serpens::sim {
 
 struct SimOptions {
     bool verify_hazards = true;       // re-check the encoder's invariant
+                                      // (packed engine; the decoded engines
+                                      // verify once at decode time instead)
     unsigned fill_per_segment = 48;   // pipeline fill cycles per segment phase
     unsigned fill_y_phase = 48;       // fill cycles for the final y pass
     // Extension (not in the published design): double-buffer the x-segment
@@ -36,7 +52,7 @@ struct SimOptions {
     // x-buffer BRAMs (see core::resource_model); hides the K/16 term of
     // Eq. 4 behind compute.
     bool double_buffer_x = false;
-    // Host-side worker threads for the per-channel lane-decode loop
+    // Host-side worker threads for the per-channel compute loop
     // (1 = serial, 0 = one per hardware thread). Channels write disjoint PE
     // accumulators (paper §3.3 address disjointness), so the simulated y and
     // CycleStats are bit-identical for every thread count.
@@ -48,11 +64,40 @@ struct SimResult {
     CycleStats cycles;
 };
 
-// Run y = alpha * A * x + beta * y_in on the encoded image.
-// x must have img.cols() entries and y_in img.rows().
+// One decoded pass over a batch of right-hand sides. `cycles` is the
+// per-vector cycle breakdown — identical to what one packed run over any
+// single column reports, because the modeled machine (the published
+// Serpens) has no SpMM mode; the batch amortizes *host* decode and stream
+// traversal, not modeled device cycles.
+struct SimBatchResult {
+    std::vector<std::vector<float>> y;  // [batch][rows]
+    CycleStats cycles;
+};
+
+// Run y = alpha * A * x + beta * y_in on the encoded image (packed engine;
+// the differential reference). x must have img.cols() entries and y_in
+// img.rows().
 SimResult simulate_spmv(const encode::SerpensImage& img,
                         std::span<const float> x,
                         std::span<const float> y_in, float alpha, float beta,
                         const SimOptions& options = {});
+
+// Same machine, decode-once engine: per-element field unpacking happened
+// once in DecodedImage::decode, so repeated calls stream flat SoA arrays.
+SimResult simulate_spmv_decoded(const DecodedImage& img,
+                                std::span<const float> x,
+                                std::span<const float> y_in, float alpha,
+                                float beta, const SimOptions& options = {});
+
+// One decoded pass over B right-hand sides: for each b,
+// y[b] = alpha * A * xs[b] + beta * ys_in[b], with the accumulator blocked
+// across columns so each decoded element is applied to all B vectors while
+// it is hot. Every xs[b] must have img.cols() entries and every ys_in[b]
+// img.rows(); xs and ys_in must be the same (non-zero) length.
+SimBatchResult simulate_spmv_batch(const DecodedImage& img,
+                                   std::span<const std::vector<float>> xs,
+                                   std::span<const std::vector<float>> ys_in,
+                                   float alpha, float beta,
+                                   const SimOptions& options = {});
 
 } // namespace serpens::sim

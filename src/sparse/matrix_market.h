@@ -51,6 +51,12 @@ struct ParseOptions {
     std::size_t chunk_bytes = 0;
 };
 
+// True when the library was built with zlib: gzip-compressed inputs
+// (SuiteSparse ships .mtx.gz) are detected by their magic bytes — in any of
+// the fast entry points, regardless of file name — and inflated before
+// parsing. Without zlib, compressed input throws MatrixMarketError.
+bool gzip_supported();
+
 // Parse an in-memory .mtx image. The fast path commits only when every
 // entry line parses cleanly and the entry count matches the size line; any
 // irregularity (blank line inside the list, malformed token, out-of-range

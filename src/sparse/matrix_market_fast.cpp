@@ -5,11 +5,13 @@
 // of MB, so this file provides the production path:
 //
 //   1. mmap the file (buffered read for streams/pipes/non-POSIX),
-//   2. parse the tiny header sequentially with the reference's exact logic,
-//   3. split the entry region into newline-aligned chunks,
-//   4. parse chunks in parallel with std::from_chars on the shared
+//   2. if the buffer carries the gzip magic (SuiteSparse ships .mtx.gz),
+//      inflate it via zlib — detection is by content, not file name,
+//   3. parse the tiny header sequentially with the reference's exact logic,
+//   4. split the entry region into newline-aligned chunks,
+//   5. parse chunks in parallel with std::from_chars on the shared
 //      util::ThreadPool, each chunk into its own triplet vector,
-//   5. concatenate chunk outputs in order.
+//   6. concatenate chunk outputs in order.
 //
 // Chunk concatenation preserves line order, and within a line the symmetric
 // mirror is appended immediately after its entry — exactly the reference's
@@ -26,6 +28,7 @@
 #include "sparse/matrix_market.h"
 
 #include <algorithm>
+#include <array>
 #include <charconv>
 #include <cmath>
 #include <cstring>
@@ -42,6 +45,10 @@
 #include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
+#endif
+
+#if defined(SERPENS_HAVE_ZLIB)
+#include <zlib.h>
 #endif
 
 namespace serpens::sparse {
@@ -185,6 +192,79 @@ CooMatrix reference_on_buffer(std::string_view text)
     return read_matrix_market(in);
 }
 
+// gzip magic bytes (RFC 1952 §2.3.1). Detection is by content, never by
+// file name, so `.mtx` files that are secretly compressed still work and
+// plain files named `.gz` still parse.
+bool looks_gzip(std::string_view text)
+{
+    return text.size() >= 2 && static_cast<unsigned char>(text[0]) == 0x1f &&
+           static_cast<unsigned char>(text[1]) == 0x8b;
+}
+
+#if defined(SERPENS_HAVE_ZLIB)
+// Inflate a whole gzip image into memory. Handles multi-member files (gzip
+// streams are concatenable; SuiteSparse mirrors produce them) by restarting
+// inflate until the input is consumed.
+std::string gunzip(std::string_view in)
+{
+    std::string out;
+    // A text .mtx typically deflates ~3-4x; reserve to limit regrows.
+    out.reserve(in.size() * 4);
+    std::array<char, 1 << 16> chunk;
+
+    z_stream strm = {};
+    // 15 window bits + 16 selects gzip decoding (not raw/zlib).
+    if (inflateInit2(&strm, 15 + 16) != Z_OK)
+        throw MatrixMarketError("zlib: inflateInit failed");
+    struct Guard {
+        z_stream* s;
+        ~Guard() { inflateEnd(s); }
+    } guard{&strm};
+
+    strm.next_in = reinterpret_cast<Bytef*>(const_cast<char*>(in.data()));
+    strm.avail_in = static_cast<uInt>(in.size());
+    for (;;) {
+        strm.next_out = reinterpret_cast<Bytef*>(chunk.data());
+        strm.avail_out = static_cast<uInt>(chunk.size());
+        const int rc = inflate(&strm, Z_NO_FLUSH);
+        if (rc != Z_OK && rc != Z_STREAM_END)
+            throw MatrixMarketError(
+                std::string("corrupt gzip input: ") +
+                (strm.msg ? strm.msg : "inflate failed"));
+        out.append(chunk.data(), chunk.size() - strm.avail_out);
+        if (rc == Z_STREAM_END) {
+            if (strm.avail_in == 0)
+                return out;
+            // Another gzip member follows; reset and keep going.
+            if (inflateReset2(&strm, 15 + 16) != Z_OK)
+                throw MatrixMarketError("zlib: inflateReset failed");
+            continue;
+        }
+        if (strm.avail_in == 0 && strm.avail_out != 0)
+            throw MatrixMarketError("corrupt gzip input: truncated stream");
+    }
+}
+#endif
+
+CooMatrix parse_fast_text(std::string_view text, const ParseOptions& options);
+
+// Route a possibly-compressed buffer: plain text parses in place;
+// gzip-compressed text inflates first (or fails clearly without zlib).
+CooMatrix parse_possibly_gzip(std::string_view text,
+                              const ParseOptions& options)
+{
+    if (!looks_gzip(text))
+        return parse_fast_text(text, options);
+#if defined(SERPENS_HAVE_ZLIB)
+    const std::string inflated = gunzip(text);
+    return parse_fast_text(std::string_view(inflated), options);
+#else
+    throw MatrixMarketError(
+        "input is gzip-compressed but serpens was built without zlib; "
+        "decompress the file first (gunzip) or rebuild with zlib");
+#endif
+}
+
 #if SERPENS_HAVE_MMAP
 struct FileMapping {
     void* data = nullptr;
@@ -197,10 +277,7 @@ struct FileMapping {
 };
 #endif
 
-} // namespace
-
-CooMatrix read_matrix_market_fast(std::string_view text,
-                                  const ParseOptions& options)
+CooMatrix parse_fast_text(std::string_view text, const ParseOptions& options)
 {
     const char* p = text.data();
     const char* const end = p + text.size();
@@ -236,13 +313,9 @@ CooMatrix read_matrix_market_fast(std::string_view text,
     }
 
     std::vector<ChunkResult> results(chunks.size());
-    {
-        util::ThreadPool pool(std::min<unsigned>(
-            threads, static_cast<unsigned>(std::max<std::size_t>(chunks.size(), 1))));
-        pool.parallel_for(chunks.size(), [&](std::size_t i) {
-            parse_chunk(chunks[i].first, chunks[i].second, h, results[i]);
-        });
-    }
+    util::shared_parallel_for(threads, chunks.size(), [&](std::size_t i) {
+        parse_chunk(chunks[i].first, chunks[i].second, h, results[i]);
+    });
 
     std::uint64_t total_entries = 0;
     std::size_t total_triplets = 0;
@@ -266,12 +339,29 @@ CooMatrix read_matrix_market_fast(std::string_view text,
     return m;
 }
 
+} // namespace
+
+bool gzip_supported()
+{
+#if defined(SERPENS_HAVE_ZLIB)
+    return true;
+#else
+    return false;
+#endif
+}
+
+CooMatrix read_matrix_market_fast(std::string_view text,
+                                  const ParseOptions& options)
+{
+    return parse_possibly_gzip(text, options);
+}
+
 CooMatrix read_matrix_market_fast(std::istream& in, const ParseOptions& options)
 {
     std::ostringstream buf;
     buf << in.rdbuf();
     const std::string text = std::move(buf).str();
-    return read_matrix_market_fast(std::string_view(text), options);
+    return parse_possibly_gzip(std::string_view(text), options);
 }
 
 CooMatrix read_matrix_market_fast_file(const std::string& path,

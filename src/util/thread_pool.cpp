@@ -14,9 +14,10 @@ unsigned resolve_threads(unsigned requested)
 ThreadPool::ThreadPool(unsigned threads)
 {
     const unsigned spawned = threads > 1 ? threads - 1 : 0;
-    workers_.reserve(spawned);
-    for (unsigned t = 0; t < spawned; ++t)
-        workers_.emplace_back([this] { worker_loop(); });
+    if (spawned > 0) {
+        const std::lock_guard<std::mutex> lock(mu_);
+        spawn_locked(spawned);
+    }
 }
 
 ThreadPool::~ThreadPool()
@@ -30,9 +31,36 @@ ThreadPool::~ThreadPool()
         w.join();
 }
 
-void ThreadPool::worker_loop()
+unsigned ThreadPool::threads() const
 {
-    std::uint64_t seen = 0;
+    const std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<unsigned>(workers_.size()) + 1;
+}
+
+void ThreadPool::spawn_locked(unsigned extra)
+{
+    workers_.reserve(workers_.size() + extra);
+    for (unsigned t = 0; t < extra; ++t) {
+        // New workers start with the current generation so they never pick
+        // up a job that was dispatched before they existed.
+        const std::size_t id = workers_.size();
+        workers_.emplace_back(
+            [this, id, gen = generation_] { worker_loop(id, gen); });
+    }
+}
+
+void ThreadPool::ensure_threads(unsigned threads)
+{
+    // gate_ keeps growth out of any in-flight parallel_for's active_
+    // accounting; mu_ protects the worker list itself.
+    const std::lock_guard<std::mutex> gate(gate_);
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (threads > workers_.size() + 1)
+        spawn_locked(threads - 1 - static_cast<unsigned>(workers_.size()));
+}
+
+void ThreadPool::worker_loop(std::size_t id, std::uint64_t seen)
+{
     for (;;) {
         {
             std::unique_lock<std::mutex> lock(mu_);
@@ -41,6 +69,13 @@ void ThreadPool::worker_loop()
             if (stop_)
                 return;
             seen = generation_;
+            // The calling thread occupies one of the `width` slots;
+            // workers beyond the cap are not part of the job's done
+            // accounting at all — they just note the generation and go
+            // back to sleep, so a width-capped job on a wide pool pays
+            // for `width` workers, not the pool's historical maximum.
+            if (id + 1 >= job_width_)
+                continue;
         }
         run_items();
         {
@@ -70,9 +105,16 @@ void ThreadPool::run_items()
 }
 
 void ThreadPool::parallel_for(std::size_t count,
-                              const std::function<void(std::size_t)>& fn)
+                              const std::function<void(std::size_t)>& fn,
+                              unsigned width)
 {
-    if (workers_.empty() || count <= 1) {
+    // One job at a time: gate_ serializes whole calls so the pool is safe
+    // to share between independent pipelines (batched serving, tests).
+    const std::lock_guard<std::mutex> gate(gate_);
+    const std::size_t pool_width = workers_.size() + 1;
+    const std::size_t w =
+        width == 0 ? pool_width : std::min<std::size_t>(width, pool_width);
+    if (workers_.empty() || count <= 1 || w <= 1) {
         for (std::size_t i = 0; i < count; ++i)
             fn(i);
         return;
@@ -81,9 +123,10 @@ void ThreadPool::parallel_for(std::size_t count,
         const std::lock_guard<std::mutex> lock(mu_);
         job_ = &fn;
         job_count_ = count;
+        job_width_ = w;
         next_.store(0, std::memory_order_relaxed);
         error_ = nullptr;
-        active_ = workers_.size();
+        active_ = w - 1;  // participating workers; the caller is slot w-1
         ++generation_;
     }
     cv_start_.notify_all();
@@ -92,6 +135,26 @@ void ThreadPool::parallel_for(std::size_t count,
     cv_done_.wait(lock, [&] { return active_ == 0; });
     if (error_)
         std::rethrow_exception(error_);
+}
+
+ThreadPool& shared_pool()
+{
+    static ThreadPool pool(1);
+    return pool;
+}
+
+void shared_parallel_for(unsigned threads, std::size_t count,
+                         const std::function<void(std::size_t)>& fn)
+{
+    const unsigned t = resolve_threads(threads);
+    if (t <= 1 || count <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+    ThreadPool& pool = shared_pool();
+    pool.ensure_threads(t);
+    pool.parallel_for(count, fn, t);
 }
 
 } // namespace serpens::util

@@ -1,14 +1,22 @@
-// A small fixed-size thread pool shared by the host-side stages.
+// A small thread pool shared by the host-side stages.
 //
-// Three stages parallelize over naturally disjoint work: the parser over
+// Four stages parallelize over naturally disjoint work: the parser over
 // newline-aligned file chunks (sparse/matrix_market_fast.cpp), the encoder
 // over HBM channels (encode/image.cpp), and the simulator over channel
-// streams (sim/simulator.cpp). This pool provides the one primitive they
-// all need: a blocking parallel_for over an index range. Work items are
-// claimed from an atomic counter, so the assignment of items to workers is
-// nondeterministic — callers must ensure (as all three stages do) that each
-// item writes only its own outputs, which keeps results byte-identical for
-// every thread count.
+// streams in both the packed and the decoded/batched engines
+// (sim/simulator.cpp). This pool provides the one primitive they all need:
+// a blocking parallel_for over an index range. Work items are claimed from
+// an atomic counter, so the assignment of items to workers is
+// nondeterministic — callers must ensure (as all stages do) that each item
+// writes only its own outputs, which keeps results byte-identical for every
+// thread count.
+//
+// Iterative workloads (PageRank, multi-source BFS, batched serving) issue
+// thousands of parallel_for calls on one process, so spawning and joining
+// threads per call is real overhead. `shared_pool()` returns one lazily
+// constructed process-wide pool that grows to the widest width ever
+// requested; the stages dispatch through it with a per-call `width` cap
+// instead of building private pools.
 #pragma once
 
 #include <atomic>
@@ -37,30 +45,54 @@ public:
     ThreadPool(const ThreadPool&) = delete;
     ThreadPool& operator=(const ThreadPool&) = delete;
 
-    unsigned threads() const { return static_cast<unsigned>(workers_.size()) + 1; }
+    unsigned threads() const;
+
+    // Grow the pool so it holds at least `threads` total workers (including
+    // the calling thread). Never shrinks. Safe to call concurrently with
+    // parallel_for from other threads.
+    void ensure_threads(unsigned threads);
 
     // Run fn(i) for every i in [0, count), distributing items over the pool
-    // plus the calling thread; blocks until all items complete. If any item
-    // throws, the first exception is rethrown here (remaining items are
-    // abandoned). Not reentrant: one parallel_for at a time.
+    // plus the calling thread; blocks until all items complete. At most
+    // `width` workers (counting the caller) claim items; 0 means the whole
+    // pool. If any item throws, the first exception is rethrown here
+    // (remaining items are abandoned). Concurrent parallel_for calls from
+    // different threads are serialized against each other.
     void parallel_for(std::size_t count,
-                      const std::function<void(std::size_t)>& fn);
+                      const std::function<void(std::size_t)>& fn,
+                      unsigned width = 0);
 
 private:
-    void worker_loop();
+    void worker_loop(std::size_t id, std::uint64_t start_generation);
     void run_items();
+    void spawn_locked(unsigned extra);
 
     std::vector<std::thread> workers_;
-    std::mutex mu_;
+    std::mutex gate_;                    // serializes whole parallel_for calls
+    mutable std::mutex mu_;
     std::condition_variable cv_start_;
     std::condition_variable cv_done_;
     bool stop_ = false;
     std::uint64_t generation_ = 0;       // bumped per parallel_for call
     std::size_t active_ = 0;             // workers still on the current job
+    std::size_t job_width_ = 0;          // workers allowed to claim items
     const std::function<void(std::size_t)>* job_ = nullptr;
     std::size_t job_count_ = 0;
     std::atomic<std::size_t> next_{0};
     std::exception_ptr error_;
 };
+
+// The process-wide pool. Constructed on first use, grows on demand to the
+// widest `ensure_threads` request, and lives until process exit. Stages
+// that accept a `threads` knob resolve it and pass it as `width`, so a
+// knob of 1 costs nothing (the caller runs items inline) and any other
+// value reuses the same long-lived workers instead of spawn/join per call.
+ThreadPool& shared_pool();
+
+// Convenience used by the pipeline stages: run fn over [0, count) with
+// `threads` resolved workers from the shared pool. threads <= 1 (or
+// count <= 1) runs inline without touching the pool.
+void shared_parallel_for(unsigned threads, std::size_t count,
+                         const std::function<void(std::size_t)>& fn);
 
 } // namespace serpens::util

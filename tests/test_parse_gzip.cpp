@@ -1,0 +1,127 @@
+// gzip (.mtx.gz) ingestion through the fast parser.
+//
+// SuiteSparse distributes matrices gzip-compressed; the fast entry points
+// detect the gzip magic bytes in any buffer (mmap, slurped stream, or
+// in-memory view), inflate via zlib, and hand the plain text to the usual
+// chunked parser. The contract pinned here: a golden file parses to the
+// same triplets compressed and uncompressed, multi-member streams inflate
+// completely, corrupt streams raise MatrixMarketError, and builds without
+// zlib fail compressed input loudly instead of misparsing it.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "sparse/matrix_market.h"
+#include "util/bitpack.h"
+
+namespace serpens::sparse {
+namespace {
+
+std::string data_path(const std::string& name)
+{
+    return std::string(SERPENS_TEST_DATA_DIR) + "/" + name;
+}
+
+std::string slurp(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.is_open()) << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return std::move(buf).str();
+}
+
+void expect_identical(const CooMatrix& a, const CooMatrix& b)
+{
+    ASSERT_EQ(a.rows(), b.rows());
+    ASSERT_EQ(a.cols(), b.cols());
+    ASSERT_EQ(a.nnz(), b.nnz());
+    for (std::size_t i = 0; i < a.nnz(); ++i) {
+        const Triplet& ta = a.elements()[i];
+        const Triplet& tb = b.elements()[i];
+        ASSERT_EQ(ta.row, tb.row) << "triplet " << i;
+        ASSERT_EQ(ta.col, tb.col) << "triplet " << i;
+        ASSERT_EQ(float_bits(ta.val), float_bits(tb.val)) << "triplet " << i;
+    }
+}
+
+class GzipParse : public ::testing::Test {
+protected:
+    void SetUp() override
+    {
+        if (!gzip_supported())
+            GTEST_SKIP() << "built without zlib";
+    }
+};
+
+TEST_F(GzipParse, GoldenFilesMatchUncompressed)
+{
+    for (const char* name :
+         {"symmetric", "pattern_symmetric", "one_based", "crlf"}) {
+        SCOPED_TRACE(name);
+        const auto plain =
+            read_matrix_market_fast_file(data_path(std::string(name) + ".mtx"));
+        const auto gz = read_matrix_market_fast_file(
+            data_path(std::string(name) + ".mtx.gz"));
+        expect_identical(gz, plain);
+    }
+}
+
+TEST_F(GzipParse, MultiMemberStreamInflatesCompletely)
+{
+    // comments_run.mtx.gz holds two concatenated gzip members (RFC 1952
+    // allows this and SuiteSparse mirrors produce it).
+    const auto plain =
+        read_matrix_market_fast_file(data_path("comments_run.mtx"));
+    const auto gz =
+        read_matrix_market_fast_file(data_path("comments_run.mtx.gz"));
+    expect_identical(gz, plain);
+}
+
+TEST_F(GzipParse, StreamAndBufferEntryPointsDetectGzip)
+{
+    const std::string bytes = slurp(data_path("symmetric.mtx.gz"));
+    const auto plain =
+        read_matrix_market_fast_file(data_path("symmetric.mtx"));
+
+    const auto from_view = read_matrix_market_fast(std::string_view(bytes));
+    expect_identical(from_view, plain);
+
+    std::istringstream in(bytes);
+    const auto from_stream = read_matrix_market_fast(in);
+    expect_identical(from_stream, plain);
+}
+
+TEST_F(GzipParse, TruncatedStreamThrows)
+{
+    EXPECT_THROW(read_matrix_market_fast_file(data_path("corrupt.mtx.gz")),
+                 MatrixMarketError);
+}
+
+TEST_F(GzipParse, GarbageAfterMagicThrows)
+{
+    std::string bytes = "\x1f\x8b not actually gzip at all";
+    EXPECT_THROW(read_matrix_market_fast(std::string_view(bytes)),
+                 MatrixMarketError);
+}
+
+TEST(GzipParseAnyBuild, PlainFilesUnaffectedByDetection)
+{
+    // The magic check must not reroute ordinary text (which starts with
+    // "%%MatrixMarket", nowhere near 0x1f 0x8b).
+    const auto plain =
+        read_matrix_market_fast_file(data_path("symmetric.mtx"));
+    EXPECT_GT(plain.nnz(), 0u);
+}
+
+TEST(GzipParseAnyBuild, WithoutZlibCompressedInputFailsLoudly)
+{
+    if (gzip_supported())
+        GTEST_SKIP() << "built with zlib; the error path is unreachable";
+    EXPECT_THROW(read_matrix_market_fast_file(data_path("symmetric.mtx.gz")),
+                 MatrixMarketError);
+}
+
+} // namespace
+} // namespace serpens::sparse

@@ -9,6 +9,7 @@
 //       run SpMV on the simulated accelerator and report cycles + metrics
 //
 // Generator kinds for --gen: uniform, rmat, banded, clustered.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -39,6 +40,8 @@ struct CliArgs {
     float alpha = 1.0f;
     float beta = 0.0f;
     int iters = 1;
+    unsigned batch = 1;
+    bool decode_cache = true;
     unsigned threads = 1;
     unsigned parse_threads = 0;  // fast parser: one worker per core
     unsigned sim_threads = 1;
@@ -50,6 +53,7 @@ core::SerpensConfig make_config(const CliArgs& args)
                         : core::SerpensConfig::a16();
     cfg.encode_threads = args.threads;
     cfg.sim_threads = args.sim_threads;
+    cfg.decode_cache = args.decode_cache;
     return cfg;
 }
 
@@ -93,6 +97,10 @@ CliArgs parse(int argc, char** argv)
             args.beta = std::stof(next());
         else if (flag == "--iters")
             args.iters = std::stoi(next());
+        else if (flag == "--batch")
+            args.batch = static_cast<unsigned>(std::stoul(next()));
+        else if (flag == "--no-decode-cache")
+            args.decode_cache = false;
         else if (flag == "--threads")
             args.threads = static_cast<unsigned>(std::stoul(next()));
         else if (flag == "--parse-threads")
@@ -214,17 +222,33 @@ int cmd_run(const CliArgs& args)
 
     const auto rows = prepared->rows();
     const auto cols = prepared->cols();
+    const unsigned batch = std::max(1u, args.batch);
     Rng rng(7);
-    std::vector<float> x(cols), y(rows, 0.0f);
-    for (float& v : x)
-        v = rng.next_float(-1.0f, 1.0f);
+    std::vector<std::vector<float>> xs(batch, std::vector<float>(cols));
+    const std::vector<std::vector<float>> ys(batch,
+                                             std::vector<float>(rows, 0.0f));
+    for (auto& x : xs)
+        for (float& v : x)
+            v = rng.next_float(-1.0f, 1.0f);
 
-    core::RunResult result;
+    std::vector<core::RunResult> results;
     double total_ms = 0.0;
+    const auto host_start = std::chrono::steady_clock::now();
     for (int it = 0; it < std::max(1, args.iters); ++it) {
-        result = acc.run(*prepared, x, y, args.alpha, args.beta);
-        total_ms += result.time_ms;
+        if (batch == 1) {
+            results.assign(
+                1, acc.run(*prepared, xs[0], ys[0], args.alpha, args.beta));
+        } else {
+            results =
+                acc.run_batch(*prepared, xs, ys, args.alpha, args.beta);
+        }
+        total_ms += results[0].time_ms;
     }
+    const double host_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - host_start)
+            .count();
+    const core::RunResult& result = results[0];
 
     std::printf("matrix:  %u x %u, %llu nnz (padding %.4f)\n", rows, cols,
                 static_cast<unsigned long long>(prepared->nnz()),
@@ -238,20 +262,31 @@ int cmd_run(const CliArgs& args)
                 static_cast<unsigned long long>(result.cycles.fill_cycles));
     std::printf("time:    %.4f ms/run (%d run%s)\n", total_ms / args.iters,
                 args.iters, args.iters == 1 ? "" : "s");
+    std::printf("host:    %.3f ms/SpMV (%u vector%s x %d iteration%s, "
+                "decode cache %s)\n",
+                host_ms / (static_cast<double>(batch) *
+                           std::max(1, args.iters)),
+                batch, batch == 1 ? "" : "s", std::max(1, args.iters),
+                args.iters == 1 ? "" : "s",
+                args.decode_cache ? "on" : "off");
     std::printf("metrics: %.2f GFLOP/s, %.0f MTEPS, %.1f MTEPS/(GB/s), "
                 "%.0f MTEPS/W\n",
                 result.metrics.gflops, result.metrics.mteps,
                 result.metrics.bw_eff, result.metrics.energy_eff);
 
     if (have_matrix) {
-        std::vector<float> expect(y);
-        baselines::spmv_csr(sparse::to_csr(matrix_for_check), x, expect,
-                            args.alpha, args.beta);
+        const sparse::CsrMatrix csr = sparse::to_csr(matrix_for_check);
         double max_err = 0.0;
-        for (std::size_t i = 0; i < expect.size(); ++i)
-            max_err = std::max(
-                max_err, static_cast<double>(std::abs(result.y[i] - expect[i])));
-        std::printf("check:   max |serpens - cpu| = %.3g %s\n", max_err,
+        for (unsigned b = 0; b < batch; ++b) {
+            std::vector<float> expect(ys[b]);
+            baselines::spmv_csr(csr, xs[b], expect, args.alpha, args.beta);
+            for (std::size_t i = 0; i < expect.size(); ++i)
+                max_err = std::max(max_err,
+                                   static_cast<double>(std::abs(
+                                       results[b].y[i] - expect[i])));
+        }
+        std::printf("check:   max |serpens - cpu| = %.3g over %u vector%s %s\n",
+                    max_err, batch, batch == 1 ? "" : "s",
                     max_err < 1e-2 ? "(OK)" : "(MISMATCH)");
         return max_err < 1e-2 ? 0 : 1;
     }
@@ -295,6 +330,13 @@ int cmd_help(std::FILE* out)
         "  --alpha A        scalar alpha (default 1.0)\n"
         "  --beta B         scalar beta  (default 0.0)\n"
         "  --iters N        repeat the run N times, report mean time\n"
+        "  --batch B        run B right-hand-side vectors through one\n"
+        "                   decoded pass per iteration (Sextans-style SpMM\n"
+        "                   amortization; per-vector results are bit-\n"
+        "                   identical to B separate runs)\n"
+        "  --no-decode-cache  re-unpack the packed HBM image on every run\n"
+        "                   (the differential reference engine) instead of\n"
+        "                   running off the cached decode-once expansion\n"
         "  --threads N      worker threads for the encode stage (encode/run;\n"
         "                   default 1, 0 = one per hardware thread; the\n"
         "                   produced image is identical for every N)\n"
