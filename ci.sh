@@ -25,6 +25,20 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}" --target ingest_smoke
 cmake --build "${BUILD_DIR}" -j "${JOBS}" --target sim_smoke
 "${BUILD_DIR}/tools/sim_smoke" --entries 1000000 --batch 3 --iters 8
 
+# Release-mode serving smoke: concurrent clients through serve::Server
+# (registry admission, batch coalescing), every response bit-compared to a
+# sequential replay (the same differential the ServeServer suite pins).
+cmake --build "${BUILD_DIR}" -j "${JOBS}" --target serpens_serve
+"${BUILD_DIR}/tools/serpens_serve" --smoke
+
+# Serving throughput snapshot: 8 closed-loop clients on a 1M-nnz matrix,
+# batched (max_batch 8) vs 1-request-at-a-time (max_batch 1) on the same
+# serial drain — the coalescing gain the serving layer exists for.
+mkdir -p "${BUILD_DIR}/bench-results"
+"${BUILD_DIR}/tools/serpens_serve" \
+    --matrices 1 --entries 1000000 --rows 4096 --clients 8 --requests 24 \
+    --serve-threads 1 --json "${BUILD_DIR}/bench-results/BENCH_serve.json"
+
 # Perf trajectory: machine-readable micro-bench snapshots, archived under
 # bench-results/ so regressions show up as diffs in the numbers. Skipped
 # when Google Benchmark is not installed (the binaries are not built).

@@ -36,6 +36,14 @@ bool PreparedMatrix::decode_cached() const
     return cache_->decoded != nullptr;
 }
 
+std::uint64_t PreparedMatrix::memory_footprint_bytes() const
+{
+    std::uint64_t bytes = image_->memory_bytes();
+    if (decode_cached())
+        bytes += cache_->decoded->memory_bytes();
+    return bytes;
+}
+
 Accelerator::Accelerator(SerpensConfig config) : config_(config)
 {
     config_.arch.validate();

@@ -49,6 +49,17 @@ public:
     // True once decoded() has materialized the cache (for tests/telemetry).
     bool decode_cached() const;
 
+    // Populate the decode cache now instead of on the first run — the
+    // admission path of the serving registry and the CLI's --load-image,
+    // so a resident matrix pays encode + decode exactly once up front.
+    void warm_decode(unsigned threads = 1) const { (void)decoded(threads); }
+
+    // Host bytes this prepared matrix keeps resident: the packed image
+    // (lines + segment tables) plus, once the decode cache is populated,
+    // the SoA expansion and its accumulator bank. The serving registry
+    // charges this number against resident_budget_bytes.
+    std::uint64_t memory_footprint_bytes() const;
+
 private:
     friend class Accelerator;
     explicit PreparedMatrix(encode::SerpensImage image)

@@ -41,6 +41,23 @@ struct SerpensConfig {
     // Either way y and CycleStats are bit-identical.
     bool decode_cache = true;
 
+    // --- Serving layer (serve::Server / serve::MatrixRegistry) ---
+    // Width of the request scheduler's drain rounds: how many coalesced
+    // batches execute concurrently on util::shared_pool (1 = serial drain,
+    // 0 = one per hardware thread). When > 1 the per-request simulator
+    // runs serially (sim_threads is forced to 1 inside the server) because
+    // the shared pool's parallel_for is not reentrant — parallelism moves
+    // across requests instead of within one.
+    unsigned serve_threads = 1;
+    // Byte budget for resident prepared matrices in the registry
+    // (PreparedMatrix::memory_footprint_bytes accounting; LRU eviction
+    // above it). 0 = unlimited.
+    std::uint64_t resident_budget_bytes = 0;
+    // Max same-matrix, same-alpha/beta requests coalesced into one
+    // simulate_spmv_batch call per drain round (Sextans-style multi-vector
+    // amortization; per-request results are bit-identical at any width).
+    unsigned max_batch = 8;
+
     static SerpensConfig a16()
     {
         SerpensConfig c;

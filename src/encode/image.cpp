@@ -27,6 +27,16 @@ std::uint32_t SerpensImage::segment_depth(unsigned s) const
     return depth;
 }
 
+std::uint64_t SerpensImage::memory_bytes() const
+{
+    std::uint64_t bytes = 0;
+    for (const hbm::ChannelStream& stream : streams_)
+        bytes += stream.bytes();
+    bytes += static_cast<std::uint64_t>(channels()) * num_segments_ *
+             sizeof(std::uint32_t);
+    return bytes;
+}
+
 SerpensImage encode_matrix(const sparse::CooMatrix& m,
                            const EncodeParams& params,
                            const EncodeOptions& options)

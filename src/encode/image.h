@@ -67,6 +67,13 @@ public:
 
     const EncodeStats& stats() const { return stats_; }
 
+    // Resident bytes of the packed image: the 512-bit channel lines
+    // (exactly what a deployment DMAs into HBM) plus the per-channel
+    // segment-line tables. This is the "image" term of
+    // core::PreparedMatrix::memory_footprint_bytes(), which the serving
+    // layer's MatrixRegistry charges against its resident budget.
+    std::uint64_t memory_bytes() const;
+
     // Mutators for deserialization (encode/serialize.cpp); application code
     // obtains images through encode_matrix or load_image only.
     void set_segment_lines(unsigned c, unsigned s, std::uint32_t lines)

@@ -1,0 +1,124 @@
+#include "serve/registry.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace serpens::serve {
+
+MatrixRegistry::MatrixRegistry(core::SerpensConfig config)
+    : accelerator_(config),
+      budget_bytes_(config.resident_budget_bytes),
+      decode_threads_(config.sim_threads)
+{
+}
+
+std::shared_ptr<const core::PreparedMatrix>
+MatrixRegistry::admit(const std::string& name, const sparse::CooMatrix& m)
+{
+    // Encode + decode outside the lock: admissions of different matrices
+    // proceed concurrently and get() never blocks behind preprocessing.
+    auto prepared = std::make_shared<const core::PreparedMatrix>(
+        accelerator_.prepare(m));
+    prepared->warm_decode(decode_threads_);
+    const std::uint64_t bytes = prepared->memory_footprint_bytes();
+    return install(name, std::move(prepared), bytes, /*paid_encode=*/true);
+}
+
+std::shared_ptr<const core::PreparedMatrix>
+MatrixRegistry::admit_image(const std::string& name, encode::SerpensImage image)
+{
+    SERPENS_CHECK(image.params().ha_channels ==
+                      accelerator_.config().arch.ha_channels,
+                  "image was encoded for a different channel count");
+    auto prepared = std::make_shared<const core::PreparedMatrix>(
+        core::PreparedMatrix::from_image(std::move(image)));
+    prepared->warm_decode(decode_threads_);
+    const std::uint64_t bytes = prepared->memory_footprint_bytes();
+    return install(name, std::move(prepared), bytes, /*paid_encode=*/false);
+}
+
+std::shared_ptr<const core::PreparedMatrix>
+MatrixRegistry::install(const std::string& name,
+                        std::shared_ptr<const core::PreparedMatrix> prepared,
+                        std::uint64_t bytes, bool paid_encode)
+{
+    SERPENS_CHECK(budget_bytes_ == 0 || bytes <= budget_bytes_,
+                  "matrix footprint exceeds the resident budget");
+
+    const std::lock_guard<std::mutex> lock(mu_);
+    erase_locked(name);  // same-name replace counts as an eviction
+
+    // LRU eviction until the newcomer fits.
+    while (budget_bytes_ != 0 && bytes_resident_ + bytes > budget_bytes_) {
+        SERPENS_ASSERT(!lru_.empty(), "budget accounting out of sync");
+        erase_locked(lru_.back());
+    }
+
+    lru_.push_front(name);
+    residents_[name] = Resident{prepared, bytes, lru_.begin()};
+    bytes_resident_ += bytes;
+    ++stats_.admissions;
+    if (paid_encode)
+        ++stats_.encodes;
+    return prepared;
+}
+
+void MatrixRegistry::erase_locked(const std::string& name)
+{
+    const auto it = residents_.find(name);
+    if (it == residents_.end())
+        return;
+    bytes_resident_ -= it->second.bytes;
+    lru_.erase(it->second.lru_pos);
+    residents_.erase(it);
+    ++stats_.evictions;
+}
+
+std::shared_ptr<const core::PreparedMatrix>
+MatrixRegistry::get(const std::string& name)
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = residents_.find(name);
+    if (it == residents_.end()) {
+        ++stats_.misses;
+        return nullptr;
+    }
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return it->second.prepared;
+}
+
+bool MatrixRegistry::evict(const std::string& name)
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    const bool present = residents_.count(name) != 0;
+    erase_locked(name);
+    return present;
+}
+
+std::size_t MatrixRegistry::size() const
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    return residents_.size();
+}
+
+std::uint64_t MatrixRegistry::bytes_resident() const
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    return bytes_resident_;
+}
+
+RegistryStats MatrixRegistry::stats() const
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+std::vector<std::string> MatrixRegistry::resident_names() const
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    return {lru_.begin(), lru_.end()};
+}
+
+} // namespace serpens::serve

@@ -1,0 +1,240 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <utility>
+
+#include "util/bitpack.h"
+#include "util/thread_pool.h"
+
+namespace serpens::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point a, Clock::time_point b)
+{
+    return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+// Requests coalesce only when run_batch can serve them in one call: same
+// resident and the same alpha/beta. Scalars compare by bit pattern so
+// -0.0f and 0.0f (different beta semantics in FP32 accumulation) never
+// merge by accident.
+using GroupKey =
+    std::tuple<const core::PreparedMatrix*, std::uint32_t, std::uint32_t>;
+
+} // namespace
+
+Server::Server(core::SerpensConfig config)
+    : registry_(config),
+      exec_config_([&] {
+          core::SerpensConfig exec = config;
+          // Batches of a round may execute on shared-pool workers, and the
+          // pool's parallel_for is not reentrant — with a parallel drain
+          // the per-request simulator must stay serial.
+          if (util::resolve_threads(config.serve_threads) > 1)
+              exec.sim_threads = 1;
+          return exec;
+      }()),
+      exec_acc_(exec_config_),
+      serve_width_(util::resolve_threads(config.serve_threads)),
+      max_batch_(std::max(1u, config.max_batch)),
+      dispatcher_([this] { dispatch_loop(); })
+{
+}
+
+Server::~Server()
+{
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    cv_work_.notify_all();
+    dispatcher_.join();
+}
+
+std::future<SpmvResult> Server::submit(const std::string& name,
+                                       std::vector<float> x,
+                                       std::vector<float> y, float alpha,
+                                       float beta)
+{
+    Pending p;
+    p.matrix = registry_.get(name);
+    SERPENS_CHECK(p.matrix != nullptr, "serve: no resident matrix named '" +
+                                           name + "'");
+    SERPENS_CHECK(x.size() == p.matrix->cols(),
+                  "serve: x length must equal matrix cols");
+    SERPENS_CHECK(y.size() == p.matrix->rows(),
+                  "serve: y length must equal matrix rows");
+    p.x = std::move(x);
+    p.y = std::move(y);
+    p.alpha = alpha;
+    p.beta = beta;
+    p.submitted = Clock::now();
+    std::future<SpmvResult> future = p.promise.get_future();
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        SERPENS_CHECK(!stop_, "serve: server is shutting down");
+        p.sequence = next_sequence_++;
+        queue_.push_back(std::move(p));
+    }
+    cv_work_.notify_all();
+    // Also wake drain(): on a paused server its deadlock check must see
+    // the newly non-empty queue rather than sleep through it.
+    cv_idle_.notify_all();
+    return future;
+}
+
+SpmvResult Server::spmv(const std::string& name, std::vector<float> x,
+                        std::vector<float> y, float alpha, float beta)
+{
+    return submit(name, std::move(x), std::move(y), alpha, beta).get();
+}
+
+void Server::pause()
+{
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        paused_ = true;
+    }
+    // Wake any drain() so it can notice the pause instead of waiting on a
+    // queue that will never empty.
+    cv_idle_.notify_all();
+}
+
+void Server::resume()
+{
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        paused_ = false;
+    }
+    cv_work_.notify_all();
+}
+
+void Server::drain()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_idle_.wait(lock, [&] {
+        // Re-checked on every wakeup, not just at entry: a pause() that
+        // lands while we are already waiting must fail the drain rather
+        // than leave it stuck behind a queue that will never empty.
+        SERPENS_CHECK(!paused_ || queue_.empty(),
+                      "serve: drain() would deadlock on a paused queue");
+        return queue_.empty() && !round_active_;
+    });
+}
+
+ServerStats Server::stats() const
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+void Server::dispatch_loop()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        cv_work_.wait(lock, [&] {
+            return stop_ || (!paused_ && !queue_.empty());
+        });
+        if (queue_.empty()) {
+            if (stop_)
+                return;  // drained; pending submits were refused after stop
+            continue;
+        }
+        // Take the whole backlog: everything pending coalesces this round.
+        std::vector<Pending> round;
+        round.reserve(queue_.size());
+        for (Pending& p : queue_)
+            round.push_back(std::move(p));
+        queue_.clear();
+        round_active_ = true;
+        lock.unlock();
+
+        run_round(std::move(round));
+
+        lock.lock();
+        round_active_ = false;
+        // Unconditionally: a drain() waiting out this round must re-check
+        // its predicate even when more work queued meanwhile (it may need
+        // to fail on a paused non-empty queue instead of sleeping).
+        cv_idle_.notify_all();
+    }
+}
+
+void Server::run_round(std::vector<Pending> round)
+{
+    const Clock::time_point round_start = Clock::now();
+
+    // Group by (matrix, alpha, beta) preserving arrival order within a
+    // group, then chunk to max_batch. std::map keeps group discovery
+    // deterministic; execution order across groups does not affect results
+    // (every batch column is independent and bit-exact).
+    std::map<GroupKey, std::vector<std::size_t>> by_key;
+    for (std::size_t i = 0; i < round.size(); ++i) {
+        const GroupKey key{round[i].matrix.get(), float_bits(round[i].alpha),
+                           float_bits(round[i].beta)};
+        by_key[key].push_back(i);
+    }
+    std::vector<std::vector<std::size_t>> groups;
+    for (auto& [key, members] : by_key) {
+        for (std::size_t at = 0; at < members.size(); at += max_batch_) {
+            const std::size_t end =
+                std::min(members.size(), at + max_batch_);
+            groups.emplace_back(members.begin() +
+                                    static_cast<std::ptrdiff_t>(at),
+                                members.begin() +
+                                    static_cast<std::ptrdiff_t>(end));
+        }
+    }
+
+    // Execute the round's batches on the shared pool — the serving
+    // counterpart of the per-channel parallel_for loops downstream.
+    util::shared_parallel_for(
+        serve_width_, groups.size(), [&](std::size_t g) {
+            std::vector<std::size_t>& members = groups[g];
+            const Clock::time_point start = Clock::now();
+            try {
+                std::vector<std::vector<float>> xs, ys;
+                xs.reserve(members.size());
+                ys.reserve(members.size());
+                for (const std::size_t i : members) {
+                    xs.push_back(std::move(round[i].x));
+                    ys.push_back(std::move(round[i].y));
+                }
+                const Pending& head = round[members.front()];
+                std::vector<core::RunResult> results = exec_acc_.run_batch(
+                    *head.matrix, xs, ys, head.alpha, head.beta);
+                const double service_ms = ms_between(start, Clock::now());
+                for (std::size_t k = 0; k < members.size(); ++k) {
+                    Pending& p = round[members[k]];
+                    SpmvResult r;
+                    r.run = std::move(results[k]);
+                    r.queue_ms = ms_between(p.submitted, round_start);
+                    r.service_ms = service_ms;
+                    r.batch_width = static_cast<unsigned>(members.size());
+                    r.sequence = p.sequence;
+                    p.promise.set_value(std::move(r));
+                }
+            } catch (...) {
+                for (const std::size_t i : members)
+                    round[i].promise.set_exception(std::current_exception());
+            }
+        });
+
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.rounds;
+    stats_.requests += round.size();
+    stats_.batches += groups.size();
+    for (const auto& members : groups) {
+        stats_.max_batch_seen =
+            std::max<std::uint64_t>(stats_.max_batch_seen, members.size());
+        if (members.size() > 1)
+            stats_.coalesced += members.size();
+    }
+}
+
+} // namespace serpens::serve

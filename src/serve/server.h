@@ -1,0 +1,139 @@
+// The serving front-end: a shared Serpens behind a request queue.
+//
+// serve::Server is the first layer that treats the accelerator as a
+// service rather than a library call. Clients admit matrices into the
+// embedded MatrixRegistry, then issue named SpMV requests from any number
+// of threads:
+//
+//   serve::Server server(cfg);
+//   server.registry().admit("web", coo);
+//   auto fut = server.submit("web", x, y, alpha, beta);   // future-based
+//   auto res = server.spmv("web", x, y, alpha, beta);     // blocking
+//
+// A single dispatcher thread drains the queue in rounds. Each round takes
+// every pending request, groups requests that share (matrix, alpha, beta)
+// into batches of up to config.max_batch, and executes the batches on
+// util::shared_pool (config.serve_threads wide) through
+// Accelerator::run_batch — so concurrent callers amortize the decoded
+// stream walk exactly like PR 4's batched apps (Sextans-style multi-vector
+// execution). Because run_batch's per-column results are bit-identical to
+// run() at every width, the response for each request is bit-identical to
+// a direct Accelerator::run for ANY interleaving and grouping — the
+// differential serving tests replay recorded request traces sequentially
+// and compare bits.
+//
+// Concurrency contract: when serve_threads > 1 the batches of a round run
+// on shared-pool workers, and the pool's parallel_for is not reentrant, so
+// the server forces sim_threads = 1 in its execution config — parallelism
+// moves across requests instead of within one. With serve_threads == 1
+// batches run inline on the dispatcher and the caller's sim_threads is
+// honored.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/registry.h"
+
+namespace serpens::serve {
+
+// Per-request response: the exact RunResult a direct Accelerator::run
+// would produce, plus serving telemetry.
+struct SpmvResult {
+    core::RunResult run;
+    double queue_ms = 0.0;    // submit -> dispatch round pickup
+    double service_ms = 0.0;  // execution of the request's batch
+    unsigned batch_width = 1; // requests coalesced into the same batch
+    std::uint64_t sequence = 0;  // global submit order (trace replay key)
+};
+
+struct ServerStats {
+    std::uint64_t requests = 0;   // completed requests
+    std::uint64_t batches = 0;    // run_batch calls issued
+    std::uint64_t coalesced = 0;  // requests that shared a batch (width > 1)
+    std::uint64_t rounds = 0;     // dispatcher drain rounds
+    std::uint64_t max_batch_seen = 0;
+    double mean_batch_width() const
+    {
+        return batches == 0 ? 0.0
+                            : static_cast<double>(requests) /
+                                  static_cast<double>(batches);
+    }
+};
+
+class Server {
+public:
+    explicit Server(core::SerpensConfig config);
+    ~Server();  // drains every pending request, then stops the dispatcher
+
+    Server(const Server&) = delete;
+    Server& operator=(const Server&) = delete;
+
+    MatrixRegistry& registry() { return registry_; }
+
+    // Enqueue y = alpha * A[name] * x + beta * y. The resident is resolved
+    // (and pinned) now, so a later eviction cannot fail the request.
+    // Throws std::invalid_argument for an unknown name or mis-sized
+    // vectors.
+    std::future<SpmvResult> submit(const std::string& name,
+                                   std::vector<float> x, std::vector<float> y,
+                                   float alpha = 1.0f, float beta = 0.0f);
+
+    // Blocking convenience: submit and wait.
+    SpmvResult spmv(const std::string& name, std::vector<float> x,
+                    std::vector<float> y, float alpha = 1.0f,
+                    float beta = 0.0f);
+
+    // Hold/release dispatching. While paused, submissions queue up; resume
+    // dispatches them in one round — how tests (and burst benchmarks) make
+    // coalescing deterministic.
+    void pause();
+    void resume();
+
+    // Block until every submitted request has completed.
+    void drain();
+
+    ServerStats stats() const;
+    const core::SerpensConfig& config() const { return exec_config_; }
+
+private:
+    struct Pending {
+        std::shared_ptr<const core::PreparedMatrix> matrix;
+        std::vector<float> x;
+        std::vector<float> y;
+        float alpha = 1.0f;
+        float beta = 0.0f;
+        std::uint64_t sequence = 0;
+        std::chrono::steady_clock::time_point submitted;
+        std::promise<SpmvResult> promise;
+    };
+
+    void dispatch_loop();
+    void run_round(std::vector<Pending> round);
+
+    MatrixRegistry registry_;
+    core::SerpensConfig exec_config_;
+    core::Accelerator exec_acc_;
+    unsigned serve_width_ = 1;
+    unsigned max_batch_ = 8;
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_work_;
+    std::condition_variable cv_idle_;
+    std::deque<Pending> queue_;
+    std::uint64_t next_sequence_ = 0;
+    bool paused_ = false;
+    bool stop_ = false;
+    bool round_active_ = false;
+    ServerStats stats_;
+    std::thread dispatcher_;
+};
+
+} // namespace serpens::serve

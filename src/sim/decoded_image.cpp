@@ -62,7 +62,7 @@ DecodedImage DecodedImage::decode(const encode::SerpensImage& img,
                                    "element addresses a URAM word beyond the "
                                    "image's row range");
                     c.acc_off.push_back(
-                        ((lane * ua + e.pair_addr()) << 1) |
+                        ((e.pair_addr() * lanes + lane) << 1) |
                         (e.half() ? 1u : 0u));
                     c.col.push_back(seg_base + e.col_off());
                     c.value.push_back(e.value());
@@ -87,6 +87,24 @@ DecodedImage DecodedImage::decode(const encode::SerpensImage& img,
             c.total_lines * lanes - static_cast<std::uint64_t>(c.value.size());
     }
     return d;
+}
+
+std::uint64_t DecodedImage::memory_bytes() const
+{
+    std::uint64_t bytes = 0;
+    for (const Channel& c : channels_) {
+        bytes += c.acc_off.size() * sizeof(std::uint32_t);
+        bytes += c.col.size() * sizeof(std::uint32_t);
+        bytes += c.value.size() * sizeof(float);
+        bytes += c.seg_begin.size() * sizeof(std::size_t);
+        bytes += c.seg_lines.size() * sizeof(std::uint32_t);
+    }
+    bytes += seg_depth_.size() * sizeof(std::uint32_t);
+    // The decoded walk's accumulator bank: 2 half-words per URAM address,
+    // truncated to the row-reachable address range.
+    bytes += static_cast<std::uint64_t>(channels_.size()) *
+             params_.pes_per_channel * used_addrs_ * 2 * sizeof(float);
+    return bytes;
 }
 
 } // namespace serpens::sim

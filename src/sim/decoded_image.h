@@ -7,7 +7,12 @@
 // channel's lane stream exactly once into a cache-friendly SoA layout:
 //
 //   acc_off[i]  channel-local accumulator offset, half-select folded in:
-//               ((lane * used_addrs + pair_addr) << 1) | half
+//               ((pair_addr * lanes + lane) << 1) | half — address-major,
+//               lane-interleaved, so consecutive rows of a channel sit in
+//               consecutive bank words and the engines' y-extraction
+//               streams the bank sequentially instead of striding by
+//               used_addrs (the stride grows with the batch width; at B=8
+//               it was a 16 KiB hop per row)
 //   col[i]      absolute column index (segment base + col_off folded in)
 //   value[i]    the FP32 value
 //
@@ -84,6 +89,13 @@ public:
 
     // Valid (non-padding) elements across all channels.
     std::uint64_t nnz() const { return total_slots_ - padding_slots_; }
+
+    // Resident bytes of the expansion: the per-channel SoA arrays and
+    // segment tables, plus the single-vector accumulator bank the decoded
+    // walk allocates (channels * lanes * used_addrs * 2 floats). Together
+    // with the packed image this is a prepared matrix's full working set —
+    // what the serving registry charges against its byte budget.
+    std::uint64_t memory_bytes() const;
 
 private:
     encode::EncodeParams params_;

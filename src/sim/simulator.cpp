@@ -278,9 +278,14 @@ SimResult simulate_spmv_decoded(const DecodedImage& img,
     const encode::RowMapping mapping(img.params());
     for (index_t r = 0; r < img.rows(); ++r) {
         const encode::PeLocation loc = mapping.locate(r);
-        const float a = acc[(static_cast<std::size_t>(loc.pe) * ua + loc.addr) *
-                                2 +
-                            (loc.half ? 1 : 0)];
+        // Address-major bank layout (see DecodedImage): channel slice,
+        // then (addr * lanes + lane) word — sequential in r.
+        const std::size_t ch = loc.pe / lanes;
+        const std::size_t lane = loc.pe % lanes;
+        const float a =
+            acc[ch * lanes * ua * 2 +
+                (static_cast<std::size_t>(loc.addr) * lanes + lane) * 2 +
+                (loc.half ? 1 : 0)];
         result.y[r] = alpha * a + beta * y_in[r];
     }
     apply_y_phase(stats, img.rows(), options);
@@ -337,8 +342,14 @@ SimBatchResult simulate_spmv_batch(const DecodedImage& img,
     const encode::RowMapping mapping(img.params());
     for (index_t r = 0; r < img.rows(); ++r) {
         const encode::PeLocation loc = mapping.locate(r);
+        // Address-major bank layout: consecutive rows read consecutive
+        // B-wide blocks, so this loop streams the blocked bank instead of
+        // hopping used_addrs * B floats per row.
+        const std::size_t ch = loc.pe / lanes;
+        const std::size_t lane = loc.pe % lanes;
         const std::size_t base =
-            ((static_cast<std::size_t>(loc.pe) * ua + loc.addr) * 2 +
+            (ch * lanes * ua * 2 +
+             (static_cast<std::size_t>(loc.addr) * lanes + lane) * 2 +
              (loc.half ? 1 : 0)) *
             batch;
         for (std::size_t b = 0; b < batch; ++b)

@@ -90,6 +90,41 @@ TEST(Serialize, FileRoundTripAndRun)
     EXPECT_EQ(from_file.cycles.total_cycles(), direct.cycles.total_cycles());
 }
 
+TEST(Serialize, LoadedImagePopulatesDecodeCacheLikeEncodePath)
+{
+    // Regression for the --load-image path: a loaded image must reach the
+    // same warmed decode-cache state the encode path reaches — warm_decode
+    // populates it up front (the CLI and the serving registry's admission
+    // both call it), and the first run off either path uses the cache.
+    const std::string path = ::testing::TempDir() + "/serpens_warm_test.img";
+    const auto m = sparse::make_uniform_random(220, 220, 2400, 7);
+
+    core::SerpensConfig cfg = core::SerpensConfig::a16();
+    cfg.arch = small_params();
+    const core::Accelerator acc(cfg);
+
+    const auto encoded = acc.prepare(m);
+    save_image_file(path, encoded.image());
+
+    const auto loaded = core::PreparedMatrix::from_image(load_image_file(path));
+    EXPECT_FALSE(loaded.decode_cached());
+    loaded.warm_decode();
+    EXPECT_TRUE(loaded.decode_cached());
+
+    // Warm state equals the encode path's post-first-run state, including
+    // the footprint accounting both paths feed into the registry budget.
+    std::vector<float> x(220, 0.5f), y(220, 1.0f);
+    const auto direct = acc.run(encoded, x, y, 1.5f, -0.5f);
+    EXPECT_TRUE(encoded.decode_cached());
+    EXPECT_EQ(loaded.memory_footprint_bytes(),
+              encoded.memory_footprint_bytes());
+
+    const auto from_loaded = acc.run(loaded, x, y, 1.5f, -0.5f);
+    EXPECT_EQ(from_loaded.y, direct.y);
+    EXPECT_EQ(from_loaded.cycles.total_cycles(),
+              direct.cycles.total_cycles());
+}
+
 TEST(Serialize, RejectsBadMagic)
 {
     std::stringstream buf;

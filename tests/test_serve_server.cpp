@@ -1,0 +1,339 @@
+// serve::Server lockdown.
+//
+// The serving contract: for ANY number of client threads, matrices, scalar
+// groups, and request interleavings, every response's y + CycleStats are
+// bit-identical to a direct Accelerator::run on the same inputs — the
+// request scheduler's coalescing is pure amortization, never a numeric
+// change. Deterministic coalescing behavior (grouping, max_batch chunking,
+// scalar-group separation) is pinned through pause()/resume() bursts.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "serve/server.h"
+#include "sparse/generators.h"
+#include "util/bitpack.h"
+#include "util/rng.h"
+
+namespace serpens {
+namespace {
+
+struct Vectors {
+    std::vector<float> x, y;
+};
+
+Vectors random_vectors(sparse::index_t cols, sparse::index_t rows,
+                       std::uint64_t seed)
+{
+    Rng rng(seed);
+    Vectors v;
+    v.x.resize(cols);
+    v.y.resize(rows);
+    for (float& f : v.x)
+        f = rng.next_float(-1.0f, 1.0f);
+    for (float& f : v.y)
+        f = rng.next_float(-1.0f, 1.0f);
+    return v;
+}
+
+void expect_result_equal(const core::RunResult& served,
+                         const core::RunResult& direct,
+                         const std::string& label)
+{
+    ASSERT_EQ(served.y.size(), direct.y.size()) << label;
+    for (std::size_t i = 0; i < served.y.size(); ++i)
+        ASSERT_EQ(float_bits(served.y[i]), float_bits(direct.y[i]))
+            << label << " row " << i;
+    EXPECT_EQ(served.cycles.compute_cycles, direct.cycles.compute_cycles)
+        << label;
+    EXPECT_EQ(served.cycles.x_load_cycles, direct.cycles.x_load_cycles)
+        << label;
+    EXPECT_EQ(served.cycles.y_phase_cycles, direct.cycles.y_phase_cycles)
+        << label;
+    EXPECT_EQ(served.cycles.fill_cycles, direct.cycles.fill_cycles) << label;
+    EXPECT_EQ(served.cycles.total_slots, direct.cycles.total_slots) << label;
+    EXPECT_EQ(served.cycles.padding_slots, direct.cycles.padding_slots)
+        << label;
+    EXPECT_DOUBLE_EQ(served.time_ms, direct.time_ms) << label;
+}
+
+TEST(ServeServer, BlockingSpmvMatchesDirectRun)
+{
+    const auto m = sparse::make_uniform_random(1500, 1500, 40'000, 21);
+    core::SerpensConfig cfg = core::SerpensConfig::a16();
+    serve::Server server(cfg);
+    server.registry().admit("m", m);
+
+    const core::Accelerator acc(cfg);
+    const auto prepared = acc.prepare(m);
+
+    for (std::uint64_t seed : {1u, 2u, 3u}) {
+        const Vectors v = random_vectors(m.cols(), m.rows(), seed);
+        const serve::SpmvResult served =
+            server.spmv("m", v.x, v.y, 1.25f, -0.5f);
+        const core::RunResult direct =
+            acc.run(prepared, v.x, v.y, 1.25f, -0.5f);
+        expect_result_equal(served.run, direct,
+                            "seed " + std::to_string(seed));
+        EXPECT_GE(served.batch_width, 1u);
+    }
+}
+
+TEST(ServeServer, UnknownMatrixAndBadSizesThrow)
+{
+    const auto m = sparse::make_banded(512, 5, 23);
+    serve::Server server(core::SerpensConfig::a16());
+    server.registry().admit("m", m);
+
+    const Vectors v = random_vectors(m.cols(), m.rows(), 5);
+    EXPECT_THROW(server.spmv("ghost", v.x, v.y), std::invalid_argument);
+    EXPECT_THROW(server.spmv("m", std::vector<float>(3), v.y),
+                 std::invalid_argument);
+    EXPECT_THROW(server.spmv("m", v.x, std::vector<float>(3)),
+                 std::invalid_argument);
+}
+
+TEST(ServeServer, PausedBurstCoalescesToMaxBatch)
+{
+    const auto m = sparse::make_uniform_random(1200, 1200, 30'000, 29);
+    core::SerpensConfig cfg = core::SerpensConfig::a16();
+    cfg.max_batch = 8;
+    serve::Server server(cfg);
+    server.registry().admit("m", m);
+
+    // 11 same-key requests held in one round: widths must chunk to 8 + 3.
+    server.pause();
+    std::vector<std::future<serve::SpmvResult>> futures;
+    for (unsigned i = 0; i < 11; ++i) {
+        const Vectors v = random_vectors(m.cols(), m.rows(), 100 + i);
+        futures.push_back(server.submit("m", v.x, v.y, 2.0f, 0.5f));
+    }
+    server.resume();
+
+    unsigned eights = 0, threes = 0;
+    for (auto& f : futures) {
+        const serve::SpmvResult r = f.get();
+        if (r.batch_width == 8)
+            ++eights;
+        else if (r.batch_width == 3)
+            ++threes;
+    }
+    EXPECT_EQ(eights, 8u);
+    EXPECT_EQ(threes, 3u);
+
+    server.drain();
+    const auto stats = server.stats();
+    EXPECT_EQ(stats.requests, 11u);
+    EXPECT_EQ(stats.batches, 2u);
+    EXPECT_EQ(stats.coalesced, 11u);
+    EXPECT_EQ(stats.max_batch_seen, 8u);
+    EXPECT_EQ(stats.rounds, 1u);
+}
+
+TEST(ServeServer, ScalarGroupsDoNotCoalesce)
+{
+    const auto m = sparse::make_uniform_random(1000, 1000, 25'000, 31);
+    serve::Server server(core::SerpensConfig::a16());
+    server.registry().admit("m", m);
+
+    server.pause();
+    std::vector<std::future<serve::SpmvResult>> group_a, group_b, single;
+    for (unsigned i = 0; i < 3; ++i) {
+        const Vectors v = random_vectors(m.cols(), m.rows(), 200 + i);
+        group_a.push_back(server.submit("m", v.x, v.y, 1.0f, 0.0f));
+    }
+    for (unsigned i = 0; i < 2; ++i) {
+        const Vectors v = random_vectors(m.cols(), m.rows(), 300 + i);
+        group_b.push_back(server.submit("m", v.x, v.y, 1.0f, 1.0f));
+    }
+    {
+        // -0.0f and 0.0f are distinct bit patterns — must not merge.
+        const Vectors v = random_vectors(m.cols(), m.rows(), 400);
+        single.push_back(server.submit("m", v.x, v.y, 1.0f, -0.0f));
+    }
+    server.resume();
+
+    for (auto& f : group_a)
+        EXPECT_EQ(f.get().batch_width, 3u);
+    for (auto& f : group_b)
+        EXPECT_EQ(f.get().batch_width, 2u);
+    EXPECT_EQ(single[0].get().batch_width, 1u);
+}
+
+TEST(ServeServer, MultiMatrixBurstGroupsPerMatrix)
+{
+    const auto a = sparse::make_uniform_random(900, 900, 20'000, 37);
+    const auto b = sparse::make_banded(800, 7, 41);
+    serve::Server server(core::SerpensConfig::a16());
+    server.registry().admit("a", a);
+    server.registry().admit("b", b);
+
+    server.pause();
+    std::vector<std::future<serve::SpmvResult>> fa, fb;
+    for (unsigned i = 0; i < 4; ++i) {
+        const Vectors v = random_vectors(a.cols(), a.rows(), 500 + i);
+        fa.push_back(server.submit("a", v.x, v.y));
+    }
+    for (unsigned i = 0; i < 2; ++i) {
+        const Vectors v = random_vectors(b.cols(), b.rows(), 600 + i);
+        fb.push_back(server.submit("b", v.x, v.y));
+    }
+    server.resume();
+    for (auto& f : fa)
+        EXPECT_EQ(f.get().batch_width, 4u);
+    for (auto& f : fb)
+        EXPECT_EQ(f.get().batch_width, 2u);
+}
+
+// The tentpole differential: N client threads x M matrices x mixed scalars
+// hammering the server concurrently; the recorded trace replayed
+// sequentially through a direct Accelerator must match every response bit
+// for bit. Run for both a serial and a parallel drain loop.
+void hammer_and_replay(unsigned serve_threads)
+{
+    const std::vector<sparse::CooMatrix> matrices = {
+        sparse::make_uniform_random(1100, 1100, 30'000, 43),
+        sparse::make_clustered(900, 22'000, 8, 64, 0.3, 47),
+        sparse::make_banded(1000, 9, 53),
+    };
+    core::SerpensConfig cfg = core::SerpensConfig::a16();
+    cfg.serve_threads = serve_threads;
+    cfg.max_batch = 4;
+
+    struct Record {
+        unsigned matrix;
+        std::uint64_t seed;
+        float alpha, beta;
+        core::RunResult run;
+    };
+    constexpr unsigned kClients = 8, kRequests = 6;
+    std::vector<Record> records(kClients * kRequests);
+
+    {
+        serve::Server server(cfg);
+        for (unsigned i = 0; i < matrices.size(); ++i)
+            server.registry().admit("m" + std::to_string(i), matrices[i]);
+
+        std::atomic<bool> failed{false};
+        std::vector<std::thread> clients;
+        for (unsigned c = 0; c < kClients; ++c) {
+            clients.emplace_back([&, c] {
+                try {
+                    for (unsigned r = 0; r < kRequests; ++r) {
+                        Record& rec = records[c * kRequests + r];
+                        rec.seed = 1000 + c * 131 + r * 17;
+                        rec.matrix =
+                            static_cast<unsigned>(rec.seed % matrices.size());
+                        rec.alpha = rec.seed % 2 ? 1.0f : 1.75f;
+                        rec.beta = rec.seed % 3 ? 0.0f : -0.25f;
+                        const auto& m = matrices[rec.matrix];
+                        const Vectors v =
+                            random_vectors(m.cols(), m.rows(), rec.seed);
+                        rec.run = server
+                                      .spmv("m" + std::to_string(rec.matrix),
+                                            v.x, v.y, rec.alpha, rec.beta)
+                                      .run;
+                    }
+                } catch (...) {
+                    failed.store(true);
+                }
+            });
+        }
+        for (std::thread& t : clients)
+            t.join();
+        ASSERT_FALSE(failed.load());
+    }
+
+    // Sequential replay of the trace.
+    const core::Accelerator acc(core::SerpensConfig::a16());
+    std::vector<core::PreparedMatrix> prepared;
+    for (const auto& m : matrices)
+        prepared.push_back(acc.prepare(m));
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const Record& rec = records[i];
+        const auto& m = matrices[rec.matrix];
+        const Vectors v = random_vectors(m.cols(), m.rows(), rec.seed);
+        const core::RunResult direct =
+            acc.run(prepared[rec.matrix], v.x, v.y, rec.alpha, rec.beta);
+        expect_result_equal(rec.run, direct,
+                            "request " + std::to_string(i));
+    }
+}
+
+TEST(ServeServer, ConcurrentClientsMatchSequentialReplaySerialDrain)
+{
+    hammer_and_replay(1);
+}
+
+TEST(ServeServer, ConcurrentClientsMatchSequentialReplayParallelDrain)
+{
+    hammer_and_replay(4);
+}
+
+TEST(ServeServer, EvictionMidFlightKeepsPinnedRequestsCorrect)
+{
+    const auto a = sparse::make_uniform_random(1000, 1000, 25'000, 59);
+    const auto b = sparse::make_uniform_random(1000, 1000, 25'000, 61);
+    core::SerpensConfig cfg = core::SerpensConfig::a16();
+    // Budget for one resident at a time.
+    {
+        const core::Accelerator probe(cfg);
+        const auto p = probe.prepare(a);
+        p.warm_decode();
+        cfg.resident_budget_bytes = p.memory_footprint_bytes() +
+                                    p.memory_footprint_bytes() / 2;
+    }
+    serve::Server server(cfg);
+    server.registry().admit("a", a);
+
+    // Queue requests against a while paused, evict a by admitting b, then
+    // release: the pinned resident must still serve them, bit-identically.
+    server.pause();
+    std::vector<std::future<serve::SpmvResult>> futures;
+    for (unsigned i = 0; i < 3; ++i) {
+        const Vectors v = random_vectors(a.cols(), a.rows(), 700 + i);
+        futures.push_back(server.submit("a", v.x, v.y, 1.0f, 0.0f));
+    }
+    server.registry().admit("b", b);
+    EXPECT_EQ(server.registry().get("a"), nullptr);
+    server.resume();
+
+    const core::Accelerator acc(core::SerpensConfig::a16());
+    const auto prepared = acc.prepare(a);
+    for (unsigned i = 0; i < 3; ++i) {
+        const Vectors v = random_vectors(a.cols(), a.rows(), 700 + i);
+        const core::RunResult direct = acc.run(prepared, v.x, v.y, 1.0f, 0.0f);
+        expect_result_equal(futures[i].get().run, direct,
+                            "pinned request " + std::to_string(i));
+    }
+
+    // New submissions for the evicted name fail fast.
+    const Vectors v = random_vectors(a.cols(), a.rows(), 800);
+    EXPECT_THROW(server.spmv("a", v.x, v.y), std::invalid_argument);
+}
+
+TEST(ServeServer, SubmitFuturesCarryTelemetry)
+{
+    const auto m = sparse::make_banded(600, 5, 67);
+    serve::Server server(core::SerpensConfig::a16());
+    server.registry().admit("m", m);
+
+    const Vectors v = random_vectors(m.cols(), m.rows(), 900);
+    const serve::SpmvResult r = server.spmv("m", v.x, v.y);
+    EXPECT_GE(r.queue_ms, 0.0);
+    EXPECT_GT(r.service_ms, 0.0);
+    EXPECT_GE(r.batch_width, 1u);
+
+    server.drain();
+    const auto stats = server.stats();
+    EXPECT_EQ(stats.requests, 1u);
+    EXPECT_EQ(stats.batches, 1u);
+    EXPECT_GE(stats.rounds, 1u);
+    EXPECT_GT(stats.mean_batch_width(), 0.0);
+}
+
+} // namespace
+} // namespace serpens

@@ -9,20 +9,26 @@
 //       run SpMV on the simulated accelerator and report cycles + metrics
 //
 // Generator kinds for --gen: uniform, rmat, banded, clustered.
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "baselines/cpu_spmv.h"
 #include "core/accelerator.h"
 #include "core/analytic.h"
 #include "core/resource_model.h"
 #include "encode/serialize.h"
+#include "serve/server.h"
 #include "sparse/convert.h"
 #include "sparse/generators.h"
 #include "sparse/matrix_market.h"
+#include "util/bitpack.h"
 #include "util/rng.h"
 
 namespace {
@@ -40,11 +46,15 @@ struct CliArgs {
     float alpha = 1.0f;
     float beta = 0.0f;
     int iters = 1;
-    unsigned batch = 1;
+    unsigned batch = 0;  // 0 = unset: run treats it as 1, serve-bench
+                         // keeps the config default max_batch
     bool decode_cache = true;
     unsigned threads = 1;
     unsigned parse_threads = 0;  // fast parser: one worker per core
     unsigned sim_threads = 1;
+    unsigned clients = 4;        // serve-bench client threads
+    unsigned requests = 8;       // serve-bench requests per client
+    unsigned serve_threads = 1;
 };
 
 core::SerpensConfig make_config(const CliArgs& args)
@@ -54,6 +64,9 @@ core::SerpensConfig make_config(const CliArgs& args)
     cfg.encode_threads = args.threads;
     cfg.sim_threads = args.sim_threads;
     cfg.decode_cache = args.decode_cache;
+    cfg.serve_threads = args.serve_threads;
+    if (args.batch != 0)
+        cfg.max_batch = args.batch;  // --batch 1 disables coalescing
     return cfg;
 }
 
@@ -107,6 +120,12 @@ CliArgs parse(int argc, char** argv)
             args.parse_threads = static_cast<unsigned>(std::stoul(next()));
         else if (flag == "--sim-threads")
             args.sim_threads = static_cast<unsigned>(std::stoul(next()));
+        else if (flag == "--clients")
+            args.clients = static_cast<unsigned>(std::stoul(next()));
+        else if (flag == "--requests")
+            args.requests = static_cast<unsigned>(std::stoul(next()));
+        else if (flag == "--serve-threads")
+            args.serve_threads = static_cast<unsigned>(std::stoul(next()));
         else if (flag == "--help" || flag == "-h")
             args.command = "help";
         else {
@@ -203,6 +222,11 @@ int cmd_run(const CliArgs& args)
                       "image was encoded for a different channel count");
         prepared = std::make_unique<core::PreparedMatrix>(
             core::PreparedMatrix::from_image(std::move(img)));
+        // Populate the decode cache at load, like the encode path's first
+        // run (and the serving registry's admission) — repeat runs off a
+        // loaded image start from the same warmed state.
+        if (cfg.decode_cache)
+            prepared->warm_decode(cfg.sim_threads);
     } else {
         sparse::CooMatrix m =
             !args.mtx_path.empty()
@@ -253,6 +277,12 @@ int cmd_run(const CliArgs& args)
     std::printf("matrix:  %u x %u, %llu nnz (padding %.4f)\n", rows, cols,
                 static_cast<unsigned long long>(prepared->nnz()),
                 prepared->encode_stats().padding_ratio());
+    std::printf("memory:  %.2f MiB resident (packed image %.2f MiB%s)\n",
+                static_cast<double>(prepared->memory_footprint_bytes()) /
+                    (1 << 20),
+                static_cast<double>(prepared->image().memory_bytes()) /
+                    (1 << 20),
+                prepared->decode_cached() ? " + decode cache" : "");
     std::printf("cycles:  %llu total = %llu compute + %llu x-load + "
                 "%llu y-phase + %llu fill\n",
                 static_cast<unsigned long long>(result.cycles.total_cycles()),
@@ -293,6 +323,121 @@ int cmd_run(const CliArgs& args)
     return 0;
 }
 
+int cmd_serve_bench(const CliArgs& args)
+{
+    // Smoke path for the serving layer: admit two matrices into a
+    // serve::Server, hammer it from --clients closed-loop threads, then
+    // verify every response bit-identical to a direct Accelerator::run on
+    // the same inputs (the full differential suite lives in
+    // tools/serpens_serve and tests/test_serve_*).
+    const auto cfg = make_config(args);
+    const sparse::CooMatrix primary = !args.mtx_path.empty()
+                                          ? load_mtx(args)
+                                          : generate(args.gen_spec.empty()
+                                                         ? "uniform,10000,200000"
+                                                         : args.gen_spec);
+    const sparse::CooMatrix companion = sparse::make_banded(4096, 9, 5);
+
+    serve::Server server(cfg);
+    server.registry().admit("primary", primary);
+    server.registry().admit("companion", companion);
+    std::printf("registry: %zu residents, %.2f MiB\n",
+                server.registry().size(),
+                static_cast<double>(server.registry().bytes_resident()) /
+                    (1 << 20));
+
+    struct Record {
+        const sparse::CooMatrix* m;
+        const char* name;
+        std::uint64_t seed;
+        float alpha, beta;
+        std::vector<float> y_out;
+    };
+    const unsigned total = args.clients * args.requests;
+    std::vector<Record> records(total);
+
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> clients;
+    std::atomic<bool> failed{false};
+    for (unsigned c = 0; c < args.clients; ++c) {
+        clients.emplace_back([&, c] {
+            try {
+                for (unsigned r = 0; r < args.requests; ++r) {
+                    Record& rec = records[c * args.requests + r];
+                    rec.seed = 101 + c * args.requests + r;
+                    const bool use_primary = rec.seed % 3 != 0;
+                    rec.m = use_primary ? &primary : &companion;
+                    rec.name = use_primary ? "primary" : "companion";
+                    rec.alpha = rec.seed % 2 ? 1.0f : 1.5f;
+                    rec.beta = rec.seed % 4 == 0 ? 0.5f : 0.0f;
+                    Rng rng(rec.seed);
+                    std::vector<float> x(rec.m->cols()), y(rec.m->rows());
+                    for (float& v : x)
+                        v = rng.next_float(-1.0f, 1.0f);
+                    for (float& v : y)
+                        v = rng.next_float(-1.0f, 1.0f);
+                    rec.y_out = server
+                                    .spmv(rec.name, std::move(x), std::move(y),
+                                          rec.alpha, rec.beta)
+                                    .run.y;
+                }
+            } catch (const std::exception& e) {
+                std::fprintf(stderr, "client %u failed: %s\n", c, e.what());
+                failed.store(true);
+            }
+        });
+    }
+    for (std::thread& t : clients)
+        t.join();
+    const double wall_s = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+    if (failed.load())
+        return 1;
+    server.drain();  // let the dispatcher retire its stats bookkeeping
+
+    const auto stats = server.stats();
+    std::printf("served:  %u requests from %u clients in %.3f s "
+                "(%.1f req/s)\n",
+                total, args.clients, wall_s, total / wall_s);
+    std::printf("batched: %.2f mean width, %llu of %llu coalesced, "
+                "%llu batches in %llu rounds\n",
+                stats.mean_batch_width(),
+                static_cast<unsigned long long>(stats.coalesced),
+                static_cast<unsigned long long>(stats.requests),
+                static_cast<unsigned long long>(stats.batches),
+                static_cast<unsigned long long>(stats.rounds));
+
+    // Sequential differential replay through a direct Accelerator.
+    const core::Accelerator acc(cfg);
+    const auto prep_primary = acc.prepare(primary);
+    const auto prep_companion = acc.prepare(companion);
+    for (const Record& rec : records) {
+        Rng rng(rec.seed);
+        std::vector<float> x(rec.m->cols()), y(rec.m->rows());
+        for (float& v : x)
+            v = rng.next_float(-1.0f, 1.0f);
+        for (float& v : y)
+            v = rng.next_float(-1.0f, 1.0f);
+        const auto direct =
+            acc.run(rec.m == &primary ? prep_primary : prep_companion, x, y,
+                    rec.alpha, rec.beta);
+        bool ok = direct.y.size() == rec.y_out.size();
+        for (std::size_t i = 0; ok && i < direct.y.size(); ++i)
+            ok = float_bits(direct.y[i]) == float_bits(rec.y_out[i]);
+        if (!ok) {
+            std::fprintf(stderr,
+                         "check:   FAIL — a served response diverges from "
+                         "the sequential replay\n");
+            return 1;
+        }
+    }
+    std::printf("check:   all %u responses bit-identical to sequential "
+                "replay (OK)\n",
+                total);
+    return 0;
+}
+
 int cmd_help(std::FILE* out)
 {
     std::fprintf(
@@ -312,6 +457,12 @@ int cmd_help(std::FILE* out)
         "          simulator and report cycles, modeled time, and the\n"
         "          paper's Table 4 metrics; results are checked against the\n"
         "          CPU reference when the matrix is available\n"
+        "  serve-bench\n"
+        "          smoke the serving layer: admit two matrices into a\n"
+        "          serve::Server, issue --clients x --requests concurrent\n"
+        "          SpMV requests (coalesced into batches of --batch), and\n"
+        "          verify every response bit-identical to a sequential\n"
+        "          replay; tools/serpens_serve is the full benchmark\n"
         "  help    print this message\n"
         "\n"
         "flags:\n"
@@ -346,13 +497,19 @@ int cmd_help(std::FILE* out)
         "  --sim-threads N  worker threads for the simulator's per-channel\n"
         "                   loop (run; default 1, 0 = one per hardware\n"
         "                   thread; bit-identical results for every N)\n"
+        "  --clients N      serve-bench: concurrent client threads\n"
+        "                   (default 4)\n"
+        "  --requests N     serve-bench: requests per client (default 8)\n"
+        "  --serve-threads N serve-bench: concurrent batches per dispatch\n"
+        "                   round (default 1, 0 = one per hardware thread)\n"
         "\n"
         "examples:\n"
         "  serpens_cli info --a24\n"
         "  serpens_cli run --gen rmat,16384,500000 --iters 3\n"
         "  serpens_cli encode --mtx m.mtx --out m.img\n"
         "  serpens_cli run --mtx m.mtx --save-image m.img\n"
-        "  serpens_cli run --load-image m.img --alpha 2 --beta 0.5\n");
+        "  serpens_cli run --load-image m.img --alpha 2 --beta 0.5\n"
+        "  serpens_cli serve-bench --gen uniform,20000,400000 --clients 8\n");
     return out == stdout ? 0 : 2;
 }
 
@@ -370,6 +527,8 @@ int main(int argc, char** argv)
             return cmd_encode(args);
         if (args.command == "run")
             return cmd_run(args);
+        if (args.command == "serve-bench")
+            return cmd_serve_bench(args);
         if (args.command == "help" || args.command == "--help" ||
             args.command == "-h")
             return cmd_help(stdout);

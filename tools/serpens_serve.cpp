@@ -1,0 +1,449 @@
+// serpens_serve — closed-loop multi-client benchmark of the serving layer.
+//
+// Generates several synthetic matrices, admits them into a serve::Server,
+// then hammers it with C closed-loop client threads (each issues its next
+// blocking request as soon as the previous one returns). Run twice — once
+// with batch coalescing (max_batch = B) and once degraded to
+// 1-request-at-a-time (max_batch = 1) — and report the aggregate nnz/s of
+// both, so the number the serving layer exists for (batched coalescing
+// beating serial serving) is measured, not assumed.
+//
+//   serpens_serve [--matrices M] [--entries N] [--clients C]
+//                 [--requests R] [--max-batch B] [--serve-threads T]
+//                 [--budget-mb MB] [--seed S] [--json FILE] [--smoke]
+//                 [--no-compare] [--a24]
+//
+// Every response is checked bit-identical against a sequential replay of
+// the recorded request trace through direct Accelerator::run — the same
+// differential contract the unit suites pin at small scale. --smoke runs
+// a small preset suitable for CI (Release and ASan).
+//
+// Exit code 0 on success, 1 on any mismatch or error.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/server.h"
+#include "sparse/generators.h"
+#include "util/bitpack.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace serpens;
+using Clock = std::chrono::steady_clock;
+
+struct Args {
+    unsigned matrices = 3;
+    std::uint64_t entries = 1'000'000;
+    unsigned rows = 0;            // 0 = entries / 16
+    unsigned clients = 8;
+    unsigned requests = 24;       // per client
+    unsigned max_batch = 8;
+    unsigned serve_threads = 0;   // one per hardware thread
+    std::uint64_t budget_mb = 0;  // 0 = unlimited
+    std::uint64_t seed = 1;
+    std::string json_path;
+    bool smoke = false;
+    bool compare_unbatched = true;
+    bool vary_scalars = false;
+    bool a24 = false;
+};
+
+// One completed request as the clients recorded it: enough to replay the
+// whole trace sequentially through a direct Accelerator.
+struct TraceEntry {
+    unsigned matrix = 0;
+    std::uint64_t seed = 0;      // drives matrix/scalar selection
+    std::uint64_t vec_seed = 0;  // x/y vectors are regenerated from this
+    float alpha = 1.0f;
+    float beta = 0.0f;
+    std::vector<float> y_out;
+    sim::CycleStats cycles;
+    double queue_ms = 0.0;
+    double service_ms = 0.0;
+    unsigned batch_width = 1;
+};
+
+// Distinct (x, y) pairs per matrix, generated before the timed loop so the
+// closed-loop wall clock measures serving, not vector synthesis. Requests
+// cycle through the pool; the sequential replay regenerates the same
+// vectors from vec_seed.
+constexpr unsigned kVectorPool = 16;
+
+std::uint64_t pool_seed(std::uint64_t base, unsigned matrix, unsigned k)
+{
+    return base * 7919 + matrix * 1000003ull + k;
+}
+
+struct LoopResult {
+    double wall_s = 0.0;
+    double nnz_per_s = 0.0;
+    double mean_queue_ms = 0.0;
+    double mean_service_ms = 0.0;
+    double mean_batch_width = 0.0;
+    serve::ServerStats stats;
+    std::vector<TraceEntry> trace;
+};
+
+void fill_vectors(std::uint64_t seed, sparse::index_t cols,
+                  sparse::index_t rows, std::vector<float>& x,
+                  std::vector<float>& y)
+{
+    Rng rng(seed);
+    x.resize(cols);
+    y.resize(rows);
+    for (float& v : x)
+        v = rng.next_float(-1.0f, 1.0f);
+    for (float& v : y)
+        v = rng.next_float(-1.0f, 1.0f);
+}
+
+// alpha/beta for request `seed`. With --vary-scalars (on in --smoke) a
+// small deterministic menu makes distinct scalar groups occur — requests
+// coalesce only within a (matrix, alpha, beta) key, so this exercises the
+// grouping logic. Off (the perf-measurement default) every request shares
+// one key and the batched/unbatched comparison isolates coalescing.
+void pick_scalars(bool vary, std::uint64_t seed, float& alpha, float& beta)
+{
+    if (!vary) {
+        alpha = 1.0f;
+        beta = 0.0f;
+        return;
+    }
+    static const float alphas[] = {1.0f, 1.0f, 1.0f, 0.85f};
+    static const float betas[] = {0.0f, 0.0f, -0.5f, 1.0f};
+    alpha = alphas[seed % 4];
+    beta = betas[seed % 4];
+}
+
+LoopResult run_closed_loop(const core::SerpensConfig& cfg,
+                           const std::vector<sparse::CooMatrix>& matrices,
+                           const Args& args)
+{
+    serve::Server server(cfg);
+    std::vector<sparse::index_t> rows, cols;
+    std::vector<std::uint64_t> nnz;
+    for (unsigned m = 0; m < matrices.size(); ++m) {
+        server.registry().admit("m" + std::to_string(m), matrices[m]);
+        rows.push_back(matrices[m].rows());
+        cols.push_back(matrices[m].cols());
+        nnz.push_back(matrices[m].nnz());
+    }
+
+    const unsigned total = args.clients * args.requests;
+    std::vector<TraceEntry> trace(total);
+    std::atomic<bool> failed{false};
+
+    // Pre-generate the request vectors (see kVectorPool).
+    std::vector<std::vector<std::vector<float>>> pool_x(matrices.size()),
+        pool_y(matrices.size());
+    for (unsigned m = 0; m < matrices.size(); ++m) {
+        pool_x[m].resize(kVectorPool);
+        pool_y[m].resize(kVectorPool);
+        for (unsigned k = 0; k < kVectorPool; ++k)
+            fill_vectors(pool_seed(args.seed, m, k), cols[m], rows[m],
+                         pool_x[m][k], pool_y[m][k]);
+    }
+
+    const Clock::time_point start = Clock::now();
+    std::vector<std::thread> clients;
+    clients.reserve(args.clients);
+    for (unsigned c = 0; c < args.clients; ++c) {
+        clients.emplace_back([&, c] {
+            try {
+                for (unsigned r = 0; r < args.requests; ++r) {
+                    const unsigned slot = c * args.requests + r;
+                    TraceEntry& t = trace[slot];
+                    t.seed = args.seed * 7919 + slot;
+                    t.matrix = static_cast<unsigned>(
+                        (t.seed / 3) % matrices.size());
+                    const unsigned k =
+                        static_cast<unsigned>(t.seed % kVectorPool);
+                    t.vec_seed = pool_seed(args.seed, t.matrix, k);
+                    pick_scalars(args.vary_scalars, t.seed, t.alpha, t.beta);
+                    serve::SpmvResult res = server.spmv(
+                        "m" + std::to_string(t.matrix),
+                        pool_x[t.matrix][k], pool_y[t.matrix][k], t.alpha,
+                        t.beta);
+                    t.y_out = std::move(res.run.y);
+                    t.cycles = res.run.cycles;
+                    t.queue_ms = res.queue_ms;
+                    t.service_ms = res.service_ms;
+                    t.batch_width = res.batch_width;
+                }
+            } catch (const std::exception& e) {
+                std::fprintf(stderr, "client %u failed: %s\n", c, e.what());
+                failed.store(true);
+            }
+        });
+    }
+    for (std::thread& t : clients)
+        t.join();
+    const double wall_s =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    if (failed.load())
+        throw std::runtime_error("a client thread failed");
+    // Promises resolve before the dispatcher's stats bookkeeping; drain()
+    // returns only after the round fully retires, so the snapshot is
+    // consistent with the trace.
+    server.drain();
+
+    LoopResult out;
+    out.wall_s = wall_s;
+    out.stats = server.stats();
+    std::uint64_t nnz_served = 0;
+    double width_sum = 0.0;
+    for (const TraceEntry& t : trace) {
+        nnz_served += nnz[t.matrix];
+        out.mean_queue_ms += t.queue_ms;
+        out.mean_service_ms += t.service_ms;
+        width_sum += t.batch_width;
+    }
+    out.nnz_per_s = static_cast<double>(nnz_served) / wall_s;
+    out.mean_queue_ms /= total;
+    out.mean_service_ms /= total;
+    out.mean_batch_width = width_sum / total;
+    out.trace = std::move(trace);
+    return out;
+}
+
+// Sequential replay: the differential lockdown. Every recorded response
+// must be bit-identical to a direct Accelerator::run on the same inputs.
+bool replay_matches(const core::SerpensConfig& cfg,
+                    const std::vector<sparse::CooMatrix>& matrices,
+                    const std::vector<TraceEntry>& trace)
+{
+    const core::Accelerator acc(cfg);
+    std::vector<core::PreparedMatrix> prepared;
+    prepared.reserve(matrices.size());
+    for (const sparse::CooMatrix& m : matrices)
+        prepared.push_back(acc.prepare(m));
+
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const TraceEntry& t = trace[i];
+        std::vector<float> x, y;
+        fill_vectors(t.vec_seed, prepared[t.matrix].cols(),
+                     prepared[t.matrix].rows(), x, y);
+        const core::RunResult direct =
+            acc.run(prepared[t.matrix], x, y, t.alpha, t.beta);
+        bool ok = direct.y.size() == t.y_out.size();
+        for (std::size_t j = 0; ok && j < direct.y.size(); ++j)
+            ok = float_bits(direct.y[j]) == float_bits(t.y_out[j]);
+        ok = ok && direct.cycles.compute_cycles == t.cycles.compute_cycles &&
+             direct.cycles.x_load_cycles == t.cycles.x_load_cycles &&
+             direct.cycles.y_phase_cycles == t.cycles.y_phase_cycles &&
+             direct.cycles.fill_cycles == t.cycles.fill_cycles &&
+             direct.cycles.total_slots == t.cycles.total_slots &&
+             direct.cycles.padding_slots == t.cycles.padding_slots;
+        if (!ok) {
+            std::fprintf(stderr,
+                         "FAIL: request %zu (matrix m%u, batch width %u) "
+                         "diverges from sequential replay\n",
+                         i, t.matrix, t.batch_width);
+            return false;
+        }
+    }
+    return true;
+}
+
+void print_loop(const char* label, const LoopResult& r)
+{
+    std::printf("%s\n", label);
+    std::printf("  wall:      %.3f s, %.1f Mnnz/s aggregate\n", r.wall_s,
+                r.nnz_per_s / 1e6);
+    std::printf("  latency:   %.3f ms mean queue + %.3f ms mean service\n",
+                r.mean_queue_ms, r.mean_service_ms);
+    std::printf("  batching:  %.2f mean width (max %" PRIu64
+                ", %" PRIu64 " of %" PRIu64 " requests coalesced, "
+                "%" PRIu64 " batches, %" PRIu64 " rounds)\n",
+                r.mean_batch_width, r.stats.max_batch_seen,
+                r.stats.coalesced, r.stats.requests, r.stats.batches,
+                r.stats.rounds);
+}
+
+void write_json(const std::string& path, const Args& args,
+                const LoopResult& batched, const LoopResult* unbatched)
+{
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error("cannot write " + path);
+    const auto loop = [&](const char* name, const LoopResult& r,
+                          bool last) {
+        out << "    \"" << name << "\": {\n"
+            << "      \"wall_s\": " << r.wall_s << ",\n"
+            << "      \"nnz_per_s\": " << r.nnz_per_s << ",\n"
+            << "      \"mean_queue_ms\": " << r.mean_queue_ms << ",\n"
+            << "      \"mean_service_ms\": " << r.mean_service_ms << ",\n"
+            << "      \"mean_batch_width\": " << r.mean_batch_width << ",\n"
+            << "      \"batches\": " << r.stats.batches << ",\n"
+            << "      \"rounds\": " << r.stats.rounds << ",\n"
+            << "      \"coalesced\": " << r.stats.coalesced << ",\n"
+            << "      \"max_batch_seen\": " << r.stats.max_batch_seen << "\n"
+            << "    }" << (last ? "\n" : ",\n");
+    };
+    out << "{\n  \"tool\": \"serpens_serve\",\n"
+        << "  \"config\": {\n"
+        << "    \"matrices\": " << args.matrices << ",\n"
+        << "    \"entries\": " << args.entries << ",\n"
+        << "    \"clients\": " << args.clients << ",\n"
+        << "    \"requests_per_client\": " << args.requests << ",\n"
+        << "    \"max_batch\": " << args.max_batch << ",\n"
+        << "    \"serve_threads\": " << args.serve_threads << "\n"
+        << "  },\n  \"loops\": {\n";
+    loop("batched", batched, unbatched == nullptr);
+    if (unbatched)
+        loop("unbatched", *unbatched, true);
+    out << "  }";
+    if (unbatched)
+        out << ",\n  \"batched_speedup\": "
+            << batched.nnz_per_s / unbatched->nnz_per_s << "\n";
+    else
+        out << "\n";
+    out << "}\n";
+}
+
+int usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: serpens_serve [--matrices M] [--entries N] [--rows R]\n"
+        "                     [--clients C]\n"
+        "                     [--requests R] [--max-batch B]\n"
+        "                     [--serve-threads T] [--budget-mb MB]\n"
+        "                     [--seed S] [--json FILE] [--smoke]\n"
+        "                     [--vary-scalars] [--no-compare] [--a24]\n");
+    return 1;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    Args args;
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        const auto next = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "error: %s requires a value\n",
+                             flag.c_str());
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (flag == "--matrices")
+            args.matrices = static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+        else if (flag == "--entries")
+            args.entries = std::strtoull(next(), nullptr, 10);
+        else if (flag == "--rows")
+            args.rows = static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+        else if (flag == "--clients")
+            args.clients = static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+        else if (flag == "--requests")
+            args.requests = static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+        else if (flag == "--max-batch")
+            args.max_batch = static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+        else if (flag == "--serve-threads")
+            args.serve_threads = static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+        else if (flag == "--budget-mb")
+            args.budget_mb = std::strtoull(next(), nullptr, 10);
+        else if (flag == "--seed")
+            args.seed = std::strtoull(next(), nullptr, 10);
+        else if (flag == "--json")
+            args.json_path = next();
+        else if (flag == "--smoke") {
+            args.smoke = true;
+            args.vary_scalars = true;
+            args.matrices = 2;
+            args.entries = 120'000;
+            args.clients = 6;
+            args.requests = 8;
+        } else if (flag == "--vary-scalars")
+            args.vary_scalars = true;
+        else if (flag == "--no-compare")
+            args.compare_unbatched = false;
+        else if (flag == "--a24")
+            args.a24 = true;
+        else
+            return usage();
+    }
+    if (args.matrices == 0 || args.clients == 0 || args.requests == 0)
+        return usage();
+
+    try {
+        core::SerpensConfig cfg = args.a24 ? core::SerpensConfig::a24()
+                                           : core::SerpensConfig::a16();
+        cfg.serve_threads = args.serve_threads;
+        cfg.max_batch = args.max_batch;
+        cfg.resident_budget_bytes = args.budget_mb * (1ull << 20);
+
+        // A mixed fleet: uniform, clustered, banded row structure cycling
+        // over the matrix slots so the scheduler sees heterogeneous service
+        // times.
+        std::vector<sparse::CooMatrix> matrices;
+        for (unsigned m = 0; m < args.matrices; ++m) {
+            const auto n = static_cast<sparse::index_t>(
+                args.rows != 0
+                    ? args.rows
+                    : std::max<std::uint64_t>(4096, args.entries / 16));
+            const auto nnz = static_cast<sparse::nnz_t>(args.entries);
+            const auto kind_seed = args.seed + m;
+            if (m % 3 == 0)
+                matrices.push_back(sparse::make_uniform_random(
+                    n, n, nnz, kind_seed));
+            else if (m % 3 == 1)
+                matrices.push_back(sparse::make_clustered(
+                    n, nnz, 8, 64, 0.3, kind_seed));
+            else
+                matrices.push_back(sparse::make_banded(
+                    n, std::max<sparse::index_t>(
+                           1, static_cast<sparse::index_t>(nnz / n)),
+                    kind_seed));
+        }
+        std::printf("serving %u matrices (~%" PRIu64
+                    " entries each), %u clients x %u requests, "
+                    "max batch %u\n",
+                    args.matrices, args.entries, args.clients, args.requests,
+                    args.max_batch);
+
+        const LoopResult batched = run_closed_loop(cfg, matrices, args);
+        print_loop("batched serving:", batched);
+
+        if (!replay_matches(cfg, matrices, batched.trace))
+            return 1;
+        std::printf("OK: all %u responses bit-identical to sequential "
+                    "replay\n",
+                    args.clients * args.requests);
+
+        const LoopResult* unbatched_ptr = nullptr;
+        LoopResult unbatched;
+        if (args.compare_unbatched) {
+            core::SerpensConfig serial_cfg = cfg;
+            serial_cfg.max_batch = 1;
+            unbatched = run_closed_loop(serial_cfg, matrices, args);
+            print_loop("unbatched serving (max_batch 1):", unbatched);
+            if (!replay_matches(serial_cfg, matrices, unbatched.trace))
+                return 1;
+            std::printf("batched speedup: %.2fx aggregate nnz/s\n",
+                        batched.nnz_per_s / unbatched.nnz_per_s);
+            unbatched_ptr = &unbatched;
+        }
+
+        if (!args.json_path.empty()) {
+            write_json(args.json_path, args, batched, unbatched_ptr);
+            std::printf("snapshot written to %s\n", args.json_path.c_str());
+        }
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "FAIL: %s\n", e.what());
+        return 1;
+    }
+}
