@@ -1,0 +1,165 @@
+// Ablation — SpMM batch width B (the batched device mode of §6.6).
+//
+// One batched invocation streams the sparse image once per
+// batch_columns-wide column block, so the dominant A-stream term is paid
+// ceil(B / batch_columns) times instead of B times. This sweep runs real
+// batched executions (not just the closed form) across B = 1..32 and
+// reports the amortized per-SpMV device time next to the analytic model
+// and the Sextans SpMM baseline — the knee must sit at batch_columns.
+//
+// Extra flags on top of bench_common.h (unknown flags are ignored there):
+//   --entries N   nnz of the generated matrix (default 1,000,000)
+//   --json FILE   archive the sweep (ci.sh -> BENCH_batch.json)
+//
+// Exits non-zero when the sweep violates the model's own invariants
+// (amortized time not strictly better at B = 8 than B = 1, or not
+// monotone non-increasing over the power-of-two widths), so archiving the
+// JSON in CI doubles as a regression gate.
+#include "bench_common.h"
+
+#include <fstream>
+#include <vector>
+
+#include "baselines/sextans.h"
+#include "core/accelerator.h"
+#include "sparse/generators.h"
+#include "util/rng.h"
+
+namespace {
+
+struct SweepPoint {
+    unsigned batch = 1;
+    unsigned passes = 1;
+    double batch_ms = 0.0;
+    double amortized_ms = 0.0;
+    double speedup_vs_b1 = 0.0;
+    double analytic_amortized_ms = 0.0;
+    double sextans_amortized_ms = 0.0;
+};
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    using namespace serpens;
+    const auto args = bench::BenchArgs::parse(argc, argv);
+
+    std::uint64_t entries = 1'000'000;
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--entries") == 0 && i + 1 < argc)
+            entries = std::strtoull(argv[++i], nullptr, 10);
+        else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            json_path = argv[++i];
+    }
+
+    bench::banner("Ablation: SpMM batch width B (batched device mode)");
+
+    const auto n = static_cast<sparse::index_t>(
+        std::max<std::uint64_t>(4096, entries / 16));
+    const auto m = sparse::make_uniform_random(
+        n, n, static_cast<sparse::nnz_t>(entries), 42);
+
+    const core::SerpensConfig cfg = core::SerpensConfig::a16();
+    const core::Accelerator acc(cfg);
+    const auto prepared = acc.prepare(m);
+    std::printf("matrix: uniform %u x %u, %llu nnz; batch_columns = %u\n\n",
+                m.rows(), m.cols(),
+                static_cast<unsigned long long>(m.nnz()),
+                cfg.batch_columns);
+
+    const baselines::SextansModel sextans;
+    const double padding = prepared.encode_stats().padding_ratio();
+
+    Rng rng(7);
+    std::vector<SweepPoint> sweep;
+    analysis::TextTable t({"B", "passes", "batch ms", "amortized ms",
+                           "speedup", "analytic ms", "sextans ms"});
+    for (unsigned b : {1u, 2u, 4u, 8u, 16u, 32u}) {
+        std::vector<std::vector<float>> xs(b,
+                                           std::vector<float>(m.cols()));
+        const std::vector<std::vector<float>> ys(
+            b, std::vector<float>(m.rows(), 0.0f));
+        for (auto& x : xs)
+            for (float& v : x)
+                v = rng.next_float(-1.0f, 1.0f);
+
+        const core::BatchRunResult run = acc.run_batch(prepared, xs, ys);
+
+        SweepPoint p;
+        p.batch = b;
+        p.passes = run.batch_cycles.passes;
+        p.batch_ms = run.batch_time_ms;
+        p.amortized_ms = run.amortized_time_ms;
+        p.analytic_amortized_ms =
+            acc.estimate_batch_time_ms(m.rows(), m.cols(), m.nnz(), b,
+                                       padding) /
+            b;
+        if (const auto sx = sextans.estimate_amortized_spmv_ms(
+                m.rows(), m.cols(), m.nnz(), b))
+            p.sextans_amortized_ms = *sx;
+        p.speedup_vs_b1 =
+            sweep.empty() ? 1.0 : sweep.front().amortized_ms / p.amortized_ms;
+        sweep.push_back(p);
+
+        t.add_row({std::to_string(b), std::to_string(p.passes),
+                   analysis::fmt(p.batch_ms, 4),
+                   analysis::fmt(p.amortized_ms, 4),
+                   analysis::fmt(p.speedup_vs_b1, 2),
+                   analysis::fmt(p.analytic_amortized_ms, 4),
+                   analysis::fmt(p.sextans_amortized_ms, 4)});
+    }
+    bench::print_table(t, args.csv);
+    std::printf("\nthe knee sits at batch_columns = %u: past one full "
+                "column block only the kickoff overhead keeps "
+                "amortizing.\n",
+                cfg.batch_columns);
+
+    // Self-check the invariants the JSON is archived to witness.
+    bool ok = true;
+    for (std::size_t i = 1; i < sweep.size(); ++i) {
+        if (sweep[i].amortized_ms > sweep[i - 1].amortized_ms) {
+            std::fprintf(stderr,
+                         "FAIL: amortized ms increased from B=%u to B=%u\n",
+                         sweep[i - 1].batch, sweep[i].batch);
+            ok = false;
+        }
+    }
+    const SweepPoint& b1 = sweep[0];
+    const SweepPoint& b8 = sweep[3];
+    if (!(b8.amortized_ms < b1.amortized_ms)) {
+        std::fprintf(stderr,
+                     "FAIL: B=8 amortized ms not strictly below B=1\n");
+        ok = false;
+    }
+
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        if (!out) {
+            std::fprintf(stderr, "FAIL: cannot write %s\n",
+                         json_path.c_str());
+            return 1;
+        }
+        out << "{\n  \"tool\": \"bench_ablation_batch\",\n"
+            << "  \"matrix\": {\"rows\": " << m.rows()
+            << ", \"cols\": " << m.cols() << ", \"nnz\": " << m.nnz()
+            << "},\n"
+            << "  \"batch_columns\": " << cfg.batch_columns << ",\n"
+            << "  \"sweep\": [\n";
+        for (std::size_t i = 0; i < sweep.size(); ++i) {
+            const SweepPoint& p = sweep[i];
+            out << "    {\"batch\": " << p.batch
+                << ", \"passes\": " << p.passes
+                << ", \"batch_ms\": " << p.batch_ms
+                << ", \"amortized_ms\": " << p.amortized_ms
+                << ", \"speedup_vs_b1\": " << p.speedup_vs_b1
+                << ", \"analytic_amortized_ms\": " << p.analytic_amortized_ms
+                << ", \"sextans_amortized_ms\": " << p.sextans_amortized_ms
+                << "}" << (i + 1 < sweep.size() ? ",\n" : "\n");
+        }
+        out << "  ],\n  \"amortized_improves_b1_to_b8\": "
+            << (ok ? "true" : "false") << "\n}\n";
+        std::printf("sweep written to %s\n", json_path.c_str());
+    }
+    return ok ? 0 : 1;
+}

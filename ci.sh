@@ -39,6 +39,15 @@ mkdir -p "${BUILD_DIR}/bench-results"
     --matrices 1 --entries 1000000 --rows 4096 --clients 8 --requests 24 \
     --serve-threads 1 --json "${BUILD_DIR}/bench-results/BENCH_serve.json"
 
+# Batched device-mode ablation: amortized per-SpMV device time over
+# B = 1..32 at 1M nnz (real batched executions + analytic + Sextans
+# cross-check). The binary exits non-zero if amortized time fails to
+# strictly improve from B=1 to B=8 or is not monotone over the sweep, so
+# archiving the snapshot doubles as a model regression gate.
+cmake --build "${BUILD_DIR}" -j "${JOBS}" --target bench_ablation_batch
+"${BUILD_DIR}/bench/bench_ablation_batch" --entries 1000000 \
+    --json "${BUILD_DIR}/bench-results/BENCH_batch.json"
+
 # Perf trajectory: machine-readable micro-bench snapshots, archived under
 # bench-results/ so regressions show up as diffs in the numbers. Skipped
 # when Google Benchmark is not installed (the binaries are not built).

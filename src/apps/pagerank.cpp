@@ -98,7 +98,7 @@ PersonalizedPageRankResult personalized_pagerank(
     // iteration; already-converged columns keep iterating (their ranks only
     // tighten) so the batch stays rectangular.
     for (int it = 0; it < options.max_iterations; ++it) {
-        const std::vector<core::RunResult> round =
+        const core::BatchRunResult round =
             acc.run_batch(prepared, result.rank, teleport,
                           static_cast<float>(options.damping), 1.0f);
         result.modeled_ms += round.front().time_ms;

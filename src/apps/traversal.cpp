@@ -78,7 +78,7 @@ std::vector<std::vector<int>> multi_source_bfs(
     // which costs nothing extra inside the blocked accumulator; the loop
     // ends when no column advances.
     for (index_t depth = 1; depth < n; ++depth) {
-        const std::vector<core::RunResult> round =
+        const core::BatchRunResult round =
             acc.run_batch(prepared, frontiers, zeros, 1.0f, 0.0f);
         bool advanced = false;
         for (std::size_t b = 0; b < batch; ++b) {

@@ -97,4 +97,14 @@ std::optional<double> SextansModel::estimate_spmv_ms(std::uint64_t rows,
     return estimate_spmm_ms(rows, cols, nnz, config_.min_n);
 }
 
+std::optional<double> SextansModel::estimate_amortized_spmv_ms(
+    std::uint64_t rows, std::uint64_t cols, std::uint64_t nnz,
+    unsigned n) const
+{
+    const std::optional<double> total = estimate_spmm_ms(rows, cols, nnz, n);
+    if (!total)
+        return std::nullopt;
+    return *total / static_cast<double>(n);
+}
+
 } // namespace serpens::baselines

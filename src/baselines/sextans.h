@@ -72,6 +72,15 @@ public:
                                            std::uint64_t cols,
                                            std::uint64_t nnz) const;
 
+    // Amortized per-vector time of an N-wide SpMM: estimate_spmm_ms(n) / n.
+    // The cross-check target for Serpens' batched device mode — both
+    // models share one sparse stream per 8-column block, so their
+    // amortization curves saturate at the same knee.
+    std::optional<double> estimate_amortized_spmv_ms(std::uint64_t rows,
+                                                     std::uint64_t cols,
+                                                     std::uint64_t nnz,
+                                                     unsigned n) const;
+
 private:
     SextansConfig config_;
 };

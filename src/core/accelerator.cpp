@@ -75,6 +75,19 @@ double Accelerator::cycles_to_ms(const sim::CycleStats& s) const
            config_.invocation_overhead_us / 1e3;
 }
 
+double Accelerator::batch_cycles_to_ms(const sim::BatchCycleStats& s) const
+{
+    // Same per-term weighting as cycles_to_ms; the host->device kickoff is
+    // paid once for the whole SpMM invocation, not per vector.
+    const double compute =
+        static_cast<double>(s.compute_cycles) / config_.hbm.stream_efficiency;
+    const double cycles = compute + static_cast<double>(s.x_load_cycles) +
+                          static_cast<double>(s.y_phase_cycles) +
+                          static_cast<double>(s.fill_cycles);
+    return cycles / (config_.frequency_mhz * 1e3) +
+           config_.invocation_overhead_us / 1e3;
+}
+
 sim::SimOptions Accelerator::sim_options() const
 {
     sim::SimOptions options;
@@ -82,6 +95,7 @@ sim::SimOptions Accelerator::sim_options() const
     options.fill_y_phase = config_.fill_y_phase;
     options.double_buffer_x = config_.double_buffer_x;
     options.threads = config_.sim_threads;
+    options.batch_columns = config_.batch_columns;
     return options;
 }
 
@@ -113,7 +127,7 @@ RunResult Accelerator::run(const PreparedMatrix& prepared,
     return finish_run(prepared.nnz(), std::move(sim.y), sim.cycles);
 }
 
-std::vector<RunResult> Accelerator::run_batch(
+BatchRunResult Accelerator::run_batch(
     const PreparedMatrix& prepared, std::span<const std::vector<float>> xs,
     std::span<const std::vector<float>> ys, float alpha, float beta) const
 {
@@ -121,27 +135,34 @@ std::vector<RunResult> Accelerator::run_batch(
     SERPENS_CHECK(xs.size() == ys.size(),
                   "batch x and y vector counts must match");
 
+    BatchRunResult result;
+    result.per_vector.reserve(xs.size());
+
     if (!config_.decode_cache) {
         // Honor the knob's contract even for batches: every column runs
         // the packed reference walk, one pass each — the differential
-        // cross-check mode stays meaningful under --batch.
-        std::vector<RunResult> results;
-        results.reserve(xs.size());
+        // cross-check mode stays meaningful under --batch. The batched
+        // device accounting comes from the packed image and is
+        // bit-identical to the decoded path's.
         for (std::size_t b = 0; b < xs.size(); ++b)
-            results.push_back(run(prepared, xs[b], ys[b], alpha, beta));
-        return results;
+            result.per_vector.push_back(
+                run(prepared, xs[b], ys[b], alpha, beta));
+        result.batch_cycles =
+            sim::batch_cycle_stats(prepared.image(), xs.size(), sim_options());
+    } else {
+        sim::SimBatchResult batch = sim::simulate_spmv_batch(
+            prepared.decoded(config_.sim_threads), xs, ys, alpha, beta,
+            sim_options());
+        for (std::vector<float>& y : batch.y)
+            result.per_vector.push_back(
+                finish_run(prepared.nnz(), std::move(y), batch.cycles));
+        result.batch_cycles = batch.batch_cycles;
     }
 
-    sim::SimBatchResult batch =
-        sim::simulate_spmv_batch(prepared.decoded(config_.sim_threads), xs, ys,
-                                 alpha, beta, sim_options());
-
-    std::vector<RunResult> results;
-    results.reserve(batch.y.size());
-    for (std::vector<float>& y : batch.y)
-        results.push_back(
-            finish_run(prepared.nnz(), std::move(y), batch.cycles));
-    return results;
+    result.batch_time_ms = batch_cycles_to_ms(result.batch_cycles);
+    result.amortized_time_ms =
+        result.batch_time_ms / static_cast<double>(xs.size());
+    return result;
 }
 
 std::vector<std::uint32_t> Accelerator::compile_program(
@@ -166,6 +187,15 @@ double Accelerator::estimate_time_ms(std::uint64_t rows, std::uint64_t cols,
                                      double padding_ratio) const
 {
     return core::estimate_time_ms(config_, rows, cols, nnz, padding_ratio);
+}
+
+double Accelerator::estimate_batch_time_ms(std::uint64_t rows,
+                                           std::uint64_t cols,
+                                           std::uint64_t nnz, unsigned batch,
+                                           double padding_ratio) const
+{
+    return core::estimate_batch_time_ms(config_, rows, cols, nnz, batch,
+                                        padding_ratio);
 }
 
 } // namespace serpens::core

@@ -82,6 +82,28 @@ struct RunResult {
     analysis::Metrics metrics;       // the paper's Table 4 metrics
 };
 
+// Result of one batched execution: the per-vector RunResults (each exactly
+// what run() would report for that column — the published per-SpMV
+// baseline) plus the batched device model, which prices the batch as ONE
+// SpMM-mode invocation sharing the A stream across column blocks
+// (sim::BatchCycleStats). `amortized_time_ms` is the per-SpMV device time
+// that mode achieves; at B = 1 it equals the single-run time_ms exactly.
+struct BatchRunResult {
+    std::vector<RunResult> per_vector;
+    sim::BatchCycleStats batch_cycles;
+    double batch_time_ms = 0.0;      // modeled device time, whole batch
+    double amortized_time_ms = 0.0;  // batch_time_ms / B
+
+    // Column access mirrors the pre-SpMM-mode vector<RunResult> API.
+    std::size_t size() const { return per_vector.size(); }
+    bool empty() const { return per_vector.empty(); }
+    const RunResult& operator[](std::size_t b) const { return per_vector[b]; }
+    RunResult& operator[](std::size_t b) { return per_vector[b]; }
+    const RunResult& front() const { return per_vector.front(); }
+    auto begin() const { return per_vector.begin(); }
+    auto end() const { return per_vector.end(); }
+};
+
 class Accelerator {
 public:
     explicit Accelerator(SerpensConfig config);
@@ -101,19 +123,27 @@ public:
                   float beta = 0.0f) const;
 
     // Execute y[b] = alpha * A * xs[b] + beta * ys[b] for every b in one
-    // decoded pass with a column-blocked accumulator. Each entry of the
-    // returned vector is exactly what run() would report for that column
-    // (same y bits, same CycleStats, same modeled time — the published
-    // Serpens has no SpMM mode, so modeled device time is per-vector; the
-    // amortization is host wall-clock). With config().decode_cache off the
-    // columns run the packed reference walk one by one instead, so the
-    // differential knob keeps its meaning under batching. xs and ys must
-    // be the same non-zero length.
-    std::vector<RunResult> run_batch(const PreparedMatrix& prepared,
-                                     std::span<const std::vector<float>> xs,
-                                     std::span<const std::vector<float>> ys,
-                                     float alpha = 1.0f,
-                                     float beta = 0.0f) const;
+    // decoded pass with a column-blocked accumulator. Each per_vector
+    // entry is exactly what run() would report for that column (same y
+    // bits, same CycleStats, same per-vector modeled time), and the result
+    // additionally carries the batched device model: one SpMM-mode
+    // invocation streaming A once per config().batch_columns-wide column
+    // block, with amortized per-SpMV device time. With
+    // config().decode_cache off the columns run the packed reference walk
+    // one by one instead (the batch accounting is computed from the packed
+    // image and is bit-identical), so the differential knob keeps its
+    // meaning under batching. xs and ys must be the same non-zero length.
+    BatchRunResult run_batch(const PreparedMatrix& prepared,
+                             std::span<const std::vector<float>> xs,
+                             std::span<const std::vector<float>> ys,
+                             float alpha = 1.0f, float beta = 0.0f) const;
+
+    // Closed-form batched estimate: estimate_time_ms extended to a B-wide
+    // SpMM invocation (core::estimate_batch_time_ms). Divide by `batch`
+    // for the amortized per-SpMV figure.
+    double estimate_batch_time_ms(std::uint64_t rows, std::uint64_t cols,
+                                  std::uint64_t nnz, unsigned batch,
+                                  double padding_ratio = 0.0) const;
 
     // Compile the 32-bit control program for a prepared matrix (the paper's
     // instruction channel; Table 1/5).
@@ -142,6 +172,9 @@ private:
     // Convert a simulated cycle count into modeled wall-clock milliseconds
     // (HBM streaming efficiency + invocation overhead).
     double cycles_to_ms(const sim::CycleStats& s) const;
+    // Same conversion for a batched invocation: one kickoff overhead for
+    // the whole batch, the same per-term weighting otherwise.
+    double batch_cycles_to_ms(const sim::BatchCycleStats& s) const;
 
     // Shared run()/run_batch() plumbing.
     sim::SimOptions sim_options() const;

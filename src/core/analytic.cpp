@@ -1,5 +1,7 @@
 #include "core/analytic.h"
 
+#include <algorithm>
+
 #include "util/bitpack.h"
 
 namespace serpens::core {
@@ -55,6 +57,38 @@ double estimate_time_ms(const SerpensConfig& c, std::uint64_t rows,
     const double fill_cycles =
         segments * c.fill_per_segment + c.fill_y_phase;
     const double cycles = vector_cycles + compute_cycles + fill_cycles;
+    return cycles / (c.frequency_mhz * 1e3) + c.invocation_overhead_us / 1e3;
+}
+
+double estimate_batch_time_ms(const SerpensConfig& c, std::uint64_t rows,
+                              std::uint64_t cols, std::uint64_t nnz,
+                              unsigned batch, double padding_ratio)
+{
+    SERPENS_CHECK(batch >= 1, "batch must contain at least one vector");
+    SERPENS_CHECK(padding_ratio >= 0.0 && padding_ratio < 1.0,
+                  "padding ratio must lie in [0, 1)");
+    const std::uint64_t block = c.batch_columns;
+    const std::uint64_t passes = ceil_div<std::uint64_t>(batch, block);
+
+    const double slots = static_cast<double>(nnz) / (1.0 - padding_ratio);
+    const double compute_per_pass =
+        slots / (8.0 * c.arch.ha_channels) / c.hbm.stream_efficiency;
+    const double segments =
+        static_cast<double>(ceil_div<std::uint64_t>(cols, c.arch.window));
+    const double fills_per_pass =
+        segments * c.fill_per_segment + c.fill_y_phase;
+
+    double cycles = 0.0;
+    for (std::uint64_t pass = 0; pass < passes; ++pass) {
+        const std::uint64_t pass_cols =
+            std::min<std::uint64_t>(block, batch - pass * block);
+        // x and y traffic widens with the column block; the A stream does
+        // not (that is the whole amortization).
+        cycles += static_cast<double>(
+            ceil_div<std::uint64_t>(rows * pass_cols, 16) +
+            ceil_div<std::uint64_t>(cols * pass_cols, 16));
+        cycles += compute_per_pass + fills_per_pass;
+    }
     return cycles / (c.frequency_mhz * 1e3) + c.invocation_overhead_us / 1e3;
 }
 

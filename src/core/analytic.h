@@ -40,4 +40,14 @@ double estimate_time_ms(const SerpensConfig& c, std::uint64_t rows,
                         std::uint64_t cols, std::uint64_t nnz,
                         double padding_ratio = 0.0);
 
+// estimate_time_ms extended to a B-wide SpMM invocation (Sextans-style
+// batched device mode): the A stream is traversed ceil(B / batch_columns)
+// times, the x/y vector traffic scales with B, fills are paid per pass, and
+// the kickoff overhead is paid once. At batch = 1 this equals
+// estimate_time_ms exactly. Divide by `batch` for the amortized per-SpMV
+// figure.
+double estimate_batch_time_ms(const SerpensConfig& c, std::uint64_t rows,
+                              std::uint64_t cols, std::uint64_t nnz,
+                              unsigned batch, double padding_ratio = 0.0);
+
 } // namespace serpens::core

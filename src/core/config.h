@@ -40,6 +40,15 @@ struct SerpensConfig {
     // run re-unpacks the packed lanes (the differential reference engine).
     // Either way y and CycleStats are bit-identical.
     bool decode_cache = true;
+    // Batched device mode (sim::BatchCycleStats): dense columns one
+    // A-stream pass feeds. This is the Sextans-style SpMM block width —
+    // each PE multiply-accumulates this many right-hand-side columns per
+    // streamed element, and the x-segment BRAMs hold this many x columns
+    // resident (the paper's 128 BRAM18K/PE budget at W = 8192 covers 8).
+    // Batches wider than this take ceil(B / batch_columns) passes over the
+    // sparse stream, so amortized device time saturates here — the knee
+    // bench_ablation_batch validates.
+    unsigned batch_columns = 8;
 
     // --- Serving layer (serve::Server / serve::MatrixRegistry) ---
     // Width of the request scheduler's drain rounds: how many coalesced

@@ -206,7 +206,7 @@ void Server::run_round(std::vector<Pending> round)
                     ys.push_back(std::move(round[i].y));
                 }
                 const Pending& head = round[members.front()];
-                std::vector<core::RunResult> results = exec_acc_.run_batch(
+                core::BatchRunResult results = exec_acc_.run_batch(
                     *head.matrix, xs, ys, head.alpha, head.beta);
                 const double service_ms = ms_between(start, Clock::now());
                 for (std::size_t k = 0; k < members.size(); ++k) {
@@ -215,6 +215,11 @@ void Server::run_round(std::vector<Pending> round)
                     r.run = std::move(results[k]);
                     r.queue_ms = ms_between(p.submitted, round_start);
                     r.service_ms = service_ms;
+                    // Every member of the batch shares one SpMM-mode
+                    // invocation, so every member reports the same
+                    // device-model figures.
+                    r.device_batch_ms = results.batch_time_ms;
+                    r.device_amortized_ms = results.amortized_time_ms;
                     r.batch_width = static_cast<unsigned>(members.size());
                     r.sequence = p.sequence;
                     p.promise.set_value(std::move(r));

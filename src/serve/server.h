@@ -45,11 +45,17 @@
 namespace serpens::serve {
 
 // Per-request response: the exact RunResult a direct Accelerator::run
-// would produce, plus serving telemetry.
+// would produce, plus serving telemetry. The device_* fields carry the
+// batched device model of the batch this request rode in
+// (core::BatchRunResult): every member of a coalesced batch reports the
+// same batch/amortized figures, and at width 1 device_amortized_ms equals
+// run.time_ms exactly.
 struct SpmvResult {
     core::RunResult run;
     double queue_ms = 0.0;    // submit -> dispatch round pickup
     double service_ms = 0.0;  // execution of the request's batch
+    double device_batch_ms = 0.0;      // modeled SpMM-mode time, whole batch
+    double device_amortized_ms = 0.0;  // device_batch_ms / batch_width
     unsigned batch_width = 1; // requests coalesced into the same batch
     std::uint64_t sequence = 0;  // global submit order (trace replay key)
 };

@@ -1,0 +1,192 @@
+#include "serve/snapshot.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+namespace serpens::serve {
+
+namespace {
+
+void append_loop(std::ostringstream& out, const char* name,
+                 const LoopSnapshot& r, bool last)
+{
+    out << "    \"" << name << "\": {\n"
+        << "      \"wall_s\": " << r.wall_s << ",\n"
+        << "      \"nnz_per_s\": " << r.nnz_per_s << ",\n"
+        << "      \"mean_queue_ms\": " << r.mean_queue_ms << ",\n"
+        << "      \"mean_service_ms\": " << r.mean_service_ms << ",\n"
+        << "      \"mean_batch_width\": " << r.mean_batch_width << ",\n"
+        << "      \"mean_device_amortized_ms\": "
+        << r.mean_device_amortized_ms << ",\n"
+        << "      \"batches\": " << r.stats.batches << ",\n"
+        << "      \"rounds\": " << r.stats.rounds << ",\n"
+        << "      \"coalesced\": " << r.stats.coalesced << ",\n"
+        << "      \"max_batch_seen\": " << r.stats.max_batch_seen << "\n"
+        << "    }" << (last ? "\n" : ",\n");
+}
+
+// Locate `"key"` in `json` at or after `from` and parse the number that
+// follows its colon. Returns false when the key or a parseable number is
+// missing.
+bool number_after_key(std::string_view json, std::string_view key,
+                      std::size_t from, double* value, std::size_t* at)
+{
+    const std::string quoted = "\"" + std::string(key) + "\"";
+    const std::size_t k = json.find(quoted, from);
+    if (k == std::string_view::npos)
+        return false;
+    std::size_t p = k + quoted.size();
+    while (p < json.size() && (json[p] == ':' || json[p] == ' ' ||
+                               json[p] == '\t' || json[p] == '\n'))
+        ++p;
+    if (p >= json.size())
+        return false;
+    char* end = nullptr;
+    const std::string tail(json.substr(p, 64));
+    const double v = std::strtod(tail.c_str(), &end);
+    if (end == tail.c_str())
+        return false;  // no digits at all (e.g. a string value)
+    if (value)
+        *value = v;
+    if (at)
+        *at = k;
+    return true;
+}
+
+bool fail(std::string* error, const std::string& what)
+{
+    if (error)
+        *error = what;
+    return false;
+}
+
+struct LoopKey {
+    const char* name;
+    bool strictly_positive;
+};
+
+// Every numeric key of a loop object, in the order to_json writes them.
+constexpr LoopKey kLoopKeys[] = {
+    {"wall_s", true},
+    {"nnz_per_s", true},
+    {"mean_queue_ms", false},
+    {"mean_service_ms", false},
+    {"mean_batch_width", true},
+    {"mean_device_amortized_ms", true},
+    {"batches", true},
+    {"rounds", true},
+    {"coalesced", false},
+    {"max_batch_seen", true},
+};
+
+bool validate_loop(std::string_view json, std::string_view loop,
+                   std::size_t* cursor, std::string* error)
+{
+    const std::string quoted = "\"" + std::string(loop) + "\"";
+    const std::size_t start = json.find(quoted, *cursor);
+    if (start == std::string_view::npos)
+        return fail(error, "missing loop \"" + std::string(loop) + "\"");
+    // Scope the key search to this loop's own object — loop values are
+    // plain numbers, so the first '}' closes it. Without the bound, a key
+    // missing from one loop would be satisfied by the other loop's copy.
+    const std::size_t open = json.find('{', start);
+    const std::size_t close = json.find('}', open);
+    if (open == std::string_view::npos || close == std::string_view::npos)
+        return fail(error, "malformed loop \"" + std::string(loop) + "\"");
+    const std::string_view body = json.substr(open, close - open);
+
+    std::size_t at = 0;
+    for (const LoopKey& key : kLoopKeys) {
+        double v = 0.0;
+        if (!number_after_key(body, key.name, at, &v, &at))
+            return fail(error, std::string(loop) + ": missing or "
+                                   "non-numeric \"" +
+                                   key.name + "\"");
+        if (!std::isfinite(v))
+            return fail(error, std::string(loop) + "." + key.name +
+                                   " is not finite");
+        if (v < 0.0 || (key.strictly_positive && v <= 0.0))
+            return fail(error, std::string(loop) + "." + key.name +
+                                   " must be " +
+                                   (key.strictly_positive ? "positive"
+                                                          : "non-negative"));
+    }
+    *cursor = close;
+    return true;
+}
+
+} // namespace
+
+std::string to_json(const ServeSnapshot& snap)
+{
+    std::ostringstream out;
+    out << "{\n  \"tool\": \"serpens_serve\",\n"
+        << "  \"config\": {\n"
+        << "    \"matrices\": " << snap.matrices << ",\n"
+        << "    \"entries\": " << snap.entries << ",\n"
+        << "    \"clients\": " << snap.clients << ",\n"
+        << "    \"requests_per_client\": " << snap.requests_per_client
+        << ",\n"
+        << "    \"max_batch\": " << snap.max_batch << ",\n"
+        << "    \"serve_threads\": " << snap.serve_threads << "\n"
+        << "  },\n  \"loops\": {\n";
+    append_loop(out, "batched", snap.batched, !snap.unbatched.has_value());
+    if (snap.unbatched)
+        append_loop(out, "unbatched", *snap.unbatched, true);
+    out << "  }";
+    if (snap.unbatched)
+        out << ",\n  \"batched_speedup\": "
+            << snap.batched.nnz_per_s / snap.unbatched->nnz_per_s << "\n";
+    else
+        out << "\n";
+    out << "}\n";
+    return out.str();
+}
+
+bool validate_snapshot_json(std::string_view json, std::string* error)
+{
+    if (json.find("\"tool\": \"serpens_serve\"") == std::string_view::npos)
+        return fail(error, "missing tool tag");
+
+    std::size_t at = 0;
+    static const char* const config_keys[] = {
+        "matrices",     "entries",   "clients",
+        "requests_per_client", "max_batch", "serve_threads"};
+    for (const char* key : config_keys) {
+        double v = 0.0;
+        if (!number_after_key(json, key, at, &v, &at))
+            return fail(error, std::string("config: missing or "
+                                           "non-numeric \"") +
+                                   key + "\"");
+        if (!std::isfinite(v) || v < 0.0)
+            return fail(error, std::string("config.") + key + " invalid");
+    }
+
+    std::size_t cursor = at;
+    if (!validate_loop(json, "batched", &cursor, error))
+        return false;
+
+    // The comparison loop and the speedup travel together: either both
+    // present (default run) or both absent (--no-compare).
+    const bool has_unbatched =
+        json.find("\"unbatched\"") != std::string_view::npos;
+    const bool has_speedup =
+        json.find("\"batched_speedup\"") != std::string_view::npos;
+    if (has_unbatched != has_speedup)
+        return fail(error, "unbatched loop and batched_speedup must appear "
+                           "together");
+    if (has_unbatched) {
+        if (!validate_loop(json, "unbatched", &cursor, error))
+            return false;
+        double speedup = 0.0;
+        if (!number_after_key(json, "batched_speedup", cursor, &speedup,
+                              nullptr))
+            return fail(error, "missing or non-numeric batched_speedup");
+        if (!std::isfinite(speedup) || speedup <= 0.0)
+            return fail(error, "batched_speedup must be positive");
+    }
+    return true;
+}
+
+} // namespace serpens::serve

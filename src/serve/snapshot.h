@@ -1,0 +1,62 @@
+// Serving-benchmark snapshot: the JSON schema serpens_serve emits
+// (BENCH_serve.json), factored out of the tool so the schema is a library
+// artifact the test layer can pin.
+//
+//   ServeSnapshot snap = ...;            // filled by the closed-loop tool
+//   std::string json = to_json(snap);    // the archived BENCH_serve.json
+//   validate_snapshot_json(json, &err);  // schema check, no JSON library
+//
+// The validator is deliberately lightweight (key scan + strtod): it
+// asserts every required key is present exactly where the writer puts it
+// and that every numeric value is finite and non-negative (strictly
+// positive where the quantity cannot be zero). tests/test_serve_stats.cpp
+// round-trips a snapshot through it and also feeds it corrupted documents.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "serve/server.h"
+
+namespace serpens::serve {
+
+// One closed-loop measurement (batched or unbatched) as archived.
+struct LoopSnapshot {
+    double wall_s = 0.0;
+    double nnz_per_s = 0.0;
+    double mean_queue_ms = 0.0;
+    double mean_service_ms = 0.0;
+    double mean_batch_width = 0.0;
+    // Batched device model (PR 6): mean over requests of the SpMM-mode
+    // amortized per-SpMV time their batch reported (SpmvResult::
+    // device_amortized_ms). The device-side counterpart of nnz_per_s.
+    double mean_device_amortized_ms = 0.0;
+    ServerStats stats;
+};
+
+// The whole serpens_serve run: workload shape + one or two loops.
+struct ServeSnapshot {
+    unsigned matrices = 0;
+    std::uint64_t entries = 0;
+    unsigned clients = 0;
+    unsigned requests_per_client = 0;
+    unsigned max_batch = 0;
+    unsigned serve_threads = 0;
+    LoopSnapshot batched;
+    std::optional<LoopSnapshot> unbatched;  // absent with --no-compare
+};
+
+// Serialize exactly the schema serpens_serve archives as BENCH_serve.json.
+std::string to_json(const ServeSnapshot& snap);
+
+// Schema check for a document produced by to_json: every required key
+// present (including the "unbatched" loop and "batched_speedup" when the
+// document claims a comparison ran), every numeric value finite and
+// non-negative, and the strictly-positive quantities (wall_s, nnz_per_s,
+// mean_batch_width, mean_device_amortized_ms, rounds, batches) > 0.
+// Returns true on success; otherwise false with a diagnostic in *error
+// (when non-null).
+bool validate_snapshot_json(std::string_view json, std::string* error);
+
+} // namespace serpens::serve

@@ -35,4 +35,50 @@ struct CycleStats {
     }
 };
 
+// Cycle breakdown of one batched (SpMM-mode) device invocation over B
+// right-hand sides — the Sextans-style extension where the sparse A stream
+// is shared across a block of dense columns instead of being re-streamed
+// per vector:
+//
+//   - A-stream:   traversed once per `passes` column blocks of up to
+//                 `batch_columns` columns (Sextans §3: each streamed
+//                 element feeds the whole block in one cycle), so
+//                 compute_cycles = passes * single-SpMV compute depth.
+//   - x-stream:   B-scaled: each pass streams its block's columns of every
+//                 x segment through the single x channel
+//                 (ceil(Wseg * block / 16) cycles per segment).
+//   - y-stream:   B-scaled the same way (ceil(M * block / 16) per pass).
+//   - fills:      paid once per pass, not once per vector.
+//
+// The six accounting fields mirror CycleStats term for term, and at B = 1
+// (one pass, one column) every field is bit-identical to the CycleStats of
+// a single SpMV — the model-differential invariant tests/test_batch_model
+// pins. Amortized per-SpMV device time is total over B, and is monotone
+// non-increasing in B over power-of-two widths.
+struct BatchCycleStats {
+    unsigned batch = 1;   // B right-hand sides in this invocation
+    unsigned passes = 1;  // A-stream traversals: ceil(B / batch_columns)
+
+    std::uint64_t x_load_cycles = 0;   // B-scaled x segment streaming
+    std::uint64_t compute_cycles = 0;  // passes * per-pass max-channel depth
+    std::uint64_t y_phase_cycles = 0;  // B-scaled y read/modify/write
+    std::uint64_t fill_cycles = 0;     // per-pass segment + y-phase fills
+    std::uint64_t total_slots = 0;     // PE slots walked across all passes
+    std::uint64_t padding_slots = 0;   // null elements across all passes
+    hbm::TrafficCounter traffic;       // off-chip bytes for the whole batch
+
+    std::uint64_t total_cycles() const
+    {
+        return x_load_cycles + compute_cycles + y_phase_cycles + fill_cycles;
+    }
+
+    double padding_ratio() const
+    {
+        return total_slots == 0
+                   ? 0.0
+                   : static_cast<double>(padding_slots) /
+                         static_cast<double>(total_slots);
+    }
+};
+
 } // namespace serpens::sim

@@ -189,6 +189,72 @@ void apply_y_phase(CycleStats& stats, index_t rows, const SimOptions& options)
     stats.traffic.add_write(y_lines * hbm::kLineBytes);
 }
 
+// Batched-device accounting core, shared by the packed-image and decoded
+// overloads of batch_cycle_stats. The per-pass arithmetic is the single
+// SpMV phase loop above with the x/y streams widened to the pass's column
+// block — at batch = 1 (one pass, one column) every term degenerates to
+// exactly decoded_phase_stats + apply_y_phase, which is the B=1
+// bit-identity the model-differential suite pins.
+template <typename DepthFn>
+BatchCycleStats batch_stats_impl(unsigned num_segments, index_t rows,
+                                 index_t cols, index_t window,
+                                 std::uint64_t total_slots,
+                                 std::uint64_t padding_slots,
+                                 std::uint64_t total_lines, DepthFn depth_of,
+                                 std::size_t batch, const SimOptions& options)
+{
+    SERPENS_CHECK(batch >= 1, "batch must contain at least one vector");
+    SERPENS_CHECK(options.batch_columns >= 1,
+                  "batch_columns must be positive");
+
+    BatchCycleStats s;
+    s.batch = static_cast<unsigned>(batch);
+    const std::uint64_t block = options.batch_columns;
+    s.passes =
+        static_cast<unsigned>(ceil_div<std::uint64_t>(batch, block));
+
+    for (unsigned pass = 0; pass < s.passes; ++pass) {
+        const std::uint64_t pass_cols = std::min<std::uint64_t>(
+            block, static_cast<std::uint64_t>(batch) - pass * block);
+        std::uint64_t prev_compute_depth = 0;
+        for (unsigned seg = 0; seg < num_segments; ++seg) {
+            const index_t seg_base = static_cast<index_t>(seg) * window;
+            const index_t seg_width = std::min<index_t>(window, cols - seg_base);
+            // The single x channel streams pass_cols columns of this
+            // segment, 16 floats per line.
+            const std::uint64_t load_cycles = ceil_div<std::uint64_t>(
+                static_cast<std::uint64_t>(seg_width) * pass_cols, 16);
+            if (options.double_buffer_x && seg > 0) {
+                s.x_load_cycles += load_cycles > prev_compute_depth
+                                       ? load_cycles - prev_compute_depth
+                                       : 0;
+            } else {
+                s.x_load_cycles += load_cycles;
+            }
+            s.traffic.add_read(load_cycles * hbm::kLineBytes);
+
+            // One A-stream traversal feeds the whole column block: each
+            // line still occupies one cycle (the PEs multiply-accumulate
+            // pass_cols-wide per element, Sextans §3).
+            const std::uint32_t depth = depth_of(seg);
+            s.compute_cycles += depth;
+            prev_compute_depth = depth;
+            s.fill_cycles += options.fill_per_segment;
+        }
+        s.total_slots += total_slots;
+        s.padding_slots += padding_slots;
+        s.traffic.add_read(total_lines * hbm::kLineBytes);
+
+        const std::uint64_t y_lines = ceil_div<std::uint64_t>(
+            static_cast<std::uint64_t>(rows) * pass_cols, 16);
+        s.y_phase_cycles += y_lines;
+        s.fill_cycles += options.fill_y_phase;
+        s.traffic.add_read(y_lines * hbm::kLineBytes);
+        s.traffic.add_write(y_lines * hbm::kLineBytes);
+    }
+    return s;
+}
+
 // Blocked-accumulator walk of one channel with the batch width as a
 // compile-time constant: the b-loop fully unrolls (and vectorizes at 4/8),
 // which is where the per-element amortization over the single-vector walk
@@ -358,7 +424,33 @@ SimBatchResult simulate_spmv_batch(const DecodedImage& img,
     apply_y_phase(stats, img.rows(), options);
 
     result.cycles = stats;
+    result.batch_cycles = batch_cycle_stats(img, batch, options);
     return result;
+}
+
+BatchCycleStats batch_cycle_stats(const encode::SerpensImage& img,
+                                  std::size_t batch, const SimOptions& options)
+{
+    return batch_stats_impl(
+        img.num_segments(), img.rows(), img.cols(), img.params().window,
+        img.stats().total_slots, img.stats().padding_slots,
+        img.stats().total_lines,
+        [&](unsigned seg) {
+            std::uint32_t depth = 0;
+            for (unsigned ch = 0; ch < img.channels(); ++ch)
+                depth = std::max(depth, img.segment_lines(ch, seg));
+            return depth;
+        },
+        batch, options);
+}
+
+BatchCycleStats batch_cycle_stats(const DecodedImage& img, std::size_t batch,
+                                  const SimOptions& options)
+{
+    return batch_stats_impl(
+        img.num_segments(), img.rows(), img.cols(), img.params().window,
+        img.total_slots(), img.padding_slots(), img.total_lines(),
+        [&](unsigned seg) { return img.segment_depth(seg); }, batch, options);
 }
 
 } // namespace serpens::sim

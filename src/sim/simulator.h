@@ -57,6 +57,12 @@ struct SimOptions {
     // accumulators (paper §3.3 address disjointness), so the simulated y and
     // CycleStats are bit-identical for every thread count.
     unsigned threads = 1;
+    // Device SpMM mode (BatchCycleStats): dense columns one A-stream pass
+    // feeds — the column block each PE multiply-accumulates per streamed
+    // element (Sextans §3 fixes 8) and the number of x columns the
+    // segment BRAMs can hold resident. Batches wider than this take
+    // ceil(B / batch_columns) passes over the sparse stream.
+    unsigned batch_columns = 8;
 };
 
 struct SimResult {
@@ -66,12 +72,15 @@ struct SimResult {
 
 // One decoded pass over a batch of right-hand sides. `cycles` is the
 // per-vector cycle breakdown — identical to what one packed run over any
-// single column reports, because the modeled machine (the published
-// Serpens) has no SpMM mode; the batch amortizes *host* decode and stream
-// traversal, not modeled device cycles.
+// single column reports (the published Serpens baseline, which re-streams
+// A per vector). `batch_cycles` prices the same batch as ONE device SpMM
+// invocation with the A stream shared across column blocks (the Sextans
+// extension); at B = 1 its accounting fields are bit-identical to
+// `cycles`.
 struct SimBatchResult {
     std::vector<std::vector<float>> y;  // [batch][rows]
     CycleStats cycles;
+    BatchCycleStats batch_cycles;
 };
 
 // Run y = alpha * A * x + beta * y_in on the encoded image (packed engine;
@@ -99,5 +108,19 @@ SimBatchResult simulate_spmv_batch(const DecodedImage& img,
                                    std::span<const std::vector<float>> ys_in,
                                    float alpha, float beta,
                                    const SimOptions& options = {});
+
+// Batched-device cycle accounting alone (no functional execution): price a
+// B-wide SpMM invocation from the image's per-segment extents. The two
+// overloads compute identical numbers from the packed image and from its
+// decoded expansion, so the accounting is available on both engine paths
+// (and with the decode cache disabled). options.batch_columns sets the
+// dense-column block width; at batch = 1 the result's accounting fields
+// are bit-identical to the CycleStats of one simulate_spmv call with the
+// same options.
+BatchCycleStats batch_cycle_stats(const encode::SerpensImage& img,
+                                  std::size_t batch,
+                                  const SimOptions& options = {});
+BatchCycleStats batch_cycle_stats(const DecodedImage& img, std::size_t batch,
+                                  const SimOptions& options = {});
 
 } // namespace serpens::sim

@@ -10,6 +10,7 @@
 #include "schedule_checker.h"
 #include "sparse/convert.h"
 #include "sparse/generators.h"
+#include "util/bitpack.h"
 #include "util/rng.h"
 
 namespace serpens {
@@ -161,6 +162,52 @@ TEST_P(ExactnessProperty, IntegerMatricesAreBitExact)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ExactnessProperty,
                          ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+// Batching-history property: a fixed matrix served by run_batch calls of
+// random widths must produce, for every column, exactly the bits a direct
+// run() on the same vectors produces — no state can leak from one batched
+// call (or width) into the next. The trace is driven by one fixed PRNG so
+// a failure replays deterministically.
+TEST(EndToEndPropertyBatchTrace, ResultsIndependentOfBatchingHistory)
+{
+    Rng rng(0xB47C4);
+    const CooMatrix m = sparse::make_uniform_random(1000, 1200, 30'000, 97);
+    const Accelerator acc(SerpensConfig::a16());
+    const auto prepared = acc.prepare(m);
+
+    for (unsigned call = 0; call < 12; ++call) {
+        const auto b = 1u + static_cast<unsigned>(rng.next_below(12));
+        std::vector<std::vector<float>> xs(b), ys(b);
+        for (unsigned k = 0; k < b; ++k) {
+            xs[k].resize(m.cols());
+            ys[k].resize(m.rows());
+            for (float& v : xs[k])
+                v = rng.next_float(-2.0f, 2.0f);
+            for (float& v : ys[k])
+                v = rng.next_float(-2.0f, 2.0f);
+        }
+        const float alpha = rng.next_float(-2.0f, 2.0f);
+        const float beta = rng.next_float(-2.0f, 2.0f);
+
+        const core::BatchRunResult batch =
+            acc.run_batch(prepared, xs, ys, alpha, beta);
+        ASSERT_EQ(batch.size(), b);
+        EXPECT_EQ(batch.batch_cycles.batch, b);
+        EXPECT_GT(batch.amortized_time_ms, 0.0);
+        for (unsigned k = 0; k < b; ++k) {
+            const core::RunResult direct =
+                acc.run(prepared, xs[k], ys[k], alpha, beta);
+            ASSERT_EQ(batch[k].y.size(), direct.y.size());
+            for (std::size_t r = 0; r < direct.y.size(); ++r)
+                ASSERT_EQ(float_bits(batch[k].y[r]), float_bits(direct.y[r]))
+                    << "call " << call << " width " << b << " column " << k
+                    << " row " << r;
+            EXPECT_EQ(batch[k].cycles.total_cycles(),
+                      direct.cycles.total_cycles())
+                << "call " << call << " column " << k;
+        }
+    }
+}
 
 } // namespace
 } // namespace serpens

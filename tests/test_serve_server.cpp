@@ -315,6 +315,55 @@ TEST(ServeServer, EvictionMidFlightKeepsPinnedRequestsCorrect)
     EXPECT_THROW(server.spmv("a", v.x, v.y), std::invalid_argument);
 }
 
+TEST(ServeServer, EvictionMidFlightKeepsPinnedBatchOfEightCorrect)
+{
+    // The B=1 eviction case above, at full SpMM width: eight same-key
+    // requests coalesce into ONE run_batch against a resident that is
+    // evicted from the registry while they sit queued. The pinned
+    // shared_ptr must keep the matrix (and its decode cache + batch-mode
+    // accounting) alive through the whole batched invocation.
+    const auto a = sparse::make_uniform_random(1000, 1000, 25'000, 83);
+    const auto b = sparse::make_uniform_random(1000, 1000, 25'000, 89);
+    core::SerpensConfig cfg = core::SerpensConfig::a16();
+    cfg.max_batch = 8;
+    {
+        const core::Accelerator probe(cfg);
+        const auto p = probe.prepare(a);
+        p.warm_decode();
+        cfg.resident_budget_bytes = p.memory_footprint_bytes() +
+                                    p.memory_footprint_bytes() / 2;
+    }
+    serve::Server server(cfg);
+    server.registry().admit("a", a);
+
+    server.pause();
+    std::vector<std::future<serve::SpmvResult>> futures;
+    for (unsigned i = 0; i < 8; ++i) {
+        const Vectors v = random_vectors(a.cols(), a.rows(), 850 + i);
+        futures.push_back(server.submit("a", v.x, v.y, 1.5f, -0.25f));
+    }
+    server.registry().admit("b", b);
+    EXPECT_EQ(server.registry().get("a"), nullptr);
+    server.resume();
+
+    const core::Accelerator acc(core::SerpensConfig::a16());
+    const auto prepared = acc.prepare(a);
+    double shared_amortized = 0.0;
+    for (unsigned i = 0; i < 8; ++i) {
+        const serve::SpmvResult r = futures[i].get();
+        EXPECT_EQ(r.batch_width, 8u);
+        const Vectors v = random_vectors(a.cols(), a.rows(), 850 + i);
+        const core::RunResult direct =
+            acc.run(prepared, v.x, v.y, 1.5f, -0.25f);
+        expect_result_equal(r.run, direct,
+                            "pinned batch member " + std::to_string(i));
+        if (i == 0)
+            shared_amortized = r.device_amortized_ms;
+        EXPECT_EQ(r.device_amortized_ms, shared_amortized);
+        EXPECT_LT(r.device_amortized_ms, r.run.time_ms);
+    }
+}
+
 TEST(ServeServer, SubmitFuturesCarryTelemetry)
 {
     const auto m = sparse::make_banded(600, 5, 67);

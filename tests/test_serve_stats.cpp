@@ -1,0 +1,222 @@
+// Serving-layer coverage for the batched device model (PR 6).
+//
+// Contracts pinned here:
+//   - Every member of a coalesced batch rides ONE SpMM-mode invocation, so
+//     every member's response reports the same device_batch_ms /
+//     device_amortized_ms, and a width-1 batch reports exactly the
+//     single-run modeled time.
+//   - Distinct batch widths amortize distinctly (a paused burst of 11
+//     chunks to 8 + 3 with the 8-wide group strictly cheaper per SpMV).
+//   - The serpens_serve snapshot schema (serve::to_json) round-trips its
+//     own validator, and corrupted documents are rejected with a
+//     diagnostic.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <vector>
+
+#include "serve/server.h"
+#include "serve/snapshot.h"
+#include "sparse/generators.h"
+#include "util/rng.h"
+
+namespace serpens {
+namespace {
+
+struct Vectors {
+    std::vector<float> x, y;
+};
+
+Vectors random_vectors(sparse::index_t cols, sparse::index_t rows,
+                       std::uint64_t seed)
+{
+    Rng rng(seed);
+    Vectors v;
+    v.x.resize(cols);
+    v.y.resize(rows);
+    for (float& f : v.x)
+        f = rng.next_float(-1.0f, 1.0f);
+    for (float& f : v.y)
+        f = rng.next_float(-1.0f, 1.0f);
+    return v;
+}
+
+TEST(ServeStats, CoalescedBatchSharesOneAmortizedDeviceTime)
+{
+    const auto m = sparse::make_uniform_random(1400, 1400, 35'000, 71);
+    core::SerpensConfig cfg = core::SerpensConfig::a16();
+    cfg.max_batch = 8;
+    serve::Server server(cfg);
+    server.registry().admit("m", m);
+
+    server.pause();
+    std::vector<std::future<serve::SpmvResult>> futures;
+    for (unsigned i = 0; i < 5; ++i) {
+        const Vectors v = random_vectors(m.cols(), m.rows(), 50 + i);
+        futures.push_back(server.submit("m", v.x, v.y, 1.5f, 0.25f));
+    }
+    server.resume();
+
+    std::vector<serve::SpmvResult> results;
+    for (auto& f : futures)
+        results.push_back(f.get());
+
+    for (const serve::SpmvResult& r : results) {
+        EXPECT_EQ(r.batch_width, 5u);
+        // One shared invocation: identical device figures for every member
+        // (same doubles, not just close).
+        EXPECT_EQ(r.device_batch_ms, results.front().device_batch_ms);
+        EXPECT_EQ(r.device_amortized_ms,
+                  results.front().device_amortized_ms);
+        EXPECT_DOUBLE_EQ(r.device_amortized_ms, r.device_batch_ms / 5.0);
+        // Sharing the A stream across 5 columns must beat 5 independent
+        // SpMVs: amortized device time below the per-vector modeled time.
+        EXPECT_LT(r.device_amortized_ms, r.run.time_ms);
+        EXPECT_GT(r.device_amortized_ms, 0.0);
+    }
+}
+
+TEST(ServeStats, WidthOneBatchReportsExactlyTheSingleRunTime)
+{
+    const auto m = sparse::make_banded(900, 7, 73);
+    serve::Server server(core::SerpensConfig::a16());
+    server.registry().admit("m", m);
+
+    const Vectors v = random_vectors(m.cols(), m.rows(), 7);
+    const serve::SpmvResult r = server.spmv("m", v.x, v.y);
+    ASSERT_EQ(r.batch_width, 1u);
+    EXPECT_DOUBLE_EQ(r.device_batch_ms, r.run.time_ms);
+    EXPECT_DOUBLE_EQ(r.device_amortized_ms, r.run.time_ms);
+}
+
+TEST(ServeStats, PausedBurstOfElevenAmortizesDistinctlyAcrossChunks)
+{
+    const auto m = sparse::make_uniform_random(1200, 1200, 30'000, 79);
+    core::SerpensConfig cfg = core::SerpensConfig::a16();
+    cfg.max_batch = 8;
+    serve::Server server(cfg);
+    server.registry().admit("m", m);
+
+    server.pause();
+    std::vector<std::future<serve::SpmvResult>> futures;
+    for (unsigned i = 0; i < 11; ++i) {
+        const Vectors v = random_vectors(m.cols(), m.rows(), 110 + i);
+        futures.push_back(server.submit("m", v.x, v.y, 2.0f, 0.5f));
+    }
+    server.resume();
+
+    std::vector<double> eight_amortized, three_amortized;
+    for (auto& f : futures) {
+        const serve::SpmvResult r = f.get();
+        if (r.batch_width == 8)
+            eight_amortized.push_back(r.device_amortized_ms);
+        else if (r.batch_width == 3)
+            three_amortized.push_back(r.device_amortized_ms);
+        else
+            FAIL() << "unexpected batch width " << r.batch_width;
+    }
+    ASSERT_EQ(eight_amortized.size(), 8u);
+    ASSERT_EQ(three_amortized.size(), 3u);
+    for (const double ms : eight_amortized)
+        EXPECT_EQ(ms, eight_amortized.front());
+    for (const double ms : three_amortized)
+        EXPECT_EQ(ms, three_amortized.front());
+    // The full 8-wide column block shares one A pass across more columns
+    // than the 3-wide remainder: strictly better amortization.
+    EXPECT_LT(eight_amortized.front(), three_amortized.front());
+}
+
+// --- Snapshot schema ---
+
+serve::ServeSnapshot plausible_snapshot(bool with_unbatched)
+{
+    serve::ServeSnapshot snap;
+    snap.matrices = 3;
+    snap.entries = 1'000'000;
+    snap.clients = 8;
+    snap.requests_per_client = 24;
+    snap.max_batch = 8;
+    snap.serve_threads = 4;
+
+    const auto loop = [](double scale) {
+        serve::LoopSnapshot l;
+        l.wall_s = 1.8 * scale;
+        l.nnz_per_s = 2.5e8 / scale;
+        l.mean_queue_ms = 0.4;
+        l.mean_service_ms = 6.5 * scale;
+        l.mean_batch_width = scale > 1.0 ? 1.0 : 5.2;
+        l.mean_device_amortized_ms = 0.9 * scale;
+        l.stats.requests = 192;
+        l.stats.batches = scale > 1.0 ? 192 : 40;
+        l.stats.rounds = 30;
+        l.stats.coalesced = scale > 1.0 ? 0 : 180;
+        l.stats.max_batch_seen = scale > 1.0 ? 1 : 8;
+        return l;
+    };
+    snap.batched = loop(1.0);
+    if (with_unbatched)
+        snap.unbatched = loop(2.6);
+    return snap;
+}
+
+TEST(ServeStats, SnapshotJsonRoundTripsItsValidator)
+{
+    for (const bool with_unbatched : {true, false}) {
+        const std::string json =
+            serve::to_json(plausible_snapshot(with_unbatched));
+        std::string error;
+        EXPECT_TRUE(serve::validate_snapshot_json(json, &error))
+            << "with_unbatched=" << with_unbatched << ": " << error;
+        EXPECT_NE(json.find("\"mean_device_amortized_ms\""),
+                  std::string::npos);
+        EXPECT_EQ(json.find("\"batched_speedup\"") != std::string::npos,
+                  with_unbatched);
+    }
+}
+
+TEST(ServeStats, SnapshotValidatorRejectsCorruptDocuments)
+{
+    const std::string good = serve::to_json(plausible_snapshot(true));
+    const auto replaced = [&](const std::string& from,
+                              const std::string& to) {
+        std::string doc = good;
+        const std::size_t at = doc.find(from);
+        EXPECT_NE(at, std::string::npos) << from;
+        doc.replace(at, from.size(), to);
+        return doc;
+    };
+
+    std::string error;
+    // A missing required key.
+    EXPECT_FALSE(serve::validate_snapshot_json(
+        replaced("\"mean_device_amortized_ms\"", "\"renamed_key\""),
+        &error));
+    EXPECT_NE(error.find("mean_device_amortized_ms"), std::string::npos);
+
+    // A non-finite value.
+    EXPECT_FALSE(serve::validate_snapshot_json(
+        replaced("\"wall_s\": 1.8", "\"wall_s\": nan"), &error));
+
+    // A zero where the quantity must be strictly positive.
+    EXPECT_FALSE(serve::validate_snapshot_json(
+        replaced("\"nnz_per_s\": 2.5e+08", "\"nnz_per_s\": 0"), &error));
+
+    // A negative count.
+    EXPECT_FALSE(serve::validate_snapshot_json(
+        replaced("\"coalesced\": 180", "\"coalesced\": -1"), &error));
+
+    // A string where a number belongs.
+    EXPECT_FALSE(serve::validate_snapshot_json(
+        replaced("\"batches\": 40", "\"batches\": \"forty\""), &error));
+
+    // The comparison loop without its speedup (and vice versa).
+    EXPECT_FALSE(serve::validate_snapshot_json(
+        replaced("\"batched_speedup\"", "\"renamed_speedup\""), &error));
+
+    // Not a serve snapshot at all.
+    EXPECT_FALSE(serve::validate_snapshot_json("{\"tool\": \"other\"}",
+                                               &error));
+}
+
+} // namespace
+} // namespace serpens

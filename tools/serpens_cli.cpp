@@ -256,6 +256,9 @@ int cmd_run(const CliArgs& args)
             v = rng.next_float(-1.0f, 1.0f);
 
     std::vector<core::RunResult> results;
+    sim::BatchCycleStats batch_cycles;
+    double device_batch_ms = 0.0;
+    double device_amortized_ms = 0.0;
     double total_ms = 0.0;
     const auto host_start = std::chrono::steady_clock::now();
     for (int it = 0; it < std::max(1, args.iters); ++it) {
@@ -263,8 +266,12 @@ int cmd_run(const CliArgs& args)
             results.assign(
                 1, acc.run(*prepared, xs[0], ys[0], args.alpha, args.beta));
         } else {
-            results =
+            core::BatchRunResult round =
                 acc.run_batch(*prepared, xs, ys, args.alpha, args.beta);
+            batch_cycles = round.batch_cycles;
+            device_batch_ms = round.batch_time_ms;
+            device_amortized_ms = round.amortized_time_ms;
+            results = std::move(round.per_vector);
         }
         total_ms += results[0].time_ms;
     }
@@ -292,6 +299,15 @@ int cmd_run(const CliArgs& args)
                 static_cast<unsigned long long>(result.cycles.fill_cycles));
     std::printf("time:    %.4f ms/run (%d run%s)\n", total_ms / args.iters,
                 args.iters, args.iters == 1 ? "" : "s");
+    if (batch > 1) {
+        // SpMM device mode: one invocation streams A once per
+        // batch_columns-wide column block instead of once per vector.
+        std::printf("device:  %.4f ms/batch SpMM mode (%u pass%s over the "
+                    "A stream), %.4f ms/SpMV amortized\n",
+                    device_batch_ms, batch_cycles.passes,
+                    batch_cycles.passes == 1 ? "" : "es",
+                    device_amortized_ms);
+    }
     std::printf("host:    %.3f ms/SpMV (%u vector%s x %d iteration%s, "
                 "decode cache %s)\n",
                 host_ms / (static_cast<double>(batch) *

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "serve/server.h"
+#include "serve/snapshot.h"
 #include "sparse/generators.h"
 #include "util/bitpack.h"
 #include "util/rng.h"
@@ -70,6 +71,7 @@ struct TraceEntry {
     sim::CycleStats cycles;
     double queue_ms = 0.0;
     double service_ms = 0.0;
+    double device_amortized_ms = 0.0;  // SpMM-mode per-SpMV device time
     unsigned batch_width = 1;
 };
 
@@ -90,6 +92,7 @@ struct LoopResult {
     double mean_queue_ms = 0.0;
     double mean_service_ms = 0.0;
     double mean_batch_width = 0.0;
+    double mean_device_amortized_ms = 0.0;
     serve::ServerStats stats;
     std::vector<TraceEntry> trace;
 };
@@ -178,6 +181,7 @@ LoopResult run_closed_loop(const core::SerpensConfig& cfg,
                     t.cycles = res.run.cycles;
                     t.queue_ms = res.queue_ms;
                     t.service_ms = res.service_ms;
+                    t.device_amortized_ms = res.device_amortized_ms;
                     t.batch_width = res.batch_width;
                 }
             } catch (const std::exception& e) {
@@ -206,11 +210,13 @@ LoopResult run_closed_loop(const core::SerpensConfig& cfg,
         nnz_served += nnz[t.matrix];
         out.mean_queue_ms += t.queue_ms;
         out.mean_service_ms += t.service_ms;
+        out.mean_device_amortized_ms += t.device_amortized_ms;
         width_sum += t.batch_width;
     }
     out.nnz_per_s = static_cast<double>(nnz_served) / wall_s;
     out.mean_queue_ms /= total;
     out.mean_service_ms /= total;
+    out.mean_device_amortized_ms /= total;
     out.mean_batch_width = width_sum / total;
     out.trace = std::move(trace);
     return out;
@@ -268,47 +274,47 @@ void print_loop(const char* label, const LoopResult& r)
                 r.mean_batch_width, r.stats.max_batch_seen,
                 r.stats.coalesced, r.stats.requests, r.stats.batches,
                 r.stats.rounds);
+    std::printf("  device:    %.4f ms/SpMV amortized (SpMM mode)\n",
+                r.mean_device_amortized_ms);
+}
+
+serve::LoopSnapshot loop_snapshot(const LoopResult& r)
+{
+    serve::LoopSnapshot s;
+    s.wall_s = r.wall_s;
+    s.nnz_per_s = r.nnz_per_s;
+    s.mean_queue_ms = r.mean_queue_ms;
+    s.mean_service_ms = r.mean_service_ms;
+    s.mean_batch_width = r.mean_batch_width;
+    s.mean_device_amortized_ms = r.mean_device_amortized_ms;
+    s.stats = r.stats;
+    return s;
 }
 
 void write_json(const std::string& path, const Args& args,
                 const LoopResult& batched, const LoopResult* unbatched)
 {
+    serve::ServeSnapshot snap;
+    snap.matrices = args.matrices;
+    snap.entries = args.entries;
+    snap.clients = args.clients;
+    snap.requests_per_client = args.requests;
+    snap.max_batch = args.max_batch;
+    snap.serve_threads = args.serve_threads;
+    snap.batched = loop_snapshot(batched);
+    if (unbatched)
+        snap.unbatched = loop_snapshot(*unbatched);
+
+    const std::string json = serve::to_json(snap);
+    std::string schema_error;
+    if (!serve::validate_snapshot_json(json, &schema_error))
+        throw std::runtime_error("snapshot failed its own schema check: " +
+                                 schema_error);
+
     std::ofstream out(path);
     if (!out)
         throw std::runtime_error("cannot write " + path);
-    const auto loop = [&](const char* name, const LoopResult& r,
-                          bool last) {
-        out << "    \"" << name << "\": {\n"
-            << "      \"wall_s\": " << r.wall_s << ",\n"
-            << "      \"nnz_per_s\": " << r.nnz_per_s << ",\n"
-            << "      \"mean_queue_ms\": " << r.mean_queue_ms << ",\n"
-            << "      \"mean_service_ms\": " << r.mean_service_ms << ",\n"
-            << "      \"mean_batch_width\": " << r.mean_batch_width << ",\n"
-            << "      \"batches\": " << r.stats.batches << ",\n"
-            << "      \"rounds\": " << r.stats.rounds << ",\n"
-            << "      \"coalesced\": " << r.stats.coalesced << ",\n"
-            << "      \"max_batch_seen\": " << r.stats.max_batch_seen << "\n"
-            << "    }" << (last ? "\n" : ",\n");
-    };
-    out << "{\n  \"tool\": \"serpens_serve\",\n"
-        << "  \"config\": {\n"
-        << "    \"matrices\": " << args.matrices << ",\n"
-        << "    \"entries\": " << args.entries << ",\n"
-        << "    \"clients\": " << args.clients << ",\n"
-        << "    \"requests_per_client\": " << args.requests << ",\n"
-        << "    \"max_batch\": " << args.max_batch << ",\n"
-        << "    \"serve_threads\": " << args.serve_threads << "\n"
-        << "  },\n  \"loops\": {\n";
-    loop("batched", batched, unbatched == nullptr);
-    if (unbatched)
-        loop("unbatched", *unbatched, true);
-    out << "  }";
-    if (unbatched)
-        out << ",\n  \"batched_speedup\": "
-            << batched.nnz_per_s / unbatched->nnz_per_s << "\n";
-    else
-        out << "\n";
-    out << "}\n";
+    out << json;
 }
 
 int usage()
