@@ -39,6 +39,39 @@ mkdir -p "${BUILD_DIR}/bench-results"
     --matrices 1 --entries 1000000 --rows 4096 --clients 8 --requests 24 \
     --serve-threads 1 --json "${BUILD_DIR}/bench-results/BENCH_serve.json"
 
+# Tail-latency snapshot over the wire: start the serving daemon, drive it
+# with open-loop Poisson arrivals through the TCP client, and require the
+# SLO gate — adaptive batching must hold p99 queue time under --slo-ms
+# while throughput-greedy fixed batching (same batch_wait hold) misses it.
+# serpens_serve exits non-zero if either side of that ablation fails, and
+# every response is still bit-compared against a sequential replay.
+cmake --build "${BUILD_DIR}" -j "${JOBS}" --target serpens_served
+PORT_FILE="${BUILD_DIR}/served.port"
+rm -f "${PORT_FILE}"
+"${BUILD_DIR}/tools/serpens_served" --port-file "${PORT_FILE}" \
+    --max-batch 8 &
+SERVED_PID=$!
+for _ in $(seq 100); do
+  [[ -s "${PORT_FILE}" ]] && break
+  sleep 0.1
+done
+[[ -s "${PORT_FILE}" ]] || { echo "serpens_served never published a port"; kill "${SERVED_PID}"; exit 1; }
+"${BUILD_DIR}/tools/serpens_serve" \
+    --connect "127.0.0.1:$(cat "${PORT_FILE}")" \
+    --arrival-rate 100 --slo-ms 20 --batch-wait-ms 80 \
+    --matrices 1 --entries 200000 --rows 4096 --clients 6 --requests 50 \
+    --json "${BUILD_DIR}/bench-results/BENCH_net.json" \
+    --shutdown-daemon
+wait "${SERVED_PID}"
+
+# Both serving snapshots must satisfy the schema validator (the same one
+# the ServeStats suite pins); a malformed archive fails CI here, not in
+# whatever downstream tooling reads bench-results/.
+"${BUILD_DIR}/tools/serpens_serve" \
+    --check-snapshot "${BUILD_DIR}/bench-results/BENCH_serve.json"
+"${BUILD_DIR}/tools/serpens_serve" \
+    --check-snapshot "${BUILD_DIR}/bench-results/BENCH_net.json"
+
 # Batched device-mode ablation: amortized per-SpMV device time over
 # B = 1..32 at 1M nnz (real batched executions + analytic + Sextans
 # cross-check). The binary exits non-zero if amortized time fails to

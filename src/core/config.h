@@ -11,6 +11,8 @@
 //       (paper §4.4; power interpolated at 52 W — the paper gives none)
 #pragma once
 
+#include <cstddef>
+
 #include "encode/mapping.h"
 #include "hbm/spec.h"
 
@@ -66,6 +68,26 @@ struct SerpensConfig {
     // simulate_spmv_batch call per drain round (Sextans-style multi-vector
     // amortization; per-request results are bit-identical at any width).
     unsigned max_batch = 8;
+    // Hold a forming dispatch round up to this long waiting for the
+    // effective max_batch to fill before draining (0 = drain the moment
+    // anything is queued — the pre-daemon behavior). This is the
+    // throughput/latency trade the SLO controller below steers: wider
+    // batches amortize the A stream, but every held request pays the hold
+    // as queue time.
+    double batch_wait_ms = 0.0;
+    // Target p99 queue time for SLO-driven adaptive batching. When > 0 the
+    // dispatcher maintains an EWMA of each round's p99 queue time and
+    // halves its effective max_batch (floor 1, so batches form instantly)
+    // whenever the estimate exceeds the target, doubling back toward
+    // max_batch once the estimate drops below half the target. 0 = fixed
+    // max_batch, no adaptation.
+    double slo_queue_ms = 0.0;
+    // Admission bound: a submit() arriving when this many requests are
+    // already queued fails fast with serve::QueueFullError instead of
+    // growing the backlog without bound (0 = unbounded). Overload degrades
+    // into visible rejections the client can retry, never silent drops or
+    // unbounded queueing.
+    std::size_t max_queue_depth = 0;
 
     static SerpensConfig a16()
     {

@@ -1,0 +1,85 @@
+#include "net/client.h"
+
+namespace serpens::net {
+
+Client::Client(const std::string& host, std::uint16_t port, int timeout_ms)
+    : sock_(connect_tcp(host, port, timeout_ms))
+{
+}
+
+WireReader Client::roundtrip(const std::vector<std::uint8_t>& frame)
+{
+    write_frame(sock_, frame);
+    std::optional<std::vector<std::uint8_t>> reply = read_frame(sock_);
+    if (!reply)
+        throw NetError("daemon closed the connection");
+    last_reply_ = std::move(*reply);
+    return open_reply(last_reply_);
+}
+
+void Client::ping()
+{
+    WireReader r = roundtrip(encode_request(RequestType::kPing));
+    r.require_done();
+}
+
+void Client::admit(const std::string& name, const sparse::CooMatrix& m)
+{
+    AdmitRequest req;
+    req.name = name;
+    req.rows = m.rows();
+    req.cols = m.cols();
+    req.row_idx.reserve(m.nnz());
+    req.col_idx.reserve(m.nnz());
+    req.values.reserve(m.nnz());
+    for (const sparse::Triplet& t : m.elements()) {
+        req.row_idx.push_back(t.row);
+        req.col_idx.push_back(t.col);
+        req.values.push_back(t.val);
+    }
+    WireReader r = roundtrip(encode_admit(req));
+    r.require_done();
+}
+
+SpmvReply Client::spmv(const std::string& name, const std::vector<float>& x,
+                       const std::vector<float>& y, float alpha, float beta)
+{
+    SpmvRequest req;
+    req.name = name;
+    req.x = x;
+    req.y = y;
+    req.alpha = alpha;
+    req.beta = beta;
+    WireReader r = roundtrip(encode_spmv(req));
+    return decode_spmv_reply(r);
+}
+
+std::string Client::stats_json()
+{
+    WireReader r = roundtrip(encode_request(RequestType::kStats));
+    std::string json = r.str();
+    r.require_done();
+    return json;
+}
+
+void Client::set_batching(const SetBatchingRequest& req)
+{
+    WireReader r = roundtrip(encode_set_batching(req));
+    r.require_done();
+}
+
+bool Client::evict(const std::string& name)
+{
+    WireReader r = roundtrip(encode_evict(name));
+    const bool present = r.u8() != 0;
+    r.require_done();
+    return present;
+}
+
+void Client::shutdown_daemon()
+{
+    WireReader r = roundtrip(encode_request(RequestType::kShutdown));
+    r.require_done();
+}
+
+} // namespace serpens::net

@@ -1,0 +1,49 @@
+// Blocking client for the serpens_served daemon.
+//
+//   net::Client client("127.0.0.1", port, /*timeout_ms=*/30000);
+//   client.admit("web", coo);
+//   net::SpmvReply r = client.spmv("web", x, y, alpha, beta);
+//
+// One Client owns one connection and is NOT thread-safe — the open-loop
+// benchmark gives each worker thread its own Client, which also exercises
+// the daemon's thread-per-connection path. Errors follow the wire.h
+// taxonomy: TimeoutError on an expired socket deadline, OverloadedError
+// when admission was refused (retryable), RemoteError for application
+// failures on the daemon, ProtocolError/NetError for transport trouble.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/framing.h"
+#include "net/protocol.h"
+#include "sparse/coo.h"
+
+namespace serpens::net {
+
+class Client {
+public:
+    Client(const std::string& host, std::uint16_t port, int timeout_ms);
+
+    void ping();
+    void admit(const std::string& name, const sparse::CooMatrix& m);
+    SpmvReply spmv(const std::string& name, const std::vector<float>& x,
+                   const std::vector<float>& y, float alpha, float beta);
+    std::string stats_json();
+    void set_batching(const SetBatchingRequest& req);
+    bool evict(const std::string& name);  // true if the name was resident
+
+    // Ask the daemon to shut down: its wait() returns and the owner stops
+    // it. The daemon acknowledges before winding down.
+    void shutdown_daemon();
+
+private:
+    // One request/response exchange; returns a reader over the kOk body.
+    WireReader roundtrip(const std::vector<std::uint8_t>& frame);
+
+    Socket sock_;
+    std::vector<std::uint8_t> last_reply_;  // backing store for the reader
+};
+
+} // namespace serpens::net

@@ -1,0 +1,187 @@
+#include "net/daemon.h"
+
+#include <exception>
+#include <utility>
+
+#include "net/protocol.h"
+#include "serve/snapshot.h"
+
+namespace serpens::net {
+
+Daemon::Daemon(serve::Server& server, std::uint16_t port) : server_(server)
+{
+    listener_ = listen_tcp(port, &port_);
+    acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+Daemon::~Daemon()
+{
+    stop();
+}
+
+void Daemon::wait()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_shutdown_.wait(lock, [this] { return shutdown_requested_; });
+}
+
+void Daemon::request_shutdown()
+{
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        shutdown_requested_ = true;
+    }
+    cv_shutdown_.notify_all();
+}
+
+bool Daemon::shutdown_requested()
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    return shutdown_requested_;
+}
+
+void Daemon::stop()
+{
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        if (stopping_)
+            return;
+        stopping_ = true;
+        shutdown_requested_ = true;
+        // Unblock the acceptor and every connection thread parked in
+        // recv(); they observe EOF/EINVAL and wind down.
+        listener_.shutdown_both();
+        for (auto& [id, sock] : conns_)
+            sock.shutdown_both();
+    }
+    cv_shutdown_.notify_all();
+    if (acceptor_.joinable())
+        acceptor_.join();
+    // No new connection threads once the acceptor has exited.
+    for (std::thread& t : threads_)
+        if (t.joinable())
+            t.join();
+}
+
+void Daemon::accept_loop()
+{
+    for (;;) {
+        std::optional<Socket> conn;
+        try {
+            conn = accept_conn(listener_);
+        } catch (const NetError&) {
+            break;  // listener torn down under us
+        }
+        if (!conn)
+            break;
+        const std::lock_guard<std::mutex> lock(mu_);
+        if (stopping_)
+            break;  // drop the straggler; stop() already swept conns_
+        const std::uint64_t id = next_conn_id_++;
+        conns_.emplace(id, std::move(*conn));
+        threads_.emplace_back([this, id] { serve_conn(id); });
+    }
+}
+
+void Daemon::serve_conn(std::uint64_t conn_id)
+{
+    Socket* sock = nullptr;
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        // unordered_map element references stay valid across rehashes;
+        // only this thread erases this entry.
+        sock = &conns_.at(conn_id);
+    }
+    for (;;) {
+        std::optional<std::vector<std::uint8_t>> frame;
+        try {
+            frame = read_frame(*sock);
+        } catch (const ProtocolError& e) {
+            // Unframeable bytes: we cannot resync the stream. Best-effort
+            // error reply, then drop the connection.
+            try {
+                write_frame(*sock,
+                            encode_error(Status::kError, e.what()));
+            } catch (const NetError&) {
+            }
+            break;
+        } catch (const NetError&) {
+            break;
+        }
+        if (!frame)
+            break;  // clean close
+        try {
+            write_frame(*sock, handle_frame(*frame));
+        } catch (const NetError&) {
+            break;
+        }
+    }
+    const std::lock_guard<std::mutex> lock(mu_);
+    conns_.erase(conn_id);
+}
+
+std::vector<std::uint8_t> Daemon::handle_frame(
+    const std::vector<std::uint8_t>& frame)
+{
+    // Exception wall: anything a handler throws becomes a status reply on
+    // this connection; the daemon itself never unwinds.
+    try {
+        WireReader r(frame);
+        switch (decode_request_type(r)) {
+        case RequestType::kPing:
+            r.require_done();
+            return encode_ok();
+        case RequestType::kAdmit: {
+            const AdmitRequest req = decode_admit(r);
+            server_.registry().admit(req.name, admit_to_coo(req));
+            return encode_ok();
+        }
+        case RequestType::kSpmv: {
+            SpmvRequest req = decode_spmv(r);
+            const serve::SpmvResult result =
+                server_.spmv(req.name, std::move(req.x), std::move(req.y),
+                             req.alpha, req.beta);
+            WireWriter body;
+            encode_spmv_reply(body, result);
+            return encode_ok(std::move(body));
+        }
+        case RequestType::kStats: {
+            r.require_done();
+            serve::MatrixRegistry& reg = server_.registry();
+            WireWriter body;
+            body.str(serve::server_stats_to_json(
+                server_.stats(), reg.stats(), reg.size(),
+                reg.bytes_resident()));
+            return encode_ok(std::move(body));
+        }
+        case RequestType::kSetBatching: {
+            const SetBatchingRequest req = decode_set_batching(r);
+            server_.set_batching(req.max_batch, req.slo_ms,
+                                 req.batch_wait_ms,
+                                 static_cast<std::size_t>(
+                                     req.max_queue_depth));
+            return encode_ok();
+        }
+        case RequestType::kEvict: {
+            const std::string name = decode_evict(r);
+            const bool present = server_.registry().evict(name);
+            WireWriter body;
+            body.u8(present ? 1 : 0);
+            return encode_ok(std::move(body));
+        }
+        case RequestType::kShutdown:
+            r.require_done();
+            // Runs on a connection thread, so only flag + wake: the owner
+            // of wait() performs the actual stop() from outside.
+            request_shutdown();
+            return encode_ok();
+        }
+        throw ProtocolError("unhandled request type");
+    } catch (const serve::QueueFullError& e) {
+        return encode_error(Status::kOverloaded, e.what());
+    } catch (const std::exception& e) {
+        return encode_error(Status::kError, e.what());
+    }
+}
+
+} // namespace serpens::net

@@ -1,0 +1,84 @@
+// The TCP front-end over serve::Server: serpens_served's engine room.
+//
+//   serve::Server server(cfg);
+//   net::Daemon daemon(server, /*port=*/0);   // 0 = ephemeral
+//   std::printf("listening on %u\n", daemon.port());
+//   daemon.wait();                            // until a Shutdown frame
+//   daemon.stop();
+//
+// One accept-loop thread plus one thread per connection; each connection
+// handles length-prefixed request frames sequentially (pipelining within a
+// connection is the client's choice, ordering is preserved). All request
+// handling is exception-walled: a serve::QueueFullError becomes an
+// OVERLOADED response, any other std::exception becomes an ERROR response
+// with the message, and only transport-level corruption (bad frame length,
+// unparseable type byte) closes the connection — a misbehaving client can
+// never take the daemon down.
+//
+// Shutdown is two-phase on purpose: the wire's kShutdown handler runs ON a
+// connection thread, so it only flips a flag and wakes wait(); the owner
+// (who is not a connection thread) then calls stop(), which closes the
+// listener, half-closes every live connection to unblock parked reads, and
+// joins all threads. The destructor calls stop().
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/framing.h"
+#include "serve/server.h"
+
+namespace serpens::net {
+
+class Daemon {
+public:
+    // Binds 127.0.0.1:port (throws NetError if taken) and starts
+    // accepting.
+    Daemon(serve::Server& server, std::uint16_t port);
+    ~Daemon();
+
+    Daemon(const Daemon&) = delete;
+    Daemon& operator=(const Daemon&) = delete;
+
+    std::uint16_t port() const { return port_; }
+
+    // Block until request_shutdown() — from a kShutdown frame or any
+    // thread.
+    void wait();
+    void request_shutdown();
+    // Non-blocking probe, for owners that must also watch signal flags.
+    bool shutdown_requested();
+
+    // Stop accepting, unblock and join every connection thread. Safe to
+    // call twice; must NOT be called from a connection thread.
+    void stop();
+
+private:
+    void accept_loop();
+    void serve_conn(std::uint64_t conn_id);
+    std::vector<std::uint8_t> handle_frame(
+        const std::vector<std::uint8_t>& frame);
+
+    serve::Server& server_;
+    std::uint16_t port_ = 0;
+    Socket listener_;
+
+    std::mutex mu_;
+    std::condition_variable cv_shutdown_;
+    bool shutdown_requested_ = false;
+    bool stopping_ = false;
+    // Live connection sockets by id, so stop() can shutdown_both() each to
+    // unblock its thread's read_frame. The socket is owned here (not by
+    // the thread) for exactly that reason.
+    std::unordered_map<std::uint64_t, Socket> conns_;
+    std::vector<std::thread> threads_;  // joined in stop()
+    std::uint64_t next_conn_id_ = 0;
+
+    std::thread acceptor_;
+};
+
+} // namespace serpens::net

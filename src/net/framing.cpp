@@ -1,0 +1,200 @@
+#include "net/framing.h"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "net/wire.h"
+
+namespace serpens::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what)
+{
+    const int err = errno;
+    if (err == EAGAIN || err == EWOULDBLOCK || err == EINPROGRESS)
+        throw TimeoutError(what + ": timed out");
+    throw NetError(what + ": " + std::strerror(err));
+}
+
+void send_all(Socket& s, const std::uint8_t* data, std::size_t n)
+{
+    while (n > 0) {
+        // MSG_NOSIGNAL: a peer that vanished mid-write must surface as
+        // EPIPE, not kill the process with SIGPIPE.
+        const ssize_t sent = ::send(s.fd(), data, n, MSG_NOSIGNAL);
+        if (sent < 0) {
+            if (errno == EINTR)
+                continue;
+            throw_errno("send");
+        }
+        data += sent;
+        n -= static_cast<std::size_t>(sent);
+    }
+}
+
+// Receive exactly n bytes. Returns false on EOF before the first byte
+// (allowed = clean close); EOF after a partial read always throws.
+bool recv_all(Socket& s, std::uint8_t* data, std::size_t n, bool eof_ok)
+{
+    std::size_t got = 0;
+    while (got < n) {
+        const ssize_t r = ::recv(s.fd(), data + got, n - got, 0);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            throw_errno("recv");
+        }
+        if (r == 0) {
+            if (got == 0 && eof_ok)
+                return false;
+            throw ProtocolError("connection closed mid-frame");
+        }
+        got += static_cast<std::size_t>(r);
+    }
+    return true;
+}
+
+} // namespace
+
+void Socket::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void Socket::shutdown_both()
+{
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::set_timeout_ms(int timeout_ms)
+{
+    if (fd_ < 0 || timeout_ms <= 0)
+        return;
+    timeval tv{};
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = (timeout_ms % 1000) * 1000;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+Socket connect_tcp(const std::string& host, std::uint16_t port,
+                   int timeout_ms)
+{
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* res = nullptr;
+    const std::string service = std::to_string(port);
+    const int gai = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &res);
+    if (gai != 0)
+        throw NetError("resolve " + host + ": " + ::gai_strerror(gai));
+
+    std::string last_error = "no addresses";
+    for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+        Socket s(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+        if (!s.valid())
+            continue;
+        // The timeout also bounds connect(): a blocking connect honors
+        // SO_SNDTIMEO on Linux.
+        s.set_timeout_ms(timeout_ms);
+        if (::connect(s.fd(), ai->ai_addr, ai->ai_addrlen) == 0) {
+            ::freeaddrinfo(res);
+            const int one = 1;
+            ::setsockopt(s.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+            return s;
+        }
+        last_error = std::strerror(errno);
+    }
+    ::freeaddrinfo(res);
+    throw NetError("connect " + host + ":" + service + ": " + last_error);
+}
+
+Socket listen_tcp(std::uint16_t port, std::uint16_t* bound_port)
+{
+    Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!s.valid())
+        throw_errno("socket");
+    const int one = 1;
+    ::setsockopt(s.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(s.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0)
+        throw_errno("bind 127.0.0.1:" + std::to_string(port));
+    if (::listen(s.fd(), 64) != 0)
+        throw_errno("listen");
+
+    if (bound_port != nullptr) {
+        sockaddr_in bound{};
+        socklen_t len = sizeof bound;
+        if (::getsockname(s.fd(), reinterpret_cast<sockaddr*>(&bound),
+                          &len) != 0)
+            throw_errno("getsockname");
+        *bound_port = ntohs(bound.sin_port);
+    }
+    return s;
+}
+
+std::optional<Socket> accept_conn(Socket& listener)
+{
+    for (;;) {
+        const int fd = ::accept(listener.fd(), nullptr, nullptr);
+        if (fd >= 0) {
+            Socket s(fd);
+            const int one = 1;
+            ::setsockopt(s.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+            return s;
+        }
+        if (errno == EINTR)
+            continue;
+        // The stop path shuts the listener down (or closes it) under us;
+        // report that as end-of-accepting rather than an error.
+        if (errno == EINVAL || errno == EBADF || errno == ECONNABORTED)
+            return std::nullopt;
+        throw_errno("accept");
+    }
+}
+
+void write_frame(Socket& s, const std::vector<std::uint8_t>& payload)
+{
+    if (payload.size() > kMaxFrameBytes)
+        throw ProtocolError("frame payload of " +
+                            std::to_string(payload.size()) +
+                            " bytes exceeds kMaxFrameBytes");
+    std::uint8_t header[4];
+    const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+    std::memcpy(header, &n, sizeof n);
+    send_all(s, header, sizeof header);
+    send_all(s, payload.data(), payload.size());
+}
+
+std::optional<std::vector<std::uint8_t>> read_frame(Socket& s)
+{
+    std::uint8_t header[4];
+    if (!recv_all(s, header, sizeof header, /*eof_ok=*/true))
+        return std::nullopt;
+    std::uint32_t n = 0;
+    std::memcpy(&n, header, sizeof n);
+    if (n > kMaxFrameBytes)
+        throw ProtocolError("frame length " + std::to_string(n) +
+                            " exceeds kMaxFrameBytes");
+    std::vector<std::uint8_t> payload(n);
+    recv_all(s, payload.data(), n, /*eof_ok=*/false);
+    return payload;
+}
+
+} // namespace serpens::net

@@ -1,0 +1,81 @@
+// TCP transport for the serving daemon: RAII sockets and length-prefixed
+// frames.
+//
+// A frame is a 4-byte little-endian payload length followed by the
+// payload. read_frame() refuses lengths above kMaxFrameBytes before
+// allocating anything, so a hostile or corrupted length prefix cannot
+// drive an allocation; a clean EOF at a frame boundary is a normal
+// connection close (nullopt), EOF mid-frame is a ProtocolError.
+//
+// Sockets are plain blocking POSIX fds wrapped for ownership. Timeouts are
+// per-socket (SO_RCVTIMEO / SO_SNDTIMEO); an expired deadline surfaces as
+// TimeoutError, every other socket failure as NetError with errno text.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace serpens::net {
+
+// Hard bound on a single frame's payload. Generous: a 256 MiB frame holds
+// a ~10M-nnz admit request, while a 32-bit length prefix could otherwise
+// demand 4 GiB.
+constexpr std::uint32_t kMaxFrameBytes = 1u << 28;
+
+class Socket {
+public:
+    Socket() = default;
+    explicit Socket(int fd) : fd_(fd) {}
+    ~Socket() { close(); }
+
+    Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+    Socket& operator=(Socket&& other) noexcept
+    {
+        if (this != &other) {
+            close();
+            fd_ = std::exchange(other.fd_, -1);
+        }
+        return *this;
+    }
+    Socket(const Socket&) = delete;
+    Socket& operator=(const Socket&) = delete;
+
+    int fd() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+    void close();
+
+    // Half-close both directions without releasing the fd — how the daemon
+    // unblocks a connection thread parked in read_frame().
+    void shutdown_both();
+
+    // Apply a deadline to every subsequent send and receive (0 = none).
+    void set_timeout_ms(int timeout_ms);
+
+private:
+    int fd_ = -1;
+};
+
+// Client side: resolve host:port and connect (throws NetError on failure).
+Socket connect_tcp(const std::string& host, std::uint16_t port,
+                   int timeout_ms);
+
+// Server side: bind + listen on 127.0.0.1:port. port 0 picks an ephemeral
+// port; *bound_port reports the actual one either way.
+Socket listen_tcp(std::uint16_t port, std::uint16_t* bound_port);
+
+// Accept one connection. nullopt when the listener was shut down (the
+// daemon's stop path); throws NetError on real failures.
+std::optional<Socket> accept_conn(Socket& listener);
+
+// Write one length-prefixed frame, completely (loops over partial sends).
+void write_frame(Socket& s, const std::vector<std::uint8_t>& payload);
+
+// Read one frame. nullopt on clean EOF before any byte of the length
+// prefix; ProtocolError on oversized length or mid-frame EOF;
+// TimeoutError when the socket deadline expires.
+std::optional<std::vector<std::uint8_t>> read_frame(Socket& s);
+
+} // namespace serpens::net

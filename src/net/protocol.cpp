@@ -1,0 +1,193 @@
+#include "net/protocol.h"
+
+namespace serpens::net {
+
+std::vector<std::uint8_t> encode_request(RequestType type, WireWriter body)
+{
+    WireWriter w;
+    w.u8(static_cast<std::uint8_t>(type));
+    std::vector<std::uint8_t> frame = w.take();
+    std::vector<std::uint8_t> tail = body.take();
+    frame.insert(frame.end(), tail.begin(), tail.end());
+    return frame;
+}
+
+RequestType decode_request_type(WireReader& r)
+{
+    const std::uint8_t raw = r.u8();
+    if (raw < static_cast<std::uint8_t>(RequestType::kPing) ||
+        raw > static_cast<std::uint8_t>(RequestType::kShutdown))
+        throw ProtocolError("unknown request type " + std::to_string(raw));
+    return static_cast<RequestType>(raw);
+}
+
+std::vector<std::uint8_t> encode_admit(const AdmitRequest& req)
+{
+    WireWriter w;
+    w.str(req.name);
+    w.u32(req.rows);
+    w.u32(req.cols);
+    w.u32_array(req.row_idx);
+    w.u32_array(req.col_idx);
+    w.f32_array(req.values);
+    return encode_request(RequestType::kAdmit, std::move(w));
+}
+
+AdmitRequest decode_admit(WireReader& r)
+{
+    AdmitRequest req;
+    req.name = r.str();
+    req.rows = r.u32();
+    req.cols = r.u32();
+    req.row_idx = r.u32_array();
+    req.col_idx = r.u32_array();
+    req.values = r.f32_array();
+    r.require_done();
+    return req;
+}
+
+sparse::CooMatrix admit_to_coo(const AdmitRequest& req)
+{
+    if (req.row_idx.size() != req.values.size() ||
+        req.col_idx.size() != req.values.size())
+        throw ProtocolError("admit: triplet arrays disagree on length");
+    std::vector<sparse::Triplet> triplets;
+    triplets.reserve(req.values.size());
+    for (std::size_t i = 0; i < req.values.size(); ++i)
+        triplets.push_back({req.row_idx[i], req.col_idx[i], req.values[i]});
+    return sparse::CooMatrix::from_triplets(req.rows, req.cols,
+                                            std::move(triplets));
+}
+
+std::vector<std::uint8_t> encode_spmv(const SpmvRequest& req)
+{
+    WireWriter w;
+    w.str(req.name);
+    w.f32_array(req.x);
+    w.f32_array(req.y);
+    w.f32(req.alpha);
+    w.f32(req.beta);
+    return encode_request(RequestType::kSpmv, std::move(w));
+}
+
+SpmvRequest decode_spmv(WireReader& r)
+{
+    SpmvRequest req;
+    req.name = r.str();
+    req.x = r.f32_array();
+    req.y = r.f32_array();
+    req.alpha = r.f32();
+    req.beta = r.f32();
+    r.require_done();
+    return req;
+}
+
+std::vector<std::uint8_t> encode_evict(const std::string& name)
+{
+    WireWriter w;
+    w.str(name);
+    return encode_request(RequestType::kEvict, std::move(w));
+}
+
+std::string decode_evict(WireReader& r)
+{
+    std::string name = r.str();
+    r.require_done();
+    return name;
+}
+
+std::vector<std::uint8_t> encode_set_batching(const SetBatchingRequest& req)
+{
+    WireWriter w;
+    w.u32(req.max_batch);
+    w.f64(req.slo_ms);
+    w.f64(req.batch_wait_ms);
+    w.u64(req.max_queue_depth);
+    return encode_request(RequestType::kSetBatching, std::move(w));
+}
+
+SetBatchingRequest decode_set_batching(WireReader& r)
+{
+    SetBatchingRequest req;
+    req.max_batch = r.u32();
+    req.slo_ms = r.f64();
+    req.batch_wait_ms = r.f64();
+    req.max_queue_depth = r.u64();
+    r.require_done();
+    return req;
+}
+
+std::vector<std::uint8_t> encode_ok(WireWriter body)
+{
+    WireWriter w;
+    w.u8(static_cast<std::uint8_t>(Status::kOk));
+    std::vector<std::uint8_t> frame = w.take();
+    std::vector<std::uint8_t> tail = body.take();
+    frame.insert(frame.end(), tail.begin(), tail.end());
+    return frame;
+}
+
+std::vector<std::uint8_t> encode_error(Status status,
+                                       const std::string& message)
+{
+    WireWriter w;
+    w.u8(static_cast<std::uint8_t>(status));
+    w.str(message);
+    return w.take();
+}
+
+WireReader open_reply(const std::vector<std::uint8_t>& frame)
+{
+    WireReader r(frame);
+    const std::uint8_t raw = r.u8();
+    switch (static_cast<Status>(raw)) {
+    case Status::kOk:
+        return r;
+    case Status::kOverloaded:
+        throw OverloadedError(r.str());
+    case Status::kError:
+        throw RemoteError(r.str());
+    }
+    throw ProtocolError("unknown response status " + std::to_string(raw));
+}
+
+void encode_spmv_reply(WireWriter& w, const serve::SpmvResult& result)
+{
+    w.f32_array(result.run.y);
+    w.f64(result.run.time_ms);
+    w.f64(result.queue_ms);
+    w.f64(result.service_ms);
+    w.f64(result.device_batch_ms);
+    w.f64(result.device_amortized_ms);
+    w.u32(result.batch_width);
+    w.u64(result.sequence);
+    w.u64(result.run.cycles.x_load_cycles);
+    w.u64(result.run.cycles.compute_cycles);
+    w.u64(result.run.cycles.y_phase_cycles);
+    w.u64(result.run.cycles.fill_cycles);
+    w.u64(result.run.cycles.total_slots);
+    w.u64(result.run.cycles.padding_slots);
+}
+
+SpmvReply decode_spmv_reply(WireReader& r)
+{
+    SpmvReply reply;
+    reply.y = r.f32_array();
+    reply.time_ms = r.f64();
+    reply.queue_ms = r.f64();
+    reply.service_ms = r.f64();
+    reply.device_batch_ms = r.f64();
+    reply.device_amortized_ms = r.f64();
+    reply.batch_width = r.u32();
+    reply.sequence = r.u64();
+    reply.x_load_cycles = r.u64();
+    reply.compute_cycles = r.u64();
+    reply.y_phase_cycles = r.u64();
+    reply.fill_cycles = r.u64();
+    reply.total_slots = r.u64();
+    reply.padding_slots = r.u64();
+    r.require_done();
+    return reply;
+}
+
+} // namespace serpens::net

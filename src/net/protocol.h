@@ -1,0 +1,120 @@
+// Message layer of the serving protocol: what travels inside each frame.
+//
+// Request frame:   u8 RequestType, then the request body.
+// Response frame:  u8 Status, then the reply body (kOk) or a u32-prefixed
+//                  error message (kError / kOverloaded).
+//
+// The SpMV reply deliberately carries the full serving telemetry AND the
+// six CycleStats accounting fields of the device model, so a network
+// client can run the exact same bit-level replay verification as an
+// in-process caller — the serving layer's differential contract does not
+// weaken across the wire.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/wire.h"
+#include "serve/server.h"
+#include "sparse/coo.h"
+
+namespace serpens::net {
+
+enum class RequestType : std::uint8_t {
+    kPing = 1,         // liveness probe, empty body both ways
+    kAdmit = 2,        // AdmitRequest -> empty
+    kSpmv = 3,         // SpmvRequest -> SpmvReply
+    kStats = 4,        // empty -> u32-prefixed stats JSON document
+    kSetBatching = 5,  // SetBatchingRequest -> empty
+    kEvict = 6,        // u32-prefixed name -> u8 (1 = was resident)
+    kShutdown = 7,     // empty -> empty; daemon's wait() returns after
+};
+
+enum class Status : std::uint8_t {
+    kOk = 0,
+    kError = 1,       // request executed badly: message explains
+    kOverloaded = 2,  // admission refused at max_queue_depth; retryable
+};
+
+struct AdmitRequest {
+    std::string name;
+    std::uint32_t rows = 0;
+    std::uint32_t cols = 0;
+    // Parallel triplet arrays (same length).
+    std::vector<std::uint32_t> row_idx;
+    std::vector<std::uint32_t> col_idx;
+    std::vector<float> values;
+};
+
+struct SpmvRequest {
+    std::string name;
+    std::vector<float> x;
+    std::vector<float> y;
+    float alpha = 1.0f;
+    float beta = 0.0f;
+};
+
+// Everything serve::SpmvResult reports, flattened for the wire.
+struct SpmvReply {
+    std::vector<float> y;
+    double time_ms = 0.0;  // modeled single-SpMV device time
+    double queue_ms = 0.0;
+    double service_ms = 0.0;
+    double device_batch_ms = 0.0;
+    double device_amortized_ms = 0.0;
+    std::uint32_t batch_width = 1;
+    std::uint64_t sequence = 0;
+    // sim::CycleStats accounting fields (replay verification compares all
+    // six bit-exactly against a local reference run).
+    std::uint64_t x_load_cycles = 0;
+    std::uint64_t compute_cycles = 0;
+    std::uint64_t y_phase_cycles = 0;
+    std::uint64_t fill_cycles = 0;
+    std::uint64_t total_slots = 0;
+    std::uint64_t padding_slots = 0;
+};
+
+struct SetBatchingRequest {
+    std::uint32_t max_batch = 8;
+    double slo_ms = 0.0;
+    double batch_wait_ms = 0.0;
+    std::uint64_t max_queue_depth = 0;
+};
+
+// --- request framing ---
+// encode_request produces the full frame payload (type byte + body);
+// decode_request_type reads and validates the leading byte, leaving the
+// reader positioned at the body.
+std::vector<std::uint8_t> encode_request(RequestType type,
+                                         WireWriter body = {});
+RequestType decode_request_type(WireReader& r);
+
+std::vector<std::uint8_t> encode_admit(const AdmitRequest& req);
+AdmitRequest decode_admit(WireReader& r);
+// Validate + convert (throws ProtocolError on mismatched array lengths,
+// std::invalid_argument on out-of-range indices).
+sparse::CooMatrix admit_to_coo(const AdmitRequest& req);
+
+std::vector<std::uint8_t> encode_spmv(const SpmvRequest& req);
+SpmvRequest decode_spmv(WireReader& r);
+
+std::vector<std::uint8_t> encode_evict(const std::string& name);
+std::string decode_evict(WireReader& r);
+
+std::vector<std::uint8_t> encode_set_batching(const SetBatchingRequest& req);
+SetBatchingRequest decode_set_batching(WireReader& r);
+
+// --- responses ---
+std::vector<std::uint8_t> encode_ok(WireWriter body = {});
+std::vector<std::uint8_t> encode_error(Status status,
+                                       const std::string& message);
+
+// Client side: strip the status byte. kOk returns a reader over the body;
+// kOverloaded throws OverloadedError, kError throws RemoteError.
+WireReader open_reply(const std::vector<std::uint8_t>& frame);
+
+void encode_spmv_reply(WireWriter& w, const serve::SpmvResult& result);
+SpmvReply decode_spmv_reply(WireReader& r);
+
+} // namespace serpens::net

@@ -1,0 +1,197 @@
+// Wire-format primitives for the network front-end: the error taxonomy
+// and a pair of little-endian byte-buffer codecs.
+//
+// Every payload the daemon and client exchange is built from six scalar
+// shapes (u8/u32/u64/f32/f64 plus length-prefixed strings and f32 arrays),
+// written by WireWriter and read back by WireReader. The reader is strict:
+// any read past the end of the buffer, any length prefix that does not fit
+// in the remaining bytes, and any trailing garbage after a complete
+// message throws ProtocolError — a malformed frame can never index out of
+// bounds or allocate from an attacker-controlled length.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace serpens::net {
+
+// Root of the network error taxonomy: anything the socket layer throws.
+class NetError : public std::runtime_error {
+public:
+    explicit NetError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// The peer sent bytes that do not parse as the protocol: bad frame
+// length, truncated payload, unknown message type, trailing garbage.
+class ProtocolError : public NetError {
+public:
+    using NetError::NetError;
+};
+
+// A socket operation exceeded its deadline (SO_RCVTIMEO / SO_SNDTIMEO).
+class TimeoutError : public NetError {
+public:
+    using NetError::NetError;
+};
+
+// The daemon refused admission (serve::QueueFullError on the far side).
+// Retryable by contract: the request was never queued.
+class OverloadedError : public NetError {
+public:
+    using NetError::NetError;
+};
+
+// The daemon executed the request and reported an application error
+// (unknown matrix name, mis-sized vector, ...). Carries the remote
+// exception's message.
+class RemoteError : public NetError {
+public:
+    using NetError::NetError;
+};
+
+class WireWriter {
+public:
+    void u8(std::uint8_t v) { buf_.push_back(v); }
+
+    void u32(std::uint32_t v) { raw(&v, sizeof v); }
+    void u64(std::uint64_t v) { raw(&v, sizeof v); }
+    void f32(float v) { u32(std::bit_cast<std::uint32_t>(v)); }
+    void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+    void str(std::string_view s)
+    {
+        u32(static_cast<std::uint32_t>(s.size()));
+        raw(s.data(), s.size());
+    }
+
+    void f32_array(const std::vector<float>& v)
+    {
+        u32(static_cast<std::uint32_t>(v.size()));
+        for (float x : v)
+            f32(x);
+    }
+
+    void u32_array(const std::vector<std::uint32_t>& v)
+    {
+        u32(static_cast<std::uint32_t>(v.size()));
+        for (std::uint32_t x : v)
+            u32(x);
+    }
+
+    std::vector<std::uint8_t> take() { return std::move(buf_); }
+    std::size_t size() const { return buf_.size(); }
+
+private:
+    void raw(const void* p, std::size_t n)
+    {
+        const auto* bytes = static_cast<const std::uint8_t*>(p);
+        buf_.insert(buf_.end(), bytes, bytes + n);
+    }
+
+    static_assert(std::endian::native == std::endian::little,
+                  "wire format assumes a little-endian host");
+
+    std::vector<std::uint8_t> buf_;
+};
+
+class WireReader {
+public:
+    WireReader(const std::uint8_t* data, std::size_t size)
+        : data_(data), size_(size)
+    {
+    }
+    explicit WireReader(const std::vector<std::uint8_t>& buf)
+        : WireReader(buf.data(), buf.size())
+    {
+    }
+
+    std::uint8_t u8()
+    {
+        need(1);
+        return data_[pos_++];
+    }
+
+    std::uint32_t u32()
+    {
+        std::uint32_t v;
+        raw(&v, sizeof v);
+        return v;
+    }
+
+    std::uint64_t u64()
+    {
+        std::uint64_t v;
+        raw(&v, sizeof v);
+        return v;
+    }
+
+    float f32() { return std::bit_cast<float>(u32()); }
+    double f64() { return std::bit_cast<double>(u64()); }
+
+    std::string str()
+    {
+        const std::uint32_t n = u32();
+        need(n);
+        std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+        pos_ += n;
+        return s;
+    }
+
+    std::vector<float> f32_array()
+    {
+        const std::uint32_t n = u32();
+        need(static_cast<std::size_t>(n) * 4);  // bound before allocating
+        std::vector<float> v(n);
+        for (std::uint32_t i = 0; i < n; ++i)
+            v[i] = f32();
+        return v;
+    }
+
+    std::vector<std::uint32_t> u32_array()
+    {
+        const std::uint32_t n = u32();
+        need(static_cast<std::size_t>(n) * 4);
+        std::vector<std::uint32_t> v(n);
+        for (std::uint32_t i = 0; i < n; ++i)
+            v[i] = u32();
+        return v;
+    }
+
+    std::size_t remaining() const { return size_ - pos_; }
+
+    // Every decode ends here: a well-formed message consumes its frame
+    // exactly.
+    void require_done() const
+    {
+        if (pos_ != size_)
+            throw ProtocolError("wire: " + std::to_string(size_ - pos_) +
+                                " trailing bytes after message");
+    }
+
+private:
+    void need(std::size_t n) const
+    {
+        if (size_ - pos_ < n)
+            throw ProtocolError("wire: truncated message (need " +
+                                std::to_string(n) + " bytes, have " +
+                                std::to_string(size_ - pos_) + ")");
+    }
+
+    void raw(void* p, std::size_t n)
+    {
+        need(n);
+        std::memcpy(p, data_ + pos_, n);
+        pos_ += n;
+    }
+
+    const std::uint8_t* data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace serpens::net

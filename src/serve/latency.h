@@ -1,0 +1,97 @@
+// Fixed-footprint latency telemetry for the serving layer.
+//
+// The dispatcher records every request's queue and service time, and the
+// SLO controller plus the network stats endpoint both need quantiles of
+// those distributions without keeping every sample. LatencyHistogram is
+// the standard answer: power-of-two bucket edges starting at 1 us, so
+// record() is O(#buckets) with no allocation and quantile_ms() returns a
+// conservative (upper-edge) estimate whose resolution is one octave —
+// exactly enough to compare a p99 against an SLO target that callers pick
+// in whole milliseconds.
+//
+// The struct is trivially copyable on purpose: serve::ServerStats embeds
+// two of them plus a batch-width histogram, and Server::stats() snapshots
+// the whole thing under the queue mutex.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+
+namespace serpens::serve {
+
+// Batch widths are tallied per exact width up to this bound; anything
+// wider lands in the final (overflow) slot.
+constexpr unsigned kWidthBuckets = 33;  // index = min(width, 32)
+
+class LatencyHistogram {
+public:
+    // Bucket b covers (upper_edge(b - 1), upper_edge(b)] milliseconds,
+    // with upper_edge(b) = 2^b us. 44 octaves span 1 us .. ~2.4 hours.
+    static constexpr unsigned kBuckets = 44;
+
+    void record(double ms)
+    {
+        ++count_;
+        sum_ms_ += ms;
+        max_ms_ = std::max(max_ms_, ms);
+        ++buckets_[bucket_of(ms)];
+    }
+
+    std::uint64_t count() const { return count_; }
+    double mean_ms() const
+    {
+        return count_ == 0 ? 0.0 : sum_ms_ / static_cast<double>(count_);
+    }
+    double max_ms() const { return max_ms_; }
+
+    // Upper bucket edge holding the ceil(q * count)-th smallest sample: the
+    // true q-quantile is <= the returned value < 2x the next-lower edge.
+    // 0.0 when empty.
+    double quantile_ms(double q) const
+    {
+        if (count_ == 0)
+            return 0.0;
+        const double clamped = std::clamp(q, 0.0, 1.0);
+        std::uint64_t rank = static_cast<std::uint64_t>(
+            clamped * static_cast<double>(count_) + 0.999999);
+        rank = std::clamp<std::uint64_t>(rank, 1, count_);
+        std::uint64_t seen = 0;
+        for (unsigned b = 0; b < kBuckets; ++b) {
+            seen += buckets_[b];
+            if (seen >= rank)
+                return upper_edge_ms(b);
+        }
+        return upper_edge_ms(kBuckets - 1);
+    }
+
+    static double upper_edge_ms(unsigned bucket)
+    {
+        return 0.001 * static_cast<double>(std::uint64_t{1} << bucket);
+    }
+
+    const std::array<std::uint64_t, kBuckets>& buckets() const
+    {
+        return buckets_;
+    }
+
+private:
+    static unsigned bucket_of(double ms)
+    {
+        unsigned b = 0;
+        double edge = 0.001;
+        // NaN and negatives fall into bucket 0 rather than looping forever.
+        while (b + 1 < kBuckets && ms > edge) {
+            edge *= 2.0;
+            ++b;
+        }
+        return b;
+    }
+
+    std::array<std::uint64_t, kBuckets> buckets_{};
+    std::uint64_t count_ = 0;
+    double sum_ms_ = 0.0;
+    double max_ms_ = 0.0;
+};
+
+} // namespace serpens::serve

@@ -47,12 +47,17 @@ MatrixRegistry::install(const std::string& name,
                   "matrix footprint exceeds the resident budget");
 
     const std::lock_guard<std::mutex> lock(mu_);
-    erase_locked(name);  // same-name replace counts as an eviction
+    // A same-name re-admission replaces in place: the name never leaves
+    // the resident set, so it must not inflate the eviction count the
+    // budget dashboards watch.
+    if (erase_locked(name))
+        ++stats_.replacements;
 
     // LRU eviction until the newcomer fits.
     while (budget_bytes_ != 0 && bytes_resident_ + bytes > budget_bytes_) {
         SERPENS_ASSERT(!lru_.empty(), "budget accounting out of sync");
         erase_locked(lru_.back());
+        ++stats_.evictions;
     }
 
     lru_.push_front(name);
@@ -64,15 +69,15 @@ MatrixRegistry::install(const std::string& name,
     return prepared;
 }
 
-void MatrixRegistry::erase_locked(const std::string& name)
+bool MatrixRegistry::erase_locked(const std::string& name)
 {
     const auto it = residents_.find(name);
     if (it == residents_.end())
-        return;
+        return false;
     bytes_resident_ -= it->second.bytes;
     lru_.erase(it->second.lru_pos);
     residents_.erase(it);
-    ++stats_.evictions;
+    return true;
 }
 
 std::shared_ptr<const core::PreparedMatrix>
@@ -92,8 +97,9 @@ MatrixRegistry::get(const std::string& name)
 bool MatrixRegistry::evict(const std::string& name)
 {
     const std::lock_guard<std::mutex> lock(mu_);
-    const bool present = residents_.count(name) != 0;
-    erase_locked(name);
+    const bool present = erase_locked(name);
+    if (present)
+        ++stats_.evictions;
     return present;
 }
 

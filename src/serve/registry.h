@@ -38,7 +38,12 @@ namespace serpens::serve {
 struct RegistryStats {
     std::uint64_t admissions = 0;  // admit/admit_image calls that succeeded
     std::uint64_t encodes = 0;     // admissions that paid the encode stage
-    std::uint64_t evictions = 0;   // residents dropped for budget or replace
+    // Residents dropped to make budget room for a newcomer, plus explicit
+    // evict() calls. Same-name replacement is NOT an eviction — the name
+    // stays resident — it is counted separately so capacity-pressure
+    // dashboards read true.
+    std::uint64_t evictions = 0;
+    std::uint64_t replacements = 0;  // same-name re-admissions
     std::uint64_t hits = 0;        // get() calls that found the name
     std::uint64_t misses = 0;      // get() calls that did not
 };
@@ -52,7 +57,7 @@ public:
 
     // Encode + decode `m` and install it under `name`, evicting LRU
     // residents as needed. An existing resident of the same name is
-    // replaced (counted as an eviction). Throws std::invalid_argument if
+    // replaced (counted as a replacement). Throws std::invalid_argument if
     // the matrix alone exceeds the budget, CapacityError if it exceeds the
     // architecture's row capacity.
     std::shared_ptr<const core::PreparedMatrix>
@@ -95,7 +100,10 @@ private:
     install(const std::string& name,
             std::shared_ptr<const core::PreparedMatrix> prepared,
             std::uint64_t bytes, bool paid_encode);
-    void erase_locked(const std::string& name);
+    // Drop `name` if resident; true when something was dropped. Stats-
+    // neutral on purpose: each call site charges the counter that names
+    // its reason (eviction vs replacement).
+    bool erase_locked(const std::string& name);
 
     core::Accelerator accelerator_;
     std::uint64_t budget_bytes_ = 0;

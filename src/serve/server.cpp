@@ -19,12 +19,36 @@ double ms_between(Clock::time_point a, Clock::time_point b)
     return std::chrono::duration<double, std::milli>(b - a).count();
 }
 
+Clock::duration ms_duration(double ms)
+{
+    return std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double, std::milli>(ms));
+}
+
 // Requests coalesce only when run_batch can serve them in one call: same
 // resident and the same alpha/beta. Scalars compare by bit pattern so
 // -0.0f and 0.0f (different beta semantics in FP32 accumulation) never
 // merge by accident.
 using GroupKey =
     std::tuple<const core::PreparedMatrix*, std::uint32_t, std::uint32_t>;
+
+// EWMA weight of the newest round's p99 in the SLO controller. High enough
+// that a sustained SLO violation shrinks the width within a few rounds,
+// low enough that one straggler round does not thrash it.
+constexpr double kP99EwmaAlpha = 0.4;
+
+// The q-th quantile of `samples` by rank (ceil(q*n)-th smallest), exact —
+// the controller judges each round on its real samples, not a histogram.
+double sample_quantile(std::vector<double> samples, double q)
+{
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    const std::size_t rank = std::min<std::size_t>(
+        samples.size() - 1,
+        static_cast<std::size_t>(q * static_cast<double>(samples.size())));
+    return samples[rank];
+}
 
 } // namespace
 
@@ -42,8 +66,13 @@ Server::Server(core::SerpensConfig config)
       exec_acc_(exec_config_),
       serve_width_(util::resolve_threads(config.serve_threads)),
       max_batch_(std::max(1u, config.max_batch)),
+      cur_max_batch_(std::max(1u, config.max_batch)),
+      batch_wait_ms_(config.batch_wait_ms),
+      slo_queue_ms_(config.slo_queue_ms),
+      max_queue_depth_(config.max_queue_depth),
       dispatcher_([this] { dispatch_loop(); })
 {
+    stats_.current_max_batch = cur_max_batch_;
 }
 
 Server::~Server()
@@ -78,6 +107,16 @@ std::future<SpmvResult> Server::submit(const std::string& name,
     {
         const std::lock_guard<std::mutex> lock(mu_);
         SERPENS_CHECK(!stop_, "serve: server is shutting down");
+        // Admission control: refuse loudly at the depth bound so overload
+        // degrades into retryable rejections, not an unbounded backlog
+        // whose queue times blow every SLO.
+        if (max_queue_depth_ != 0 && queue_.size() >= max_queue_depth_) {
+            ++stats_.rejected;
+            throw QueueFullError(
+                "serve: queue depth " + std::to_string(queue_.size()) +
+                " at the admission bound " +
+                std::to_string(max_queue_depth_));
+        }
         p.sequence = next_sequence_++;
         queue_.push_back(std::move(p));
     }
@@ -101,8 +140,10 @@ void Server::pause()
         paused_ = true;
     }
     // Wake any drain() so it can notice the pause instead of waiting on a
-    // queue that will never empty.
+    // queue that will never empty, and the dispatcher's batch-forming hold
+    // so it re-checks the pause instead of dispatching at its deadline.
     cv_idle_.notify_all();
+    cv_work_.notify_all();
 }
 
 void Server::resume()
@@ -127,6 +168,31 @@ void Server::drain()
     });
 }
 
+void Server::set_batching(unsigned max_batch, double slo_queue_ms,
+                          double batch_wait_ms, std::size_t max_queue_depth)
+{
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        max_batch_ = std::max(1u, max_batch);
+        cur_max_batch_ = max_batch_;
+        slo_queue_ms_ = slo_queue_ms;
+        batch_wait_ms_ = batch_wait_ms;
+        max_queue_depth_ = max_queue_depth;
+        p99_ewma_ms_ = 0.0;
+        ewma_seeded_ = false;
+        stats_.current_max_batch = cur_max_batch_;
+        stats_.p99_queue_ewma_ms = 0.0;
+    }
+    // The dispatcher may be mid-hold against the old width/deadline.
+    cv_work_.notify_all();
+}
+
+unsigned Server::current_max_batch() const
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    return cur_max_batch_;
+}
+
 ServerStats Server::stats() const
 {
     const std::lock_guard<std::mutex> lock(mu_);
@@ -140,10 +206,38 @@ void Server::dispatch_loop()
         cv_work_.wait(lock, [&] {
             return stop_ || (!paused_ && !queue_.empty());
         });
+        // Shutdown semantics, pinned by ServeServer.DestructionDrains
+        // PausedQueue: stop overrides pause. The destructor promises every
+        // accepted request a response, so the final drain runs even on a
+        // paused server — and skips the batch-forming hold below, since
+        // nothing new can be admitted after stop.
+        const bool draining_on_stop = stop_;
         if (queue_.empty()) {
-            if (stop_)
+            if (draining_on_stop)
                 return;  // drained; pending submits were refused after stop
             continue;
+        }
+        // Batch-forming hold: give the round until the oldest request has
+        // waited batch_wait_ms for the effective width to fill. Under an
+        // SLO the hold is capped at half the target: a dispatcher that
+        // waits longer than the queue-time budget has already lost it, no
+        // matter what width the controller picked — without the cap, every
+        // width grow re-arms the full hold and the recovered SLO collapses
+        // again.
+        const double hold_ms =
+            slo_queue_ms_ > 0.0
+                ? std::min(batch_wait_ms_, slo_queue_ms_ * 0.5)
+                : batch_wait_ms_;
+        if (!draining_on_stop && hold_ms > 0.0) {
+            // Re-woken by submits, stop, pause, and set_batching.
+            const Clock::time_point deadline =
+                queue_.front().submitted + ms_duration(hold_ms);
+            cv_work_.wait_until(lock, deadline, [&] {
+                return stop_ || paused_ ||
+                       queue_.size() >= cur_max_batch_;
+            });
+            if (paused_ && !stop_)
+                continue;  // back to the main wait; the hold restarts
         }
         // Take the whole backlog: everything pending coalesces this round.
         std::vector<Pending> round;
@@ -152,9 +246,10 @@ void Server::dispatch_loop()
             round.push_back(std::move(p));
         queue_.clear();
         round_active_ = true;
+        const unsigned batch_limit = cur_max_batch_;
         lock.unlock();
 
-        run_round(std::move(round));
+        run_round(std::move(round), batch_limit);
 
         lock.lock();
         round_active_ = false;
@@ -165,14 +260,37 @@ void Server::dispatch_loop()
     }
 }
 
-void Server::run_round(std::vector<Pending> round)
+// The SLO controller (caller holds mu_): fold this round's p99 queue time
+// into the EWMA, then resize the effective width — multiplicative decrease
+// above the target (so a violated SLO recovers in O(log max_batch)
+// rounds), doubling growth once the estimate sits below half the target.
+void Server::adapt_batching_locked(const std::vector<double>& queue_samples)
 {
-    const Clock::time_point round_start = Clock::now();
+    if (slo_queue_ms_ <= 0.0)
+        return;
+    const double round_p99 = sample_quantile(queue_samples, 0.99);
+    p99_ewma_ms_ = ewma_seeded_ ? kP99EwmaAlpha * round_p99 +
+                                      (1.0 - kP99EwmaAlpha) * p99_ewma_ms_
+                                : round_p99;
+    ewma_seeded_ = true;
+    if (p99_ewma_ms_ > slo_queue_ms_ && cur_max_batch_ > 1) {
+        cur_max_batch_ = std::max(1u, cur_max_batch_ / 2);
+        ++stats_.batch_shrinks;
+    } else if (p99_ewma_ms_ < 0.5 * slo_queue_ms_ &&
+               cur_max_batch_ < max_batch_) {
+        cur_max_batch_ = std::min(max_batch_, cur_max_batch_ * 2);
+        ++stats_.batch_grows;
+    }
+    stats_.p99_queue_ewma_ms = p99_ewma_ms_;
+}
 
+void Server::run_round(std::vector<Pending> round, unsigned batch_limit)
+{
     // Group by (matrix, alpha, beta) preserving arrival order within a
-    // group, then chunk to max_batch. std::map keeps group discovery
-    // deterministic; execution order across groups does not affect results
-    // (every batch column is independent and bit-exact).
+    // group, then chunk to the round's effective width. std::map keeps
+    // group discovery deterministic; execution order across groups does
+    // not affect results (every batch column is independent and
+    // bit-exact).
     std::map<GroupKey, std::vector<std::size_t>> by_key;
     for (std::size_t i = 0; i < round.size(); ++i) {
         const GroupKey key{round[i].matrix.get(), float_bits(round[i].alpha),
@@ -181,21 +299,39 @@ void Server::run_round(std::vector<Pending> round)
     }
     std::vector<std::vector<std::size_t>> groups;
     for (auto& [key, members] : by_key) {
-        for (std::size_t at = 0; at < members.size(); at += max_batch_) {
+        for (std::size_t at = 0; at < members.size(); at += batch_limit) {
             const std::size_t end =
-                std::min(members.size(), at + max_batch_);
+                std::min(members.size(), at + batch_limit);
             groups.emplace_back(members.begin() +
                                     static_cast<std::ptrdiff_t>(at),
                                 members.begin() +
                                     static_cast<std::ptrdiff_t>(end));
         }
     }
+    // Earliest-submitted group first: on a serial drain the oldest work
+    // never waits behind younger groups (the map above orders groups by
+    // resident pointer, which is arbitrary), and queue-time accounting
+    // below becomes deterministic for tests.
+    std::sort(groups.begin(), groups.end(),
+              [&](const std::vector<std::size_t>& a,
+                  const std::vector<std::size_t>& b) {
+                  return round[a.front()].sequence <
+                         round[b.front()].sequence;
+              });
+
+    // Per-request telemetry, collected lock-free (each group writes only
+    // its own members' slots) and folded into stats_ after the round.
+    std::vector<double> queue_samples(round.size(), 0.0);
+    std::vector<double> service_samples(round.size(), 0.0);
 
     // Execute the round's batches on the shared pool — the serving
     // counterpart of the per-channel parallel_for loops downstream.
     util::shared_parallel_for(
         serve_width_, groups.size(), [&](std::size_t g) {
             std::vector<std::size_t>& members = groups[g];
+            // Queue time runs until THIS batch starts executing, not until
+            // the round was picked up: in a serial drain, groups executed
+            // later in the round spent that time queued too.
             const Clock::time_point start = Clock::now();
             try {
                 std::vector<std::vector<float>> xs, ys;
@@ -213,8 +349,10 @@ void Server::run_round(std::vector<Pending> round)
                     Pending& p = round[members[k]];
                     SpmvResult r;
                     r.run = std::move(results[k]);
-                    r.queue_ms = ms_between(p.submitted, round_start);
+                    r.queue_ms = ms_between(p.submitted, start);
                     r.service_ms = service_ms;
+                    queue_samples[members[k]] = r.queue_ms;
+                    service_samples[members[k]] = r.service_ms;
                     // Every member of the batch shares one SpMM-mode
                     // invocation, so every member reports the same
                     // device-model figures.
@@ -239,7 +377,16 @@ void Server::run_round(std::vector<Pending> round)
             std::max<std::uint64_t>(stats_.max_batch_seen, members.size());
         if (members.size() > 1)
             stats_.coalesced += members.size();
+        const unsigned width = static_cast<unsigned>(
+            std::min<std::size_t>(members.size(), kWidthBuckets - 1));
+        stats_.width_hist[width] += members.size();
     }
+    for (std::size_t i = 0; i < round.size(); ++i) {
+        stats_.queue_hist.record(queue_samples[i]);
+        stats_.service_hist.record(service_samples[i]);
+    }
+    adapt_batching_locked(queue_samples);
+    stats_.current_max_batch = cur_max_batch_;
 }
 
 } // namespace serpens::serve

@@ -28,21 +28,51 @@
 // moves across requests instead of within one. With serve_threads == 1
 // batches run inline on the dispatcher and the caller's sim_threads is
 // honored.
+//
+// Batching policy (the network front-end's SLO story):
+//   - config.batch_wait_ms > 0 makes the dispatcher hold a forming round
+//     until the effective max_batch could fill or the oldest request has
+//     waited that long — the throughput-greedy batcher.
+//   - config.slo_queue_ms > 0 turns the width adaptive: each round's p99
+//     queue time feeds an EWMA; above the target the effective width
+//     halves (at width 1 rounds dispatch the moment work arrives), below
+//     half the target it doubles back toward max_batch. The batch-forming
+//     hold is also capped at slo_queue_ms / 2 — holding longer than the
+//     queue-time budget forfeits the SLO regardless of width.
+//   - config.max_queue_depth > 0 bounds admission: submit() beyond the
+//     bound throws QueueFullError instead of queueing (fast-fail, counted
+//     in stats().rejected).
+// All three default off, which is exactly the PR-5/6 dispatcher.
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "serve/latency.h"
 #include "serve/registry.h"
 
 namespace serpens::serve {
+
+// Fast-fail admission refusal: thrown by submit()/spmv() when the queue
+// already holds config.max_queue_depth requests. Overload shows up as a
+// rejection the caller can retry (the daemon maps it to an OVERLOADED
+// response), never as silent drops or an unbounded backlog.
+class QueueFullError : public std::runtime_error {
+public:
+    explicit QueueFullError(const std::string& what)
+        : std::runtime_error(what)
+    {
+    }
+};
 
 // Per-request response: the exact RunResult a direct Accelerator::run
 // would produce, plus serving telemetry. The device_* fields carry the
@@ -52,7 +82,7 @@ namespace serpens::serve {
 // run.time_ms exactly.
 struct SpmvResult {
     core::RunResult run;
-    double queue_ms = 0.0;    // submit -> dispatch round pickup
+    double queue_ms = 0.0;    // submit -> this request's batch starting
     double service_ms = 0.0;  // execution of the request's batch
     double device_batch_ms = 0.0;      // modeled SpMM-mode time, whole batch
     double device_amortized_ms = 0.0;  // device_batch_ms / batch_width
@@ -66,6 +96,20 @@ struct ServerStats {
     std::uint64_t coalesced = 0;  // requests that shared a batch (width > 1)
     std::uint64_t rounds = 0;     // dispatcher drain rounds
     std::uint64_t max_batch_seen = 0;
+    std::uint64_t rejected = 0;   // submits refused at max_queue_depth
+    // SLO controller activity (slo_queue_ms > 0): effective-width halvings
+    // and doublings, the width in force when this snapshot was taken, and
+    // the controller's current p99 queue-time estimate.
+    std::uint64_t batch_shrinks = 0;
+    std::uint64_t batch_grows = 0;
+    std::uint64_t current_max_batch = 0;
+    double p99_queue_ewma_ms = 0.0;
+    // Distributions over completed requests: queue and service time, and
+    // the width of the batch each request rode in.
+    LatencyHistogram queue_hist;
+    LatencyHistogram service_hist;
+    std::array<std::uint64_t, kWidthBuckets> width_hist{};
+
     double mean_batch_width() const
     {
         return batches == 0 ? 0.0
@@ -106,6 +150,18 @@ public:
     // Block until every submitted request has completed.
     void drain();
 
+    // Replace the batching policy at runtime (the daemon's SetBatching
+    // request; also how one serpens_serve process measures fixed and
+    // adaptive policies against the same server). Resets the adaptive
+    // controller: the effective width snaps back to max_batch and the p99
+    // estimate restarts from the next round.
+    void set_batching(unsigned max_batch, double slo_queue_ms,
+                      double batch_wait_ms, std::size_t max_queue_depth);
+
+    // The effective coalescing width right now (== config max_batch unless
+    // the SLO controller has shrunk it).
+    unsigned current_max_batch() const;
+
     ServerStats stats() const;
     const core::SerpensConfig& config() const { return exec_config_; }
 
@@ -122,13 +178,13 @@ private:
     };
 
     void dispatch_loop();
-    void run_round(std::vector<Pending> round);
+    void run_round(std::vector<Pending> round, unsigned batch_limit);
+    void adapt_batching_locked(const std::vector<double>& queue_samples);
 
     MatrixRegistry registry_;
     core::SerpensConfig exec_config_;
     core::Accelerator exec_acc_;
     unsigned serve_width_ = 1;
-    unsigned max_batch_ = 8;
 
     mutable std::mutex mu_;
     std::condition_variable cv_work_;
@@ -138,6 +194,16 @@ private:
     bool paused_ = false;
     bool stop_ = false;
     bool round_active_ = false;
+    // Batching policy (mutable via set_batching) and the SLO controller's
+    // state: the configured ceiling, the effective width in force, and the
+    // per-round p99 queue-time EWMA driving shrink/grow decisions.
+    unsigned max_batch_ = 8;
+    unsigned cur_max_batch_ = 8;
+    double batch_wait_ms_ = 0.0;
+    double slo_queue_ms_ = 0.0;
+    std::size_t max_queue_depth_ = 0;
+    double p99_ewma_ms_ = 0.0;
+    bool ewma_seeded_ = false;
     ServerStats stats_;
     std::thread dispatcher_;
 };

@@ -8,27 +8,14 @@ namespace serpens::serve {
 
 namespace {
 
-void append_loop(std::ostringstream& out, const char* name,
-                 const LoopSnapshot& r, bool last)
+bool is_json_space(char c)
 {
-    out << "    \"" << name << "\": {\n"
-        << "      \"wall_s\": " << r.wall_s << ",\n"
-        << "      \"nnz_per_s\": " << r.nnz_per_s << ",\n"
-        << "      \"mean_queue_ms\": " << r.mean_queue_ms << ",\n"
-        << "      \"mean_service_ms\": " << r.mean_service_ms << ",\n"
-        << "      \"mean_batch_width\": " << r.mean_batch_width << ",\n"
-        << "      \"mean_device_amortized_ms\": "
-        << r.mean_device_amortized_ms << ",\n"
-        << "      \"batches\": " << r.stats.batches << ",\n"
-        << "      \"rounds\": " << r.stats.rounds << ",\n"
-        << "      \"coalesced\": " << r.stats.coalesced << ",\n"
-        << "      \"max_batch_seen\": " << r.stats.max_batch_seen << "\n"
-        << "    }" << (last ? "\n" : ",\n");
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r';
 }
 
 // Locate `"key"` in `json` at or after `from` and parse the number that
-// follows its colon. Returns false when the key or a parseable number is
-// missing.
+// follows its colon. Returns false when the key, the ':' separator, or a
+// parseable number is missing — `"wall_s" 12` (no colon) is NOT valid.
 bool number_after_key(std::string_view json, std::string_view key,
                       std::size_t from, double* value, std::size_t* at)
 {
@@ -37,8 +24,12 @@ bool number_after_key(std::string_view json, std::string_view key,
     if (k == std::string_view::npos)
         return false;
     std::size_t p = k + quoted.size();
-    while (p < json.size() && (json[p] == ':' || json[p] == ' ' ||
-                               json[p] == '\t' || json[p] == '\n'))
+    while (p < json.size() && is_json_space(json[p]))
+        ++p;
+    if (p >= json.size() || json[p] != ':')
+        return false;  // key without its ':' separator
+    ++p;
+    while (p < json.size() && is_json_space(json[p]))
         ++p;
     if (p >= json.size())
         return false;
@@ -54,11 +45,98 @@ bool number_after_key(std::string_view json, std::string_view key,
     return true;
 }
 
+// Locate `"key": [n, n, ...]` at or after `from`: every entry must be a
+// finite non-negative number and the array must hold at least one entry.
+bool array_after_key(std::string_view json, std::string_view key,
+                     std::size_t from, std::size_t* at)
+{
+    const std::string quoted = "\"" + std::string(key) + "\"";
+    const std::size_t k = json.find(quoted, from);
+    if (k == std::string_view::npos)
+        return false;
+    std::size_t p = k + quoted.size();
+    while (p < json.size() && is_json_space(json[p]))
+        ++p;
+    if (p >= json.size() || json[p] != ':')
+        return false;
+    ++p;
+    while (p < json.size() && is_json_space(json[p]))
+        ++p;
+    if (p >= json.size() || json[p] != '[')
+        return false;
+    ++p;
+    std::size_t entries = 0;
+    for (;;) {
+        while (p < json.size() && is_json_space(json[p]))
+            ++p;
+        if (p >= json.size())
+            return false;
+        if (json[p] == ']')
+            break;
+        char* end = nullptr;
+        const std::string tail(json.substr(p, 64));
+        const double v = std::strtod(tail.c_str(), &end);
+        if (end == tail.c_str() || !std::isfinite(v) || v < 0.0)
+            return false;
+        p += static_cast<std::size_t>(end - tail.c_str());
+        ++entries;
+        while (p < json.size() && is_json_space(json[p]))
+            ++p;
+        if (p < json.size() && json[p] == ',')
+            ++p;
+    }
+    if (entries == 0)
+        return false;
+    if (at)
+        *at = k;
+    return true;
+}
+
 bool fail(std::string* error, const std::string& what)
 {
     if (error)
         *error = what;
     return false;
+}
+
+void append_width_hist(std::ostringstream& out,
+                       const std::vector<std::uint64_t>& hist)
+{
+    out << "[";
+    if (hist.empty())
+        out << "0";  // never an empty array: width 1 saw zero requests
+    for (std::size_t i = 0; i < hist.size(); ++i)
+        out << (i == 0 ? "" : ", ") << hist[i];
+    out << "]";
+}
+
+void append_loop(std::ostringstream& out, const char* name,
+                 const LoopSnapshot& r, bool last)
+{
+    out << "    \"" << name << "\": {\n"
+        << "      \"wall_s\": " << r.wall_s << ",\n"
+        << "      \"nnz_per_s\": " << r.nnz_per_s << ",\n"
+        << "      \"mean_queue_ms\": " << r.mean_queue_ms << ",\n"
+        << "      \"mean_service_ms\": " << r.mean_service_ms << ",\n"
+        << "      \"mean_batch_width\": " << r.mean_batch_width << ",\n"
+        << "      \"mean_device_amortized_ms\": "
+        << r.mean_device_amortized_ms << ",\n"
+        << "      \"p50_queue_ms\": " << r.p50_queue_ms << ",\n"
+        << "      \"p99_queue_ms\": " << r.p99_queue_ms << ",\n"
+        << "      \"p50_service_ms\": " << r.p50_service_ms << ",\n"
+        << "      \"p99_service_ms\": " << r.p99_service_ms << ",\n"
+        << "      \"p50_e2e_ms\": " << r.p50_e2e_ms << ",\n"
+        << "      \"p99_e2e_ms\": " << r.p99_e2e_ms << ",\n"
+        << "      \"batches\": " << r.stats.batches << ",\n"
+        << "      \"rounds\": " << r.stats.rounds << ",\n"
+        << "      \"coalesced\": " << r.stats.coalesced << ",\n"
+        << "      \"max_batch_seen\": " << r.stats.max_batch_seen << ",\n"
+        << "      \"rejected\": " << r.stats.rejected << ",\n"
+        << "      \"batch_shrinks\": " << r.stats.batch_shrinks << ",\n"
+        << "      \"batch_grows\": " << r.stats.batch_grows << ",\n"
+        << "      \"width_hist\": ";
+    append_width_hist(out, r.width_hist);
+    out << "\n    }" << (last ? "\n" : ",\n");
 }
 
 struct LoopKey {
@@ -74,10 +152,19 @@ constexpr LoopKey kLoopKeys[] = {
     {"mean_service_ms", false},
     {"mean_batch_width", true},
     {"mean_device_amortized_ms", true},
+    {"p50_queue_ms", false},
+    {"p99_queue_ms", false},
+    {"p50_service_ms", false},
+    {"p99_service_ms", false},
+    {"p50_e2e_ms", false},
+    {"p99_e2e_ms", false},
     {"batches", true},
     {"rounds", true},
     {"coalesced", false},
     {"max_batch_seen", true},
+    {"rejected", false},
+    {"batch_shrinks", false},
+    {"batch_grows", false},
 };
 
 bool validate_loop(std::string_view json, std::string_view loop,
@@ -88,8 +175,9 @@ bool validate_loop(std::string_view json, std::string_view loop,
     if (start == std::string_view::npos)
         return fail(error, "missing loop \"" + std::string(loop) + "\"");
     // Scope the key search to this loop's own object — loop values are
-    // plain numbers, so the first '}' closes it. Without the bound, a key
-    // missing from one loop would be satisfied by the other loop's copy.
+    // plain numbers or arrays (no nested objects), so the first '}'
+    // closes it. Without the bound, a key missing from one loop would be
+    // satisfied by the other loop's copy.
     const std::size_t open = json.find('{', start);
     const std::size_t close = json.find('}', open);
     if (open == std::string_view::npos || close == std::string_view::npos)
@@ -112,16 +200,35 @@ bool validate_loop(std::string_view json, std::string_view loop,
                                    (key.strictly_positive ? "positive"
                                                           : "non-negative"));
     }
+    if (!array_after_key(body, "width_hist", at, &at))
+        return fail(error, std::string(loop) +
+                               ": missing or malformed \"width_hist\"");
     *cursor = close;
     return true;
 }
 
 } // namespace
 
+bool find_number_after_key(std::string_view json, std::string_view key,
+                           std::size_t* cursor, double* value)
+{
+    std::size_t at = 0;
+    if (!number_after_key(json, key, cursor ? *cursor : 0, value, &at))
+        return false;
+    if (cursor)
+        *cursor = at;
+    return true;
+}
+
 std::string to_json(const ServeSnapshot& snap)
 {
+    const char* primary = snap.open_loop ? "adaptive" : "batched";
+    const char* comparison = snap.open_loop ? "fixed" : "unbatched";
+
     std::ostringstream out;
     out << "{\n  \"tool\": \"serpens_serve\",\n"
+        << "  \"mode\": \""
+        << (snap.open_loop ? "open-loop" : "closed-loop") << "\",\n"
         << "  \"config\": {\n"
         << "    \"matrices\": " << snap.matrices << ",\n"
         << "    \"entries\": " << snap.entries << ",\n"
@@ -129,15 +236,19 @@ std::string to_json(const ServeSnapshot& snap)
         << "    \"requests_per_client\": " << snap.requests_per_client
         << ",\n"
         << "    \"max_batch\": " << snap.max_batch << ",\n"
-        << "    \"serve_threads\": " << snap.serve_threads << "\n"
+        << "    \"serve_threads\": " << snap.serve_threads << ",\n"
+        << "    \"arrival_rate_rps\": " << snap.arrival_rate_rps << ",\n"
+        << "    \"slo_ms\": " << snap.slo_ms << ",\n"
+        << "    \"batch_wait_ms\": " << snap.batch_wait_ms << ",\n"
+        << "    \"max_queue_depth\": " << snap.max_queue_depth << "\n"
         << "  },\n  \"loops\": {\n";
-    append_loop(out, "batched", snap.batched, !snap.unbatched.has_value());
-    if (snap.unbatched)
-        append_loop(out, "unbatched", *snap.unbatched, true);
+    append_loop(out, primary, snap.primary, !snap.comparison.has_value());
+    if (snap.comparison)
+        append_loop(out, comparison, *snap.comparison, true);
     out << "  }";
-    if (snap.unbatched)
+    if (!snap.open_loop && snap.comparison)
         out << ",\n  \"batched_speedup\": "
-            << snap.batched.nnz_per_s / snap.unbatched->nnz_per_s << "\n";
+            << snap.primary.nnz_per_s / snap.comparison->nnz_per_s << "\n";
     else
         out << "\n";
     out << "}\n";
@@ -149,10 +260,19 @@ bool validate_snapshot_json(std::string_view json, std::string* error)
     if (json.find("\"tool\": \"serpens_serve\"") == std::string_view::npos)
         return fail(error, "missing tool tag");
 
+    bool open_loop = false;
+    if (json.find("\"mode\": \"open-loop\"") != std::string_view::npos)
+        open_loop = true;
+    else if (json.find("\"mode\": \"closed-loop\"") ==
+             std::string_view::npos)
+        return fail(error, "missing or unknown mode tag");
+
     std::size_t at = 0;
     static const char* const config_keys[] = {
-        "matrices",     "entries",   "clients",
-        "requests_per_client", "max_batch", "serve_threads"};
+        "matrices",          "entries",   "clients",
+        "requests_per_client", "max_batch", "serve_threads",
+        "arrival_rate_rps",  "slo_ms",    "batch_wait_ms",
+        "max_queue_depth"};
     for (const char* key : config_keys) {
         double v = 0.0;
         if (!number_after_key(json, key, at, &v, &at))
@@ -163,28 +283,136 @@ bool validate_snapshot_json(std::string_view json, std::string* error)
             return fail(error, std::string("config.") + key + " invalid");
     }
 
+    const char* primary = open_loop ? "adaptive" : "batched";
+    const char* comparison = open_loop ? "fixed" : "unbatched";
+
     std::size_t cursor = at;
-    if (!validate_loop(json, "batched", &cursor, error))
+    if (!validate_loop(json, primary, &cursor, error))
         return false;
 
-    // The comparison loop and the speedup travel together: either both
-    // present (default run) or both absent (--no-compare).
-    const bool has_unbatched =
-        json.find("\"unbatched\"") != std::string_view::npos;
+    const bool has_comparison =
+        json.find("\"" + std::string(comparison) + "\"") !=
+        std::string_view::npos;
     const bool has_speedup =
         json.find("\"batched_speedup\"") != std::string_view::npos;
-    if (has_unbatched != has_speedup)
+    if (open_loop) {
+        // Open-loop documents carry the SLO ablation in the loops
+        // themselves; a closed-loop speedup figure does not belong here.
+        if (has_speedup)
+            return fail(error, "open-loop snapshot must not carry "
+                               "batched_speedup");
+    } else if (has_comparison != has_speedup) {
+        // The comparison loop and the speedup travel together: either
+        // both present (default run) or both absent (--no-compare).
         return fail(error, "unbatched loop and batched_speedup must appear "
                            "together");
-    if (has_unbatched) {
-        if (!validate_loop(json, "unbatched", &cursor, error))
+    }
+    if (has_comparison) {
+        if (!validate_loop(json, comparison, &cursor, error))
             return false;
-        double speedup = 0.0;
-        if (!number_after_key(json, "batched_speedup", cursor, &speedup,
-                              nullptr))
-            return fail(error, "missing or non-numeric batched_speedup");
-        if (!std::isfinite(speedup) || speedup <= 0.0)
-            return fail(error, "batched_speedup must be positive");
+        if (!open_loop) {
+            double speedup = 0.0;
+            if (!number_after_key(json, "batched_speedup", cursor, &speedup,
+                                  nullptr))
+                return fail(error,
+                            "missing or non-numeric batched_speedup");
+            if (!std::isfinite(speedup) || speedup <= 0.0)
+                return fail(error, "batched_speedup must be positive");
+        }
+    }
+    return true;
+}
+
+std::string server_stats_to_json(const ServerStats& server,
+                                 const RegistryStats& registry,
+                                 std::size_t residents,
+                                 std::uint64_t bytes_resident)
+{
+    std::vector<std::uint64_t> widths;
+    for (unsigned w = 1; w < kWidthBuckets; ++w)
+        widths.push_back(server.width_hist[w]);
+    while (widths.size() > 1 && widths.back() == 0)
+        widths.pop_back();
+
+    std::ostringstream out;
+    out << "{\n  \"tool\": \"serpens_served\",\n"
+        << "  \"server\": {\n"
+        << "    \"requests\": " << server.requests << ",\n"
+        << "    \"batches\": " << server.batches << ",\n"
+        << "    \"rounds\": " << server.rounds << ",\n"
+        << "    \"coalesced\": " << server.coalesced << ",\n"
+        << "    \"max_batch_seen\": " << server.max_batch_seen << ",\n"
+        << "    \"rejected\": " << server.rejected << ",\n"
+        << "    \"batch_shrinks\": " << server.batch_shrinks << ",\n"
+        << "    \"batch_grows\": " << server.batch_grows << ",\n"
+        << "    \"current_max_batch\": " << server.current_max_batch
+        << ",\n"
+        << "    \"p99_queue_ewma_ms\": " << server.p99_queue_ewma_ms
+        << ",\n"
+        << "    \"mean_queue_ms\": " << server.queue_hist.mean_ms() << ",\n"
+        << "    \"p50_queue_ms\": " << server.queue_hist.quantile_ms(0.5)
+        << ",\n"
+        << "    \"p99_queue_ms\": " << server.queue_hist.quantile_ms(0.99)
+        << ",\n"
+        << "    \"mean_service_ms\": " << server.service_hist.mean_ms()
+        << ",\n"
+        << "    \"p50_service_ms\": "
+        << server.service_hist.quantile_ms(0.5) << ",\n"
+        << "    \"p99_service_ms\": "
+        << server.service_hist.quantile_ms(0.99) << ",\n"
+        << "    \"width_hist\": ";
+    append_width_hist(out, widths);
+    out << "\n  },\n"
+        << "  \"registry\": {\n"
+        << "    \"residents\": " << residents << ",\n"
+        << "    \"bytes_resident\": " << bytes_resident << ",\n"
+        << "    \"admissions\": " << registry.admissions << ",\n"
+        << "    \"encodes\": " << registry.encodes << ",\n"
+        << "    \"evictions\": " << registry.evictions << ",\n"
+        << "    \"replacements\": " << registry.replacements << ",\n"
+        << "    \"hits\": " << registry.hits << ",\n"
+        << "    \"misses\": " << registry.misses << "\n"
+        << "  }\n}\n";
+    return out.str();
+}
+
+bool validate_server_stats_json(std::string_view json, std::string* error)
+{
+    if (json.find("\"tool\": \"serpens_served\"") == std::string_view::npos)
+        return fail(error, "missing tool tag");
+
+    // Keys are unique document-wide and written in this order, so one
+    // sequential cursor scan covers both sections.
+    static const char* const keys[] = {
+        "requests",        "batches",          "rounds",
+        "coalesced",       "max_batch_seen",   "rejected",
+        "batch_shrinks",   "batch_grows",      "current_max_batch",
+        "p99_queue_ewma_ms", "mean_queue_ms",  "p50_queue_ms",
+        "p99_queue_ms",    "mean_service_ms",  "p50_service_ms",
+        "p99_service_ms"};
+    std::size_t at = 0;
+    for (const char* key : keys) {
+        double v = 0.0;
+        if (!number_after_key(json, key, at, &v, &at))
+            return fail(error, std::string("stats: missing or non-numeric "
+                                           "\"") +
+                                   key + "\"");
+        if (!std::isfinite(v) || v < 0.0)
+            return fail(error, std::string("stats.") + key + " invalid");
+    }
+    if (!array_after_key(json, "width_hist", at, &at))
+        return fail(error, "stats: missing or malformed \"width_hist\"");
+    static const char* const registry_keys[] = {
+        "residents", "bytes_resident", "admissions",   "encodes",
+        "evictions", "replacements",   "hits",         "misses"};
+    for (const char* key : registry_keys) {
+        double v = 0.0;
+        if (!number_after_key(json, key, at, &v, &at))
+            return fail(error, std::string("registry: missing or "
+                                           "non-numeric \"") +
+                                   key + "\"");
+        if (!std::isfinite(v) || v < 0.0)
+            return fail(error, std::string("registry.") + key + " invalid");
     }
     return true;
 }

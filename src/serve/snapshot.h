@@ -1,27 +1,34 @@
-// Serving-benchmark snapshot: the JSON schema serpens_serve emits
-// (BENCH_serve.json), factored out of the tool so the schema is a library
-// artifact the test layer can pin.
+// Serving-benchmark snapshot: the JSON schemas the serving tools emit
+// (BENCH_serve.json / BENCH_net.json and the daemon's stats endpoint),
+// factored out of the tools so the schemas are library artifacts the test
+// layer can pin.
 //
-//   ServeSnapshot snap = ...;            // filled by the closed-loop tool
-//   std::string json = to_json(snap);    // the archived BENCH_serve.json
+//   ServeSnapshot snap = ...;            // filled by serpens_serve
+//   std::string json = to_json(snap);    // the archived BENCH_*.json
 //   validate_snapshot_json(json, &err);  // schema check, no JSON library
 //
-// The validator is deliberately lightweight (key scan + strtod): it
-// asserts every required key is present exactly where the writer puts it
-// and that every numeric value is finite and non-negative (strictly
-// positive where the quantity cannot be zero). tests/test_serve_stats.cpp
-// round-trips a snapshot through it and also feeds it corrupted documents.
+//   std::string stats = server_stats_to_json(server.stats(), ...);
+//   validate_server_stats_json(stats, &err);  // the wire `stats` reply
+//
+// The validators are deliberately lightweight (key scan + strtod): they
+// assert every required key is present exactly where the writer puts it,
+// separated from its value by a real ':', and that every numeric value is
+// finite and non-negative (strictly positive where the quantity cannot be
+// zero). tests/test_serve_stats.cpp round-trips snapshots through them and
+// also feeds them corrupted documents.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "serve/server.h"
 
 namespace serpens::serve {
 
-// One closed-loop measurement (batched or unbatched) as archived.
+// One measured serving loop (closed- or open-loop) as archived.
 struct LoopSnapshot {
     double wall_s = 0.0;
     double nnz_per_s = 0.0;
@@ -32,31 +39,70 @@ struct LoopSnapshot {
     // amortized per-SpMV time their batch reported (SpmvResult::
     // device_amortized_ms). The device-side counterpart of nnz_per_s.
     double mean_device_amortized_ms = 0.0;
+    // Tail latency (PR 7): exact rank quantiles over the measured
+    // requests' queue / service / client-observed end-to-end times. The
+    // open-loop SLO story lives in p99_queue_ms.
+    double p50_queue_ms = 0.0;
+    double p99_queue_ms = 0.0;
+    double p50_service_ms = 0.0;
+    double p99_service_ms = 0.0;
+    double p50_e2e_ms = 0.0;
+    double p99_e2e_ms = 0.0;
+    // width_hist[w - 1] = measured requests whose batch had width w
+    // (trailing zero widths trimmed; never empty when requests ran).
+    std::vector<std::uint64_t> width_hist;
     ServerStats stats;
 };
 
-// The whole serpens_serve run: workload shape + one or two loops.
+// The whole serpens_serve run: workload shape + one or two loops. Closed
+// mode archives loops "batched" vs "unbatched" (the coalescing ablation);
+// open mode archives "adaptive" vs "fixed" (the SLO ablation at a Poisson
+// arrival rate).
 struct ServeSnapshot {
+    bool open_loop = false;
     unsigned matrices = 0;
     std::uint64_t entries = 0;
     unsigned clients = 0;
     unsigned requests_per_client = 0;
     unsigned max_batch = 0;
     unsigned serve_threads = 0;
-    LoopSnapshot batched;
-    std::optional<LoopSnapshot> unbatched;  // absent with --no-compare
+    // Open-loop shape (0 on closed-loop runs).
+    double arrival_rate_rps = 0.0;
+    double slo_ms = 0.0;
+    double batch_wait_ms = 0.0;
+    std::uint64_t max_queue_depth = 0;
+    LoopSnapshot primary;                    // batched / adaptive
+    std::optional<LoopSnapshot> comparison;  // unbatched / fixed (optional)
 };
 
-// Serialize exactly the schema serpens_serve archives as BENCH_serve.json.
+// Serialize exactly the schema serpens_serve archives.
 std::string to_json(const ServeSnapshot& snap);
 
-// Schema check for a document produced by to_json: every required key
-// present (including the "unbatched" loop and "batched_speedup" when the
-// document claims a comparison ran), every numeric value finite and
-// non-negative, and the strictly-positive quantities (wall_s, nnz_per_s,
-// mean_batch_width, mean_device_amortized_ms, rounds, batches) > 0.
-// Returns true on success; otherwise false with a diagnostic in *error
-// (when non-null).
+// Schema check for a document produced by to_json: the mode tag, every
+// config and loop key present with a ':'-separated finite non-negative
+// value (strictly positive where the quantity cannot be zero), the
+// width_hist array well formed, and — in closed mode — the comparison
+// loop and batched_speedup traveling together. Returns true on success;
+// otherwise false with a diagnostic in *error (when non-null).
 bool validate_snapshot_json(std::string_view json, std::string* error);
+
+// The daemon's `stats` wire reply: live ServerStats + RegistryStats as
+// one JSON document (histogram quantiles come from the embedded
+// LatencyHistograms, so they are upper-edge conservative).
+std::string server_stats_to_json(const ServerStats& server,
+                                 const RegistryStats& registry,
+                                 std::size_t residents,
+                                 std::uint64_t bytes_resident);
+
+// Schema check for a server_stats_to_json document.
+bool validate_server_stats_json(std::string_view json, std::string* error);
+
+// Locate `"key"` at or after `*cursor`, require a ':' separator, and parse
+// the number that follows. On success stores the value, advances *cursor
+// to the key, and returns true. The building block of the validators,
+// exposed so tools can read individual figures back out of archived
+// snapshots without a JSON library.
+bool find_number_after_key(std::string_view json, std::string_view key,
+                           std::size_t* cursor, double* value);
 
 } // namespace serpens::serve

@@ -1,0 +1,294 @@
+// Localhost daemon smoke: a real net::Daemon on an ephemeral port, driven
+// through net::Client.
+//
+// The serving contract survives the wire: spmv responses are bit-identical
+// to a direct Accelerator::run (y and all six CycleStats fields travel in
+// the reply for exactly this comparison). Hostile transport input — an
+// unknown request type, an oversized length prefix, a truncated frame —
+// costs at most that one connection; the daemon keeps serving new ones.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.h"
+#include "net/daemon.h"
+#include "net/framing.h"
+#include "net/protocol.h"
+#include "serve/server.h"
+#include "serve/snapshot.h"
+#include "sparse/generators.h"
+#include "util/bitpack.h"
+#include "util/rng.h"
+
+namespace serpens {
+namespace {
+
+constexpr int kClientTimeoutMs = 30'000;
+
+struct Vectors {
+    std::vector<float> x, y;
+};
+
+Vectors random_vectors(sparse::index_t cols, sparse::index_t rows,
+                       std::uint64_t seed)
+{
+    Rng rng(seed);
+    Vectors v;
+    v.x.resize(cols);
+    v.y.resize(rows);
+    for (float& f : v.x)
+        f = rng.next_float(-1.0f, 1.0f);
+    for (float& f : v.y)
+        f = rng.next_float(-1.0f, 1.0f);
+    return v;
+}
+
+// A server + daemon on an ephemeral port, torn down in order.
+struct Fixture {
+    core::SerpensConfig cfg = core::SerpensConfig::a16();
+    serve::Server server;
+    net::Daemon daemon;
+
+    Fixture() : server(cfg), daemon(server, /*port=*/0) {}
+    ~Fixture() { daemon.stop(); }
+
+    net::Client client() const
+    {
+        return net::Client("127.0.0.1", daemon.port(), kClientTimeoutMs);
+    }
+};
+
+TEST(NetDaemon, SpmvOverTheWireIsBitIdenticalToDirectRun)
+{
+    const auto m = sparse::make_uniform_random(1500, 1500, 40'000, 77);
+    Fixture fx;
+    net::Client client = fx.client();
+    client.ping();
+    client.admit("web", m);
+
+    const core::Accelerator acc(fx.cfg);
+    const auto prepared = acc.prepare(m);
+
+    for (std::uint64_t seed : {1u, 2u, 3u}) {
+        const Vectors v = random_vectors(m.cols(), m.rows(), seed);
+        const net::SpmvReply reply =
+            client.spmv("web", v.x, v.y, 1.25f, -0.5f);
+        const core::RunResult direct =
+            acc.run(prepared, v.x, v.y, 1.25f, -0.5f);
+        ASSERT_EQ(reply.y.size(), direct.y.size());
+        for (std::size_t i = 0; i < reply.y.size(); ++i)
+            ASSERT_EQ(float_bits(reply.y[i]), float_bits(direct.y[i]))
+                << "seed " << seed << " row " << i;
+        EXPECT_EQ(reply.compute_cycles, direct.cycles.compute_cycles);
+        EXPECT_EQ(reply.x_load_cycles, direct.cycles.x_load_cycles);
+        EXPECT_EQ(reply.y_phase_cycles, direct.cycles.y_phase_cycles);
+        EXPECT_EQ(reply.fill_cycles, direct.cycles.fill_cycles);
+        EXPECT_EQ(reply.total_slots, direct.cycles.total_slots);
+        EXPECT_EQ(reply.padding_slots, direct.cycles.padding_slots);
+        EXPECT_DOUBLE_EQ(reply.time_ms, direct.time_ms);
+        EXPECT_GE(reply.batch_width, 1u);
+        EXPECT_GE(reply.service_ms, 0.0);
+    }
+}
+
+TEST(NetDaemon, StatsEvictAndSetBatchingWork)
+{
+    Fixture fx;
+    net::Client client = fx.client();
+    client.admit("a", sparse::make_banded(512, 5, 3));
+    const Vectors v = random_vectors(512, 512, 9);
+    (void)client.spmv("a", v.x, v.y, 1.0f, 0.0f);
+    // The reply can land before the dispatcher's post-round bookkeeping;
+    // settle the counters before asking for them.
+    fx.server.drain();
+
+    // The stats frame returns the same JSON ci.sh archives — it must pass
+    // the schema validator and carry the request we just made.
+    const std::string json = client.stats_json();
+    std::string err;
+    EXPECT_TRUE(serve::validate_server_stats_json(json, &err)) << err;
+    double requests = 0.0;
+    std::size_t cursor = 0;
+    ASSERT_TRUE(
+        serve::find_number_after_key(json, "requests", &cursor, &requests));
+    EXPECT_EQ(requests, 1.0);
+
+    // set_batching round-trips into the dispatcher's live config.
+    net::SetBatchingRequest sb;
+    sb.max_batch = 3;
+    sb.slo_ms = 0.0;
+    sb.batch_wait_ms = 0.0;
+    sb.max_queue_depth = 64;
+    client.set_batching(sb);
+    EXPECT_EQ(fx.server.current_max_batch(), 3u);
+
+    EXPECT_TRUE(client.evict("a"));
+    EXPECT_FALSE(client.evict("a"));
+    // Unknown matrix after eviction is an application error -> RemoteError,
+    // and the connection survives it.
+    EXPECT_THROW((void)client.spmv("a", v.x, v.y, 1.0f, 0.0f),
+                 net::RemoteError);
+    client.ping();
+}
+
+TEST(NetDaemon, QueueFullSurfacesAsOverloadedError)
+{
+    Fixture fx;
+    fx.server.registry().admit("m", sparse::make_banded(400, 4, 5));
+    fx.server.set_batching(/*max_batch=*/8, /*slo_ms=*/0.0,
+                           /*batch_wait_ms=*/0.0, /*max_queue_depth=*/1);
+
+    // Fill the queue locally while paused; the wire request then hits the
+    // admission bound and must come back OVERLOADED, not as a dead socket.
+    fx.server.pause();
+    const Vectors v = random_vectors(400, 400, 11);
+    auto parked = fx.server.submit("m", v.x, v.y, 1.0f, 0.0f);
+
+    net::Client client = fx.client();
+    EXPECT_THROW((void)client.spmv("m", v.x, v.y, 1.0f, 0.0f),
+                 net::OverloadedError);
+
+    // Retryable: once the queue drains, the same connection succeeds.
+    fx.server.resume();
+    (void)parked.get();
+    fx.server.drain();
+    EXPECT_NO_THROW((void)client.spmv("m", v.x, v.y, 1.0f, 0.0f));
+}
+
+TEST(NetDaemon, GarbageFramesCostOnlyTheirOwnConnection)
+{
+    Fixture fx;
+    fx.server.registry().admit("m", sparse::make_banded(256, 3, 7));
+
+    {
+        // Unknown request type: decoded behind the exception wall, so the
+        // daemon answers ERROR and keeps the connection.
+        net::Socket raw =
+            net::connect_tcp("127.0.0.1", fx.daemon.port(), 5000);
+        net::WireWriter junk;
+        junk.u8(99);
+        net::write_frame(raw, junk.take());
+        const auto reply = net::read_frame(raw);
+        ASSERT_TRUE(reply.has_value());
+        EXPECT_THROW((void)net::open_reply(*reply), net::RemoteError);
+        // Same connection still answers a well-formed ping.
+        net::write_frame(raw, net::encode_request(net::RequestType::kPing,
+                                                  net::WireWriter()));
+        const auto pong = net::read_frame(raw);
+        ASSERT_TRUE(pong.has_value());
+        EXPECT_NO_THROW((void)net::open_reply(*pong));
+    }
+    {
+        // A length prefix beyond kMaxFrameBytes is transport corruption:
+        // the daemon drops the connection (best-effort error first).
+        net::Socket raw =
+            net::connect_tcp("127.0.0.1", fx.daemon.port(), 5000);
+        const std::uint32_t evil = net::kMaxFrameBytes + 1;
+        std::uint8_t header[4];
+        std::memcpy(header, &evil, sizeof evil);
+        ASSERT_EQ(::send(raw.fd(), header, sizeof header, MSG_NOSIGNAL), 4);
+        // Whatever arrives (an error frame, then EOF; or EOF directly),
+        // the connection ends without taking the daemon down.
+        try {
+            while (net::read_frame(raw).has_value()) {}
+        } catch (const net::NetError&) {
+        }
+    }
+    {
+        // Truncated frame: promise 64 bytes, send 3, hang up.
+        net::Socket raw =
+            net::connect_tcp("127.0.0.1", fx.daemon.port(), 5000);
+        const std::uint32_t n = 64;
+        std::uint8_t header[4];
+        std::memcpy(header, &n, sizeof n);
+        ASSERT_EQ(::send(raw.fd(), header, sizeof header, MSG_NOSIGNAL), 4);
+        const std::uint8_t partial[3] = {1, 2, 3};
+        ASSERT_EQ(::send(raw.fd(), partial, sizeof partial, MSG_NOSIGNAL), 3);
+    }
+
+    // After all three abuses a fresh connection still serves spmv.
+    net::Client client = fx.client();
+    const Vectors v = random_vectors(256, 256, 13);
+    EXPECT_NO_THROW((void)client.spmv("m", v.x, v.y, 1.0f, 0.0f));
+}
+
+TEST(NetDaemon, ConcurrentClientsEachGetTheirOwnConnection)
+{
+    const auto m = sparse::make_uniform_random(800, 800, 20'000, 17);
+    Fixture fx;
+    {
+        net::Client admin = fx.client();
+        admin.admit("m", m);
+    }
+    const core::Accelerator acc(fx.cfg);
+    const auto prepared = acc.prepare(m);
+
+    constexpr unsigned kThreads = 4, kPerThread = 5;
+    std::vector<std::future<bool>> oks;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        oks.push_back(std::async(std::launch::async, [&, t] {
+            net::Client client("127.0.0.1", fx.daemon.port(),
+                               kClientTimeoutMs);
+            for (unsigned i = 0; i < kPerThread; ++i) {
+                const Vectors v =
+                    random_vectors(m.cols(), m.rows(), 1000 + t * 100 + i);
+                const net::SpmvReply reply =
+                    client.spmv("m", v.x, v.y, 1.5f, 0.25f);
+                const core::RunResult direct =
+                    acc.run(prepared, v.x, v.y, 1.5f, 0.25f);
+                for (std::size_t r = 0; r < reply.y.size(); ++r)
+                    if (float_bits(reply.y[r]) != float_bits(direct.y[r]))
+                        return false;
+            }
+            return true;
+        }));
+    }
+    for (auto& ok : oks)
+        EXPECT_TRUE(ok.get());
+    // A client can hold its reply before the dispatcher's post-round
+    // bookkeeping lands; drain() waits that round out.
+    fx.server.drain();
+    EXPECT_EQ(fx.server.stats().requests, kThreads * kPerThread);
+}
+
+TEST(NetDaemon, ShutdownFrameWakesWaitAndStopUnblocksParkedReaders)
+{
+    Fixture fx;
+    // A parked connection with no traffic: stop() must be able to unblock
+    // its reader thread via shutdown_both().
+    net::Client idle = fx.client();
+
+    EXPECT_FALSE(fx.daemon.shutdown_requested());
+    auto waiter = std::async(std::launch::async, [&] { fx.daemon.wait(); });
+
+    net::Client client = fx.client();
+    client.shutdown_daemon();  // acknowledged over the wire
+
+    ASSERT_EQ(waiter.wait_for(std::chrono::seconds(10)),
+              std::future_status::ready);
+    EXPECT_TRUE(fx.daemon.shutdown_requested());
+    fx.daemon.stop();  // joins the acceptor, the idle conn, everything
+}
+
+TEST(NetDaemon, ClientTimeoutSurfacesAsTimeoutError)
+{
+    // A listener that accepts but never replies.
+    std::uint16_t port = 0;
+    net::Socket listener = net::listen_tcp(0, &port);
+
+    net::Client client("127.0.0.1", port, /*timeout_ms=*/200);
+    const auto t0 = std::chrono::steady_clock::now();
+    EXPECT_THROW(client.ping(), net::TimeoutError);
+    const auto waited = std::chrono::steady_clock::now() - t0;
+    EXPECT_LT(waited, std::chrono::seconds(5));
+}
+
+} // namespace
+} // namespace serpens

@@ -1,0 +1,290 @@
+// Wire-format lockdown for the network front-end.
+//
+// Contracts pinned here:
+//   - WireWriter/WireReader round-trip every scalar shape; truncated
+//     buffers and trailing bytes are ProtocolError, never UB.
+//   - Every protocol message round-trips encode -> decode bit-exactly.
+//   - open_reply maps the three response statuses onto the error taxonomy.
+//   - write_frame/read_frame round-trip over a real socket; oversized
+//     length prefixes are refused BEFORE allocation; EOF mid-frame is an
+//     error while EOF at a frame boundary is a clean close.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <cstring>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/framing.h"
+#include "net/protocol.h"
+#include "net/wire.h"
+
+namespace serpens {
+namespace {
+
+TEST(NetWire, ScalarsRoundTrip)
+{
+    net::WireWriter w;
+    w.u8(7);
+    w.u32(0xdeadbeefu);
+    w.u64(0x0123456789abcdefull);
+    w.f32(-1.5f);
+    w.f64(3.14159);
+    w.str("serpens");
+    w.f32_array({1.0f, -0.0f, 2.5f});
+    w.u32_array({9, 8, 7});
+    const std::vector<std::uint8_t> buf = w.take();
+
+    net::WireReader r(buf);
+    EXPECT_EQ(r.u8(), 7u);
+    EXPECT_EQ(r.u32(), 0xdeadbeefu);
+    EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+    EXPECT_EQ(r.f32(), -1.5f);
+    EXPECT_EQ(r.f64(), 3.14159);
+    EXPECT_EQ(r.str(), "serpens");
+    const std::vector<float> f = r.f32_array();
+    ASSERT_EQ(f.size(), 3u);
+    // Bit-exact, including the negative zero.
+    const float expected[3] = {1.0f, -0.0f, 2.5f};
+    EXPECT_EQ(std::memcmp(f.data(), expected, sizeof expected), 0);
+    EXPECT_EQ(r.u32_array(), (std::vector<std::uint32_t>{9, 8, 7}));
+    EXPECT_NO_THROW(r.require_done());
+}
+
+TEST(NetWire, TruncationAndTrailingBytesThrow)
+{
+    net::WireWriter w;
+    w.u32(42);
+    const std::vector<std::uint8_t> buf = w.take();
+
+    net::WireReader short_r(buf.data(), 2);
+    EXPECT_THROW(short_r.u32(), net::ProtocolError);
+
+    net::WireReader r(buf);
+    (void)r.u8();
+    EXPECT_THROW(r.require_done(), net::ProtocolError);
+
+    // A length prefix larger than the remaining bytes must throw before
+    // any allocation happens.
+    net::WireWriter evil;
+    evil.u32(std::numeric_limits<std::uint32_t>::max());
+    const std::vector<std::uint8_t> evil_buf = evil.take();
+    net::WireReader evil_r(evil_buf);
+    EXPECT_THROW(evil_r.f32_array(), net::ProtocolError);
+    net::WireReader evil_s(evil_buf);
+    EXPECT_THROW(evil_s.str(), net::ProtocolError);
+}
+
+TEST(NetWire, ProtocolMessagesRoundTrip)
+{
+    net::AdmitRequest admit;
+    admit.name = "web";
+    admit.rows = 100;
+    admit.cols = 80;
+    admit.row_idx = {0, 5, 99};
+    admit.col_idx = {1, 6, 79};
+    admit.values = {1.0f, -2.0f, 0.5f};
+    {
+        const std::vector<std::uint8_t> frame = net::encode_admit(admit);
+        net::WireReader r(frame);
+        EXPECT_EQ(net::decode_request_type(r), net::RequestType::kAdmit);
+        const net::AdmitRequest back = net::decode_admit(r);
+        EXPECT_EQ(back.name, "web");
+        EXPECT_EQ(back.rows, 100u);
+        EXPECT_EQ(back.row_idx, admit.row_idx);
+        EXPECT_EQ(back.col_idx, admit.col_idx);
+        EXPECT_EQ(back.values, admit.values);
+        const sparse::CooMatrix m = net::admit_to_coo(back);
+        EXPECT_EQ(m.rows(), 100u);
+        EXPECT_EQ(m.nnz(), 3u);
+    }
+
+    // Mismatched triplet arrays fail conversion, out-of-range indices fail
+    // the COO bounds check.
+    net::AdmitRequest bad = admit;
+    bad.values.pop_back();
+    EXPECT_THROW(net::admit_to_coo(bad), net::ProtocolError);
+    net::AdmitRequest oob = admit;
+    oob.row_idx[0] = 100;
+    EXPECT_THROW(net::admit_to_coo(oob), std::invalid_argument);
+
+    net::SpmvRequest spmv;
+    spmv.name = "web";
+    spmv.x = {1.0f, 2.0f};
+    spmv.y = {0.0f};
+    spmv.alpha = 1.25f;
+    spmv.beta = -0.5f;
+    {
+        const std::vector<std::uint8_t> frame = net::encode_spmv(spmv);
+        net::WireReader r(frame);
+        EXPECT_EQ(net::decode_request_type(r), net::RequestType::kSpmv);
+        const net::SpmvRequest back = net::decode_spmv(r);
+        EXPECT_EQ(back.name, "web");
+        EXPECT_EQ(back.x, spmv.x);
+        EXPECT_EQ(back.y, spmv.y);
+        EXPECT_EQ(back.alpha, 1.25f);
+        EXPECT_EQ(back.beta, -0.5f);
+    }
+
+    net::SetBatchingRequest sb;
+    sb.max_batch = 4;
+    sb.slo_ms = 20.0;
+    sb.batch_wait_ms = 80.0;
+    sb.max_queue_depth = 256;
+    {
+        const std::vector<std::uint8_t> frame = net::encode_set_batching(sb);
+        net::WireReader r(frame);
+        EXPECT_EQ(net::decode_request_type(r),
+                  net::RequestType::kSetBatching);
+        const net::SetBatchingRequest back = net::decode_set_batching(r);
+        EXPECT_EQ(back.max_batch, 4u);
+        EXPECT_EQ(back.slo_ms, 20.0);
+        EXPECT_EQ(back.batch_wait_ms, 80.0);
+        EXPECT_EQ(back.max_queue_depth, 256u);
+    }
+
+    {
+        const std::vector<std::uint8_t> frame = net::encode_evict("web");
+        net::WireReader r(frame);
+        EXPECT_EQ(net::decode_request_type(r), net::RequestType::kEvict);
+        EXPECT_EQ(net::decode_evict(r), "web");
+    }
+
+    // Unknown type bytes are ProtocolError, not a silent enum.
+    net::WireWriter junk;
+    junk.u8(99);
+    const std::vector<std::uint8_t> junk_frame = junk.take();
+    net::WireReader junk_r(junk_frame);
+    EXPECT_THROW(net::decode_request_type(junk_r), net::ProtocolError);
+}
+
+TEST(NetWire, SpmvReplyRoundTripsAllTelemetry)
+{
+    serve::SpmvResult result;
+    result.run.y = {1.0f, -2.0f, 3.5f};
+    result.run.time_ms = 0.75;
+    result.run.cycles.x_load_cycles = 11;
+    result.run.cycles.compute_cycles = 22;
+    result.run.cycles.y_phase_cycles = 33;
+    result.run.cycles.fill_cycles = 44;
+    result.run.cycles.total_slots = 55;
+    result.run.cycles.padding_slots = 5;
+    result.queue_ms = 1.5;
+    result.service_ms = 2.5;
+    result.device_batch_ms = 4.0;
+    result.device_amortized_ms = 0.5;
+    result.batch_width = 8;
+    result.sequence = 123;
+
+    net::WireWriter w;
+    net::encode_spmv_reply(w, result);
+    const std::vector<std::uint8_t> buf = w.take();
+    net::WireReader r(buf);
+    const net::SpmvReply back = net::decode_spmv_reply(r);
+    EXPECT_EQ(back.y, result.run.y);
+    EXPECT_EQ(back.time_ms, 0.75);
+    EXPECT_EQ(back.queue_ms, 1.5);
+    EXPECT_EQ(back.service_ms, 2.5);
+    EXPECT_EQ(back.device_batch_ms, 4.0);
+    EXPECT_EQ(back.device_amortized_ms, 0.5);
+    EXPECT_EQ(back.batch_width, 8u);
+    EXPECT_EQ(back.sequence, 123u);
+    EXPECT_EQ(back.x_load_cycles, 11u);
+    EXPECT_EQ(back.compute_cycles, 22u);
+    EXPECT_EQ(back.y_phase_cycles, 33u);
+    EXPECT_EQ(back.fill_cycles, 44u);
+    EXPECT_EQ(back.total_slots, 55u);
+    EXPECT_EQ(back.padding_slots, 5u);
+}
+
+TEST(NetWire, OpenReplyMapsStatusesOntoTheErrorTaxonomy)
+{
+    {
+        net::WireWriter body;
+        body.u8(1);
+        // The reader borrows the frame's bytes — keep the frame alive.
+        const std::vector<std::uint8_t> frame =
+            net::encode_ok(std::move(body));
+        net::WireReader r = net::open_reply(frame);
+        EXPECT_EQ(r.u8(), 1u);
+        EXPECT_NO_THROW(r.require_done());
+    }
+    EXPECT_THROW(
+        (void)net::open_reply(
+            net::encode_error(net::Status::kOverloaded, "full")),
+        net::OverloadedError);
+    EXPECT_THROW((void)net::open_reply(
+                     net::encode_error(net::Status::kError, "boom")),
+                 net::RemoteError);
+    try {
+        (void)net::open_reply(net::encode_error(net::Status::kError,
+                                                "exact message"));
+        FAIL() << "expected RemoteError";
+    } catch (const net::RemoteError& e) {
+        EXPECT_STREQ(e.what(), "exact message");
+    }
+}
+
+// --- framing over a real socket ---
+
+struct SocketPair {
+    net::Socket a, b;
+    SocketPair()
+    {
+        int fds[2];
+        EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+        a = net::Socket(fds[0]);
+        b = net::Socket(fds[1]);
+    }
+};
+
+TEST(NetWire, FramesRoundTripOverASocket)
+{
+    SocketPair pair;
+    const std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5};
+    net::write_frame(pair.a, payload);
+    net::write_frame(pair.a, {});  // empty frames are legal
+    const auto first = net::read_frame(pair.b);
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(*first, payload);
+    const auto second = net::read_frame(pair.b);
+    ASSERT_TRUE(second.has_value());
+    EXPECT_TRUE(second->empty());
+}
+
+TEST(NetWire, OversizedLengthPrefixIsRefusedBeforeAllocation)
+{
+    SocketPair pair;
+    const std::uint32_t evil = net::kMaxFrameBytes + 1;
+    std::uint8_t header[4];
+    std::memcpy(header, &evil, sizeof evil);
+    ASSERT_EQ(::send(pair.a.fd(), header, sizeof header, 0), 4);
+    EXPECT_THROW((void)net::read_frame(pair.b), net::ProtocolError);
+}
+
+TEST(NetWire, EofMidFrameThrowsButCleanEofIsNullopt)
+{
+    {
+        SocketPair pair;
+        // Header promises 100 bytes; only 3 arrive before the close.
+        const std::uint32_t n = 100;
+        std::uint8_t header[4];
+        std::memcpy(header, &n, sizeof n);
+        ASSERT_EQ(::send(pair.a.fd(), header, sizeof header, 0), 4);
+        const std::uint8_t partial[3] = {1, 2, 3};
+        ASSERT_EQ(::send(pair.a.fd(), partial, sizeof partial, 0), 3);
+        pair.a.close();
+        EXPECT_THROW((void)net::read_frame(pair.b), net::ProtocolError);
+    }
+    {
+        SocketPair pair;
+        pair.a.close();
+        EXPECT_EQ(net::read_frame(pair.b), std::nullopt);
+    }
+}
+
+} // namespace
+} // namespace serpens

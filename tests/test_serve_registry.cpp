@@ -103,6 +103,7 @@ TEST(ServeRegistry, LruEvictionAtBudgetBoundary)
     ASSERT_NE(reg.get("a"), nullptr);
     ASSERT_NE(reg.get("c"), nullptr);
     EXPECT_EQ(reg.stats().evictions, 1u);
+    EXPECT_EQ(reg.stats().replacements, 0u);
     EXPECT_LE(reg.bytes_resident(), reg.budget_bytes());
 
     // MRU-first listing.
@@ -151,6 +152,7 @@ TEST(ServeRegistry, ReAdmissionReEncodesIdentically)
     reg.admit("b", b);
     EXPECT_EQ(reg.get("a"), nullptr);
     EXPECT_EQ(reg.stats().evictions, 1u);
+    EXPECT_EQ(reg.stats().replacements, 0u);
     const auto again = reg.admit("a", a);
     EXPECT_NE(again.get(), first.get());
     EXPECT_EQ(reg.stats().encodes, 3u);
@@ -172,7 +174,12 @@ TEST(ServeRegistry, SameNameReplaces)
     EXPECT_EQ(reg.size(), 1u);
     EXPECT_NE(v1.get(), v2.get());
     EXPECT_EQ(reg.get("m").get(), v2.get());
-    EXPECT_EQ(reg.stats().evictions, 1u);
+    // The name never left the resident set: this is a replacement, not an
+    // eviction. The old accounting charged evictions here, which made
+    // capacity-pressure dashboards read phantom budget churn.
+    EXPECT_EQ(reg.stats().evictions, 0u);
+    EXPECT_EQ(reg.stats().replacements, 1u);
+    EXPECT_EQ(reg.stats().admissions, 2u);
     EXPECT_EQ(reg.bytes_resident(), v2->memory_footprint_bytes());
 }
 
@@ -182,6 +189,9 @@ TEST(ServeRegistry, ExplicitEvict)
     reg.admit("m", small_matrix(11));
     EXPECT_TRUE(reg.evict("m"));
     EXPECT_FALSE(reg.evict("m"));
+    // The failed second evict charges nothing.
+    EXPECT_EQ(reg.stats().evictions, 1u);
+    EXPECT_EQ(reg.stats().replacements, 0u);
     EXPECT_EQ(reg.size(), 0u);
     EXPECT_EQ(reg.bytes_resident(), 0u);
 }

@@ -382,6 +382,223 @@ TEST(ServeServer, SubmitFuturesCarryTelemetry)
     EXPECT_EQ(stats.batches, 1u);
     EXPECT_GE(stats.rounds, 1u);
     EXPECT_GT(stats.mean_batch_width(), 0.0);
+    EXPECT_EQ(stats.queue_hist.count(), 1u);
+    EXPECT_EQ(stats.service_hist.count(), 1u);
+    EXPECT_EQ(stats.width_hist[1], 1u);
+}
+
+// Regression: queue_ms used to stop at round pickup, so on a serial drain
+// every group in the round reported near-zero queue time even though later
+// groups sat queued behind earlier groups' execution. Queue time must run
+// until the request's OWN batch starts.
+TEST(ServeServer, QueueTimeRunsUntilTheRequestsOwnBatchStarts)
+{
+    // Two groups with very different service times: a heavy matrix and a
+    // light one. serve_threads = 1 drains the round serially, and groups
+    // execute in submit order (earliest first), so the light request's
+    // batch starts only after the heavy batch finishes.
+    const auto heavy = sparse::make_uniform_random(4096, 4096, 400'000, 311);
+    const auto light = sparse::make_banded(256, 3, 313);
+    core::SerpensConfig cfg = core::SerpensConfig::a16();
+    cfg.serve_threads = 1;
+    serve::Server server(cfg);
+    server.registry().admit("heavy", heavy);
+    server.registry().admit("light", light);
+
+    server.pause();
+    const Vectors vh = random_vectors(heavy.cols(), heavy.rows(), 1);
+    const Vectors vl = random_vectors(light.cols(), light.rows(), 2);
+    auto slow = server.submit("heavy", vh.x, vh.y);
+    auto fast = server.submit("light", vl.x, vl.y);
+    server.resume();
+
+    const serve::SpmvResult slow_r = slow.get();
+    const serve::SpmvResult fast_r = fast.get();
+    ASSERT_GT(slow_r.service_ms, 0.0);
+    // The light request was submitted before the round started, then its
+    // batch waited out the heavy batch's whole execution: its queue time
+    // must cover at least that service time. Under the old accounting it
+    // measured only submit -> round start (essentially zero here).
+    EXPECT_GE(fast_r.queue_ms, slow_r.service_ms);
+    EXPECT_LE(slow_r.queue_ms, fast_r.queue_ms);
+}
+
+// Regression: dispatch_loop's shutdown drain used to be reachable only via
+// the !paused_ arm of its wait predicate, which could leave a paused
+// server's queue undrained at destruction. Stop overrides pause: every
+// accepted request gets its response.
+TEST(ServeServer, DestructionDrainsPausedQueue)
+{
+    const auto m = sparse::make_banded(400, 5, 331);
+    std::vector<std::future<serve::SpmvResult>> futures;
+    {
+        serve::Server server(core::SerpensConfig::a16());
+        server.registry().admit("m", m);
+        server.pause();
+        for (unsigned i = 0; i < 5; ++i) {
+            const Vectors v = random_vectors(m.cols(), m.rows(), 400 + i);
+            futures.push_back(server.submit("m", v.x, v.y));
+        }
+        // Destructor runs with the server still paused.
+    }
+    for (auto& f : futures) {
+        const serve::SpmvResult r = f.get();
+        EXPECT_EQ(r.run.y.size(), 400u);
+    }
+}
+
+TEST(ServeServer, PausedServerRunsNoRounds)
+{
+    const auto m = sparse::make_banded(400, 5, 337);
+    serve::Server server(core::SerpensConfig::a16());
+    server.registry().admit("m", m);
+
+    server.pause();
+    const Vectors v = random_vectors(m.cols(), m.rows(), 7);
+    auto f = server.submit("m", v.x, v.y);
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    EXPECT_EQ(server.stats().rounds, 0u);
+    server.resume();
+    (void)f.get();
+    server.drain();  // settle the post-round bookkeeping before reading
+    EXPECT_GE(server.stats().rounds, 1u);
+}
+
+TEST(ServeServer, AdmissionBoundRejectsLoudlyAndCountsIt)
+{
+    const auto m = sparse::make_banded(400, 5, 347);
+    core::SerpensConfig cfg = core::SerpensConfig::a16();
+    cfg.max_queue_depth = 2;
+    serve::Server server(cfg);
+    server.registry().admit("m", m);
+
+    server.pause();
+    const Vectors v = random_vectors(m.cols(), m.rows(), 11);
+    auto f1 = server.submit("m", v.x, v.y);
+    auto f2 = server.submit("m", v.x, v.y);
+    EXPECT_THROW(server.submit("m", v.x, v.y), serve::QueueFullError);
+    EXPECT_THROW(server.submit("m", v.x, v.y), serve::QueueFullError);
+    EXPECT_EQ(server.stats().rejected, 2u);
+
+    // Rejection is fast-fail, not poison: once the queue drains the same
+    // client admits again.
+    server.resume();
+    (void)f1.get();
+    (void)f2.get();
+    server.drain();
+    EXPECT_NO_THROW((void)server.spmv("m", v.x, v.y));
+    EXPECT_EQ(server.stats().rejected, 2u);
+}
+
+TEST(ServeServer, SloControllerShrinksWidthUnderQueuePressure)
+{
+    const auto m = sparse::make_banded(400, 5, 353);
+    core::SerpensConfig cfg = core::SerpensConfig::a16();
+    cfg.max_batch = 8;
+    cfg.slo_queue_ms = 1e-6;  // unmeetable: every round violates the SLO
+    serve::Server server(cfg);
+    server.registry().admit("m", m);
+    ASSERT_EQ(server.current_max_batch(), 8u);
+
+    const Vectors v = random_vectors(m.cols(), m.rows(), 13);
+    // Each round's p99 queue time exceeds the (absurd) target, so each
+    // round halves the width: 8 -> 4 -> 2 -> 1, then it floors.
+    for (unsigned round = 0; round < 5; ++round) {
+        (void)server.spmv("m", v.x, v.y);
+        server.drain();
+    }
+    EXPECT_EQ(server.current_max_batch(), 1u);
+    const auto stats = server.stats();
+    EXPECT_EQ(stats.batch_shrinks, 3u);
+    EXPECT_EQ(stats.batch_grows, 0u);
+    EXPECT_EQ(stats.current_max_batch, 1u);
+    EXPECT_GT(stats.p99_queue_ewma_ms, 0.0);
+}
+
+TEST(ServeServer, SloControllerGrowsBackWhenQueueTimesRecover)
+{
+    const auto m = sparse::make_banded(400, 5, 359);
+    core::SerpensConfig cfg = core::SerpensConfig::a16();
+    cfg.max_batch = 8;
+    cfg.slo_queue_ms = 60.0;
+    serve::Server server(cfg);
+    server.registry().admit("m", m);
+
+    // One artificially slow round: hold a burst paused well past the SLO
+    // so the seeded EWMA lands far above 60 ms and the width shrinks.
+    server.pause();
+    std::vector<std::future<serve::SpmvResult>> futures;
+    const Vectors v = random_vectors(m.cols(), m.rows(), 17);
+    for (unsigned i = 0; i < 4; ++i)
+        futures.push_back(server.submit("m", v.x, v.y));
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    server.resume();
+    for (auto& f : futures)
+        (void)f.get();
+    server.drain();
+    EXPECT_GE(server.stats().batch_shrinks, 1u);
+    EXPECT_LT(server.current_max_batch(), 8u);
+
+    // Healthy rounds (queue times far below slo/2) decay the EWMA and the
+    // width doubles back toward the configured ceiling.
+    for (unsigned round = 0; round < 12; ++round) {
+        (void)server.spmv("m", v.x, v.y);
+        server.drain();
+    }
+    EXPECT_GE(server.stats().batch_grows, 1u);
+    EXPECT_EQ(server.current_max_batch(), 8u);
+}
+
+TEST(ServeServer, SetBatchingResetsTheControllerAndWidth)
+{
+    const auto m = sparse::make_banded(400, 5, 367);
+    core::SerpensConfig cfg = core::SerpensConfig::a16();
+    cfg.max_batch = 8;
+    cfg.slo_queue_ms = 1e-6;
+    serve::Server server(cfg);
+    server.registry().admit("m", m);
+
+    const Vectors v = random_vectors(m.cols(), m.rows(), 19);
+    (void)server.spmv("m", v.x, v.y);
+    server.drain();
+    EXPECT_LT(server.current_max_batch(), 8u);
+
+    server.set_batching(/*max_batch=*/4, /*slo_queue_ms=*/0.0,
+                        /*batch_wait_ms=*/0.0, /*max_queue_depth=*/0);
+    EXPECT_EQ(server.current_max_batch(), 4u);
+    // SLO off: widths stay put no matter the queue times.
+    (void)server.spmv("m", v.x, v.y);
+    server.drain();
+    EXPECT_EQ(server.current_max_batch(), 4u);
+    EXPECT_DOUBLE_EQ(server.stats().p99_queue_ewma_ms, 0.0);
+}
+
+TEST(ServeServer, BatchWaitHoldsSingleRequestsButNotFullBatches)
+{
+    const auto m = sparse::make_banded(400, 5, 373);
+    core::SerpensConfig cfg = core::SerpensConfig::a16();
+    cfg.max_batch = 4;
+    cfg.batch_wait_ms = 200.0;
+    serve::Server server(cfg);
+    server.registry().admit("m", m);
+
+    // A full batch dispatches without waiting out the hold.
+    server.pause();
+    std::vector<std::future<serve::SpmvResult>> futures;
+    const Vectors v = random_vectors(m.cols(), m.rows(), 23);
+    for (unsigned i = 0; i < 4; ++i)
+        futures.push_back(server.submit("m", v.x, v.y));
+    server.resume();
+    for (auto& f : futures) {
+        const serve::SpmvResult r = f.get();
+        EXPECT_EQ(r.batch_width, 4u);
+        EXPECT_LT(r.queue_ms, 150.0);
+    }
+
+    // A lone request rides out the full hold waiting for company.
+    const serve::SpmvResult lone = server.spmv("m", v.x, v.y);
+    EXPECT_EQ(lone.batch_width, 1u);
+    EXPECT_GE(lone.queue_ms, 150.0);
 }
 
 } // namespace

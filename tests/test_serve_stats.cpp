@@ -128,50 +128,88 @@ TEST(ServeStats, PausedBurstOfElevenAmortizesDistinctlyAcrossChunks)
 
 // --- Snapshot schema ---
 
-serve::ServeSnapshot plausible_snapshot(bool with_unbatched)
+serve::LoopSnapshot plausible_loop(double scale)
+{
+    serve::LoopSnapshot l;
+    l.wall_s = 1.8 * scale;
+    l.nnz_per_s = 2.5e8 / scale;
+    l.mean_queue_ms = 0.4;
+    l.mean_service_ms = 6.5 * scale;
+    l.mean_batch_width = scale > 1.0 ? 1.0 : 5.2;
+    l.mean_device_amortized_ms = 0.9 * scale;
+    l.p50_queue_ms = 0.3;
+    l.p99_queue_ms = 2.1 * scale;
+    l.p50_service_ms = 6.0 * scale;
+    l.p99_service_ms = 9.5 * scale;
+    l.p50_e2e_ms = 6.5 * scale;
+    l.p99_e2e_ms = 11.0 * scale;
+    l.width_hist = scale > 1.0 ? std::vector<std::uint64_t>{192}
+                               : std::vector<std::uint64_t>{4, 0, 0, 8, 20,
+                                                            0, 0, 160};
+    l.stats.requests = 192;
+    l.stats.batches = scale > 1.0 ? 192 : 40;
+    l.stats.rounds = 30;
+    l.stats.coalesced = scale > 1.0 ? 0 : 180;
+    l.stats.max_batch_seen = scale > 1.0 ? 1 : 8;
+    l.stats.rejected = 0;
+    l.stats.batch_shrinks = scale > 1.0 ? 0 : 3;
+    l.stats.batch_grows = scale > 1.0 ? 0 : 1;
+    return l;
+}
+
+serve::ServeSnapshot plausible_snapshot(bool with_comparison,
+                                        bool open_loop = false)
 {
     serve::ServeSnapshot snap;
+    snap.open_loop = open_loop;
     snap.matrices = 3;
     snap.entries = 1'000'000;
     snap.clients = 8;
     snap.requests_per_client = 24;
     snap.max_batch = 8;
     snap.serve_threads = 4;
-
-    const auto loop = [](double scale) {
-        serve::LoopSnapshot l;
-        l.wall_s = 1.8 * scale;
-        l.nnz_per_s = 2.5e8 / scale;
-        l.mean_queue_ms = 0.4;
-        l.mean_service_ms = 6.5 * scale;
-        l.mean_batch_width = scale > 1.0 ? 1.0 : 5.2;
-        l.mean_device_amortized_ms = 0.9 * scale;
-        l.stats.requests = 192;
-        l.stats.batches = scale > 1.0 ? 192 : 40;
-        l.stats.rounds = 30;
-        l.stats.coalesced = scale > 1.0 ? 0 : 180;
-        l.stats.max_batch_seen = scale > 1.0 ? 1 : 8;
-        return l;
-    };
-    snap.batched = loop(1.0);
-    if (with_unbatched)
-        snap.unbatched = loop(2.6);
+    if (open_loop) {
+        snap.arrival_rate_rps = 100.0;
+        snap.slo_ms = 20.0;
+        snap.batch_wait_ms = 80.0;
+        snap.max_queue_depth = 256;
+    }
+    snap.primary = plausible_loop(1.0);
+    if (with_comparison)
+        snap.comparison = plausible_loop(2.6);
     return snap;
 }
 
 TEST(ServeStats, SnapshotJsonRoundTripsItsValidator)
 {
-    for (const bool with_unbatched : {true, false}) {
+    for (const bool with_comparison : {true, false}) {
         const std::string json =
-            serve::to_json(plausible_snapshot(with_unbatched));
+            serve::to_json(plausible_snapshot(with_comparison));
         std::string error;
         EXPECT_TRUE(serve::validate_snapshot_json(json, &error))
-            << "with_unbatched=" << with_unbatched << ": " << error;
+            << "with_comparison=" << with_comparison << ": " << error;
         EXPECT_NE(json.find("\"mean_device_amortized_ms\""),
                   std::string::npos);
+        EXPECT_NE(json.find("\"p99_queue_ms\""), std::string::npos);
+        EXPECT_NE(json.find("\"width_hist\""), std::string::npos);
         EXPECT_EQ(json.find("\"batched_speedup\"") != std::string::npos,
-                  with_unbatched);
+                  with_comparison);
     }
+}
+
+TEST(ServeStats, OpenLoopSnapshotRoundTripsWithAdaptiveAndFixedLoops)
+{
+    const std::string json = serve::to_json(
+        plausible_snapshot(/*with_comparison=*/true, /*open_loop=*/true));
+    std::string error;
+    EXPECT_TRUE(serve::validate_snapshot_json(json, &error)) << error;
+    EXPECT_NE(json.find("\"mode\": \"open-loop\""), std::string::npos);
+    EXPECT_NE(json.find("\"adaptive\""), std::string::npos);
+    EXPECT_NE(json.find("\"fixed\""), std::string::npos);
+    EXPECT_NE(json.find("\"arrival_rate_rps\""), std::string::npos);
+    // The closed-loop throughput figure has no meaning under open-loop
+    // arrivals and must not be archived there.
+    EXPECT_EQ(json.find("\"batched_speedup\""), std::string::npos);
 }
 
 TEST(ServeStats, SnapshotValidatorRejectsCorruptDocuments)
@@ -197,6 +235,13 @@ TEST(ServeStats, SnapshotValidatorRejectsCorruptDocuments)
     EXPECT_FALSE(serve::validate_snapshot_json(
         replaced("\"wall_s\": 1.8", "\"wall_s\": nan"), &error));
 
+    // A key with its ':' separator deleted. The old parser skipped ':'
+    // as if it were whitespace, so `"wall_s" 1.8` validated — this is the
+    // regression lock on the colon requirement.
+    EXPECT_FALSE(serve::validate_snapshot_json(
+        replaced("\"wall_s\": 1.8", "\"wall_s\" 1.8"), &error));
+    EXPECT_NE(error.find("wall_s"), std::string::npos);
+
     // A zero where the quantity must be strictly positive.
     EXPECT_FALSE(serve::validate_snapshot_json(
         replaced("\"nnz_per_s\": 2.5e+08", "\"nnz_per_s\": 0"), &error));
@@ -209,13 +254,80 @@ TEST(ServeStats, SnapshotValidatorRejectsCorruptDocuments)
     EXPECT_FALSE(serve::validate_snapshot_json(
         replaced("\"batches\": 40", "\"batches\": \"forty\""), &error));
 
+    // A width histogram that is not an array of counts.
+    EXPECT_FALSE(serve::validate_snapshot_json(
+        replaced("\"width_hist\": [192]", "\"width_hist\": [-3]"), &error));
+
     // The comparison loop without its speedup (and vice versa).
     EXPECT_FALSE(serve::validate_snapshot_json(
         replaced("\"batched_speedup\"", "\"renamed_speedup\""), &error));
 
+    // An open-loop document carrying the closed-loop speedup figure.
+    EXPECT_FALSE(serve::validate_snapshot_json(
+        replaced("\"mode\": \"closed-loop\"", "\"mode\": \"open-loop\""),
+        &error));
+
     // Not a serve snapshot at all.
     EXPECT_FALSE(serve::validate_snapshot_json("{\"tool\": \"other\"}",
                                                &error));
+}
+
+TEST(ServeStats, FindNumberAfterKeyRequiresTheColonSeparator)
+{
+    double v = 0.0;
+    std::size_t cursor = 0;
+    EXPECT_TRUE(serve::find_number_after_key("{\"wall_s\":  12.5}",
+                                             "wall_s", &cursor, &v));
+    EXPECT_DOUBLE_EQ(v, 12.5);
+
+    // The bug this PR fixes: a colon-less key/value pair must not parse.
+    cursor = 0;
+    EXPECT_FALSE(serve::find_number_after_key("{\"wall_s\" 12.5}",
+                                              "wall_s", &cursor, &v));
+    cursor = 0;
+    EXPECT_FALSE(serve::find_number_after_key("{\"wall_s\": \"x\"}",
+                                              "wall_s", &cursor, &v));
+}
+
+// --- The daemon's stats document ---
+
+TEST(ServeStats, ServerStatsJsonRoundTripsItsValidator)
+{
+    const auto m = sparse::make_banded(600, 5, 91);
+    serve::Server server(core::SerpensConfig::a16());
+    server.registry().admit("m", m);
+    const Vectors v = random_vectors(m.cols(), m.rows(), 17);
+    (void)server.spmv("m", v.x, v.y);
+    (void)server.spmv("m", v.x, v.y, 2.0f, 0.5f);
+    // A caller can hold its reply before the dispatcher's post-round
+    // bookkeeping lands; drain() waits that round out so the counters
+    // below are settled.
+    server.drain();
+
+    const serve::MatrixRegistry& reg = server.registry();
+    const std::string json = serve::server_stats_to_json(
+        server.stats(), reg.stats(), 1, reg.bytes_resident());
+    std::string error;
+    EXPECT_TRUE(serve::validate_server_stats_json(json, &error)) << error;
+    EXPECT_NE(json.find("\"tool\": \"serpens_served\""), std::string::npos);
+
+    // The live figures survive the trip through the document.
+    std::size_t cursor = 0;
+    double requests = 0.0, replacements = -1.0;
+    EXPECT_TRUE(serve::find_number_after_key(json, "requests", &cursor,
+                                             &requests));
+    EXPECT_DOUBLE_EQ(requests, 2.0);
+    cursor = 0;
+    EXPECT_TRUE(serve::find_number_after_key(json, "replacements", &cursor,
+                                             &replacements));
+    EXPECT_DOUBLE_EQ(replacements, 0.0);
+
+    // Corruption is caught here too (shared parser, shared colon rule).
+    std::string doc = json;
+    const std::size_t at = doc.find("\"requests\":");
+    ASSERT_NE(at, std::string::npos);
+    doc.replace(at, 11, "\"requests\" ");
+    EXPECT_FALSE(serve::validate_server_stats_json(doc, &error));
 }
 
 } // namespace

@@ -1,36 +1,60 @@
-// serpens_serve — closed-loop multi-client benchmark of the serving layer.
+// serpens_serve — multi-client benchmark of the serving layer, closed- or
+// open-loop, in-process or against a running serpens_served daemon.
 //
-// Generates several synthetic matrices, admits them into a serve::Server,
-// then hammers it with C closed-loop client threads (each issues its next
-// blocking request as soon as the previous one returns). Run twice — once
-// with batch coalescing (max_batch = B) and once degraded to
-// 1-request-at-a-time (max_batch = 1) — and report the aggregate nnz/s of
-// both, so the number the serving layer exists for (batched coalescing
-// beating serial serving) is measured, not assumed.
+// Closed loop (default): C client threads each issue their next blocking
+// request the moment the previous one returns. Run twice — batch
+// coalescing on (max_batch = B) vs degraded to 1-request-at-a-time — and
+// report the aggregate nnz/s of both, so the number the serving layer
+// exists for (batched coalescing beating serial serving) is measured, not
+// assumed.
 //
-//   serpens_serve [--matrices M] [--entries N] [--clients C]
+// Open loop (--arrival-rate R > 0): requests arrive on a Poisson process
+// at R req/s regardless of completions — the serving-under-SLO story. The
+// same arrival schedule is driven twice against one server: once with the
+// fixed throughput-greedy batcher (width max_batch, hold batch_wait_ms)
+// and once with the SLO controller enabled (--slo-ms). The tool reports
+// p50/p99 queue / service / end-to-end latency for both and, when an SLO
+// is set, gates on the headline claim: adaptive meets the p99 queue-time
+// target that fixed max_batch misses.
+//
+//   serpens_serve [--matrices M] [--entries N] [--rows R] [--clients C]
 //                 [--requests R] [--max-batch B] [--serve-threads T]
 //                 [--budget-mb MB] [--seed S] [--json FILE] [--smoke]
-//                 [--no-compare] [--a24]
+//                 [--no-compare] [--a24] [--vary-scalars]
+//                 [--arrival-rate RPS] [--slo-ms MS] [--batch-wait-ms MS]
+//                 [--queue-depth D] [--warmup W]
+//                 [--connect HOST:PORT] [--shutdown-daemon]
+//                 [--check-snapshot FILE]
 //
-// Every response is checked bit-identical against a sequential replay of
-// the recorded request trace through direct Accelerator::run — the same
-// differential contract the unit suites pin at small scale. --smoke runs
-// a small preset suitable for CI (Release and ASan).
+// --connect drives the loops over TCP (one net::Client per worker thread)
+// against serpens_served instead of an in-process server; the daemon must
+// run the same architecture config (--a24 here iff there). Either way
+// every response is checked bit-identical against a sequential replay of
+// the recorded request trace through direct Accelerator::run — the
+// serving layer's differential contract does not weaken across the wire.
 //
-// Exit code 0 on success, 1 on any mismatch or error.
+// --check-snapshot validates an archived snapshot against the schema and
+// exits — how CI re-checks BENCH_serve.json / BENCH_net.json.
+//
+// Exit code 0 on success, 1 on any mismatch, schema failure, missed SLO
+// gate, or error.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
+#include <optional>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "net/client.h"
 #include "serve/server.h"
 #include "serve/snapshot.h"
 #include "sparse/generators.h"
@@ -47,21 +71,35 @@ struct Args {
     std::uint64_t entries = 1'000'000;
     unsigned rows = 0;            // 0 = entries / 16
     unsigned clients = 8;
-    unsigned requests = 24;       // per client
+    unsigned requests = 24;       // per client (measured; warmup on top)
     unsigned max_batch = 8;
     unsigned serve_threads = 0;   // one per hardware thread
     std::uint64_t budget_mb = 0;  // 0 = unlimited
     std::uint64_t seed = 1;
     std::string json_path;
     bool smoke = false;
-    bool compare_unbatched = true;
+    bool compare = true;
     bool vary_scalars = false;
     bool a24 = false;
+    // Open-loop shape.
+    double arrival_rate = 0.0;    // req/s; > 0 switches to open loop
+    double slo_ms = 0.0;          // p99 queue-time target for the adaptive loop
+    double batch_wait_ms = 0.0;   // batch-forming hold for both loops
+    std::uint64_t queue_depth = 0;  // admission bound (0 = unbounded)
+    unsigned warmup = 32;         // leading requests excluded from stats
+    // Network mode.
+    std::string connect_host;
+    std::uint16_t connect_port = 0;
+    bool shutdown_daemon = false;
+    std::string check_snapshot;
 };
 
 // One completed request as the clients recorded it: enough to replay the
 // whole trace sequentially through a direct Accelerator.
 struct TraceEntry {
+    bool ok = false;             // completed (false: rejected or warm-up slot
+                                 // of a loop that was cut short)
+    bool measured = true;        // false for warmup arrivals
     unsigned matrix = 0;
     std::uint64_t seed = 0;      // drives matrix/scalar selection
     std::uint64_t vec_seed = 0;  // x/y vectors are regenerated from this
@@ -71,14 +109,15 @@ struct TraceEntry {
     sim::CycleStats cycles;
     double queue_ms = 0.0;
     double service_ms = 0.0;
+    double e2e_ms = 0.0;         // client-observed, from scheduled arrival
     double device_amortized_ms = 0.0;  // SpMM-mode per-SpMV device time
     unsigned batch_width = 1;
 };
 
 // Distinct (x, y) pairs per matrix, generated before the timed loop so the
-// closed-loop wall clock measures serving, not vector synthesis. Requests
-// cycle through the pool; the sequential replay regenerates the same
-// vectors from vec_seed.
+// loop wall clock measures serving, not vector synthesis. Requests cycle
+// through the pool; the sequential replay regenerates the same vectors
+// from vec_seed.
 constexpr unsigned kVectorPool = 16;
 
 std::uint64_t pool_seed(std::uint64_t base, unsigned matrix, unsigned k)
@@ -87,14 +126,9 @@ std::uint64_t pool_seed(std::uint64_t base, unsigned matrix, unsigned k)
 }
 
 struct LoopResult {
-    double wall_s = 0.0;
-    double nnz_per_s = 0.0;
-    double mean_queue_ms = 0.0;
-    double mean_service_ms = 0.0;
-    double mean_batch_width = 0.0;
-    double mean_device_amortized_ms = 0.0;
-    serve::ServerStats stats;
+    serve::LoopSnapshot snap;
     std::vector<TraceEntry> trace;
+    std::uint64_t rejected = 0;  // client-observed admission refusals
 };
 
 void fill_vectors(std::uint64_t seed, sparse::index_t cols,
@@ -128,28 +162,263 @@ void pick_scalars(bool vary, std::uint64_t seed, float& alpha, float& beta)
     beta = betas[seed % 4];
 }
 
-LoopResult run_closed_loop(const core::SerpensConfig& cfg,
-                           const std::vector<sparse::CooMatrix>& matrices,
-                           const Args& args)
+// Exact-rank quantile over the raw samples (the archived figures; the
+// server's own histograms are octave-resolution and only feed its
+// controller and stats endpoint).
+double quantile(std::vector<double> v, double q)
 {
-    serve::Server server(cfg);
-    std::vector<sparse::index_t> rows, cols;
-    std::vector<std::uint64_t> nnz;
-    for (unsigned m = 0; m < matrices.size(); ++m) {
-        server.registry().admit("m" + std::to_string(m), matrices[m]);
-        rows.push_back(matrices[m].rows());
-        cols.push_back(matrices[m].cols());
-        nnz.push_back(matrices[m].nnz());
+    if (v.empty())
+        return 0.0;
+    std::sort(v.begin(), v.end());
+    std::size_t rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(v.size())));
+    rank = std::clamp<std::size_t>(rank, 1, v.size());
+    return v[rank - 1];
+}
+
+// --- shared infrastructure over the two transports ---
+
+// One worker thread's handle on the server: in-process serve::Server or a
+// net::Client connection. spmv() blocks until the response.
+class Transport {
+public:
+    virtual ~Transport() = default;
+    virtual serve::SpmvResult spmv(const std::string& name,
+                                   const std::vector<float>& x,
+                                   const std::vector<float>& y, float alpha,
+                                   float beta) = 0;
+};
+
+class LocalTransport : public Transport {
+public:
+    explicit LocalTransport(serve::Server& server) : server_(server) {}
+    serve::SpmvResult spmv(const std::string& name,
+                           const std::vector<float>& x,
+                           const std::vector<float>& y, float alpha,
+                           float beta) override
+    {
+        return server_.spmv(name, x, y, alpha, beta);
     }
 
+private:
+    serve::Server& server_;
+};
+
+class NetTransport : public Transport {
+public:
+    NetTransport(const std::string& host, std::uint16_t port)
+        : client_(host, port, /*timeout_ms=*/120'000)
+    {
+    }
+    serve::SpmvResult spmv(const std::string& name,
+                           const std::vector<float>& x,
+                           const std::vector<float>& y, float alpha,
+                           float beta) override
+    {
+        net::SpmvReply reply = client_.spmv(name, x, y, alpha, beta);
+        serve::SpmvResult res;
+        res.run.y = std::move(reply.y);
+        res.run.time_ms = reply.time_ms;
+        res.run.cycles.x_load_cycles = reply.x_load_cycles;
+        res.run.cycles.compute_cycles = reply.compute_cycles;
+        res.run.cycles.y_phase_cycles = reply.y_phase_cycles;
+        res.run.cycles.fill_cycles = reply.fill_cycles;
+        res.run.cycles.total_slots = reply.total_slots;
+        res.run.cycles.padding_slots = reply.padding_slots;
+        res.queue_ms = reply.queue_ms;
+        res.service_ms = reply.service_ms;
+        res.device_batch_ms = reply.device_batch_ms;
+        res.device_amortized_ms = reply.device_amortized_ms;
+        res.batch_width = reply.batch_width;
+        res.sequence = reply.sequence;
+        return res;
+    }
+
+private:
+    net::Client client_;
+};
+
+// The whole benchmark's view of the server, whichever side of a socket it
+// is on.
+struct Backend {
+    serve::Server* local = nullptr;     // in-process mode
+    std::string host;                   // net mode
+    std::uint16_t port = 0;
+    std::unique_ptr<net::Client> admin;  // net mode control connection
+
+    std::unique_ptr<Transport> make_transport()
+    {
+        if (local != nullptr)
+            return std::make_unique<LocalTransport>(*local);
+        return std::make_unique<NetTransport>(host, port);
+    }
+
+    void set_batching(unsigned max_batch, double slo_ms, double wait_ms,
+                      std::uint64_t depth)
+    {
+        if (local != nullptr) {
+            local->set_batching(max_batch, slo_ms, wait_ms,
+                                static_cast<std::size_t>(depth));
+            return;
+        }
+        net::SetBatchingRequest req;
+        req.max_batch = max_batch;
+        req.slo_ms = slo_ms;
+        req.batch_wait_ms = wait_ms;
+        req.max_queue_depth = depth;
+        admin->set_batching(req);
+    }
+
+    // Dispatcher-side counters, local or parsed back out of the daemon's
+    // stats JSON (per-loop figures are the difference of two snapshots).
+    serve::ServerStats counters()
+    {
+        if (local != nullptr)
+            return local->stats();
+        const std::string json = admin->stats_json();
+        std::string schema_error;
+        if (!serve::validate_server_stats_json(json, &schema_error))
+            throw std::runtime_error("daemon stats failed schema check: " +
+                                     schema_error);
+        serve::ServerStats s;
+        std::size_t cursor = 0;
+        const auto read = [&](const char* key) {
+            double v = 0.0;
+            if (!serve::find_number_after_key(json, key, &cursor, &v))
+                throw std::runtime_error(std::string("daemon stats: no ") +
+                                         key);
+            return v;
+        };
+        s.requests = static_cast<std::uint64_t>(read("requests"));
+        s.batches = static_cast<std::uint64_t>(read("batches"));
+        s.rounds = static_cast<std::uint64_t>(read("rounds"));
+        s.coalesced = static_cast<std::uint64_t>(read("coalesced"));
+        s.max_batch_seen = static_cast<std::uint64_t>(read("max_batch_seen"));
+        s.rejected = static_cast<std::uint64_t>(read("rejected"));
+        s.batch_shrinks = static_cast<std::uint64_t>(read("batch_shrinks"));
+        s.batch_grows = static_cast<std::uint64_t>(read("batch_grows"));
+        s.current_max_batch =
+            static_cast<std::uint64_t>(read("current_max_batch"));
+        s.p99_queue_ewma_ms = read("p99_queue_ewma_ms");
+        return s;
+    }
+};
+
+// Attach dispatcher-side counters to a finished loop as the difference of
+// two stats snapshots (one server carries all loops, so raw counters are
+// cumulative). max_batch_seen is a cumulative gauge that cannot be
+// diffed; the widest batch this loop actually produced is read off the
+// trace's width histogram instead.
+void attach_counters(LoopResult& r, const serve::ServerStats& before,
+                     const serve::ServerStats& after)
+{
+    serve::ServerStats d = after;
+    d.requests = after.requests - before.requests;
+    d.batches = after.batches - before.batches;
+    d.rounds = after.rounds - before.rounds;
+    d.coalesced = after.coalesced - before.coalesced;
+    d.rejected = after.rejected - before.rejected;
+    d.batch_shrinks = after.batch_shrinks - before.batch_shrinks;
+    d.batch_grows = after.batch_grows - before.batch_grows;
+    d.max_batch_seen = r.snap.width_hist.size();
+    r.snap.stats = d;
+}
+
+// Aggregate the per-request trace into the archived loop snapshot.
+void summarize(LoopResult& out, const std::vector<std::uint64_t>& nnz,
+               double wall_s)
+{
+    serve::LoopSnapshot& s = out.snap;
+    s.wall_s = wall_s;
+    std::vector<double> queue, service, e2e;
+    std::uint64_t nnz_served = 0, n = 0;
+    double width_sum = 0.0;
+    for (const TraceEntry& t : out.trace) {
+        if (!t.ok || !t.measured)
+            continue;
+        ++n;
+        nnz_served += nnz[t.matrix];
+        queue.push_back(t.queue_ms);
+        service.push_back(t.service_ms);
+        e2e.push_back(t.e2e_ms);
+        s.mean_queue_ms += t.queue_ms;
+        s.mean_service_ms += t.service_ms;
+        s.mean_device_amortized_ms += t.device_amortized_ms;
+        width_sum += t.batch_width;
+        if (t.batch_width > s.width_hist.size())
+            s.width_hist.resize(t.batch_width, 0);
+        ++s.width_hist[t.batch_width - 1];
+    }
+    if (n == 0)
+        throw std::runtime_error("no measured requests completed");
+    s.nnz_per_s = static_cast<double>(nnz_served) / wall_s;
+    s.mean_queue_ms /= static_cast<double>(n);
+    s.mean_service_ms /= static_cast<double>(n);
+    s.mean_device_amortized_ms /= static_cast<double>(n);
+    s.mean_batch_width = width_sum / static_cast<double>(n);
+    s.p50_queue_ms = quantile(queue, 0.5);
+    s.p99_queue_ms = quantile(queue, 0.99);
+    s.p50_service_ms = quantile(service, 0.5);
+    s.p99_service_ms = quantile(service, 0.99);
+    s.p50_e2e_ms = quantile(e2e, 0.5);
+    s.p99_e2e_ms = quantile(e2e, 0.99);
+}
+
+// Fill one trace slot's identity (which matrix/vectors/scalars) and issue
+// the blocking request through `transport`, timing end-to-end from
+// `issued`.
+bool issue_request(
+    Transport& transport, const Args& args,
+    const std::vector<std::vector<std::vector<float>>>& pool_x,
+    const std::vector<std::vector<std::vector<float>>>& pool_y,
+    std::size_t slot, Clock::time_point issued, TraceEntry& t,
+    std::uint64_t& rejected)
+{
+    t.seed = args.seed * 7919 + slot;
+    t.matrix = static_cast<unsigned>((t.seed / 3) % pool_x.size());
+    const unsigned k = static_cast<unsigned>(t.seed % kVectorPool);
+    t.vec_seed = pool_seed(args.seed, t.matrix, k);
+    pick_scalars(args.vary_scalars, t.seed, t.alpha, t.beta);
+    try {
+        serve::SpmvResult res = transport.spmv(
+            "m" + std::to_string(t.matrix), pool_x[t.matrix][k],
+            pool_y[t.matrix][k], t.alpha, t.beta);
+        t.e2e_ms = std::chrono::duration<double, std::milli>(Clock::now() -
+                                                             issued)
+                       .count();
+        t.y_out = std::move(res.run.y);
+        t.cycles = res.run.cycles;
+        t.queue_ms = res.queue_ms;
+        t.service_ms = res.service_ms;
+        t.device_amortized_ms = res.device_amortized_ms;
+        t.batch_width = res.batch_width;
+        t.ok = true;
+        return true;
+    } catch (const serve::QueueFullError&) {
+        ++rejected;  // open-loop overload is data, not failure
+        return true;
+    } catch (const net::OverloadedError&) {
+        ++rejected;
+        return true;
+    }
+}
+
+LoopResult run_closed_loop(Backend& backend,
+                           const std::vector<std::uint64_t>& nnz,
+                           const std::vector<sparse::index_t>& rows,
+                           const std::vector<sparse::index_t>& cols,
+                           const Args& args)
+{
     const unsigned total = args.clients * args.requests;
-    std::vector<TraceEntry> trace(total);
+    LoopResult out;
+    out.trace.resize(total);
     std::atomic<bool> failed{false};
+    std::atomic<std::uint64_t> rejected{0};
 
     // Pre-generate the request vectors (see kVectorPool).
-    std::vector<std::vector<std::vector<float>>> pool_x(matrices.size()),
-        pool_y(matrices.size());
-    for (unsigned m = 0; m < matrices.size(); ++m) {
+    std::vector<std::vector<std::vector<float>>> pool_x(nnz.size()),
+        pool_y(nnz.size());
+    for (unsigned m = 0; m < nnz.size(); ++m) {
         pool_x[m].resize(kVectorPool);
         pool_y[m].resize(kVectorPool);
         for (unsigned k = 0; k < kVectorPool; ++k)
@@ -163,27 +432,16 @@ LoopResult run_closed_loop(const core::SerpensConfig& cfg,
     for (unsigned c = 0; c < args.clients; ++c) {
         clients.emplace_back([&, c] {
             try {
+                const std::unique_ptr<Transport> transport =
+                    backend.make_transport();
+                std::uint64_t my_rejected = 0;
                 for (unsigned r = 0; r < args.requests; ++r) {
-                    const unsigned slot = c * args.requests + r;
-                    TraceEntry& t = trace[slot];
-                    t.seed = args.seed * 7919 + slot;
-                    t.matrix = static_cast<unsigned>(
-                        (t.seed / 3) % matrices.size());
-                    const unsigned k =
-                        static_cast<unsigned>(t.seed % kVectorPool);
-                    t.vec_seed = pool_seed(args.seed, t.matrix, k);
-                    pick_scalars(args.vary_scalars, t.seed, t.alpha, t.beta);
-                    serve::SpmvResult res = server.spmv(
-                        "m" + std::to_string(t.matrix),
-                        pool_x[t.matrix][k], pool_y[t.matrix][k], t.alpha,
-                        t.beta);
-                    t.y_out = std::move(res.run.y);
-                    t.cycles = res.run.cycles;
-                    t.queue_ms = res.queue_ms;
-                    t.service_ms = res.service_ms;
-                    t.device_amortized_ms = res.device_amortized_ms;
-                    t.batch_width = res.batch_width;
+                    const std::size_t slot = c * args.requests + r;
+                    issue_request(*transport, args, pool_x, pool_y, slot,
+                                  Clock::now(), out.trace[slot],
+                                  my_rejected);
                 }
+                rejected.fetch_add(my_rejected);
             } catch (const std::exception& e) {
                 std::fprintf(stderr, "client %u failed: %s\n", c, e.what());
                 failed.store(true);
@@ -199,26 +457,98 @@ LoopResult run_closed_loop(const core::SerpensConfig& cfg,
     // Promises resolve before the dispatcher's stats bookkeeping; drain()
     // returns only after the round fully retires, so the snapshot is
     // consistent with the trace.
-    server.drain();
+    if (backend.local != nullptr)
+        backend.local->drain();
 
-    LoopResult out;
-    out.wall_s = wall_s;
-    out.stats = server.stats();
-    std::uint64_t nnz_served = 0;
-    double width_sum = 0.0;
-    for (const TraceEntry& t : trace) {
-        nnz_served += nnz[t.matrix];
-        out.mean_queue_ms += t.queue_ms;
-        out.mean_service_ms += t.service_ms;
-        out.mean_device_amortized_ms += t.device_amortized_ms;
-        width_sum += t.batch_width;
+    out.rejected = rejected.load();
+    summarize(out, nnz, wall_s);
+    return out;
+}
+
+// Open loop: a shared Poisson arrival schedule (seconds from loop start,
+// the same for the fixed and adaptive runs) dealt round-robin to worker
+// threads. Workers sleep until each arrival's scheduled instant and then
+// issue the blocking request — completions never gate arrivals, which is
+// what makes queue time an SLO subject rather than a self-limiting
+// artifact of closed-loop clients.
+std::vector<double> arrival_schedule(const Args& args, std::size_t total)
+{
+    Rng rng(args.seed * 104729 + 7);
+    std::vector<double> at(total);
+    double t = 0.0;
+    for (std::size_t i = 0; i < total; ++i) {
+        const double u = std::max(1e-12, 1.0 - rng.next_double());
+        t += -std::log(u) / args.arrival_rate;
+        at[i] = t;
     }
-    out.nnz_per_s = static_cast<double>(nnz_served) / wall_s;
-    out.mean_queue_ms /= total;
-    out.mean_service_ms /= total;
-    out.mean_device_amortized_ms /= total;
-    out.mean_batch_width = width_sum / total;
-    out.trace = std::move(trace);
+    return at;
+}
+
+LoopResult run_open_loop(Backend& backend,
+                         const std::vector<std::uint64_t>& nnz,
+                         const std::vector<sparse::index_t>& rows,
+                         const std::vector<sparse::index_t>& cols,
+                         const Args& args,
+                         const std::vector<double>& arrivals)
+{
+    const std::size_t total = arrivals.size();
+    LoopResult out;
+    out.trace.resize(total);
+    for (std::size_t i = 0; i < args.warmup && i < total; ++i)
+        out.trace[i].measured = false;
+
+    std::vector<std::vector<std::vector<float>>> pool_x(nnz.size()),
+        pool_y(nnz.size());
+    for (unsigned m = 0; m < nnz.size(); ++m) {
+        pool_x[m].resize(kVectorPool);
+        pool_y[m].resize(kVectorPool);
+        for (unsigned k = 0; k < kVectorPool; ++k)
+            fill_vectors(pool_seed(args.seed, m, k), cols[m], rows[m],
+                         pool_x[m][k], pool_y[m][k]);
+    }
+
+    std::atomic<bool> failed{false};
+    std::atomic<std::uint64_t> rejected{0};
+    const Clock::time_point epoch = Clock::now();
+    std::vector<std::thread> workers;
+    workers.reserve(args.clients);
+    for (unsigned c = 0; c < args.clients; ++c) {
+        workers.emplace_back([&, c] {
+            try {
+                const std::unique_ptr<Transport> transport =
+                    backend.make_transport();
+                std::uint64_t my_rejected = 0;
+                for (std::size_t slot = c; slot < total;
+                     slot += args.clients) {
+                    const Clock::time_point scheduled =
+                        epoch + std::chrono::duration_cast<Clock::duration>(
+                                    std::chrono::duration<double>(
+                                        arrivals[slot]));
+                    std::this_thread::sleep_until(scheduled);
+                    // e2e runs from the scheduled arrival: client-side lag
+                    // behind schedule counts against the server's tail the
+                    // way a real load generator would charge it.
+                    issue_request(*transport, args, pool_x, pool_y, slot,
+                                  scheduled, out.trace[slot], my_rejected);
+                }
+                rejected.fetch_add(my_rejected);
+            } catch (const std::exception& e) {
+                std::fprintf(stderr, "worker %u failed: %s\n", c, e.what());
+                failed.store(true);
+            }
+        });
+    }
+    for (std::thread& t : workers)
+        t.join();
+    const double wall_s =
+        std::chrono::duration<double>(Clock::now() - epoch).count();
+    if (failed.load())
+        throw std::runtime_error("a worker thread failed");
+    if (backend.local != nullptr)
+        backend.local->drain();
+
+    out.rejected = rejected.load();
+    summarize(out, nnz, wall_s);
     return out;
 }
 
@@ -236,6 +566,8 @@ bool replay_matches(const core::SerpensConfig& cfg,
 
     for (std::size_t i = 0; i < trace.size(); ++i) {
         const TraceEntry& t = trace[i];
+        if (!t.ok)
+            continue;  // rejected at admission: nothing to compare
         std::vector<float> x, y;
         fill_vectors(t.vec_seed, prepared[t.matrix].cols(),
                      prepared[t.matrix].rows(), x, y);
@@ -263,47 +595,48 @@ bool replay_matches(const core::SerpensConfig& cfg,
 
 void print_loop(const char* label, const LoopResult& r)
 {
+    const serve::LoopSnapshot& s = r.snap;
     std::printf("%s\n", label);
-    std::printf("  wall:      %.3f s, %.1f Mnnz/s aggregate\n", r.wall_s,
-                r.nnz_per_s / 1e6);
-    std::printf("  latency:   %.3f ms mean queue + %.3f ms mean service\n",
-                r.mean_queue_ms, r.mean_service_ms);
-    std::printf("  batching:  %.2f mean width (max %" PRIu64
-                ", %" PRIu64 " of %" PRIu64 " requests coalesced, "
-                "%" PRIu64 " batches, %" PRIu64 " rounds)\n",
-                r.mean_batch_width, r.stats.max_batch_seen,
-                r.stats.coalesced, r.stats.requests, r.stats.batches,
-                r.stats.rounds);
+    std::printf("  wall:      %.3f s, %.1f Mnnz/s aggregate\n", s.wall_s,
+                s.nnz_per_s / 1e6);
+    std::printf("  queue:     %.3f ms mean, %.3f ms p50, %.3f ms p99\n",
+                s.mean_queue_ms, s.p50_queue_ms, s.p99_queue_ms);
+    std::printf("  service:   %.3f ms mean, %.3f ms p50, %.3f ms p99\n",
+                s.mean_service_ms, s.p50_service_ms, s.p99_service_ms);
+    std::printf("  e2e:       %.3f ms p50, %.3f ms p99\n", s.p50_e2e_ms,
+                s.p99_e2e_ms);
+    std::printf("  batching:  %.2f mean width (max %" PRIu64 ", %" PRIu64
+                " of %" PRIu64 " requests coalesced, %" PRIu64
+                " batches, %" PRIu64 " rounds, %" PRIu64 " shrinks, %" PRIu64
+                " grows)\n",
+                s.mean_batch_width, s.stats.max_batch_seen,
+                s.stats.coalesced, s.stats.requests, s.stats.batches,
+                s.stats.rounds, s.stats.batch_shrinks, s.stats.batch_grows);
     std::printf("  device:    %.4f ms/SpMV amortized (SpMM mode)\n",
-                r.mean_device_amortized_ms);
+                s.mean_device_amortized_ms);
+    if (r.rejected != 0)
+        std::printf("  rejected:  %" PRIu64 " requests at admission\n",
+                    r.rejected);
 }
 
-serve::LoopSnapshot loop_snapshot(const LoopResult& r)
-{
-    serve::LoopSnapshot s;
-    s.wall_s = r.wall_s;
-    s.nnz_per_s = r.nnz_per_s;
-    s.mean_queue_ms = r.mean_queue_ms;
-    s.mean_service_ms = r.mean_service_ms;
-    s.mean_batch_width = r.mean_batch_width;
-    s.mean_device_amortized_ms = r.mean_device_amortized_ms;
-    s.stats = r.stats;
-    return s;
-}
-
-void write_json(const std::string& path, const Args& args,
-                const LoopResult& batched, const LoopResult* unbatched)
+void write_json(const std::string& path, const Args& args, bool open_loop,
+                const LoopResult& primary, const LoopResult* comparison)
 {
     serve::ServeSnapshot snap;
+    snap.open_loop = open_loop;
     snap.matrices = args.matrices;
     snap.entries = args.entries;
     snap.clients = args.clients;
     snap.requests_per_client = args.requests;
     snap.max_batch = args.max_batch;
     snap.serve_threads = args.serve_threads;
-    snap.batched = loop_snapshot(batched);
-    if (unbatched)
-        snap.unbatched = loop_snapshot(*unbatched);
+    snap.arrival_rate_rps = args.arrival_rate;
+    snap.slo_ms = args.slo_ms;
+    snap.batch_wait_ms = args.batch_wait_ms;
+    snap.max_queue_depth = args.queue_depth;
+    snap.primary = primary.snap;
+    if (comparison != nullptr)
+        snap.comparison = comparison->snap;
 
     const std::string json = serve::to_json(snap);
     std::string schema_error;
@@ -317,16 +650,37 @@ void write_json(const std::string& path, const Args& args,
     out << json;
 }
 
+int check_snapshot_file(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "FAIL: cannot read %s\n", path.c_str());
+        return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string error;
+    if (!serve::validate_snapshot_json(buf.str(), &error)) {
+        std::fprintf(stderr, "FAIL: %s: %s\n", path.c_str(), error.c_str());
+        return 1;
+    }
+    std::printf("OK: %s matches the snapshot schema\n", path.c_str());
+    return 0;
+}
+
 int usage()
 {
     std::fprintf(
         stderr,
         "usage: serpens_serve [--matrices M] [--entries N] [--rows R]\n"
-        "                     [--clients C]\n"
-        "                     [--requests R] [--max-batch B]\n"
+        "                     [--clients C] [--requests R] [--max-batch B]\n"
         "                     [--serve-threads T] [--budget-mb MB]\n"
         "                     [--seed S] [--json FILE] [--smoke]\n"
-        "                     [--vary-scalars] [--no-compare] [--a24]\n");
+        "                     [--vary-scalars] [--no-compare] [--a24]\n"
+        "                     [--arrival-rate RPS] [--slo-ms MS]\n"
+        "                     [--batch-wait-ms MS] [--queue-depth D]\n"
+        "                     [--warmup W] [--connect HOST:PORT]\n"
+        "                     [--shutdown-daemon] [--check-snapshot FILE]\n");
     return 1;
 }
 
@@ -365,6 +719,30 @@ int main(int argc, char** argv)
             args.seed = std::strtoull(next(), nullptr, 10);
         else if (flag == "--json")
             args.json_path = next();
+        else if (flag == "--arrival-rate")
+            args.arrival_rate = std::strtod(next(), nullptr);
+        else if (flag == "--slo-ms")
+            args.slo_ms = std::strtod(next(), nullptr);
+        else if (flag == "--batch-wait-ms")
+            args.batch_wait_ms = std::strtod(next(), nullptr);
+        else if (flag == "--queue-depth")
+            args.queue_depth = std::strtoull(next(), nullptr, 10);
+        else if (flag == "--warmup")
+            args.warmup = static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+        else if (flag == "--connect") {
+            const std::string target = next();
+            const std::size_t colon = target.rfind(':');
+            if (colon == std::string::npos) {
+                std::fprintf(stderr, "error: --connect wants HOST:PORT\n");
+                return 1;
+            }
+            args.connect_host = target.substr(0, colon);
+            args.connect_port = static_cast<std::uint16_t>(
+                std::strtoul(target.c_str() + colon + 1, nullptr, 10));
+        } else if (flag == "--shutdown-daemon")
+            args.shutdown_daemon = true;
+        else if (flag == "--check-snapshot")
+            args.check_snapshot = next();
         else if (flag == "--smoke") {
             args.smoke = true;
             args.vary_scalars = true;
@@ -375,14 +753,18 @@ int main(int argc, char** argv)
         } else if (flag == "--vary-scalars")
             args.vary_scalars = true;
         else if (flag == "--no-compare")
-            args.compare_unbatched = false;
+            args.compare = false;
         else if (flag == "--a24")
             args.a24 = true;
         else
             return usage();
     }
+    if (!args.check_snapshot.empty())
+        return check_snapshot_file(args.check_snapshot);
     if (args.matrices == 0 || args.clients == 0 || args.requests == 0)
         return usage();
+    const bool open_loop = args.arrival_rate > 0.0;
+    const bool net_mode = !args.connect_host.empty();
 
     try {
         core::SerpensConfig cfg = args.a24 ? core::SerpensConfig::a24()
@@ -414,40 +796,154 @@ int main(int argc, char** argv)
                            1, static_cast<sparse::index_t>(nnz / n)),
                     kind_seed));
         }
+        std::vector<sparse::index_t> rows, cols;
+        std::vector<std::uint64_t> nnz;
+        for (const sparse::CooMatrix& m : matrices) {
+            rows.push_back(m.rows());
+            cols.push_back(m.cols());
+            nnz.push_back(m.nnz());
+        }
+
+        // Stand up the backend and admit the fleet.
+        std::optional<serve::Server> local_server;
+        Backend backend;
+        if (net_mode) {
+            backend.host = args.connect_host;
+            backend.port = args.connect_port;
+            backend.admin = std::make_unique<net::Client>(
+                backend.host, backend.port, /*timeout_ms=*/120'000);
+            backend.admin->ping();
+            for (unsigned m = 0; m < matrices.size(); ++m)
+                backend.admin->admit("m" + std::to_string(m), matrices[m]);
+        } else {
+            local_server.emplace(cfg);
+            backend.local = &*local_server;
+            for (unsigned m = 0; m < matrices.size(); ++m)
+                backend.local->registry().admit("m" + std::to_string(m),
+                                                matrices[m]);
+        }
+
         std::printf("serving %u matrices (~%" PRIu64
                     " entries each), %u clients x %u requests, "
-                    "max batch %u\n",
+                    "max batch %u%s%s\n",
                     args.matrices, args.entries, args.clients, args.requests,
-                    args.max_batch);
+                    args.max_batch, open_loop ? ", open loop" : "",
+                    net_mode ? ", over TCP" : "");
 
-        const LoopResult batched = run_closed_loop(cfg, matrices, args);
-        print_loop("batched serving:", batched);
-
-        if (!replay_matches(cfg, matrices, batched.trace))
-            return 1;
-        std::printf("OK: all %u responses bit-identical to sequential "
-                    "replay\n",
-                    args.clients * args.requests);
-
-        const LoopResult* unbatched_ptr = nullptr;
-        LoopResult unbatched;
-        if (args.compare_unbatched) {
-            core::SerpensConfig serial_cfg = cfg;
-            serial_cfg.max_batch = 1;
-            unbatched = run_closed_loop(serial_cfg, matrices, args);
-            print_loop("unbatched serving (max_batch 1):", unbatched);
-            if (!replay_matches(serial_cfg, matrices, unbatched.trace))
+        int exit_code = 0;
+        if (!open_loop) {
+            // Closed loop: batched vs max_batch=1, the coalescing ablation.
+            backend.set_batching(args.max_batch, 0.0, args.batch_wait_ms,
+                                 args.queue_depth);
+            serve::ServerStats before = backend.counters();
+            LoopResult batched =
+                run_closed_loop(backend, nnz, rows, cols, args);
+            attach_counters(batched, before, backend.counters());
+            print_loop("batched serving:", batched);
+            if (!replay_matches(cfg, matrices, batched.trace))
                 return 1;
-            std::printf("batched speedup: %.2fx aggregate nnz/s\n",
-                        batched.nnz_per_s / unbatched.nnz_per_s);
-            unbatched_ptr = &unbatched;
+            std::printf("OK: all %u responses bit-identical to sequential "
+                        "replay\n",
+                        args.clients * args.requests);
+
+            LoopResult unbatched;
+            const LoopResult* unbatched_ptr = nullptr;
+            if (args.compare) {
+                backend.set_batching(1, 0.0, 0.0, args.queue_depth);
+                before = backend.counters();
+                unbatched = run_closed_loop(backend, nnz, rows, cols, args);
+                attach_counters(unbatched, before, backend.counters());
+                print_loop("unbatched serving (max_batch 1):", unbatched);
+                if (!replay_matches(cfg, matrices, unbatched.trace))
+                    return 1;
+                std::printf("batched speedup: %.2fx aggregate nnz/s\n",
+                            batched.snap.nnz_per_s /
+                                unbatched.snap.nnz_per_s);
+                unbatched_ptr = &unbatched;
+            }
+            if (!args.json_path.empty()) {
+                write_json(args.json_path, args, false, batched,
+                           unbatched_ptr);
+                std::printf("snapshot written to %s\n",
+                            args.json_path.c_str());
+            }
+        } else {
+            // Open loop: fixed-width batcher vs the SLO controller on one
+            // shared Poisson arrival schedule.
+            const std::size_t total =
+                static_cast<std::size_t>(args.clients) * args.requests +
+                args.warmup;
+            const std::vector<double> arrivals =
+                arrival_schedule(args, total);
+
+            LoopResult fixed;
+            const LoopResult* fixed_ptr = nullptr;
+            if (args.compare) {
+                backend.set_batching(args.max_batch, 0.0,
+                                     args.batch_wait_ms, args.queue_depth);
+                const serve::ServerStats before = backend.counters();
+                fixed = run_open_loop(backend, nnz, rows, cols, args,
+                                      arrivals);
+                attach_counters(fixed, before, backend.counters());
+                print_loop("fixed batching (throughput-greedy):", fixed);
+                if (!replay_matches(cfg, matrices, fixed.trace))
+                    return 1;
+                fixed_ptr = &fixed;
+            }
+
+            backend.set_batching(args.max_batch, args.slo_ms,
+                                 args.batch_wait_ms, args.queue_depth);
+            const serve::ServerStats before = backend.counters();
+            LoopResult adaptive =
+                run_open_loop(backend, nnz, rows, cols, args, arrivals);
+            attach_counters(adaptive, before, backend.counters());
+            print_loop("adaptive batching (SLO controller):", adaptive);
+            if (!replay_matches(cfg, matrices, adaptive.trace))
+                return 1;
+            std::printf("OK: all completed responses bit-identical to "
+                        "sequential replay\n");
+
+            // The headline SLO gate: the adaptive policy meets the p99
+            // queue-time target the fixed-width batcher misses.
+            if (args.slo_ms > 0.0) {
+                if (adaptive.snap.p99_queue_ms > args.slo_ms) {
+                    std::fprintf(stderr,
+                                 "FAIL: adaptive p99 queue %.3f ms misses "
+                                 "the %.1f ms SLO\n",
+                                 adaptive.snap.p99_queue_ms, args.slo_ms);
+                    exit_code = 1;
+                }
+                if (fixed_ptr != nullptr &&
+                    fixed_ptr->snap.p99_queue_ms <= args.slo_ms) {
+                    std::fprintf(stderr,
+                                 "FAIL: fixed batching p99 queue %.3f ms "
+                                 "already meets the %.1f ms SLO — the "
+                                 "ablation is vacuous (raise --batch-wait-"
+                                 "ms or the arrival rate)\n",
+                                 fixed_ptr->snap.p99_queue_ms, args.slo_ms);
+                    exit_code = 1;
+                }
+                if (exit_code == 0)
+                    std::printf("SLO: adaptive p99 queue %.3f ms <= %.1f ms"
+                                " target%s\n",
+                                adaptive.snap.p99_queue_ms, args.slo_ms,
+                                fixed_ptr != nullptr
+                                    ? " (fixed batching misses it)"
+                                    : "");
+            }
+
+            if (!args.json_path.empty()) {
+                write_json(args.json_path, args, true, adaptive, fixed_ptr);
+                std::printf("snapshot written to %s\n",
+                            args.json_path.c_str());
+            }
         }
 
-        if (!args.json_path.empty()) {
-            write_json(args.json_path, args, batched, unbatched_ptr);
-            std::printf("snapshot written to %s\n", args.json_path.c_str());
+        if (net_mode && args.shutdown_daemon) {
+            backend.admin->shutdown_daemon();
+            std::printf("daemon shutdown requested\n");
         }
-        return 0;
+        return exit_code;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "FAIL: %s\n", e.what());
         return 1;

@@ -1,0 +1,139 @@
+// serpens_served — the serving daemon: serve::Server behind a TCP
+// front-end on 127.0.0.1.
+//
+//   serpens_served [--port P] [--port-file FILE] [--max-batch B]
+//                  [--serve-threads T] [--budget-mb MB] [--slo-ms MS]
+//                  [--batch-wait-ms MS] [--queue-depth D] [--a24]
+//
+// --port 0 (the default) binds an ephemeral port; the daemon prints
+// "listening on PORT" and, with --port-file, writes the bare port number
+// there — how CI starts a daemon and a client without racing on a fixed
+// port. Runs until a client sends the Shutdown request or the process
+// receives SIGINT/SIGTERM, then drains and exits 0.
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "net/daemon.h"
+#include "serve/server.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_signal = 0;
+
+void on_signal(int)
+{
+    g_signal = 1;
+}
+
+int usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: serpens_served [--port P] [--port-file FILE]\n"
+        "                      [--max-batch B] [--serve-threads T]\n"
+        "                      [--budget-mb MB] [--slo-ms MS]\n"
+        "                      [--batch-wait-ms MS] [--queue-depth D]\n"
+        "                      [--a24]\n");
+    return 1;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    unsigned port = 0;
+    std::string port_file;
+    unsigned max_batch = 8;
+    unsigned serve_threads = 0;
+    std::uint64_t budget_mb = 0;
+    double slo_ms = 0.0;
+    double batch_wait_ms = 0.0;
+    std::uint64_t queue_depth = 0;
+    bool a24 = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        const auto next = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "error: %s requires a value\n",
+                             flag.c_str());
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (flag == "--port")
+            port = static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+        else if (flag == "--port-file")
+            port_file = next();
+        else if (flag == "--max-batch")
+            max_batch = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        else if (flag == "--serve-threads")
+            serve_threads = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        else if (flag == "--budget-mb")
+            budget_mb = std::strtoull(next(), nullptr, 10);
+        else if (flag == "--slo-ms")
+            slo_ms = std::strtod(next(), nullptr);
+        else if (flag == "--batch-wait-ms")
+            batch_wait_ms = std::strtod(next(), nullptr);
+        else if (flag == "--queue-depth")
+            queue_depth = std::strtoull(next(), nullptr, 10);
+        else if (flag == "--a24")
+            a24 = true;
+        else
+            return usage();
+    }
+    if (port > 65535)
+        return usage();
+
+    try {
+        serpens::core::SerpensConfig cfg =
+            a24 ? serpens::core::SerpensConfig::a24()
+                : serpens::core::SerpensConfig::a16();
+        cfg.serve_threads = serve_threads;
+        cfg.max_batch = max_batch;
+        cfg.resident_budget_bytes = budget_mb * (1ull << 20);
+        cfg.slo_queue_ms = slo_ms;
+        cfg.batch_wait_ms = batch_wait_ms;
+        cfg.max_queue_depth = static_cast<std::size_t>(queue_depth);
+
+        serpens::serve::Server server(cfg);
+        serpens::net::Daemon daemon(server,
+                                    static_cast<std::uint16_t>(port));
+
+        if (!port_file.empty()) {
+            std::ofstream out(port_file);
+            if (!out) {
+                std::fprintf(stderr, "FAIL: cannot write %s\n",
+                             port_file.c_str());
+                return 1;
+            }
+            out << daemon.port() << "\n";
+        }
+        std::printf("listening on %u\n", daemon.port());
+        std::fflush(stdout);
+
+        std::signal(SIGINT, on_signal);
+        std::signal(SIGTERM, on_signal);
+        // Poll both stop sources: a signal handler cannot safely take the
+        // daemon's mutex to wake wait(), so the owner watches the flag and
+        // the wire-shutdown state together.
+        while (g_signal == 0 && !daemon.shutdown_requested())
+            std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        daemon.stop();
+        server.drain();
+        std::printf("shut down after %llu requests\n",
+                    static_cast<unsigned long long>(
+                        server.stats().requests));
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "FAIL: %s\n", e.what());
+        return 1;
+    }
+}
