@@ -64,13 +64,28 @@ done
     --shutdown-daemon
 wait "${SERVED_PID}"
 
-# Both serving snapshots must satisfy the schema validator (the same one
+# Deadline-shedding ablation (PR 8): drive the server at 2x its calibrated
+# serial capacity through open-loop Poisson arrivals from 32 blocking
+# clients. With a 10 ms per-request budget the dispatcher sheds expired
+# requests at batch-forming time and the SERVED requests' p99 e2e stays
+# inside the deadline band; the no-deadline baseline on the same arrival
+# schedule queues without bound and lands far outside it. serpens_serve
+# exits non-zero if shedding never triggered, if the deadline loop missed
+# the band, or if the baseline sat inside it (overload not biting).
+"${BUILD_DIR}/tools/serpens_serve" \
+    --matrices 2 --entries 1000000 --clients 32 --requests 16 \
+    --overload 2 --deadline-ms 10 --warmup 32 --seed 7 \
+    --json "${BUILD_DIR}/bench-results/BENCH_fault.json"
+
+# All serving snapshots must satisfy the schema validator (the same one
 # the ServeStats suite pins); a malformed archive fails CI here, not in
 # whatever downstream tooling reads bench-results/.
 "${BUILD_DIR}/tools/serpens_serve" \
     --check-snapshot "${BUILD_DIR}/bench-results/BENCH_serve.json"
 "${BUILD_DIR}/tools/serpens_serve" \
     --check-snapshot "${BUILD_DIR}/bench-results/BENCH_net.json"
+"${BUILD_DIR}/tools/serpens_serve" \
+    --check-snapshot "${BUILD_DIR}/bench-results/BENCH_fault.json"
 
 # Batched device-mode ablation: amortized per-SpMV device time over
 # B = 1..32 at 1M nnz (real batched executions + analytic + Sextans

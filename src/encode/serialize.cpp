@@ -3,82 +3,157 @@
 #include <cstring>
 #include <fstream>
 
+#include "util/crc32.h"
+
 namespace serpens::encode {
 
 namespace {
 
 constexpr char kMagic[4] = {'S', 'R', 'P', 'N'};
-constexpr std::uint32_t kVersion = 1;
 
-void put_u32(std::ostream& out, std::uint32_t v)
+// Running checksum over one section of the stream. Disabled (version 1) it
+// costs nothing; enabled, every byte written/read between section
+// boundaries folds into the CRC that the boundary then emits/verifies.
+struct SectionCrc {
+    bool enabled = false;
+    std::uint32_t value = 0;
+
+    void feed(const void* p, std::size_t n)
+    {
+        if (enabled)
+            value = util::crc32(p, n, value);
+    }
+    void reset() { value = 0; }
+};
+
+void put_raw(std::ostream& out, const void* p, std::size_t n, SectionCrc& crc)
 {
-    out.write(reinterpret_cast<const char*>(&v), sizeof v);
+    out.write(static_cast<const char*>(p),
+              static_cast<std::streamsize>(n));
+    crc.feed(p, n);
 }
 
-void put_u64(std::ostream& out, std::uint64_t v)
+void put_u32(std::ostream& out, std::uint32_t v, SectionCrc& crc)
 {
-    out.write(reinterpret_cast<const char*>(&v), sizeof v);
+    put_raw(out, &v, sizeof v, crc);
 }
 
-std::uint32_t get_u32(std::istream& in)
+void put_u64(std::ostream& out, std::uint64_t v, SectionCrc& crc)
+{
+    put_raw(out, &v, sizeof v, crc);
+}
+
+// Close a section on the write side: emit the accumulated CRC (outside any
+// checksum) and start the next section.
+void put_section_crc(std::ostream& out, SectionCrc& crc)
+{
+    if (crc.enabled) {
+        out.write(reinterpret_cast<const char*>(&crc.value),
+                  sizeof crc.value);
+    }
+    crc.reset();
+}
+
+void get_raw(std::istream& in, void* p, std::size_t n, SectionCrc& crc,
+             const char* what)
+{
+    in.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
+    if (!in)
+        throw ImageFormatError(std::string("truncated image file (") +
+                               what + ")");
+    crc.feed(p, n);
+}
+
+std::uint32_t get_u32(std::istream& in, SectionCrc& crc,
+                      const char* what = "field")
 {
     std::uint32_t v = 0;
-    in.read(reinterpret_cast<char*>(&v), sizeof v);
-    if (!in)
-        throw ImageFormatError("truncated image file");
+    get_raw(in, &v, sizeof v, crc, what);
     return v;
 }
 
-std::uint64_t get_u64(std::istream& in)
+std::uint64_t get_u64(std::istream& in, SectionCrc& crc,
+                      const char* what = "field")
 {
     std::uint64_t v = 0;
-    in.read(reinterpret_cast<char*>(&v), sizeof v);
-    if (!in)
-        throw ImageFormatError("truncated image file");
+    get_raw(in, &v, sizeof v, crc, what);
     return v;
+}
+
+// Close a section on the read side: compare the stored CRC against the
+// accumulated one. The comparison runs before any value of the section is
+// trusted structurally downstream, so a flipped bit surfaces as this
+// precise error, never as a mis-built image.
+void check_section_crc(std::istream& in, SectionCrc& crc, const char* what)
+{
+    if (crc.enabled) {
+        std::uint32_t stored = 0;
+        in.read(reinterpret_cast<char*>(&stored), sizeof stored);
+        if (!in)
+            throw ImageFormatError(std::string("truncated image file (") +
+                                   what + " checksum)");
+        if (stored != crc.value)
+            throw ImageFormatError(std::string("image checksum mismatch in ") +
+                                   what + " section");
+    }
+    crc.reset();
 }
 
 } // namespace
 
-void save_image(std::ostream& out, const SerpensImage& img)
+void save_image(std::ostream& out, const SerpensImage& img,
+                std::uint32_t version)
 {
+    if (version != 1 && version != kImageFormatVersion)
+        throw ImageFormatError("cannot write image version " +
+                               std::to_string(version));
+    SectionCrc crc;
+    crc.enabled = version >= 2;
+
     out.write(kMagic, sizeof kMagic);
-    put_u32(out, kVersion);
+    std::uint32_t v = version;
+    out.write(reinterpret_cast<const char*>(&v), sizeof v);
 
+    // Header section: encode parameters + dimensions.
     const EncodeParams& p = img.params();
-    put_u32(out, p.ha_channels);
-    put_u32(out, p.pes_per_channel);
-    put_u32(out, p.urams_per_pe);
-    put_u32(out, p.uram_depth);
-    put_u32(out, p.window);
-    put_u32(out, p.dsp_latency);
-    put_u32(out, p.coalescing ? 1 : 0);
-    put_u32(out, static_cast<std::uint32_t>(p.policy));
+    put_u32(out, p.ha_channels, crc);
+    put_u32(out, p.pes_per_channel, crc);
+    put_u32(out, p.urams_per_pe, crc);
+    put_u32(out, p.uram_depth, crc);
+    put_u32(out, p.window, crc);
+    put_u32(out, p.dsp_latency, crc);
+    put_u32(out, p.coalescing ? 1 : 0, crc);
+    put_u32(out, static_cast<std::uint32_t>(p.policy), crc);
 
-    put_u32(out, img.rows());
-    put_u32(out, img.cols());
-    put_u32(out, img.num_segments());
-    put_u32(out, img.channels());
+    put_u32(out, img.rows(), crc);
+    put_u32(out, img.cols(), crc);
+    put_u32(out, img.num_segments(), crc);
+    put_u32(out, img.channels(), crc);
+    put_section_crc(out, crc);
 
+    // Segment-line table section.
     for (unsigned c = 0; c < img.channels(); ++c)
         for (unsigned s = 0; s < img.num_segments(); ++s)
-            put_u32(out, img.segment_lines(c, s));
+            put_u32(out, img.segment_lines(c, s), crc);
+    put_section_crc(out, crc);
 
+    // One section per channel stream: line count, then the raw lines.
     for (unsigned c = 0; c < img.channels(); ++c) {
         const auto& lines = img.channel(c).lines();
-        put_u64(out, lines.size());
+        put_u64(out, lines.size(), crc);
         for (const hbm::Line512& line : lines)
-            out.write(reinterpret_cast<const char*>(line.words.data()),
-                      hbm::kLineBytes);
+            put_raw(out, line.words.data(), hbm::kLineBytes, crc);
+        put_section_crc(out, crc);
     }
 }
 
-void save_image_file(const std::string& path, const SerpensImage& img)
+void save_image_file(const std::string& path, const SerpensImage& img,
+                     std::uint32_t version)
 {
     std::ofstream out(path, std::ios::binary);
     if (!out)
         throw ImageFormatError("cannot open file for writing: " + path);
-    save_image(out, img);
+    save_image(out, img, version);
 }
 
 SerpensImage load_image(std::istream& in)
@@ -87,26 +162,40 @@ SerpensImage load_image(std::istream& in)
     in.read(magic, sizeof magic);
     if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0)
         throw ImageFormatError("not a Serpens image (bad magic)");
-    const std::uint32_t version = get_u32(in);
-    if (version != kVersion)
+    std::uint32_t version = 0;
+    in.read(reinterpret_cast<char*>(&version), sizeof version);
+    if (!in)
+        throw ImageFormatError("truncated image file (version)");
+    if (version != 1 && version != kImageFormatVersion)
         throw ImageFormatError("unsupported image version " +
                                std::to_string(version));
+    SectionCrc crc;
+    crc.enabled = version >= 2;
+
+    // Header section. Fields are read raw and the CRC verified BEFORE any
+    // of them is interpreted: a corrupted parameter must fail as a
+    // checksum mismatch, not as whatever downstream validation it happens
+    // to trip.
+    std::uint32_t header[12];
+    for (std::uint32_t& f : header)
+        f = get_u32(in, crc, "header");
+    check_section_crc(in, crc, "header");
 
     EncodeParams p;
-    p.ha_channels = get_u32(in);
-    p.pes_per_channel = get_u32(in);
-    p.urams_per_pe = get_u32(in);
-    p.uram_depth = get_u32(in);
-    p.window = get_u32(in);
-    p.dsp_latency = get_u32(in);
-    p.coalescing = get_u32(in) != 0;
-    p.policy = static_cast<SchedulePolicy>(get_u32(in));
+    p.ha_channels = header[0];
+    p.pes_per_channel = header[1];
+    p.urams_per_pe = header[2];
+    p.uram_depth = header[3];
+    p.window = header[4];
+    p.dsp_latency = header[5];
+    p.coalescing = header[6] != 0;
+    p.policy = static_cast<SchedulePolicy>(header[7]);
     p.validate();
 
-    const std::uint32_t rows = get_u32(in);
-    const std::uint32_t cols = get_u32(in);
-    const std::uint32_t segments = get_u32(in);
-    const std::uint32_t channels = get_u32(in);
+    const std::uint32_t rows = header[8];
+    const std::uint32_t cols = header[9];
+    const std::uint32_t segments = header[10];
+    const std::uint32_t channels = header[11];
     if (channels != p.ha_channels)
         throw ImageFormatError("channel count disagrees with parameters");
 
@@ -118,10 +207,11 @@ SerpensImage load_image(std::istream& in)
     stats.num_segments = segments;
     for (unsigned c = 0; c < channels; ++c)
         for (unsigned s = 0; s < segments; ++s)
-            img.set_segment_lines(c, s, get_u32(in));
+            img.set_segment_lines(c, s, get_u32(in, crc, "segment table"));
+    check_section_crc(in, crc, "segment table");
 
     for (unsigned c = 0; c < channels; ++c) {
-        const std::uint64_t count = get_u64(in);
+        const std::uint64_t count = get_u64(in, crc, "line count");
         std::uint64_t expected = 0;
         for (unsigned s = 0; s < segments; ++s)
             expected += img.segment_lines(c, s);
@@ -130,9 +220,8 @@ SerpensImage load_image(std::istream& in)
         hbm::ChannelStream& stream = img.mutable_channel(c);
         for (std::uint64_t i = 0; i < count; ++i) {
             hbm::Line512 line;
-            in.read(reinterpret_cast<char*>(line.words.data()), hbm::kLineBytes);
-            if (!in)
-                throw ImageFormatError("truncated line data");
+            get_raw(in, line.words.data(), hbm::kLineBytes, crc,
+                    "line data");
             stream.push(line);
             stats.total_lines += 1;
             stats.total_slots += hbm::kElemsPerLine;
@@ -142,7 +231,14 @@ SerpensImage load_image(std::istream& in)
                     ++stats.nnz;
             }
         }
+        check_section_crc(in, crc, "channel stream");
     }
+    // A checksummed image ends exactly at its last section: a file with
+    // bytes beyond it is torn or concatenated, not ours. (Version 1 files
+    // keep their historical laxness.)
+    if (crc.enabled && in.peek() != std::istream::traits_type::eof())
+        throw ImageFormatError("trailing bytes after image");
+
     stats.padding_slots = stats.total_slots - stats.nnz;
     img.set_stats(stats);
     return img;

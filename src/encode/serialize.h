@@ -8,10 +8,21 @@
 //   magic "SRPN", u32 version
 //   EncodeParams fields (u32 each; policy/coalescing as u32)
 //   u32 rows, u32 cols, u32 num_segments, u32 channels
+//   [v2: u32 CRC-32 of the bytes since the version field]
 //   per channel: u32 seg_lines[num_segments]
+//   [v2: u32 CRC-32 of the segment-line table]
 //   per channel: u64 line_count, then line_count * 64 bytes of lines
+//                [v2: u32 CRC-32 of this channel's count + lines]
+//   [v2: end of file — trailing bytes are an error]
+//
+// Version 2 (the current writer default) checksums every section with
+// util::crc32, so a torn copy, a truncated download, or a single flipped
+// bit anywhere past the magic is rejected with a precise ImageFormatError
+// instead of loading garbage into the registry. Version-1 files (no CRCs)
+// remain loadable: integrity checking is an upgrade, not a migration.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -28,8 +39,16 @@ public:
     }
 };
 
-void save_image(std::ostream& out, const SerpensImage& img);
-void save_image_file(const std::string& path, const SerpensImage& img);
+// The version save_image writes by default; load_image reads 1 and 2.
+constexpr std::uint32_t kImageFormatVersion = 2;
+
+// `version` exists for tests and forward-compat fixtures (writing a v1
+// image to prove the loader still reads them); production callers use the
+// default. Throws ImageFormatError for versions the loader cannot read.
+void save_image(std::ostream& out, const SerpensImage& img,
+                std::uint32_t version = kImageFormatVersion);
+void save_image_file(const std::string& path, const SerpensImage& img,
+                     std::uint32_t version = kImageFormatVersion);
 
 SerpensImage load_image(std::istream& in);
 SerpensImage load_image_file(const std::string& path);

@@ -42,7 +42,8 @@ void Client::admit(const std::string& name, const sparse::CooMatrix& m)
 }
 
 SpmvReply Client::spmv(const std::string& name, const std::vector<float>& x,
-                       const std::vector<float>& y, float alpha, float beta)
+                       const std::vector<float>& y, float alpha, float beta,
+                       double deadline_ms)
 {
     SpmvRequest req;
     req.name = name;
@@ -50,6 +51,7 @@ SpmvReply Client::spmv(const std::string& name, const std::vector<float>& x,
     req.y = y;
     req.alpha = alpha;
     req.beta = beta;
+    req.deadline_ms = deadline_ms;
     WireReader r = roundtrip(encode_spmv(req));
     return decode_spmv_reply(r);
 }

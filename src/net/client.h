@@ -28,8 +28,12 @@ public:
 
     void ping();
     void admit(const std::string& name, const sparse::CooMatrix& m);
+    // deadline_ms > 0 is forwarded on the wire: the daemon sheds the
+    // request (DeadlineExceededError here) if its batch has not started
+    // within that budget of server-side admission.
     SpmvReply spmv(const std::string& name, const std::vector<float>& x,
-                   const std::vector<float>& y, float alpha, float beta);
+                   const std::vector<float>& y, float alpha, float beta,
+                   double deadline_ms = 0.0);
     std::string stats_json();
     void set_batching(const SetBatchingRequest& req);
     bool evict(const std::string& name);  // true if the name was resident

@@ -40,6 +40,12 @@ bool Daemon::shutdown_requested()
     return shutdown_requested_;
 }
 
+std::size_t Daemon::open_connections()
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    return conns_.size();
+}
+
 void Daemon::stop()
 {
     {
@@ -140,7 +146,7 @@ std::vector<std::uint8_t> Daemon::handle_frame(
             SpmvRequest req = decode_spmv(r);
             const serve::SpmvResult result =
                 server_.spmv(req.name, std::move(req.x), std::move(req.y),
-                             req.alpha, req.beta);
+                             req.alpha, req.beta, req.deadline_ms);
             WireWriter body;
             encode_spmv_reply(body, result);
             return encode_ok(std::move(body));
@@ -179,6 +185,8 @@ std::vector<std::uint8_t> Daemon::handle_frame(
         throw ProtocolError("unhandled request type");
     } catch (const serve::QueueFullError& e) {
         return encode_error(Status::kOverloaded, e.what());
+    } catch (const serve::DeadlineExceededError& e) {
+        return encode_error(Status::kDeadlineExceeded, e.what());
     } catch (const std::exception& e) {
         return encode_error(Status::kError, e.what());
     }

@@ -53,6 +53,11 @@ public:
     // Non-blocking probe, for owners that must also watch signal flags.
     bool shutdown_requested();
 
+    // Live connection count — the chaos test's leak check: after every
+    // client is gone this must drain back to zero, no matter how many
+    // connections the fault injector killed mid-frame.
+    std::size_t open_connections();
+
     // Stop accepting, unblock and join every connection thread. Safe to
     // call twice; must NOT be called from a connection thread.
     void stop();

@@ -8,9 +8,12 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "net/wire.h"
+#include "util/fault.h"
 
 namespace serpens::net {
 
@@ -80,11 +83,16 @@ void Socket::shutdown_both()
 
 void Socket::set_timeout_ms(int timeout_ms)
 {
-    if (fd_ < 0 || timeout_ms <= 0)
+    if (fd_ < 0)
         return;
+    // A zero timeval disables SO_RCVTIMEO/SO_SNDTIMEO, which is how the
+    // "0 = none" contract clears a previously-set deadline — the old early
+    // return here made deadlines one-way.
     timeval tv{};
-    tv.tv_sec = timeout_ms / 1000;
-    tv.tv_usec = (timeout_ms % 1000) * 1000;
+    if (timeout_ms > 0) {
+        tv.tv_sec = timeout_ms / 1000;
+        tv.tv_usec = (timeout_ms % 1000) * 1000;
+    }
     ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
     ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
 }
@@ -175,6 +183,35 @@ void write_frame(Socket& s, const std::vector<std::uint8_t>& payload)
         throw ProtocolError("frame payload of " +
                             std::to_string(payload.size()) +
                             " bytes exceeds kMaxFrameBytes");
+    // Chaos-test hooks (free when no util::FaultInjector is installed).
+    // Each models a transport fault the retry layer must absorb; none can
+    // deliver a silently wrong payload — the bit-identical serving
+    // contract admits lost or killed frames, never altered ones.
+    if (util::fault_fires("net.frame.delay")) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(
+                util::fault_value("net.frame.delay")));
+    }
+    if (util::fault_fires("net.frame.drop")) {
+        // The peer sees a half-closed connection (EOF / reset), the
+        // sender an immediate transport error: a frame that never left.
+        s.shutdown_both();
+        throw NetError("fault injection: frame dropped");
+    }
+    if (util::fault_fires("net.frame.corrupt")) {
+        // A length prefix beyond kMaxFrameBytes is the one corruption the
+        // receiver detects before trusting a single payload byte; the
+        // stream is then unframeable, so kill it on this side too.
+        const std::uint32_t evil = 0xFFFFFFFFu;
+        std::uint8_t poison[4];
+        std::memcpy(poison, &evil, sizeof evil);
+        try {
+            send_all(s, poison, sizeof poison);
+        } catch (const NetError&) {
+        }
+        s.shutdown_both();
+        throw NetError("fault injection: frame corrupted");
+    }
     std::uint8_t header[4];
     const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
     std::memcpy(header, &n, sizeof n);

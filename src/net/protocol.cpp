@@ -67,6 +67,7 @@ std::vector<std::uint8_t> encode_spmv(const SpmvRequest& req)
     w.f32_array(req.y);
     w.f32(req.alpha);
     w.f32(req.beta);
+    w.f64(req.deadline_ms);
     return encode_request(RequestType::kSpmv, std::move(w));
 }
 
@@ -78,6 +79,7 @@ SpmvRequest decode_spmv(WireReader& r)
     req.y = r.f32_array();
     req.alpha = r.f32();
     req.beta = r.f32();
+    req.deadline_ms = r.f64();
     r.require_done();
     return req;
 }
@@ -145,6 +147,8 @@ WireReader open_reply(const std::vector<std::uint8_t>& frame)
         return r;
     case Status::kOverloaded:
         throw OverloadedError(r.str());
+    case Status::kDeadlineExceeded:
+        throw DeadlineExceededError(r.str());
     case Status::kError:
         throw RemoteError(r.str());
     }

@@ -2,7 +2,8 @@
 //
 // Request frame:   u8 RequestType, then the request body.
 // Response frame:  u8 Status, then the reply body (kOk) or a u32-prefixed
-//                  error message (kError / kOverloaded).
+//                  error message (kError / kOverloaded /
+//                  kDeadlineExceeded).
 //
 // The SpMV reply deliberately carries the full serving telemetry AND the
 // six CycleStats accounting fields of the device model, so a network
@@ -35,6 +36,7 @@ enum class Status : std::uint8_t {
     kOk = 0,
     kError = 1,       // request executed badly: message explains
     kOverloaded = 2,  // admission refused at max_queue_depth; retryable
+    kDeadlineExceeded = 3,  // shed: deadline_ms expired before its batch
 };
 
 struct AdmitRequest {
@@ -53,6 +55,10 @@ struct SpmvRequest {
     std::vector<float> y;
     float alpha = 1.0f;
     float beta = 0.0f;
+    // Latency budget in ms from server-side admission (0 = none). A
+    // request still queued when the budget runs out is shed with
+    // DEADLINE_EXCEEDED instead of burning a batch slot.
+    double deadline_ms = 0.0;
 };
 
 // Everything serve::SpmvResult reports, flattened for the wire.
@@ -111,7 +117,8 @@ std::vector<std::uint8_t> encode_error(Status status,
                                        const std::string& message);
 
 // Client side: strip the status byte. kOk returns a reader over the body;
-// kOverloaded throws OverloadedError, kError throws RemoteError.
+// kOverloaded throws OverloadedError, kDeadlineExceeded throws
+// DeadlineExceededError, kError throws RemoteError.
 WireReader open_reply(const std::vector<std::uint8_t>& frame);
 
 void encode_spmv_reply(WireWriter& w, const serve::SpmvResult& result);

@@ -1,0 +1,89 @@
+#include "net/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace serpens::net {
+
+RetryingClient::RetryingClient(std::string host, std::uint16_t port,
+                               int timeout_ms, RetryPolicy policy)
+    : host_(std::move(host)),
+      port_(port),
+      timeout_ms_(timeout_ms),
+      policy_(policy),
+      rng_(policy.seed)
+{
+    SERPENS_CHECK(policy_.max_attempts >= 1,
+                  "retry: max_attempts must be at least 1");
+    SERPENS_CHECK(policy_.jitter >= 0.0 && policy_.jitter <= 1.0,
+                  "retry: jitter must lie in [0, 1]");
+}
+
+Client& RetryingClient::ensure_client()
+{
+    if (!client_) {
+        client_ = std::make_unique<Client>(host_, port_, timeout_ms_);
+        ++stats_.reconnects;
+    }
+    return *client_;
+}
+
+void RetryingClient::drop_client()
+{
+    client_.reset();
+}
+
+void RetryingClient::sleep_with_jitter(double backoff_ms)
+{
+    const double scale =
+        1.0 - policy_.jitter + policy_.jitter * rng_.next_double();
+    const double ms = std::max(0.0, backoff_ms * scale);
+    if (ms > 0.0)
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(ms));
+}
+
+void RetryingClient::ping()
+{
+    run([&](Client& c) { c.ping(); return 0; });
+}
+
+void RetryingClient::admit(const std::string& name,
+                           const sparse::CooMatrix& m)
+{
+    run([&](Client& c) { c.admit(name, m); return 0; });
+}
+
+SpmvReply RetryingClient::spmv(const std::string& name,
+                               const std::vector<float>& x,
+                               const std::vector<float>& y, float alpha,
+                               float beta, double deadline_ms)
+{
+    return run([&](Client& c) {
+        return c.spmv(name, x, y, alpha, beta, deadline_ms);
+    });
+}
+
+std::string RetryingClient::stats_json()
+{
+    return run([&](Client& c) { return c.stats_json(); });
+}
+
+void RetryingClient::set_batching(const SetBatchingRequest& req)
+{
+    run([&](Client& c) { c.set_batching(req); return 0; });
+}
+
+bool RetryingClient::evict(const std::string& name)
+{
+    return run([&](Client& c) { return c.evict(name); });
+}
+
+void RetryingClient::shutdown_daemon()
+{
+    run([&](Client& c) { c.shutdown_daemon(); return 0; });
+}
+
+} // namespace serpens::net

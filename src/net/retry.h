@@ -1,0 +1,124 @@
+// Retrying wrapper over net::Client: the fault-tolerant way to talk to a
+// serpens_served daemon.
+//
+//   net::RetryingClient client("127.0.0.1", port, 30000, policy);
+//   net::SpmvReply r = client.spmv("web", x, y, alpha, beta);
+//
+// The retry contract follows the error taxonomy, not optimism:
+//   - OverloadedError      retried on the SAME connection (the daemon
+//                          answered; the request was never queued).
+//   - TimeoutError, ProtocolError, plain NetError
+//                          retried on a FRESH connection (the old one is
+//                          unusable after a killed or unframeable stream).
+//                          Every protocol operation is idempotent — an
+//                          SpMV recomputes the same bits, an admit
+//                          re-installs the same matrix — so resending
+//                          after an ambiguous failure is safe.
+//   - RemoteError          NOT retried: the daemon executed the request
+//                          and rejected it; a byte-identical resend gets a
+//                          byte-identical rejection.
+//   - DeadlineExceededError NOT retried: the latency budget is spent, and
+//                          a retry would arrive even later.
+// Anything outside the NetError taxonomy propagates untouched.
+//
+// Backoff is exponential with multiplicative growth capped at
+// max_backoff_ms, and jittered from a seeded Rng so chaos tests replay the
+// exact same sleep sequence — determinism extends into the failure paths.
+// Like Client, a RetryingClient is NOT thread-safe.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/client.h"
+#include "util/rng.h"
+
+namespace serpens::net {
+
+struct RetryPolicy {
+    unsigned max_attempts = 5;        // total tries, first one included
+    double initial_backoff_ms = 1.0;  // sleep before the first retry
+    double backoff_multiplier = 2.0;
+    double max_backoff_ms = 100.0;
+    // Fraction of each backoff that is randomized: the actual sleep is
+    // backoff * (1 - jitter + jitter * U[0,1)). 0 = fully deterministic.
+    double jitter = 0.5;
+    std::uint64_t seed = 1;  // jitter stream seed (deterministic replay)
+};
+
+struct RetryStats {
+    std::uint64_t attempts = 0;    // operations sent, retries included
+    std::uint64_t retries = 0;     // attempts beyond each op's first
+    std::uint64_t reconnects = 0;  // connections rebuilt after transport loss
+    std::uint64_t giveups = 0;     // ops that exhausted max_attempts
+};
+
+class RetryingClient {
+public:
+    RetryingClient(std::string host, std::uint16_t port, int timeout_ms,
+                   RetryPolicy policy = {});
+
+    void ping();
+    void admit(const std::string& name, const sparse::CooMatrix& m);
+    SpmvReply spmv(const std::string& name, const std::vector<float>& x,
+                   const std::vector<float>& y, float alpha, float beta,
+                   double deadline_ms = 0.0);
+    std::string stats_json();
+    void set_batching(const SetBatchingRequest& req);
+    bool evict(const std::string& name);
+    void shutdown_daemon();
+
+    const RetryStats& stats() const { return stats_; }
+
+private:
+    // Connect lazily (and re-connect after drop_client), so construction
+    // never races a daemon that is still binding its port.
+    Client& ensure_client();
+    void drop_client();
+    void sleep_with_jitter(double backoff_ms);
+
+    // The retry loop shared by every operation. `op` runs against a live
+    // Client; see the header comment for which failures re-enter the loop.
+    template <typename F>
+    auto run(F&& op) -> decltype(op(std::declval<Client&>()))
+    {
+        double backoff_ms = policy_.initial_backoff_ms;
+        for (unsigned attempt = 1;; ++attempt) {
+            ++stats_.attempts;
+            try {
+                return op(ensure_client());
+            } catch (const RemoteError&) {
+                throw;
+            } catch (const DeadlineExceededError&) {
+                throw;
+            } catch (const OverloadedError&) {
+                if (attempt >= policy_.max_attempts) {
+                    ++stats_.giveups;
+                    throw;
+                }
+            } catch (const NetError&) {
+                drop_client();
+                if (attempt >= policy_.max_attempts) {
+                    ++stats_.giveups;
+                    throw;
+                }
+            }
+            ++stats_.retries;
+            sleep_with_jitter(backoff_ms);
+            backoff_ms = std::min(policy_.max_backoff_ms,
+                                  backoff_ms * policy_.backoff_multiplier);
+        }
+    }
+
+    std::string host_;
+    std::uint16_t port_;
+    int timeout_ms_;
+    RetryPolicy policy_;
+    RetryStats stats_;
+    Rng rng_;
+    std::unique_ptr<Client> client_;
+};
+
+} // namespace serpens::net

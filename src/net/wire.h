@@ -46,6 +46,15 @@ public:
     using NetError::NetError;
 };
 
+// The request blew its deadline_ms budget before the dispatcher could
+// start its batch; the server shed it without executing (the slot went to
+// a request that could still make its SLO). NOT retryable by contract: the
+// budget is spent, and a retry would arrive even later.
+class DeadlineExceededError : public NetError {
+public:
+    using NetError::NetError;
+};
+
 // The daemon executed the request and reported an application error
 // (unknown matrix name, mis-sized vector, ...). Carries the remote
 // exception's message.

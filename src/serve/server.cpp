@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "util/bitpack.h"
+#include "util/fault.h"
 #include "util/thread_pool.h"
 
 namespace serpens::serve {
@@ -88,7 +89,7 @@ Server::~Server()
 std::future<SpmvResult> Server::submit(const std::string& name,
                                        std::vector<float> x,
                                        std::vector<float> y, float alpha,
-                                       float beta)
+                                       float beta, double deadline_ms)
 {
     Pending p;
     p.matrix = registry_.get(name);
@@ -98,10 +99,17 @@ std::future<SpmvResult> Server::submit(const std::string& name,
                   "serve: x length must equal matrix cols");
     SERPENS_CHECK(y.size() == p.matrix->rows(),
                   "serve: y length must equal matrix rows");
+    // Chaos hook: evict the resident out from under this request the
+    // instant after it was resolved. The shared_ptr pin above is the whole
+    // mid-flight-eviction story — the request must still complete
+    // bit-identically (the chaos test re-admits and replays).
+    if (util::fault_fires("serve.evict_mid_flight"))
+        registry_.evict(name);
     p.x = std::move(x);
     p.y = std::move(y);
     p.alpha = alpha;
     p.beta = beta;
+    p.deadline_ms = deadline_ms;
     p.submitted = Clock::now();
     std::future<SpmvResult> future = p.promise.get_future();
     {
@@ -109,8 +117,10 @@ std::future<SpmvResult> Server::submit(const std::string& name,
         SERPENS_CHECK(!stop_, "serve: server is shutting down");
         // Admission control: refuse loudly at the depth bound so overload
         // degrades into retryable rejections, not an unbounded backlog
-        // whose queue times blow every SLO.
-        if (max_queue_depth_ != 0 && queue_.size() >= max_queue_depth_) {
+        // whose queue times blow every SLO. The chaos hook forces the same
+        // refusal path without needing a real backlog.
+        if ((max_queue_depth_ != 0 && queue_.size() >= max_queue_depth_) ||
+            util::fault_fires("serve.queue_full")) {
             ++stats_.rejected;
             throw QueueFullError(
                 "serve: queue depth " + std::to_string(queue_.size()) +
@@ -128,9 +138,11 @@ std::future<SpmvResult> Server::submit(const std::string& name,
 }
 
 SpmvResult Server::spmv(const std::string& name, std::vector<float> x,
-                        std::vector<float> y, float alpha, float beta)
+                        std::vector<float> y, float alpha, float beta,
+                        double deadline_ms)
 {
-    return submit(name, std::move(x), std::move(y), alpha, beta).get();
+    return submit(name, std::move(x), std::move(y), alpha, beta, deadline_ms)
+        .get();
 }
 
 void Server::pause()
@@ -320,9 +332,14 @@ void Server::run_round(std::vector<Pending> round, unsigned batch_limit)
               });
 
     // Per-request telemetry, collected lock-free (each group writes only
-    // its own members' slots) and folded into stats_ after the round.
+    // its own members' slots) and folded into stats_ after the round. A
+    // shed slot stays marked so the fold can exclude it from the completed-
+    // request stats AND from the SLO controller's queue samples — a
+    // controller fed the queue times of requests it refused to serve would
+    // chase a latency it already gave up on.
     std::vector<double> queue_samples(round.size(), 0.0);
     std::vector<double> service_samples(round.size(), 0.0);
+    std::vector<std::uint8_t> shed_flags(round.size(), 0);
 
     // Execute the round's batches on the shared pool — the serving
     // counterpart of the per-channel parallel_for loops downstream.
@@ -333,6 +350,31 @@ void Server::run_round(std::vector<Pending> round, unsigned batch_limit)
             // the round was picked up: in a serial drain, groups executed
             // later in the round spent that time queued too.
             const Clock::time_point start = Clock::now();
+            // Deadline shedding, decided against the same instant the
+            // batch starts: a request whose budget ran out while queued is
+            // failed fast here and never occupies a batch column — under
+            // overload the device time goes only to requests whose caller
+            // is still waiting.
+            std::vector<std::size_t> live;
+            live.reserve(members.size());
+            for (const std::size_t i : members) {
+                Pending& p = round[i];
+                const double waited = ms_between(p.submitted, start);
+                if (p.deadline_ms > 0.0 && waited > p.deadline_ms) {
+                    shed_flags[i] = 1;
+                    p.promise.set_exception(std::make_exception_ptr(
+                        DeadlineExceededError(
+                            "serve: deadline of " +
+                            std::to_string(p.deadline_ms) +
+                            " ms exceeded after queueing " +
+                            std::to_string(waited) + " ms")));
+                } else {
+                    live.push_back(i);
+                }
+            }
+            members = std::move(live);
+            if (members.empty())
+                return;  // whole batch expired; skip the device entirely
             try {
                 std::vector<std::vector<float>> xs, ys;
                 xs.reserve(members.size());
@@ -368,11 +410,22 @@ void Server::run_round(std::vector<Pending> round, unsigned batch_limit)
             }
         });
 
+    std::uint64_t shed = 0;
+    for (const std::uint8_t f : shed_flags)
+        shed += f;
+
     const std::lock_guard<std::mutex> lock(mu_);
     ++stats_.rounds;
-    stats_.requests += round.size();
-    stats_.batches += groups.size();
+    stats_.requests += round.size() - shed;
+    stats_.shed += shed;
+    // Groups hold only their live members now; an all-expired group issued
+    // no run_batch call and contributes nothing below.
+    std::vector<double> live_queue_samples;
+    live_queue_samples.reserve(round.size() - shed);
     for (const auto& members : groups) {
+        if (members.empty())
+            continue;
+        ++stats_.batches;
         stats_.max_batch_seen =
             std::max<std::uint64_t>(stats_.max_batch_seen, members.size());
         if (members.size() > 1)
@@ -382,10 +435,13 @@ void Server::run_round(std::vector<Pending> round, unsigned batch_limit)
         stats_.width_hist[width] += members.size();
     }
     for (std::size_t i = 0; i < round.size(); ++i) {
+        if (shed_flags[i])
+            continue;
         stats_.queue_hist.record(queue_samples[i]);
         stats_.service_hist.record(service_samples[i]);
+        live_queue_samples.push_back(queue_samples[i]);
     }
-    adapt_batching_locked(queue_samples);
+    adapt_batching_locked(live_queue_samples);
     stats_.current_max_batch = cur_max_batch_;
 }
 

@@ -74,6 +74,21 @@ public:
     }
 };
 
+// Load shedding: thrown through the future of a request whose deadline_ms
+// budget expired while it was still queued. The dispatcher sheds such
+// requests at batch-forming time, before they burn a batch slot — under
+// overload the capacity goes to requests that can still make their SLO,
+// and the shed ones fail fast instead of completing uselessly late.
+// Counted in stats().shed; the daemon maps it to DEADLINE_EXCEEDED. Not
+// retryable by contract: the budget is spent.
+class DeadlineExceededError : public std::runtime_error {
+public:
+    explicit DeadlineExceededError(const std::string& what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
 // Per-request response: the exact RunResult a direct Accelerator::run
 // would produce, plus serving telemetry. The device_* fields carry the
 // batched device model of the batch this request rode in
@@ -97,6 +112,7 @@ struct ServerStats {
     std::uint64_t rounds = 0;     // dispatcher drain rounds
     std::uint64_t max_batch_seen = 0;
     std::uint64_t rejected = 0;   // submits refused at max_queue_depth
+    std::uint64_t shed = 0;       // requests dropped at an expired deadline
     // SLO controller activity (slo_queue_ms > 0): effective-width halvings
     // and doublings, the width in force when this snapshot was taken, and
     // the controller's current p99 queue-time estimate.
@@ -131,15 +147,19 @@ public:
     // Enqueue y = alpha * A[name] * x + beta * y. The resident is resolved
     // (and pinned) now, so a later eviction cannot fail the request.
     // Throws std::invalid_argument for an unknown name or mis-sized
-    // vectors.
+    // vectors. deadline_ms > 0 grants the request that many ms from
+    // submission; if its batch has not STARTED by then the dispatcher
+    // sheds it (future throws DeadlineExceededError) instead of spending
+    // device time on a response nobody is waiting for.
     std::future<SpmvResult> submit(const std::string& name,
                                    std::vector<float> x, std::vector<float> y,
-                                   float alpha = 1.0f, float beta = 0.0f);
+                                   float alpha = 1.0f, float beta = 0.0f,
+                                   double deadline_ms = 0.0);
 
     // Blocking convenience: submit and wait.
     SpmvResult spmv(const std::string& name, std::vector<float> x,
                     std::vector<float> y, float alpha = 1.0f,
-                    float beta = 0.0f);
+                    float beta = 0.0f, double deadline_ms = 0.0);
 
     // Hold/release dispatching. While paused, submissions queue up; resume
     // dispatches them in one round — how tests (and burst benchmarks) make
@@ -172,6 +192,7 @@ private:
         std::vector<float> y;
         float alpha = 1.0f;
         float beta = 0.0f;
+        double deadline_ms = 0.0;  // 0 = no deadline
         std::uint64_t sequence = 0;
         std::chrono::steady_clock::time_point submitted;
         std::promise<SpmvResult> promise;

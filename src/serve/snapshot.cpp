@@ -132,6 +132,8 @@ void append_loop(std::ostringstream& out, const char* name,
         << "      \"coalesced\": " << r.stats.coalesced << ",\n"
         << "      \"max_batch_seen\": " << r.stats.max_batch_seen << ",\n"
         << "      \"rejected\": " << r.stats.rejected << ",\n"
+        << "      \"shed\": " << r.stats.shed << ",\n"
+        << "      \"retried\": " << r.retried << ",\n"
         << "      \"batch_shrinks\": " << r.stats.batch_shrinks << ",\n"
         << "      \"batch_grows\": " << r.stats.batch_grows << ",\n"
         << "      \"width_hist\": ";
@@ -163,6 +165,8 @@ constexpr LoopKey kLoopKeys[] = {
     {"coalesced", false},
     {"max_batch_seen", true},
     {"rejected", false},
+    {"shed", false},
+    {"retried", false},
     {"batch_shrinks", false},
     {"batch_grows", false},
 };
@@ -222,8 +226,16 @@ bool find_number_after_key(std::string_view json, std::string_view key,
 
 std::string to_json(const ServeSnapshot& snap)
 {
-    const char* primary = snap.open_loop ? "adaptive" : "batched";
-    const char* comparison = snap.open_loop ? "fixed" : "unbatched";
+    // Three ablation pairs share the schema: closed-loop coalescing
+    // (batched/unbatched), open-loop SLO (adaptive/fixed), and — when a
+    // latency budget is set — open-loop shedding (deadline/no_deadline).
+    const bool deadline_mode = snap.open_loop && snap.deadline_ms > 0.0;
+    const char* primary = snap.open_loop
+                              ? (deadline_mode ? "deadline" : "adaptive")
+                              : "batched";
+    const char* comparison =
+        snap.open_loop ? (deadline_mode ? "no_deadline" : "fixed")
+                       : "unbatched";
 
     std::ostringstream out;
     out << "{\n  \"tool\": \"serpens_serve\",\n"
@@ -240,7 +252,9 @@ std::string to_json(const ServeSnapshot& snap)
         << "    \"arrival_rate_rps\": " << snap.arrival_rate_rps << ",\n"
         << "    \"slo_ms\": " << snap.slo_ms << ",\n"
         << "    \"batch_wait_ms\": " << snap.batch_wait_ms << ",\n"
-        << "    \"max_queue_depth\": " << snap.max_queue_depth << "\n"
+        << "    \"max_queue_depth\": " << snap.max_queue_depth << ",\n"
+        << "    \"deadline_ms\": " << snap.deadline_ms << ",\n"
+        << "    \"overload\": " << snap.overload << "\n"
         << "  },\n  \"loops\": {\n";
     append_loop(out, primary, snap.primary, !snap.comparison.has_value());
     if (snap.comparison)
@@ -272,7 +286,8 @@ bool validate_snapshot_json(std::string_view json, std::string* error)
         "matrices",          "entries",   "clients",
         "requests_per_client", "max_batch", "serve_threads",
         "arrival_rate_rps",  "slo_ms",    "batch_wait_ms",
-        "max_queue_depth"};
+        "max_queue_depth",   "deadline_ms", "overload"};
+    double deadline_ms = 0.0;
     for (const char* key : config_keys) {
         double v = 0.0;
         if (!number_after_key(json, key, at, &v, &at))
@@ -281,10 +296,15 @@ bool validate_snapshot_json(std::string_view json, std::string* error)
                                    key + "\"");
         if (!std::isfinite(v) || v < 0.0)
             return fail(error, std::string("config.") + key + " invalid");
+        if (std::string_view(key) == "deadline_ms")
+            deadline_ms = v;  // selects the loop-name pair below
     }
 
-    const char* primary = open_loop ? "adaptive" : "batched";
-    const char* comparison = open_loop ? "fixed" : "unbatched";
+    const bool deadline_mode = open_loop && deadline_ms > 0.0;
+    const char* primary =
+        open_loop ? (deadline_mode ? "deadline" : "adaptive") : "batched";
+    const char* comparison =
+        open_loop ? (deadline_mode ? "no_deadline" : "fixed") : "unbatched";
 
     std::size_t cursor = at;
     if (!validate_loop(json, primary, &cursor, error))
@@ -343,6 +363,7 @@ std::string server_stats_to_json(const ServerStats& server,
         << "    \"coalesced\": " << server.coalesced << ",\n"
         << "    \"max_batch_seen\": " << server.max_batch_seen << ",\n"
         << "    \"rejected\": " << server.rejected << ",\n"
+        << "    \"shed\": " << server.shed << ",\n"
         << "    \"batch_shrinks\": " << server.batch_shrinks << ",\n"
         << "    \"batch_grows\": " << server.batch_grows << ",\n"
         << "    \"current_max_batch\": " << server.current_max_batch
@@ -386,7 +407,8 @@ bool validate_server_stats_json(std::string_view json, std::string* error)
     static const char* const keys[] = {
         "requests",        "batches",          "rounds",
         "coalesced",       "max_batch_seen",   "rejected",
-        "batch_shrinks",   "batch_grows",      "current_max_batch",
+        "shed",            "batch_shrinks",    "batch_grows",
+        "current_max_batch",
         "p99_queue_ewma_ms", "mean_queue_ms",  "p50_queue_ms",
         "p99_queue_ms",    "mean_service_ms",  "p50_service_ms",
         "p99_service_ms"};

@@ -51,6 +51,10 @@ struct LoopSnapshot {
     // width_hist[w - 1] = measured requests whose batch had width w
     // (trailing zero widths trimmed; never empty when requests ran).
     std::vector<std::uint64_t> width_hist;
+    // Client-side fault-tolerance accounting (PR 8): attempts beyond each
+    // operation's first, summed over the loop's clients. Server-side
+    // shedding is in stats.shed.
+    std::uint64_t retried = 0;
     ServerStats stats;
 };
 
@@ -71,8 +75,14 @@ struct ServeSnapshot {
     double slo_ms = 0.0;
     double batch_wait_ms = 0.0;
     std::uint64_t max_queue_depth = 0;
-    LoopSnapshot primary;                    // batched / adaptive
-    std::optional<LoopSnapshot> comparison;  // unbatched / fixed (optional)
+    // Fault-tolerance ablation shape (PR 8): a per-request latency budget
+    // and the overload factor the arrival rate was calibrated to. When
+    // deadline_ms > 0 an open-loop run archives loops "deadline" vs
+    // "no_deadline" (the shedding ablation) instead of adaptive/fixed.
+    double deadline_ms = 0.0;
+    double overload = 0.0;
+    LoopSnapshot primary;                    // batched / adaptive / deadline
+    std::optional<LoopSnapshot> comparison;  // unbatched / fixed / no_deadline
 };
 
 // Serialize exactly the schema serpens_serve archives.

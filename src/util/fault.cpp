@@ -1,0 +1,78 @@
+#include "util/fault.h"
+
+namespace serpens::util {
+
+namespace detail {
+std::atomic<FaultInjector*> g_fault_injector{nullptr};
+}
+
+void FaultInjector::arm(const std::string& site, double probability,
+                        double value, std::uint64_t max_fires)
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    Site& s = sites_[site];
+    s.probability = probability;
+    s.value = value;
+    s.max_fires = max_fires;
+}
+
+void FaultInjector::disarm(const std::string& site)
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = sites_.find(site);
+    if (it != sites_.end())
+        it->second.probability = 0.0;  // keep the counters readable
+}
+
+bool FaultInjector::should_fire(const std::string& site)
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = sites_.find(site);
+    if (it == sites_.end())
+        return false;
+    Site& s = it->second;
+    ++s.probes;
+    if (s.probability <= 0.0)
+        return false;
+    if (s.max_fires != 0 && s.fired >= s.max_fires)
+        return false;
+    // One RNG draw per armed probe, always taken, so the decision sequence
+    // of a site depends only on the seed and the probe order.
+    if (rng_.next_double() >= s.probability)
+        return false;
+    ++s.fired;
+    return true;
+}
+
+double FaultInjector::value(const std::string& site) const
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = sites_.find(site);
+    return it == sites_.end() ? 0.0 : it->second.value;
+}
+
+std::uint64_t FaultInjector::fired(const std::string& site) const
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = sites_.find(site);
+    return it == sites_.end() ? 0 : it->second.fired;
+}
+
+std::uint64_t FaultInjector::probes(const std::string& site) const
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = sites_.find(site);
+    return it == sites_.end() ? 0 : it->second.probes;
+}
+
+void set_fault_injector(FaultInjector* injector)
+{
+    detail::g_fault_injector.store(injector, std::memory_order_release);
+}
+
+FaultInjector* fault_injector()
+{
+    return detail::g_fault_injector.load(std::memory_order_acquire);
+}
+
+} // namespace serpens::util

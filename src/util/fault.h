@@ -1,0 +1,108 @@
+// Deterministic fault injection for the serving stack's chaos tests.
+//
+// A FaultInjector is a seeded registry of named fault sites. Production
+// code probes a site by name at the exact point where a real fault would
+// strike; the injector decides — from its own RNG stream, so a given seed
+// replays the same fault pattern — whether the fault fires this time:
+//
+//   util::FaultInjector chaos(42);
+//   chaos.arm("net.frame.drop", /*probability=*/0.05);
+//   chaos.arm("net.frame.delay", 0.10, /*value=*/2.0);   // 2 ms stall
+//   util::set_fault_injector(&chaos);
+//   ... hammer the daemon ...
+//   util::set_fault_injector(nullptr);
+//   EXPECT_GT(chaos.fired("net.frame.drop"), 0u);
+//
+// The probes compiled into net::framing and serve::Server go through the
+// inline helpers at the bottom: with no injector installed (the production
+// state, and every test that does not opt in) a probe is one relaxed
+// atomic load and a null test — no lock, no RNG, no string.
+//
+// Sites are plain strings so the harness and the probe sites need no
+// shared enum; arming a site nobody probes is simply inert. The documented
+// sites are:
+//
+//   net.frame.delay         stall value() ms before sending a frame
+//   net.frame.drop          kill the connection instead of sending
+//   net.frame.corrupt       send a poisoned length prefix, then kill
+//   serve.queue_full        force admission to refuse (QueueFullError)
+//   serve.evict_mid_flight  evict the resolved matrix right after submit
+//                           pins it (the next request misses)
+//
+// Thread-safe: probes may arrive from any connection or dispatcher thread.
+// One mutex serializes the RNG and the counters — fault injection is a
+// test-only regime, never on a measured path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "util/rng.h"
+
+namespace serpens::util {
+
+class FaultInjector {
+public:
+    explicit FaultInjector(std::uint64_t seed) : rng_(seed) {}
+
+    // Arm `site`: each probe fires with `probability`. `value` rides along
+    // for sites that need a magnitude (delay ms). max_fires > 0 caps the
+    // total number of firings (0 = unlimited).
+    void arm(const std::string& site, double probability, double value = 0.0,
+             std::uint64_t max_fires = 0);
+    void disarm(const std::string& site);
+
+    // Probe `site`: true when the armed fault fires now. Counts the probe
+    // either way.
+    bool should_fire(const std::string& site);
+
+    // The armed value for `site` (0.0 when not armed).
+    double value(const std::string& site) const;
+
+    std::uint64_t fired(const std::string& site) const;
+    std::uint64_t probes(const std::string& site) const;
+
+private:
+    struct Site {
+        double probability = 0.0;
+        double value = 0.0;
+        std::uint64_t max_fires = 0;
+        std::uint64_t fired = 0;
+        std::uint64_t probes = 0;
+    };
+
+    mutable std::mutex mu_;
+    Rng rng_;
+    std::map<std::string, Site> sites_;
+};
+
+// Install/clear the process-global injector the probe sites consult. The
+// caller keeps ownership and must clear it (or outlive every probing
+// thread) before destroying the injector.
+void set_fault_injector(FaultInjector* injector);
+FaultInjector* fault_injector();
+
+namespace detail {
+extern std::atomic<FaultInjector*> g_fault_injector;
+}
+
+// The probe the instrumented sites call: free when no injector is
+// installed.
+inline bool fault_fires(const char* site)
+{
+    FaultInjector* f =
+        detail::g_fault_injector.load(std::memory_order_acquire);
+    return f != nullptr && f->should_fire(site);
+}
+
+inline double fault_value(const char* site)
+{
+    FaultInjector* f =
+        detail::g_fault_injector.load(std::memory_order_acquire);
+    return f != nullptr ? f->value(site) : 0.0;
+}
+
+} // namespace serpens::util

@@ -1,0 +1,39 @@
+#include "util/fs.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace serpens::util {
+
+void atomic_write_file(const std::string& path, std::string_view contents)
+{
+    // The temp name carries the pid so two processes racing on the same
+    // destination never clobber each other's staging file; last rename
+    // wins and both leave a complete document behind.
+    const std::string tmp =
+        path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            throw std::runtime_error("atomic_write_file: cannot create " +
+                                     tmp);
+        out.write(contents.data(),
+                  static_cast<std::streamsize>(contents.size()));
+        out.flush();
+        if (!out) {
+            std::remove(tmp.c_str());
+            throw std::runtime_error("atomic_write_file: write failed: " +
+                                     tmp);
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw std::runtime_error("atomic_write_file: rename to " + path +
+                                 " failed");
+    }
+}
+
+} // namespace serpens::util

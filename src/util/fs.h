@@ -1,0 +1,22 @@
+// Small filesystem helpers for the tools.
+//
+// atomic_write_file publishes a file's full contents in one step: the
+// bytes land in a hidden sibling temp file which is then rename(2)d over
+// the destination. POSIX rename within a directory is atomic, so a
+// concurrent reader sees either the previous file (or none) or the
+// complete new contents — never a partial write. serpens_served uses this
+// for --port-file, where CI polls the file while the daemon starts.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace serpens::util {
+
+// Write `contents` to `path` atomically (temp + rename). Throws
+// std::runtime_error when the temp file cannot be created, written, or
+// renamed; on failure the destination is untouched and the temp file is
+// removed best-effort.
+void atomic_write_file(const std::string& path, std::string_view contents);
+
+} // namespace serpens::util

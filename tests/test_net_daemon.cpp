@@ -290,5 +290,27 @@ TEST(NetDaemon, ClientTimeoutSurfacesAsTimeoutError)
     EXPECT_LT(waited, std::chrono::seconds(5));
 }
 
+TEST(NetDaemon, ExpiredDeadlineSurfacesAsDeadlineExceededError)
+{
+    Fixture fx;
+    fx.server.registry().admit("m", sparse::make_banded(400, 4, 7));
+
+    // A vanishingly small budget always expires during queueing (no
+    // pause/sleep timing to race): the shed must travel back as
+    // DEADLINE_EXCEEDED, and the connection must stay usable — a shed
+    // request is an answer, not a transport failure.
+    net::Client client = fx.client();
+    const Vectors v = random_vectors(400, 400, 13);
+    EXPECT_THROW(
+        (void)client.spmv("m", v.x, v.y, 1.0f, 0.0f, /*deadline_ms=*/1e-7),
+        net::DeadlineExceededError);
+
+    fx.server.drain();
+    EXPECT_EQ(fx.server.stats().shed, 1u);
+    // Same connection, generous budget: serves normally.
+    EXPECT_NO_THROW(
+        (void)client.spmv("m", v.x, v.y, 1.0f, 0.0f, 60'000.0));
+}
+
 } // namespace
 } // namespace serpens

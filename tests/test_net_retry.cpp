@@ -1,0 +1,191 @@
+// net::RetryingClient lockdown: the retry contract against a real daemon.
+//
+// Retryable failures (OVERLOADED, dropped/corrupted transport) are
+// injected deterministically through util::FaultInjector, so each test
+// pins an exact attempt/retry/reconnect count instead of racing timers.
+// Non-retryable failures (RemoteError, DeadlineExceededError) must pass
+// through on the first attempt.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "net/daemon.h"
+#include "net/retry.h"
+#include "serve/server.h"
+#include "sparse/generators.h"
+#include "util/fault.h"
+#include "util/rng.h"
+
+namespace serpens {
+namespace {
+
+constexpr int kClientTimeoutMs = 30'000;
+
+// Installs a seeded injector for the test's scope. Declared BEFORE the
+// daemon fixture in every test so the daemon (and its probing threads) is
+// torn down first.
+struct ScopedInjector {
+    util::FaultInjector f;
+    explicit ScopedInjector(std::uint64_t seed) : f(seed)
+    {
+        util::set_fault_injector(&f);
+    }
+    ~ScopedInjector() { util::set_fault_injector(nullptr); }
+};
+
+struct Fixture {
+    core::SerpensConfig cfg = core::SerpensConfig::a16();
+    serve::Server server;
+    net::Daemon daemon;
+
+    Fixture() : server(cfg), daemon(server, /*port=*/0)
+    {
+        server.registry().admit("m", sparse::make_banded(300, 4, 41));
+    }
+    ~Fixture() { daemon.stop(); }
+
+    net::RetryingClient client(net::RetryPolicy policy = fast_policy()) const
+    {
+        return net::RetryingClient("127.0.0.1", daemon.port(),
+                                   kClientTimeoutMs, policy);
+    }
+
+    static net::RetryPolicy fast_policy()
+    {
+        net::RetryPolicy p;
+        p.initial_backoff_ms = 0.2;
+        p.jitter = 0.0;  // exact backoff sequence, no timing slack needed
+        return p;
+    }
+};
+
+std::vector<float> ones(std::size_t n)
+{
+    return std::vector<float>(n, 1.0f);
+}
+
+TEST(NetRetry, RetriesOverloadedUntilAdmissionSucceeds)
+{
+    ScopedInjector chaos(1);
+    Fixture fx;
+    // Exactly three admissions refused, then the queue "drains".
+    chaos.f.arm("serve.queue_full", 1.0, 0.0, /*max_fires=*/3);
+
+    net::RetryingClient client = fx.client();
+    const net::SpmvReply r =
+        client.spmv("m", ones(300), ones(300), 1.0f, 0.0f);
+    EXPECT_EQ(r.y.size(), 300u);
+    EXPECT_EQ(client.stats().attempts, 4u);
+    EXPECT_EQ(client.stats().retries, 3u);
+    EXPECT_EQ(client.stats().reconnects, 1u);  // the lazy initial connect
+    EXPECT_EQ(client.stats().giveups, 0u);
+    EXPECT_EQ(fx.server.stats().rejected, 3u);
+}
+
+TEST(NetRetry, ReconnectsAfterADroppedFrame)
+{
+    ScopedInjector chaos(2);
+    Fixture fx;
+    chaos.f.arm("net.frame.drop", 1.0, 0.0, /*max_fires=*/1);
+
+    net::RetryingClient client = fx.client();
+    // The first request frame is dropped and the connection killed; the
+    // retry must arrive on a FRESH connection and succeed.
+    const net::SpmvReply r =
+        client.spmv("m", ones(300), ones(300), 1.0f, 0.0f);
+    EXPECT_EQ(r.y.size(), 300u);
+    EXPECT_EQ(client.stats().retries, 1u);
+    EXPECT_EQ(client.stats().reconnects, 2u);  // initial + rebuild
+    EXPECT_EQ(chaos.f.fired("net.frame.drop"), 1u);
+}
+
+TEST(NetRetry, ReconnectsAfterACorruptedFrame)
+{
+    ScopedInjector chaos(3);
+    Fixture fx;
+    chaos.f.arm("net.frame.corrupt", 1.0, 0.0, /*max_fires=*/1);
+
+    net::RetryingClient client = fx.client();
+    const net::SpmvReply r =
+        client.spmv("m", ones(300), ones(300), 1.0f, 0.0f);
+    EXPECT_EQ(r.y.size(), 300u);
+    EXPECT_EQ(client.stats().retries, 1u);
+    EXPECT_EQ(client.stats().reconnects, 2u);
+    EXPECT_EQ(chaos.f.fired("net.frame.corrupt"), 1u);
+}
+
+TEST(NetRetry, GivesUpAfterMaxAttemptsAndCountsIt)
+{
+    ScopedInjector chaos(4);
+    Fixture fx;
+    chaos.f.arm("serve.queue_full", 1.0);  // overloaded forever
+
+    net::RetryPolicy policy = Fixture::fast_policy();
+    policy.max_attempts = 3;
+    net::RetryingClient client = fx.client(policy);
+    EXPECT_THROW((void)client.spmv("m", ones(300), ones(300), 1.0f, 0.0f),
+                 net::OverloadedError);
+    EXPECT_EQ(client.stats().attempts, 3u);
+    EXPECT_EQ(client.stats().retries, 2u);
+    EXPECT_EQ(client.stats().giveups, 1u);
+}
+
+TEST(NetRetry, DoesNotRetryRemoteErrors)
+{
+    Fixture fx;
+    net::RetryingClient client = fx.client();
+    // The daemon executed the request and rejected it; a resend would get
+    // the same answer, so exactly one attempt goes out.
+    EXPECT_THROW(
+        (void)client.spmv("ghost", ones(300), ones(300), 1.0f, 0.0f),
+        net::RemoteError);
+    EXPECT_EQ(client.stats().attempts, 1u);
+    EXPECT_EQ(client.stats().retries, 0u);
+    EXPECT_EQ(client.stats().giveups, 0u);
+}
+
+TEST(NetRetry, DoesNotRetryAnExpiredDeadline)
+{
+    Fixture fx;
+    net::RetryingClient client = fx.client();
+    // A vanishingly small budget always expires during queueing, with no
+    // pause/sleep timing to race: the shed is deterministic.
+    EXPECT_THROW((void)client.spmv("m", ones(300), ones(300), 1.0f, 0.0f,
+                                   /*deadline_ms=*/1e-7),
+                 net::DeadlineExceededError);
+    // The budget is spent; a retry would arrive even later.
+    EXPECT_EQ(client.stats().attempts, 1u);
+    EXPECT_EQ(client.stats().retries, 0u);
+}
+
+TEST(NetRetry, NonSpmvOperationsRideTheSameRetryLoop)
+{
+    ScopedInjector chaos(5);
+    Fixture fx;
+    chaos.f.arm("net.frame.drop", 1.0, 0.0, /*max_fires=*/1);
+
+    net::RetryingClient client = fx.client();
+    EXPECT_NO_THROW(client.ping());
+    EXPECT_EQ(client.stats().retries, 1u);
+    EXPECT_NO_THROW(client.admit("m2", sparse::make_banded(100, 3, 43)));
+    EXPECT_TRUE(client.evict("m2"));
+    EXPECT_FALSE(client.evict("m2"));
+}
+
+TEST(NetRetry, PolicyIsValidatedUpFront)
+{
+    net::RetryPolicy zero;
+    zero.max_attempts = 0;
+    EXPECT_THROW(net::RetryingClient("127.0.0.1", 1, 1000, zero),
+                 std::invalid_argument);
+    net::RetryPolicy wild;
+    wild.jitter = 1.5;
+    EXPECT_THROW(net::RetryingClient("127.0.0.1", 1, 1000, wild),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace serpens

@@ -12,6 +12,7 @@
 
 #include <sys/socket.h>
 
+#include <chrono>
 #include <cstring>
 #include <limits>
 #include <string>
@@ -117,6 +118,7 @@ TEST(NetWire, ProtocolMessagesRoundTrip)
     spmv.y = {0.0f};
     spmv.alpha = 1.25f;
     spmv.beta = -0.5f;
+    spmv.deadline_ms = 12.5;
     {
         const std::vector<std::uint8_t> frame = net::encode_spmv(spmv);
         net::WireReader r(frame);
@@ -127,6 +129,7 @@ TEST(NetWire, ProtocolMessagesRoundTrip)
         EXPECT_EQ(back.y, spmv.y);
         EXPECT_EQ(back.alpha, 1.25f);
         EXPECT_EQ(back.beta, -0.5f);
+        EXPECT_EQ(back.deadline_ms, 12.5);
     }
 
     net::SetBatchingRequest sb;
@@ -219,6 +222,10 @@ TEST(NetWire, OpenReplyMapsStatusesOntoTheErrorTaxonomy)
     EXPECT_THROW((void)net::open_reply(
                      net::encode_error(net::Status::kError, "boom")),
                  net::RemoteError);
+    EXPECT_THROW(
+        (void)net::open_reply(
+            net::encode_error(net::Status::kDeadlineExceeded, "late")),
+        net::DeadlineExceededError);
     try {
         (void)net::open_reply(net::encode_error(net::Status::kError,
                                                 "exact message"));
@@ -263,6 +270,27 @@ TEST(NetWire, OversizedLengthPrefixIsRefusedBeforeAllocation)
     std::memcpy(header, &evil, sizeof evil);
     ASSERT_EQ(::send(pair.a.fd(), header, sizeof header, 0), 4);
     EXPECT_THROW((void)net::read_frame(pair.b), net::ProtocolError);
+}
+
+TEST(NetWire, SetTimeoutZeroClearsAnEarlierDeadline)
+{
+    // Regression: set_timeout_ms(0) must RESTORE blocking mode, not leave
+    // the old deadline armed. A 50 ms deadline fires on a silent peer; the
+    // same socket, cleared back to 0, then survives a reply that arrives
+    // well after the old deadline would have expired.
+    SocketPair pair;
+    pair.b.set_timeout_ms(50);
+    EXPECT_THROW((void)net::read_frame(pair.b), net::TimeoutError);
+
+    pair.b.set_timeout_ms(0);
+    std::thread writer([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(120));
+        net::write_frame(pair.a, {9, 9, 9});
+    });
+    const auto frame = net::read_frame(pair.b);
+    writer.join();
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(*frame, (std::vector<std::uint8_t>{9, 9, 9}));
 }
 
 TEST(NetWire, EofMidFrameThrowsButCleanEofIsNullopt)

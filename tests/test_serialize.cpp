@@ -168,6 +168,100 @@ TEST(Serialize, MissingFileThrows)
     EXPECT_THROW(load_image_file("/nonexistent/path.img"), ImageFormatError);
 }
 
+std::string serialized_bytes(const SerpensImage& img,
+                             std::uint32_t version = kImageFormatVersion)
+{
+    std::stringstream buf;
+    save_image(buf, img, version);
+    return buf.str();
+}
+
+SerpensImage small_image()
+{
+    // Small on purpose: the fuzz tests below load thousands of mutated
+    // copies, so the byte count is the test's run time.
+    const auto m = sparse::make_uniform_random(60, 80, 400, 11);
+    return encode_matrix(m, small_params());
+}
+
+TEST(Serialize, EveryTruncationIsRejectedNeverMisloaded)
+{
+    // Exhaustive truncation fuzz: every proper prefix of a v2 image must
+    // throw ImageFormatError — a torn download can never come back as a
+    // shorter-but-plausible image.
+    const std::string full = serialized_bytes(small_image());
+    ASSERT_GT(full.size(), 64u);
+    for (std::size_t n = 0; n < full.size(); ++n) {
+        std::stringstream cut(full.substr(0, n));
+        EXPECT_THROW(load_image(cut), ImageFormatError) << "prefix " << n;
+    }
+}
+
+TEST(Serialize, SingleBitFlipsAreRejected)
+{
+    // Integrity fuzz: with every section checksummed, a single flipped bit
+    // anywhere in the file must be rejected. The magic and version fields
+    // sit outside the CRCs, but flips there fail their own validation (a
+    // bad magic, or a version that is neither 1 nor 2 — no single-bit flip
+    // turns 2 into 1).
+    const std::string full = serialized_bytes(small_image());
+    const std::size_t total_bits = full.size() * 8;
+    for (std::size_t bit = 0; bit < total_bits;
+         bit += (bit < 64 * 8 ? 1 : 101)) {
+        std::string bad = full;
+        bad[bit / 8] = static_cast<char>(bad[bit / 8] ^ (1 << (bit % 8)));
+        std::stringstream in(bad);
+        EXPECT_THROW(load_image(in), ImageFormatError) << "bit " << bit;
+    }
+}
+
+TEST(Serialize, TrailingBytesAfterV2ImageAreRejected)
+{
+    std::string bytes = serialized_bytes(small_image());
+    bytes += '\0';
+    std::stringstream in(bytes);
+    EXPECT_THROW(load_image(in), ImageFormatError);
+}
+
+TEST(Serialize, Version1FilesRemainLoadable)
+{
+    // Integrity checking is an upgrade, not a migration: a pre-CRC v1
+    // image still loads and decodes identically.
+    const SerpensImage img = make_image();
+    const std::string v1 = serialized_bytes(img, 1);
+    const std::string v2 = serialized_bytes(img);
+    EXPECT_LT(v1.size(), v2.size());  // v2 carries the checksums
+
+    std::stringstream in(v1);
+    const SerpensImage back = load_image(in);
+    EXPECT_EQ(decode_image(back), decode_image(img));
+}
+
+TEST(Serialize, RefusesToWriteUnknownVersions)
+{
+    const SerpensImage img = small_image();
+    std::stringstream buf;
+    EXPECT_THROW(save_image(buf, img, 3), ImageFormatError);
+    EXPECT_THROW(save_image(buf, img, 0), ImageFormatError);
+}
+
+TEST(Serialize, ChecksumMismatchNamesTheSection)
+{
+    // Corrupt one byte in the middle of the line data: the error should
+    // point at a checksum, not at a generic parse failure.
+    std::string bytes = serialized_bytes(small_image());
+    bytes[bytes.size() / 2] =
+        static_cast<char>(bytes[bytes.size() / 2] ^ 0x10);
+    std::stringstream in(bytes);
+    try {
+        load_image(in);
+        FAIL() << "corrupted image loaded";
+    } catch (const ImageFormatError& e) {
+        EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos)
+            << e.what();
+    }
+}
+
 TEST(Serialize, EmptyMatrixImageRoundTrips)
 {
     const sparse::CooMatrix m(64, 64);

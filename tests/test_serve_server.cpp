@@ -601,5 +601,75 @@ TEST(ServeServer, BatchWaitHoldsSingleRequestsButNotFullBatches)
     EXPECT_GE(lone.queue_ms, 150.0);
 }
 
+TEST(ServeServer, ExpiredDeadlineShedsAtBatchFormingAndIsCounted)
+{
+    const auto m = sparse::make_banded(400, 5, 379);
+    serve::Server server(core::SerpensConfig::a16());
+    server.registry().admit("m", m);
+
+    // Hold two requests paused past the first one's 10 ms budget. The
+    // expired one must shed with DeadlineExceededError; its companion (no
+    // deadline) rides the same round untouched.
+    server.pause();
+    const Vectors v = random_vectors(m.cols(), m.rows(), 29);
+    auto doomed = server.submit("m", v.x, v.y, 1.0f, 0.0f,
+                                /*deadline_ms=*/10.0);
+    auto healthy = server.submit("m", v.x, v.y, 1.0f, 0.0f);
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    server.resume();
+
+    EXPECT_THROW((void)doomed.get(), serve::DeadlineExceededError);
+    EXPECT_NO_THROW((void)healthy.get());
+    server.drain();
+
+    const auto stats = server.stats();
+    EXPECT_EQ(stats.shed, 1u);
+    // Shed requests never count as served work: requests reflects only the
+    // healthy one (plus nothing else), and no batch slot was burned.
+    EXPECT_EQ(stats.requests, 1u);
+    EXPECT_EQ(stats.rejected, 0u);
+}
+
+TEST(ServeServer, GenerousDeadlineDoesNotShed)
+{
+    const auto m = sparse::make_banded(400, 5, 383);
+    serve::Server server(core::SerpensConfig::a16());
+    server.registry().admit("m", m);
+
+    const Vectors v = random_vectors(m.cols(), m.rows(), 31);
+    const serve::SpmvResult r =
+        server.spmv("m", v.x, v.y, 1.0f, 0.0f, /*deadline_ms=*/60'000.0);
+    EXPECT_EQ(r.batch_width, 1u);
+    server.drain();
+    EXPECT_EQ(server.stats().shed, 0u);
+    EXPECT_EQ(server.stats().requests, 1u);
+}
+
+TEST(ServeServer, AllExpiredGroupRunsNoBatch)
+{
+    const auto m = sparse::make_banded(400, 5, 389);
+    serve::Server server(core::SerpensConfig::a16());
+    server.registry().admit("m", m);
+
+    server.pause();
+    const Vectors v = random_vectors(m.cols(), m.rows(), 37);
+    std::vector<std::future<serve::SpmvResult>> futures;
+    for (unsigned i = 0; i < 4; ++i)
+        futures.push_back(
+            server.submit("m", v.x, v.y, 1.0f, 0.0f, /*deadline_ms=*/5.0));
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    server.resume();
+
+    for (auto& f : futures)
+        EXPECT_THROW((void)f.get(), serve::DeadlineExceededError);
+    server.drain();
+
+    const auto stats = server.stats();
+    EXPECT_EQ(stats.shed, 4u);
+    EXPECT_EQ(stats.requests, 0u);
+    // A round whose every member expired dispatches nothing to the device.
+    EXPECT_EQ(stats.batches, 0u);
+}
+
 } // namespace
 } // namespace serpens

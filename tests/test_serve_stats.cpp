@@ -212,6 +212,64 @@ TEST(ServeStats, OpenLoopSnapshotRoundTripsWithAdaptiveAndFixedLoops)
     EXPECT_EQ(json.find("\"batched_speedup\""), std::string::npos);
 }
 
+TEST(ServeStats, DeadlineModeSnapshotNamesItsLoopsAndCarriesShedding)
+{
+    serve::ServeSnapshot snap =
+        plausible_snapshot(/*with_comparison=*/true, /*open_loop=*/true);
+    snap.deadline_ms = 10.0;
+    snap.overload = 2.0;
+    snap.primary.stats.shed = 25;
+    snap.primary.retried = 3;
+
+    const std::string json = serve::to_json(snap);
+    std::string error;
+    EXPECT_TRUE(serve::validate_snapshot_json(json, &error)) << error;
+    // deadline_ms > 0 renames the open-loop ablation: the served loop is
+    // "deadline", the baseline "no_deadline" — not adaptive/fixed.
+    EXPECT_NE(json.find("\"deadline\""), std::string::npos);
+    EXPECT_NE(json.find("\"no_deadline\""), std::string::npos);
+    EXPECT_EQ(json.find("\"adaptive\""), std::string::npos);
+    EXPECT_EQ(json.find("\"fixed\""), std::string::npos);
+    EXPECT_NE(json.find("\"deadline_ms\": 10"), std::string::npos);
+    EXPECT_NE(json.find("\"overload\": 2"), std::string::npos);
+
+    // The fault-tolerance counters travel in every loop.
+    std::size_t cursor = 0;
+    double shed = -1.0, retried = -1.0;
+    EXPECT_TRUE(serve::find_number_after_key(json, "shed", &cursor, &shed));
+    EXPECT_DOUBLE_EQ(shed, 25.0);
+    cursor = 0;
+    EXPECT_TRUE(
+        serve::find_number_after_key(json, "retried", &cursor, &retried));
+    EXPECT_DOUBLE_EQ(retried, 3.0);
+}
+
+TEST(ServeStats, ValidatorRequiresTheFaultToleranceKeys)
+{
+    serve::ServeSnapshot snap =
+        plausible_snapshot(/*with_comparison=*/true, /*open_loop=*/true);
+    snap.deadline_ms = 10.0;
+    snap.overload = 2.0;
+    const std::string good = serve::to_json(snap);
+    const auto replaced = [&](const std::string& from,
+                              const std::string& to) {
+        std::string doc = good;
+        const std::size_t at = doc.find(from);
+        EXPECT_NE(at, std::string::npos) << from;
+        doc.replace(at, from.size(), to);
+        return doc;
+    };
+
+    std::string error;
+    for (const char* key : {"shed", "retried", "deadline_ms", "overload"}) {
+        const std::string quoted = "\"" + std::string(key) + "\"";
+        EXPECT_FALSE(serve::validate_snapshot_json(
+            replaced(quoted, "\"renamed_key\""), &error))
+            << key;
+        EXPECT_NE(error.find(key), std::string::npos) << error;
+    }
+}
+
 TEST(ServeStats, SnapshotValidatorRejectsCorruptDocuments)
 {
     const std::string good = serve::to_json(plausible_snapshot(true));

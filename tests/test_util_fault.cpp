@@ -1,0 +1,209 @@
+// Tests for the fault-tolerance utilities under src/util: the seeded
+// FaultInjector the chaos harness drives, the CRC-32 the image format's
+// integrity sections use, and atomic_write_file (the --port-file
+// publisher).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/crc32.h"
+#include "util/fault.h"
+#include "util/fs.h"
+
+namespace serpens::util {
+namespace {
+
+std::vector<bool> decision_sequence(FaultInjector& f, const std::string& site,
+                                    int probes)
+{
+    std::vector<bool> out;
+    out.reserve(static_cast<std::size_t>(probes));
+    for (int i = 0; i < probes; ++i)
+        out.push_back(f.should_fire(site));
+    return out;
+}
+
+TEST(FaultInjector, SameSeedReplaysTheSameFaultPattern)
+{
+    // The whole point of the harness: a chaos run is reproducible from its
+    // seed alone.
+    FaultInjector a(42);
+    FaultInjector b(42);
+    a.arm("net.frame.drop", 0.3);
+    b.arm("net.frame.drop", 0.3);
+    EXPECT_EQ(decision_sequence(a, "net.frame.drop", 500),
+              decision_sequence(b, "net.frame.drop", 500));
+    EXPECT_EQ(a.fired("net.frame.drop"), b.fired("net.frame.drop"));
+    EXPECT_GT(a.fired("net.frame.drop"), 0u);
+    EXPECT_LT(a.fired("net.frame.drop"), 500u);
+}
+
+TEST(FaultInjector, DifferentSeedsDiverge)
+{
+    FaultInjector a(1);
+    FaultInjector b(2);
+    a.arm("s", 0.5);
+    b.arm("s", 0.5);
+    EXPECT_NE(decision_sequence(a, "s", 200), decision_sequence(b, "s", 200));
+}
+
+TEST(FaultInjector, ProbabilityEndpoints)
+{
+    FaultInjector f(7);
+    f.arm("never", 0.0);
+    f.arm("always", 1.0);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(f.should_fire("never"));
+        EXPECT_TRUE(f.should_fire("always"));
+    }
+    EXPECT_EQ(f.fired("never"), 0u);
+    EXPECT_EQ(f.fired("always"), 100u);
+    EXPECT_EQ(f.probes("never"), 100u);
+    EXPECT_EQ(f.probes("always"), 100u);
+}
+
+TEST(FaultInjector, UnarmedSiteNeverFiresButIsNotCounted)
+{
+    FaultInjector f(9);
+    EXPECT_FALSE(f.should_fire("nobody.armed.this"));
+    EXPECT_EQ(f.probes("nobody.armed.this"), 0u);
+    EXPECT_EQ(f.fired("nobody.armed.this"), 0u);
+    EXPECT_EQ(f.value("nobody.armed.this"), 0.0);
+}
+
+TEST(FaultInjector, MaxFiresCapsTheDamage)
+{
+    FaultInjector f(11);
+    f.arm("s", 1.0, 0.0, /*max_fires=*/3);
+    int fired = 0;
+    for (int i = 0; i < 50; ++i)
+        fired += f.should_fire("s") ? 1 : 0;
+    EXPECT_EQ(fired, 3);
+    EXPECT_EQ(f.fired("s"), 3u);
+    EXPECT_EQ(f.probes("s"), 50u);
+}
+
+TEST(FaultInjector, DisarmStopsFiringButKeepsCounters)
+{
+    FaultInjector f(13);
+    f.arm("s", 1.0, 2.5);
+    EXPECT_TRUE(f.should_fire("s"));
+    f.disarm("s");
+    EXPECT_FALSE(f.should_fire("s"));
+    EXPECT_EQ(f.fired("s"), 1u);
+    EXPECT_EQ(f.probes("s"), 2u);
+}
+
+TEST(FaultInjector, ValueRidesAlongWithTheSite)
+{
+    FaultInjector f(17);
+    f.arm("net.frame.delay", 1.0, /*value=*/2.0);
+    EXPECT_EQ(f.value("net.frame.delay"), 2.0);
+}
+
+TEST(FaultInjector, GlobalInstallAndProbeHelpers)
+{
+    // fault_fires/fault_value are what the instrumented production sites
+    // call; with no injector installed they must be inert.
+    EXPECT_EQ(fault_injector(), nullptr);
+    EXPECT_FALSE(fault_fires("serve.queue_full"));
+    EXPECT_EQ(fault_value("net.frame.delay"), 0.0);
+
+    FaultInjector f(19);
+    f.arm("serve.queue_full", 1.0);
+    f.arm("net.frame.delay", 1.0, 3.0);
+    set_fault_injector(&f);
+    EXPECT_EQ(fault_injector(), &f);
+    EXPECT_TRUE(fault_fires("serve.queue_full"));
+    EXPECT_EQ(fault_value("net.frame.delay"), 3.0);
+    set_fault_injector(nullptr);
+    EXPECT_FALSE(fault_fires("serve.queue_full"));
+}
+
+TEST(Crc32, MatchesTheKnownCheckValue)
+{
+    // The canonical CRC-32 check value: crc32("123456789") == 0xCBF43926.
+    const char* s = "123456789";
+    EXPECT_EQ(crc32(s, 9), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyInputIsZero)
+{
+    EXPECT_EQ(crc32(nullptr, 0), 0u);
+    EXPECT_EQ(crc32("x", 0), 0u);
+}
+
+TEST(Crc32, IncrementalEqualsOneShot)
+{
+    const std::string data =
+        "The image format checksums each section incrementally.";
+    const std::uint32_t whole = crc32(data.data(), data.size());
+    for (std::size_t split = 0; split <= data.size(); ++split) {
+        std::uint32_t c = crc32(data.data(), split);
+        c = crc32(data.data() + split, data.size() - split, c);
+        EXPECT_EQ(c, whole) << "split at " << split;
+    }
+}
+
+TEST(Crc32, SingleBitFlipChangesTheChecksum)
+{
+    std::string data(256, '\0');
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<char>(i * 7 + 1);
+    const std::uint32_t good = crc32(data.data(), data.size());
+    for (std::size_t bit = 0; bit < data.size() * 8; bit += 13) {
+        std::string bad = data;
+        bad[bit / 8] = static_cast<char>(bad[bit / 8] ^ (1 << (bit % 8)));
+        EXPECT_NE(crc32(bad.data(), bad.size()), good) << "bit " << bit;
+    }
+}
+
+std::string read_file(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+TEST(AtomicFile, WritesAndOverwrites)
+{
+    const std::string path = ::testing::TempDir() + "/serpens_atomic_test";
+    atomic_write_file(path, "12345\n");
+    EXPECT_EQ(read_file(path), "12345\n");
+    atomic_write_file(path, "6789\n");
+    EXPECT_EQ(read_file(path), "6789\n");
+    std::remove(path.c_str());
+}
+
+TEST(AtomicFile, LeavesNoTempSibling)
+{
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        fs::path(::testing::TempDir()) / "serpens_atomic_dir";
+    fs::create_directory(dir);
+    const fs::path target = dir / "port";
+    atomic_write_file(target.string(), "4242\n");
+    std::size_t entries = 0;
+    for (const auto& e : fs::directory_iterator(dir)) {
+        (void)e;
+        ++entries;
+    }
+    EXPECT_EQ(entries, 1u);  // just the target, no leftover temp file
+    fs::remove_all(dir);
+}
+
+TEST(AtomicFile, FailureLeavesDestinationUntouched)
+{
+    EXPECT_THROW(
+        atomic_write_file("/nonexistent-dir/serpens/port", "1\n"),
+        std::runtime_error);
+}
+
+} // namespace
+} // namespace serpens::util

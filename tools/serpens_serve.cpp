@@ -55,6 +55,7 @@
 #include <vector>
 
 #include "net/client.h"
+#include "net/retry.h"
 #include "serve/server.h"
 #include "serve/snapshot.h"
 #include "sparse/generators.h"
@@ -87,6 +88,12 @@ struct Args {
     double batch_wait_ms = 0.0;   // batch-forming hold for both loops
     std::uint64_t queue_depth = 0;  // admission bound (0 = unbounded)
     unsigned warmup = 32;         // leading requests excluded from stats
+    // Fault tolerance (PR 8).
+    double deadline_ms = 0.0;     // per-request budget; > 0 in open loop
+                                  // switches to the shedding ablation
+    double overload = 0.0;        // calibrate arrival rate to X times the
+                                  // measured serial service capacity
+    bool retry = false;           // retry/backoff on retryable failures
     // Network mode.
     std::string connect_host;
     std::uint16_t connect_port = 0;
@@ -129,6 +136,7 @@ struct LoopResult {
     serve::LoopSnapshot snap;
     std::vector<TraceEntry> trace;
     std::uint64_t rejected = 0;  // client-observed admission refusals
+    std::uint64_t shed = 0;      // client-observed deadline sheds
 };
 
 void fill_vectors(std::uint64_t seed, sparse::index_t cols,
@@ -179,14 +187,16 @@ double quantile(std::vector<double> v, double q)
 // --- shared infrastructure over the two transports ---
 
 // One worker thread's handle on the server: in-process serve::Server or a
-// net::Client connection. spmv() blocks until the response.
+// net::Client connection. spmv() blocks until the response. retried()
+// reports attempts beyond each request's first (0 without --retry).
 class Transport {
 public:
     virtual ~Transport() = default;
     virtual serve::SpmvResult spmv(const std::string& name,
                                    const std::vector<float>& x,
                                    const std::vector<float>& y, float alpha,
-                                   float beta) = 0;
+                                   float beta, double deadline_ms) = 0;
+    virtual std::uint64_t retried() const { return 0; }
 };
 
 class LocalTransport : public Transport {
@@ -195,14 +205,74 @@ public:
     serve::SpmvResult spmv(const std::string& name,
                            const std::vector<float>& x,
                            const std::vector<float>& y, float alpha,
-                           float beta) override
+                           float beta, double deadline_ms) override
     {
-        return server_.spmv(name, x, y, alpha, beta);
+        return server_.spmv(name, x, y, alpha, beta, deadline_ms);
     }
 
 private:
     serve::Server& server_;
 };
+
+// In-process counterpart of net::RetryingClient: the only retryable
+// failure without a wire is QueueFullError, backed off the same way.
+class RetryLocalTransport : public Transport {
+public:
+    RetryLocalTransport(serve::Server& server, std::uint64_t seed)
+        : server_(server), rng_(seed)
+    {
+    }
+    serve::SpmvResult spmv(const std::string& name,
+                           const std::vector<float>& x,
+                           const std::vector<float>& y, float alpha,
+                           float beta, double deadline_ms) override
+    {
+        const net::RetryPolicy policy;  // the documented defaults
+        double backoff_ms = policy.initial_backoff_ms;
+        for (unsigned attempt = 1;; ++attempt) {
+            try {
+                return server_.spmv(name, x, y, alpha, beta, deadline_ms);
+            } catch (const serve::QueueFullError&) {
+                if (attempt >= policy.max_attempts)
+                    throw;
+            }
+            ++retried_;
+            const double scale = 1.0 - policy.jitter +
+                                 policy.jitter * rng_.next_double();
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(backoff_ms *
+                                                          scale));
+            backoff_ms = std::min(policy.max_backoff_ms,
+                                  backoff_ms * policy.backoff_multiplier);
+        }
+    }
+    std::uint64_t retried() const override { return retried_; }
+
+private:
+    serve::Server& server_;
+    Rng rng_;
+    std::uint64_t retried_ = 0;
+};
+
+serve::SpmvResult reply_to_result(net::SpmvReply reply)
+{
+    serve::SpmvResult res;
+    res.run.y = std::move(reply.y);
+    res.run.time_ms = reply.time_ms;
+    res.run.cycles.x_load_cycles = reply.x_load_cycles;
+    res.run.cycles.compute_cycles = reply.compute_cycles;
+    res.run.cycles.y_phase_cycles = reply.y_phase_cycles;
+    res.run.cycles.fill_cycles = reply.fill_cycles;
+    res.run.cycles.total_slots = reply.total_slots;
+    res.run.cycles.padding_slots = reply.padding_slots;
+    res.queue_ms = reply.queue_ms;
+    res.service_ms = reply.service_ms;
+    res.device_batch_ms = reply.device_batch_ms;
+    res.device_amortized_ms = reply.device_amortized_ms;
+    res.batch_width = reply.batch_width;
+    res.sequence = reply.sequence;
+    return res;
+}
 
 class NetTransport : public Transport {
 public:
@@ -213,29 +283,43 @@ public:
     serve::SpmvResult spmv(const std::string& name,
                            const std::vector<float>& x,
                            const std::vector<float>& y, float alpha,
-                           float beta) override
+                           float beta, double deadline_ms) override
     {
-        net::SpmvReply reply = client_.spmv(name, x, y, alpha, beta);
-        serve::SpmvResult res;
-        res.run.y = std::move(reply.y);
-        res.run.time_ms = reply.time_ms;
-        res.run.cycles.x_load_cycles = reply.x_load_cycles;
-        res.run.cycles.compute_cycles = reply.compute_cycles;
-        res.run.cycles.y_phase_cycles = reply.y_phase_cycles;
-        res.run.cycles.fill_cycles = reply.fill_cycles;
-        res.run.cycles.total_slots = reply.total_slots;
-        res.run.cycles.padding_slots = reply.padding_slots;
-        res.queue_ms = reply.queue_ms;
-        res.service_ms = reply.service_ms;
-        res.device_batch_ms = reply.device_batch_ms;
-        res.device_amortized_ms = reply.device_amortized_ms;
-        res.batch_width = reply.batch_width;
-        res.sequence = reply.sequence;
-        return res;
+        return reply_to_result(
+            client_.spmv(name, x, y, alpha, beta, deadline_ms));
     }
 
 private:
     net::Client client_;
+};
+
+class RetryNetTransport : public Transport {
+public:
+    RetryNetTransport(const std::string& host, std::uint16_t port,
+                      std::uint64_t seed)
+        : client_(host, port, /*timeout_ms=*/120'000,
+                  [&] {
+                      net::RetryPolicy policy;
+                      policy.seed = seed;
+                      return policy;
+                  }())
+    {
+    }
+    serve::SpmvResult spmv(const std::string& name,
+                           const std::vector<float>& x,
+                           const std::vector<float>& y, float alpha,
+                           float beta, double deadline_ms) override
+    {
+        return reply_to_result(
+            client_.spmv(name, x, y, alpha, beta, deadline_ms));
+    }
+    std::uint64_t retried() const override
+    {
+        return client_.stats().retries;
+    }
+
+private:
+    net::RetryingClient client_;
 };
 
 // The whole benchmark's view of the server, whichever side of a socket it
@@ -245,11 +329,23 @@ struct Backend {
     std::string host;                   // net mode
     std::uint16_t port = 0;
     std::unique_ptr<net::Client> admin;  // net mode control connection
+    bool retry = false;                  // --retry: wrap transports
+    std::uint64_t seed = 1;              // retry-jitter seed base
 
-    std::unique_ptr<Transport> make_transport()
+    // `worker` salts the retry-jitter stream so concurrent clients do not
+    // back off in lockstep.
+    std::unique_ptr<Transport> make_transport(unsigned worker)
     {
-        if (local != nullptr)
+        const std::uint64_t jitter_seed = seed * 31337 + worker;
+        if (local != nullptr) {
+            if (retry)
+                return std::make_unique<RetryLocalTransport>(*local,
+                                                             jitter_seed);
             return std::make_unique<LocalTransport>(*local);
+        }
+        if (retry)
+            return std::make_unique<RetryNetTransport>(host, port,
+                                                       jitter_seed);
         return std::make_unique<NetTransport>(host, port);
     }
 
@@ -295,6 +391,7 @@ struct Backend {
         s.coalesced = static_cast<std::uint64_t>(read("coalesced"));
         s.max_batch_seen = static_cast<std::uint64_t>(read("max_batch_seen"));
         s.rejected = static_cast<std::uint64_t>(read("rejected"));
+        s.shed = static_cast<std::uint64_t>(read("shed"));
         s.batch_shrinks = static_cast<std::uint64_t>(read("batch_shrinks"));
         s.batch_grows = static_cast<std::uint64_t>(read("batch_grows"));
         s.current_max_batch =
@@ -318,6 +415,7 @@ void attach_counters(LoopResult& r, const serve::ServerStats& before,
     d.rounds = after.rounds - before.rounds;
     d.coalesced = after.coalesced - before.coalesced;
     d.rejected = after.rejected - before.rejected;
+    d.shed = after.shed - before.shed;
     d.batch_shrinks = after.batch_shrinks - before.batch_shrinks;
     d.batch_grows = after.batch_grows - before.batch_grows;
     d.max_batch_seen = r.snap.width_hist.size();
@@ -372,7 +470,7 @@ bool issue_request(
     const std::vector<std::vector<std::vector<float>>>& pool_x,
     const std::vector<std::vector<std::vector<float>>>& pool_y,
     std::size_t slot, Clock::time_point issued, TraceEntry& t,
-    std::uint64_t& rejected)
+    std::uint64_t& rejected, std::uint64_t& shed)
 {
     t.seed = args.seed * 7919 + slot;
     t.matrix = static_cast<unsigned>((t.seed / 3) % pool_x.size());
@@ -382,7 +480,7 @@ bool issue_request(
     try {
         serve::SpmvResult res = transport.spmv(
             "m" + std::to_string(t.matrix), pool_x[t.matrix][k],
-            pool_y[t.matrix][k], t.alpha, t.beta);
+            pool_y[t.matrix][k], t.alpha, t.beta, args.deadline_ms);
         t.e2e_ms = std::chrono::duration<double, std::milli>(Clock::now() -
                                                              issued)
                        .count();
@@ -399,6 +497,12 @@ bool issue_request(
         return true;
     } catch (const net::OverloadedError&) {
         ++rejected;
+        return true;
+    } catch (const serve::DeadlineExceededError&) {
+        ++shed;  // deadline shedding is likewise data, not failure
+        return true;
+    } catch (const net::DeadlineExceededError&) {
+        ++shed;
         return true;
     }
 }
@@ -427,21 +531,24 @@ LoopResult run_closed_loop(Backend& backend,
     }
 
     const Clock::time_point start = Clock::now();
+    std::atomic<std::uint64_t> shed{0}, retried{0};
     std::vector<std::thread> clients;
     clients.reserve(args.clients);
     for (unsigned c = 0; c < args.clients; ++c) {
         clients.emplace_back([&, c] {
             try {
                 const std::unique_ptr<Transport> transport =
-                    backend.make_transport();
-                std::uint64_t my_rejected = 0;
+                    backend.make_transport(c);
+                std::uint64_t my_rejected = 0, my_shed = 0;
                 for (unsigned r = 0; r < args.requests; ++r) {
                     const std::size_t slot = c * args.requests + r;
                     issue_request(*transport, args, pool_x, pool_y, slot,
                                   Clock::now(), out.trace[slot],
-                                  my_rejected);
+                                  my_rejected, my_shed);
                 }
                 rejected.fetch_add(my_rejected);
+                shed.fetch_add(my_shed);
+                retried.fetch_add(transport->retried());
             } catch (const std::exception& e) {
                 std::fprintf(stderr, "client %u failed: %s\n", c, e.what());
                 failed.store(true);
@@ -461,6 +568,8 @@ LoopResult run_closed_loop(Backend& backend,
         backend.local->drain();
 
     out.rejected = rejected.load();
+    out.shed = shed.load();
+    out.snap.retried = retried.load();
     summarize(out, nnz, wall_s);
     return out;
 }
@@ -508,7 +617,7 @@ LoopResult run_open_loop(Backend& backend,
     }
 
     std::atomic<bool> failed{false};
-    std::atomic<std::uint64_t> rejected{0};
+    std::atomic<std::uint64_t> rejected{0}, shed{0}, retried{0};
     const Clock::time_point epoch = Clock::now();
     std::vector<std::thread> workers;
     workers.reserve(args.clients);
@@ -516,8 +625,8 @@ LoopResult run_open_loop(Backend& backend,
         workers.emplace_back([&, c] {
             try {
                 const std::unique_ptr<Transport> transport =
-                    backend.make_transport();
-                std::uint64_t my_rejected = 0;
+                    backend.make_transport(c);
+                std::uint64_t my_rejected = 0, my_shed = 0;
                 for (std::size_t slot = c; slot < total;
                      slot += args.clients) {
                     const Clock::time_point scheduled =
@@ -529,9 +638,12 @@ LoopResult run_open_loop(Backend& backend,
                     // behind schedule counts against the server's tail the
                     // way a real load generator would charge it.
                     issue_request(*transport, args, pool_x, pool_y, slot,
-                                  scheduled, out.trace[slot], my_rejected);
+                                  scheduled, out.trace[slot], my_rejected,
+                                  my_shed);
                 }
                 rejected.fetch_add(my_rejected);
+                shed.fetch_add(my_shed);
+                retried.fetch_add(transport->retried());
             } catch (const std::exception& e) {
                 std::fprintf(stderr, "worker %u failed: %s\n", c, e.what());
                 failed.store(true);
@@ -548,6 +660,8 @@ LoopResult run_open_loop(Backend& backend,
         backend.local->drain();
 
     out.rejected = rejected.load();
+    out.shed = shed.load();
+    out.snap.retried = retried.load();
     summarize(out, nnz, wall_s);
     return out;
 }
@@ -617,6 +731,45 @@ void print_loop(const char* label, const LoopResult& r)
     if (r.rejected != 0)
         std::printf("  rejected:  %" PRIu64 " requests at admission\n",
                     r.rejected);
+    if (r.shed != 0 || s.stats.shed != 0)
+        std::printf("  shed:      %" PRIu64 " requests at an expired "
+                    "deadline (server counted %" PRIu64 ")\n",
+                    r.shed, s.stats.shed);
+    if (s.retried != 0)
+        std::printf("  retried:   %" PRIu64 " attempts beyond the first\n",
+                    s.retried);
+}
+
+// --overload X: calibrate the Poisson arrival rate to X times the serial
+// service capacity, measured by timing a short sequential run at width 1
+// on the live backend (cycling the matrix fleet like the loops do). The
+// shedding ablation needs "2x overload" to mean 2x THIS machine's
+// capacity, not a hardcoded rate that saturates one host and idles
+// another.
+double calibrate_arrival_rate(
+    Backend& backend, const Args& args,
+    const std::vector<std::vector<std::vector<float>>>& pool_x,
+    const std::vector<std::vector<std::vector<float>>>& pool_y)
+{
+    const std::unique_ptr<Transport> transport = backend.make_transport(0);
+    constexpr unsigned kWarm = 2, kMeasured = 8;
+    double total_s = 0.0;
+    for (unsigned i = 0; i < kWarm + kMeasured; ++i) {
+        const unsigned m = i % static_cast<unsigned>(pool_x.size());
+        const unsigned k = i % kVectorPool;
+        const Clock::time_point begin = Clock::now();
+        transport->spmv("m" + std::to_string(m), pool_x[m][k], pool_y[m][k],
+                        1.0f, 0.0f, /*deadline_ms=*/0.0);
+        if (i >= kWarm)
+            total_s +=
+                std::chrono::duration<double>(Clock::now() - begin).count();
+    }
+    const double mean_s = total_s / kMeasured;
+    const double rate = args.overload / std::max(mean_s, 1e-6);
+    std::printf("calibration: %.3f ms mean serial service -> %.1f req/s "
+                "(%.1fx overload)\n",
+                mean_s * 1e3, rate, args.overload);
+    return rate;
 }
 
 void write_json(const std::string& path, const Args& args, bool open_loop,
@@ -634,6 +787,8 @@ void write_json(const std::string& path, const Args& args, bool open_loop,
     snap.slo_ms = args.slo_ms;
     snap.batch_wait_ms = args.batch_wait_ms;
     snap.max_queue_depth = args.queue_depth;
+    snap.deadline_ms = args.deadline_ms;
+    snap.overload = args.overload;
     snap.primary = primary.snap;
     if (comparison != nullptr)
         snap.comparison = comparison->snap;
@@ -679,7 +834,9 @@ int usage()
         "                     [--vary-scalars] [--no-compare] [--a24]\n"
         "                     [--arrival-rate RPS] [--slo-ms MS]\n"
         "                     [--batch-wait-ms MS] [--queue-depth D]\n"
-        "                     [--warmup W] [--connect HOST:PORT]\n"
+        "                     [--warmup W] [--deadline-ms MS]\n"
+        "                     [--overload X] [--retry]\n"
+        "                     [--connect HOST:PORT]\n"
         "                     [--shutdown-daemon] [--check-snapshot FILE]\n");
     return 1;
 }
@@ -729,6 +886,12 @@ int main(int argc, char** argv)
             args.queue_depth = std::strtoull(next(), nullptr, 10);
         else if (flag == "--warmup")
             args.warmup = static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+        else if (flag == "--deadline-ms")
+            args.deadline_ms = std::strtod(next(), nullptr);
+        else if (flag == "--overload")
+            args.overload = std::strtod(next(), nullptr);
+        else if (flag == "--retry")
+            args.retry = true;
         else if (flag == "--connect") {
             const std::string target = next();
             const std::size_t colon = target.rfind(':');
@@ -763,7 +926,10 @@ int main(int argc, char** argv)
         return check_snapshot_file(args.check_snapshot);
     if (args.matrices == 0 || args.clients == 0 || args.requests == 0)
         return usage();
-    const bool open_loop = args.arrival_rate > 0.0;
+    const bool open_loop = args.arrival_rate > 0.0 || args.overload > 0.0;
+    const bool deadline_mode = open_loop && args.deadline_ms > 0.0;
+    if (args.overload > 0.0 && !open_loop)
+        return usage();
     const bool net_mode = !args.connect_host.empty();
 
     try {
@@ -772,6 +938,13 @@ int main(int argc, char** argv)
         cfg.serve_threads = args.serve_threads;
         cfg.max_batch = args.max_batch;
         cfg.resident_budget_bytes = args.budget_mb * (1ull << 20);
+        // The shedding ablation runs both loops at width 1 against the
+        // serial capacity the calibration measured — a multi-threaded
+        // drain would quietly raise capacity above what "2x overload"
+        // was computed from. (In net mode the daemon's width is its own;
+        // run it with --serve-threads 1 for a faithful ablation.)
+        if (deadline_mode)
+            cfg.serve_threads = 1;
 
         // A mixed fleet: uniform, clustered, banded row structure cycling
         // over the matrix slots so the scheduler sees heterogeneous service
@@ -807,6 +980,8 @@ int main(int argc, char** argv)
         // Stand up the backend and admit the fleet.
         std::optional<serve::Server> local_server;
         Backend backend;
+        backend.retry = args.retry;
+        backend.seed = args.seed;
         if (net_mode) {
             backend.host = args.connect_host;
             backend.port = args.connect_port;
@@ -864,6 +1039,100 @@ int main(int argc, char** argv)
             if (!args.json_path.empty()) {
                 write_json(args.json_path, args, false, batched,
                            unbatched_ptr);
+                std::printf("snapshot written to %s\n",
+                            args.json_path.c_str());
+            }
+        } else if (deadline_mode) {
+            // Shedding ablation: the same overloaded Poisson schedule with
+            // and without a per-request deadline, both at width 1 (no
+            // coalescing headroom to hide behind). The claim under test:
+            // deadlines keep the SERVED requests' tail inside the budget
+            // band while the no-deadline baseline's tail grows with the
+            // backlog.
+            Args run_args = args;
+            if (args.overload > 0.0) {
+                backend.set_batching(1, 0.0, 0.0, args.queue_depth);
+                std::vector<std::vector<std::vector<float>>> cal_x(
+                    nnz.size()),
+                    cal_y(nnz.size());
+                for (unsigned m = 0; m < nnz.size(); ++m) {
+                    cal_x[m].resize(kVectorPool);
+                    cal_y[m].resize(kVectorPool);
+                    for (unsigned k = 0; k < kVectorPool; ++k)
+                        fill_vectors(pool_seed(args.seed, m, k), cols[m],
+                                     rows[m], cal_x[m][k], cal_y[m][k]);
+                }
+                run_args.arrival_rate =
+                    calibrate_arrival_rate(backend, args, cal_x, cal_y);
+            }
+            const std::size_t total =
+                static_cast<std::size_t>(args.clients) * args.requests +
+                args.warmup;
+            const std::vector<double> arrivals =
+                arrival_schedule(run_args, total);
+
+            Args base_args = run_args;
+            base_args.deadline_ms = 0.0;
+            backend.set_batching(1, 0.0, 0.0, args.queue_depth);
+            serve::ServerStats before = backend.counters();
+            LoopResult no_deadline =
+                run_open_loop(backend, nnz, rows, cols, base_args, arrivals);
+            attach_counters(no_deadline, before, backend.counters());
+            print_loop("no deadline (baseline):", no_deadline);
+            if (!replay_matches(cfg, matrices, no_deadline.trace))
+                return 1;
+
+            backend.set_batching(1, 0.0, 0.0, args.queue_depth);
+            before = backend.counters();
+            LoopResult deadline =
+                run_open_loop(backend, nnz, rows, cols, run_args, arrivals);
+            attach_counters(deadline, before, backend.counters());
+            print_loop("deadline shedding:", deadline);
+            if (!replay_matches(cfg, matrices, deadline.trace))
+                return 1;
+            std::printf("OK: all completed responses bit-identical to "
+                        "sequential replay\n");
+
+            // Gates. The band bounds a SERVED request's end-to-end time:
+            // its queue time was under the deadline when its batch
+            // started, plus its service time, with 2x slack for
+            // scheduling noise on a loaded host.
+            const double band_ms = 2.0 * args.deadline_ms +
+                                   2.0 * deadline.snap.p99_service_ms;
+            if (deadline.snap.stats.shed == 0) {
+                std::fprintf(stderr,
+                             "FAIL: the deadline loop shed nothing — the "
+                             "ablation is vacuous (raise --overload or "
+                             "lower --deadline-ms)\n");
+                exit_code = 1;
+            }
+            if (deadline.snap.p99_e2e_ms > band_ms) {
+                std::fprintf(stderr,
+                             "FAIL: served p99 e2e %.3f ms escapes the "
+                             "%.3f ms deadline band\n",
+                             deadline.snap.p99_e2e_ms, band_ms);
+                exit_code = 1;
+            }
+            if (no_deadline.snap.p99_e2e_ms <= band_ms) {
+                std::fprintf(stderr,
+                             "FAIL: baseline p99 e2e %.3f ms already sits "
+                             "inside the %.3f ms band — the overload is "
+                             "not biting (raise --overload or --requests)"
+                             "\n",
+                             no_deadline.snap.p99_e2e_ms, band_ms);
+                exit_code = 1;
+            }
+            if (exit_code == 0)
+                std::printf("DEADLINE: served p99 e2e %.3f ms inside the "
+                            "%.3f ms band; baseline %.3f ms outside "
+                            "(%" PRIu64 " shed)\n",
+                            deadline.snap.p99_e2e_ms, band_ms,
+                            no_deadline.snap.p99_e2e_ms,
+                            deadline.snap.stats.shed);
+
+            if (!args.json_path.empty()) {
+                write_json(args.json_path, run_args, true, deadline,
+                           &no_deadline);
                 std::printf("snapshot written to %s\n",
                             args.json_path.c_str());
             }

@@ -14,12 +14,12 @@
 #include <csignal>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <string>
 #include <thread>
 
 #include "net/daemon.h"
 #include "serve/server.h"
+#include "util/fs.h"
 
 namespace {
 
@@ -108,13 +108,16 @@ int main(int argc, char** argv)
                                     static_cast<std::uint16_t>(port));
 
         if (!port_file.empty()) {
-            std::ofstream out(port_file);
-            if (!out) {
-                std::fprintf(stderr, "FAIL: cannot write %s\n",
-                             port_file.c_str());
+            // Atomic (temp + rename): a launcher polling the file can
+            // never read a partially-written port number.
+            try {
+                serpens::util::atomic_write_file(
+                    port_file, std::to_string(daemon.port()) + "\n");
+            } catch (const std::exception& e) {
+                std::fprintf(stderr, "FAIL: cannot write %s: %s\n",
+                             port_file.c_str(), e.what());
                 return 1;
             }
-            out << daemon.port() << "\n";
         }
         std::printf("listening on %u\n", daemon.port());
         std::fflush(stdout);
