@@ -64,6 +64,49 @@ done
     --shutdown-daemon
 wait "${SERVED_PID}"
 
+# Crash-recovery smoke (PR 9): admit over the wire into a durable daemon,
+# SIGKILL it (leaving a torn WAL tail, as a real crash would), restart it
+# on the same --state-dir, and require the restarted daemon to serve the
+# same matrices bit-identically WITHOUT re-encoding: --no-admit skips
+# admissions entirely and --expect-recovered 2 asserts the daemon's stats
+# report recovered >= 2 with encodes == 0 before any traffic runs. The
+# replay report is archived as BENCH_recovery.json and schema-checked with
+# the other snapshots below.
+STATE_DIR="${BUILD_DIR}/served-state"
+rm -rf "${STATE_DIR}"
+rm -f "${PORT_FILE}"
+"${BUILD_DIR}/tools/serpens_served" --port-file "${PORT_FILE}" \
+    --state-dir "${STATE_DIR}" &
+SERVED_PID=$!
+for _ in $(seq 100); do
+  [[ -s "${PORT_FILE}" ]] && break
+  sleep 0.1
+done
+[[ -s "${PORT_FILE}" ]] || { echo "serpens_served never published a port"; kill "${SERVED_PID}"; exit 1; }
+"${BUILD_DIR}/tools/serpens_serve" \
+    --connect "127.0.0.1:$(cat "${PORT_FILE}")" \
+    --matrices 2 --entries 200000 --rows 4096 --clients 4 --requests 12 \
+    --seed 5
+kill -9 "${SERVED_PID}"
+wait "${SERVED_PID}" || true
+printf 'TORN_TAIL' >> "${STATE_DIR}/manifest.log"
+rm -f "${PORT_FILE}"
+"${BUILD_DIR}/tools/serpens_served" --port-file "${PORT_FILE}" \
+    --state-dir "${STATE_DIR}" \
+    --recovery-json "${BUILD_DIR}/bench-results/BENCH_recovery.json" &
+SERVED_PID=$!
+for _ in $(seq 100); do
+  [[ -s "${PORT_FILE}" ]] && break
+  sleep 0.1
+done
+[[ -s "${PORT_FILE}" ]] || { echo "serpens_served never published a port"; kill "${SERVED_PID}"; exit 1; }
+"${BUILD_DIR}/tools/serpens_serve" \
+    --connect "127.0.0.1:$(cat "${PORT_FILE}")" \
+    --matrices 2 --entries 200000 --rows 4096 --clients 4 --requests 12 \
+    --seed 5 --no-admit --expect-recovered 2 \
+    --shutdown-daemon
+wait "${SERVED_PID}"
+
 # Deadline-shedding ablation (PR 8): drive the server at 2x its calibrated
 # serial capacity through open-loop Poisson arrivals from 32 blocking
 # clients. With a 10 ms per-request budget the dispatcher sheds expired
@@ -86,6 +129,8 @@ wait "${SERVED_PID}"
     --check-snapshot "${BUILD_DIR}/bench-results/BENCH_net.json"
 "${BUILD_DIR}/tools/serpens_serve" \
     --check-snapshot "${BUILD_DIR}/bench-results/BENCH_fault.json"
+"${BUILD_DIR}/tools/serpens_serve" \
+    --check-snapshot "${BUILD_DIR}/bench-results/BENCH_recovery.json"
 
 # Batched device-mode ablation: amortized per-SpMV device time over
 # B = 1..32 at 1M nnz (real batched executions + analytic + Sextans

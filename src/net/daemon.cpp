@@ -5,10 +5,13 @@
 
 #include "net/protocol.h"
 #include "serve/snapshot.h"
+#include "serve/store.h"
 
 namespace serpens::net {
 
-Daemon::Daemon(serve::Server& server, std::uint16_t port) : server_(server)
+Daemon::Daemon(serve::Server& server, std::uint16_t port,
+               serve::RegistryStore* store)
+    : server_(server), store_(store)
 {
     listener_ = listen_tcp(port, &port_);
     acceptor_ = std::thread([this] { accept_loop(); });
@@ -139,7 +142,13 @@ std::vector<std::uint8_t> Daemon::handle_frame(
             return encode_ok();
         case RequestType::kAdmit: {
             const AdmitRequest req = decode_admit(r);
-            server_.registry().admit(req.name, admit_to_coo(req));
+            const auto prepared =
+                server_.registry().admit(req.name, admit_to_coo(req));
+            // Journal only what the registry accepted; if the journal
+            // write fails, the error reply tells the client to retry the
+            // idempotent admission.
+            if (store_)
+                store_->record_admit(req.name, prepared->image());
             return encode_ok();
         }
         case RequestType::kSpmv: {
@@ -154,10 +163,13 @@ std::vector<std::uint8_t> Daemon::handle_frame(
         case RequestType::kStats: {
             r.require_done();
             serve::MatrixRegistry& reg = server_.registry();
+            const std::optional<serve::StoreStats> store_stats =
+                store_ ? std::optional(store_->stats()) : std::nullopt;
             WireWriter body;
             body.str(serve::server_stats_to_json(
                 server_.stats(), reg.stats(), reg.size(),
-                reg.bytes_resident()));
+                reg.bytes_resident(),
+                store_stats ? &*store_stats : nullptr));
             return encode_ok(std::move(body));
         }
         case RequestType::kSetBatching: {
@@ -171,6 +183,8 @@ std::vector<std::uint8_t> Daemon::handle_frame(
         case RequestType::kEvict: {
             const std::string name = decode_evict(r);
             const bool present = server_.registry().evict(name);
+            if (present && store_)
+                store_->record_evict(name);
             WireWriter body;
             body.u8(present ? 1 : 0);
             return encode_ok(std::move(body));

@@ -32,13 +32,23 @@
 #include "net/framing.h"
 #include "serve/server.h"
 
+namespace serpens::serve {
+class RegistryStore;
+}
+
 namespace serpens::net {
 
 class Daemon {
 public:
     // Binds 127.0.0.1:port (throws NetError if taken) and starts
-    // accepting.
-    Daemon(serve::Server& server, std::uint16_t port);
+    // accepting. A non-null `store` makes the daemon durable: every wire
+    // admission/eviction is journaled (WAL + image file) AFTER the
+    // registry accepted it, so a crash-restarted daemon can replay the
+    // manifest and serve the same residents bit-identically. Store I/O
+    // failures ride the existing exception wall — the client sees an
+    // ERROR reply and can safely retry the (idempotent) operation.
+    Daemon(serve::Server& server, std::uint16_t port,
+           serve::RegistryStore* store = nullptr);
     ~Daemon();
 
     Daemon(const Daemon&) = delete;
@@ -69,6 +79,7 @@ private:
         const std::vector<std::uint8_t>& frame);
 
     serve::Server& server_;
+    serve::RegistryStore* store_ = nullptr;  // optional durability
     std::uint16_t port_ = 0;
     Socket listener_;
 

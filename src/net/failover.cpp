@@ -1,0 +1,190 @@
+#include "net/failover.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+
+#include "net/client.h"
+#include "util/check.h"
+
+namespace serpens::net {
+
+std::vector<Endpoint> parse_endpoints(const std::string& spec)
+{
+    std::vector<Endpoint> out;
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        const std::size_t comma = spec.find(',', pos);
+        const std::string item =
+            spec.substr(pos, comma == std::string::npos ? std::string::npos
+                                                        : comma - pos);
+        pos = comma == std::string::npos ? spec.size() + 1 : comma + 1;
+        if (item.empty())
+            throw std::invalid_argument(
+                "endpoints: empty entry in \"" + spec + "\"");
+        // rfind, so IPv6-ish hosts with colons keep their last segment as
+        // the port.
+        const std::size_t colon = item.rfind(':');
+        if (colon == std::string::npos || colon == 0 ||
+            colon + 1 == item.size())
+            throw std::invalid_argument(
+                "endpoints: expected host:port, got \"" + item + "\"");
+        const std::string port_str = item.substr(colon + 1);
+        unsigned long port = 0;
+        try {
+            std::size_t used = 0;
+            port = std::stoul(port_str, &used);
+            if (used != port_str.size())
+                throw std::invalid_argument(port_str);
+        } catch (const std::exception&) {
+            throw std::invalid_argument(
+                "endpoints: bad port in \"" + item + "\"");
+        }
+        if (port == 0 || port > 65535)
+            throw std::invalid_argument(
+                "endpoints: port out of range in \"" + item + "\"");
+        out.push_back(Endpoint{item.substr(0, colon),
+                               static_cast<std::uint16_t>(port)});
+    }
+    return out;
+}
+
+FailoverClient::FailoverClient(std::vector<Endpoint> endpoints,
+                               int timeout_ms, FailoverPolicy policy)
+    : timeout_ms_(timeout_ms), policy_(policy), rng_(policy.seed)
+{
+    SERPENS_CHECK(!endpoints.empty(),
+                  "failover: need at least one endpoint");
+    SERPENS_CHECK(policy_.failure_threshold >= 1,
+                  "failover: failure_threshold must be at least 1");
+    SERPENS_CHECK(policy_.max_rounds >= 1,
+                  "failover: max_rounds must be at least 1");
+    SERPENS_CHECK(policy_.jitter >= 0.0 && policy_.jitter <= 1.0,
+                  "failover: jitter must lie in [0, 1]");
+    slots_.reserve(endpoints.size());
+    for (std::size_t i = 0; i < endpoints.size(); ++i) {
+        // Each slot's backoff jitter gets its own deterministic stream so
+        // endpoints never sleep in lockstep, yet the whole sequence
+        // replays from FailoverPolicy::seed.
+        RetryPolicy retry = policy_.retry;
+        retry.seed = policy_.retry.seed + i;
+        slots_.emplace_back(std::move(endpoints[i]), timeout_ms_, retry);
+    }
+}
+
+bool FailoverClient::admit_traffic(Slot& slot)
+{
+    if (!slot.open)
+        return true;
+    if (Clock::now() < slot.reopen_at)
+        return false;
+    // Half-open: probe on a fresh connection so a still-dead endpoint
+    // costs one ping, not a live request.
+    ++stats_.probes;
+    try {
+        Client(slot.endpoint.host, slot.endpoint.port, timeout_ms_).ping();
+    } catch (const std::exception&) {
+        ++stats_.probe_failures;
+        open_breaker(slot);  // escalated cooldown, stays open
+        return false;
+    }
+    slot.open = false;
+    slot.consecutive_failures = 0;
+    slot.next_cooldown_ms = 0.0;
+    return true;
+}
+
+void FailoverClient::note_success(Slot& slot)
+{
+    slot.consecutive_failures = 0;
+    slot.next_cooldown_ms = 0.0;
+}
+
+void FailoverClient::note_failure(Slot& slot)
+{
+    if (++slot.consecutive_failures >= policy_.failure_threshold) {
+        ++stats_.breaker_opens;
+        open_breaker(slot);
+    }
+}
+
+void FailoverClient::open_breaker(Slot& slot)
+{
+    slot.open = true;
+    const double base = slot.next_cooldown_ms > 0.0
+                            ? std::min(policy_.max_cooldown_ms,
+                                       slot.next_cooldown_ms *
+                                           policy_.cooldown_multiplier)
+                            : policy_.cooldown_ms;
+    slot.next_cooldown_ms = base;
+    const double scale =
+        1.0 - policy_.jitter + policy_.jitter * rng_.next_double();
+    slot.reopen_at =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double, std::milli>(
+                               std::max(0.0, base * scale)));
+}
+
+void FailoverClient::sleep_until_earliest_reopen()
+{
+    auto earliest = Clock::time_point::max();
+    for (const Slot& slot : slots_)
+        if (slot.open)
+            earliest = std::min(earliest, slot.reopen_at);
+    if (earliest == Clock::time_point::max())
+        return;  // nothing open — nothing to wait for
+    const auto now = Clock::now();
+    if (earliest > now)
+        std::this_thread::sleep_for(earliest - now);
+}
+
+std::uint64_t FailoverClient::total_retries() const
+{
+    std::uint64_t n = 0;
+    for (const Slot& slot : slots_)
+        n += slot.client.stats().retries;
+    return n;
+}
+
+void FailoverClient::ping()
+{
+    run([&](RetryingClient& c) { c.ping(); return 0; });
+}
+
+void FailoverClient::admit(const std::string& name,
+                           const sparse::CooMatrix& m)
+{
+    run([&](RetryingClient& c) { c.admit(name, m); return 0; });
+}
+
+SpmvReply FailoverClient::spmv(const std::string& name,
+                               const std::vector<float>& x,
+                               const std::vector<float>& y, float alpha,
+                               float beta, double deadline_ms)
+{
+    return run([&](RetryingClient& c) {
+        return c.spmv(name, x, y, alpha, beta, deadline_ms);
+    });
+}
+
+std::string FailoverClient::stats_json()
+{
+    return run([&](RetryingClient& c) { return c.stats_json(); });
+}
+
+void FailoverClient::set_batching(const SetBatchingRequest& req)
+{
+    run([&](RetryingClient& c) { c.set_batching(req); return 0; });
+}
+
+bool FailoverClient::evict(const std::string& name)
+{
+    return run([&](RetryingClient& c) { return c.evict(name); });
+}
+
+void FailoverClient::shutdown_daemon()
+{
+    run([&](RetryingClient& c) { c.shutdown_daemon(); return 0; });
+}
+
+} // namespace serpens::net

@@ -1,0 +1,179 @@
+// Health-checked failover over an ordered endpoint list: the way a client
+// survives a daemon that dies, not just a request that fails.
+//
+//   auto eps = net::parse_endpoints("10.0.0.1:7070,10.0.0.2:7070");
+//   net::FailoverClient client(eps, 30000, policy);
+//   net::SpmvReply r = client.spmv("web", x, y, alpha, beta);
+//
+// Each endpoint gets its own RetryingClient (transient faults are still
+// retried in place — see retry.h) plus a circuit breaker:
+//
+//   closed     operations flow; `failure_threshold` CONSECUTIVE failed
+//              operations open the breaker.
+//   open       the endpoint is skipped until a seeded-jitter cooldown
+//              expires (cooldown escalates multiplicatively up to
+//              max_cooldown_ms while the endpoint stays dead).
+//   half-open  the first selection after the cooldown sends a cheap ping
+//              probe on a FRESH connection; success closes the breaker,
+//              failure re-opens it with an escalated cooldown. Real
+//              traffic never plays guinea pig against a dead endpoint.
+//
+// Endpoint selection is sticky: the cursor stays on the endpoint that
+// last succeeded and only moves (counted as a failover) when that
+// endpoint's breaker forces it elsewhere, so a recovered primary is not
+// flapped back to mid-storm. One operation makes up to `max_rounds`
+// passes over the list; when every breaker is open and none is due, the
+// client sleeps until the earliest reopen time. After max_rounds the
+// operation gives up, rethrowing the last transport error.
+//
+// RemoteError and DeadlineExceededError pass through immediately without
+// touching the breaker: the daemon answered (or the budget is spent) —
+// another endpoint would say the same thing, only later.
+//
+// All randomness (cooldown jitter here, backoff jitter per slot) draws
+// from seeded Rng streams, so a chaos run replays the exact same
+// failover sequence from the same seed. Like Client, NOT thread-safe.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <exception>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/retry.h"
+
+namespace serpens::net {
+
+struct Endpoint {
+    std::string host;
+    std::uint16_t port = 0;
+};
+
+// Parse "host:port[,host:port...]". Throws std::invalid_argument on an
+// empty list, a missing/garbage port, or an empty host.
+std::vector<Endpoint> parse_endpoints(const std::string& spec);
+
+struct FailoverPolicy {
+    RetryPolicy retry;               // per-endpoint transient-fault policy
+    unsigned failure_threshold = 3;  // consecutive op failures that open
+    double cooldown_ms = 100.0;      // first open's probe delay
+    double cooldown_multiplier = 2.0;
+    double max_cooldown_ms = 2000.0;
+    // Fraction of each cooldown that is randomized, same convention as
+    // RetryPolicy::jitter: cooldown * (1 - jitter + jitter * U[0,1)).
+    double jitter = 0.5;
+    std::uint64_t seed = 1;   // cooldown jitter stream
+    unsigned max_rounds = 8;  // passes over the endpoint list per op
+};
+
+struct FailoverStats {
+    std::uint64_t failovers = 0;       // cursor moved to another endpoint
+    std::uint64_t breaker_opens = 0;   // closed -> open transitions
+    std::uint64_t probes = 0;          // half-open pings sent
+    std::uint64_t probe_failures = 0;  // probes that re-opened the breaker
+    std::uint64_t giveups = 0;         // ops that exhausted max_rounds
+};
+
+class FailoverClient {
+public:
+    FailoverClient(std::vector<Endpoint> endpoints, int timeout_ms,
+                   FailoverPolicy policy = {});
+
+    void ping();
+    void admit(const std::string& name, const sparse::CooMatrix& m);
+    SpmvReply spmv(const std::string& name, const std::vector<float>& x,
+                   const std::vector<float>& y, float alpha, float beta,
+                   double deadline_ms = 0.0);
+    std::string stats_json();
+    void set_batching(const SetBatchingRequest& req);
+    bool evict(const std::string& name);
+    void shutdown_daemon();
+
+    const FailoverStats& stats() const { return stats_; }
+    // Transient-fault retries summed over every endpoint's RetryingClient.
+    std::uint64_t total_retries() const;
+    std::size_t endpoint_count() const { return slots_.size(); }
+    // The endpoint operations currently route to.
+    const Endpoint& current_endpoint() const
+    {
+        return slots_[cursor_].endpoint;
+    }
+
+private:
+    using Clock = std::chrono::steady_clock;
+
+    struct Slot {
+        Endpoint endpoint;
+        RetryingClient client;
+        unsigned consecutive_failures = 0;
+        bool open = false;
+        Clock::time_point reopen_at{};
+        double next_cooldown_ms = 0.0;  // escalates while the slot is dead
+
+        Slot(Endpoint ep, int timeout_ms, const RetryPolicy& retry)
+            : endpoint(std::move(ep)),
+              client(endpoint.host, endpoint.port, timeout_ms, retry)
+        {
+        }
+    };
+
+    // True when `slot` may carry traffic now: closed, or open with an
+    // expired cooldown whose half-open probe just succeeded.
+    bool admit_traffic(Slot& slot);
+    void note_success(Slot& slot);
+    void note_failure(Slot& slot);
+    void open_breaker(Slot& slot);
+    void sleep_until_earliest_reopen();
+
+    // The failover loop shared by every operation; see the header comment
+    // for the walk order and breaker interplay.
+    template <typename F>
+    auto run(F&& op) -> decltype(op(std::declval<RetryingClient&>()))
+    {
+        std::exception_ptr last_error;
+        for (unsigned round = 0; round < policy_.max_rounds; ++round) {
+            bool tried = false;
+            for (std::size_t k = 0; k < slots_.size(); ++k) {
+                const std::size_t idx = (cursor_ + k) % slots_.size();
+                Slot& slot = slots_[idx];
+                if (!admit_traffic(slot))
+                    continue;
+                tried = true;
+                if (idx != cursor_) {
+                    ++stats_.failovers;
+                    cursor_ = idx;
+                }
+                try {
+                    auto result = op(slot.client);
+                    note_success(slot);
+                    return result;
+                } catch (const RemoteError&) {
+                    note_success(slot);  // the daemon is alive and answered
+                    throw;
+                } catch (const DeadlineExceededError&) {
+                    throw;  // budget spent; no endpoint can un-spend it
+                } catch (const NetError&) {
+                    last_error = std::current_exception();
+                    note_failure(slot);
+                }
+            }
+            if (!tried)
+                sleep_until_earliest_reopen();
+        }
+        ++stats_.giveups;
+        if (last_error)
+            std::rethrow_exception(last_error);
+        throw NetError("failover: every endpoint's breaker stayed open");
+    }
+
+    int timeout_ms_;
+    FailoverPolicy policy_;
+    FailoverStats stats_;
+    Rng rng_;  // cooldown jitter
+    std::vector<Slot> slots_;
+    std::size_t cursor_ = 0;
+};
+
+} // namespace serpens::net

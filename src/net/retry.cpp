@@ -35,11 +35,13 @@ void RetryingClient::drop_client()
     client_.reset();
 }
 
-void RetryingClient::sleep_with_jitter(double backoff_ms)
+void RetryingClient::sleep_with_jitter(double backoff_ms, double cap_ms)
 {
     const double scale =
         1.0 - policy_.jitter + policy_.jitter * rng_.next_double();
-    const double ms = std::max(0.0, backoff_ms * scale);
+    double ms = std::max(0.0, backoff_ms * scale);
+    if (cap_ms >= 0.0)
+        ms = std::min(ms, cap_ms);  // never sleep past the deadline budget
     if (ms > 0.0)
         std::this_thread::sleep_for(
             std::chrono::duration<double, std::milli>(ms));
@@ -61,9 +63,11 @@ SpmvReply RetryingClient::spmv(const std::string& name,
                                const std::vector<float>& y, float alpha,
                                float beta, double deadline_ms)
 {
-    return run([&](Client& c) {
-        return c.spmv(name, x, y, alpha, beta, deadline_ms);
-    });
+    return run(
+        [&](Client& c) {
+            return c.spmv(name, x, y, alpha, beta, deadline_ms);
+        },
+        deadline_ms);
 }
 
 std::string RetryingClient::stats_json()

@@ -24,9 +24,17 @@
 // Backoff is exponential with multiplicative growth capped at
 // max_backoff_ms, and jittered from a seeded Rng so chaos tests replay the
 // exact same sleep sequence — determinism extends into the failure paths.
+//
+// A request's deadline_ms budget bounds the whole retry loop, not just the
+// server-side queue: the backoff sleep is capped at whatever budget
+// remains, and once the budget is spent the client gives up with
+// DeadlineExceededError instead of sending a retry that could only arrive
+// past its deadline.
 // Like Client, a RetryingClient is NOT thread-safe.
 #pragma once
 
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -77,15 +85,38 @@ private:
     // never races a daemon that is still binding its port.
     Client& ensure_client();
     void drop_client();
-    void sleep_with_jitter(double backoff_ms);
+    // Sleep the jittered backoff; cap_ms >= 0 truncates the sleep at the
+    // remaining deadline budget (the jitter draw still happens, so the
+    // random stream stays aligned with the uncapped replay).
+    void sleep_with_jitter(double backoff_ms, double cap_ms = -1.0);
 
     // The retry loop shared by every operation. `op` runs against a live
     // Client; see the header comment for which failures re-enter the loop.
+    // deadline_ms > 0 bounds the loop: the backoff sleep never exceeds the
+    // remaining budget, and a retry whose budget is already spent is
+    // abandoned with DeadlineExceededError instead of sent doomed.
     template <typename F>
-    auto run(F&& op) -> decltype(op(std::declval<Client&>()))
+    auto run(F&& op, double deadline_ms = 0.0)
+        -> decltype(op(std::declval<Client&>()))
     {
+        const auto start = std::chrono::steady_clock::now();
+        const auto remaining = [&]() -> double {
+            return deadline_ms -
+                   std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+        };
         double backoff_ms = policy_.initial_backoff_ms;
         for (unsigned attempt = 1;; ++attempt) {
+            if (deadline_ms > 0.0 && attempt > 1 && remaining() <= 0.0) {
+                ++stats_.giveups;
+                throw DeadlineExceededError(
+                    "deadline_ms budget spent after " +
+                    std::to_string(attempt - 1) +
+                    " attempt(s); not retrying");
+            }
+            if (attempt > 1)
+                ++stats_.retries;  // this attempt really goes out
             ++stats_.attempts;
             try {
                 return op(ensure_client());
@@ -105,8 +136,9 @@ private:
                     throw;
                 }
             }
-            ++stats_.retries;
-            sleep_with_jitter(backoff_ms);
+            sleep_with_jitter(backoff_ms,
+                              deadline_ms > 0.0 ? std::max(0.0, remaining())
+                                                : -1.0);
             backoff_ms = std::min(policy_.max_backoff_ms,
                                   backoff_ms * policy_.backoff_multiplier);
         }

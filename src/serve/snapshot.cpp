@@ -134,6 +134,7 @@ void append_loop(std::ostringstream& out, const char* name,
         << "      \"rejected\": " << r.stats.rejected << ",\n"
         << "      \"shed\": " << r.stats.shed << ",\n"
         << "      \"retried\": " << r.retried << ",\n"
+        << "      \"failovers\": " << r.failovers << ",\n"
         << "      \"batch_shrinks\": " << r.stats.batch_shrinks << ",\n"
         << "      \"batch_grows\": " << r.stats.batch_grows << ",\n"
         << "      \"width_hist\": ";
@@ -167,6 +168,7 @@ constexpr LoopKey kLoopKeys[] = {
     {"rejected", false},
     {"shed", false},
     {"retried", false},
+    {"failovers", false},
     {"batch_shrinks", false},
     {"batch_grows", false},
 };
@@ -346,7 +348,8 @@ bool validate_snapshot_json(std::string_view json, std::string* error)
 std::string server_stats_to_json(const ServerStats& server,
                                  const RegistryStats& registry,
                                  std::size_t residents,
-                                 std::uint64_t bytes_resident)
+                                 std::uint64_t bytes_resident,
+                                 const StoreStats* store)
 {
     std::vector<std::uint64_t> widths;
     for (unsigned w = 1; w < kWidthBuckets; ++w)
@@ -392,7 +395,10 @@ std::string server_stats_to_json(const ServerStats& server,
         << "    \"evictions\": " << registry.evictions << ",\n"
         << "    \"replacements\": " << registry.replacements << ",\n"
         << "    \"hits\": " << registry.hits << ",\n"
-        << "    \"misses\": " << registry.misses << "\n"
+        << "    \"misses\": " << registry.misses << ",\n"
+        << "    \"recovered\": " << (store ? store->recovered : 0) << ",\n"
+        << "    \"skipped_corrupt\": "
+        << (store ? store->skipped_corrupt : 0) << "\n"
         << "  }\n}\n";
     return out.str();
 }
@@ -426,7 +432,8 @@ bool validate_server_stats_json(std::string_view json, std::string* error)
         return fail(error, "stats: missing or malformed \"width_hist\"");
     static const char* const registry_keys[] = {
         "residents", "bytes_resident", "admissions",   "encodes",
-        "evictions", "replacements",   "hits",         "misses"};
+        "evictions", "replacements",   "hits",         "misses",
+        "recovered", "skipped_corrupt"};
     for (const char* key : registry_keys) {
         double v = 0.0;
         if (!number_after_key(json, key, at, &v, &at))
@@ -435,6 +442,44 @@ bool validate_server_stats_json(std::string_view json, std::string* error)
                                    key + "\"");
         if (!std::isfinite(v) || v < 0.0)
             return fail(error, std::string("registry.") + key + " invalid");
+    }
+    return true;
+}
+
+std::string recovery_to_json(const StoreStats& store)
+{
+    std::ostringstream out;
+    out << "{\n  \"tool\": \"serpens_served\",\n"
+        << "  \"recovery\": {\n"
+        << "    \"wal_records\": " << store.wal_records << ",\n"
+        << "    \"wal_torn_bytes\": " << store.wal_torn_bytes << ",\n"
+        << "    \"recovered\": " << store.recovered << ",\n"
+        << "    \"skipped_corrupt\": " << store.skipped_corrupt << ",\n"
+        << "    \"clean_shutdown\": " << (store.clean_shutdown ? 1 : 0)
+        << ",\n"
+        << "    \"recovery_ms\": " << store.recovery_ms << "\n"
+        << "  }\n}\n";
+    return out.str();
+}
+
+bool validate_recovery_json(std::string_view json, std::string* error)
+{
+    if (json.find("\"tool\": \"serpens_served\"") == std::string_view::npos)
+        return fail(error, "missing tool tag");
+    if (json.find("\"recovery\"") == std::string_view::npos)
+        return fail(error, "missing recovery section");
+    static const char* const keys[] = {
+        "wal_records", "wal_torn_bytes", "recovered",
+        "skipped_corrupt", "clean_shutdown", "recovery_ms"};
+    std::size_t at = 0;
+    for (const char* key : keys) {
+        double v = 0.0;
+        if (!number_after_key(json, key, at, &v, &at))
+            return fail(error, std::string("recovery: missing or "
+                                           "non-numeric \"") +
+                                   key + "\"");
+        if (!std::isfinite(v) || v < 0.0)
+            return fail(error, std::string("recovery.") + key + " invalid");
     }
     return true;
 }

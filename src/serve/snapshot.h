@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "serve/server.h"
+#include "serve/store.h"
 
 namespace serpens::serve {
 
@@ -55,6 +56,9 @@ struct LoopSnapshot {
     // operation's first, summed over the loop's clients. Server-side
     // shedding is in stats.shed.
     std::uint64_t retried = 0;
+    // Endpoint switches (PR 9): FailoverClient cursor moves summed over
+    // the loop's clients. 0 on single-endpoint runs.
+    std::uint64_t failovers = 0;
     ServerStats stats;
 };
 
@@ -98,14 +102,25 @@ bool validate_snapshot_json(std::string_view json, std::string* error);
 
 // The daemon's `stats` wire reply: live ServerStats + RegistryStats as
 // one JSON document (histogram quantiles come from the embedded
-// LatencyHistograms, so they are upper-edge conservative).
+// LatencyHistograms, so they are upper-edge conservative). `store` adds
+// the durable-state counters (PR 9); the keys are always present —
+// recovered/skipped_corrupt read 0 when the daemon runs stateless — so
+// clients need no schema branch.
 std::string server_stats_to_json(const ServerStats& server,
                                  const RegistryStats& registry,
                                  std::size_t residents,
-                                 std::uint64_t bytes_resident);
+                                 std::uint64_t bytes_resident,
+                                 const StoreStats* store = nullptr);
 
 // Schema check for a server_stats_to_json document.
 bool validate_server_stats_json(std::string_view json, std::string* error);
+
+// The recovery report serpens_served archives after a warm restart
+// (--recovery-json; ci.sh stores it as BENCH_recovery.json).
+std::string recovery_to_json(const StoreStats& store);
+
+// Schema check for a recovery_to_json document.
+bool validate_recovery_json(std::string_view json, std::string* error);
 
 // Locate `"key"` at or after `*cursor`, require a ':' separator, and parse
 // the number that follows. On success stores the value, advances *cursor

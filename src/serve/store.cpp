@@ -1,0 +1,382 @@
+#include "serve/store.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "encode/serialize.h"
+#include "util/crc32.h"
+#include "util/fs.h"
+
+namespace serpens::serve {
+
+namespace {
+
+constexpr std::uint8_t kAdmit = 1;
+constexpr std::uint8_t kEvict = 2;
+constexpr std::uint8_t kReplace = 3;
+constexpr std::uint8_t kCleanShutdown = 4;
+
+// A record's payload is a type byte, a name length, and a name; anything
+// claiming more than this is framing damage, not a real record.
+constexpr std::uint32_t kMaxRecordBytes = 1u << 20;
+
+constexpr std::size_t kHeaderBytes = 8;  // u32 payload_len | u32 crc
+
+void put_u32(std::string& out, std::uint32_t v)
+{
+    out.push_back(static_cast<char>(v & 0xff));
+    out.push_back(static_cast<char>((v >> 8) & 0xff));
+    out.push_back(static_cast<char>((v >> 16) & 0xff));
+    out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+std::uint32_t get_u32(const char* p)
+{
+    const auto* b = reinterpret_cast<const unsigned char*>(p);
+    return static_cast<std::uint32_t>(b[0]) |
+           (static_cast<std::uint32_t>(b[1]) << 8) |
+           (static_cast<std::uint32_t>(b[2]) << 16) |
+           (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+std::string encode_record(std::uint8_t type, const std::string& name)
+{
+    std::string payload;
+    payload.push_back(static_cast<char>(type));
+    put_u32(payload, static_cast<std::uint32_t>(name.size()));
+    payload += name;
+
+    std::string rec;
+    put_u32(rec, static_cast<std::uint32_t>(payload.size()));
+    put_u32(rec, util::crc32(payload.data(), payload.size()));
+    rec += payload;
+    return rec;
+}
+
+void make_dir(const std::string& path)
+{
+    if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST)
+        throw std::runtime_error("RegistryStore: cannot create " + path +
+                                 ": " + std::strerror(errno));
+}
+
+bool is_safe_char(char c)
+{
+    return (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+           (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+}
+
+} // namespace
+
+RegistryStore::RegistryStore(std::string state_dir,
+                             std::uint64_t compact_threshold_bytes)
+    : state_dir_(std::move(state_dir)),
+      compact_threshold_bytes_(compact_threshold_bytes)
+{
+    if (state_dir_.empty())
+        throw std::invalid_argument("RegistryStore: empty state dir");
+    make_dir(state_dir_);
+    make_dir(state_dir_ + "/images");
+    replay_manifest();
+}
+
+RegistryStore::~RegistryStore()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    close_log_fd_locked();
+}
+
+std::string RegistryStore::manifest_path() const
+{
+    return state_dir_ + "/manifest.log";
+}
+
+std::string RegistryStore::image_filename(const std::string& name)
+{
+    std::string out;
+    out.reserve(name.size() + 4);
+    for (const char c : name) {
+        if (is_safe_char(c) && c != '%') {
+            out.push_back(c);
+        } else {
+            static const char* hex = "0123456789ABCDEF";
+            out.push_back('%');
+            const auto b = static_cast<unsigned char>(c);
+            out.push_back(hex[b >> 4]);
+            out.push_back(hex[b & 0xf]);
+        }
+    }
+    return out + ".img";
+}
+
+std::string RegistryStore::image_path(const std::string& name) const
+{
+    return state_dir_ + "/images/" + image_filename(name);
+}
+
+void RegistryStore::live_insert_locked(const std::string& name)
+{
+    const auto it = live_pos_.find(name);
+    if (it != live_pos_.end())
+        live_.erase(it->second);
+    live_.push_back(name);
+    live_pos_[name] = std::prev(live_.end());
+}
+
+void RegistryStore::live_erase_locked(const std::string& name)
+{
+    const auto it = live_pos_.find(name);
+    if (it == live_pos_.end())
+        return;
+    live_.erase(it->second);
+    live_pos_.erase(it);
+}
+
+void RegistryStore::replay_manifest()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+
+    std::string raw;
+    {
+        std::ifstream in(manifest_path(), std::ios::binary);
+        if (in) {
+            std::ostringstream buf;
+            buf << in.rdbuf();
+            raw = buf.str();
+        }
+    }
+
+    // Scan the valid prefix. A bad length, bad CRC, short payload, or
+    // unparseable payload ends the scan — everything from there on is the
+    // torn tail a crash mid-append (or garbage) left behind.
+    std::size_t pos = 0;
+    bool clean = false;
+    while (raw.size() - pos >= kHeaderBytes) {
+        const std::uint32_t len = get_u32(raw.data() + pos);
+        const std::uint32_t crc = get_u32(raw.data() + pos + 4);
+        if (len < 5 || len > kMaxRecordBytes ||
+            raw.size() - pos - kHeaderBytes < len)
+            break;
+        const char* payload = raw.data() + pos + kHeaderBytes;
+        if (util::crc32(payload, len) != crc)
+            break;
+        const auto type = static_cast<std::uint8_t>(payload[0]);
+        const std::uint32_t name_len = get_u32(payload + 1);
+        if (name_len != len - 5)
+            break;
+        if (type != kAdmit && type != kEvict && type != kReplace &&
+            type != kCleanShutdown)
+            break;
+        const std::string name(payload + 5, name_len);
+
+        // The clean marker is only meaningful as the FINAL record; any
+        // record after it belongs to a newer session, so it resets.
+        clean = false;
+        switch (type) {
+        case kAdmit:
+        case kReplace:
+            live_insert_locked(name);
+            break;
+        case kEvict:
+            live_erase_locked(name);
+            break;
+        case kCleanShutdown:
+            clean = true;
+            break;
+        }
+        ++stats_.wal_records;
+        pos += kHeaderBytes + len;
+    }
+    stats_.clean_shutdown = clean;
+    stats_.wal_torn_bytes = raw.size() - pos;
+
+    if (stats_.wal_torn_bytes > 0) {
+        // Physically drop the torn tail so this session's appends extend
+        // the valid prefix instead of burying garbage mid-log.
+        if (::truncate(manifest_path().c_str(),
+                       static_cast<off_t>(pos)) != 0)
+            throw std::runtime_error(
+                "RegistryStore: cannot truncate torn manifest tail: " +
+                std::string(std::strerror(errno)));
+    }
+    log_bytes_ = pos;
+}
+
+void RegistryStore::ensure_log_fd_locked()
+{
+    if (log_fd_ >= 0)
+        return;
+    log_fd_ = ::open(manifest_path().c_str(),
+                     O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (log_fd_ < 0)
+        throw std::runtime_error("RegistryStore: cannot open manifest: " +
+                                 std::string(std::strerror(errno)));
+}
+
+void RegistryStore::close_log_fd_locked()
+{
+    if (log_fd_ >= 0) {
+        ::close(log_fd_);
+        log_fd_ = -1;
+    }
+}
+
+void RegistryStore::append_record(std::uint8_t type, const std::string& name)
+{
+    ensure_log_fd_locked();
+    const std::string rec = encode_record(type, name);
+    const char* data = rec.data();
+    std::size_t left = rec.size();
+    while (left > 0) {
+        const ssize_t n = ::write(log_fd_, data, left);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throw std::runtime_error(
+                "RegistryStore: manifest append failed: " +
+                std::string(std::strerror(errno)));
+        }
+        data += n;
+        left -= static_cast<std::size_t>(n);
+    }
+    if (::fdatasync(log_fd_) != 0 && errno != EINVAL && errno != ENOTSUP)
+        throw std::runtime_error("RegistryStore: manifest fdatasync: " +
+                                 std::string(std::strerror(errno)));
+    log_bytes_ += rec.size();
+    ++stats_.appends;
+}
+
+void RegistryStore::maybe_compact_locked()
+{
+    if (compact_threshold_bytes_ == 0 ||
+        log_bytes_ <= compact_threshold_bytes_)
+        return;
+
+    // Rewrite the log as one ADMIT per live resident, admission order
+    // preserved, published atomically so a crash mid-compaction leaves
+    // either the old log or the new one — never half of each.
+    std::string fresh;
+    for (const std::string& name : live_)
+        fresh += encode_record(kAdmit, name);
+    close_log_fd_locked();
+    util::atomic_write_file(manifest_path(), fresh);
+    log_bytes_ = fresh.size();
+    ++stats_.compactions;
+
+    // Unreferenced images (evicted or replaced residents) are now garbage.
+    std::unordered_map<std::string, bool> keep;
+    for (const std::string& name : live_)
+        keep[image_filename(name)] = true;
+    const std::string dir = state_dir_ + "/images";
+    if (DIR* d = ::opendir(dir.c_str())) {
+        while (const dirent* e = ::readdir(d)) {
+            const std::string fname = e->d_name;
+            if (fname == "." || fname == "..")
+                continue;
+            if (!keep.count(fname))
+                std::remove((dir + "/" + fname).c_str());
+        }
+        ::closedir(d);
+    }
+}
+
+void RegistryStore::record_admit(const std::string& name,
+                                 const encode::SerpensImage& image)
+{
+    // Publish the image BEFORE the record that references it: if we die
+    // between the two, the orphan image is harmless (compaction sweeps
+    // it); the reverse order could journal a resident with no bytes.
+    std::ostringstream img;
+    encode::save_image(img, image);
+    util::atomic_write_file(image_path(name), img.str());
+
+    std::lock_guard<std::mutex> lock(mu_);
+    const bool replace = live_pos_.count(name) > 0;
+    append_record(replace ? kReplace : kAdmit, name);
+    live_insert_locked(name);
+    maybe_compact_locked();
+}
+
+bool RegistryStore::record_evict(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!live_pos_.count(name))
+        return false;
+    append_record(kEvict, name);
+    live_erase_locked(name);
+    std::remove(image_path(name).c_str());
+    maybe_compact_locked();
+    return true;
+}
+
+void RegistryStore::record_clean_shutdown()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    append_record(kCleanShutdown, std::string());
+}
+
+std::uint64_t RegistryStore::recover(MatrixRegistry& registry)
+{
+    const auto start = std::chrono::steady_clock::now();
+
+    std::vector<std::string> names;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        names.assign(live_.begin(), live_.end());
+    }
+
+    std::uint64_t recovered = 0;
+    std::vector<std::string> corrupt;
+    for (const std::string& name : names) {
+        try {
+            registry.admit_image(name,
+                                 encode::load_image_file(image_path(name)));
+            ++recovered;
+        } catch (const std::exception&) {
+            // Bad section CRC, missing file, or a registry that cannot
+            // hold it (budget, architecture mismatch): the resident is
+            // lost, the rest of the fleet is not.
+            corrupt.push_back(name);
+        }
+    }
+
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const std::string& name : corrupt) {
+        if (live_pos_.count(name)) {
+            append_record(kEvict, name);
+            live_erase_locked(name);
+        }
+        std::remove(image_path(name).c_str());
+        ++stats_.skipped_corrupt;
+    }
+    stats_.recovered += recovered;
+    stats_.recovery_ms +=
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    return recovered;
+}
+
+std::vector<std::string> RegistryStore::live_names() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return {live_.begin(), live_.end()};
+}
+
+StoreStats RegistryStore::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+} // namespace serpens::serve

@@ -1,0 +1,134 @@
+// Durable registry state: the serving layer's crash-recovery unit.
+//
+// A RegistryStore owns a --state-dir with this layout:
+//
+//   <state-dir>/images/<name>.img   one v2 CRC-checksummed SerpensImage
+//                                   per resident (encode::save_image),
+//                                   published atomically (temp + fsync +
+//                                   rename + parent-dir fsync)
+//   <state-dir>/manifest.log        append-only write-ahead log of the
+//                                   registry's admission history
+//
+// Every WAL record is CRC32-framed:
+//
+//   u32 payload_len | u32 crc32(payload) | payload
+//   payload = u8 type | u32 name_len | name bytes
+//   type: 1 = ADMIT, 2 = EVICT, 3 = REPLACE (same-name re-admission),
+//         4 = CLEAN_SHUTDOWN (empty name; the previous session exited
+//             through its shutdown path rather than dying)
+//
+// Appends are fdatasync'd, and an image file is always published BEFORE
+// the ADMIT/REPLACE record that references it, so the log never points at
+// a file that might not exist. Opening the store replays the manifest:
+// the scan stops at the first record whose CRC (or framing) fails and
+// physically truncates that torn tail — a SIGKILL or power loss mid-append
+// costs at most the record being written, never the prefix. recover()
+// then re-admits each surviving resident through MatrixRegistry::
+// admit_image — paying decode but never encode, so a warm restart serves
+// bit-identical results — skipping (and counting, `skipped_corrupt`)
+// residents whose image file fails its section CRCs.
+//
+// When the log outgrows `compact_threshold_bytes` it is rewritten as one
+// ADMIT per live resident (atomic_write_file) and unreferenced image
+// files are removed; the admission ORDER is preserved because replay
+// re-applies the registry's own budget/LRU policy to it.
+//
+// Thread-safe: the daemon journals from many connection threads.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "encode/image.h"
+#include "serve/registry.h"
+
+namespace serpens::serve {
+
+struct StoreStats {
+    // Replay (filled by the constructor / recover()).
+    std::uint64_t wal_records = 0;      // valid records replayed at open
+    std::uint64_t wal_torn_bytes = 0;   // torn tail truncated at open
+    std::uint64_t recovered = 0;        // residents re-admitted by recover()
+    std::uint64_t skipped_corrupt = 0;  // residents whose image failed to
+                                        // load (bad CRC, missing, or
+                                        // rejected by the registry)
+    double recovery_ms = 0.0;           // wall time recover() spent
+    bool clean_shutdown = false;        // previous session left the marker
+    // Journaling (this session).
+    std::uint64_t appends = 0;          // records appended
+    std::uint64_t compactions = 0;      // log rewrites
+};
+
+class RegistryStore {
+public:
+    // Opens (creating if needed) `state_dir` and replays manifest.log.
+    // A corrupt or torn manifest NEVER throws — the valid prefix wins and
+    // the damage is counted in stats(). Throws std::runtime_error only
+    // for real I/O failures (state dir not creatable/readable).
+    explicit RegistryStore(std::string state_dir,
+                           std::uint64_t compact_threshold_bytes = 1u << 20);
+    ~RegistryStore();
+
+    RegistryStore(const RegistryStore&) = delete;
+    RegistryStore& operator=(const RegistryStore&) = delete;
+
+    // Re-admit every manifest-live resident whose image file loads and
+    // passes its section CRCs, through registry.admit_image (decode only,
+    // no encode). Failures are skipped and counted; nothing throws for a
+    // corrupt image. Returns the number recovered.
+    std::uint64_t recover(MatrixRegistry& registry);
+
+    // Journal one wire admission: publish the image durably, then append
+    // ADMIT (or REPLACE when `name` is already live). Call AFTER the
+    // registry accepted the admission.
+    void record_admit(const std::string& name,
+                      const encode::SerpensImage& image);
+
+    // Journal one eviction; removes the image file best-effort. True when
+    // `name` was live in the manifest.
+    bool record_evict(const std::string& name);
+
+    // Append the clean-shutdown marker (the last record of a session that
+    // exits through its shutdown path).
+    void record_clean_shutdown();
+
+    // Manifest-live residents, admission order (oldest first).
+    std::vector<std::string> live_names() const;
+
+    StoreStats stats() const;
+    const std::string& state_dir() const { return state_dir_; }
+    std::string manifest_path() const;
+    std::string image_path(const std::string& name) const;
+
+    // `name` mapped to a filesystem-safe file name: [A-Za-z0-9._-] pass
+    // through, everything else percent-encodes — injective, so distinct
+    // names never collide on disk.
+    static std::string image_filename(const std::string& name);
+
+private:
+    void replay_manifest();
+    void append_record(std::uint8_t type, const std::string& name);
+    void maybe_compact_locked();
+    void ensure_log_fd_locked();
+    void close_log_fd_locked();
+    void live_insert_locked(const std::string& name);
+    void live_erase_locked(const std::string& name);
+
+    std::string state_dir_;
+    std::uint64_t compact_threshold_bytes_ = 0;
+
+    mutable std::mutex mu_;
+    int log_fd_ = -1;
+    std::uint64_t log_bytes_ = 0;  // current manifest.log size
+    // Live set in admission order (replay re-applies LRU policy to it).
+    std::list<std::string> live_;
+    std::unordered_map<std::string, std::list<std::string>::iterator>
+        live_pos_;
+    StoreStats stats_;
+};
+
+} // namespace serpens::serve

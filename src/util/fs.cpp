@@ -1,12 +1,44 @@
 #include "util/fs.h"
 
+#include <fcntl.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
-#include <fstream>
+#include <cstring>
 #include <stdexcept>
 
 namespace serpens::util {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what)
+{
+    throw std::runtime_error("atomic_write_file: " + what + ": " +
+                             std::strerror(errno));
+}
+
+} // namespace
+
+void fsync_parent_dir(const std::string& path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    const std::string dir = slash == std::string::npos
+                                ? "."
+                                : (slash == 0 ? "/" : path.substr(0, slash));
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0)
+        throw std::runtime_error("fsync_parent_dir: cannot open " + dir +
+                                 ": " + std::strerror(errno));
+    const int rc = ::fsync(fd);
+    const int saved = errno;
+    ::close(fd);
+    // Some filesystems refuse fsync on a directory fd; the rename is then
+    // as durable as that filesystem can make it.
+    if (rc != 0 && saved != EINVAL && saved != ENOTSUP)
+        throw std::runtime_error("fsync_parent_dir: fsync " + dir + ": " +
+                                 std::strerror(saved));
+}
 
 void atomic_write_file(const std::string& path, std::string_view contents)
 {
@@ -15,25 +47,44 @@ void atomic_write_file(const std::string& path, std::string_view contents)
     // wins and both leave a complete document behind.
     const std::string tmp =
         path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
-    {
-        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-        if (!out)
-            throw std::runtime_error("atomic_write_file: cannot create " +
-                                     tmp);
-        out.write(contents.data(),
-                  static_cast<std::streamsize>(contents.size()));
-        out.flush();
-        if (!out) {
+    const int fd =
+        ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        throw_errno("cannot create " + tmp);
+
+    const char* data = contents.data();
+    std::size_t left = contents.size();
+    while (left > 0) {
+        const ssize_t n = ::write(fd, data, left);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            ::close(fd);
             std::remove(tmp.c_str());
-            throw std::runtime_error("atomic_write_file: write failed: " +
-                                     tmp);
+            throw_errno("write failed: " + tmp);
         }
+        data += n;
+        left -= static_cast<std::size_t>(n);
+    }
+    // Flush the DATA before the rename publishes the name: a crash after
+    // rename must never reveal a complete-looking file of stale blocks.
+    if (::fsync(fd) != 0) {
+        ::close(fd);
+        std::remove(tmp.c_str());
+        throw_errno("fsync failed: " + tmp);
+    }
+    if (::close(fd) != 0) {
+        std::remove(tmp.c_str());
+        throw_errno("close failed: " + tmp);
     }
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
         std::remove(tmp.c_str());
         throw std::runtime_error("atomic_write_file: rename to " + path +
                                  " failed");
     }
+    // Commit the rename itself (see fs.h: the step that makes the
+    // publication survive power loss, not just process death).
+    fsync_parent_dir(path);
 }
 
 } // namespace serpens::util

@@ -1,11 +1,21 @@
-// Small filesystem helpers for the tools.
+// Small filesystem helpers for the tools and the serving durability layer.
 //
-// atomic_write_file publishes a file's full contents in one step: the
-// bytes land in a hidden sibling temp file which is then rename(2)d over
-// the destination. POSIX rename within a directory is atomic, so a
-// concurrent reader sees either the previous file (or none) or the
-// complete new contents — never a partial write. serpens_served uses this
-// for --port-file, where CI polls the file while the daemon starts.
+// atomic_write_file publishes a file's full contents in one step AND makes
+// the publication crash-durable:
+//
+//   1. the bytes land in a hidden sibling temp file,
+//   2. the temp file is fsync(2)ed — its contents reach stable storage,
+//   3. rename(2) moves it over the destination (atomic within a
+//      directory, so a concurrent reader sees either the previous file,
+//      none, or the complete new contents — never a partial write),
+//   4. the PARENT DIRECTORY is fsynced, committing the rename itself.
+//
+// Step 4 is the one naive implementations skip: without it a power loss
+// after rename can roll the directory entry back to the old file (or to
+// nothing) even though the data blocks were flushed. With it, once
+// atomic_write_file returns, the new contents survive power loss. The
+// serving registry's manifest/image publications and serpens_served's
+// --port-file both lean on this guarantee.
 #pragma once
 
 #include <string>
@@ -13,10 +23,16 @@
 
 namespace serpens::util {
 
-// Write `contents` to `path` atomically (temp + rename). Throws
-// std::runtime_error when the temp file cannot be created, written, or
-// renamed; on failure the destination is untouched and the temp file is
-// removed best-effort.
+// Write `contents` to `path` atomically and durably (temp + fsync +
+// rename + parent-dir fsync). Throws std::runtime_error when the temp
+// file cannot be created, written, fsynced, or renamed; on failure the
+// destination is untouched and the temp file is removed best-effort.
 void atomic_write_file(const std::string& path, std::string_view contents);
+
+// fsync the directory containing `path`, committing directory-entry
+// mutations (rename, unlink, creat) made under it. Filesystems that do
+// not support directory fsync (EINVAL/ENOTSUP) are tolerated silently;
+// any other failure throws std::runtime_error.
+void fsync_parent_dir(const std::string& path);
 
 } // namespace serpens::util

@@ -15,22 +15,41 @@
 //     zero open connections once the clients are gone.
 //   - The same seed replays the same fault pattern (single-threaded
 //     probe order is deterministic by construction).
+//
+// The crash-recovery acceptance gate (PR 9) forks the REAL serpens_served
+// binary: a daemon SIGKILLed mid-stream (torn WAL tail and all) warm-
+// restarts from its --state-dir and serves bit-identically without
+// re-encoding, while a FailoverClient rides the outage to a replica and
+// back — with the endpoint-per-request sequence a deterministic function
+// of the (seeded) policy.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/accelerator.h"
 #include "net/daemon.h"
+#include "net/failover.h"
 #include "net/retry.h"
 #include "serve/server.h"
+#include "serve/snapshot.h"
 #include "sparse/generators.h"
 #include "util/bitpack.h"
 #include "util/fault.h"
 #include "util/rng.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 namespace serpens {
 namespace {
@@ -286,6 +305,239 @@ TEST(Chaos, SameSeedReplaysTheSameFaultSequence)
     EXPECT_EQ(first.retries, second.retries);
     EXPECT_EQ(first.reconnects, second.reconnects);
 }
+
+// --- Crash recovery against the real daemon binary (PR 9) ---
+
+#ifdef SERPENS_SERVED_BIN
+
+// A state directory under the test's CWD (the build tree), removed
+// recursively on scope exit.
+struct TempDir {
+    std::string path;
+
+    explicit TempDir(const std::string& tag)
+        : path(tag + "." + std::to_string(static_cast<long>(::getpid())))
+    {
+        remove_tree(path);
+    }
+    ~TempDir() { remove_tree(path); }
+
+    static void remove_tree(const std::string& dir)
+    {
+        if (DIR* d = ::opendir(dir.c_str())) {
+            while (const dirent* e = ::readdir(d)) {
+                const std::string name = e->d_name;
+                if (name == "." || name == "..")
+                    continue;
+                const std::string child = dir + "/" + name;
+                remove_tree(child);  // no-op for regular files
+                std::remove(child.c_str());
+            }
+            ::closedir(d);
+            ::rmdir(dir.c_str());
+        }
+    }
+};
+
+std::string slurp(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+struct DaemonProc {
+    pid_t pid = -1;
+    std::uint16_t port = 0;
+};
+
+// fork+exec the real daemon, then poll its --port-file (written atomically
+// by the daemon) until the bound port appears. The child's stdio goes to
+// /dev/null so the test log stays readable.
+DaemonProc spawn_served(std::vector<std::string> args,
+                        const std::string& port_file)
+{
+    ::unlink(port_file.c_str());
+    args.insert(args.begin(), {std::string(SERPENS_SERVED_BIN),
+                               "--port-file", port_file});
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+        const int null_fd = ::open("/dev/null", O_WRONLY);
+        if (null_fd >= 0) {
+            ::dup2(null_fd, STDOUT_FILENO);
+            ::dup2(null_fd, STDERR_FILENO);
+            ::close(null_fd);
+        }
+        std::vector<char*> argv;
+        argv.reserve(args.size() + 1);
+        for (std::string& a : args)
+            argv.push_back(a.data());
+        argv.push_back(nullptr);
+        ::execv(argv[0], argv.data());
+        ::_exit(127);
+    }
+    DaemonProc proc;
+    proc.pid = pid;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    while (std::chrono::steady_clock::now() < deadline) {
+        const std::string text = slurp(port_file);
+        if (!text.empty()) {
+            proc.port = static_cast<std::uint16_t>(std::stoul(text));
+            return proc;
+        }
+        int status = 0;
+        if (::waitpid(pid, &status, WNOHANG) == pid) {
+            ADD_FAILURE() << "daemon died before binding (status "
+                          << status << ")";
+            proc.pid = -1;
+            return proc;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    ADD_FAILURE() << "daemon never wrote " << port_file;
+    return proc;
+}
+
+void sigkill_and_reap(DaemonProc& proc)
+{
+    ASSERT_GT(proc.pid, 0);
+    ASSERT_EQ(::kill(proc.pid, SIGKILL), 0);
+    int status = 0;
+    ASSERT_EQ(::waitpid(proc.pid, &status, 0), proc.pid);
+    ASSERT_TRUE(WIFSIGNALED(status));
+    proc.pid = -1;
+}
+
+TEST(Chaos, SigkilledDaemonWarmRestartsAndClientsFailOverDeterministically)
+{
+    const core::SerpensConfig cfg = core::SerpensConfig::a16();
+    const Workload work(cfg);
+    TempDir td("chaos_crash");
+    ASSERT_EQ(::mkdir(td.path.c_str(), 0777), 0);
+    const std::string state_dir = td.path + "/state";
+    const std::string recovery_json = td.path + "/recovery.json";
+
+    // Primary A journals to state_dir; replica B is stateless. Both hold
+    // the workload (each admission is journaled only by A).
+    DaemonProc a = spawn_served({"--state-dir", state_dir},
+                                td.path + "/port_a");
+    DaemonProc b = spawn_served({}, td.path + "/port_b");
+    ASSERT_GT(a.pid, 0);
+    ASSERT_GT(b.pid, 0);
+    for (const std::uint16_t port : {a.port, b.port}) {
+        net::Client direct("127.0.0.1", port, kClientTimeoutMs);
+        for (unsigned m = 0; m < kMatrices; ++m)
+            direct.admit(work.names[m], work.matrices[m]);
+    }
+
+    // threshold 1: the first dead-endpoint operation opens the breaker, so
+    // the post-restart phase exercises the half-open probe path.
+    net::FailoverPolicy policy;
+    policy.retry = chaos_policy(0);
+    policy.retry.max_attempts = 2;
+    policy.failure_threshold = 1;
+    policy.cooldown_ms = 25.0;
+    policy.max_cooldown_ms = 200.0;
+    policy.seed = 11;
+    net::FailoverClient fc({{"127.0.0.1", a.port}, {"127.0.0.1", b.port}},
+                           kClientTimeoutMs, policy);
+
+    constexpr unsigned kPhaseRequests = 6;
+    std::vector<std::uint16_t> served_by;
+    std::uint64_t mismatches = 0;
+    const auto run_phase = [&] {
+        for (unsigned i = 0; i < kPhaseRequests; ++i) {
+            const unsigned m = i % kMatrices;
+            const unsigned vi = i % kVectorPairs;
+            const Vectors& v = work.vectors[m][vi];
+            const net::SpmvReply reply =
+                fc.spmv(work.names[m], v.x, v.y, kAlpha, kBeta);
+            const auto& expect = work.reference[m][vi];
+            bool equal = reply.y.size() == expect.size();
+            for (std::size_t r = 0; equal && r < expect.size(); ++r)
+                equal = float_bits(reply.y[r]) == float_bits(expect[r]);
+            if (!equal)
+                ++mismatches;
+            served_by.push_back(fc.current_endpoint().port);
+        }
+    };
+
+    // Phase 1: healthy primary.
+    run_phase();
+    EXPECT_EQ(fc.stats().failovers, 0u);
+
+    // SIGKILL the primary mid-stream and tear its WAL tail the way a real
+    // crash would: garbage after the last complete record.
+    sigkill_and_reap(a);
+    {
+        std::ofstream torn(state_dir + "/manifest.log",
+                           std::ios::binary | std::ios::app);
+        torn << "TORN_TAIL_FROM_A_CRASH";
+    }
+
+    // Phase 2: clients ride the outage to the replica.
+    run_phase();
+    EXPECT_GE(fc.stats().failovers, 1u);
+    EXPECT_GE(fc.stats().breaker_opens, 1u);
+
+    // Warm restart A on the same port and state dir (SO_REUSEADDR makes
+    // the re-bind race-free), then kill the replica too: the only way
+    // phase 3 can pass is recovery actually serving A's journaled state.
+    DaemonProc a2 = spawn_served({"--state-dir", state_dir, "--port",
+                                  std::to_string(a.port), "--recovery-json",
+                                  recovery_json},
+                                 td.path + "/port_a2");
+    ASSERT_GT(a2.pid, 0);
+    ASSERT_EQ(a2.port, a.port);
+    sigkill_and_reap(b);
+
+    // Phase 3: fail over back through A's half-open probe.
+    run_phase();
+    EXPECT_EQ(mismatches, 0u);
+    EXPECT_GE(fc.stats().failovers, 2u);
+    EXPECT_GE(fc.stats().probes, 1u);
+    EXPECT_EQ(fc.stats().giveups, 0u);
+
+    // The failover sequence is deterministic under the fixed seed: every
+    // phase-1 request on A, every phase-2 request on B, every phase-3
+    // request on the restarted A.
+    std::vector<std::uint16_t> expected;
+    for (const std::uint16_t port : {a.port, b.port, a.port})
+        expected.insert(expected.end(), kPhaseRequests, port);
+    EXPECT_EQ(served_by, expected);
+
+    // The restart was a warm one: both residents replayed from the WAL,
+    // zero encode stages paid, and the torn tail was truncated + counted.
+    const std::string stats = fc.stats_json();
+    std::size_t cursor = 0;
+    double encodes = -1.0, recovered = -1.0;
+    EXPECT_TRUE(
+        serve::find_number_after_key(stats, "encodes", &cursor, &encodes));
+    EXPECT_TRUE(serve::find_number_after_key(stats, "recovered", &cursor,
+                                             &recovered));
+    EXPECT_DOUBLE_EQ(encodes, 0.0);
+    EXPECT_DOUBLE_EQ(recovered, static_cast<double>(kMatrices));
+
+    const std::string report = slurp(recovery_json);
+    std::string error;
+    EXPECT_TRUE(serve::validate_recovery_json(report, &error)) << error;
+    cursor = 0;
+    double torn_bytes = -1.0;
+    EXPECT_TRUE(serve::find_number_after_key(report, "wal_torn_bytes",
+                                             &cursor, &torn_bytes));
+    EXPECT_GT(torn_bytes, 0.0);
+
+    // Clean shutdown over the wire; the daemon must exit 0.
+    fc.shutdown_daemon();
+    int status = 0;
+    ASSERT_EQ(::waitpid(a2.pid, &status, 0), a2.pid);
+    EXPECT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+#endif  // SERPENS_SERVED_BIN
 
 } // namespace
 } // namespace serpens

@@ -1,0 +1,245 @@
+// net::FailoverClient lockdown: endpoint failover, the per-endpoint
+// circuit breaker's open/half-open/close lifecycle, and seed-for-seed
+// determinism of the whole failover sequence.
+//
+// Dead endpoints are real dead ports (bound, then closed, so nothing
+// listens there), and daemon death is a real net::Daemon being stopped —
+// no mocks, the breaker sees the same ECONNREFUSED a production client
+// would.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/daemon.h"
+#include "net/failover.h"
+#include "net/framing.h"
+#include "serve/server.h"
+#include "sparse/generators.h"
+
+namespace serpens {
+namespace {
+
+constexpr int kTimeoutMs = 10'000;
+
+// A port with nothing listening: bind ephemeral, read the number, close.
+// Connects to it fail fast with ECONNREFUSED.
+std::uint16_t dead_port()
+{
+    std::uint16_t port = 0;
+    net::Socket listener = net::listen_tcp(0, &port);
+    return port;  // listener closes on return: nothing listens here now
+}
+
+// Fast, deterministic policy: no jitter, short cooldowns, so tests pin
+// exact counter values without racing timers.
+net::FailoverPolicy fast_policy()
+{
+    net::FailoverPolicy p;
+    p.retry.max_attempts = 2;
+    p.retry.initial_backoff_ms = 0.2;
+    p.retry.jitter = 0.0;
+    p.failure_threshold = 2;
+    p.cooldown_ms = 20.0;
+    p.max_cooldown_ms = 200.0;
+    p.jitter = 0.0;
+    return p;
+}
+
+struct Fixture {
+    core::SerpensConfig cfg = core::SerpensConfig::a16();
+    serve::Server server;
+    std::unique_ptr<net::Daemon> daemon;
+
+    Fixture() : server(cfg)
+    {
+        server.registry().admit("m", sparse::make_banded(200, 4, 51));
+        daemon = std::make_unique<net::Daemon>(server, /*port=*/0);
+    }
+    ~Fixture() { stop(); }
+
+    std::uint16_t port() const { return daemon->port(); }
+    void stop()
+    {
+        if (daemon) {
+            daemon->stop();
+            daemon.reset();
+        }
+    }
+    // A fresh daemon over the SAME server (residents survive), on a new
+    // ephemeral port unless one is given.
+    void restart(std::uint16_t fixed_port = 0)
+    {
+        stop();
+        daemon = std::make_unique<net::Daemon>(server, fixed_port);
+    }
+};
+
+std::vector<float> ones(std::size_t n)
+{
+    return std::vector<float>(n, 1.0f);
+}
+
+TEST(NetFailover, ParsesEndpointLists)
+{
+    const auto one = net::parse_endpoints("127.0.0.1:7070");
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_EQ(one[0].host, "127.0.0.1");
+    EXPECT_EQ(one[0].port, 7070);
+
+    const auto two = net::parse_endpoints("a:1,b:65535");
+    ASSERT_EQ(two.size(), 2u);
+    EXPECT_EQ(two[1].host, "b");
+    EXPECT_EQ(two[1].port, 65535);
+
+    EXPECT_THROW(net::parse_endpoints(""), std::invalid_argument);
+    EXPECT_THROW(net::parse_endpoints("host"), std::invalid_argument);
+    EXPECT_THROW(net::parse_endpoints("host:"), std::invalid_argument);
+    EXPECT_THROW(net::parse_endpoints(":7070"), std::invalid_argument);
+    EXPECT_THROW(net::parse_endpoints("a:1,,b:2"), std::invalid_argument);
+    EXPECT_THROW(net::parse_endpoints("a:0"), std::invalid_argument);
+    EXPECT_THROW(net::parse_endpoints("a:99999"), std::invalid_argument);
+    EXPECT_THROW(net::parse_endpoints("a:7x"), std::invalid_argument);
+}
+
+TEST(NetFailover, PolicyIsValidatedUpFront)
+{
+    const std::vector<net::Endpoint> eps{{"127.0.0.1", 1}};
+    EXPECT_THROW(net::FailoverClient({}, kTimeoutMs),
+                 std::invalid_argument);
+    net::FailoverPolicy zero = fast_policy();
+    zero.failure_threshold = 0;
+    EXPECT_THROW(net::FailoverClient(eps, kTimeoutMs, zero),
+                 std::invalid_argument);
+    net::FailoverPolicy wild = fast_policy();
+    wild.jitter = 2.0;
+    EXPECT_THROW(net::FailoverClient(eps, kTimeoutMs, wild),
+                 std::invalid_argument);
+}
+
+TEST(NetFailover, FailsOverToTheSecondEndpointWhenTheFirstIsDead)
+{
+    Fixture fx;
+    const std::vector<net::Endpoint> eps{
+        {"127.0.0.1", dead_port()},  // primary: nothing listening
+        {"127.0.0.1", fx.port()},
+    };
+    net::FailoverClient client(eps, kTimeoutMs, fast_policy());
+
+    const net::SpmvReply r =
+        client.spmv("m", ones(200), ones(200), 1.0f, 0.0f);
+    EXPECT_EQ(r.y.size(), 200u);
+    EXPECT_EQ(client.stats().failovers, 1u);
+    EXPECT_EQ(client.current_endpoint().port, fx.port());
+    EXPECT_EQ(client.stats().giveups, 0u);
+
+    // The cursor is sticky: the next op goes straight to the healthy
+    // endpoint, no re-probe of the dead primary.
+    EXPECT_NO_THROW(client.ping());
+    EXPECT_EQ(client.stats().failovers, 1u);
+}
+
+TEST(NetFailover, BreakerOpensAfterThresholdAndProbesHalfOpen)
+{
+    Fixture fx;
+    const std::uint16_t port = fx.port();
+    const std::vector<net::Endpoint> eps{{"127.0.0.1", port}};
+    net::FailoverPolicy policy = fast_policy();
+    policy.max_rounds = 2;
+    net::FailoverClient client(eps, kTimeoutMs, policy);
+
+    EXPECT_NO_THROW(client.ping());
+    fx.stop();
+
+    // One op = two failed rounds = failure_threshold: the breaker opens.
+    EXPECT_THROW(client.ping(), net::NetError);
+    EXPECT_EQ(client.stats().breaker_opens, 1u);
+    // The next op finds the breaker open, waits out the cooldown, probes
+    // half-open against the still-dead endpoint, and the failed probe
+    // re-opens with an escalated cooldown — real traffic never went out.
+    EXPECT_THROW(client.ping(), net::NetError);
+    EXPECT_GE(client.stats().probes, 1u);
+    EXPECT_GE(client.stats().probe_failures, 1u);
+    const std::uint64_t opens_before = client.stats().breaker_opens;
+
+    // Daemon comes back on the SAME port (SO_REUSEADDR): the next op must
+    // wait out the cooldown, send a successful half-open probe, close the
+    // breaker, and complete.
+    fx.restart(port);
+    const net::SpmvReply r =
+        client.spmv("m", ones(200), ones(200), 1.0f, 0.0f);
+    EXPECT_EQ(r.y.size(), 200u);
+    EXPECT_GE(client.stats().probes, 1u);
+    EXPECT_EQ(client.stats().breaker_opens, opens_before);
+    EXPECT_EQ(client.stats().giveups, 2u);  // only the two dead-daemon ops
+
+    // Closed again: ops flow without further probes.
+    const std::uint64_t probes_after = client.stats().probes;
+    EXPECT_NO_THROW(client.ping());
+    EXPECT_EQ(client.stats().probes, probes_after);
+}
+
+TEST(NetFailover, AllEndpointsDeadGivesUpWithTheLastError)
+{
+    net::FailoverPolicy policy = fast_policy();
+    policy.max_rounds = 3;
+    const std::vector<net::Endpoint> eps{{"127.0.0.1", dead_port()},
+                                         {"127.0.0.1", dead_port()}};
+    net::FailoverClient client(eps, kTimeoutMs, policy);
+    EXPECT_THROW(client.ping(), net::NetError);
+    EXPECT_EQ(client.stats().giveups, 1u);
+    EXPECT_GE(client.stats().breaker_opens, 2u);  // both endpoints opened
+}
+
+TEST(NetFailover, SameSeedReplaysTheSameFailoverSequence)
+{
+    // Two identical runs against the same dead endpoints must produce
+    // byte-identical counters: every sleep and every cursor move comes
+    // from seeded streams, so the chaos schedule is replayable.
+    const std::uint16_t dead1 = dead_port();
+    const std::uint16_t dead2 = dead_port();
+    const auto run_once = [&](std::uint64_t seed) {
+        net::FailoverPolicy policy = fast_policy();
+        policy.jitter = 0.5;  // jitter ON — determinism must not rely on 0
+        policy.retry.jitter = 0.5;
+        policy.seed = seed;
+        policy.retry.seed = seed * 31337;
+        policy.max_rounds = 3;
+        net::FailoverClient client(
+            {{"127.0.0.1", dead1}, {"127.0.0.1", dead2}}, kTimeoutMs,
+            policy);
+        EXPECT_THROW(client.ping(), net::NetError);
+        return std::tuple(client.stats().failovers,
+                          client.stats().breaker_opens,
+                          client.stats().probes,
+                          client.stats().probe_failures,
+                          client.total_retries());
+    };
+    EXPECT_EQ(run_once(9), run_once(9));
+}
+
+TEST(NetFailover, RemoteErrorPassesThroughWithoutFailover)
+{
+    Fixture fx;
+    const std::vector<net::Endpoint> eps{
+        {"127.0.0.1", fx.port()},
+        {"127.0.0.1", dead_port()},
+    };
+    net::FailoverClient client(eps, kTimeoutMs, fast_policy());
+    // The daemon answered (unknown matrix): failing over would just get
+    // the same rejection later, so the error surfaces immediately and the
+    // breaker stays closed.
+    EXPECT_THROW(
+        (void)client.spmv("ghost", ones(200), ones(200), 1.0f, 0.0f),
+        net::RemoteError);
+    EXPECT_EQ(client.stats().failovers, 0u);
+    EXPECT_EQ(client.stats().breaker_opens, 0u);
+
+    EXPECT_NO_THROW(client.admit("m2", sparse::make_banded(100, 3, 52)));
+    EXPECT_TRUE(client.evict("m2"));
+    EXPECT_FALSE(client.evict("m2"));
+}
+
+} // namespace
+} // namespace serpens

@@ -175,6 +175,65 @@ TEST(NetRetry, NonSpmvOperationsRideTheSameRetryLoop)
     EXPECT_FALSE(client.evict("m2"));
 }
 
+TEST(NetRetry, CapsTheBackoffSleepAtTheRemainingDeadlineBudget)
+{
+    ScopedInjector chaos(6);
+    Fixture fx;
+    chaos.f.arm("serve.queue_full", 1.0);  // overloaded forever
+
+    // The first backoff (1 s) dwarfs the 80 ms budget. The old loop slept
+    // the full second and then sent a retry that could only arrive doomed;
+    // the fix caps the sleep at the remaining budget and gives up.
+    net::RetryPolicy policy = Fixture::fast_policy();
+    policy.initial_backoff_ms = 1000.0;
+    policy.max_backoff_ms = 1000.0;
+    net::RetryingClient client = fx.client(policy);
+
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_THROW((void)client.spmv("m", ones(300), ones(300), 1.0f, 0.0f,
+                                   /*deadline_ms=*/80.0),
+                 net::DeadlineExceededError);
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    EXPECT_LT(elapsed_ms, 600.0);  // nowhere near the 1 s backoff
+    // The doomed retry was never sent: one attempt, zero retries, and the
+    // giveup is counted.
+    EXPECT_EQ(client.stats().attempts, 1u);
+    EXPECT_EQ(client.stats().retries, 0u);
+    EXPECT_EQ(client.stats().giveups, 1u);
+}
+
+TEST(NetRetry, GivesUpInsteadOfRetryingPastTheDeadline)
+{
+    ScopedInjector chaos(7);
+    Fixture fx;
+    chaos.f.arm("serve.queue_full", 1.0);  // overloaded forever
+
+    // 100 attempts x 50 ms flat backoff would burn ~5 s; a 250 ms budget
+    // must bound the whole loop, not just each server-side queue wait.
+    net::RetryPolicy policy = Fixture::fast_policy();
+    policy.max_attempts = 100;
+    policy.initial_backoff_ms = 50.0;
+    policy.backoff_multiplier = 1.0;
+    policy.max_backoff_ms = 50.0;
+    net::RetryingClient client = fx.client(policy);
+
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_THROW((void)client.spmv("m", ones(300), ones(300), 1.0f, 0.0f,
+                                   /*deadline_ms=*/250.0),
+                 net::DeadlineExceededError);
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    EXPECT_LT(elapsed_ms, 3000.0);
+    EXPECT_LE(client.stats().attempts, 8u);
+    EXPECT_EQ(client.stats().retries, client.stats().attempts - 1);
+    EXPECT_EQ(client.stats().giveups, 1u);
+}
+
 TEST(NetRetry, PolicyIsValidatedUpFront)
 {
     net::RetryPolicy zero;

@@ -388,5 +388,136 @@ TEST(ServeStats, ServerStatsJsonRoundTripsItsValidator)
     EXPECT_FALSE(serve::validate_server_stats_json(doc, &error));
 }
 
+// --- Durability counters (PR 9) ---
+
+TEST(ServeStats, LoopSnapshotCarriesFailoversAndValidatorRequiresIt)
+{
+    serve::ServeSnapshot snap = plausible_snapshot(/*with_comparison=*/true);
+    snap.primary.failovers = 4;
+    const std::string json = serve::to_json(snap);
+    std::string error;
+    ASSERT_TRUE(serve::validate_snapshot_json(json, &error)) << error;
+
+    std::size_t cursor = 0;
+    double failovers = -1.0;
+    EXPECT_TRUE(serve::find_number_after_key(json, "failovers", &cursor,
+                                             &failovers));
+    EXPECT_DOUBLE_EQ(failovers, 4.0);
+
+    // The key is required even when (as on single-endpoint runs) it is 0.
+    std::string doc = json;
+    const std::size_t at = doc.find("\"failovers\"");
+    ASSERT_NE(at, std::string::npos);
+    doc.replace(at, 11, "\"renamed_ct\"");
+    EXPECT_FALSE(serve::validate_snapshot_json(doc, &error));
+    EXPECT_NE(error.find("failovers"), std::string::npos) << error;
+}
+
+TEST(ServeStats, ServerStatsJsonCarriesTheDurabilityCounters)
+{
+    serve::ServerStats server;
+    server.requests = 3;
+    serve::RegistryStats registry;
+    registry.admissions = 2;
+    serve::StoreStats store;
+    store.recovered = 2;
+    store.skipped_corrupt = 1;
+
+    const std::string with_store = serve::server_stats_to_json(
+        server, registry, 2, 4096, &store);
+    std::string error;
+    ASSERT_TRUE(serve::validate_server_stats_json(with_store, &error))
+        << error;
+    std::size_t cursor = 0;
+    double recovered = -1.0, skipped = -1.0;
+    EXPECT_TRUE(serve::find_number_after_key(with_store, "recovered",
+                                             &cursor, &recovered));
+    EXPECT_DOUBLE_EQ(recovered, 2.0);
+    EXPECT_TRUE(serve::find_number_after_key(with_store, "skipped_corrupt",
+                                             &cursor, &skipped));
+    EXPECT_DOUBLE_EQ(skipped, 1.0);
+
+    // A stateless daemon still writes the keys (as zeros): clients need no
+    // schema branch on --state-dir.
+    const std::string stateless = serve::server_stats_to_json(
+        server, registry, 2, 4096, nullptr);
+    ASSERT_TRUE(serve::validate_server_stats_json(stateless, &error))
+        << error;
+    cursor = 0;
+    EXPECT_TRUE(serve::find_number_after_key(stateless, "recovered",
+                                             &cursor, &recovered));
+    EXPECT_DOUBLE_EQ(recovered, 0.0);
+
+    // And the validator demands them.
+    for (const char* key : {"recovered", "skipped_corrupt"}) {
+        std::string doc = with_store;
+        const std::string quoted = "\"" + std::string(key) + "\"";
+        const std::size_t at = doc.find(quoted);
+        ASSERT_NE(at, std::string::npos) << key;
+        doc.replace(at + 1, 1, "X");  // "recovered" -> "Xecovered"
+        EXPECT_FALSE(serve::validate_server_stats_json(doc, &error)) << key;
+        EXPECT_NE(error.find(key), std::string::npos) << error;
+    }
+}
+
+TEST(ServeStats, RecoveryReportRoundTripsAndRejectsCorruption)
+{
+    serve::StoreStats store;
+    store.wal_records = 5;
+    store.wal_torn_bytes = 23;
+    store.recovered = 4;
+    store.skipped_corrupt = 1;
+    store.recovery_ms = 12.5;
+    store.clean_shutdown = true;
+    const std::string good = serve::recovery_to_json(store);
+    std::string error;
+    ASSERT_TRUE(serve::validate_recovery_json(good, &error)) << error;
+    EXPECT_NE(good.find("\"tool\": \"serpens_served\""), std::string::npos);
+
+    std::size_t cursor = 0;
+    double v = -1.0;
+    EXPECT_TRUE(serve::find_number_after_key(good, "wal_torn_bytes",
+                                             &cursor, &v));
+    EXPECT_DOUBLE_EQ(v, 23.0);
+    EXPECT_TRUE(serve::find_number_after_key(good, "clean_shutdown",
+                                             &cursor, &v));
+    EXPECT_DOUBLE_EQ(v, 1.0);  // bool archived as 0/1
+
+    const auto replaced = [&](const std::string& from,
+                              const std::string& to) {
+        std::string doc = good;
+        const std::size_t at = doc.find(from);
+        EXPECT_NE(at, std::string::npos) << from;
+        doc.replace(at, from.size(), to);
+        return doc;
+    };
+
+    // Every required key, individually renamed, is individually missed.
+    for (const char* key :
+         {"wal_records", "wal_torn_bytes", "recovered", "skipped_corrupt",
+          "clean_shutdown", "recovery_ms"}) {
+        const std::string quoted = "\"" + std::string(key) + "\"";
+        EXPECT_FALSE(serve::validate_recovery_json(
+            replaced(quoted, "\"renamed_key\""), &error))
+            << key;
+        EXPECT_NE(error.find(key), std::string::npos) << error;
+    }
+
+    // Colon-less, negative, non-finite, wrong tool, wrong document.
+    EXPECT_FALSE(serve::validate_recovery_json(
+        replaced("\"recovered\": 4", "\"recovered\" 4"), &error));
+    EXPECT_FALSE(serve::validate_recovery_json(
+        replaced("\"recovered\": 4", "\"recovered\": -4"), &error));
+    EXPECT_FALSE(serve::validate_recovery_json(
+        replaced("\"recovery_ms\": 12.5", "\"recovery_ms\": inf"), &error));
+    EXPECT_FALSE(
+        serve::validate_recovery_json("{\"tool\": \"other\"}", &error));
+    serve::ServerStats server;
+    serve::RegistryStats registry;
+    EXPECT_FALSE(serve::validate_recovery_json(
+        serve::server_stats_to_json(server, registry, 0, 0, nullptr),
+        &error));
+}
+
 } // namespace
 } // namespace serpens

@@ -1,0 +1,388 @@
+// serve::RegistryStore lockdown: the durable-registry WAL contract.
+//
+// The high-order bits under test:
+//   - a warm restart (record_admit → new store → recover) serves results
+//     bit-identical to the original admission without re-encoding;
+//   - the manifest replay lands on a valid prefix for EVERY possible torn
+//     tail (truncation at each byte boundary) and EVERY single-bit flip
+//     (fuzzed exhaustively — the CRC32 frame plus the redundant name_len
+//     makes each deterministic to detect, never a misload);
+//   - corrupt image files are skipped and counted, never served;
+//   - compaction preserves the live set and sweeps stray images.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "encode/serialize.h"
+#include "serve/registry.h"
+#include "serve/store.h"
+#include "sparse/generators.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace serpens {
+namespace {
+
+// A store directory under the test's CWD (the build tree), removed
+// recursively on scope exit so repeated runs never see stale state.
+struct TempDir {
+    std::string path;
+
+    explicit TempDir(const std::string& tag)
+        : path(tag + "." + std::to_string(static_cast<long>(::getpid())))
+    {
+        remove_tree(path);
+    }
+    ~TempDir() { remove_tree(path); }
+
+    static void remove_tree(const std::string& dir)
+    {
+        if (DIR* d = ::opendir(dir.c_str())) {
+            while (const dirent* e = ::readdir(d)) {
+                const std::string name = e->d_name;
+                if (name == "." || name == "..")
+                    continue;
+                const std::string child = dir + "/" + name;
+                remove_tree(child);  // no-op for regular files
+                std::remove(child.c_str());
+            }
+            ::closedir(d);
+            ::rmdir(dir.c_str());
+        }
+    }
+};
+
+std::string slurp(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+void spit(const std::string& path, const std::string& bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+encode::SerpensImage tiny_image(std::uint64_t seed)
+{
+    const core::Accelerator acc(core::SerpensConfig::a16());
+    return acc.prepare(sparse::make_banded(64, 3, seed)).image();
+}
+
+TEST(ServeStore, FilenameEncodingIsInjectiveAndFilesystemSafe)
+{
+    EXPECT_EQ(serve::RegistryStore::image_filename("web-Graph_1.x"),
+              "web-Graph_1.x.img");
+    EXPECT_EQ(serve::RegistryStore::image_filename("a/b c%"),
+              "a%2Fb%20c%25.img");
+    EXPECT_EQ(serve::RegistryStore::image_filename(""), ".img");
+    // The '%' escape is itself escaped, so distinct names cannot collide.
+    EXPECT_NE(serve::RegistryStore::image_filename("a%2F"),
+              serve::RegistryStore::image_filename("a/"));
+}
+
+TEST(ServeStore, JournalsAdmitReplaceEvictAcrossReopen)
+{
+    TempDir dir("store_journal");
+    const encode::SerpensImage img = tiny_image(1);
+    {
+        serve::RegistryStore store(dir.path);
+        EXPECT_FALSE(store.stats().clean_shutdown);
+        store.record_admit("a", img);
+        store.record_admit("b", img);
+        store.record_admit("a", img);  // replace, not a new entry
+        EXPECT_TRUE(store.record_evict("b"));
+        EXPECT_FALSE(store.record_evict("b"));
+        EXPECT_FALSE(store.record_evict("ghost"));
+        EXPECT_EQ(store.stats().appends, 4u);
+        EXPECT_EQ(store.live_names(), std::vector<std::string>{"a"});
+    }
+    serve::RegistryStore reopened(dir.path);
+    EXPECT_EQ(reopened.live_names(), std::vector<std::string>{"a"});
+    EXPECT_EQ(reopened.stats().wal_records, 4u);
+    EXPECT_EQ(reopened.stats().wal_torn_bytes, 0u);
+}
+
+TEST(ServeStore, CleanShutdownMarkerOnlyCountsAsTheFinalRecord)
+{
+    TempDir dir("store_clean");
+    {
+        serve::RegistryStore store(dir.path);
+        store.record_admit("m", tiny_image(2));
+        store.record_clean_shutdown();
+    }
+    {
+        serve::RegistryStore store(dir.path);
+        EXPECT_TRUE(store.stats().clean_shutdown);
+        // A new session's records supersede the old marker.
+        store.record_admit("n", tiny_image(3));
+    }
+    serve::RegistryStore store(dir.path);
+    EXPECT_FALSE(store.stats().clean_shutdown);
+    EXPECT_EQ(store.live_names().size(), 2u);
+}
+
+TEST(ServeStore, WarmRestartServesBitIdenticalWithoutReencoding)
+{
+    TempDir dir("store_warm");
+    const core::SerpensConfig cfg = core::SerpensConfig::a16();
+    const sparse::CooMatrix coo =
+        sparse::make_uniform_random(500, 500, 6000, 77);
+    std::vector<float> x(500), y0(500);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        x[i] = 0.25f * static_cast<float>(i % 17) - 1.0f;
+        y0[i] = 0.5f - 0.125f * static_cast<float>(i % 5);
+    }
+
+    std::vector<float> reference;
+    {
+        serve::MatrixRegistry reg(cfg);
+        serve::RegistryStore store(dir.path);
+        const auto prepared = reg.admit("m", coo);
+        store.record_admit("m", prepared->image());
+        reference =
+            reg.accelerator().run(*prepared, x, y0, 1.25f, -0.5f).y;
+        store.record_clean_shutdown();
+    }
+
+    // Fresh process: replay the manifest, re-admit through admit_image
+    // (decode only), and the served bits must match exactly.
+    serve::MatrixRegistry reg(cfg);
+    serve::RegistryStore store(dir.path);
+    EXPECT_TRUE(store.stats().clean_shutdown);
+    EXPECT_EQ(store.recover(reg), 1u);
+    EXPECT_EQ(store.stats().recovered, 1u);
+    EXPECT_EQ(store.stats().skipped_corrupt, 0u);
+    EXPECT_EQ(reg.stats().encodes, 0u);
+    EXPECT_EQ(reg.stats().admissions, 1u);
+
+    const auto resident = reg.get("m");
+    ASSERT_NE(resident, nullptr);
+    const std::vector<float> replay =
+        reg.accelerator().run(*resident, x, y0, 1.25f, -0.5f).y;
+    ASSERT_EQ(replay.size(), reference.size());
+    for (std::size_t i = 0; i < replay.size(); ++i)
+        EXPECT_EQ(replay[i], reference[i]) << "y[" << i << "]";
+}
+
+TEST(ServeStore, CorruptImageIsSkippedCountedAndDropped)
+{
+    TempDir dir("store_corrupt");
+    const core::SerpensConfig cfg = core::SerpensConfig::a16();
+    {
+        serve::RegistryStore store(dir.path);
+        store.record_admit("good", tiny_image(4));
+        store.record_admit("bad", tiny_image(5));
+
+        // One flipped byte in the middle of bad's image: the v2 section
+        // CRCs must refuse it at recovery.
+        const std::string path = store.image_path("bad");
+        std::string bytes = slurp(path);
+        ASSERT_GT(bytes.size(), 100u);
+        bytes[bytes.size() / 2] ^= 0x10;
+        spit(path, bytes);
+    }
+
+    serve::MatrixRegistry reg(cfg);
+    serve::RegistryStore store(dir.path);
+    EXPECT_EQ(store.recover(reg), 1u);
+    EXPECT_EQ(store.stats().recovered, 1u);
+    EXPECT_EQ(store.stats().skipped_corrupt, 1u);
+    EXPECT_NE(reg.get("good"), nullptr);
+    EXPECT_EQ(reg.get("bad"), nullptr);
+    // The loss is journaled: a reopen no longer expects "bad".
+    EXPECT_EQ(store.live_names(), std::vector<std::string>{"good"});
+    serve::RegistryStore reopened(dir.path);
+    EXPECT_EQ(reopened.live_names(), std::vector<std::string>{"good"});
+}
+
+TEST(ServeStore, MissingImageIsSkippedNotFatal)
+{
+    TempDir dir("store_missing");
+    {
+        serve::RegistryStore store(dir.path);
+        store.record_admit("m", tiny_image(6));
+        std::remove(store.image_path("m").c_str());
+    }
+    serve::MatrixRegistry reg(core::SerpensConfig::a16());
+    serve::RegistryStore store(dir.path);
+    EXPECT_EQ(store.recover(reg), 0u);
+    EXPECT_EQ(store.stats().skipped_corrupt, 1u);
+    EXPECT_EQ(reg.size(), 0u);
+}
+
+TEST(ServeStore, CompactionPreservesLiveSetAndSweepsStrayImages)
+{
+    TempDir dir("store_compact");
+    const encode::SerpensImage img = tiny_image(7);
+    {
+        // A 1-byte threshold forces a compaction after every append.
+        serve::RegistryStore store(dir.path,
+                                   /*compact_threshold_bytes=*/1);
+        store.record_admit("a", img);
+        store.record_admit("b", img);
+        store.record_admit("a", img);
+        store.record_evict("b");
+        EXPECT_GE(store.stats().compactions, 4u);
+        EXPECT_EQ(store.live_names(), std::vector<std::string>{"a"});
+
+        // Plant a stray image (an orphan a crash between image publish
+        // and WAL append would leave) and trigger one more compaction.
+        spit(dir.path + "/images/stray.img", "junk");
+        store.record_admit("c", img);
+        std::ifstream stray(dir.path + "/images/stray.img");
+        EXPECT_FALSE(stray.good());
+    }
+    // The compacted log replays to the same live set, and the log is now
+    // minimal: one record per live resident.
+    serve::RegistryStore store(dir.path);
+    EXPECT_EQ(store.live_names(),
+              (std::vector<std::string>{"a", "c"}));
+    EXPECT_EQ(store.stats().wal_records, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Torn-tail fuzz: the WAL must land on a valid prefix for every possible
+// truncation point and every single-bit flip. The record layout is pinned
+// here (8-byte frame + 1 type byte + 4 len bytes + name), so the test can
+// compute which prefix each mutation must resolve to.
+
+struct FuzzFixture {
+    TempDir dir{"store_fuzz"};
+    std::string manifest;             // the intact log bytes
+    std::vector<std::size_t> bounds;  // byte offset where record k starts
+    std::vector<std::vector<std::string>> live_after;  // after k records
+
+    FuzzFixture()
+    {
+        const encode::SerpensImage img = tiny_image(8);
+        serve::RegistryStore store(dir.path);
+        store.record_admit("alpha", img);   // ADMIT alpha
+        store.record_admit("bee", img);     // ADMIT bee
+        store.record_admit("alpha", img);   // REPLACE alpha
+        store.record_evict("bee");          // EVICT bee
+        store.record_clean_shutdown();      // CLEAN
+
+        manifest = slurp(store.manifest_path());
+        const std::size_t rec[] = {
+            record_bytes("alpha"), record_bytes("bee"),
+            record_bytes("alpha"), record_bytes("bee"),
+            record_bytes(""),
+        };
+        std::size_t off = 0;
+        bounds.push_back(0);
+        for (const std::size_t r : rec)
+            bounds.push_back(off += r);
+        EXPECT_EQ(manifest.size(), bounds.back());
+
+        live_after = {
+            {},
+            {"alpha"},
+            {"alpha", "bee"},
+            {"bee", "alpha"},  // replace re-admits alpha as newest
+            {"alpha"},
+            {"alpha"},  // the clean marker changes no residency
+        };
+    }
+
+    static std::size_t record_bytes(const std::string& name)
+    {
+        return 8 + 5 + name.size();
+    }
+
+    // The record index a byte offset falls inside.
+    std::size_t record_of(std::size_t byte) const
+    {
+        for (std::size_t k = 0; k + 1 < bounds.size(); ++k)
+            if (byte < bounds[k + 1])
+                return k;
+        return bounds.size() - 2;
+    }
+
+    // Replays `bytes` as a manifest and returns the live set seen.
+    std::vector<std::string> replay(const std::string& bytes,
+                                    std::uint64_t* torn = nullptr)
+    {
+        spit(dir.path + "/manifest.log", bytes);
+        serve::RegistryStore store(dir.path);
+        if (torn)
+            *torn = store.stats().wal_torn_bytes;
+        return store.live_names();
+    }
+};
+
+TEST(ServeStore, TornTailFuzzEveryTruncationLandsOnTheValidPrefix)
+{
+    FuzzFixture fx;
+    for (std::size_t cut = 0; cut <= fx.manifest.size(); ++cut) {
+        // Number of records still complete after cutting at `cut`.
+        std::size_t prefix = 0;
+        while (prefix + 1 < fx.bounds.size() &&
+               fx.bounds[prefix + 1] <= cut)
+            ++prefix;
+        std::uint64_t torn = 0;
+        const std::vector<std::string> live =
+            fx.replay(fx.manifest.substr(0, cut), &torn);
+        EXPECT_EQ(live, fx.live_after[prefix]) << "cut at byte " << cut;
+        EXPECT_EQ(torn, cut - fx.bounds[prefix]) << "cut at byte " << cut;
+    }
+}
+
+TEST(ServeStore, TornTailFuzzEverySingleBitFlipIsDetected)
+{
+    FuzzFixture fx;
+    for (std::size_t byte = 0; byte < fx.manifest.size(); ++byte) {
+        for (int bit = 0; bit < 8; ++bit) {
+            std::string mutated = fx.manifest;
+            mutated[byte] =
+                static_cast<char>(mutated[byte] ^ (1u << bit));
+            // The flipped record (and everything after it) must be
+            // dropped; the prefix before it must survive untouched. A
+            // flip is NEVER misread as a different valid record: the
+            // payload is covered by CRC32 (all single-bit errors), and a
+            // flip in the length frame is caught by the redundant
+            // name_len cross-check.
+            const std::size_t k = fx.record_of(byte);
+            const std::vector<std::string> live = fx.replay(mutated);
+            EXPECT_EQ(live, fx.live_after[k])
+                << "flip byte " << byte << " bit " << bit;
+        }
+    }
+}
+
+TEST(ServeStore, TruncatesTheTornTailPhysicallyAndAppendsCleanly)
+{
+    TempDir dir("store_truncate");
+    const encode::SerpensImage img = tiny_image(9);
+    {
+        serve::RegistryStore store(dir.path);
+        store.record_admit("keep", img);
+    }
+    // Simulate a crash mid-append: half a record of garbage at the tail.
+    const std::string intact = slurp(dir.path + "/manifest.log");
+    spit(dir.path + "/manifest.log", intact + "\x07garbage");
+    {
+        serve::RegistryStore store(dir.path);
+        EXPECT_EQ(store.stats().wal_torn_bytes, 8u);
+        EXPECT_EQ(slurp(dir.path + "/manifest.log").size(), intact.size());
+        // New appends extend the now-valid prefix.
+        store.record_admit("next", img);
+    }
+    serve::RegistryStore store(dir.path);
+    EXPECT_EQ(store.stats().wal_torn_bytes, 0u);
+    EXPECT_EQ(store.live_names(),
+              (std::vector<std::string>{"keep", "next"}));
+}
+
+} // namespace
+} // namespace serpens

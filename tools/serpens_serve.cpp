@@ -23,8 +23,9 @@
 //                 [--no-compare] [--a24] [--vary-scalars]
 //                 [--arrival-rate RPS] [--slo-ms MS] [--batch-wait-ms MS]
 //                 [--queue-depth D] [--warmup W]
-//                 [--connect HOST:PORT] [--shutdown-daemon]
-//                 [--check-snapshot FILE]
+//                 [--connect HOST:PORT[,HOST:PORT...]]
+//                 [--shutdown-daemon] [--no-admit]
+//                 [--expect-recovered N] [--check-snapshot FILE]
 //
 // --connect drives the loops over TCP (one net::Client per worker thread)
 // against serpens_served instead of an in-process server; the daemon must
@@ -33,8 +34,21 @@
 // the recorded request trace through direct Accelerator::run — the
 // serving layer's differential contract does not weaken across the wire.
 //
-// --check-snapshot validates an archived snapshot against the schema and
-// exits — how CI re-checks BENCH_serve.json / BENCH_net.json.
+// A comma-separated --connect list enables client failover: each worker
+// wraps its endpoints in net::FailoverClient (per-endpoint circuit
+// breaker with half-open ping probes), admin operations target the FIRST
+// endpoint, and the loop snapshots carry the observed failover count.
+//
+// --no-admit skips the wire admissions (the daemon is expected to already
+// hold the fleet — e.g. recovered from --state-dir); the replay gate still
+// regenerates the matrices locally, so a recovered daemon must serve
+// bit-identical bits to pass. --expect-recovered N additionally asserts
+// the daemon's stats report at least N recovered residents and zero
+// encodes — the warm-restart contract, checked from the client side.
+//
+// --check-snapshot validates an archived snapshot against its schema and
+// exits — how CI re-checks BENCH_serve.json / BENCH_net.json /
+// BENCH_recovery.json (the document kind is auto-detected).
 //
 // Exit code 0 on success, 1 on any mismatch, schema failure, missed SLO
 // gate, or error.
@@ -55,6 +69,7 @@
 #include <vector>
 
 #include "net/client.h"
+#include "net/failover.h"
 #include "net/retry.h"
 #include "serve/server.h"
 #include "serve/snapshot.h"
@@ -95,9 +110,10 @@ struct Args {
                                   // measured serial service capacity
     bool retry = false;           // retry/backoff on retryable failures
     // Network mode.
-    std::string connect_host;
-    std::uint16_t connect_port = 0;
+    std::vector<net::Endpoint> endpoints;  // empty = in-process
     bool shutdown_daemon = false;
+    bool no_admit = false;           // fleet already resident on the daemon
+    std::int64_t expect_recovered = -1;  // >= 0: assert warm-restart stats
     std::string check_snapshot;
 };
 
@@ -197,6 +213,8 @@ public:
                                    const std::vector<float>& y, float alpha,
                                    float beta, double deadline_ms) = 0;
     virtual std::uint64_t retried() const { return 0; }
+    // Endpoint switches (multi-endpoint --connect only).
+    virtual std::uint64_t failovers() const { return 0; }
 };
 
 class LocalTransport : public Transport {
@@ -322,12 +340,50 @@ private:
     net::RetryingClient client_;
 };
 
+// Multi-endpoint transport: FailoverClient's breaker decides which daemon
+// each request goes to. `seed` makes the whole failover sequence (backoff
+// AND cooldown jitter) replayable.
+class FailoverNetTransport : public Transport {
+public:
+    FailoverNetTransport(std::vector<net::Endpoint> endpoints,
+                         std::uint64_t seed, bool retry)
+        : client_(std::move(endpoints), /*timeout_ms=*/120'000,
+                  [&] {
+                      net::FailoverPolicy policy;
+                      policy.seed = seed;
+                      policy.retry.seed = seed * 6364136223846793005ull + 1;
+                      if (!retry)
+                          policy.retry.max_attempts = 1;  // breaker only
+                      return policy;
+                  }())
+    {
+    }
+    serve::SpmvResult spmv(const std::string& name,
+                           const std::vector<float>& x,
+                           const std::vector<float>& y, float alpha,
+                           float beta, double deadline_ms) override
+    {
+        return reply_to_result(
+            client_.spmv(name, x, y, alpha, beta, deadline_ms));
+    }
+    std::uint64_t retried() const override
+    {
+        return client_.total_retries();
+    }
+    std::uint64_t failovers() const override
+    {
+        return client_.stats().failovers;
+    }
+
+private:
+    net::FailoverClient client_;
+};
+
 // The whole benchmark's view of the server, whichever side of a socket it
 // is on.
 struct Backend {
-    serve::Server* local = nullptr;     // in-process mode
-    std::string host;                   // net mode
-    std::uint16_t port = 0;
+    serve::Server* local = nullptr;      // in-process mode
+    std::vector<net::Endpoint> endpoints;  // net mode (first = admin)
     std::unique_ptr<net::Client> admin;  // net mode control connection
     bool retry = false;                  // --retry: wrap transports
     std::uint64_t seed = 1;              // retry-jitter seed base
@@ -343,10 +399,14 @@ struct Backend {
                                                              jitter_seed);
             return std::make_unique<LocalTransport>(*local);
         }
+        if (endpoints.size() > 1)
+            return std::make_unique<FailoverNetTransport>(
+                endpoints, jitter_seed, retry);
         if (retry)
-            return std::make_unique<RetryNetTransport>(host, port,
-                                                       jitter_seed);
-        return std::make_unique<NetTransport>(host, port);
+            return std::make_unique<RetryNetTransport>(
+                endpoints[0].host, endpoints[0].port, jitter_seed);
+        return std::make_unique<NetTransport>(endpoints[0].host,
+                                              endpoints[0].port);
     }
 
     void set_batching(unsigned max_batch, double slo_ms, double wait_ms,
@@ -531,7 +591,7 @@ LoopResult run_closed_loop(Backend& backend,
     }
 
     const Clock::time_point start = Clock::now();
-    std::atomic<std::uint64_t> shed{0}, retried{0};
+    std::atomic<std::uint64_t> shed{0}, retried{0}, failovers{0};
     std::vector<std::thread> clients;
     clients.reserve(args.clients);
     for (unsigned c = 0; c < args.clients; ++c) {
@@ -549,6 +609,7 @@ LoopResult run_closed_loop(Backend& backend,
                 rejected.fetch_add(my_rejected);
                 shed.fetch_add(my_shed);
                 retried.fetch_add(transport->retried());
+                failovers.fetch_add(transport->failovers());
             } catch (const std::exception& e) {
                 std::fprintf(stderr, "client %u failed: %s\n", c, e.what());
                 failed.store(true);
@@ -570,6 +631,7 @@ LoopResult run_closed_loop(Backend& backend,
     out.rejected = rejected.load();
     out.shed = shed.load();
     out.snap.retried = retried.load();
+    out.snap.failovers = failovers.load();
     summarize(out, nnz, wall_s);
     return out;
 }
@@ -617,7 +679,8 @@ LoopResult run_open_loop(Backend& backend,
     }
 
     std::atomic<bool> failed{false};
-    std::atomic<std::uint64_t> rejected{0}, shed{0}, retried{0};
+    std::atomic<std::uint64_t> rejected{0}, shed{0}, retried{0},
+        failovers{0};
     const Clock::time_point epoch = Clock::now();
     std::vector<std::thread> workers;
     workers.reserve(args.clients);
@@ -644,6 +707,7 @@ LoopResult run_open_loop(Backend& backend,
                 rejected.fetch_add(my_rejected);
                 shed.fetch_add(my_shed);
                 retried.fetch_add(transport->retried());
+                failovers.fetch_add(transport->failovers());
             } catch (const std::exception& e) {
                 std::fprintf(stderr, "worker %u failed: %s\n", c, e.what());
                 failed.store(true);
@@ -662,6 +726,7 @@ LoopResult run_open_loop(Backend& backend,
     out.rejected = rejected.load();
     out.shed = shed.load();
     out.snap.retried = retried.load();
+    out.snap.failovers = failovers.load();
     summarize(out, nnz, wall_s);
     return out;
 }
@@ -738,6 +803,9 @@ void print_loop(const char* label, const LoopResult& r)
     if (s.retried != 0)
         std::printf("  retried:   %" PRIu64 " attempts beyond the first\n",
                     s.retried);
+    if (s.failovers != 0)
+        std::printf("  failovers: %" PRIu64 " endpoint switches\n",
+                    s.failovers);
 }
 
 // --overload X: calibrate the Poisson arrival rate to X times the serial
@@ -814,12 +882,27 @@ int check_snapshot_file(const std::string& path)
     }
     std::ostringstream buf;
     buf << in.rdbuf();
+    const std::string json = buf.str();
+    // Three archived document kinds share this gate; dispatch on the
+    // structure, not the filename, so CI can validate any of them.
     std::string error;
-    if (!serve::validate_snapshot_json(buf.str(), &error)) {
+    const char* kind = "snapshot";
+    bool ok = false;
+    if (json.find("\"recovery\"") != std::string::npos) {
+        kind = "recovery report";
+        ok = serve::validate_recovery_json(json, &error);
+    } else if (json.find("\"tool\": \"serpens_served\"") !=
+               std::string::npos) {
+        kind = "server stats";
+        ok = serve::validate_server_stats_json(json, &error);
+    } else {
+        ok = serve::validate_snapshot_json(json, &error);
+    }
+    if (!ok) {
         std::fprintf(stderr, "FAIL: %s: %s\n", path.c_str(), error.c_str());
         return 1;
     }
-    std::printf("OK: %s matches the snapshot schema\n", path.c_str());
+    std::printf("OK: %s matches the %s schema\n", path.c_str(), kind);
     return 0;
 }
 
@@ -836,8 +919,10 @@ int usage()
         "                     [--batch-wait-ms MS] [--queue-depth D]\n"
         "                     [--warmup W] [--deadline-ms MS]\n"
         "                     [--overload X] [--retry]\n"
-        "                     [--connect HOST:PORT]\n"
-        "                     [--shutdown-daemon] [--check-snapshot FILE]\n");
+        "                     [--connect HOST:PORT[,HOST:PORT...]]\n"
+        "                     [--shutdown-daemon] [--no-admit]\n"
+        "                     [--expect-recovered N]\n"
+        "                     [--check-snapshot FILE]\n");
     return 1;
 }
 
@@ -893,17 +978,18 @@ int main(int argc, char** argv)
         else if (flag == "--retry")
             args.retry = true;
         else if (flag == "--connect") {
-            const std::string target = next();
-            const std::size_t colon = target.rfind(':');
-            if (colon == std::string::npos) {
-                std::fprintf(stderr, "error: --connect wants HOST:PORT\n");
+            try {
+                args.endpoints = net::parse_endpoints(next());
+            } catch (const std::exception& e) {
+                std::fprintf(stderr, "error: --connect: %s\n", e.what());
                 return 1;
             }
-            args.connect_host = target.substr(0, colon);
-            args.connect_port = static_cast<std::uint16_t>(
-                std::strtoul(target.c_str() + colon + 1, nullptr, 10));
         } else if (flag == "--shutdown-daemon")
             args.shutdown_daemon = true;
+        else if (flag == "--no-admit")
+            args.no_admit = true;
+        else if (flag == "--expect-recovered")
+            args.expect_recovered = std::strtoll(next(), nullptr, 10);
         else if (flag == "--check-snapshot")
             args.check_snapshot = next();
         else if (flag == "--smoke") {
@@ -930,7 +1016,12 @@ int main(int argc, char** argv)
     const bool deadline_mode = open_loop && args.deadline_ms > 0.0;
     if (args.overload > 0.0 && !open_loop)
         return usage();
-    const bool net_mode = !args.connect_host.empty();
+    const bool net_mode = !args.endpoints.empty();
+    if ((args.no_admit || args.expect_recovered >= 0) && !net_mode) {
+        std::fprintf(stderr, "error: --no-admit/--expect-recovered need "
+                             "--connect\n");
+        return 1;
+    }
 
     try {
         core::SerpensConfig cfg = args.a24 ? core::SerpensConfig::a24()
@@ -983,13 +1074,47 @@ int main(int argc, char** argv)
         backend.retry = args.retry;
         backend.seed = args.seed;
         if (net_mode) {
-            backend.host = args.connect_host;
-            backend.port = args.connect_port;
+            backend.endpoints = args.endpoints;
             backend.admin = std::make_unique<net::Client>(
-                backend.host, backend.port, /*timeout_ms=*/120'000);
+                backend.endpoints[0].host, backend.endpoints[0].port,
+                /*timeout_ms=*/120'000);
             backend.admin->ping();
-            for (unsigned m = 0; m < matrices.size(); ++m)
-                backend.admin->admit("m" + std::to_string(m), matrices[m]);
+            if (args.expect_recovered >= 0) {
+                // The warm-restart contract, asserted from the client
+                // side BEFORE any admissions muddy the counters: the
+                // daemon recovered at least N residents and re-encoded
+                // nothing.
+                const std::string stats = backend.admin->stats_json();
+                std::size_t cursor = 0;
+                double recovered = 0.0, encodes = 0.0;
+                if (!serve::find_number_after_key(stats, "encodes", &cursor,
+                                                  &encodes) ||
+                    !serve::find_number_after_key(stats, "recovered",
+                                                  &cursor, &recovered)) {
+                    std::fprintf(stderr, "FAIL: daemon stats carry no "
+                                         "recovery counters\n");
+                    return 1;
+                }
+                if (recovered <
+                        static_cast<double>(args.expect_recovered) ||
+                    encodes != 0.0) {
+                    std::fprintf(stderr,
+                                 "FAIL: expected >= %lld recovered "
+                                 "residents and 0 encodes, daemon reports "
+                                 "%.0f recovered / %.0f encodes\n",
+                                 static_cast<long long>(
+                                     args.expect_recovered),
+                                 recovered, encodes);
+                    return 1;
+                }
+                std::printf("recovery check: %.0f resident(s) recovered, "
+                            "0 encodes\n",
+                            recovered);
+            }
+            if (!args.no_admit)
+                for (unsigned m = 0; m < matrices.size(); ++m)
+                    backend.admin->admit("m" + std::to_string(m),
+                                         matrices[m]);
         } else {
             local_server.emplace(cfg);
             backend.local = &*local_server;

@@ -4,21 +4,34 @@
 //   serpens_served [--port P] [--port-file FILE] [--max-batch B]
 //                  [--serve-threads T] [--budget-mb MB] [--slo-ms MS]
 //                  [--batch-wait-ms MS] [--queue-depth D] [--a24]
+//                  [--state-dir DIR] [--recovery-json FILE]
 //
 // --port 0 (the default) binds an ephemeral port; the daemon prints
 // "listening on PORT" and, with --port-file, writes the bare port number
 // there — how CI starts a daemon and a client without racing on a fixed
 // port. Runs until a client sends the Shutdown request or the process
 // receives SIGINT/SIGTERM, then drains and exits 0.
+//
+// --state-dir DIR makes the daemon durable: every wire admission and
+// eviction is journaled to DIR (CRC-framed manifest.log + one image file
+// per resident), and on start the manifest is replayed — torn tails
+// truncated, corrupt images skipped and counted — so a SIGKILLed daemon
+// restarted on the same directory serves its residents bit-identically
+// without re-encoding. --recovery-json archives the replay report
+// (BENCH_recovery.json in CI). A clean shutdown leaves a marker record
+// the next start reports in that JSON.
 #include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 
 #include "net/daemon.h"
 #include "serve/server.h"
+#include "serve/snapshot.h"
+#include "serve/store.h"
 #include "util/fs.h"
 
 namespace {
@@ -38,7 +51,8 @@ int usage()
         "                      [--max-batch B] [--serve-threads T]\n"
         "                      [--budget-mb MB] [--slo-ms MS]\n"
         "                      [--batch-wait-ms MS] [--queue-depth D]\n"
-        "                      [--a24]\n");
+        "                      [--a24] [--state-dir DIR]\n"
+        "                      [--recovery-json FILE]\n");
     return 1;
 }
 
@@ -55,6 +69,8 @@ int main(int argc, char** argv)
     double batch_wait_ms = 0.0;
     std::uint64_t queue_depth = 0;
     bool a24 = false;
+    std::string state_dir;
+    std::string recovery_json;
 
     for (int i = 1; i < argc; ++i) {
         const std::string flag = argv[i];
@@ -86,6 +102,10 @@ int main(int argc, char** argv)
             queue_depth = std::strtoull(next(), nullptr, 10);
         else if (flag == "--a24")
             a24 = true;
+        else if (flag == "--state-dir")
+            state_dir = next();
+        else if (flag == "--recovery-json")
+            recovery_json = next();
         else
             return usage();
     }
@@ -104,8 +124,33 @@ int main(int argc, char** argv)
         cfg.max_queue_depth = static_cast<std::size_t>(queue_depth);
 
         serpens::serve::Server server(cfg);
+
+        // Durable state: replay the manifest BEFORE accepting traffic so
+        // the first client request already sees the recovered residents.
+        std::unique_ptr<serpens::serve::RegistryStore> store;
+        if (!state_dir.empty()) {
+            store =
+                std::make_unique<serpens::serve::RegistryStore>(state_dir);
+            store->recover(server.registry());
+            const serpens::serve::StoreStats rs = store->stats();
+            std::printf(
+                "recovered %llu resident(s) from %s "
+                "(%llu WAL records, %llu torn bytes, %llu corrupt, "
+                "clean_shutdown=%d)\n",
+                static_cast<unsigned long long>(rs.recovered),
+                state_dir.c_str(),
+                static_cast<unsigned long long>(rs.wal_records),
+                static_cast<unsigned long long>(rs.wal_torn_bytes),
+                static_cast<unsigned long long>(rs.skipped_corrupt),
+                rs.clean_shutdown ? 1 : 0);
+            if (!recovery_json.empty())
+                serpens::util::atomic_write_file(
+                    recovery_json, serpens::serve::recovery_to_json(rs));
+        }
+
         serpens::net::Daemon daemon(server,
-                                    static_cast<std::uint16_t>(port));
+                                    static_cast<std::uint16_t>(port),
+                                    store.get());
 
         if (!port_file.empty()) {
             // Atomic (temp + rename): a launcher polling the file can
@@ -131,6 +176,8 @@ int main(int argc, char** argv)
             std::this_thread::sleep_for(std::chrono::milliseconds(100));
         daemon.stop();
         server.drain();
+        if (store)
+            store->record_clean_shutdown();
         std::printf("shut down after %llu requests\n",
                     static_cast<unsigned long long>(
                         server.stats().requests));
