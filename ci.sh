@@ -49,7 +49,8 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}" --target serpens_served
 PORT_FILE="${BUILD_DIR}/served.port"
 rm -f "${PORT_FILE}"
 "${BUILD_DIR}/tools/serpens_served" --port-file "${PORT_FILE}" \
-    --max-batch 8 &
+    --max-batch 8 \
+    --trace-json "${BUILD_DIR}/bench-results/BENCH_served_trace.json" &
 SERVED_PID=$!
 for _ in $(seq 100); do
   [[ -s "${PORT_FILE}" ]] && break
@@ -61,6 +62,12 @@ done
     --arrival-rate 100 --slo-ms 20 --batch-wait-ms 80 \
     --matrices 1 --entries 200000 --rows 4096 --clients 6 --requests 50 \
     --json "${BUILD_DIR}/bench-results/BENCH_net.json" \
+    --trace-json "${BUILD_DIR}/bench-results/BENCH_trace.json"
+# Scrape the daemon's Prometheus exposition over the wire, then stop it;
+# the clean shutdown also flushes the daemon-side trace archived above.
+"${BUILD_DIR}/tools/serpens_serve" \
+    --connect "127.0.0.1:$(cat "${PORT_FILE}")" \
+    --dump-metrics "${BUILD_DIR}/bench-results/BENCH_metrics.prom" \
     --shutdown-daemon
 wait "${SERVED_PID}"
 
@@ -131,6 +138,15 @@ wait "${SERVED_PID}"
     --check-snapshot "${BUILD_DIR}/bench-results/BENCH_fault.json"
 "${BUILD_DIR}/tools/serpens_serve" \
     --check-snapshot "${BUILD_DIR}/bench-results/BENCH_recovery.json"
+# Observability artifacts ride the same gate: --check-snapshot dispatches
+# on content, so Chrome trace JSON and Prometheus text get their own
+# structural validators (tests/test_obs_*.cpp pin what they reject).
+"${BUILD_DIR}/tools/serpens_serve" \
+    --check-snapshot "${BUILD_DIR}/bench-results/BENCH_trace.json"
+"${BUILD_DIR}/tools/serpens_serve" \
+    --check-snapshot "${BUILD_DIR}/bench-results/BENCH_served_trace.json"
+"${BUILD_DIR}/tools/serpens_serve" \
+    --check-snapshot "${BUILD_DIR}/bench-results/BENCH_metrics.prom"
 
 # Batched device-mode ablation: amortized per-SpMV device time over
 # B = 1..32 at 1M nnz (real batched executions + analytic + Sextans

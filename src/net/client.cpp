@@ -43,7 +43,7 @@ void Client::admit(const std::string& name, const sparse::CooMatrix& m)
 
 SpmvReply Client::spmv(const std::string& name, const std::vector<float>& x,
                        const std::vector<float>& y, float alpha, float beta,
-                       double deadline_ms)
+                       double deadline_ms, std::uint64_t trace_id)
 {
     SpmvRequest req;
     req.name = name;
@@ -52,6 +52,7 @@ SpmvReply Client::spmv(const std::string& name, const std::vector<float>& x,
     req.alpha = alpha;
     req.beta = beta;
     req.deadline_ms = deadline_ms;
+    req.trace_id = trace_id;
     WireReader r = roundtrip(encode_spmv(req));
     return decode_spmv_reply(r);
 }
@@ -62,6 +63,14 @@ std::string Client::stats_json()
     std::string json = r.str();
     r.require_done();
     return json;
+}
+
+std::string Client::metrics_text()
+{
+    WireReader r = roundtrip(encode_request(RequestType::kMetrics));
+    std::string text = r.str();
+    r.require_done();
+    return text;
 }
 
 void Client::set_batching(const SetBatchingRequest& req)

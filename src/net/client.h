@@ -30,11 +30,17 @@ public:
     void admit(const std::string& name, const sparse::CooMatrix& m);
     // deadline_ms > 0 is forwarded on the wire: the daemon sheds the
     // request (DeadlineExceededError here) if its batch has not started
-    // within that budget of server-side admission.
+    // within that budget of server-side admission. trace_id != 0 rides
+    // the frame too, stitching the daemon's spans to this client's trace
+    // (an old daemon rejects traced frames; untraced requests are wire-
+    // compatible both ways).
     SpmvReply spmv(const std::string& name, const std::vector<float>& x,
                    const std::vector<float>& y, float alpha, float beta,
-                   double deadline_ms = 0.0);
+                   double deadline_ms = 0.0, std::uint64_t trace_id = 0);
     std::string stats_json();
+    // The daemon's metrics scrape: Prometheus text exposition (server,
+    // registry, store, per-channel utilization, uptime).
+    std::string metrics_text();
     void set_batching(const SetBatchingRequest& req);
     bool evict(const std::string& name);  // true if the name was resident
 

@@ -4,6 +4,9 @@
 #include <utility>
 
 #include "net/protocol.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/snapshot.h"
 #include "serve/store.h"
 
@@ -13,8 +16,14 @@ Daemon::Daemon(serve::Server& server, std::uint16_t port,
                serve::RegistryStore* store)
     : server_(server), store_(store)
 {
+    start_ns_ = obs::real_clock().now_ns();
     listener_ = listen_tcp(port, &port_);
     acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+double Daemon::uptime_ms() const
+{
+    return obs::Clock::ms_between(start_ns_, obs::real_clock().now_ns());
 }
 
 Daemon::~Daemon()
@@ -153,9 +162,19 @@ std::vector<std::uint8_t> Daemon::handle_frame(
         }
         case RequestType::kSpmv: {
             SpmvRequest req = decode_spmv(r);
+            // The daemon-side request span wraps the whole server pass —
+            // queue wait, batch, device, extraction — under the client's
+            // trace id, so a stitched trace shows where the wire time went.
+            obs::TraceRecorder* const rec = obs::trace_recorder();
+            const std::uint64_t start_ns =
+                rec != nullptr ? rec->now_ns() : 0;
             const serve::SpmvResult result =
                 server_.spmv(req.name, std::move(req.x), std::move(req.y),
-                             req.alpha, req.beta, req.deadline_ms);
+                             req.alpha, req.beta, req.deadline_ms,
+                             req.trace_id);
+            if (rec != nullptr)
+                rec->span("daemon.request", "daemon", req.trace_id,
+                          start_ns, rec->now_ns(), "bytes", frame.size());
             WireWriter body;
             encode_spmv_reply(body, result);
             return encode_ok(std::move(body));
@@ -169,7 +188,24 @@ std::vector<std::uint8_t> Daemon::handle_frame(
             body.str(serve::server_stats_to_json(
                 server_.stats(), reg.stats(), reg.size(),
                 reg.bytes_resident(),
-                store_stats ? &*store_stats : nullptr));
+                store_stats ? &*store_stats : nullptr, uptime_ms()));
+            return encode_ok(std::move(body));
+        }
+        case RequestType::kMetrics: {
+            r.require_done();
+            // Scrape-time translation: no instrument lives on the hot
+            // path; the registry is rebuilt from the stats structs at
+            // each scrape (see obs/export.h).
+            obs::MetricsRegistry metrics;
+            metrics.gauge("serpens_uptime_ms",
+                          "Milliseconds since the daemon started.",
+                          uptime_ms());
+            obs::export_server_metrics(metrics, server_.stats());
+            obs::export_registry_metrics(metrics, server_.registry());
+            if (store_)
+                obs::export_store_metrics(metrics, store_->stats());
+            WireWriter body;
+            body.str(metrics.prometheus_text());
             return encode_ok(std::move(body));
         }
         case RequestType::kSetBatching: {

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "net/framing.h"
+#include "obs/clock.h"
 #include "serve/server.h"
 
 namespace serpens::serve {
@@ -68,6 +69,10 @@ public:
     // connections the fault injector killed mid-frame.
     std::size_t open_connections();
 
+    // Milliseconds since construction; the `uptime_ms` gauge in the stats
+    // reply and the metrics exposition.
+    double uptime_ms() const;
+
     // Stop accepting, unblock and join every connection thread. Safe to
     // call twice; must NOT be called from a connection thread.
     void stop();
@@ -80,6 +85,7 @@ private:
 
     serve::Server& server_;
     serve::RegistryStore* store_ = nullptr;  // optional durability
+    std::uint64_t start_ns_ = 0;             // uptime epoch
     std::uint16_t port_ = 0;
     Socket listener_;
 

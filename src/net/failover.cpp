@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <stdexcept>
-#include <thread>
 
 #include "net/client.h"
 #include "util/check.h"
@@ -50,8 +49,12 @@ std::vector<Endpoint> parse_endpoints(const std::string& spec)
 }
 
 FailoverClient::FailoverClient(std::vector<Endpoint> endpoints,
-                               int timeout_ms, FailoverPolicy policy)
-    : timeout_ms_(timeout_ms), policy_(policy), rng_(policy.seed)
+                               int timeout_ms, FailoverPolicy policy,
+                               obs::Clock* clock)
+    : timeout_ms_(timeout_ms),
+      policy_(policy),
+      clock_(clock != nullptr ? clock : &obs::real_clock()),
+      rng_(policy.seed)
 {
     SERPENS_CHECK(!endpoints.empty(),
                   "failover: need at least one endpoint");
@@ -68,7 +71,8 @@ FailoverClient::FailoverClient(std::vector<Endpoint> endpoints,
         // replays from FailoverPolicy::seed.
         RetryPolicy retry = policy_.retry;
         retry.seed = policy_.retry.seed + i;
-        slots_.emplace_back(std::move(endpoints[i]), timeout_ms_, retry);
+        slots_.emplace_back(std::move(endpoints[i]), timeout_ms_, retry,
+                            clock_);
     }
 }
 
@@ -76,7 +80,7 @@ bool FailoverClient::admit_traffic(Slot& slot)
 {
     if (!slot.open)
         return true;
-    if (Clock::now() < slot.reopen_at)
+    if (clock_->now_ns() < slot.reopen_at_ns)
         return false;
     // Half-open: probe on a fresh connection so a still-dead endpoint
     // costs one ping, not a live request.
@@ -119,23 +123,23 @@ void FailoverClient::open_breaker(Slot& slot)
     slot.next_cooldown_ms = base;
     const double scale =
         1.0 - policy_.jitter + policy_.jitter * rng_.next_double();
-    slot.reopen_at =
-        Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                           std::chrono::duration<double, std::milli>(
-                               std::max(0.0, base * scale)));
+    const double cooldown = std::max(0.0, base * scale);
+    slot.reopen_at_ns =
+        clock_->now_ns() +
+        static_cast<std::uint64_t>(cooldown * 1.0e6);
 }
 
 void FailoverClient::sleep_until_earliest_reopen()
 {
-    auto earliest = Clock::time_point::max();
+    std::uint64_t earliest = UINT64_MAX;
     for (const Slot& slot : slots_)
         if (slot.open)
-            earliest = std::min(earliest, slot.reopen_at);
-    if (earliest == Clock::time_point::max())
+            earliest = std::min(earliest, slot.reopen_at_ns);
+    if (earliest == UINT64_MAX)
         return;  // nothing open — nothing to wait for
-    const auto now = Clock::now();
+    const std::uint64_t now = clock_->now_ns();
     if (earliest > now)
-        std::this_thread::sleep_for(earliest - now);
+        clock_->sleep_ms(obs::Clock::ms_between(now, earliest));
 }
 
 std::uint64_t FailoverClient::total_retries() const
@@ -160,16 +164,24 @@ void FailoverClient::admit(const std::string& name,
 SpmvReply FailoverClient::spmv(const std::string& name,
                                const std::vector<float>& x,
                                const std::vector<float>& y, float alpha,
-                               float beta, double deadline_ms)
+                               float beta, double deadline_ms,
+                               std::uint64_t trace_id)
 {
-    return run([&](RetryingClient& c) {
-        return c.spmv(name, x, y, alpha, beta, deadline_ms);
-    });
+    return run(
+        [&](RetryingClient& c) {
+            return c.spmv(name, x, y, alpha, beta, deadline_ms, trace_id);
+        },
+        trace_id);
 }
 
 std::string FailoverClient::stats_json()
 {
     return run([&](RetryingClient& c) { return c.stats_json(); });
+}
+
+std::string FailoverClient::metrics_text()
+{
+    return run([&](RetryingClient& c) { return c.metrics_text(); });
 }
 
 void FailoverClient::set_batching(const SetBatchingRequest& req)

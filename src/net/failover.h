@@ -35,7 +35,6 @@
 // failover sequence from the same seed. Like Client, NOT thread-safe.
 #pragma once
 
-#include <chrono>
 #include <cstdint>
 #include <exception>
 #include <string>
@@ -43,6 +42,7 @@
 #include <vector>
 
 #include "net/retry.h"
+#include "obs/clock.h"
 
 namespace serpens::net {
 
@@ -78,15 +78,19 @@ struct FailoverStats {
 
 class FailoverClient {
 public:
+    // `clock` drives breaker cooldowns and every slot's retry backoff
+    // (nullptr = the real clock); a FakeClock makes the whole failover
+    // schedule instant and reproducible in tests.
     FailoverClient(std::vector<Endpoint> endpoints, int timeout_ms,
-                   FailoverPolicy policy = {});
+                   FailoverPolicy policy = {}, obs::Clock* clock = nullptr);
 
     void ping();
     void admit(const std::string& name, const sparse::CooMatrix& m);
     SpmvReply spmv(const std::string& name, const std::vector<float>& x,
                    const std::vector<float>& y, float alpha, float beta,
-                   double deadline_ms = 0.0);
+                   double deadline_ms = 0.0, std::uint64_t trace_id = 0);
     std::string stats_json();
+    std::string metrics_text();
     void set_batching(const SetBatchingRequest& req);
     bool evict(const std::string& name);
     void shutdown_daemon();
@@ -102,19 +106,18 @@ public:
     }
 
 private:
-    using Clock = std::chrono::steady_clock;
-
     struct Slot {
         Endpoint endpoint;
         RetryingClient client;
         unsigned consecutive_failures = 0;
         bool open = false;
-        Clock::time_point reopen_at{};
+        std::uint64_t reopen_at_ns = 0;  // obs::Clock timestamp
         double next_cooldown_ms = 0.0;  // escalates while the slot is dead
 
-        Slot(Endpoint ep, int timeout_ms, const RetryPolicy& retry)
+        Slot(Endpoint ep, int timeout_ms, const RetryPolicy& retry,
+             obs::Clock* clock)
             : endpoint(std::move(ep)),
-              client(endpoint.host, endpoint.port, timeout_ms, retry)
+              client(endpoint.host, endpoint.port, timeout_ms, retry, clock)
         {
         }
     };
@@ -130,7 +133,8 @@ private:
     // The failover loop shared by every operation; see the header comment
     // for the walk order and breaker interplay.
     template <typename F>
-    auto run(F&& op) -> decltype(op(std::declval<RetryingClient&>()))
+    auto run(F&& op, std::uint64_t trace_id = 0)
+        -> decltype(op(std::declval<RetryingClient&>()))
     {
         std::exception_ptr last_error;
         for (unsigned round = 0; round < policy_.max_rounds; ++round) {
@@ -144,6 +148,10 @@ private:
                 if (idx != cursor_) {
                     ++stats_.failovers;
                     cursor_ = idx;
+                    if (obs::TraceRecorder* const rec = obs::trace_recorder())
+                        rec->instant("client.failover", "client", trace_id,
+                                     "endpoint",
+                                     static_cast<std::uint64_t>(idx));
                 }
                 try {
                     auto result = op(slot.client);
@@ -170,6 +178,7 @@ private:
 
     int timeout_ms_;
     FailoverPolicy policy_;
+    obs::Clock* clock_ = nullptr;  // never null after construction
     FailoverStats stats_;
     Rng rng_;  // cooldown jitter
     std::vector<Slot> slots_;

@@ -16,7 +16,7 @@ RequestType decode_request_type(WireReader& r)
 {
     const std::uint8_t raw = r.u8();
     if (raw < static_cast<std::uint8_t>(RequestType::kPing) ||
-        raw > static_cast<std::uint8_t>(RequestType::kShutdown))
+        raw > static_cast<std::uint8_t>(RequestType::kMetrics))
         throw ProtocolError("unknown request type " + std::to_string(raw));
     return static_cast<RequestType>(raw);
 }
@@ -68,6 +68,8 @@ std::vector<std::uint8_t> encode_spmv(const SpmvRequest& req)
     w.f32(req.alpha);
     w.f32(req.beta);
     w.f64(req.deadline_ms);
+    if (req.trace_id != 0)
+        w.u64(req.trace_id);
     return encode_request(RequestType::kSpmv, std::move(w));
 }
 
@@ -80,6 +82,9 @@ SpmvRequest decode_spmv(WireReader& r)
     req.alpha = r.f32();
     req.beta = r.f32();
     req.deadline_ms = r.f64();
+    // Optional trailing trace id: absent from old (or untraced) clients.
+    if (r.remaining() >= sizeof(std::uint64_t))
+        req.trace_id = r.u64();
     r.require_done();
     return req;
 }

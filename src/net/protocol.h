@@ -30,6 +30,7 @@ enum class RequestType : std::uint8_t {
     kSetBatching = 5,  // SetBatchingRequest -> empty
     kEvict = 6,        // u32-prefixed name -> u8 (1 = was resident)
     kShutdown = 7,     // empty -> empty; daemon's wait() returns after
+    kMetrics = 8,      // empty -> u32-prefixed Prometheus text exposition
 };
 
 enum class Status : std::uint8_t {
@@ -59,6 +60,11 @@ struct SpmvRequest {
     // request still queued when the budget runs out is shed with
     // DEADLINE_EXCEEDED instead of burning a batch slot.
     double deadline_ms = 0.0;
+    // Distributed-tracing id stitching client and daemon spans (0 = not
+    // traced). Encoded as an optional trailing u64 so old peers interop:
+    // an untraced (or old) client omits the field and an old daemon's
+    // strict decode still passes; decode treats an absent tail as id 0.
+    std::uint64_t trace_id = 0;
 };
 
 // Everything serve::SpmvResult reports, flattened for the wire.

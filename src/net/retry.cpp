@@ -1,18 +1,18 @@
 #include "net/retry.h"
 
 #include <algorithm>
-#include <chrono>
-#include <thread>
 #include <utility>
 
 namespace serpens::net {
 
 RetryingClient::RetryingClient(std::string host, std::uint16_t port,
-                               int timeout_ms, RetryPolicy policy)
+                               int timeout_ms, RetryPolicy policy,
+                               obs::Clock* clock)
     : host_(std::move(host)),
       port_(port),
       timeout_ms_(timeout_ms),
       policy_(policy),
+      clock_(clock != nullptr ? clock : &obs::real_clock()),
       rng_(policy.seed)
 {
     SERPENS_CHECK(policy_.max_attempts >= 1,
@@ -35,16 +35,22 @@ void RetryingClient::drop_client()
     client_.reset();
 }
 
-void RetryingClient::sleep_with_jitter(double backoff_ms, double cap_ms)
+void RetryingClient::sleep_with_jitter(double backoff_ms, double cap_ms,
+                                       std::uint64_t trace_id)
 {
     const double scale =
         1.0 - policy_.jitter + policy_.jitter * rng_.next_double();
     double ms = std::max(0.0, backoff_ms * scale);
     if (cap_ms >= 0.0)
         ms = std::min(ms, cap_ms);  // never sleep past the deadline budget
-    if (ms > 0.0)
-        std::this_thread::sleep_for(
-            std::chrono::duration<double, std::milli>(ms));
+    if (ms > 0.0) {
+        obs::TraceRecorder* const rec = obs::trace_recorder();
+        const std::uint64_t start = rec != nullptr ? rec->now_ns() : 0;
+        clock_->sleep_ms(ms);
+        if (rec != nullptr)
+            rec->span("client.backoff", "client", trace_id, start,
+                      rec->now_ns());
+    }
 }
 
 void RetryingClient::ping()
@@ -61,18 +67,24 @@ void RetryingClient::admit(const std::string& name,
 SpmvReply RetryingClient::spmv(const std::string& name,
                                const std::vector<float>& x,
                                const std::vector<float>& y, float alpha,
-                               float beta, double deadline_ms)
+                               float beta, double deadline_ms,
+                               std::uint64_t trace_id)
 {
     return run(
         [&](Client& c) {
-            return c.spmv(name, x, y, alpha, beta, deadline_ms);
+            return c.spmv(name, x, y, alpha, beta, deadline_ms, trace_id);
         },
-        deadline_ms);
+        deadline_ms, trace_id);
 }
 
 std::string RetryingClient::stats_json()
 {
     return run([&](Client& c) { return c.stats_json(); });
+}
+
+std::string RetryingClient::metrics_text()
+{
+    return run([&](Client& c) { return c.metrics_text(); });
 }
 
 void RetryingClient::set_batching(const SetBatchingRequest& req)

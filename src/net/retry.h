@@ -34,13 +34,14 @@
 #pragma once
 
 #include <algorithm>
-#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "net/client.h"
+#include "obs/clock.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 
 namespace serpens::net {
@@ -65,15 +66,19 @@ struct RetryStats {
 
 class RetryingClient {
 public:
+    // `clock` drives the deadline budget and the backoff sleeps (nullptr =
+    // the real clock); a test's FakeClock makes the retry schedule instant
+    // and exactly reproducible.
     RetryingClient(std::string host, std::uint16_t port, int timeout_ms,
-                   RetryPolicy policy = {});
+                   RetryPolicy policy = {}, obs::Clock* clock = nullptr);
 
     void ping();
     void admit(const std::string& name, const sparse::CooMatrix& m);
     SpmvReply spmv(const std::string& name, const std::vector<float>& x,
                    const std::vector<float>& y, float alpha, float beta,
-                   double deadline_ms = 0.0);
+                   double deadline_ms = 0.0, std::uint64_t trace_id = 0);
     std::string stats_json();
+    std::string metrics_text();
     void set_batching(const SetBatchingRequest& req);
     bool evict(const std::string& name);
     void shutdown_daemon();
@@ -88,7 +93,8 @@ private:
     // Sleep the jittered backoff; cap_ms >= 0 truncates the sleep at the
     // remaining deadline budget (the jitter draw still happens, so the
     // random stream stays aligned with the uncapped replay).
-    void sleep_with_jitter(double backoff_ms, double cap_ms = -1.0);
+    void sleep_with_jitter(double backoff_ms, double cap_ms = -1.0,
+                           std::uint64_t trace_id = 0);
 
     // The retry loop shared by every operation. `op` runs against a live
     // Client; see the header comment for which failures re-enter the loop.
@@ -96,15 +102,14 @@ private:
     // remaining budget, and a retry whose budget is already spent is
     // abandoned with DeadlineExceededError instead of sent doomed.
     template <typename F>
-    auto run(F&& op, double deadline_ms = 0.0)
+    auto run(F&& op, double deadline_ms = 0.0, std::uint64_t trace_id = 0)
         -> decltype(op(std::declval<Client&>()))
     {
-        const auto start = std::chrono::steady_clock::now();
+        obs::TraceRecorder* const rec = obs::trace_recorder();
+        const std::uint64_t start = clock_->now_ns();
         const auto remaining = [&]() -> double {
             return deadline_ms -
-                   std::chrono::duration<double, std::milli>(
-                       std::chrono::steady_clock::now() - start)
-                       .count();
+                   obs::Clock::ms_between(start, clock_->now_ns());
         };
         double backoff_ms = policy_.initial_backoff_ms;
         for (unsigned attempt = 1;; ++attempt) {
@@ -118,8 +123,15 @@ private:
             if (attempt > 1)
                 ++stats_.retries;  // this attempt really goes out
             ++stats_.attempts;
+            const std::uint64_t attempt_start =
+                rec != nullptr ? rec->now_ns() : 0;
             try {
-                return op(ensure_client());
+                auto result = op(ensure_client());
+                if (rec != nullptr)
+                    rec->span("client.attempt", "client", trace_id,
+                              attempt_start, rec->now_ns(), "attempt",
+                              attempt);
+                return result;
             } catch (const RemoteError&) {
                 throw;
             } catch (const DeadlineExceededError&) {
@@ -136,9 +148,13 @@ private:
                     throw;
                 }
             }
+            if (rec != nullptr)
+                rec->span("client.attempt", "client", trace_id,
+                          attempt_start, rec->now_ns(), "attempt", attempt);
             sleep_with_jitter(backoff_ms,
                               deadline_ms > 0.0 ? std::max(0.0, remaining())
-                                                : -1.0);
+                                                : -1.0,
+                              trace_id);
             backoff_ms = std::min(policy_.max_backoff_ms,
                                   backoff_ms * policy_.backoff_multiplier);
         }
@@ -148,6 +164,7 @@ private:
     std::uint16_t port_;
     int timeout_ms_;
     RetryPolicy policy_;
+    obs::Clock* clock_ = nullptr;  // never null after construction
     RetryStats stats_;
     Rng rng_;
     std::unique_ptr<Client> client_;

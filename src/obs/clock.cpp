@@ -1,0 +1,11 @@
+#include "obs/clock.h"
+
+namespace serpens::obs {
+
+Clock& real_clock()
+{
+    static RealClock clock;
+    return clock;
+}
+
+} // namespace serpens::obs

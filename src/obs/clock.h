@@ -1,0 +1,91 @@
+// Injectable monotonic time for the serving stack.
+//
+// Every component that timestamps or sleeps — the dispatcher's latency
+// sampling, retry/failover backoff, the trace recorder — takes an
+// obs::Clock* and defaults to the process-wide RealClock. Tests inject a
+// FakeClock whose time only moves when the test says so, which makes
+// queue/service latencies and whole trace files exactly reproducible:
+//
+//   obs::FakeClock clk;
+//   serve::Server server(cfg, &clk);
+//   clk.advance_ms(5.0);            // the only way time passes
+//
+// now_ns() is monotonic nanoseconds from an arbitrary epoch (process
+// start for the real clock, zero for a fresh fake). sleep_ms() blocks on
+// the real clock and merely advances time on the fake one, so backoff
+// loops driven through the clock stay instant and deterministic under
+// test.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace serpens::obs {
+
+class Clock {
+public:
+    virtual ~Clock() = default;
+
+    // Monotonic nanoseconds since an arbitrary fixed epoch.
+    virtual std::uint64_t now_ns() = 0;
+
+    // Block (real) or advance time (fake) for `ms` milliseconds.
+    virtual void sleep_ms(double ms) = 0;
+
+    // Convenience: elapsed milliseconds between two now_ns() readings.
+    static double ms_between(std::uint64_t start_ns, std::uint64_t end_ns)
+    {
+        return end_ns >= start_ns
+                   ? static_cast<double>(end_ns - start_ns) / 1e6
+                   : -static_cast<double>(start_ns - end_ns) / 1e6;
+    }
+};
+
+// Wall production clock: steady_clock, shared process-wide.
+class RealClock final : public Clock {
+public:
+    std::uint64_t now_ns() override
+    {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count());
+    }
+
+    void sleep_ms(double ms) override
+    {
+        if (ms <= 0.0)
+            return;
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+    }
+};
+
+// The process-wide default. Components that take an optional Clock* fall
+// back to this when handed nullptr.
+Clock& real_clock();
+
+// Deterministic clock for tests: time starts at 0 and moves only via
+// advance_*() or sleep_ms(). Thread-safe (atomic counter) so dispatcher
+// threads may read it while the test advances it.
+class FakeClock final : public Clock {
+public:
+    explicit FakeClock(std::uint64_t start_ns = 0) : now_ns_(start_ns) {}
+
+    std::uint64_t now_ns() override { return now_ns_.load(std::memory_order_acquire); }
+
+    void sleep_ms(double ms) override
+    {
+        if (ms > 0.0)
+            advance_ns(static_cast<std::uint64_t>(ms * 1e6));
+    }
+
+    void advance_ns(std::uint64_t ns) { now_ns_.fetch_add(ns, std::memory_order_acq_rel); }
+    void advance_ms(double ms) { advance_ns(static_cast<std::uint64_t>(ms * 1e6)); }
+
+private:
+    std::atomic<std::uint64_t> now_ns_;
+};
+
+} // namespace serpens::obs

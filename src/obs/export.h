@@ -1,0 +1,54 @@
+// Bridges from the serving stack's stats structs to the MetricsRegistry.
+//
+// Each export_* call upserts one component's families into the registry;
+// a scrape composes whichever components exist in the process (the daemon
+// exports server + registry + store, the client tools export retry +
+// failover + fault). Calling an exporter again with fresh stats refreshes
+// the same samples in place, so one long-lived registry per process works
+// too.
+//
+// Metric naming: serpens_<component>_<what>[_total|_ms|_bytes], with
+// per-matrix/per-channel breakdowns as labels —
+// serpens_channel_utilization{matrix="m0",channel="3"} is the live,
+// per-resident form of the paper's Fig-2 channel-bandwidth story.
+#pragma once
+
+namespace serpens::serve {
+struct ServerStats;
+class MatrixRegistry;
+struct StoreStats;
+}
+namespace serpens::net {
+struct RetryStats;
+struct FailoverStats;
+}
+namespace serpens::util {
+class FaultInjector;
+}
+
+namespace serpens::obs {
+
+class MetricsRegistry;
+
+void export_server_metrics(MetricsRegistry& reg,
+                           const serve::ServerStats& stats);
+
+// Registry counters, resident footprint, and per-resident channel
+// utilization: for each resident matrix, channel c's share of the device
+// passes it could have streamed — total_lines(c) / sum_s(segment_depth(s))
+// (the denominator is the stall-inclusive depth every channel pays, so a
+// perfectly balanced matrix reads 1.0 on every channel).
+void export_registry_metrics(MetricsRegistry& reg,
+                             const serve::MatrixRegistry& registry);
+
+void export_store_metrics(MetricsRegistry& reg,
+                          const serve::StoreStats& stats);
+void export_retry_metrics(MetricsRegistry& reg, const net::RetryStats& stats);
+void export_failover_metrics(MetricsRegistry& reg,
+                             const net::FailoverStats& stats);
+
+// Per-site probe/fired counters for every site the injector has seen.
+void export_fault_metrics(MetricsRegistry& reg,
+                          const util::FaultInjector& injector);
+
+} // namespace serpens::obs

@@ -1,0 +1,378 @@
+#include "obs/metrics.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+namespace serpens::obs {
+
+namespace {
+
+// Inner label text ("k=\"v\",k2=\"v2\"", no braces) with Prometheus label
+// value escaping. Label insertion order is preserved — callers pass
+// labels in a fixed order, which keeps the exposition deterministic.
+std::string render_labels(const Labels& labels)
+{
+    std::string out;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        if (i > 0)
+            out += ',';
+        out += labels[i].first;
+        out += "=\"";
+        for (const char c : labels[i].second) {
+            if (c == '\\')
+                out += "\\\\";
+            else if (c == '"')
+                out += "\\\"";
+            else if (c == '\n')
+                out += "\\n";
+            else
+                out += c;
+        }
+        out += '"';
+    }
+    return out;
+}
+
+void append_value(std::string& out, double v)
+{
+    char buf[64];
+    if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+        std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    } else {
+        std::snprintf(buf, sizeof buf, "%.17g", v);
+    }
+    out += buf;
+}
+
+// Octave bucket edge (2^b microseconds) rendered in milliseconds with
+// exact decimals: "0.001", "1.024", "1048.576", ...
+std::string edge_label_ms(unsigned bucket)
+{
+    const std::uint64_t us = std::uint64_t{1} << bucket;
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%llu.%03llu",
+                  static_cast<unsigned long long>(us / 1000),
+                  static_cast<unsigned long long>(us % 1000));
+    return buf;
+}
+
+const char* type_name(int t)
+{
+    switch (t) {
+    case 0: return "counter";
+    case 1: return "gauge";
+    default: return "histogram";
+    }
+}
+
+} // namespace
+
+MetricsRegistry::Family&
+MetricsRegistry::family_locked(const std::string& name, const std::string& help,
+                               Type type)
+{
+    for (Family& f : families_) {
+        if (f.name == name) {
+            if (f.type != type)
+                throw std::invalid_argument(
+                    "metric '" + name + "' registered as " +
+                    type_name(static_cast<int>(f.type)) + " and " +
+                    type_name(static_cast<int>(type)));
+            return f;
+        }
+    }
+    Family f;
+    f.name = name;
+    f.help = help;
+    f.type = type;
+    families_.push_back(std::move(f));
+    return families_.back();
+}
+
+MetricsRegistry::Sample& MetricsRegistry::sample_locked(Family& fam,
+                                                        const Labels& labels)
+{
+    const std::string text = render_labels(labels);
+    for (Sample& s : fam.samples) {
+        if (s.label_text == text)
+            return s;
+    }
+    Sample s;
+    s.label_text = text;
+    fam.samples.push_back(std::move(s));
+    return fam.samples.back();
+}
+
+void MetricsRegistry::counter(const std::string& name, const std::string& help,
+                              std::uint64_t value, const Labels& labels)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    sample_locked(family_locked(name, help, Type::kCounter), labels).ivalue =
+        value;
+}
+
+void MetricsRegistry::gauge(const std::string& name, const std::string& help,
+                            double value, const Labels& labels)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    sample_locked(family_locked(name, help, Type::kGauge), labels).dvalue =
+        value;
+}
+
+void MetricsRegistry::histogram(const std::string& name,
+                                const std::string& help,
+                                const serve::LatencyHistogram& hist,
+                                const Labels& labels)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    sample_locked(family_locked(name, help, Type::kHistogram), labels).hist =
+        hist;
+}
+
+void MetricsRegistry::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    families_.clear();
+}
+
+std::string MetricsRegistry::prometheus_text() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string out;
+    for (const Family& f : families_) {
+        out += "# HELP " + f.name + " " + f.help + "\n";
+        out += "# TYPE " + f.name + " ";
+        out += type_name(static_cast<int>(f.type));
+        out += '\n';
+        for (const Sample& s : f.samples) {
+            if (f.type == Type::kCounter) {
+                out += f.name;
+                if (!s.label_text.empty())
+                    out += "{" + s.label_text + "}";
+                out += ' ';
+                out += std::to_string(s.ivalue);
+                out += '\n';
+            } else if (f.type == Type::kGauge) {
+                out += f.name;
+                if (!s.label_text.empty())
+                    out += "{" + s.label_text + "}";
+                out += ' ';
+                append_value(out, s.dvalue);
+                out += '\n';
+            } else {
+                const auto& buckets = s.hist.buckets();
+                std::uint64_t cumulative = 0;
+                for (unsigned b = 0; b < serve::LatencyHistogram::kBuckets;
+                     ++b) {
+                    cumulative += buckets[b];
+                    out += f.name + "_bucket{";
+                    if (!s.label_text.empty())
+                        out += s.label_text + ",";
+                    out += "le=\"" + edge_label_ms(b) + "\"} ";
+                    out += std::to_string(cumulative);
+                    out += '\n';
+                }
+                out += f.name + "_bucket{";
+                if (!s.label_text.empty())
+                    out += s.label_text + ",";
+                out += "le=\"+Inf\"} ";
+                out += std::to_string(s.hist.count());
+                out += '\n';
+                out += f.name + "_sum";
+                if (!s.label_text.empty())
+                    out += "{" + s.label_text + "}";
+                out += ' ';
+                append_value(out, s.hist.mean_ms() *
+                                      static_cast<double>(s.hist.count()));
+                out += '\n';
+                out += f.name + "_count";
+                if (!s.label_text.empty())
+                    out += "{" + s.label_text + "}";
+                out += ' ';
+                out += std::to_string(s.hist.count());
+                out += '\n';
+            }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+bool fail(std::string* error, const std::string& why)
+{
+    if (error != nullptr)
+        *error = why;
+    return false;
+}
+
+bool valid_metric_name(const std::string& name)
+{
+    if (name.empty())
+        return false;
+    const auto head = static_cast<unsigned char>(name[0]);
+    if (std::isalpha(head) == 0 && name[0] != '_' && name[0] != ':')
+        return false;
+    for (const char c : name) {
+        const auto u = static_cast<unsigned char>(c);
+        if (std::isalnum(u) == 0 && c != '_' && c != ':')
+            return false;
+    }
+    return true;
+}
+
+// Strip a histogram sample suffix to recover the family name.
+std::string family_base(const std::string& name)
+{
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+        const std::string s = suffix;
+        if (name.size() > s.size() &&
+            name.compare(name.size() - s.size(), s.size(), s) == 0)
+            return name.substr(0, name.size() - s.size());
+    }
+    return name;
+}
+
+} // namespace
+
+bool validate_prometheus_text(const std::string& text, std::string* error)
+{
+    if (text.empty())
+        return fail(error, "empty metrics document");
+    if (text.back() != '\n')
+        return fail(error, "metrics document must end with a newline");
+
+    std::map<std::string, std::string> types; // family -> type
+    std::set<std::string> helps;
+    std::set<std::string> hist_saw_inf;
+    std::size_t samples = 0;
+
+    std::size_t line_no = 0;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t eol = text.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = text.size();
+        const std::string line = text.substr(pos, eol - pos);
+        pos = eol + 1;
+        ++line_no;
+        const std::string where = "line " + std::to_string(line_no) + ": ";
+        if (line.empty())
+            continue;
+
+        if (line[0] == '#') {
+            // "# HELP name text" / "# TYPE name type"; other comments pass.
+            if (line.rfind("# HELP ", 0) == 0) {
+                const std::string rest = line.substr(7);
+                const std::size_t sp = rest.find(' ');
+                const std::string name =
+                    sp == std::string::npos ? rest : rest.substr(0, sp);
+                if (!valid_metric_name(name))
+                    return fail(error, where + "bad HELP metric name");
+                helps.insert(name);
+            } else if (line.rfind("# TYPE ", 0) == 0) {
+                const std::string rest = line.substr(7);
+                const std::size_t sp = rest.find(' ');
+                if (sp == std::string::npos)
+                    return fail(error, where + "TYPE line missing a type");
+                const std::string name = rest.substr(0, sp);
+                const std::string type = rest.substr(sp + 1);
+                if (!valid_metric_name(name))
+                    return fail(error, where + "bad TYPE metric name");
+                if (type != "counter" && type != "gauge" &&
+                    type != "histogram" && type != "summary" &&
+                    type != "untyped")
+                    return fail(error,
+                                where + "unknown metric type '" + type + "'");
+                types[name] = type;
+            }
+            continue;
+        }
+
+        // Sample line: name[{labels}] value
+        std::size_t i = 0;
+        while (i < line.size() && line[i] != '{' && line[i] != ' ')
+            ++i;
+        const std::string name = line.substr(0, i);
+        if (!valid_metric_name(name))
+            return fail(error, where + "bad metric name");
+        std::string labels;
+        bool saw_inf_le = false;
+        if (i < line.size() && line[i] == '{') {
+            const std::size_t open = i;
+            ++i;
+            bool in_string = false;
+            while (i < line.size()) {
+                const char c = line[i];
+                if (in_string) {
+                    if (c == '\\')
+                        ++i;
+                    else if (c == '"')
+                        in_string = false;
+                } else if (c == '"') {
+                    in_string = true;
+                } else if (c == '}') {
+                    break;
+                }
+                ++i;
+            }
+            if (i >= line.size())
+                return fail(error, where + "unterminated label set");
+            labels = line.substr(open + 1, i - open - 1);
+            saw_inf_le = labels.find("le=\"+Inf\"") != std::string::npos;
+            ++i;
+        }
+        if (i >= line.size() || line[i] != ' ')
+            return fail(error, where + "missing space before sample value");
+        while (i < line.size() && line[i] == ' ')
+            ++i;
+        const std::string value = line.substr(i);
+        if (value.empty())
+            return fail(error, where + "missing sample value");
+        char* end = nullptr;
+        const double v = std::strtod(value.c_str(), &end);
+        if (end != value.c_str() + value.size())
+            return fail(error, where + "unparseable sample value '" + value +
+                                   "'");
+        if (!std::isfinite(v))
+            return fail(error, where + "non-finite sample value");
+
+        const std::string base = family_base(name);
+        const auto it = types.count(name) != 0 ? types.find(name)
+                                               : types.find(base);
+        if (it == types.end())
+            return fail(error, where + "sample '" + name +
+                                   "' has no preceding # TYPE");
+        const std::string& family = it->first;
+        if (helps.count(family) == 0)
+            return fail(error, where + "sample '" + name +
+                                   "' has no preceding # HELP");
+        if (it->second == "histogram") {
+            if (name == family)
+                return fail(error, where + "histogram sample '" + name +
+                                       "' lacks _bucket/_sum/_count suffix");
+            if (v < 0.0)
+                return fail(error,
+                            where + "negative histogram sample value");
+            if (saw_inf_le)
+                hist_saw_inf.insert(family);
+        }
+        ++samples;
+    }
+
+    if (samples == 0)
+        return fail(error, "metrics document has no samples");
+    for (const auto& [name, type] : types) {
+        if (type == "histogram" && hist_saw_inf.count(name) == 0)
+            return fail(error, "histogram '" + name +
+                                   "' has no le=\"+Inf\" bucket");
+    }
+    return true;
+}
+
+} // namespace serpens::obs

@@ -1,0 +1,89 @@
+// Metrics registry with Prometheus text exposition.
+//
+// The serving stack already keeps authoritative counters in plain stats
+// structs (serve::ServerStats, RegistryStats, StoreStats, net::RetryStats,
+// net::FailoverStats, util::FaultInjector). MetricsRegistry converts those
+// into the Prometheus exposition format at scrape time — nothing on the
+// request hot path touches it. A scrape builds (or refreshes) a registry
+// from live stats via the export_* helpers in obs/export.h, then renders:
+//
+//   obs::MetricsRegistry reg;
+//   obs::export_server_metrics(reg, server.stats());
+//   obs::export_registry_metrics(reg, server.registry());
+//   std::string text = reg.prometheus_text();
+//
+// The daemon answers the kMetrics wire message with exactly this text;
+// `serpens_serve --dump-metrics` fetches and prints it.
+//
+// Families render in registration order and samples in label-insertion
+// order, so the output is deterministic and golden-testable. Histograms
+// reuse serve::LatencyHistogram's octave buckets; `le` edges are the
+// bucket upper edges in milliseconds (metric names end in _ms to make the
+// unit explicit).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "serve/latency.h"
+
+namespace serpens::obs {
+
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+class MetricsRegistry {
+public:
+    // Each setter upserts the sample identified by (name, labels) to the
+    // given value — scrape semantics, not increments. Registering one name
+    // with two different types throws std::invalid_argument.
+    void counter(const std::string& name, const std::string& help,
+                 std::uint64_t value, const Labels& labels = {});
+    void gauge(const std::string& name, const std::string& help, double value,
+               const Labels& labels = {});
+    void histogram(const std::string& name, const std::string& help,
+                   const serve::LatencyHistogram& hist,
+                   const Labels& labels = {});
+
+    void clear();
+
+    // Prometheus text exposition: # HELP / # TYPE per family, histogram
+    // families expanded to cumulative _bucket{le=...} + _sum + _count.
+    std::string prometheus_text() const;
+
+private:
+    enum class Type { kCounter, kGauge, kHistogram };
+
+    struct Sample {
+        std::string label_text; // rendered "{k=\"v\",...}" or ""
+        std::uint64_t ivalue = 0;
+        double dvalue = 0.0;
+        serve::LatencyHistogram hist;
+    };
+
+    struct Family {
+        std::string name;
+        std::string help;
+        Type type = Type::kCounter;
+        std::vector<Sample> samples;
+    };
+
+    Family& family_locked(const std::string& name, const std::string& help,
+                          Type type);
+    static Sample& sample_locked(Family& fam, const Labels& labels);
+
+    mutable std::mutex mu_;
+    std::vector<Family> families_; // registration order == render order
+};
+
+// Structural validator for the exposition format prometheus_text() emits:
+// every sample line's family must be preceded by # HELP and # TYPE lines,
+// metric names must be well-formed, values finite, histogram families
+// must carry a le="+Inf" bucket, and the document must end with a
+// newline. Used by `serpens_serve --check-snapshot` on archived metrics
+// dumps.
+bool validate_prometheus_text(const std::string& text, std::string* error);
+
+} // namespace serpens::obs

@@ -1,0 +1,385 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace serpens::obs {
+
+namespace detail {
+std::atomic<TraceRecorder*> g_trace_recorder{nullptr};
+}
+
+void set_trace_recorder(TraceRecorder* recorder)
+{
+    detail::g_trace_recorder.store(recorder, std::memory_order_release);
+}
+
+namespace {
+
+// Unique per-recorder id so a thread_local buffer cache can never alias
+// a dead recorder's address with a new one's (ABA on the pointer).
+std::atomic<std::uint64_t> g_recorder_ids{0};
+
+} // namespace
+
+TraceRecorder::TraceRecorder(Clock* clock, std::size_t per_thread_capacity)
+    : clock_(clock != nullptr ? clock : &real_clock()),
+      capacity_(per_thread_capacity > 0 ? per_thread_capacity : 1),
+      recorder_id_(g_recorder_ids.fetch_add(1, std::memory_order_relaxed) + 1)
+{
+}
+
+TraceRecorder::~TraceRecorder() = default;
+
+TraceRecorder::Buffer& TraceRecorder::local_buffer()
+{
+    thread_local std::uint64_t cached_id = 0;
+    thread_local Buffer* cached = nullptr;
+    if (cached_id == recorder_id_ && cached != nullptr)
+        return *cached;
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers_.push_back(std::make_unique<Buffer>());
+    buffers_.back()->spans.reserve(std::min<std::size_t>(capacity_, 1024));
+    cached = buffers_.back().get();
+    cached_id = recorder_id_;
+    return *cached;
+}
+
+void TraceRecorder::span(const char* name, const char* category,
+                         std::uint64_t trace_id, std::uint64_t start_ns,
+                         std::uint64_t end_ns, const char* arg_name,
+                         std::uint64_t arg)
+{
+    Buffer& buf = local_buffer();
+    std::lock_guard<std::mutex> lock(buf.mu);
+    if (buf.spans.size() >= capacity_) {
+        ++buf.dropped;
+        return;
+    }
+    Span s;
+    s.name = name;
+    s.category = category;
+    s.trace_id = trace_id;
+    s.start_ns = start_ns;
+    s.dur_ns = end_ns >= start_ns ? end_ns - start_ns : 0;
+    s.instant = false;
+    s.arg_name = arg_name;
+    s.arg = arg;
+    buf.spans.push_back(s);
+}
+
+void TraceRecorder::instant(const char* name, const char* category,
+                            std::uint64_t trace_id, const char* arg_name,
+                            std::uint64_t arg)
+{
+    const std::uint64_t now = clock_->now_ns();
+    Buffer& buf = local_buffer();
+    std::lock_guard<std::mutex> lock(buf.mu);
+    if (buf.spans.size() >= capacity_) {
+        ++buf.dropped;
+        return;
+    }
+    Span s;
+    s.name = name;
+    s.category = category;
+    s.trace_id = trace_id;
+    s.start_ns = now;
+    s.dur_ns = 0;
+    s.instant = true;
+    s.arg_name = arg_name;
+    s.arg = arg;
+    buf.spans.push_back(s);
+}
+
+std::vector<Span> TraceRecorder::snapshot() const
+{
+    std::vector<Span> out;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (std::size_t b = 0; b < buffers_.size(); ++b) {
+            std::lock_guard<std::mutex> bl(buffers_[b]->mu);
+            for (std::size_t i = 0; i < buffers_[b]->spans.size(); ++i) {
+                Span s = buffers_[b]->spans[i];
+                s.tid = static_cast<std::uint32_t>(b);
+                s.seq = i;
+                out.push_back(s);
+            }
+        }
+    }
+    std::sort(out.begin(), out.end(), [](const Span& a, const Span& b) {
+        if (a.start_ns != b.start_ns)
+            return a.start_ns < b.start_ns;
+        if (a.tid != b.tid)
+            return a.tid < b.tid;
+        return a.seq < b.seq;
+    });
+    return out;
+}
+
+std::uint64_t TraceRecorder::dropped() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::uint64_t n = 0;
+    for (const auto& b : buffers_) {
+        std::lock_guard<std::mutex> bl(b->mu);
+        n += b->dropped;
+    }
+    return n;
+}
+
+std::size_t TraceRecorder::recorded() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t n = 0;
+    for (const auto& b : buffers_) {
+        std::lock_guard<std::mutex> bl(b->mu);
+        n += b->spans.size();
+    }
+    return n;
+}
+
+namespace {
+
+// Trace-event timestamps are microseconds; print ns/1000 with three
+// decimals so the nanosecond value survives exactly and the text is
+// deterministic.
+void append_us(std::string& out, std::uint64_t ns)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%llu.%03llu",
+                  static_cast<unsigned long long>(ns / 1000),
+                  static_cast<unsigned long long>(ns % 1000));
+    out += buf;
+}
+
+void append_json_string(std::string& out, const char* s)
+{
+    out += '"';
+    for (const char* p = s; *p != '\0'; ++p) {
+        const char c = *p;
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+    out += '"';
+}
+
+} // namespace
+
+std::string TraceRecorder::to_chrome_json() const
+{
+    const std::vector<Span> spans = snapshot();
+    std::string out;
+    out.reserve(128 + spans.size() * 128);
+    out += "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [";
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+        const Span& s = spans[i];
+        out += i == 0 ? "\n" : ",\n";
+        out += "    {\"name\": ";
+        append_json_string(out, s.name);
+        out += ", \"cat\": ";
+        append_json_string(out, s.category);
+        out += s.instant ? ", \"ph\": \"i\", \"s\": \"t\"" : ", \"ph\": \"X\"";
+        out += ", \"ts\": ";
+        append_us(out, s.start_ns);
+        if (!s.instant) {
+            out += ", \"dur\": ";
+            append_us(out, s.dur_ns);
+        }
+        out += ", \"pid\": 1, \"tid\": ";
+        out += std::to_string(s.tid);
+        out += ", \"args\": {\"trace_id\": ";
+        out += std::to_string(s.trace_id);
+        if (s.arg_name != nullptr) {
+            out += ", ";
+            append_json_string(out, s.arg_name);
+            out += ": ";
+            out += std::to_string(s.arg);
+        }
+        out += "}}";
+    }
+    out += spans.empty() ? "]\n}\n" : "\n  ]\n}\n";
+    return out;
+}
+
+namespace {
+
+bool fail(std::string* error, const std::string& why)
+{
+    if (error != nullptr)
+        *error = why;
+    return false;
+}
+
+void skip_ws(const std::string& s, std::size_t& pos)
+{
+    while (pos < s.size() &&
+           std::isspace(static_cast<unsigned char>(s[pos])) != 0)
+        ++pos;
+}
+
+// Within one event object's text, find `"key"` and parse the number that
+// follows its ':'. Returns false when the key is absent or malformed.
+bool number_in_object(const std::string& obj, const char* key, double* out)
+{
+    const std::string quoted = std::string("\"") + key + "\"";
+    std::size_t pos = obj.find(quoted);
+    if (pos == std::string::npos)
+        return false;
+    pos += quoted.size();
+    skip_ws(obj, pos);
+    if (pos >= obj.size() || obj[pos] != ':')
+        return false;
+    ++pos;
+    skip_ws(obj, pos);
+    char buf[64];
+    std::size_t n = 0;
+    while (pos < obj.size() && n + 1 < sizeof buf &&
+           (std::isdigit(static_cast<unsigned char>(obj[pos])) != 0 ||
+            obj[pos] == '-' || obj[pos] == '+' || obj[pos] == '.' ||
+            obj[pos] == 'e' || obj[pos] == 'E')) {
+        buf[n++] = obj[pos++];
+    }
+    buf[n] = '\0';
+    if (n == 0)
+        return false;
+    char* end = nullptr;
+    const double v = std::strtod(buf, &end);
+    if (end != buf + n)
+        return false;
+    *out = v;
+    return true;
+}
+
+// `"key"` followed by ':' and a JSON string; returns the string value.
+bool string_in_object(const std::string& obj, const char* key,
+                      std::string* out)
+{
+    const std::string quoted = std::string("\"") + key + "\"";
+    std::size_t pos = obj.find(quoted);
+    if (pos == std::string::npos)
+        return false;
+    pos += quoted.size();
+    skip_ws(obj, pos);
+    if (pos >= obj.size() || obj[pos] != ':')
+        return false;
+    ++pos;
+    skip_ws(obj, pos);
+    if (pos >= obj.size() || obj[pos] != '"')
+        return false;
+    ++pos;
+    std::string v;
+    while (pos < obj.size() && obj[pos] != '"') {
+        if (obj[pos] == '\\') {
+            ++pos;
+            if (pos >= obj.size())
+                return false;
+        }
+        v += obj[pos++];
+    }
+    if (pos >= obj.size())
+        return false;
+    *out = v;
+    return true;
+}
+
+} // namespace
+
+bool validate_trace_json(const std::string& text, std::string* error)
+{
+    const std::string key = "\"traceEvents\"";
+    std::size_t pos = text.find(key);
+    if (pos == std::string::npos)
+        return fail(error, "missing \"traceEvents\" key");
+    pos += key.size();
+    skip_ws(text, pos);
+    if (pos >= text.size() || text[pos] != ':')
+        return fail(error, "\"traceEvents\" not followed by ':'");
+    ++pos;
+    skip_ws(text, pos);
+    if (pos >= text.size() || text[pos] != '[')
+        return fail(error, "\"traceEvents\" is not an array");
+    ++pos;
+
+    std::size_t events = 0;
+    for (;;) {
+        skip_ws(text, pos);
+        if (pos >= text.size())
+            return fail(error, "unterminated traceEvents array");
+        if (text[pos] == ']')
+            break;
+        if (events > 0) {
+            if (text[pos] != ',')
+                return fail(error, "missing ',' between trace events");
+            ++pos;
+            skip_ws(text, pos);
+        }
+        if (pos >= text.size() || text[pos] != '{')
+            return fail(error, "trace event is not an object");
+        // Balanced-brace scan, string-aware, to slice out one event.
+        const std::size_t begin = pos;
+        int depth = 0;
+        bool in_string = false;
+        while (pos < text.size()) {
+            const char c = text[pos];
+            if (in_string) {
+                if (c == '\\')
+                    ++pos;
+                else if (c == '"')
+                    in_string = false;
+            } else if (c == '"') {
+                in_string = true;
+            } else if (c == '{') {
+                ++depth;
+            } else if (c == '}') {
+                --depth;
+                if (depth == 0)
+                    break;
+            }
+            ++pos;
+        }
+        if (pos >= text.size())
+            return fail(error, "unterminated trace event object");
+        const std::string obj = text.substr(begin, pos - begin + 1);
+        ++pos;
+        ++events;
+
+        std::string name;
+        if (!string_in_object(obj, "name", &name) || name.empty())
+            return fail(error, "trace event missing \"name\"");
+        std::string ph;
+        if (!string_in_object(obj, "ph", &ph))
+            return fail(error, "trace event missing \"ph\"");
+        if (ph != "X" && ph != "i" && ph != "M")
+            return fail(error, "trace event \"" + name +
+                                   "\" has unsupported ph \"" + ph + "\"");
+        double v = 0.0;
+        if (!number_in_object(obj, "ts", &v) || !std::isfinite(v) || v < 0.0)
+            return fail(error,
+                        "trace event \"" + name + "\" has a bad \"ts\"");
+        if (ph == "X" &&
+            (!number_in_object(obj, "dur", &v) || !std::isfinite(v) || v < 0.0))
+            return fail(error,
+                        "trace event \"" + name + "\" has a bad \"dur\"");
+        if (!number_in_object(obj, "pid", &v) || !std::isfinite(v) || v < 0.0)
+            return fail(error,
+                        "trace event \"" + name + "\" has a bad \"pid\"");
+        if (!number_in_object(obj, "tid", &v) || !std::isfinite(v) || v < 0.0)
+            return fail(error,
+                        "trace event \"" + name + "\" has a bad \"tid\"");
+    }
+    return true;
+}
+
+} // namespace serpens::obs

@@ -1,0 +1,143 @@
+// Request tracing for the serving stack: bounded per-thread span buffers
+// and Chrome trace-event JSON export (load the file in Perfetto or
+// chrome://tracing).
+//
+// A TraceRecorder is installed process-wide like util::FaultInjector:
+//
+//   obs::TraceRecorder rec;
+//   obs::set_trace_recorder(&rec);
+//   ... traffic ...
+//   obs::set_trace_recorder(nullptr);
+//   util::atomic_write_file("trace.json", rec.to_chrome_json());
+//
+// Instrumented sites probe through obs::trace_recorder(): with no
+// recorder installed (the production default) a probe is one acquire
+// atomic load and a null test — no lock, no clock read, no allocation.
+// That is the entire disabled-mode cost, and ObsTrace.NoOpRecorder pins
+// it.
+//
+// Spans carry a trace_id that stitches one request's lifecycle across
+// threads and, via the wire protocol, across processes: the client mints
+// the id (next_trace_id()), SpmvRequest carries it, and daemon-side spans
+// record the same id. Old peers that never heard of tracing interop as
+// id 0 (the field is simply absent from their frames).
+//
+// Span names are expected to be string literals (the recorder stores the
+// pointers, not copies); every instrumented site in the tree satisfies
+// this.
+//
+// Buffers are bounded: each recording thread gets a fixed-capacity
+// vector; once full, further spans on that thread are counted in
+// dropped() and discarded. Export order is deterministic — spans sort by
+// (start_ns, thread registration order, per-thread sequence) — so a fake
+// clock plus a deterministic load reproduces the identical JSON byte for
+// byte (ObsTrace.ByteIdenticalReplay).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/clock.h"
+
+namespace serpens::obs {
+
+struct Span {
+    const char* name = "";
+    const char* category = "";
+    std::uint64_t trace_id = 0;
+    std::uint64_t start_ns = 0;
+    std::uint64_t dur_ns = 0;
+    bool instant = false;
+    // Optional numeric argument (batch width, byte count, ...).
+    const char* arg_name = nullptr;
+    std::uint64_t arg = 0;
+    // Filled at snapshot time: thread registration order + append index.
+    std::uint32_t tid = 0;
+    std::uint64_t seq = 0;
+};
+
+class TraceRecorder {
+public:
+    // `clock` defaults to real_clock(). `per_thread_capacity` bounds each
+    // recording thread's buffer; overflow increments dropped().
+    explicit TraceRecorder(Clock* clock = nullptr,
+                           std::size_t per_thread_capacity = 1 << 16);
+    ~TraceRecorder();
+
+    TraceRecorder(const TraceRecorder&) = delete;
+    TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+    Clock& clock() { return *clock_; }
+    std::uint64_t now_ns() { return clock_->now_ns(); }
+
+    // Fresh nonzero id for a new request's span tree.
+    std::uint64_t next_trace_id()
+    {
+        return trace_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+    }
+
+    // Record a completed span [start_ns, end_ns). `name`/`category`/
+    // `arg_name` must be string literals (or otherwise outlive the
+    // recorder).
+    void span(const char* name, const char* category, std::uint64_t trace_id,
+              std::uint64_t start_ns, std::uint64_t end_ns,
+              const char* arg_name = nullptr, std::uint64_t arg = 0);
+
+    // Record a point event at now_ns().
+    void instant(const char* name, const char* category,
+                 std::uint64_t trace_id, const char* arg_name = nullptr,
+                 std::uint64_t arg = 0);
+
+    // Spans recorded so far (all threads), in deterministic export order.
+    std::vector<Span> snapshot() const;
+
+    std::uint64_t dropped() const;
+    std::size_t recorded() const;
+
+    // Chrome trace-event JSON ({"traceEvents": [...]}). Deterministic for
+    // a deterministic span set.
+    std::string to_chrome_json() const;
+
+private:
+    struct Buffer {
+        mutable std::mutex mu;
+        std::vector<Span> spans;
+        std::uint64_t dropped = 0;
+    };
+
+    Buffer& local_buffer();
+
+    Clock* clock_;
+    std::size_t capacity_;
+    std::uint64_t recorder_id_;
+    std::atomic<std::uint64_t> trace_seq_{0};
+    mutable std::mutex mu_; // guards buffers_ growth
+    std::vector<std::unique_ptr<Buffer>> buffers_;
+};
+
+// Install/clear the process-global recorder the probe sites consult. The
+// caller keeps ownership and must clear it before destroying it.
+void set_trace_recorder(TraceRecorder* recorder);
+
+namespace detail {
+extern std::atomic<TraceRecorder*> g_trace_recorder;
+}
+
+// The probe: one acquire load + null test when tracing is off.
+inline TraceRecorder* trace_recorder()
+{
+    return detail::g_trace_recorder.load(std::memory_order_acquire);
+}
+
+// Structural validator for Chrome trace-event JSON (the same contract
+// to_chrome_json() emits): a "traceEvents" array of objects, each with a
+// string "name", a "ph" of "X" (with finite non-negative "dur") or "i",
+// and finite non-negative "ts"/"pid"/"tid". Used by
+// `serpens_serve --check-snapshot` on archived trace artifacts.
+bool validate_trace_json(const std::string& text, std::string* error);
+
+} // namespace serpens::obs

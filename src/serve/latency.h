@@ -16,6 +16,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cmath>
 #include <cstdint>
 
 namespace serpens::serve {
@@ -32,6 +33,12 @@ public:
 
     void record(double ms)
     {
+        // A non-finite or negative sample (a clock that went backwards, a
+        // subtraction across clock domains) still counts — in bucket 0 —
+        // but must not poison sum/max: one NaN would make mean_ms() NaN
+        // for the rest of the process.
+        if (!std::isfinite(ms) || ms < 0.0)
+            ms = 0.0;
         ++count_;
         sum_ms_ += ms;
         max_ms_ = std::max(max_ms_, ms);

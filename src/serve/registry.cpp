@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace serpens::serve {
@@ -54,8 +55,12 @@ MatrixRegistry::install(const std::string& name,
         ++stats_.replacements;
 
     // LRU eviction until the newcomer fits.
+    obs::TraceRecorder* const rec = obs::trace_recorder();
     while (budget_bytes_ != 0 && bytes_resident_ + bytes > budget_bytes_) {
         SERPENS_ASSERT(!lru_.empty(), "budget accounting out of sync");
+        if (rec != nullptr)
+            rec->instant("registry.evict", "registry", 0, "bytes",
+                         residents_.at(lru_.back()).bytes);
         erase_locked(lru_.back());
         ++stats_.evictions;
     }
@@ -64,6 +69,8 @@ MatrixRegistry::install(const std::string& name,
     residents_[name] = Resident{prepared, bytes, lru_.begin()};
     bytes_resident_ += bytes;
     ++stats_.admissions;
+    if (rec != nullptr)
+        rec->instant("registry.admit", "registry", 0, "bytes", bytes);
     if (paid_encode)
         ++stats_.encodes;
     return prepared;
@@ -98,8 +105,12 @@ bool MatrixRegistry::evict(const std::string& name)
 {
     const std::lock_guard<std::mutex> lock(mu_);
     const bool present = erase_locked(name);
-    if (present)
+    if (present) {
         ++stats_.evictions;
+        if (obs::TraceRecorder* const rec = obs::trace_recorder();
+            rec != nullptr)
+            rec->instant("registry.evict", "registry", 0);
+    }
     return present;
 }
 
@@ -125,6 +136,19 @@ std::vector<std::string> MatrixRegistry::resident_names() const
 {
     const std::lock_guard<std::mutex> lock(mu_);
     return {lru_.begin(), lru_.end()};
+}
+
+std::vector<std::pair<std::string, std::shared_ptr<const core::PreparedMatrix>>>
+MatrixRegistry::residents_snapshot() const
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    std::vector<
+        std::pair<std::string, std::shared_ptr<const core::PreparedMatrix>>>
+        out;
+    out.reserve(residents_.size());
+    for (const std::string& name : lru_)
+        out.emplace_back(name, residents_.at(name).prepared);
+    return out;
 }
 
 } // namespace serpens::serve

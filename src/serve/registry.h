@@ -28,6 +28,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/accelerator.h"
@@ -82,6 +83,13 @@ public:
 
     // Resident names, most-recently used first (for tests and --json).
     std::vector<std::string> resident_names() const;
+
+    // Residents (name, prepared), most-recently used first, WITHOUT
+    // bumping LRU order the way get() would — metrics scrapes must not
+    // perturb eviction behavior.
+    std::vector<
+        std::pair<std::string, std::shared_ptr<const core::PreparedMatrix>>>
+    residents_snapshot() const;
 
     const core::Accelerator& accelerator() const { return accelerator_; }
 

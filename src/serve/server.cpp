@@ -5,6 +5,7 @@
 #include <tuple>
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/bitpack.h"
 #include "util/fault.h"
 #include "util/thread_pool.h"
@@ -14,11 +15,6 @@ namespace serpens::serve {
 namespace {
 
 using Clock = std::chrono::steady_clock;
-
-double ms_between(Clock::time_point a, Clock::time_point b)
-{
-    return std::chrono::duration<double, std::milli>(b - a).count();
-}
 
 Clock::duration ms_duration(double ms)
 {
@@ -53,7 +49,7 @@ double sample_quantile(std::vector<double> samples, double q)
 
 } // namespace
 
-Server::Server(core::SerpensConfig config)
+Server::Server(core::SerpensConfig config, obs::Clock* clock)
     : registry_(config),
       exec_config_([&] {
           core::SerpensConfig exec = config;
@@ -66,6 +62,7 @@ Server::Server(core::SerpensConfig config)
       }()),
       exec_acc_(exec_config_),
       serve_width_(util::resolve_threads(config.serve_threads)),
+      clock_(clock != nullptr ? clock : &obs::real_clock()),
       max_batch_(std::max(1u, config.max_batch)),
       cur_max_batch_(std::max(1u, config.max_batch)),
       batch_wait_ms_(config.batch_wait_ms),
@@ -89,7 +86,8 @@ Server::~Server()
 std::future<SpmvResult> Server::submit(const std::string& name,
                                        std::vector<float> x,
                                        std::vector<float> y, float alpha,
-                                       float beta, double deadline_ms)
+                                       float beta, double deadline_ms,
+                                       std::uint64_t trace_id)
 {
     Pending p;
     p.matrix = registry_.get(name);
@@ -110,7 +108,9 @@ std::future<SpmvResult> Server::submit(const std::string& name,
     p.alpha = alpha;
     p.beta = beta;
     p.deadline_ms = deadline_ms;
+    p.trace_id = trace_id;
     p.submitted = Clock::now();
+    p.submitted_ns = clock_->now_ns();
     std::future<SpmvResult> future = p.promise.get_future();
     {
         const std::lock_guard<std::mutex> lock(mu_);
@@ -139,9 +139,10 @@ std::future<SpmvResult> Server::submit(const std::string& name,
 
 SpmvResult Server::spmv(const std::string& name, std::vector<float> x,
                         std::vector<float> y, float alpha, float beta,
-                        double deadline_ms)
+                        double deadline_ms, std::uint64_t trace_id)
 {
-    return submit(name, std::move(x), std::move(y), alpha, beta, deadline_ms)
+    return submit(name, std::move(x), std::move(y), alpha, beta, deadline_ms,
+                  trace_id)
         .get();
 }
 
@@ -341,6 +342,10 @@ void Server::run_round(std::vector<Pending> round, unsigned batch_limit)
     std::vector<double> service_samples(round.size(), 0.0);
     std::vector<std::uint8_t> shed_flags(round.size(), 0);
 
+    // One trace probe per round; with no recorder installed tracing costs
+    // exactly this atomic load (the no-op-recorder test pins that).
+    obs::TraceRecorder* const rec = obs::trace_recorder();
+
     // Execute the round's batches on the shared pool — the serving
     // counterpart of the per-channel parallel_for loops downstream.
     util::shared_parallel_for(
@@ -349,7 +354,7 @@ void Server::run_round(std::vector<Pending> round, unsigned batch_limit)
             // Queue time runs until THIS batch starts executing, not until
             // the round was picked up: in a serial drain, groups executed
             // later in the round spent that time queued too.
-            const Clock::time_point start = Clock::now();
+            const std::uint64_t start_ns = clock_->now_ns();
             // Deadline shedding, decided against the same instant the
             // batch starts: a request whose budget ran out while queued is
             // failed fast here and never occupies a batch column — under
@@ -359,9 +364,12 @@ void Server::run_round(std::vector<Pending> round, unsigned batch_limit)
             live.reserve(members.size());
             for (const std::size_t i : members) {
                 Pending& p = round[i];
-                const double waited = ms_between(p.submitted, start);
+                const double waited =
+                    obs::Clock::ms_between(p.submitted_ns, start_ns);
                 if (p.deadline_ms > 0.0 && waited > p.deadline_ms) {
                     shed_flags[i] = 1;
+                    if (rec != nullptr)
+                        rec->instant("serve.shed", "serve", p.trace_id);
                     p.promise.set_exception(std::make_exception_ptr(
                         DeadlineExceededError(
                             "serve: deadline of " +
@@ -384,14 +392,18 @@ void Server::run_round(std::vector<Pending> round, unsigned batch_limit)
                     ys.push_back(std::move(round[i].y));
                 }
                 const Pending& head = round[members.front()];
+                const std::uint64_t device_start_ns = clock_->now_ns();
                 core::BatchRunResult results = exec_acc_.run_batch(
                     *head.matrix, xs, ys, head.alpha, head.beta);
-                const double service_ms = ms_between(start, Clock::now());
+                const std::uint64_t device_end_ns = clock_->now_ns();
+                const double service_ms =
+                    obs::Clock::ms_between(start_ns, device_end_ns);
                 for (std::size_t k = 0; k < members.size(); ++k) {
                     Pending& p = round[members[k]];
                     SpmvResult r;
                     r.run = std::move(results[k]);
-                    r.queue_ms = ms_between(p.submitted, start);
+                    r.queue_ms =
+                        obs::Clock::ms_between(p.submitted_ns, start_ns);
                     r.service_ms = service_ms;
                     queue_samples[members[k]] = r.queue_ms;
                     service_samples[members[k]] = r.service_ms;
@@ -403,6 +415,23 @@ void Server::run_round(std::vector<Pending> round, unsigned batch_limit)
                     r.batch_width = static_cast<unsigned>(members.size());
                     r.sequence = p.sequence;
                     p.promise.set_value(std::move(r));
+                }
+                if (rec != nullptr) {
+                    const std::uint64_t end_ns = clock_->now_ns();
+                    const std::uint64_t width = members.size();
+                    // Per-request queue wait, then the shared batch: the
+                    // device pass and the y-extraction/reply tail, all
+                    // stitched to the head request's trace id (every
+                    // member's own id rides its serve.queue span).
+                    for (const std::size_t i : members)
+                        rec->span("serve.queue", "serve", round[i].trace_id,
+                                  round[i].submitted_ns, start_ns);
+                    rec->span("serve.device", "serve", head.trace_id,
+                              device_start_ns, device_end_ns, "width", width);
+                    rec->span("serve.extract", "serve", head.trace_id,
+                              device_end_ns, end_ns, "width", width);
+                    rec->span("serve.batch", "serve", head.trace_id, start_ns,
+                              end_ns, "width", width);
                 }
             } catch (...) {
                 for (const std::size_t i : members)

@@ -57,6 +57,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/clock.h"
 #include "serve/latency.h"
 #include "serve/registry.h"
 
@@ -136,7 +137,14 @@ struct ServerStats {
 
 class Server {
 public:
-    explicit Server(core::SerpensConfig config);
+    // `clock` is the time source for queue/service latency sampling and
+    // trace spans (nullptr = the process-wide real clock). Tests inject an
+    // obs::FakeClock to make latencies — and whole trace files — exactly
+    // reproducible. The batch-forming hold still waits on the OS clock
+    // (condition variables need real deadlines); with a fake clock the
+    // hold is effectively a plain wakeup, which deterministic tests drive
+    // via pause()/resume() anyway.
+    explicit Server(core::SerpensConfig config, obs::Clock* clock = nullptr);
     ~Server();  // drains every pending request, then stops the dispatcher
 
     Server(const Server&) = delete;
@@ -151,15 +159,20 @@ public:
     // submission; if its batch has not STARTED by then the dispatcher
     // sheds it (future throws DeadlineExceededError) instead of spending
     // device time on a response nobody is waiting for.
+    // trace_id stitches this request's dispatcher spans (queue wait,
+    // batch, device pass) into a distributed trace when an
+    // obs::TraceRecorder is installed; 0 = untraced.
     std::future<SpmvResult> submit(const std::string& name,
                                    std::vector<float> x, std::vector<float> y,
                                    float alpha = 1.0f, float beta = 0.0f,
-                                   double deadline_ms = 0.0);
+                                   double deadline_ms = 0.0,
+                                   std::uint64_t trace_id = 0);
 
     // Blocking convenience: submit and wait.
     SpmvResult spmv(const std::string& name, std::vector<float> x,
                     std::vector<float> y, float alpha = 1.0f,
-                    float beta = 0.0f, double deadline_ms = 0.0);
+                    float beta = 0.0f, double deadline_ms = 0.0,
+                    std::uint64_t trace_id = 0);
 
     // Hold/release dispatching. While paused, submissions queue up; resume
     // dispatches them in one round — how tests (and burst benchmarks) make
@@ -194,7 +207,12 @@ private:
         float beta = 0.0f;
         double deadline_ms = 0.0;  // 0 = no deadline
         std::uint64_t sequence = 0;
+        std::uint64_t trace_id = 0;  // 0 = untraced
+        // Two submission stamps on purpose: the cv batch-forming hold
+        // needs an OS-clock deadline, while latency samples and trace
+        // spans read the injectable clock (deterministic under a fake).
         std::chrono::steady_clock::time_point submitted;
+        std::uint64_t submitted_ns = 0;
         std::promise<SpmvResult> promise;
     };
 
@@ -206,6 +224,7 @@ private:
     core::SerpensConfig exec_config_;
     core::Accelerator exec_acc_;
     unsigned serve_width_ = 1;
+    obs::Clock* clock_ = nullptr;  // never null after construction
 
     mutable std::mutex mu_;
     std::condition_variable cv_work_;

@@ -349,7 +349,7 @@ std::string server_stats_to_json(const ServerStats& server,
                                  const RegistryStats& registry,
                                  std::size_t residents,
                                  std::uint64_t bytes_resident,
-                                 const StoreStats* store)
+                                 const StoreStats* store, double uptime_ms)
 {
     std::vector<std::uint64_t> widths;
     for (unsigned w = 1; w < kWidthBuckets; ++w)
@@ -384,6 +384,7 @@ std::string server_stats_to_json(const ServerStats& server,
         << server.service_hist.quantile_ms(0.5) << ",\n"
         << "    \"p99_service_ms\": "
         << server.service_hist.quantile_ms(0.99) << ",\n"
+        << "    \"uptime_ms\": " << uptime_ms << ",\n"
         << "    \"width_hist\": ";
     append_width_hist(out, widths);
     out << "\n  },\n"
@@ -417,7 +418,7 @@ bool validate_server_stats_json(std::string_view json, std::string* error)
         "current_max_batch",
         "p99_queue_ewma_ms", "mean_queue_ms",  "p50_queue_ms",
         "p99_queue_ms",    "mean_service_ms",  "p50_service_ms",
-        "p99_service_ms"};
+        "p99_service_ms",  "uptime_ms"};
     std::size_t at = 0;
     for (const char* key : keys) {
         double v = 0.0;

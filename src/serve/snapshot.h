@@ -105,12 +105,15 @@ bool validate_snapshot_json(std::string_view json, std::string* error);
 // LatencyHistograms, so they are upper-edge conservative). `store` adds
 // the durable-state counters (PR 9); the keys are always present —
 // recovered/skipped_corrupt read 0 when the daemon runs stateless — so
-// clients need no schema branch.
+// clients need no schema branch. `uptime_ms` is the daemon's age at the
+// moment of the scrape (0 when the caller has no daemon, e.g. in-process
+// servers under test).
 std::string server_stats_to_json(const ServerStats& server,
                                  const RegistryStats& registry,
                                  std::size_t residents,
                                  std::uint64_t bytes_resident,
-                                 const StoreStats* store = nullptr);
+                                 const StoreStats* store = nullptr,
+                                 double uptime_ms = 0.0);
 
 // Schema check for a server_stats_to_json document.
 bool validate_server_stats_json(std::string_view json, std::string* error);

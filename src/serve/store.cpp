@@ -14,6 +14,7 @@
 #include <stdexcept>
 
 #include "encode/serialize.h"
+#include "obs/trace.h"
 #include "util/crc32.h"
 #include "util/fs.h"
 
@@ -233,6 +234,8 @@ void RegistryStore::close_log_fd_locked()
 
 void RegistryStore::append_record(std::uint8_t type, const std::string& name)
 {
+    obs::TraceRecorder* const trace = obs::trace_recorder();
+    const std::uint64_t start_ns = trace != nullptr ? trace->now_ns() : 0;
     ensure_log_fd_locked();
     const std::string rec = encode_record(type, name);
     const char* data = rec.data();
@@ -254,6 +257,9 @@ void RegistryStore::append_record(std::uint8_t type, const std::string& name)
                                  std::string(std::strerror(errno)));
     log_bytes_ += rec.size();
     ++stats_.appends;
+    if (trace != nullptr)
+        trace->span("store.wal_append", "store", 0, start_ns, trace->now_ns(),
+                    "bytes", rec.size());
 }
 
 void RegistryStore::maybe_compact_locked()
@@ -327,6 +333,9 @@ void RegistryStore::record_clean_shutdown()
 
 std::uint64_t RegistryStore::recover(MatrixRegistry& registry)
 {
+    obs::TraceRecorder* const trace = obs::trace_recorder();
+    const std::uint64_t trace_start_ns =
+        trace != nullptr ? trace->now_ns() : 0;
     const auto start = std::chrono::steady_clock::now();
 
     std::vector<std::string> names;
@@ -364,6 +373,9 @@ std::uint64_t RegistryStore::recover(MatrixRegistry& registry)
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - start)
             .count();
+    if (trace != nullptr)
+        trace->span("store.replay", "store", 0, trace_start_ns,
+                    trace->now_ns(), "recovered", recovered);
     return recovered;
 }
 

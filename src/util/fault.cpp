@@ -65,6 +65,16 @@ std::uint64_t FaultInjector::probes(const std::string& site) const
     return it == sites_.end() ? 0 : it->second.probes;
 }
 
+std::map<std::string, std::pair<std::uint64_t, std::uint64_t>>
+FaultInjector::site_counts() const
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> out;
+    for (const auto& [name, site] : sites_)
+        out[name] = {site.probes, site.fired};
+    return out;
+}
+
 void set_fault_injector(FaultInjector* injector)
 {
     detail::g_fault_injector.store(injector, std::memory_order_release);

@@ -39,6 +39,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <utility>
 
 #include "util/rng.h"
 
@@ -64,6 +65,11 @@ public:
 
     std::uint64_t fired(const std::string& site) const;
     std::uint64_t probes(const std::string& site) const;
+
+    // Every site this injector has seen (armed or probed), with its
+    // (probes, fired) counts — for metrics export.
+    std::map<std::string, std::pair<std::uint64_t, std::uint64_t>>
+    site_counts() const;
 
 private:
     struct Site {

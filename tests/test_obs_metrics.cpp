@@ -1,0 +1,312 @@
+// obs::MetricsRegistry lockdown: Prometheus exposition is golden-testable
+// byte-for-byte (families render in registration order, samples in
+// label-insertion order), the structural validator rejects the corruptions
+// --check-snapshot must catch, the export_* bridges surface every serving
+// component (including per-channel utilization for each resident), and a
+// kMetrics wire scrape of a live daemon round-trips valid text.
+//
+// Also pins the LatencyHistogram sanitize contract: a NaN/negative/inf
+// sample still counts (bucket 0) but can never poison sum/max/mean.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/client.h"
+#include "net/daemon.h"
+#include "net/failover.h"
+#include "net/retry.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "serve/latency.h"
+#include "serve/server.h"
+#include "sparse/generators.h"
+#include "util/fault.h"
+#include "util/rng.h"
+
+namespace serpens {
+namespace {
+
+std::vector<float> random_vec(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> v(n);
+    for (float& f : v)
+        f = rng.next_float(-1.0f, 1.0f);
+    return v;
+}
+
+bool valid(const std::string& text)
+{
+    std::string err;
+    const bool ok = obs::validate_prometheus_text(text, &err);
+    EXPECT_TRUE(ok) << err;
+    return ok;
+}
+
+TEST(ObsMetrics, PrometheusGoldenCounterGauge)
+{
+    obs::MetricsRegistry reg;
+    reg.counter("serpens_test_total", "A counter.", 3);
+    reg.counter("serpens_test_total", "A counter.", 5, {{"kind", "b"}});
+    reg.gauge("serpens_test_ratio", "A gauge.", 0.5);
+
+    // Registration order, label-insertion order, integral values without a
+    // decimal point, trailing newline: the exact bytes are the contract
+    // (the deterministic-trace CI check diffs this text).
+    const std::string golden =
+        "# HELP serpens_test_total A counter.\n"
+        "# TYPE serpens_test_total counter\n"
+        "serpens_test_total 3\n"
+        "serpens_test_total{kind=\"b\"} 5\n"
+        "# HELP serpens_test_ratio A gauge.\n"
+        "# TYPE serpens_test_ratio gauge\n"
+        "serpens_test_ratio 0.5\n";
+    EXPECT_EQ(reg.prometheus_text(), golden);
+    valid(golden);
+}
+
+TEST(ObsMetrics, HistogramExposesCumulativeBucketsAndInf)
+{
+    serve::LatencyHistogram h;
+    h.record(0.5);
+    h.record(3.0);
+
+    obs::MetricsRegistry reg;
+    reg.histogram("serpens_test_ms", "A histogram.", h);
+    const std::string text = reg.prometheus_text();
+    valid(text);
+
+    // 0.5 ms lands in the (0.256, 0.512] octave, 3.0 ms in (2.048, 4.096];
+    // buckets are cumulative so the later edge already counts both.
+    EXPECT_NE(text.find("serpens_test_ms_bucket{le=\"0.512\"} 1\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("serpens_test_ms_bucket{le=\"4.096\"} 2\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("serpens_test_ms_bucket{le=\"+Inf\"} 2\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("serpens_test_ms_sum 3.5\n"), std::string::npos);
+    EXPECT_NE(text.find("serpens_test_ms_count 2\n"), std::string::npos);
+}
+
+TEST(ObsMetrics, UpsertRefreshesSamplesInPlace)
+{
+    obs::MetricsRegistry reg;
+    reg.counter("serpens_test_total", "A counter.", 3);
+    reg.gauge("serpens_test_ratio", "A gauge.", 0.5);
+    // A second scrape writes fresh values into the SAME samples — set
+    // semantics, not increments, and no duplicate families/lines.
+    reg.counter("serpens_test_total", "A counter.", 9);
+    reg.gauge("serpens_test_ratio", "A gauge.", 0.25);
+
+    const std::string text = reg.prometheus_text();
+    valid(text);
+    EXPECT_NE(text.find("serpens_test_total 9\n"), std::string::npos);
+    EXPECT_EQ(text.find("serpens_test_total 3\n"), std::string::npos);
+    EXPECT_NE(text.find("serpens_test_ratio 0.25\n"), std::string::npos);
+    // One # TYPE line per family, not one per upsert.
+    const std::size_t first = text.find("# TYPE serpens_test_total");
+    EXPECT_EQ(text.find("# TYPE serpens_test_total", first + 1),
+              std::string::npos);
+}
+
+TEST(ObsMetrics, TypeConflictThrows)
+{
+    obs::MetricsRegistry reg;
+    reg.counter("serpens_test_total", "A counter.", 3);
+    EXPECT_THROW(reg.gauge("serpens_test_total", "Now a gauge?", 1.0),
+                 std::invalid_argument);
+    serve::LatencyHistogram h;
+    EXPECT_THROW(reg.histogram("serpens_test_total", "Now a histogram?", h),
+                 std::invalid_argument);
+}
+
+TEST(ObsMetrics, ValidatorRejectsCorruption)
+{
+    obs::MetricsRegistry reg;
+    reg.counter("serpens_test_total", "A counter.", 3);
+    serve::LatencyHistogram h;
+    h.record(1.0);
+    reg.histogram("serpens_test_ms", "A histogram.", h);
+    const std::string good = reg.prometheus_text();
+    ASSERT_TRUE(valid(good));
+    std::string err;
+
+    // Missing trailing newline.
+    EXPECT_FALSE(obs::validate_prometheus_text(
+        good.substr(0, good.size() - 1), &err));
+
+    // Empty and sample-free documents.
+    EXPECT_FALSE(obs::validate_prometheus_text("", &err));
+    EXPECT_FALSE(obs::validate_prometheus_text(
+        "# HELP serpens_x_total X.\n# TYPE serpens_x_total counter\n", &err));
+
+    // Orphan sample with no preceding # HELP / # TYPE.
+    EXPECT_FALSE(
+        obs::validate_prometheus_text("serpens_orphan_total 1\n", &err));
+
+    // Non-numeric sample value.
+    std::string bad = good;
+    const std::size_t vpos = bad.find("serpens_test_total 3\n");
+    ASSERT_NE(vpos, std::string::npos);
+    bad.replace(vpos, 21, "serpens_test_total x\n");
+    EXPECT_FALSE(obs::validate_prometheus_text(bad, &err));
+
+    // Histogram family whose +Inf bucket line was lost.
+    bad = good;
+    const std::size_t inf = bad.find("serpens_test_ms_bucket{le=\"+Inf\"}");
+    ASSERT_NE(inf, std::string::npos);
+    const std::size_t inf_end = bad.find('\n', inf);
+    bad.erase(inf, inf_end - inf + 1);
+    EXPECT_FALSE(obs::validate_prometheus_text(bad, &err));
+
+    // Metric name with an illegal character.
+    bad = good;
+    const std::size_t name = bad.find("serpens_test_total 3");
+    bad.replace(name, 18, "serpens-test-total");
+    EXPECT_FALSE(obs::validate_prometheus_text(bad, &err));
+}
+
+TEST(ObsMetrics, ExportServerAndChannelUtilization)
+{
+    const auto m = sparse::make_uniform_random(600, 600, 8'000, 11);
+    serve::Server server(core::SerpensConfig::a16());
+    server.registry().admit("m0", m);
+    std::vector<float> x = random_vec(600, 1);
+    std::vector<float> y = random_vec(600, 2);
+    server.spmv("m0", std::move(x), std::move(y), 1.0f, 0.0f);
+
+    obs::MetricsRegistry reg;
+    obs::export_server_metrics(reg, server.stats());
+    obs::export_registry_metrics(reg, server.registry());
+    const std::string text = reg.prometheus_text();
+    valid(text);
+
+    EXPECT_NE(text.find("serpens_serve_requests_total 1\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("serpens_serve_batches_total 1\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("serpens_registry_residents 1\n"), std::string::npos);
+    EXPECT_NE(text.find("serpens_serve_batch_width_total{width=\"1\"} 1\n"),
+              std::string::npos);
+    // Per-channel utilization appears for EVERY channel of the resident,
+    // labelled by (matrix, channel) in that order.
+    const unsigned channels = core::SerpensConfig::a16().arch.ha_channels;
+    for (unsigned c = 0; c < channels; ++c) {
+        const std::string sample = "serpens_channel_utilization{matrix=\"m0"
+                                   "\",channel=\"" +
+                                   std::to_string(c) + "\"} ";
+        EXPECT_NE(text.find(sample), std::string::npos) << sample;
+    }
+    // Utilization is a share of the stall-inclusive depth: (0, 1].
+    std::size_t pos = 0;
+    unsigned seen = 0;
+    while ((pos = text.find("serpens_channel_utilization{", pos)) !=
+           std::string::npos) {
+        const std::size_t sp = text.find("} ", pos);
+        ASSERT_NE(sp, std::string::npos);
+        const double v = std::strtod(text.c_str() + sp + 2, nullptr);
+        EXPECT_GT(v, 0.0);
+        EXPECT_LE(v, 1.0);
+        pos = sp;
+        ++seen;
+    }
+    EXPECT_EQ(seen, channels);
+}
+
+TEST(ObsMetrics, WireMetricsScrapeIsValidPrometheusText)
+{
+    const auto a = sparse::make_uniform_random(400, 400, 5'000, 21);
+    const auto b = sparse::make_uniform_random(300, 300, 4'000, 22);
+    core::SerpensConfig cfg = core::SerpensConfig::a16();
+    serve::Server server(cfg);
+    net::Daemon daemon(server, /*port=*/0);
+    net::Client client("127.0.0.1", daemon.port(), /*timeout_ms=*/30'000);
+    client.admit("m0", a);
+    client.admit("m1", b);
+    std::vector<float> x = random_vec(400, 3);
+    std::vector<float> y = random_vec(400, 4);
+    client.spmv("m0", x, y, 1.0f, 0.0f);
+    // The reply is sent before the dispatcher's round bookkeeping lands;
+    // drain() returns only once the round is fully retired, so the scrape
+    // below reads settled counters.
+    server.drain();
+
+    const std::string text = client.metrics_text();
+    daemon.stop();
+    valid(text);
+    EXPECT_NE(text.find("serpens_uptime_ms "), std::string::npos);
+    EXPECT_NE(text.find("serpens_serve_requests_total 1\n"),
+              std::string::npos);
+    // Both residents expose their channel breakdown in one scrape.
+    EXPECT_NE(text.find("serpens_channel_utilization{matrix=\"m0\","),
+              std::string::npos);
+    EXPECT_NE(text.find("serpens_channel_utilization{matrix=\"m1\","),
+              std::string::npos);
+}
+
+TEST(ObsMetrics, ExportRetryFailoverFaultCoverage)
+{
+    net::RetryStats retry;
+    retry.attempts = 7;
+    retry.retries = 3;
+    retry.reconnects = 2;
+    retry.giveups = 1;
+    net::FailoverStats fo;
+    fo.failovers = 4;
+    fo.breaker_opens = 2;
+    fo.probes = 5;
+    fo.probe_failures = 1;
+    fo.giveups = 0;
+    util::FaultInjector inj(99);
+    inj.arm("net.drop", 1.0);
+    EXPECT_TRUE(inj.should_fire("net.drop"));
+
+    obs::MetricsRegistry reg;
+    obs::export_retry_metrics(reg, retry);
+    obs::export_failover_metrics(reg, fo);
+    obs::export_fault_metrics(reg, inj);
+    const std::string text = reg.prometheus_text();
+    valid(text);
+    EXPECT_NE(text.find("serpens_client_attempts_total 7\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("serpens_client_giveups_total 1\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("serpens_failover_moves_total 4\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("serpens_failover_breaker_opens_total 2\n"),
+              std::string::npos);
+    EXPECT_NE(
+        text.find("serpens_fault_probes_total{site=\"net.drop\"} 1\n"),
+        std::string::npos);
+    EXPECT_NE(text.find("serpens_fault_fired_total{site=\"net.drop\"} 1\n"),
+              std::string::npos);
+}
+
+TEST(ObsMetrics, LatencyHistogramSanitizesBadSamples)
+{
+    serve::LatencyHistogram h;
+    h.record(2.0);
+    h.record(std::numeric_limits<double>::quiet_NaN());
+    h.record(-1.0);
+    h.record(std::numeric_limits<double>::infinity());
+
+    // Every bad sample still counts (bucket 0), but none of them poisons
+    // the running sum/max — mean and max stay finite forever after.
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.buckets()[0], 3u);
+    EXPECT_DOUBLE_EQ(h.max_ms(), 2.0);
+    EXPECT_DOUBLE_EQ(h.mean_ms(), 0.5);
+    EXPECT_TRUE(std::isfinite(h.quantile_ms(0.99)));
+
+    obs::MetricsRegistry reg;
+    reg.histogram("serpens_test_ms", "A histogram.", h);
+    valid(reg.prometheus_text());
+}
+
+} // namespace
+} // namespace serpens

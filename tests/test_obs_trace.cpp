@@ -1,0 +1,370 @@
+// Observability, part 1 (PR 10): the injectable clock and the trace
+// recorder.
+//
+// Contracts pinned here:
+//   - obs::FakeClock only moves when told, and sleep_ms advances it, so
+//     components driven through the clock are instant and reproducible.
+//   - The recorder's per-thread buffers are bounded (overflow counted in
+//     dropped()), the disabled-mode probe is a null atomic load, and the
+//     export order is deterministic: the same fake-clock load produces
+//     byte-identical Chrome trace JSON twice.
+//   - A trace id minted by the client rides SpmvRequest across the wire
+//     and stitches the daemon's serve.* spans to the client's trace; an
+//     id of 0 keeps the old frame layout (old-peer interop).
+//   - validate_trace_json accepts the recorder's own output and rejects
+//     structural corruption with a diagnostic.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/client.h"
+#include "net/daemon.h"
+#include "net/protocol.h"
+#include "obs/clock.h"
+#include "obs/trace.h"
+#include "serve/server.h"
+#include "sparse/generators.h"
+#include "util/rng.h"
+
+namespace serpens {
+namespace {
+
+std::vector<float> random_vec(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> v(n);
+    for (float& f : v)
+        f = rng.next_float(-1.0f, 1.0f);
+    return v;
+}
+
+TEST(ObsClock, FakeClockMovesOnlyWhenTold)
+{
+    obs::FakeClock clk;
+    EXPECT_EQ(clk.now_ns(), 0u);
+    clk.advance_ms(1.5);
+    EXPECT_EQ(clk.now_ns(), 1'500'000u);
+    clk.sleep_ms(2.0);  // a fake sleep advances instead of blocking
+    EXPECT_EQ(clk.now_ns(), 3'500'000u);
+    clk.sleep_ms(-1.0);  // never rewinds
+    EXPECT_EQ(clk.now_ns(), 3'500'000u);
+    EXPECT_DOUBLE_EQ(obs::Clock::ms_between(0, clk.now_ns()), 3.5);
+    EXPECT_DOUBLE_EQ(obs::Clock::ms_between(clk.now_ns(), 0), -3.5);
+
+    obs::FakeClock offset(7'000);
+    EXPECT_EQ(offset.now_ns(), 7'000u);
+}
+
+TEST(ObsClock, RealClockIsMonotonic)
+{
+    obs::Clock& clk = obs::real_clock();
+    const std::uint64_t a = clk.now_ns();
+    const std::uint64_t b = clk.now_ns();
+    EXPECT_LE(a, b);
+}
+
+TEST(ObsTrace, RecorderSortsSpansDeterministically)
+{
+    obs::FakeClock clk;
+    obs::TraceRecorder rec(&clk);
+    // Record out of chronological order; snapshot must sort by start.
+    rec.span("late", "test", 1, 5'000, 6'000);
+    rec.span("early", "test", 2, 1'000, 4'000, "width", 3);
+    clk.advance_ms(0.002);
+    rec.instant("point", "test", 3);
+
+    const std::vector<obs::Span> spans = rec.snapshot();
+    ASSERT_EQ(spans.size(), 3u);
+    EXPECT_STREQ(spans[0].name, "early");
+    EXPECT_EQ(spans[0].dur_ns, 3'000u);
+    EXPECT_STREQ(spans[0].arg_name, "width");
+    EXPECT_EQ(spans[0].arg, 3u);
+    EXPECT_STREQ(spans[1].name, "point");
+    EXPECT_TRUE(spans[1].instant);
+    EXPECT_EQ(spans[1].start_ns, 2'000u);
+    EXPECT_STREQ(spans[2].name, "late");
+    EXPECT_EQ(rec.recorded(), 3u);
+    EXPECT_EQ(rec.dropped(), 0u);
+
+    std::string error;
+    EXPECT_TRUE(obs::validate_trace_json(rec.to_chrome_json(), &error))
+        << error;
+}
+
+TEST(ObsTrace, BoundedBufferCountsDrops)
+{
+    obs::FakeClock clk;
+    obs::TraceRecorder rec(&clk, /*per_thread_capacity=*/4);
+    for (int i = 0; i < 10; ++i)
+        rec.span("s", "test", 0, 0, 1);
+    EXPECT_EQ(rec.recorded(), 4u);
+    EXPECT_EQ(rec.dropped(), 6u);
+    EXPECT_EQ(rec.snapshot().size(), 4u);
+}
+
+// The disabled-mode contract: no recorder installed means the probe is a
+// single lock-free atomic load returning null, and traffic served in that
+// state leaves no spans behind for a recorder installed later.
+TEST(ObsTrace, NoOpRecorderLeavesNoTrace)
+{
+    static_assert(std::atomic<obs::TraceRecorder*>::is_always_lock_free,
+                  "the tracing probe must stay a bare atomic load");
+    ASSERT_EQ(obs::trace_recorder(), nullptr);
+
+    const auto m = sparse::make_uniform_random(600, 600, 9'000, 11);
+    serve::Server server(core::SerpensConfig::a16());
+    server.registry().admit("m", m);
+    const std::vector<float> x = random_vec(m.cols(), 1);
+    const std::vector<float> y = random_vec(m.rows(), 2);
+    server.spmv("m", x, y);  // untraced traffic
+    server.drain();
+
+    obs::TraceRecorder rec;
+    obs::set_trace_recorder(&rec);
+    server.spmv("m", x, y, 1.0f, 0.0f, 0.0, rec.next_trace_id());
+    server.drain();
+    obs::set_trace_recorder(nullptr);
+
+    // Only the traced request's round shows up: exactly one serve.queue
+    // span, even though two requests were served.
+    std::size_t queue_spans = 0;
+    for (const obs::Span& s : rec.snapshot())
+        if (std::string(s.name) == "serve.queue")
+            ++queue_spans;
+    EXPECT_EQ(queue_spans, 1u);
+}
+
+// One paused burst under a fake clock: the span tree is exact, and the
+// queue/device/extract durations add up to the request's end-to-end time
+// with no remainder (integer nanoseconds, no wall clock involved).
+TEST(ObsTrace, FakeClockProducesExactSpanTree)
+{
+    obs::FakeClock clk;
+    obs::TraceRecorder rec(&clk);
+    obs::set_trace_recorder(&rec);
+    {
+        const auto m = sparse::make_uniform_random(600, 600, 9'000, 13);
+        core::SerpensConfig cfg = core::SerpensConfig::a16();
+        cfg.max_batch = 8;
+        serve::Server server(cfg, &clk);
+        server.registry().admit("m", m);
+        const std::vector<float> x = random_vec(m.cols(), 3);
+        const std::vector<float> y = random_vec(m.rows(), 4);
+
+        server.pause();
+        auto f1 = server.submit("m", x, y, 1.0f, 0.0f, 0.0, 101);
+        auto f2 = server.submit("m", x, y, 1.0f, 0.0f, 0.0, 102);
+        clk.advance_ms(2.0);  // the only queue time that can exist
+        server.resume();
+        const serve::SpmvResult r1 = f1.get();
+        const serve::SpmvResult r2 = f2.get();
+        server.drain();
+        EXPECT_DOUBLE_EQ(r1.queue_ms, 2.0);
+        EXPECT_DOUBLE_EQ(r2.queue_ms, 2.0);
+    }
+    obs::set_trace_recorder(nullptr);
+
+    const std::vector<obs::Span> spans = rec.snapshot();
+    const obs::Span *queue1 = nullptr, *batch = nullptr, *device = nullptr,
+                    *extract = nullptr;
+    for (const obs::Span& s : spans) {
+        const std::string name = s.name;
+        if (name == "serve.queue" && s.trace_id == 101)
+            queue1 = &s;
+        else if (name == "serve.batch")
+            batch = &s;
+        else if (name == "serve.device")
+            device = &s;
+        else if (name == "serve.extract")
+            extract = &s;
+    }
+    ASSERT_NE(queue1, nullptr);
+    ASSERT_NE(batch, nullptr);
+    ASSERT_NE(device, nullptr);
+    ASSERT_NE(extract, nullptr);
+
+    // Both members coalesced into one width-2 batch.
+    EXPECT_EQ(batch->arg_name != nullptr ? std::string(batch->arg_name)
+                                         : std::string(),
+              "width");
+    EXPECT_EQ(batch->arg, 2u);
+
+    // The tree is gapless: queue ends where the batch starts, the device
+    // pass and extraction tile the batch, and queue + batch durations sum
+    // to the request's end-to-end time exactly.
+    EXPECT_EQ(queue1->start_ns, 0u);
+    EXPECT_EQ(queue1->dur_ns, 2'000'000u);
+    EXPECT_EQ(queue1->start_ns + queue1->dur_ns, batch->start_ns);
+    EXPECT_GE(device->start_ns, batch->start_ns);
+    EXPECT_EQ(device->start_ns + device->dur_ns, extract->start_ns);
+    EXPECT_EQ(extract->start_ns + extract->dur_ns,
+              batch->start_ns + batch->dur_ns);
+    const std::uint64_t e2e =
+        batch->start_ns + batch->dur_ns - queue1->start_ns;
+    EXPECT_EQ(queue1->dur_ns + (device->start_ns - batch->start_ns) +
+                  device->dur_ns + extract->dur_ns,
+              e2e);
+}
+
+// The determinism headline: the same seeded load under the same fake
+// clock exports byte-identical JSON, twice.
+TEST(ObsTrace, ByteIdenticalReplay)
+{
+    const auto run_once = []() -> std::string {
+        obs::FakeClock clk;
+        obs::TraceRecorder rec(&clk);
+        obs::set_trace_recorder(&rec);
+        {
+            const auto m = sparse::make_uniform_random(500, 500, 7'000, 17);
+            core::SerpensConfig cfg = core::SerpensConfig::a16();
+            cfg.max_batch = 4;
+            serve::Server server(cfg, &clk);
+            server.registry().admit("m", m);
+            const std::vector<float> x = random_vec(m.cols(), 5);
+            const std::vector<float> y = random_vec(m.rows(), 6);
+            for (int burst = 0; burst < 3; ++burst) {
+                server.pause();
+                auto f1 =
+                    server.submit("m", x, y, 1.0f, 0.0f, 0.0,
+                                  static_cast<std::uint64_t>(10 + burst));
+                auto f2 =
+                    server.submit("m", x, y, 1.0f, 0.0f, 0.0,
+                                  static_cast<std::uint64_t>(20 + burst));
+                clk.advance_ms(1.0 + burst);
+                server.resume();
+                f1.get();
+                f2.get();
+                server.drain();
+            }
+        }
+        obs::set_trace_recorder(nullptr);
+        return rec.to_chrome_json();
+    };
+
+    const std::string first = run_once();
+    const std::string second = run_once();
+    EXPECT_FALSE(first.empty());
+    EXPECT_EQ(first, second);
+    std::string error;
+    EXPECT_TRUE(obs::validate_trace_json(first, &error)) << error;
+}
+
+TEST(ObsTrace, WireCarriesNonzeroTraceIdOnly)
+{
+    net::SpmvRequest req;
+    req.name = "m";
+    req.x = {1.0f, 2.0f};
+    req.y = {3.0f};
+    req.alpha = 1.0f;
+    req.beta = 0.5f;
+    req.deadline_ms = 12.0;
+
+    // trace_id 0: the pre-tracing frame layout, byte for byte.
+    const std::vector<std::uint8_t> old_frame = net::encode_spmv(req);
+    req.trace_id = 0xDEADBEEFCAFEull;
+    const std::vector<std::uint8_t> new_frame = net::encode_spmv(req);
+    EXPECT_EQ(new_frame.size(), old_frame.size() + sizeof(std::uint64_t));
+
+    {
+        net::WireReader r(old_frame);
+        ASSERT_EQ(net::decode_request_type(r), net::RequestType::kSpmv);
+        const net::SpmvRequest back = net::decode_spmv(r);
+        EXPECT_EQ(back.trace_id, 0u);  // old peer: the field is absent
+        EXPECT_EQ(back.name, "m");
+        EXPECT_DOUBLE_EQ(back.deadline_ms, 12.0);
+    }
+    {
+        net::WireReader r(new_frame);
+        ASSERT_EQ(net::decode_request_type(r), net::RequestType::kSpmv);
+        const net::SpmvRequest back = net::decode_spmv(r);
+        EXPECT_EQ(back.trace_id, 0xDEADBEEFCAFEull);
+        EXPECT_EQ(back.y.size(), 1u);
+    }
+}
+
+// End-to-end stitching: the client mints an id, the wire carries it, and
+// the daemon's spans come back under the same id.
+TEST(ObsTrace, DaemonStitchesClientTraceId)
+{
+    obs::TraceRecorder rec;
+    obs::set_trace_recorder(&rec);
+    std::uint64_t id = 0;
+    {
+        const auto m = sparse::make_uniform_random(500, 500, 7'000, 19);
+        serve::Server server(core::SerpensConfig::a16());
+        net::Daemon daemon(server, /*port=*/0);
+        net::Client client("127.0.0.1", daemon.port(),
+                           /*timeout_ms=*/30'000);
+        client.admit("m", m);
+        id = rec.next_trace_id();
+        const net::SpmvReply reply =
+            client.spmv("m", random_vec(m.cols(), 7), random_vec(m.rows(), 8),
+                        1.0f, 0.0f, /*deadline_ms=*/0.0, id);
+        EXPECT_EQ(reply.y.size(), m.rows());
+        daemon.stop();
+        server.drain();
+    }
+    obs::set_trace_recorder(nullptr);
+    ASSERT_NE(id, 0u);
+
+    bool saw_request = false, saw_queue = false, saw_device = false;
+    for (const obs::Span& s : rec.snapshot()) {
+        if (s.trace_id != id)
+            continue;
+        const std::string name = s.name;
+        saw_request |= name == "daemon.request";
+        saw_queue |= name == "serve.queue";
+        saw_device |= name == "serve.device";
+    }
+    EXPECT_TRUE(saw_request);
+    EXPECT_TRUE(saw_queue);
+    EXPECT_TRUE(saw_device);
+
+    std::string error;
+    EXPECT_TRUE(obs::validate_trace_json(rec.to_chrome_json(), &error))
+        << error;
+}
+
+TEST(ObsTrace, ValidatorRejectsCorruption)
+{
+    obs::FakeClock clk;
+    obs::TraceRecorder rec(&clk);
+    rec.span("serve.queue", "serve", 1, 1'000, 2'000, "width", 2);
+    rec.instant("registry.admit", "registry", 0, "bytes", 64);
+    const std::string good = rec.to_chrome_json();
+    std::string error;
+    ASSERT_TRUE(obs::validate_trace_json(good, &error)) << error;
+
+    const auto expect_reject = [&](std::string doc, const char* what) {
+        std::string why;
+        EXPECT_FALSE(obs::validate_trace_json(doc, &why)) << what;
+        EXPECT_FALSE(why.empty()) << what;
+    };
+    expect_reject("{}", "no traceEvents array");
+    expect_reject("not json at all", "garbage");
+
+    std::string no_name = good;
+    const std::size_t name_at = no_name.find("\"name\"");
+    ASSERT_NE(name_at, std::string::npos);
+    no_name.replace(name_at, 6, "\"nope\"");
+    expect_reject(no_name, "event without a name");
+
+    std::string bad_phase = good;
+    const std::size_t ph_at = bad_phase.find("\"ph\": \"X\"");
+    ASSERT_NE(ph_at, std::string::npos);
+    bad_phase.replace(ph_at, 9, "\"ph\": \"Q\"");
+    expect_reject(bad_phase, "unknown phase");
+
+    std::string bad_ts = good;
+    const std::size_t ts_at = bad_ts.find("\"ts\":");
+    ASSERT_NE(ts_at, std::string::npos);
+    bad_ts.replace(ts_at, 5, "\"ts\": -1,\"xx\":");
+    expect_reject(bad_ts, "negative timestamp");
+
+    std::string truncated = good.substr(0, good.size() / 2);
+    expect_reject(truncated, "truncated document");
+}
+
+} // namespace
+} // namespace serpens

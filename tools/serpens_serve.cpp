@@ -26,6 +26,7 @@
 //                 [--connect HOST:PORT[,HOST:PORT...]]
 //                 [--shutdown-daemon] [--no-admit]
 //                 [--expect-recovered N] [--check-snapshot FILE]
+//                 [--trace-json FILE] [--dump-metrics FILE]
 //
 // --connect drives the loops over TCP (one net::Client per worker thread)
 // against serpens_served instead of an in-process server; the daemon must
@@ -48,7 +49,17 @@
 //
 // --check-snapshot validates an archived snapshot against its schema and
 // exits — how CI re-checks BENCH_serve.json / BENCH_net.json /
-// BENCH_recovery.json (the document kind is auto-detected).
+// BENCH_recovery.json, and now also Chrome trace JSON and Prometheus
+// metric expositions (the document kind is auto-detected).
+//
+// --trace-json FILE records every issued request's client-side lifecycle
+// (request span, retry attempts, backoff sleeps, failover moves) plus —
+// in-process mode — the server's queue/batch/device spans, and writes
+// Chrome trace-event JSON there. Against a daemon running with its own
+// --trace-json, the shared trace ids stitch the two files in Perfetto.
+// --dump-metrics FILE (needs --connect) scrapes the daemon's Prometheus
+// exposition, self-validates it, writes it, and exits without running any
+// loops; combine with --shutdown-daemon to scrape-then-stop.
 //
 // Exit code 0 on success, 1 on any mismatch, schema failure, missed SLO
 // gate, or error.
@@ -71,10 +82,13 @@
 #include "net/client.h"
 #include "net/failover.h"
 #include "net/retry.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/server.h"
 #include "serve/snapshot.h"
 #include "sparse/generators.h"
 #include "util/bitpack.h"
+#include "util/fs.h"
 #include "util/rng.h"
 
 namespace {
@@ -115,6 +129,9 @@ struct Args {
     bool no_admit = false;           // fleet already resident on the daemon
     std::int64_t expect_recovered = -1;  // >= 0: assert warm-restart stats
     std::string check_snapshot;
+    // Observability (PR 10).
+    std::string trace_json;    // write client-side Chrome trace JSON here
+    std::string dump_metrics;  // scrape the daemon's Prometheus text here
 };
 
 // One completed request as the clients recorded it: enough to replay the
@@ -208,10 +225,13 @@ double quantile(std::vector<double> v, double q)
 class Transport {
 public:
     virtual ~Transport() = default;
+    // trace_id != 0 stitches server-side spans to the caller's trace (it
+    // rides the wire in net mode; the in-process server sees it directly).
     virtual serve::SpmvResult spmv(const std::string& name,
                                    const std::vector<float>& x,
                                    const std::vector<float>& y, float alpha,
-                                   float beta, double deadline_ms) = 0;
+                                   float beta, double deadline_ms,
+                                   std::uint64_t trace_id) = 0;
     virtual std::uint64_t retried() const { return 0; }
     // Endpoint switches (multi-endpoint --connect only).
     virtual std::uint64_t failovers() const { return 0; }
@@ -223,9 +243,11 @@ public:
     serve::SpmvResult spmv(const std::string& name,
                            const std::vector<float>& x,
                            const std::vector<float>& y, float alpha,
-                           float beta, double deadline_ms) override
+                           float beta, double deadline_ms,
+                           std::uint64_t trace_id) override
     {
-        return server_.spmv(name, x, y, alpha, beta, deadline_ms);
+        return server_.spmv(name, x, y, alpha, beta, deadline_ms,
+                            trace_id);
     }
 
 private:
@@ -243,13 +265,15 @@ public:
     serve::SpmvResult spmv(const std::string& name,
                            const std::vector<float>& x,
                            const std::vector<float>& y, float alpha,
-                           float beta, double deadline_ms) override
+                           float beta, double deadline_ms,
+                           std::uint64_t trace_id) override
     {
         const net::RetryPolicy policy;  // the documented defaults
         double backoff_ms = policy.initial_backoff_ms;
         for (unsigned attempt = 1;; ++attempt) {
             try {
-                return server_.spmv(name, x, y, alpha, beta, deadline_ms);
+                return server_.spmv(name, x, y, alpha, beta, deadline_ms,
+                                    trace_id);
             } catch (const serve::QueueFullError&) {
                 if (attempt >= policy.max_attempts)
                     throw;
@@ -301,10 +325,11 @@ public:
     serve::SpmvResult spmv(const std::string& name,
                            const std::vector<float>& x,
                            const std::vector<float>& y, float alpha,
-                           float beta, double deadline_ms) override
+                           float beta, double deadline_ms,
+                           std::uint64_t trace_id) override
     {
         return reply_to_result(
-            client_.spmv(name, x, y, alpha, beta, deadline_ms));
+            client_.spmv(name, x, y, alpha, beta, deadline_ms, trace_id));
     }
 
 private:
@@ -326,10 +351,11 @@ public:
     serve::SpmvResult spmv(const std::string& name,
                            const std::vector<float>& x,
                            const std::vector<float>& y, float alpha,
-                           float beta, double deadline_ms) override
+                           float beta, double deadline_ms,
+                           std::uint64_t trace_id) override
     {
         return reply_to_result(
-            client_.spmv(name, x, y, alpha, beta, deadline_ms));
+            client_.spmv(name, x, y, alpha, beta, deadline_ms, trace_id));
     }
     std::uint64_t retried() const override
     {
@@ -361,10 +387,11 @@ public:
     serve::SpmvResult spmv(const std::string& name,
                            const std::vector<float>& x,
                            const std::vector<float>& y, float alpha,
-                           float beta, double deadline_ms) override
+                           float beta, double deadline_ms,
+                           std::uint64_t trace_id) override
     {
         return reply_to_result(
-            client_.spmv(name, x, y, alpha, beta, deadline_ms));
+            client_.spmv(name, x, y, alpha, beta, deadline_ms, trace_id));
     }
     std::uint64_t retried() const override
     {
@@ -537,10 +564,20 @@ bool issue_request(
     const unsigned k = static_cast<unsigned>(t.seed % kVectorPool);
     t.vec_seed = pool_seed(args.seed, t.matrix, k);
     pick_scalars(args.vary_scalars, t.seed, t.alpha, t.beta);
+    // Each issued request gets a fresh trace id; every span the transport
+    // stack and (via the wire) the server records for it carries this id.
+    obs::TraceRecorder* const rec = obs::trace_recorder();
+    const std::uint64_t trace_id =
+        rec != nullptr ? rec->next_trace_id() : 0;
+    const std::uint64_t start_ns = rec != nullptr ? rec->now_ns() : 0;
     try {
         serve::SpmvResult res = transport.spmv(
             "m" + std::to_string(t.matrix), pool_x[t.matrix][k],
-            pool_y[t.matrix][k], t.alpha, t.beta, args.deadline_ms);
+            pool_y[t.matrix][k], t.alpha, t.beta, args.deadline_ms,
+            trace_id);
+        if (rec != nullptr)
+            rec->span("client.request", "client", trace_id, start_ns,
+                      rec->now_ns(), "matrix", t.matrix);
         t.e2e_ms = std::chrono::duration<double, std::milli>(Clock::now() -
                                                              issued)
                        .count();
@@ -554,15 +591,23 @@ bool issue_request(
         return true;
     } catch (const serve::QueueFullError&) {
         ++rejected;  // open-loop overload is data, not failure
+        if (rec != nullptr)
+            rec->instant("client.rejected", "client", trace_id);
         return true;
     } catch (const net::OverloadedError&) {
         ++rejected;
+        if (rec != nullptr)
+            rec->instant("client.rejected", "client", trace_id);
         return true;
     } catch (const serve::DeadlineExceededError&) {
         ++shed;  // deadline shedding is likewise data, not failure
+        if (rec != nullptr)
+            rec->instant("client.shed", "client", trace_id);
         return true;
     } catch (const net::DeadlineExceededError&) {
         ++shed;
+        if (rec != nullptr)
+            rec->instant("client.shed", "client", trace_id);
         return true;
     }
 }
@@ -827,7 +872,7 @@ double calibrate_arrival_rate(
         const unsigned k = i % kVectorPool;
         const Clock::time_point begin = Clock::now();
         transport->spmv("m" + std::to_string(m), pool_x[m][k], pool_y[m][k],
-                        1.0f, 0.0f, /*deadline_ms=*/0.0);
+                        1.0f, 0.0f, /*deadline_ms=*/0.0, /*trace_id=*/0);
         if (i >= kWarm)
             total_s +=
                 std::chrono::duration<double>(Clock::now() - begin).count();
@@ -883,12 +928,19 @@ int check_snapshot_file(const std::string& path)
     std::ostringstream buf;
     buf << in.rdbuf();
     const std::string json = buf.str();
-    // Three archived document kinds share this gate; dispatch on the
+    // Five archived document kinds share this gate; dispatch on the
     // structure, not the filename, so CI can validate any of them.
     std::string error;
     const char* kind = "snapshot";
     bool ok = false;
-    if (json.find("\"recovery\"") != std::string::npos) {
+    if (json.find("\"traceEvents\"") != std::string::npos) {
+        kind = "Chrome trace";
+        ok = obs::validate_trace_json(json, &error);
+    } else if (json.rfind("# HELP", 0) == 0 ||
+               json.find("# TYPE") != std::string::npos) {
+        kind = "Prometheus exposition";
+        ok = obs::validate_prometheus_text(json, &error);
+    } else if (json.find("\"recovery\"") != std::string::npos) {
         kind = "recovery report";
         ok = serve::validate_recovery_json(json, &error);
     } else if (json.find("\"tool\": \"serpens_served\"") !=
@@ -922,7 +974,8 @@ int usage()
         "                     [--connect HOST:PORT[,HOST:PORT...]]\n"
         "                     [--shutdown-daemon] [--no-admit]\n"
         "                     [--expect-recovered N]\n"
-        "                     [--check-snapshot FILE]\n");
+        "                     [--check-snapshot FILE]\n"
+        "                     [--trace-json FILE] [--dump-metrics FILE]\n");
     return 1;
 }
 
@@ -992,6 +1045,10 @@ int main(int argc, char** argv)
             args.expect_recovered = std::strtoll(next(), nullptr, 10);
         else if (flag == "--check-snapshot")
             args.check_snapshot = next();
+        else if (flag == "--trace-json")
+            args.trace_json = next();
+        else if (flag == "--dump-metrics")
+            args.dump_metrics = next();
         else if (flag == "--smoke") {
             args.smoke = true;
             args.vary_scalars = true;
@@ -1010,6 +1067,39 @@ int main(int argc, char** argv)
     }
     if (!args.check_snapshot.empty())
         return check_snapshot_file(args.check_snapshot);
+    if (!args.dump_metrics.empty()) {
+        // Admin-only action: scrape a live daemon's metrics, self-validate
+        // the exposition, archive it, and (optionally) shut the daemon
+        // down — no benchmark loops run.
+        if (args.endpoints.empty()) {
+            std::fprintf(stderr, "error: --dump-metrics needs --connect\n");
+            return 1;
+        }
+        try {
+            net::Client admin(args.endpoints[0].host, args.endpoints[0].port,
+                              /*timeout_ms=*/120'000);
+            const std::string text = admin.metrics_text();
+            std::string error;
+            if (!obs::validate_prometheus_text(text, &error)) {
+                std::fprintf(stderr,
+                             "FAIL: daemon metrics failed the exposition "
+                             "check: %s\n",
+                             error.c_str());
+                return 1;
+            }
+            util::atomic_write_file(args.dump_metrics, text);
+            std::printf("metrics written to %s (%zu bytes)\n",
+                        args.dump_metrics.c_str(), text.size());
+            if (args.shutdown_daemon) {
+                admin.shutdown_daemon();
+                std::printf("daemon shutdown requested\n");
+            }
+            return 0;
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "FAIL: %s\n", e.what());
+            return 1;
+        }
+    }
     if (args.matrices == 0 || args.clients == 0 || args.requests == 0)
         return usage();
     const bool open_loop = args.arrival_rate > 0.0 || args.overload > 0.0;
@@ -1036,6 +1126,15 @@ int main(int argc, char** argv)
         // run it with --serve-threads 1 for a faithful ablation.)
         if (deadline_mode)
             cfg.serve_threads = 1;
+
+        // Declared before the server/backend so every recording thread is
+        // gone before the recorder is. The snapshot is taken after the
+        // loops drain, when nothing records anymore.
+        std::unique_ptr<obs::TraceRecorder> recorder;
+        if (!args.trace_json.empty()) {
+            recorder = std::make_unique<obs::TraceRecorder>();
+            obs::set_trace_recorder(recorder.get());
+        }
 
         // A mixed fleet: uniform, clustered, banded row structure cycling
         // over the matrix slots so the scheduler sees heterogeneous service
@@ -1333,6 +1432,19 @@ int main(int argc, char** argv)
             }
         }
 
+        if (recorder) {
+            obs::set_trace_recorder(nullptr);
+            const std::string trace = recorder->to_chrome_json();
+            std::string trace_error;
+            if (!obs::validate_trace_json(trace, &trace_error))
+                throw std::runtime_error(
+                    "trace failed its own schema check: " + trace_error);
+            util::atomic_write_file(args.trace_json, trace);
+            std::printf("trace written to %s (%zu spans, %" PRIu64
+                        " dropped)\n",
+                        args.trace_json.c_str(), recorder->recorded(),
+                        recorder->dropped());
+        }
         if (net_mode && args.shutdown_daemon) {
             backend.admin->shutdown_daemon();
             std::printf("daemon shutdown requested\n");

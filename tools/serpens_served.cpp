@@ -5,6 +5,7 @@
 //                  [--serve-threads T] [--budget-mb MB] [--slo-ms MS]
 //                  [--batch-wait-ms MS] [--queue-depth D] [--a24]
 //                  [--state-dir DIR] [--recovery-json FILE]
+//                  [--trace-json FILE]
 //
 // --port 0 (the default) binds an ephemeral port; the daemon prints
 // "listening on PORT" and, with --port-file, writes the bare port number
@@ -20,6 +21,12 @@
 // without re-encoding. --recovery-json archives the replay report
 // (BENCH_recovery.json in CI). A clean shutdown leaves a marker record
 // the next start reports in that JSON.
+//
+// --trace-json FILE records the daemon-side request lifecycle (wire read,
+// queue wait, batch formation, device pass, y-extraction, WAL appends)
+// and writes Chrome trace-event JSON there on clean shutdown — load it in
+// Perfetto alongside the client's --trace-json to see one request's spans
+// stitched by trace id across both processes.
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -29,6 +36,7 @@
 #include <thread>
 
 #include "net/daemon.h"
+#include "obs/trace.h"
 #include "serve/server.h"
 #include "serve/snapshot.h"
 #include "serve/store.h"
@@ -52,7 +60,8 @@ int usage()
         "                      [--budget-mb MB] [--slo-ms MS]\n"
         "                      [--batch-wait-ms MS] [--queue-depth D]\n"
         "                      [--a24] [--state-dir DIR]\n"
-        "                      [--recovery-json FILE]\n");
+        "                      [--recovery-json FILE]\n"
+        "                      [--trace-json FILE]\n");
     return 1;
 }
 
@@ -71,6 +80,7 @@ int main(int argc, char** argv)
     bool a24 = false;
     std::string state_dir;
     std::string recovery_json;
+    std::string trace_json;
 
     for (int i = 1; i < argc; ++i) {
         const std::string flag = argv[i];
@@ -106,6 +116,8 @@ int main(int argc, char** argv)
             state_dir = next();
         else if (flag == "--recovery-json")
             recovery_json = next();
+        else if (flag == "--trace-json")
+            trace_json = next();
         else
             return usage();
     }
@@ -122,6 +134,15 @@ int main(int argc, char** argv)
         cfg.slo_queue_ms = slo_ms;
         cfg.batch_wait_ms = batch_wait_ms;
         cfg.max_queue_depth = static_cast<std::size_t>(queue_depth);
+
+        // The recorder must outlive every daemon/server thread, and those
+        // threads only stop inside this scope — install it first, detach
+        // it (below) before it goes out of scope.
+        std::unique_ptr<serpens::obs::TraceRecorder> recorder;
+        if (!trace_json.empty()) {
+            recorder = std::make_unique<serpens::obs::TraceRecorder>();
+            serpens::obs::set_trace_recorder(recorder.get());
+        }
 
         serpens::serve::Server server(cfg);
 
@@ -174,13 +195,37 @@ int main(int argc, char** argv)
         // the wire-shutdown state together.
         while (g_signal == 0 && !daemon.shutdown_requested())
             std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        const double uptime = daemon.uptime_ms();
         daemon.stop();
         server.drain();
         if (store)
             store->record_clean_shutdown();
+        if (recorder) {
+            // Every recording thread is joined; the snapshot is final.
+            serpens::obs::set_trace_recorder(nullptr);
+            serpens::util::atomic_write_file(trace_json,
+                                             recorder->to_chrome_json());
+            std::printf("wrote %zu trace span(s) to %s (%llu dropped)\n",
+                        recorder->recorded(), trace_json.c_str(),
+                        static_cast<unsigned long long>(
+                            recorder->dropped()));
+        }
+        const serpens::serve::ServerStats stats = server.stats();
+        const serpens::serve::RegistryStats reg =
+            server.registry().stats();
+        std::printf("metrics: uptime_ms=%.0f requests=%llu batches=%llu "
+                    "shed=%llu rejected=%llu admissions=%llu "
+                    "evictions=%llu residents=%zu\n",
+                    uptime,
+                    static_cast<unsigned long long>(stats.requests),
+                    static_cast<unsigned long long>(stats.batches),
+                    static_cast<unsigned long long>(stats.shed),
+                    static_cast<unsigned long long>(stats.rejected),
+                    static_cast<unsigned long long>(reg.admissions),
+                    static_cast<unsigned long long>(reg.evictions),
+                    server.registry().size());
         std::printf("shut down after %llu requests\n",
-                    static_cast<unsigned long long>(
-                        server.stats().requests));
+                    static_cast<unsigned long long>(stats.requests));
         return 0;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "FAIL: %s\n", e.what());
